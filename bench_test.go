@@ -1,0 +1,396 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4) at the tiny scale; run the cmd/repro CLI for larger scales and the
+// full printed series. One benchmark per table/figure, as indexed in
+// DESIGN.md; paper-vs-measured shapes are recorded in EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+package leanstore_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	leanstore "repro"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// benchScale is the workload preset used by all benchmarks.
+var benchScale = harness.Tiny
+
+// tpccThroughput measures committed-txn/s for one engine mode.
+func tpccThroughput(b *testing.B, mode core.Mode, threads int, over func(*core.Config)) {
+	b.Helper()
+	bench, err := harness.NewTPCCBench(benchScale, mode, threads, benchScale.PoolPages, over)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bench.Close()
+	b.ResetTimer()
+	var txns uint64
+	for i := 0; i < b.N; i++ {
+		_, c := bench.RunTPCCWorkers(threads, 200*time.Millisecond)
+		txns += c
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(txns)/b.Elapsed().Seconds(), "txn/s")
+}
+
+// BenchmarkFig8 is Figure 8: TPC-C throughput for each logging design and
+// thread count (scalability of the six designs).
+func BenchmarkFig8(b *testing.B) {
+	modes := []core.Mode{
+		core.ModeSiloR, core.ModeGroupCommit, core.ModeOurs,
+		core.ModeNoRFA, core.ModeAether, core.ModeARIES,
+	}
+	for _, mode := range modes {
+		for _, th := range benchScale.Threads {
+			b.Run(fmt.Sprintf("%s/threads=%d", mode, th), func(b *testing.B) {
+				tpccThroughput(b, mode, th, func(c *core.Config) {
+					c.WALLimit = benchScale.WALLimit * 16
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTabWarehouses is the §4.1 inline table: remote-flush percentage
+// vs. warehouse count under RFA.
+func BenchmarkTabWarehouses(b *testing.B) {
+	for _, wh := range []int{1, 2} {
+		b.Run(fmt.Sprintf("warehouses=%d", wh), func(b *testing.B) {
+			sc := benchScale
+			sc.Warehouses = wh
+			bench, err := harness.NewTPCCBench(sc, core.ModeOurs, 2, sc.PoolPages, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bench.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bench.RunTPCCWorkers(2, 200*time.Millisecond)
+			}
+			b.StopTimer()
+			b.ReportMetric(bench.RemoteFlushPct(), "remote-flush-%")
+		})
+	}
+}
+
+// BenchmarkTable1 is Table 1: the logging components enabled step by step.
+func BenchmarkTable1(b *testing.B) {
+	rows := []struct {
+		name string
+		mode core.Mode
+		over func(*core.Config)
+	}{
+		{"1-no-logging", core.ModeNoLogging, func(c *core.Config) { c.CheckpointDisabled = true }},
+		{"2-create-records", core.ModeOurs, func(c *core.Config) {
+			c.CheckpointDisabled, c.CommitFlushDisabled, c.DiscardStaging = true, true, true
+		}},
+		{"3-stage-records", core.ModeOurs, func(c *core.Config) {
+			c.CheckpointDisabled, c.CommitFlushDisabled = true, true
+		}},
+		{"4-remote-flushes", core.ModeNoRFA, func(c *core.Config) { c.CheckpointDisabled = true }},
+		{"5-rfa", core.ModeOurs, func(c *core.Config) { c.CheckpointDisabled = true }},
+		{"6-checkpointing", core.ModeOurs, nil},
+	}
+	for _, row := range rows {
+		b.Run(row.name, func(b *testing.B) { tpccThroughput(b, row.mode, 2, row.over) })
+	}
+}
+
+// BenchmarkFig9InMemory is Figure 9 (left): sustained TPC-C with continuous
+// checkpointing holding the WAL at its limit, vs. the SiloR-style engine.
+func BenchmarkFig9InMemory(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeOurs, core.ModeSiloR} {
+		b.Run(mode.String(), func(b *testing.B) { tpccThroughput(b, mode, 2, nil) })
+	}
+}
+
+// BenchmarkFig9OutOfMemory is Figure 9 (right): the working set exceeds the
+// pool; ours vs. the Aether single-log design.
+func BenchmarkFig9OutOfMemory(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeOurs, core.ModeAether} {
+		b.Run(mode.String(), func(b *testing.B) {
+			bench, err := harness.NewTPCCBench(benchScale, mode, 2, benchScale.SmallPool, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bench.Close()
+			b.ResetTimer()
+			var txns uint64
+			for i := 0; i < b.N; i++ {
+				_, c := bench.RunTPCCWorkers(2, 200*time.Millisecond)
+				txns += c
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(txns)/b.Elapsed().Seconds(), "txn/s")
+			st := bench.Engine.Stats()
+			b.ReportMetric(float64(st.Pool.PageReadBytes)/b.Elapsed().Seconds()/(1<<20), "readMiB/s")
+		})
+	}
+}
+
+// BenchmarkFig10 is Figure 10: YCSB single-tuple updates across Zipf skews
+// for the paper's design (the CLI sweeps all six designs).
+func BenchmarkFig10(b *testing.B) {
+	for _, theta := range []float64{0, 1.0, 1.5} {
+		b.Run(fmt.Sprintf("theta=%.2f", theta), func(b *testing.B) {
+			db, err := leanstore.Open(leanstore.Options{Workers: 2, WALLimitBytes: benchScale.WALLimit * 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			s := db.Session()
+			tree, err := db.CreateBTree(s, "ycsb")
+			if err != nil {
+				b.Fatal(err)
+			}
+			y := workload.NewYCSB(tree.Internal(), benchScale.YCSBRecords)
+			if err := y.Load(s, 1000); err != nil {
+				b.Fatal(err)
+			}
+			w := y.NewWorker(7, theta)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.UpdateTxn(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Latency is Figure 11: commit latency per flush strategy
+// (per-op time of a payment transaction with synchronous durability).
+func BenchmarkFig11Latency(b *testing.B) {
+	strategies := []struct {
+		name string
+		mode core.Mode
+		over func(*core.Config)
+	}{
+		{"no-flush", core.ModeOurs, func(c *core.Config) { c.CommitFlushDisabled = true }},
+		{"rfa", core.ModeOurs, nil},
+		{"no-rfa", core.ModeNoRFA, nil},
+		{"group-commit", core.ModeGroupCommit, func(c *core.Config) { c.GroupCommitInterval = 500 * time.Microsecond }},
+	}
+	for _, strat := range strategies {
+		b.Run(strat.name, func(b *testing.B) {
+			bench, err := harness.NewTPCCBench(benchScale, strat.mode, 1, benchScale.PoolPages, strat.over)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bench.Close()
+			s := bench.Engine.NewSessionOn(0)
+			s.SetSyncCommit(true)
+			w := bench.TPCC.NewWorker(3, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Payment(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Textbook is Figure 12: the stop-the-world-checkpoint
+// textbook engine vs. ours (throughput under checkpoint pressure).
+func BenchmarkFig12Textbook(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		mode core.Mode
+		over func(*core.Config)
+	}{
+		{"ours", core.ModeOurs, nil},
+		{"textbook", core.ModeTextbook, nil},
+		{"textbook-no-chkpt", core.ModeTextbook, func(c *core.Config) { c.CheckpointDisabled = true }},
+	} {
+		b.Run(v.name, func(b *testing.B) { tpccThroughput(b, v.mode, 2, v.over) })
+	}
+}
+
+// BenchmarkRecovery is §4.6: crash recovery time and WAL processing rate.
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bench, err := harness.NewTPCCBench(benchScale, core.ModeOurs, 2, benchScale.PoolPages, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RunTPCCWorkers(2, 300*time.Millisecond)
+		pm, ssd := bench.Engine.SimulateCrash(uint64(i))
+		b.StartTimer()
+		eng, err := core.Open(core.Config{
+			Mode: core.ModeOurs, Workers: 2, PoolPages: benchScale.PoolPages,
+			WALLimit: benchScale.WALLimit, PMem: pm, SSD: ssd,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		rr := eng.RecoveryResult()
+		if rr == nil {
+			b.Fatal("no recovery ran")
+		}
+		total := (rr.AnalysisTime + rr.RedoTime).Seconds()
+		if total > 0 {
+			b.ReportMetric(float64(rr.WALBytes)/total/(1<<20), "walMiB/s")
+		}
+		eng.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkUndoVolume is the §3.6 estimate: WAL bytes/txn with and without
+// undo images.
+func BenchmarkUndoVolume(b *testing.B) {
+	for _, strip := range []bool{false, true} {
+		name := "with-undo"
+		if strip {
+			name = "without-undo"
+		}
+		b.Run(name, func(b *testing.B) {
+			bench, err := harness.NewTPCCBench(benchScale, core.ModeOurs, 1, benchScale.PoolPages, func(c *core.Config) {
+				c.StripUndoImages = strip
+				c.CheckpointDisabled = true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bench.Close()
+			s := bench.Engine.NewSessionOn(0)
+			w := bench.TPCC.NewWorker(3, 1)
+			before := bench.Engine.WAL().Stats().AppendedBytes
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunMix(s)
+			}
+			b.StopTimer()
+			after := bench.Engine.WAL().Stats().AppendedBytes
+			b.ReportMetric(float64(after-before)/float64(b.N), "walB/txn")
+		})
+	}
+}
+
+// BenchmarkLogCompression is the §3.8 estimate: log volume with compression
+// on vs. off.
+func BenchmarkLogCompression(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "compressed"
+		if disabled {
+			name = "uncompressed"
+		}
+		b.Run(name, func(b *testing.B) {
+			bench, err := harness.NewTPCCBench(benchScale, core.ModeOurs, 1, benchScale.PoolPages, func(c *core.Config) {
+				c.CompressionDisabled = disabled
+				c.CheckpointDisabled = true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bench.Close()
+			s := bench.Engine.NewSessionOn(0)
+			w := bench.TPCC.NewWorker(3, 1)
+			before := bench.Engine.WAL().Stats().AppendedBytes
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunMix(s)
+			}
+			b.StopTimer()
+			after := bench.Engine.WAL().Stats().AppendedBytes
+			b.ReportMetric(float64(after-before)/float64(b.N), "walB/txn")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the core mechanisms ---
+
+// BenchmarkCommitPath measures a minimal single-update transaction
+// end-to-end (the §3.2 fast path: GSN assignment, one log record, commit
+// record, persist barrier).
+func BenchmarkCommitPath(b *testing.B) {
+	// Checkpointing off: this measures the §3.2 commit fast path itself;
+	// at benchmark iteration counts the unbounded log is irrelevant.
+	db, err := leanstore.Open(leanstore.Options{Workers: 1, DisableCheckpointing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session()
+	tree, _ := db.CreateBTree(s, "t")
+	leanstore.WithTxn(s, func() error { return tree.Insert(s, []byte("key"), make([]byte, 64)) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Begin()
+		tree.UpdateFunc(s, []byte("key"), func(old []byte) []byte {
+			old[0]++
+			return old
+		})
+		s.Commit()
+	}
+}
+
+// BenchmarkBTreeInsert measures raw tree insert+log throughput.
+func BenchmarkBTreeInsert(b *testing.B) {
+	db, err := leanstore.Open(leanstore.Options{Workers: 1, BufferPoolPages: 16384, DisableCheckpointing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session()
+	tree, _ := db.CreateBTree(s, "t")
+	key := make([]byte, 8)
+	val := make([]byte, 100)
+	s.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			key[j] = byte(i >> (8 * j))
+		}
+		if err := tree.Insert(s, key, val); err != nil {
+			b.Fatal(err)
+		}
+		if i%1000 == 999 {
+			s.Commit()
+			s.Begin()
+		}
+	}
+	s.Commit()
+}
+
+// BenchmarkBTreeLookup measures read-path throughput (optimistic latching).
+func BenchmarkBTreeLookup(b *testing.B) {
+	db, err := leanstore.Open(leanstore.Options{Workers: 1, BufferPoolPages: 16384, DisableCheckpointing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session()
+	tree, _ := db.CreateBTree(s, "t")
+	const n = 100000
+	key := make([]byte, 8)
+	val := make([]byte, 100)
+	s.Begin()
+	for i := 0; i < n; i++ {
+		for j := 0; j < 8; j++ {
+			key[j] = byte(i >> (8 * j))
+		}
+		tree.Insert(s, key, val)
+	}
+	s.Commit()
+	var dst []byte
+	s.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % n
+		for j := 0; j < 8; j++ {
+			key[j] = byte(k >> (8 * j))
+		}
+		dst, _ = tree.Get(s, key, dst)
+	}
+	b.StopTimer()
+	s.Commit()
+}

@@ -1,0 +1,118 @@
+// Command repro regenerates the tables and figures of "Rethinking Logging,
+// Checkpoints, and Recovery for High-Performance Storage Engines" (SIGMOD
+// 2020) on the simulated-device reproduction in this repository.
+//
+// Usage:
+//
+//	repro <experiment> [flags]
+//
+// Experiments:
+//
+//	fig8             TPC-C scalability across logging designs
+//	fig9             TPC-C behaviour over time (in/out of memory)
+//	fig10            YCSB updates vs Zipf skew
+//	fig11            commit latencies by flush strategy
+//	fig12            textbook full-checkpoint engine vs ours
+//	tab1             Table 1 component dissection
+//	tab-warehouses   §4.1 remote flushes vs warehouse count
+//	tab-undo         §3.6 undo-image log volume
+//	tab-compression  §3.8 log compression savings
+//	recovery         §4.6 crash recovery phases and rates
+//	ablate           design-knob ablations (shards, intervals, chunks)
+//	all              everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repro <experiment> [-scale tiny|small|medium] [-threads N]\n")
+		flag.PrintDefaults()
+	}
+	if len(os.Args) < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exp := os.Args[1]
+	fs := flag.NewFlagSet(exp, flag.ExitOnError)
+	scaleName := fs.String("scale", "small", "workload scale: tiny|small|medium")
+	threads := fs.Int("threads", 4, "worker threads for fixed-thread experiments")
+	fs.Parse(os.Args[2:])
+
+	sc, err := harness.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "repro: experiment=%s scale=%s threads=%d (simulated PMem+SSD; see EXPERIMENTS.md for shape targets)\n",
+		exp, sc.Name, *threads)
+
+	run := func(name string) error {
+		switch name {
+		case "fig8":
+			_, err := harness.Fig8(w, sc)
+			return err
+		case "fig9":
+			_, err := harness.Fig9(w, sc, *threads)
+			return err
+		case "fig10":
+			_, err := harness.Fig10(w, sc, *threads)
+			return err
+		case "fig11":
+			_, err := harness.Fig11(w, sc, *threads)
+			return err
+		case "fig12":
+			_, err := harness.Fig12(w, sc, *threads)
+			return err
+		case "tab1":
+			_, err := harness.Table1(w, sc, *threads)
+			return err
+		case "tab-warehouses":
+			_, err := harness.TabWarehouses(w, sc, *threads)
+			return err
+		case "tab-undo":
+			_, _, err := harness.UndoVolume(w, sc, *threads)
+			return err
+		case "tab-compression":
+			_, _, err := harness.CompressionVolume(w, sc, *threads)
+			return err
+		case "recovery":
+			_, err := harness.Recovery(w, sc, *threads)
+			return err
+		case "ablate":
+			if err := harness.AblateShards(w, sc, *threads); err != nil {
+				return err
+			}
+			if err := harness.AblateGroupCommitInterval(w, sc, *threads); err != nil {
+				return err
+			}
+			return harness.AblateChunkSize(w, sc, *threads)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if exp == "all" {
+		for _, name := range []string{
+			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
+			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
+		} {
+			if err := run(name); err != nil {
+				fmt.Fprintf(os.Stderr, "repro %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(exp); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+}

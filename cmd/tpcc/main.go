@@ -1,0 +1,157 @@
+// Command tpcc runs the TPC-C benchmark (all five transactions, standard
+// mix) against the engine in any logging mode, printing per-second
+// throughput and a final summary with per-transaction-type counts, log
+// statistics, and checkpoint activity.
+//
+//	go run ./cmd/tpcc -mode ours -warehouses 4 -threads 4 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+var modes = map[string]core.Mode{
+	"ours":             core.ModeOurs,
+	"no-rfa":           core.ModeNoRFA,
+	"group-commit":     core.ModeGroupCommit,
+	"group-commit+rfa": core.ModeGroupCommitRFA,
+	"aries":            core.ModeARIES,
+	"aether":           core.ModeAether,
+	"silor":            core.ModeSiloR,
+	"textbook":         core.ModeTextbook,
+	"no-logging":       core.ModeNoLogging,
+}
+
+func main() {
+	modeName := flag.String("mode", "ours", "logging mode: "+strings.Join(modeNames(), "|"))
+	warehouses := flag.Int("warehouses", 4, "TPC-C warehouses")
+	items := flag.Int("items", 2000, "items (spec: 100000)")
+	custPerDist := flag.Int("customers", 150, "customers per district (spec: 3000)")
+	threads := flag.Int("threads", 4, "worker threads")
+	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
+	poolMiB := flag.Int("pool-mib", 64, "buffer pool size in MiB")
+	walMiB := flag.Int("wal-mib", 32, "WAL limit in MiB")
+	flag.Parse()
+
+	mode, ok := modes[*modeName]
+	if !ok {
+		log.Fatalf("unknown mode %q (want %s)", *modeName, strings.Join(modeNames(), "|"))
+	}
+	eng, err := core.Open(core.Config{
+		Mode:      mode,
+		Workers:   *threads,
+		PoolPages: *poolMiB << 20 / (16 << 10),
+		WALLimit:  int64(*walMiB) << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	fmt.Printf("loading TPC-C: %d warehouses, %d items, %d customers/district...\n",
+		*warehouses, *items, *custPerDist)
+	s := eng.NewSessionOn(0)
+	tp, err := workload.NewTPCC(*warehouses, func(name string) (*btree.BTree, error) {
+		return eng.CreateTree(s, name)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tp.Items, tp.CustPerDist = *items, *custPerDist
+	loadStart := time.Now()
+	if err := tp.Load(s, 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded in %v (%d pages)\n", time.Since(loadStart).Round(time.Millisecond), eng.Pool().NextPID())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < *threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ws := eng.NewSessionOn(i % *threads)
+			defer func() {
+				if r := recover(); r != nil {
+					if r == buffer.ErrPoolInterrupted {
+						ws.AbandonForCrash()
+						return
+					}
+					panic(r)
+				}
+			}()
+			w := tp.NewWorker(uint64(i)*7919+1, i%*warehouses+1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.RunMix(ws)
+			}
+		}(i)
+	}
+
+	start := time.Now()
+	prev := eng.Txns().Stats().DurableCommits
+	ticker := time.NewTicker(time.Second)
+	for time.Since(start) < *duration {
+		<-ticker.C
+		cur := eng.Txns().Stats().DurableCommits
+		fmt.Printf("  t=%4.0fs  %8d txn/s   WAL %6.1f MiB\n",
+			time.Since(start).Seconds(), cur-prev, float64(eng.WAL().LiveWALBytes())/(1<<20))
+		prev = cur
+	}
+	ticker.Stop()
+	close(stop)
+	eng.Interrupt()
+	wg.Wait()
+
+	st := eng.Stats()
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("\n=== summary (%s, %d threads, %.0fs) ===\n", mode, *threads, elapsed)
+	fmt.Printf("throughput:     %.0f txn/s (%d committed, %d aborted)\n",
+		float64(st.Txns.DurableCommits)/elapsed, st.Txns.DurableCommits, st.Txns.Aborts)
+	fmt.Printf("mix:            neworder=%d payment=%d orderstatus=%d delivery=%d stocklevel=%d\n",
+		tp.CntNewOrder.Load(), tp.CntPayment.Load(), tp.CntOrderStatus.Load(),
+		tp.CntDelivery.Load(), tp.CntStockLevel.Load())
+	if st.Txns.RFASkips+st.Txns.RFAFlushes > 0 {
+		fmt.Printf("remote flushes: %.1f%%\n",
+			100*float64(st.Txns.RFAFlushes)/float64(st.Txns.RFASkips+st.Txns.RFAFlushes))
+	}
+	fmt.Printf("log:            %.1f MiB appended (%.0f B/txn), %.1f MiB live, %d seal stalls\n",
+		float64(st.WAL.AppendedBytes)/(1<<20),
+		safeDiv(float64(st.WAL.AppendedBytes), float64(st.Txns.DurableCommits)),
+		float64(st.LiveWALBytes)/(1<<20), st.WAL.SealStalls)
+	fmt.Printf("checkpointer:   %d increments, %.1f MiB written\n",
+		st.Ckpt.Increments, float64(st.Ckpt.WrittenBytes)/(1<<20))
+	fmt.Printf("buffer pool:    %d evictions, %.1f MiB written back, %.1f MiB read\n",
+		st.Pool.Evictions, float64(st.Pool.ProviderWriteBytes)/(1<<20), float64(st.Pool.PageReadBytes)/(1<<20))
+}
+
+func modeNames() []string {
+	out := make([]string, 0, len(modes))
+	for n := range modes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,124 @@
+// Command ycsb runs the §4.4 YCSB-style workload (100% single-tuple
+// updates, Zipfian keys) against any logging mode, reporting throughput,
+// commit latency percentiles, and the RFA remote-flush rate.
+//
+//	go run ./cmd/ycsb -mode ours -records 100000 -theta 0.75 -threads 4 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+var modes = map[string]core.Mode{
+	"ours":             core.ModeOurs,
+	"no-rfa":           core.ModeNoRFA,
+	"group-commit":     core.ModeGroupCommit,
+	"group-commit+rfa": core.ModeGroupCommitRFA,
+	"aries":            core.ModeARIES,
+	"aether":           core.ModeAether,
+	"silor":            core.ModeSiloR,
+	"no-logging":       core.ModeNoLogging,
+}
+
+func main() {
+	modeName := flag.String("mode", "ours", "logging mode")
+	records := flag.Int("records", 100000, "table size (paper: 500M)")
+	theta := flag.Float64("theta", 0.0, "Zipf skew (paper sweeps 0..1.75)")
+	threads := flag.Int("threads", 4, "worker threads")
+	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
+	measureLatency := flag.Bool("latency", true, "record per-txn commit latency (sync commits)")
+	flag.Parse()
+
+	mode, ok := modes[*modeName]
+	if !ok {
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+	eng, err := core.Open(core.Config{
+		Mode:      mode,
+		Workers:   *threads,
+		PoolPages: 8192,
+		WALLimit:  256 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	s := eng.NewSessionOn(0)
+	tree, err := eng.CreateTree(s, "ycsb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	y := workload.NewYCSB(tree, *records)
+	fmt.Printf("loading %d records...\n", *records)
+	if err := y.Load(s, 2000); err != nil {
+		log.Fatal(err)
+	}
+
+	hist := metrics.NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < *threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ws := eng.NewSessionOn(i % *threads)
+			defer func() {
+				if r := recover(); r != nil {
+					if r == buffer.ErrPoolInterrupted {
+						ws.AbandonForCrash()
+						return
+					}
+					panic(r)
+				}
+			}()
+			if *measureLatency {
+				ws.SetSyncCommit(true)
+			}
+			w := y.NewWorker(uint64(i)*97+3, *theta)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				if err := w.UpdateTxn(ws); err == nil && *measureLatency {
+					hist.Observe(time.Since(start))
+				}
+			}
+		}(i)
+	}
+
+	before := eng.Txns().Stats()
+	start := time.Now()
+	time.Sleep(*duration)
+	after := eng.Txns().Stats()
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	eng.Interrupt()
+	wg.Wait()
+
+	committed := after.DurableCommits - before.DurableCommits
+	fmt.Printf("\n=== summary (%s, theta=%.2f, %d threads, %.0fs) ===\n", mode, *theta, *threads, elapsed)
+	fmt.Printf("throughput:     %.0f txn/s (%d committed)\n", float64(committed)/elapsed, committed)
+	if tot := (after.RFASkips - before.RFASkips) + (after.RFAFlushes - before.RFAFlushes); tot > 0 {
+		fmt.Printf("remote flushes: %.1f%%\n", 100*float64(after.RFAFlushes-before.RFAFlushes)/float64(tot))
+	}
+	if *measureLatency && hist.Count() > 0 {
+		fmt.Printf("latency:        median=%v p99=%v mean=%v\n",
+			hist.Quantile(0.5), hist.Quantile(0.99), hist.Mean())
+	}
+	st := eng.Stats()
+	fmt.Printf("log volume:     %.1f MiB appended\n", float64(st.WAL.AppendedBytes)/(1<<20))
+
+}

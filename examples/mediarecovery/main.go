@@ -1,0 +1,111 @@
+// Mediarecovery: full + incremental backups and restore after losing the
+// database file entirely (§2.1's media recovery — the capability the paper
+// credits physiological logging and fuzzy checkpointing with, and which
+// value-logging designs give up). Run with:
+//
+//	go run ./examples/mediarecovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	leanstore "repro"
+	"repro/internal/backup"
+	"repro/internal/core"
+)
+
+func main() {
+	// Archive must be enabled: media restore replays the archived log on
+	// top of the backup chain.
+	eng, err := core.Open(core.Config{
+		Mode:     core.ModeOurs,
+		Workers:  2,
+		WALLimit: 4 << 20,
+		Archive:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := eng.NewSession()
+	tree, err := eng.CreateTree(s, "inventory")
+	if err != nil {
+		log.Fatal(err)
+	}
+	put := func(k, v string) {
+		s.Begin()
+		if err := tree.Insert(s, []byte(k), []byte(v)); err != nil {
+			if err2 := tree.Update(s, []byte(k), []byte(v)); err2 != nil {
+				s.Abort()
+				log.Fatal(err, err2)
+			}
+		}
+		s.Commit()
+	}
+
+	for i := 0; i < 1000; i++ {
+		put(fmt.Sprintf("sku-%04d", i), "stocked")
+	}
+	full, err := backup.Full(eng, "backups/full")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full backup: %d pages, %s, up to GSN %d\n", full.Pages, mib(full.Bytes), full.MaxGSN)
+
+	// More work, then an incremental backup (only changed pages).
+	for i := 0; i < 100; i++ {
+		put(fmt.Sprintf("sku-%04d", i), "sold-out")
+	}
+	inc, err := backup.Incremental(eng, "backups/inc1", full.MaxGSN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incremental:  %d pages (%.0f%% of a full backup)\n",
+		inc.Pages, 100*float64(inc.Pages)/float64(full.Pages))
+
+	// Work covered only by the write-ahead log.
+	put("sku-9999", "log-only")
+
+	// Disaster: the database file is destroyed. (Crash first: media
+	// failures do not wait for clean shutdowns.)
+	pm, ssd := eng.SimulateCrash(7)
+	ssd.Remove("db")
+	fmt.Println("database file destroyed; restoring from backup chain + log archive...")
+
+	res, err := backup.RestoreChain(ssd, pm, "backups/full", []string{"backups/inc1"}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %d pages, replayed %d log records (analysis %v, redo %v)\n",
+		res.PagesRestored, res.Recovery.Records, res.Recovery.AnalysisTime, res.Recovery.RedoTime)
+
+	db, err := leanstore.Open(leanstore.Options{Devices: &leanstore.Devices{PMem: pm, SSD: ssd}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	tr, ok := db.BTree("inventory")
+	if !ok {
+		log.Fatal("tree lost")
+	}
+	s2 := db.Session()
+	s2.Begin()
+	checks := map[string]string{
+		"sku-0500": "stocked",  // from the full backup
+		"sku-0050": "sold-out", // from the incremental
+		"sku-9999": "log-only", // from the archived/live log
+	}
+	for k, want := range checks {
+		got, ok := tr.Get(s2, []byte(k), nil)
+		if !ok || string(got) != want {
+			log.Fatalf("%s = %q (ok=%v), want %q", k, got, ok, want)
+		}
+		fmt.Printf("  %s = %s ✓\n", k, got)
+	}
+	n := tr.Count(s2)
+	s2.Commit()
+	fmt.Printf("media recovery complete: %d keys intact\n", n)
+}
+
+func mib(n int64) string { return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20)) }

@@ -1,0 +1,79 @@
+// Quickstart: open a database, create a tree, run transactions, scan, and
+// shut down cleanly. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	leanstore "repro"
+)
+
+func main() {
+	// The zero options give the paper's design: per-worker logs on
+	// (simulated) persistent memory, immediate commits with Remote Flush
+	// Avoidance, and continuous checkpointing.
+	db, err := leanstore.Open(leanstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	s := db.Session()
+	users, err := db.CreateBTree(s, "users")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// WithTxn commits on nil and aborts on error.
+	err = leanstore.WithTxn(s, func() error {
+		for i, name := range []string{"alice", "bob", "carol"} {
+			if err := users.Insert(s, []byte(name), fmt.Appendf(nil, "balance=%d", 100*(i+1))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reads also run inside transactions.
+	s.Begin()
+	val, ok := users.Get(s, []byte("bob"), nil)
+	fmt.Printf("bob -> %q (found=%v)\n", val, ok)
+
+	fmt.Println("all users:")
+	users.Scan(s, nil, func(k, v []byte) bool {
+		fmt.Printf("  %s = %s\n", k, v)
+		return true
+	})
+	s.Commit()
+
+	// An aborted transaction leaves no trace.
+	s.Begin()
+	_ = users.Insert(s, []byte("mallory"), []byte("balance=1000000"))
+	s.Abort()
+	s.Begin()
+	if _, ok := users.Get(s, []byte("mallory"), nil); !ok {
+		fmt.Println("mallory's aborted insert is gone, as it should be")
+	}
+	s.Commit()
+
+	st := db.Stats()
+	fmt.Printf("stats: %d commits, %d aborts, %d WAL records, %s of log appended\n",
+		st.Txns.Commits, st.Txns.Aborts, st.WAL.AppendedRecords, byteCount(st.WAL.AppendedBytes))
+}
+
+func byteCount(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

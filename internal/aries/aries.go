@@ -1,0 +1,197 @@
+// Package aries implements the two single-global-log baselines of the
+// evaluation (§4, Figure 8):
+//
+//   - ARIES-style: every log append acquires the global log latch, and each
+//     commit synchronously flushes the log while holding it — the classic
+//     disk-based design whose centralized log limits multi-core scalability
+//     (§2.1, §3.1).
+//
+//   - Aether [22]: the same single log with the paper's three optimizations
+//     modelled — consolidation-array-style batched appends (a dedicated log
+//     writer drains a request queue, taking the log latch once per batch),
+//     decoupled buffer fill (records are encoded off the critical path into
+//     the request), and flush pipelining (commits wait in a group-commit
+//     queue instead of flushing synchronously).
+//
+// Both reuse the wal.Manager machinery with a single partition, so the
+// record format, staging, pruning, and recovery are identical — only the
+// synchronization differs, which is exactly what the paper isolates.
+package aries
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/wal"
+)
+
+// holdPoint models the cost of the global log latch on a single-CPU
+// runtime: on real multi-core hardware every append serializes on this
+// latch (cache-line transfers plus handoffs — the scalability ceiling of
+// §2.1/Figure 8), which cannot materialize when only one goroutine runs at
+// a time. Yielding inside the critical section lets waiters pile up on the
+// latch so its serialization cost becomes visible to the scheduler. See
+// DESIGN.md's hardware substitutions.
+var singleCPU = runtime.GOMAXPROCS(0) == 1
+
+func holdPoint() {
+	if singleCPU {
+		runtime.Gosched()
+	}
+}
+
+// Manager is the single-global-log backend. It implements txn.Backend.
+type Manager struct {
+	wal    *wal.Manager
+	aether bool
+
+	reqC chan *appendReq // aether consolidation queue
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type appendReq struct {
+	rec      *wal.Record
+	proposal base.GSN
+	gsn      base.GSN
+	done     chan struct{}
+}
+
+// New wraps a single-partition wal.Manager. aether selects the optimized
+// variant (the wal.Manager must then have GroupCommit enabled).
+func New(w *wal.Manager, aether bool) *Manager {
+	if w.NumPartitions() != 1 {
+		panic("aries: requires a single log partition")
+	}
+	m := &Manager{wal: w, aether: aether}
+	if aether {
+		m.reqC = make(chan *appendReq, 1024)
+		m.stop = make(chan struct{})
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.consolidationLoop()
+		}()
+	}
+	return m
+}
+
+// Close stops the consolidation thread (the wal.Manager is closed by its
+// owner).
+func (m *Manager) Close() {
+	if m.aether {
+		close(m.stop)
+		m.wg.Wait()
+	}
+}
+
+// NumPartitions reports how many logical workers may use the backend. The
+// single log serves any number of sessions, so this returns a large bound;
+// the engine sizes sessions independently.
+func (m *Manager) NumPartitions() int { return 1 << 16 }
+
+// AcquireOwnership is a no-op at transaction granularity: the global log
+// latch is taken per append, which is precisely the ARIES bottleneck.
+func (m *Manager) AcquireOwnership(int) {}
+
+// ReleaseOwnership is a no-op; see AcquireOwnership.
+func (m *Manager) ReleaseOwnership(int) {}
+
+// Append adds a record to the global log.
+func (m *Manager) Append(_ int, rec *wal.Record, proposal base.GSN) base.GSN {
+	if m.aether {
+		req := &appendReq{rec: rec, proposal: proposal, done: make(chan struct{})}
+		m.reqC <- req
+		<-req.done
+		return req.gsn
+	}
+	m.wal.AcquireOwnership(0)
+	holdPoint()
+	gsn := m.wal.Append(0, rec, proposal)
+	m.wal.ReleaseOwnership(0)
+	return gsn
+}
+
+// consolidationLoop is the Aether log writer: it drains waiting append
+// requests and serves them in one critical section per batch.
+func (m *Manager) consolidationLoop() {
+	for {
+		var first *appendReq
+		select {
+		case <-m.stop:
+			return
+		case first = <-m.reqC:
+		}
+		m.wal.AcquireOwnership(0)
+		holdPoint() // one serialization point per consolidated batch
+		first.gsn = m.wal.Append(0, first.rec, first.proposal)
+		close(first.done)
+		// Consolidate whatever else is queued.
+	drain:
+		for i := 0; i < 256; i++ {
+			select {
+			case req := <-m.reqC:
+				req.gsn = m.wal.Append(0, req.rec, req.proposal)
+				close(req.done)
+			default:
+				break drain
+			}
+		}
+		m.wal.ReleaseOwnership(0)
+	}
+}
+
+// CommitTxn implements the two commit protocols: ARIES flushes the log
+// synchronously per commit; Aether appends the commit record through the
+// consolidation path and waits in the group-commit queue (flush
+// pipelining). rfaSafe is ignored — a single log has no remote logs.
+func (m *Manager) CommitTxn(_ int, txn base.TxnID, proposal base.GSN, _ bool) base.GSN {
+	if m.aether {
+		rec := &wal.Record{Type: wal.RecCommit, Txn: txn, Aux: 1}
+		gsn := m.Append(0, rec, proposal)
+		m.wal.WaitCommitDurable(0, gsn, true)
+		return gsn
+	}
+	m.wal.AcquireOwnership(0)
+	holdPoint()
+	gsn := m.wal.CommitTxn(0, txn, proposal, true)
+	m.wal.ReleaseOwnership(0)
+	return gsn
+}
+
+// CommitTxnAsync: Aether's flush pipelining acknowledges asynchronously;
+// the plain ARIES variant commits synchronously and fires the callback
+// inline.
+func (m *Manager) CommitTxnAsync(_ int, txn base.TxnID, proposal base.GSN, _ bool, onDurable func()) base.GSN {
+	if m.aether {
+		rec := &wal.Record{Type: wal.RecCommit, Txn: txn, Aux: 1}
+		gsn := m.Append(0, rec, proposal)
+		m.wal.EnqueueCommitWaiter(0, gsn, true, onDurable)
+		return gsn
+	}
+	gsn := m.CommitTxn(0, txn, proposal, true)
+	onDurable()
+	return gsn
+}
+
+// AbortEnd appends the end-of-abort record.
+func (m *Manager) AbortEnd(_ int, txn base.TxnID, proposal base.GSN) base.GSN {
+	if m.aether {
+		rec := &wal.Record{Type: wal.RecAbortEnd, Txn: txn}
+		return m.Append(0, rec, proposal)
+	}
+	m.wal.AcquireOwnership(0)
+	gsn := m.wal.AbortEnd(0, txn, proposal)
+	m.wal.ReleaseOwnership(0)
+	return gsn
+}
+
+// MinFlushedGSN delegates to the log.
+func (m *Manager) MinFlushedGSN() base.GSN { return m.wal.MinFlushedGSN() }
+
+// FullValueImages reports false: the physiological log prefers diffs.
+func (m *Manager) FullValueImages() bool { return false }
+
+// WAL exposes the underlying log (checkpointer, stats, recovery).
+func (m *Manager) WAL() *wal.Manager { return m.wal }

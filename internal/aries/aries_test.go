@@ -1,0 +1,145 @@
+package aries
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+	"repro/internal/wal"
+)
+
+func newWAL(t *testing.T, groupCommit bool) (*wal.Manager, *dev.PMem, *dev.SSD) {
+	t.Helper()
+	pm := dev.NewPMem()
+	pm.TearSurviveProb = 0
+	ssd := dev.NewSSD()
+	m := wal.NewManager(wal.Config{
+		Partitions:  1,
+		ChunkSize:   32 * 1024,
+		PersistMode: wal.PersistPMem,
+		GroupCommit: groupCommit,
+		Compression: true,
+		PMem:        pm,
+		SSD:         ssd,
+	})
+	t.Cleanup(func() { m.Close(false) })
+	return m, pm, ssd
+}
+
+func TestARIESConcurrentAppends(t *testing.T) {
+	w, _, _ := newWAL(t, false)
+	m := New(w, false)
+	defer m.Close()
+
+	const workers, per = 4, 200
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var gsn base.GSN
+			for j := 0; j < per; j++ {
+				rec := &wal.Record{
+					Type: wal.RecInsert, Txn: base.TxnID(i + 1), Tree: 1, Page: base.PageID(j + 1),
+					Key: []byte(fmt.Sprintf("k%d-%d", i, j)), After: []byte("v"),
+				}
+				gsn = m.Append(i, rec, gsn)
+			}
+			m.CommitTxn(i, base.TxnID(i+1), gsn, true)
+		}(i)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.AppendedRecords != workers*(per+1) {
+		t.Fatalf("appended %d records, want %d", st.AppendedRecords, workers*(per+1))
+	}
+}
+
+func TestARIESCommitsDurableAfterCrash(t *testing.T) {
+	w, pm, ssd := newWAL(t, false)
+	m := New(w, false)
+	defer m.Close()
+	var gsn base.GSN
+	rec := &wal.Record{Type: wal.RecInsert, Txn: 5, Tree: 1, Page: 1, Key: []byte("k"), After: []byte("v")}
+	gsn = m.Append(0, rec, gsn)
+	commitGSN := m.CommitTxn(0, 5, gsn, true)
+	w.Close(false)
+	pm.Crash(1)
+	ssd.Crash()
+	parts, _ := wal.ReadLog(ssd, pm)
+	recs := parts[0]
+	if len(recs) != 2 || recs[1].Type != wal.RecCommit || recs[1].GSN != commitGSN {
+		t.Fatalf("commit lost: %d records", len(recs))
+	}
+}
+
+func TestAetherConsolidatedAppends(t *testing.T) {
+	w, _, _ := newWAL(t, true)
+	m := New(w, true)
+	defer m.Close()
+	const workers, per = 4, 100
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var gsn base.GSN
+			for j := 0; j < per; j++ {
+				rec := &wal.Record{
+					Type: wal.RecInsert, Txn: base.TxnID(i + 1), Tree: 1, Page: base.PageID(j + 1),
+					Key: []byte("k"), After: []byte("v"),
+				}
+				gsn = m.Append(i, rec, gsn)
+				if gsn == 0 {
+					t.Error("zero GSN from consolidated append")
+					return
+				}
+			}
+			m.CommitTxn(i, base.TxnID(i+1), gsn, true)
+		}(i)
+	}
+	wg.Wait()
+	if st := w.Stats(); st.AppendedRecords != workers*(per+1) {
+		t.Fatalf("appended %d, want %d", st.AppendedRecords, workers*(per+1))
+	}
+}
+
+func TestAetherAsyncCommit(t *testing.T) {
+	w, _, _ := newWAL(t, true)
+	m := New(w, true)
+	defer m.Close()
+	rec := &wal.Record{Type: wal.RecInsert, Txn: 9, Tree: 1, Page: 1, Key: []byte("k"), After: []byte("v")}
+	gsn := m.Append(0, rec, 0)
+	done := make(chan struct{})
+	m.CommitTxnAsync(0, 9, gsn, true, func() { close(done) })
+	<-done // committer must acknowledge
+}
+
+func TestGSNsTotallyOrderedInSingleLog(t *testing.T) {
+	w, _, _ := newWAL(t, false)
+	m := New(w, false)
+	defer m.Close()
+	var wg sync.WaitGroup
+	gsnCh := make(chan base.GSN, 400)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				rec := &wal.Record{Type: wal.RecInsert, Txn: 1, Tree: 1, Page: 1, Key: []byte("k"), After: []byte("v")}
+				gsnCh <- m.Append(i, rec, 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(gsnCh)
+	seen := make(map[base.GSN]bool)
+	for g := range gsnCh {
+		if seen[g] {
+			t.Fatalf("duplicate GSN %d from the single log", g)
+		}
+		seen[g] = true
+	}
+}

@@ -1,0 +1,38 @@
+// Package base defines the identifier types and constants shared by every
+// layer of the engine (WAL, buffer manager, B+-tree, transactions,
+// checkpointing, recovery). It exists so that the layers can exchange these
+// values without import cycles.
+package base
+
+// PageSize is the size of a database page in bytes. The paper uses 16 KiB
+// B+-tree pages (§4).
+const PageSize = 16 * 1024
+
+// PageID identifies a page in the database file; the page's bytes live at
+// offset PageID*PageSize. PageID 0 is reserved/invalid, PageID 1 is the
+// catalog tree's meta page.
+type PageID uint64
+
+// InvalidPageID is the zero, never-allocated page ID.
+const InvalidPageID PageID = 0
+
+// GSN is a global sequence number: the decentralized, Lamport-clock-style
+// partial order on log records introduced by Wang & Johnson and used
+// throughout the paper (§2.4). Pages and transactions each carry a GSN
+// clock; every log record is stamped with one.
+type GSN uint64
+
+// TxnID identifies a transaction. 0 denotes a system transaction (structure
+// modifications such as page splits), which is always redone and never
+// undone.
+type TxnID uint64
+
+// SystemTxn is the TxnID of system transactions.
+const SystemTxn TxnID = 0
+
+// TreeID identifies a B+-tree (relation or index). TreeID 1 is the catalog.
+type TreeID uint64
+
+// CatalogTreeID is the TreeID of the catalog B+-tree that maps names to
+// user trees.
+const CatalogTreeID TreeID = 1

@@ -1,0 +1,479 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/buffer"
+	"repro/internal/dev"
+	"repro/internal/sys"
+	"repro/internal/wal"
+)
+
+// testCtx implements Ctx with a local GSN clock and no durable log — the
+// tree under test only needs GSN stamping to be monotone.
+type testCtx struct {
+	worker int32
+	gsn    base.GSN
+	mu     sync.Mutex // shared across goroutines in concurrency tests
+}
+
+func (c *testCtx) WorkerID() int32 { return c.worker }
+
+func (c *testCtx) OnPageAccess(_ *buffer.Frame, gsn base.GSN) {
+	c.mu.Lock()
+	if gsn > c.gsn {
+		c.gsn = gsn
+	}
+	c.mu.Unlock()
+}
+
+func (c *testCtx) Log(f *buffer.Frame, rec *wal.Record) base.GSN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prop := c.gsn
+	if pg := buffer.PageGSN(f.Data()); pg > prop {
+		prop = pg
+	}
+	c.gsn = prop + 1
+	rec.GSN = c.gsn
+	return c.gsn
+}
+
+func newTestTree(t *testing.T, frames int) (*BTree, *testCtx, *buffer.Pool) {
+	t.Helper()
+	ssd := dev.NewSSD()
+	pool := buffer.NewPool(buffer.Config{
+		Frames: frames,
+		SSD:    ssd,
+		Ops:    PageOps{},
+	})
+	t.Cleanup(pool.Close)
+	ctx := &testCtx{worker: 0}
+	tree := Create(pool, ctx, 7, 1)
+	return tree, ctx, pool
+}
+
+func k(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+func v(i int) []byte { return []byte(fmt.Sprintf("value-%08d-%d", i, i*7)) }
+
+func TestInsertLookup(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 256)
+	if err := tree.Insert(ctx, k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tree.Lookup(ctx, k(1), nil)
+	if !ok || !bytes.Equal(got, v(1)) {
+		t.Fatalf("lookup: ok=%v got=%q", ok, got)
+	}
+	if _, ok := tree.Lookup(ctx, k(2), nil); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 256)
+	if err := tree.Insert(ctx, k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(ctx, k(1), v(2)); err != ErrDuplicate {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+}
+
+func TestInsertManySplits(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 2048)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(ctx, k(i), v(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i += 37 {
+		got, ok := tree.Lookup(ctx, k(i), nil)
+		if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("lookup %d after splits: ok=%v", i, ok)
+		}
+	}
+	if c := tree.Count(ctx); c != n {
+		t.Fatalf("count=%d want %d", c, n)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertReverseOrder(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 1024)
+	const n = 5000
+	for i := n - 1; i >= 0; i-- {
+		if err := tree.Insert(ctx, k(i), v(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if c := tree.Count(ctx); c != n {
+		t.Fatalf("count=%d want %d", c, n)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAscOrderAndRange(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 1024)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(ctx, k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	tree.ScanAsc(ctx, k(100), func(key, _ []byte) bool {
+		got = append(got, string(key))
+		return len(got) < 50
+	})
+	if len(got) != 50 {
+		t.Fatalf("scan returned %d", len(got))
+	}
+	for i, s := range got {
+		if s != string(k(100+i)) {
+			t.Fatalf("scan[%d]=%q want %q", i, s, k(100+i))
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("scan out of order")
+	}
+}
+
+func TestUpdateInPlaceAndResize(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 256)
+	if err := tree.Insert(ctx, k(1), []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	// Same size.
+	if err := tree.Update(ctx, k(1), []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tree.Lookup(ctx, k(1), nil)
+	if string(got) != "bbbb" {
+		t.Fatalf("got %q", got)
+	}
+	// Grow.
+	if err := tree.Update(ctx, k(1), bytes.Repeat([]byte("c"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tree.Lookup(ctx, k(1), nil)
+	if len(got) != 500 || got[0] != 'c' {
+		t.Fatalf("grow failed: %d bytes", len(got))
+	}
+	// Shrink.
+	if err := tree.Update(ctx, k(1), []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tree.Lookup(ctx, k(1), nil)
+	if string(got) != "d" {
+		t.Fatalf("shrink failed: %q", got)
+	}
+	if err := tree.Update(ctx, k(99), []byte("x")); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestUpdateFunc(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 256)
+	if err := tree.Insert(ctx, k(1), []byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	err := tree.UpdateFunc(ctx, k(1), func(old []byte) []byte {
+		old[2] = 9
+		return old
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tree.Lookup(ctx, k(1), nil)
+	if got[2] != 9 {
+		t.Fatalf("mutate lost: %v", got)
+	}
+	// nil return = no-op.
+	if err := tree.UpdateFunc(ctx, k(1), func([]byte) []byte { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 512)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(ctx, k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if err := tree.Remove(ctx, k(i)); err != nil {
+			t.Fatalf("remove %d: %v", i, err)
+		}
+	}
+	if err := tree.Remove(ctx, k(0)); err != ErrNotFound {
+		t.Fatalf("double remove: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tree.Lookup(ctx, k(i), nil)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d: present=%v want %v", i, ok, want)
+		}
+	}
+	if c := tree.Count(ctx); c != n/2 {
+		t.Fatalf("count=%d want %d", c, n/2)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveAllFreesLeaves(t *testing.T) {
+	tree, ctx, pool := newTestTree(t, 512)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(ctx, k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freeBefore := pool.Stats().FreeFrames
+	for i := 0; i < n; i++ {
+		if err := tree.Remove(ctx, k(i)); err != nil {
+			t.Fatalf("remove %d: %v", i, err)
+		}
+	}
+	if c := tree.Count(ctx); c != 0 {
+		t.Fatalf("tree not empty: %d", c)
+	}
+	if pool.Stats().FreeFrames <= freeBefore {
+		t.Fatalf("empty leaves not freed: %d -> %d free", freeBefore, pool.Stats().FreeFrames)
+	}
+	// Tree must still accept inserts across the whole key space.
+	for i := 0; i < n; i += 10 {
+		if err := tree.Insert(ctx, k(i), v(i)); err != nil {
+			t.Fatalf("reinsert %d: %v", i, err)
+		}
+	}
+	if c := tree.Count(ctx); c != n/10 {
+		t.Fatalf("count after reinsert: %d", c)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndoOps(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 256)
+	// Undo of insert = remove.
+	tree.Insert(ctx, k(1), v(1))
+	tree.UndoOp(ctx, wal.RecInsert, k(1), nil, nil)
+	if _, ok := tree.Lookup(ctx, k(1), nil); ok {
+		t.Fatal("undo insert failed")
+	}
+	// Idempotent.
+	tree.UndoOp(ctx, wal.RecInsert, k(1), nil, nil)
+
+	// Undo of delete = insert before image.
+	tree.UndoOp(ctx, wal.RecDelete, k(2), v(2), nil)
+	got, ok := tree.Lookup(ctx, k(2), nil)
+	if !ok || !bytes.Equal(got, v(2)) {
+		t.Fatal("undo delete failed")
+	}
+	tree.UndoOp(ctx, wal.RecDelete, k(2), v(2), nil) // idempotent
+
+	// Undo of update via before image.
+	tree.Insert(ctx, k(3), []byte("old!"))
+	tree.Update(ctx, k(3), []byte("new!"))
+	tree.UndoOp(ctx, wal.RecUpdate, k(3), []byte("old!"), nil)
+	got, _ = tree.Lookup(ctx, k(3), nil)
+	if string(got) != "old!" {
+		t.Fatalf("undo update: %q", got)
+	}
+
+	// Undo of update via diffs.
+	diffs := wal.ComputeDiffs([]byte("old!"), []byte("oXd!"))
+	tree.Update(ctx, k(3), []byte("oXd!"))
+	tree.UndoOp(ctx, wal.RecUpdate, k(3), nil, diffs)
+	got, _ = tree.Lookup(ctx, k(3), nil)
+	if string(got) != "old!" {
+		t.Fatalf("undo diff update: %q", got)
+	}
+}
+
+func TestLargeKeyValueLimits(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 256)
+	if err := tree.Insert(ctx, bytes.Repeat([]byte("k"), MaxKeyLen+1), []byte("v")); err != ErrTooLarge {
+		t.Fatalf("oversized key: %v", err)
+	}
+	if err := tree.Insert(ctx, []byte("k"), bytes.Repeat([]byte("v"), MaxValLen+1)); err != ErrTooLarge {
+		t.Fatalf("oversized value: %v", err)
+	}
+	if err := tree.Insert(ctx, nil, []byte("v")); err != ErrTooLarge {
+		t.Fatalf("empty key: %v", err)
+	}
+	// Max-size entries must work (several, forcing splits).
+	for i := 0; i < 20; i++ {
+		key := append(bytes.Repeat([]byte("K"), MaxKeyLen-2), byte(i/10+'0'), byte(i%10+'0'))
+		if err := tree.Insert(ctx, key, bytes.Repeat([]byte("V"), MaxValLen)); err != nil {
+			t.Fatalf("max entry %d: %v", i, err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelRandomOps drives the tree against a map model with random
+// operations (property-based test of invariant 5 in DESIGN.md).
+func TestModelRandomOps(t *testing.T) {
+	tree, ctx, _ := newTestTree(t, 1024)
+	model := make(map[string]string)
+	rng := sys.NewRand(2024)
+	const ops = 30000
+	for op := 0; op < ops; op++ {
+		key := k(rng.Intn(3000))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert
+			val := v(rng.Intn(100000))
+			err := tree.Insert(ctx, key, val)
+			if _, exists := model[string(key)]; exists {
+				if err != ErrDuplicate {
+					t.Fatalf("op %d: expected duplicate, got %v", op, err)
+				}
+			} else if err != nil {
+				t.Fatalf("op %d: insert: %v", op, err)
+			} else {
+				model[string(key)] = string(val)
+			}
+		case 4, 5, 6: // update (random size)
+			val := bytes.Repeat([]byte{byte(rng.Intn(256))}, 1+rng.Intn(200))
+			err := tree.Update(ctx, key, val)
+			if _, exists := model[string(key)]; exists {
+				if err != nil {
+					t.Fatalf("op %d: update: %v", op, err)
+				}
+				model[string(key)] = string(val)
+			} else if err != ErrNotFound {
+				t.Fatalf("op %d: expected not found, got %v", op, err)
+			}
+		case 7, 8: // remove
+			err := tree.Remove(ctx, key)
+			if _, exists := model[string(key)]; exists {
+				if err != nil {
+					t.Fatalf("op %d: remove: %v", op, err)
+				}
+				delete(model, string(key))
+			} else if err != ErrNotFound {
+				t.Fatalf("op %d: expected not found, got %v", op, err)
+			}
+		default: // lookup
+			got, ok := tree.Lookup(ctx, key, nil)
+			want, exists := model[string(key)]
+			if ok != exists || (ok && string(got) != want) {
+				t.Fatalf("op %d: lookup mismatch for %q", op, key)
+			}
+		}
+	}
+	// Full comparison.
+	if c := tree.Count(ctx); c != len(model) {
+		t.Fatalf("count=%d model=%d", c, len(model))
+	}
+	tree.ScanAsc(ctx, nil, func(key, val []byte) bool {
+		if model[string(key)] != string(val) {
+			t.Fatalf("scan mismatch at %q", key)
+		}
+		return true
+	})
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOutOfMemoryEviction forces the working set far beyond the pool and
+// verifies correctness through eviction/reload cycles (out-of-memory
+// workloads, §1; dirty pages are written back by the provider).
+func TestOutOfMemoryEviction(t *testing.T) {
+	tree, ctx, pool := newTestTree(t, 64) // tiny pool: 1 MiB
+	const n = 8000
+	big := func(i int) []byte { // ~2.5 MiB total, 2.5x the pool
+		return bytes.Repeat([]byte{byte(i)}, 300)
+	}
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(ctx, k(i), big(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	st := pool.Stats()
+	if st.Evictions == 0 || st.ProviderWriteBytes == 0 {
+		t.Fatalf("expected evictions and provider writes: %+v", st)
+	}
+	for i := 0; i < n; i += 13 {
+		got, ok := tree.Lookup(ctx, k(i), nil)
+		if !ok || !bytes.Equal(got, big(i)) {
+			t.Fatalf("lookup %d after eviction: ok=%v", i, ok)
+		}
+	}
+	if st := pool.Stats(); st.PageReadBytes == 0 {
+		t.Fatal("expected page reads")
+	}
+	if c := tree.Count(ctx); c != n {
+		t.Fatalf("count=%d want %d", c, n)
+	}
+}
+
+// TestConcurrentReadersWriters exercises optimistic lock coupling under
+// concurrency: one writer per key range plus random readers.
+func TestConcurrentReadersWriters(t *testing.T) {
+	if sys.RaceEnabled {
+		t.Skip("optimistic lock coupling is a seqlock: unsynchronized page reads are validated by version, which the race detector flags by design")
+	}
+	tree, _, _ := newTestTree(t, 2048)
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := &testCtx{worker: int32(w)}
+			for i := 0; i < perWriter; i++ {
+				key := k(w*1000000 + i)
+				if err := tree.Insert(ctx, key, v(i)); err != nil {
+					t.Errorf("writer %d insert %d: %v", w, i, err)
+					return
+				}
+				if i%3 == 0 {
+					if err := tree.Update(ctx, key, v(i+1)); err != nil {
+						t.Errorf("writer %d update: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := &testCtx{worker: int32(writers + r)}
+			rng := sys.NewRand(uint64(r))
+			for i := 0; i < 5000; i++ {
+				tree.Lookup(ctx, k(rng.Intn(writers)*1000000+rng.Intn(perWriter)), nil)
+			}
+		}(r)
+	}
+	wg.Wait()
+	ctx := &testCtx{worker: 9}
+	if c := tree.Count(ctx); c != writers*perWriter {
+		t.Fatalf("count=%d want %d", c, writers*perWriter)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package btree implements the slotted-page B+-tree that stores relations
+// and indexes (16 KiB nodes, §4), layered on the buffer manager's swizzled
+// swips and hybrid latches, with physiological logging hooks: every
+// modification is logged through a transaction context, structure
+// modifications run as system transactions (§2.1/§3.6), and every page
+// carries a GSN clock.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/buffer"
+)
+
+// Size limits so that preventive splitting always leaves room for at least
+// four entries per page.
+const (
+	MaxKeyLen = 512
+	MaxValLen = 3072
+	slotSize  = 6
+)
+
+// Slot layout at buffer.HeaderSize + i*slotSize:
+//
+//	u16 cell offset, u16 key length, u16 value length
+//
+// Cells (key bytes followed by value bytes) grow down from the page end;
+// the heap bound is tracked in the page header. Inner-node values are 8-byte
+// swips; leaf values are opaque.
+
+func slotBase(i int) int { return buffer.HeaderSize + i*slotSize }
+
+func slotCount(p []byte) int {
+	return int(binary.LittleEndian.Uint16(p[buffer.OffCount:]))
+}
+
+func setSlotCount(p []byte, n int) {
+	binary.LittleEndian.PutUint16(p[buffer.OffCount:], uint16(n))
+}
+
+func slotFields(p []byte, i int) (off, klen, vlen int) {
+	b := slotBase(i)
+	return int(binary.LittleEndian.Uint16(p[b:])),
+		int(binary.LittleEndian.Uint16(p[b+2:])),
+		int(binary.LittleEndian.Uint16(p[b+4:]))
+}
+
+func setSlot(p []byte, i, off, klen, vlen int) {
+	b := slotBase(i)
+	binary.LittleEndian.PutUint16(p[b:], uint16(off))
+	binary.LittleEndian.PutUint16(p[b+2:], uint16(klen))
+	binary.LittleEndian.PutUint16(p[b+4:], uint16(vlen))
+}
+
+// slotKey returns the key bytes of slot i (aliases the page).
+func slotKey(p []byte, i int) []byte {
+	off, klen, _ := slotFields(p, i)
+	return p[off : off+klen]
+}
+
+// slotVal returns the value bytes of slot i (aliases the page).
+func slotVal(p []byte, i int) []byte {
+	off, klen, vlen := slotFields(p, i)
+	return p[off+klen : off+klen+vlen]
+}
+
+// lowerBound returns the first slot whose key is >= key, and whether an
+// exact match was found.
+func lowerBound(p []byte, key []byte) (int, bool) {
+	lo, hi := 0, slotCount(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(slotKey(p, mid), key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// freeContiguous returns the bytes available between the slot array and the
+// cell heap.
+func freeContiguous(p []byte) int {
+	return buffer.HeapStart(p) - slotBase(slotCount(p))
+}
+
+// usedCellBytes sums live cell sizes.
+func usedCellBytes(p []byte) int {
+	total := 0
+	for i, n := 0, slotCount(p); i < n; i++ {
+		_, klen, vlen := slotFields(p, i)
+		total += klen + vlen
+	}
+	return total
+}
+
+// freeTotal returns the bytes reclaimable for one more entry after a
+// compaction.
+func freeTotal(p []byte) int {
+	return base.PageSize - slotBase(slotCount(p)) - usedCellBytes(p)
+}
+
+// compactify rewrites the cell heap to remove garbage left by removals and
+// resizes.
+func compactify(p []byte) {
+	var scratch [base.PageSize]byte
+	heap := base.PageSize
+	n := slotCount(p)
+	for i := 0; i < n; i++ {
+		off, klen, vlen := slotFields(p, i)
+		heap -= klen + vlen
+		copy(scratch[heap:], p[off:off+klen+vlen])
+		setSlot(p, i, heap, klen, vlen)
+	}
+	copy(p[heap:], scratch[heap:])
+	buffer.SetHeapStart(p, heap)
+}
+
+// insertAt places (key,val) as slot i, assuming the caller verified fit.
+func insertAt(p []byte, i int, key, val []byte) {
+	if freeContiguous(p) < slotSize+len(key)+len(val) {
+		compactify(p)
+		if freeContiguous(p) < slotSize+len(key)+len(val) {
+			panic("btree: insertAt without space")
+		}
+	}
+	n := slotCount(p)
+	copy(p[slotBase(i+1):slotBase(n+1)], p[slotBase(i):slotBase(n)])
+	heap := buffer.HeapStart(p) - len(key) - len(val)
+	copy(p[heap:], key)
+	copy(p[heap+len(key):], val)
+	buffer.SetHeapStart(p, heap)
+	setSlot(p, i, heap, len(key), len(val))
+	setSlotCount(p, n+1)
+}
+
+// removeAt deletes slot i (cell bytes become garbage until compaction).
+func removeAt(p []byte, i int) {
+	n := slotCount(p)
+	copy(p[slotBase(i):slotBase(n-1)], p[slotBase(i+1):slotBase(n)])
+	setSlotCount(p, n-1)
+}
+
+// fits reports whether an entry of the given size can be stored, possibly
+// after compaction.
+func fits(p []byte, klen, vlen int) bool {
+	need := slotSize + klen + vlen
+	return freeContiguous(p) >= need || freeTotal(p) >= need
+}
+
+// ensureFit compacts if needed; reports whether the entry fits at all.
+func ensureFit(p []byte, klen, vlen int) bool {
+	need := slotSize + klen + vlen
+	if freeContiguous(p) >= need {
+		return true
+	}
+	if freeTotal(p) < need {
+		return false
+	}
+	compactify(p)
+	return true
+}
+
+// updateInPlace replaces slot i's value with val of the same length.
+func updateInPlace(p []byte, i int, val []byte) {
+	off, klen, vlen := slotFields(p, i)
+	if len(val) != vlen {
+		panic("btree: updateInPlace size mismatch")
+	}
+	copy(p[off+klen:], val)
+}
+
+// updateResize replaces slot i's value with one of a different length;
+// reports false (leaving the page unchanged) if it cannot fit even after
+// compaction.
+func updateResize(p []byte, i int, val []byte) bool {
+	_, klen, vlen := slotFields(p, i)
+	// Space after reclaiming the old cell and slot:
+	avail := base.PageSize - slotBase(slotCount(p)-1) - (usedCellBytes(p) - klen - vlen)
+	if avail < slotSize+klen+len(val) {
+		return false
+	}
+	key := append([]byte(nil), slotKey(p, i)...)
+	removeAt(p, i)
+	if !ensureFit(p, len(key), len(val)) {
+		panic("btree: updateResize space accounting broken")
+	}
+	insertAt(p, i, key, val)
+	return true
+}
+
+// innerChildOff returns the byte offset (within the page) of the swip that
+// routes key: the value of the first slot with separator >= key, or the
+// header's upper field.
+func innerChildOff(p []byte, key []byte) int {
+	pos, _ := lowerBound(p, key)
+	if pos == slotCount(p) {
+		return buffer.OffUpper
+	}
+	off, klen, _ := slotFields(p, pos)
+	return off + klen
+}
+
+// innerSlotSwipOff returns the byte offset of slot i's swip.
+func innerSlotSwipOff(p []byte, i int) int {
+	off, klen, _ := slotFields(p, i)
+	return off + klen
+}
+
+// innerPostSplit routes the split (sep, left, right) into an inner node:
+// insert (sep → left) and redirect the old router of sep to right. The
+// caller verified fit.
+func innerPostSplit(p []byte, sep []byte, left, right buffer.Swip) {
+	pos, exact := lowerBound(p, sep)
+	if exact {
+		panic("btree: separator already present")
+	}
+	var lv [8]byte
+	binary.LittleEndian.PutUint64(lv[:], uint64(left))
+	insertAt(p, pos, sep, lv[:])
+	// Old router is now at pos+1 (or upper).
+	if pos+1 < slotCount(p) {
+		buffer.SetSwip(p, innerSlotSwipOff(p, pos+1), right)
+	} else {
+		buffer.SetUpper(p, right)
+	}
+}
+
+// innerRemoveSlot removes separator slot at pos; if promoteLast is set the
+// last slot's child is moved into upper first (used when freeing the child
+// the upper swip points to).
+func innerRemoveSlot(p []byte, pos int) {
+	removeAt(p, pos)
+}
+
+// Content serialization: the payload of RecFormatPage records (page splits'
+// results, root growth). Swips are serialized as PIDs; the caller must
+// deswizzle before calling.
+//
+//	u8  page type
+//	u8  reserved
+//	u16 count
+//	u64 upper (PID form)
+//	count × { u16 klen, u16 vlen, key, val }
+func serializeContent(p []byte, deswizzle func(buffer.Swip) buffer.Swip) []byte {
+	n := slotCount(p)
+	out := make([]byte, 0, 256)
+	out = append(out, buffer.PageType(p), 0)
+	out = binary.LittleEndian.AppendUint16(out, uint16(n))
+	out = binary.LittleEndian.AppendUint64(out, uint64(deswizzle(buffer.Upper(p))))
+	isInner := buffer.PageType(p) == buffer.PageInner
+	for i := 0; i < n; i++ {
+		k, v := slotKey(p, i), slotVal(p, i)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(k)))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(v)))
+		out = append(out, k...)
+		if isInner {
+			s := deswizzle(buffer.Swip(binary.LittleEndian.Uint64(v)))
+			out = binary.LittleEndian.AppendUint64(out, uint64(s))
+		} else {
+			out = append(out, v...)
+		}
+	}
+	return out
+}
+
+// applyFormat replaces the logical content of a page from a serialized
+// payload (redo of RecFormatPage). The page header identity fields (PID,
+// TreeID) are preserved; GSN stamping is the caller's job.
+func applyFormat(p []byte, payload []byte) error {
+	if len(payload) < 12 {
+		return fmt.Errorf("btree: short format payload (%d bytes)", len(payload))
+	}
+	ptype := payload[0]
+	count := int(binary.LittleEndian.Uint16(payload[2:]))
+	upper := binary.LittleEndian.Uint64(payload[4:])
+	pos := 12
+	buffer.SetPageType(p, ptype)
+	setSlotCount(p, 0)
+	buffer.SetHeapStart(p, base.PageSize)
+	buffer.SetUpper(p, buffer.Swip(upper))
+	for i := 0; i < count; i++ {
+		if pos+4 > len(payload) {
+			return fmt.Errorf("btree: truncated format payload at slot %d", i)
+		}
+		klen := int(binary.LittleEndian.Uint16(payload[pos:]))
+		vlen := int(binary.LittleEndian.Uint16(payload[pos+2:]))
+		pos += 4
+		if pos+klen+vlen > len(payload) {
+			return fmt.Errorf("btree: truncated format payload cell %d", i)
+		}
+		insertAt(p, i, payload[pos:pos+klen], payload[pos+klen:pos+klen+vlen])
+		pos += klen + vlen
+	}
+	return nil
+}
+
+// splitContent moves the upper half of src's entries into dst (freshly
+// formatted) and returns the separator key (a copy): keys <= sep stay in
+// src, keys > sep go to dst. For inner nodes the separator's child becomes
+// dst's... src keeps slots [0..mid], dst receives (mid..n). For inner pages
+// the moved separator's child becomes src's new upper.
+func splitContent(src, dst []byte) []byte {
+	n := slotCount(src)
+	if n < 2 {
+		panic("btree: splitting page with <2 slots")
+	}
+	mid := n / 2
+	isInner := buffer.PageType(src) == buffer.PageInner
+	var sep []byte
+	if isInner {
+		// Move slots (mid..n) to dst; slot mid's child becomes src's new
+		// upper; dst inherits src's old upper; sep = key of slot mid.
+		sep = append([]byte(nil), slotKey(src, mid)...)
+		for i := mid + 1; i < n; i++ {
+			insertAt(dst, i-mid-1, slotKey(src, i), slotVal(src, i))
+		}
+		buffer.SetUpper(dst, buffer.Upper(src))
+		midChild := buffer.Swip(binary.LittleEndian.Uint64(slotVal(src, mid)))
+		buffer.SetUpper(src, midChild)
+		setSlotCount(src, mid)
+	} else {
+		sep = append([]byte(nil), slotKey(src, mid-1)...)
+		for i := mid; i < n; i++ {
+			insertAt(dst, i-mid, slotKey(src, i), slotVal(src, i))
+		}
+		setSlotCount(src, mid)
+	}
+	compactify(src)
+	return sep
+}

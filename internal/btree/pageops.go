@@ -1,0 +1,26 @@
+package btree
+
+import (
+	"repro/internal/buffer"
+)
+
+// PageOps implements buffer.PageOps: it tells the buffer manager where the
+// child swips live inside each page type, so the page provider can find
+// swizzled children and the writeback buffer can deswizzle copies.
+type PageOps struct{}
+
+var _ buffer.PageOps = PageOps{}
+
+// ChildSwipOffsets appends the byte offsets of every swip in the page.
+func (PageOps) ChildSwipOffsets(page []byte, dst []int) []int {
+	switch buffer.PageType(page) {
+	case buffer.PageInner:
+		for i, n := 0, slotCount(page); i < n; i++ {
+			dst = append(dst, innerSlotSwipOff(page, i))
+		}
+		dst = append(dst, buffer.OffUpper)
+	case buffer.PageMeta:
+		dst = append(dst, buffer.OffUpper)
+	}
+	return dst
+}

@@ -1,0 +1,332 @@
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"runtime"
+
+	"repro/internal/base"
+	"repro/internal/buffer"
+	"repro/internal/wal"
+)
+
+// Ctx is the transaction context the tree logs through. The transaction
+// layer implements it with the GSN clock protocol and RFA bookkeeping
+// (§2.4/§3.2); recovery and no-logging modes provide their own.
+type Ctx interface {
+	// WorkerID returns the log partition of the pinned worker.
+	WorkerID() int32
+	// OnPageAccess is invoked for every page the traversal touches, with a
+	// validated page GSN: the context synchronizes its clock
+	// (txnGSN = max(txnGSN, pageGSN)) and runs the RFA check.
+	OnPageAccess(f *buffer.Frame, pageGSN base.GSN)
+	// Log appends rec (Tree/Page/Key/images filled in; GSN assigned by the
+	// log) while the caller holds the page's exclusive latch, and returns
+	// the record GSN. The tree stamps the page GSN and L_last afterwards.
+	Log(f *buffer.Frame, rec *wal.Record) base.GSN
+}
+
+// Errors returned by tree operations.
+var (
+	ErrDuplicate = errors.New("btree: key already exists")
+	ErrNotFound  = errors.New("btree: key not found")
+	ErrTooLarge  = errors.New("btree: key or value exceeds size limit")
+)
+
+// BTree is one B+-tree (relation or index). Its root is reached through a
+// pinned meta page whose upper swip points at the root; root growth swaps
+// that swip (logged as RecSetRoot).
+type BTree struct {
+	ID      base.TreeID
+	pool    *buffer.Pool
+	metaPID base.PageID
+	metaIdx int32
+}
+
+// Create allocates a new tree: a pinned meta page plus an empty root leaf,
+// both logged (system transaction) so the tree is recoverable.
+func Create(pool *buffer.Pool, ctx Ctx, id base.TreeID, metaPID base.PageID) *BTree {
+	t := &BTree{ID: id, pool: pool, metaPID: metaPID}
+	metaIdx, meta := pool.AllocPageWithPID(id, buffer.PageMeta, metaPID)
+	meta.Pin()
+	t.metaIdx = metaIdx
+
+	rootIdx, root := pool.AllocPage(id, buffer.PageLeaf)
+	rootPID := root.PID()
+	root.SetParent(metaIdx)
+	t.logFormat(ctx, root)
+	root.Latch.UnlockExclusive()
+
+	buffer.SetUpper(meta.Data(), buffer.SwipFromFrame(rootIdx))
+	rec := &wal.Record{Type: wal.RecSetRoot, Txn: base.SystemTxn, Tree: id, Page: metaPID, Aux: uint64(rootPID)}
+	gsn := ctx.Log(meta, rec)
+	buffer.SetPageGSN(meta.Data(), gsn)
+	meta.SetLastLog(ctx.WorkerID())
+	meta.Latch.UnlockExclusive()
+	return t
+}
+
+// Open loads an existing tree's meta page (after restart/recovery).
+func Open(pool *buffer.Pool, id base.TreeID, metaPID base.PageID) *BTree {
+	t := &BTree{ID: id, pool: pool, metaPID: metaPID}
+	t.metaIdx, _ = pool.LoadPinnedPage(metaPID)
+	return t
+}
+
+// MetaPID returns the tree's meta page ID (stored in the catalog).
+func (t *BTree) MetaPID() base.PageID { return t.metaPID }
+
+// logFormat logs the full (compacted) content of a page as a system-txn
+// RecFormatPage and stamps the page. Caller holds the exclusive latch.
+func (t *BTree) logFormat(ctx Ctx, f *buffer.Frame) {
+	payload := serializeContent(f.Data(), t.deswizzle)
+	rec := &wal.Record{
+		Type: wal.RecFormatPage, Txn: base.SystemTxn,
+		Tree: t.ID, Page: f.PID(), Payload: payload,
+	}
+	gsn := ctx.Log(f, rec)
+	buffer.SetPageGSN(f.Data(), gsn)
+	f.SetLastLog(ctx.WorkerID())
+}
+
+// deswizzle maps a swip to PID form (children are stable while their parent
+// is latched, which all serialize call sites guarantee).
+func (t *BTree) deswizzle(s buffer.Swip) buffer.Swip {
+	if !s.IsSwizzled() {
+		return s
+	}
+	_, f := t.pool.ResolveSwizzled(s)
+	return buffer.SwipFromPID(f.PID())
+}
+
+// descendResult carries the outcome of an optimistic descent.
+type descendResult struct {
+	idx     int32
+	frame   *buffer.Frame
+	version uint64 // leaf optimistic version (shared mode)
+	bound   []byte // tightest inclusive upper bound from separators (nil = rightmost)
+}
+
+// errRestartTraversal signals a failed optimistic validation.
+var errRestartTraversal = errors.New("btree: restart")
+
+// errNeedFrame signals that the descent hit an unswizzled swip without a
+// reserved frame in hand; the caller reserves one (latch-free) and retries.
+var errNeedFrame = errors.New("btree: need reserved frame")
+
+// findLeaf descends optimistically to the leaf for key. With exclusive it
+// returns the leaf write-latched; otherwise it returns a version snapshot
+// the caller must validate after reading. Panics from torn optimistic reads
+// are converted into restarts. Frames for page loads are reserved only
+// while no latches are held (deadlock freedom against the page provider).
+func (t *BTree) findLeaf(ctx Ctx, key []byte, exclusive bool) descendResult {
+	reserved := int32(-1)
+	defer func() {
+		if reserved >= 0 {
+			t.pool.ReturnFrame(reserved)
+		}
+	}()
+	for {
+		res, err := t.tryDescend(ctx, key, exclusive, &reserved)
+		if err == nil {
+			return res
+		}
+		if err == errNeedFrame {
+			reserved = t.pool.ReserveFrame()
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+func (t *BTree) tryDescend(ctx Ctx, key []byte, exclusive bool, reserved *int32) (res descendResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Torn optimistic read produced wild offsets; restart.
+			res, err = descendResult{}, errRestartTraversal
+		}
+	}()
+
+	parentIdx := t.metaIdx
+	parent := t.pool.Frame(parentIdx)
+	pv, ok := parent.Latch.OptimisticVersion()
+	if !ok {
+		return res, errRestartTraversal
+	}
+	swipOff := buffer.OffUpper
+	var bound []byte
+
+	for {
+		s := buffer.GetSwip(parent.Data(), swipOff)
+		if !parent.Latch.Validate(pv) {
+			return res, errRestartTraversal
+		}
+		var childIdx int32
+		var child *buffer.Frame
+		var cv uint64
+		if s.IsSwizzled() {
+			childIdx, child = t.pool.ResolveSwizzled(s)
+			cv, ok = child.Latch.OptimisticVersion()
+			if !ok {
+				return res, errRestartTraversal
+			}
+			if !parent.Latch.Validate(pv) {
+				return res, errRestartTraversal
+			}
+		} else {
+			// Unswizzled: a page load may need a free frame, which must be
+			// reserved while holding no latches.
+			if *reserved < 0 {
+				return res, errNeedFrame
+			}
+			if !parent.Latch.UpgradeToExclusive(pv) {
+				return res, errRestartTraversal
+			}
+			var used bool
+			childIdx, child, used = t.pool.ResolveSlow(parentIdx, swipOff, *reserved)
+			if used {
+				*reserved = -1
+			}
+			cv = child.Latch.OptimisticVersionSpin()
+			parent.Latch.UnlockExclusive()
+			if !child.Latch.Validate(cv) {
+				return res, errRestartTraversal
+			}
+		}
+
+		data := child.Data()
+		gsn := buffer.PageGSN(data)
+		ptype := buffer.PageType(data)
+		if !child.Latch.Validate(cv) {
+			return res, errRestartTraversal
+		}
+		ctx.OnPageAccess(child, gsn)
+
+		if ptype == buffer.PageLeaf {
+			if exclusive {
+				if !child.Latch.UpgradeToExclusive(cv) {
+					return res, errRestartTraversal
+				}
+			}
+			return descendResult{idx: childIdx, frame: child, version: cv, bound: bound}, nil
+		}
+
+		// Inner node: pick the route and remember the separator bound.
+		pos, _ := lowerBound(data, key)
+		var off int
+		if pos == slotCount(data) {
+			off = buffer.OffUpper
+		} else {
+			sep := slotKey(data, pos)
+			sepCopy := append([]byte(nil), sep...)
+			off = innerSlotSwipOff(data, pos)
+			if !child.Latch.Validate(cv) {
+				return res, errRestartTraversal
+			}
+			bound = sepCopy
+		}
+		if !child.Latch.Validate(cv) {
+			return res, errRestartTraversal
+		}
+		parentIdx, parent, pv = childIdx, child, cv
+		swipOff = off
+	}
+}
+
+// Lookup fetches the value for key, appending it to dst (which may be nil).
+func (t *BTree) Lookup(ctx Ctx, key []byte, dst []byte) ([]byte, bool) {
+	for {
+		res, err := t.tryLookup(ctx, key, dst)
+		if err == nil {
+			return res, res != nil
+		}
+		runtime.Gosched()
+	}
+}
+
+func (t *BTree) tryLookup(ctx Ctx, key []byte, dst []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, errRestartTraversal
+		}
+	}()
+	r := t.findLeaf(ctx, key, false)
+	data := r.frame.Data()
+	pos, found := lowerBound(data, key)
+	if found {
+		out = append(dst[:0], slotVal(data, pos)...)
+	}
+	if !r.frame.Latch.Validate(r.version) {
+		return nil, errRestartTraversal
+	}
+	if !found {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// ScanAsc iterates ascending over all pairs with k >= start, invoking fn
+// until it returns false or the tree is exhausted. fn receives copies valid
+// only for the duration of the call.
+func (t *BTree) ScanAsc(ctx Ctx, start []byte, fn func(k, v []byte) bool) {
+	cont := append([]byte(nil), start...)
+	var keys, vals [][]byte
+	for {
+		var bound []byte
+		ok := false
+		for !ok {
+			keys, vals, bound, ok = t.tryCollectLeaf(ctx, cont, keys[:0], vals[:0])
+			if !ok {
+				runtime.Gosched()
+			}
+		}
+		for i := range keys {
+			if !fn(keys[i], vals[i]) {
+				return
+			}
+		}
+		if bound == nil {
+			return // rightmost leaf done
+		}
+		cont = append(bound, 0)
+	}
+}
+
+func (t *BTree) tryCollectLeaf(ctx Ctx, cont []byte, keys, vals [][]byte) (k, v [][]byte, bound []byte, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			k, v, bound, ok = keys, vals, nil, false
+		}
+	}()
+	res := t.findLeaf(ctx, cont, false)
+	data := res.frame.Data()
+	pos, _ := lowerBound(data, cont)
+	for ; pos < slotCount(data); pos++ {
+		keys = append(keys, append([]byte(nil), slotKey(data, pos)...))
+		vals = append(vals, append([]byte(nil), slotVal(data, pos)...))
+	}
+	if !res.frame.Latch.Validate(res.version) {
+		return keys, vals, nil, false
+	}
+	return keys, vals, res.bound, true
+}
+
+// Count returns the number of entries (full scan; tests and tools).
+func (t *BTree) Count(ctx Ctx) int {
+	n := 0
+	t.ScanAsc(ctx, nil, func(_, _ []byte) bool { n++; return true })
+	return n
+}
+
+// innerNeedsSplit reports whether an inner page might not absorb one more
+// maximal separator.
+func innerNeedsSplit(p []byte) bool {
+	return !fits(p, MaxKeyLen, 8)
+}
+
+// encodePID returns an 8-byte little-endian PID (inner slot value form).
+func encodePID(pid base.PageID) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(pid))
+	return b[:]
+}

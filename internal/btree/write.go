@@ -1,0 +1,371 @@
+package btree
+
+import (
+	"repro/internal/base"
+	"repro/internal/buffer"
+	"repro/internal/wal"
+)
+
+// logUserOp appends a user record and stamps the page. Caller holds the
+// leaf's exclusive latch; rec's images may alias page memory (the context
+// must encode/clone synchronously and not retain them).
+func (t *BTree) logUserOp(ctx Ctx, f *buffer.Frame, rec *wal.Record) {
+	gsn := ctx.Log(f, rec)
+	buffer.SetPageGSN(f.Data(), gsn)
+	f.SetLastLog(ctx.WorkerID())
+}
+
+// Insert adds a new key; ErrDuplicate if present.
+func (t *BTree) Insert(ctx Ctx, key, val []byte) error {
+	if len(key) > MaxKeyLen || len(val) > MaxValLen || len(key) == 0 {
+		return ErrTooLarge
+	}
+	for {
+		r := t.findLeaf(ctx, key, true)
+		data := r.frame.Data()
+		pos, found := lowerBound(data, key)
+		if found {
+			r.frame.Latch.UnlockExclusive()
+			return ErrDuplicate
+		}
+		if !ensureFit(data, len(key), len(val)) {
+			r.frame.Latch.UnlockExclusive()
+			t.splitForKey(ctx, key, len(key), len(val))
+			continue
+		}
+		rec := &wal.Record{Type: wal.RecInsert, Tree: t.ID, Page: r.frame.PID(), Key: key, After: val}
+		t.logUserOp(ctx, r.frame, rec)
+		insertAt(data, pos, key, val)
+		r.frame.Latch.UnlockExclusive()
+		return nil
+	}
+}
+
+// Update replaces the value for key; ErrNotFound if absent.
+func (t *BTree) Update(ctx Ctx, key, val []byte) error {
+	return t.UpdateFunc(ctx, key, func(_ []byte) []byte { return val })
+}
+
+// UpdateFunc fetches the current value and replaces it with fn(old) in one
+// descent. fn receives a copy it may modify and return (or return a new
+// slice); returning nil keeps the old value (no-op, nothing logged).
+func (t *BTree) UpdateFunc(ctx Ctx, key []byte, fn func(old []byte) []byte) error {
+	var scratch []byte
+	for {
+		r := t.findLeaf(ctx, key, true)
+		data := r.frame.Data()
+		pos, found := lowerBound(data, key)
+		if !found {
+			r.frame.Latch.UnlockExclusive()
+			return ErrNotFound
+		}
+		old := slotVal(data, pos)
+		scratch = append(scratch[:0], old...)
+		val := fn(scratch)
+		if val == nil {
+			r.frame.Latch.UnlockExclusive()
+			return nil
+		}
+		if len(val) > MaxValLen {
+			r.frame.Latch.UnlockExclusive()
+			return ErrTooLarge
+		}
+		if len(val) == len(old) {
+			rec := &wal.Record{Type: wal.RecUpdate, Tree: t.ID, Page: r.frame.PID(), Key: key}
+			fullImages := false
+			if fi, ok := ctx.(interface{ FullValueImages() bool }); ok {
+				fullImages = fi.FullValueImages()
+			}
+			var diffs []wal.Diff
+			if !fullImages {
+				diffs = wal.ComputeDiffs(old, val)
+			}
+			if diffs != nil {
+				rec.Diffs = diffs
+			} else {
+				rec.Before, rec.After = old, val
+			}
+			t.logUserOp(ctx, r.frame, rec)
+			updateInPlace(data, pos, val)
+			r.frame.Latch.UnlockExclusive()
+			return nil
+		}
+		// Resize path: full images.
+		valCopy := append([]byte(nil), val...) // val may alias scratch/old
+		if !updateResize(data, pos, valCopy) {
+			r.frame.Latch.UnlockExclusive()
+			t.splitForKey(ctx, key, len(key), len(valCopy))
+			continue
+		}
+		// updateResize already changed the page; log with images captured
+		// before... capture order matters: re-fetch the new slot value is
+		// valCopy; old was copied into scratch above.
+		rec := &wal.Record{Type: wal.RecUpdate, Tree: t.ID, Page: r.frame.PID(), Key: key, Before: scratch, After: valCopy}
+		t.logUserOp(ctx, r.frame, rec)
+		r.frame.Latch.UnlockExclusive()
+		return nil
+	}
+}
+
+// Remove deletes key; ErrNotFound if absent. Emptied leaves are unlinked
+// and freed (a logged system transaction).
+func (t *BTree) Remove(ctx Ctx, key []byte) error {
+	r := t.findLeaf(ctx, key, true)
+	data := r.frame.Data()
+	pos, found := lowerBound(data, key)
+	if !found {
+		r.frame.Latch.UnlockExclusive()
+		return ErrNotFound
+	}
+	rec := &wal.Record{Type: wal.RecDelete, Tree: t.ID, Page: r.frame.PID(), Key: key, Before: slotVal(data, pos)}
+	t.logUserOp(ctx, r.frame, rec)
+	removeAt(data, pos)
+	emptied := slotCount(data) == 0 && r.frame.Parent() != t.metaIdx
+	r.frame.Latch.UnlockExclusive()
+	if emptied {
+		t.tryFreeLeaf(ctx, key)
+	}
+	return nil
+}
+
+// splitForKey pessimistically descends to the leaf for key, preventively
+// splitting every full node on the way (so parents can always absorb one
+// separator), and splits the leaf if it cannot fit an entry of the given
+// size. All splits are logged system transactions.
+//
+// Frame reservations: every iteration can consume up to 3 frames (one page
+// load + two split allocations). The stash is refilled only while no
+// latches are held; running dry mid-descent releases all latches and
+// restarts from the meta page.
+func (t *BTree) splitForKey(ctx Ctx, key []byte, klen, vlen int) {
+	stash := t.pool.NewStash()
+	defer stash.Release()
+restart:
+	stash.RefillTo(3)
+	parentIdx := t.metaIdx
+	parent := t.pool.Frame(parentIdx)
+	parent.Latch.LockExclusive()
+	swipOff := buffer.OffUpper
+	for {
+		if stash.Len() < 3 {
+			parent.Latch.UnlockExclusive()
+			goto restart
+		}
+		s := buffer.GetSwip(parent.Data(), swipOff)
+		var childIdx int32
+		var child *buffer.Frame
+		if s.IsSwizzled() {
+			childIdx, child = t.pool.ResolveSwizzled(s)
+		} else {
+			r := stash.Take()
+			var used bool
+			childIdx, child, used = t.pool.ResolveSlow(parentIdx, swipOff, r)
+			if !used {
+				stash.Put(r)
+			}
+		}
+		child.Latch.LockExclusive()
+		cdata := child.Data()
+		ctx.OnPageAccess(child, buffer.PageGSN(cdata))
+
+		if buffer.PageType(cdata) == buffer.PageLeaf {
+			if !fits(cdata, klen, vlen) && slotCount(cdata) >= 2 {
+				t.splitNode(ctx, parentIdx, parent, childIdx, child, stash)
+				swipOff = t.routeOff(parent, key)
+				continue
+			}
+			child.Latch.UnlockExclusive()
+			parent.Latch.UnlockExclusive()
+			return
+		}
+		// Inner: preventive split so it can absorb one separator later.
+		if innerNeedsSplit(cdata) && slotCount(cdata) >= 2 {
+			t.splitNode(ctx, parentIdx, parent, childIdx, child, stash)
+			swipOff = t.routeOff(parent, key)
+			continue
+		}
+		next := innerChildOff(cdata, key)
+		parent.Latch.UnlockExclusive()
+		parentIdx, parent, swipOff = childIdx, child, next
+	}
+}
+
+// routeOff recomputes the swip offset for key in a latched parent.
+func (t *BTree) routeOff(parent *buffer.Frame, key []byte) int {
+	if buffer.PageType(parent.Data()) == buffer.PageMeta {
+		return buffer.OffUpper
+	}
+	return innerChildOff(parent.Data(), key)
+}
+
+// splitNode splits child (exclusively latched) under parent (exclusively
+// latched); the child latch is released, the parent latch is kept. If the
+// parent is the meta page this is a root split growing the tree by one
+// level. The split is logged as a system transaction: full images of the
+// two result pages plus the physiological separator insert (§2.1's SMO).
+func (t *BTree) splitNode(ctx Ctx, parentIdx int32, parent *buffer.Frame, childIdx int32, child *buffer.Frame, stash *buffer.FrameStash) {
+	ctype := buffer.PageType(child.Data())
+	rightIdx, right := t.pool.AllocPageReserved(stash.Take(), t.ID, ctype, t.pool.AllocPID())
+	right.SetParent(parentIdx)
+	sep := splitContent(child.Data(), right.Data())
+
+	if buffer.PageType(parent.Data()) == buffer.PageMeta {
+		// Root split: grow a new root inner node.
+		newRootIdx, newRoot := t.pool.AllocPageReserved(stash.Take(), t.ID, buffer.PageInner, t.pool.AllocPID())
+		insertAt(newRoot.Data(), 0, sep, encodeSwipVal(buffer.SwipFromFrame(childIdx)))
+		buffer.SetUpper(newRoot.Data(), buffer.SwipFromFrame(rightIdx))
+		newRoot.SetParent(parentIdx)
+		child.SetParent(newRootIdx)
+		right.SetParent(newRootIdx)
+		buffer.SetUpper(parent.Data(), buffer.SwipFromFrame(newRootIdx))
+
+		t.logFormat(ctx, child)
+		t.logFormat(ctx, right)
+		t.logFormat(ctx, newRoot)
+		rec := &wal.Record{Type: wal.RecSetRoot, Txn: base.SystemTxn, Tree: t.ID, Page: t.metaPID, Aux: uint64(newRoot.PID())}
+		gsn := ctx.Log(parent, rec)
+		buffer.SetPageGSN(parent.Data(), gsn)
+		parent.SetLastLog(ctx.WorkerID())
+
+		newRoot.Latch.UnlockExclusive()
+		right.Latch.UnlockExclusive()
+		child.Latch.UnlockExclusive()
+		return
+	}
+
+	// Normal split: parent absorbs the separator (guaranteed to fit by
+	// preventive splitting).
+	if !ensureFit(parent.Data(), len(sep), 8) {
+		panic("btree: preventive splitting failed to reserve separator space")
+	}
+	innerPostSplit(parent.Data(), sep, buffer.SwipFromFrame(childIdx), buffer.SwipFromFrame(rightIdx))
+
+	t.logFormat(ctx, child)
+	t.logFormat(ctx, right)
+	rec := &wal.Record{
+		Type: wal.RecInnerInsert, Txn: base.SystemTxn, Tree: t.ID, Page: parent.PID(),
+		Key: sep, Aux: uint64(child.PID()), After: encodePID(right.PID()),
+	}
+	gsn := ctx.Log(parent, rec)
+	buffer.SetPageGSN(parent.Data(), gsn)
+	parent.SetLastLog(ctx.WorkerID())
+
+	right.Latch.UnlockExclusive()
+	child.Latch.UnlockExclusive()
+}
+
+func encodeSwipVal(s buffer.Swip) []byte {
+	var b [8]byte
+	buffer.SetSwip(b[:], 0, s)
+	return b[:]
+}
+
+// tryFreeLeaf unlinks and frees the leaf routing key if it is (still)
+// empty. Logged as a system transaction on the parent (§2.1: space
+// management through physiological logging).
+func (t *BTree) tryFreeLeaf(ctx Ctx, key []byte) {
+	stash := t.pool.NewStash()
+	defer stash.Release()
+restart:
+	stash.RefillTo(1)
+	parentIdx := t.metaIdx
+	parent := t.pool.Frame(parentIdx)
+	parent.Latch.LockExclusive()
+	swipOff := buffer.OffUpper
+	for {
+		if stash.Len() < 1 {
+			parent.Latch.UnlockExclusive()
+			goto restart
+		}
+		s := buffer.GetSwip(parent.Data(), swipOff)
+		var childIdx int32
+		var child *buffer.Frame
+		if s.IsSwizzled() {
+			childIdx, child = t.pool.ResolveSwizzled(s)
+		} else {
+			r := stash.Take()
+			var used bool
+			childIdx, child, used = t.pool.ResolveSlow(parentIdx, swipOff, r)
+			if !used {
+				stash.Put(r)
+			}
+		}
+		child.Latch.LockExclusive()
+		cdata := child.Data()
+		if buffer.PageType(cdata) != buffer.PageLeaf {
+			next := innerChildOff(cdata, key)
+			parent.Latch.UnlockExclusive()
+			parentIdx, parent, swipOff = childIdx, child, next
+			continue
+		}
+		// At (parent, leaf).
+		pdata := parent.Data()
+		if slotCount(cdata) != 0 || buffer.PageType(pdata) == buffer.PageMeta {
+			child.Latch.UnlockExclusive()
+			parent.Latch.UnlockExclusive()
+			return
+		}
+		pos, _ := lowerBound(pdata, key)
+		if pos < slotCount(pdata) {
+			// Routed through slot pos: drop the separator; keys in its
+			// range now route right (the freed leaf was empty, so search
+			// stays consistent).
+			rec := &wal.Record{
+				Type: wal.RecInnerRemove, Txn: base.SystemTxn, Tree: t.ID, Page: parent.PID(),
+				Key: append([]byte(nil), slotKey(pdata, pos)...), Aux: 0,
+			}
+			gsn := ctx.Log(parent, rec)
+			buffer.SetPageGSN(pdata, gsn)
+			parent.SetLastLog(ctx.WorkerID())
+			removeAt(pdata, pos)
+		} else {
+			// Routed through upper: promote the last slot's child to upper.
+			n := slotCount(pdata)
+			if n == 0 {
+				// Lone child of an empty inner node; keep the empty leaf.
+				child.Latch.UnlockExclusive()
+				parent.Latch.UnlockExclusive()
+				return
+			}
+			lastSep := append([]byte(nil), slotKey(pdata, n-1)...)
+			lastSwip := buffer.GetSwip(pdata, innerSlotSwipOff(pdata, n-1))
+			rec := &wal.Record{
+				Type: wal.RecInnerRemove, Txn: base.SystemTxn, Tree: t.ID, Page: parent.PID(),
+				Key: lastSep, Aux: 1,
+			}
+			gsn := ctx.Log(parent, rec)
+			buffer.SetPageGSN(pdata, gsn)
+			parent.SetLastLog(ctx.WorkerID())
+			buffer.SetUpper(pdata, lastSwip)
+			removeAt(pdata, n-1)
+		}
+		t.pool.FreePage(childIdx, child) // releases the child latch
+		parent.Latch.UnlockExclusive()
+		return
+	}
+}
+
+// UndoOp logically reverts one user record (live abort §3.6 and the
+// recovery undo phase §3.7): the reverse operation runs through the regular
+// access path. Idempotent so recovery undo may repeat after a second crash:
+// missing keys / already-reverted states are accepted.
+func (t *BTree) UndoOp(ctx Ctx, recType wal.RecType, key, before []byte, diffs []wal.Diff) {
+	switch recType {
+	case wal.RecInsert:
+		_ = t.Remove(ctx, key) // ErrNotFound → already undone
+	case wal.RecDelete:
+		err := t.Insert(ctx, key, before)
+		if err != nil && err != ErrDuplicate {
+			panic(err)
+		}
+	case wal.RecUpdate:
+		if diffs != nil {
+			_ = t.UpdateFunc(ctx, key, func(old []byte) []byte {
+				wal.RevertDiffs(old, diffs)
+				return old
+			})
+		} else {
+			_ = t.Update(ctx, key, before)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+)
+
+// flatOps: no child swips (plain data pages) — enough for pool-level tests.
+type flatOps struct{}
+
+func (flatOps) ChildSwipOffsets(page []byte, dst []int) []int {
+	if PageType(page) == PageMeta || PageType(page) == PageInner {
+		dst = append(dst, OffUpper)
+	}
+	return dst
+}
+
+func newTestPool(t *testing.T, frames int) (*Pool, *dev.SSD) {
+	t.Helper()
+	ssd := dev.NewSSD()
+	p := NewPool(Config{Frames: frames, SSD: ssd, Ops: flatOps{}})
+	t.Cleanup(p.Close)
+	return p, ssd
+}
+
+func TestSwipEncoding(t *testing.T) {
+	s := SwipFromPID(12345)
+	if s.IsSwizzled() || s.PID() != 12345 {
+		t.Fatalf("pid swip broken: %v", s)
+	}
+	f := SwipFromFrame(77)
+	if !f.IsSwizzled() || f.FrameIdx() != 77 {
+		t.Fatalf("frame swip broken: %v", f)
+	}
+}
+
+func TestPageHeaderAccessors(t *testing.T) {
+	p := make([]byte, base.PageSize)
+	SetPageGSN(p, 42)
+	SetPageID(p, 7)
+	SetTreeID(p, 9)
+	SetPageType(p, PageLeaf)
+	SetHeapStart(p, base.PageSize)
+	SetUpper(p, SwipFromPID(3))
+	if PageGSN(p) != 42 || PageID(p) != 7 || TreeID(p) != 9 || PageType(p) != PageLeaf {
+		t.Fatal("header accessors broken")
+	}
+	if HeapStart(p) != base.PageSize || Upper(p) != SwipFromPID(3) {
+		t.Fatal("heap/upper accessors broken")
+	}
+}
+
+func TestAllocPageAndPIDs(t *testing.T) {
+	p, _ := newTestPool(t, 32)
+	idx1, f1 := p.AllocPage(5, PageLeaf)
+	pid1 := f1.PID()
+	f1.Latch.UnlockExclusive()
+	idx2, f2 := p.AllocPage(5, PageLeaf)
+	f2.Latch.UnlockExclusive()
+	if idx1 == idx2 || pid1 == f2.PID() {
+		t.Fatal("alloc reuse without free")
+	}
+	if pid1 < 2 {
+		t.Fatalf("PID %d collides with reserved range", pid1)
+	}
+	if PageID(f1.Data()) != pid1 || TreeID(f1.Data()) != 5 {
+		t.Fatal("header not initialized")
+	}
+}
+
+func TestFreePageRecycles(t *testing.T) {
+	p, _ := newTestPool(t, 8)
+	seen := map[int32]bool{}
+	for i := 0; i < 50; i++ {
+		idx, f := p.AllocPage(1, PageLeaf)
+		seen[idx] = true
+		p.FreePage(idx, f)
+	}
+	if len(seen) > 8 {
+		t.Fatalf("more frames used than exist: %d", len(seen))
+	}
+}
+
+func TestWritebackPersistsAndTracksGSN(t *testing.T) {
+	p, ssd := newTestPool(t, 16)
+	idx, f := p.AllocPage(1, PageLeaf)
+	pid := f.PID()
+	f.Data()[100] = 0xEE
+	SetPageGSN(f.Data(), 5)
+	if !f.Dirty() {
+		t.Fatal("page with GSN 5 and persistedGSN 0 must be dirty")
+	}
+	wb := NewWriteback(p, 4, nil)
+	wb.Add(idx, f)
+	if !f.writeback.Load() {
+		t.Fatal("writeback mark missing")
+	}
+	f.Latch.UnlockExclusive()
+	wb.Flush()
+	if f.writeback.Load() {
+		t.Fatal("writeback mark not cleared")
+	}
+	if f.PersistedGSN() != 5 || f.Dirty() {
+		t.Fatalf("persisted GSN not advanced: %d", f.PersistedGSN())
+	}
+	// Durable on the device.
+	ssd.Crash()
+	buf := make([]byte, base.PageSize)
+	p.DBFile().ReadAt(buf, int64(pid)*base.PageSize)
+	if buf[100] != 0xEE || PageGSN(buf) != 5 {
+		t.Fatal("page content not durable after sync")
+	}
+}
+
+func TestWritebackDeswizzlesCopies(t *testing.T) {
+	p, _ := newTestPool(t, 16)
+	childIdx, child := p.AllocPage(1, PageLeaf)
+	childPID := child.PID()
+	child.Latch.UnlockExclusive()
+	idx, f := p.AllocPage(1, PageInner)
+	SetUpper(f.Data(), SwipFromFrame(childIdx))
+	SetPageGSN(f.Data(), 3)
+	wb := NewWriteback(p, 4, nil)
+	wb.Add(idx, f)
+	f.Latch.UnlockExclusive()
+	wb.Flush()
+	buf := make([]byte, base.PageSize)
+	p.DBFile().ReadAt(buf, int64(f.PID())*base.PageSize)
+	s := Upper(buf)
+	if s.IsSwizzled() || s.PID() != childPID {
+		t.Fatalf("swip not deswizzled on disk: %v", s)
+	}
+	// In-memory copy untouched.
+	if !Upper(f.Data()).IsSwizzled() {
+		t.Fatal("in-memory swip must stay swizzled")
+	}
+}
+
+func TestWritebackFlushLogsHook(t *testing.T) {
+	ssd := dev.NewSSD()
+	called := 0
+	p := NewPool(Config{Frames: 8, SSD: ssd, Ops: flatOps{}, FlushLogs: func() { called++ }})
+	defer p.Close()
+	idx, f := p.AllocPage(1, PageLeaf)
+	SetPageGSN(f.Data(), 1)
+	wb := NewWriteback(p, 4, nil)
+	wb.Add(idx, f)
+	f.Latch.UnlockExclusive()
+	wb.Flush()
+	if called != 1 {
+		t.Fatalf("write-ahead hook called %d times", called)
+	}
+}
+
+func TestStashReservations(t *testing.T) {
+	p, _ := newTestPool(t, 8)
+	s := p.NewStash()
+	s.RefillTo(3)
+	if s.Len() != 3 {
+		t.Fatalf("stash len %d", s.Len())
+	}
+	a := s.Take()
+	s.Put(a)
+	if s.Len() != 3 {
+		t.Fatal("put/take asymmetric")
+	}
+	s.Release()
+	if s.Len() != 0 {
+		t.Fatal("release failed")
+	}
+	if got := len(p.freeC); got != 8 {
+		t.Fatalf("frames leaked: %d free", got)
+	}
+}
+
+func TestBumpPIDFloor(t *testing.T) {
+	p, _ := newTestPool(t, 8)
+	p.BumpPIDFloor(1000)
+	if pid := p.AllocPID(); pid != 1001 {
+		t.Fatalf("AllocPID after bump: %d", pid)
+	}
+	p.BumpPIDFloor(5) // lower: no-op
+	if pid := p.AllocPID(); pid != 1002 {
+		t.Fatalf("AllocPID after lower bump: %d", pid)
+	}
+}
+
+func TestLoadPinnedPage(t *testing.T) {
+	p, _ := newTestPool(t, 8)
+	idx, f := p.AllocPage(1, PageMeta)
+	pid := f.PID()
+	SetPageGSN(f.Data(), 9)
+	wb := NewWriteback(p, 2, nil)
+	wb.Add(idx, f)
+	f.Latch.UnlockExclusive()
+	wb.Flush()
+	p.FreePage(idx, func() *Frame { f.Latch.LockExclusive(); return f }())
+
+	idx2, f2 := p.LoadPinnedPage(pid)
+	if f2.PID() != pid || PageGSN(f2.Data()) != 9 {
+		t.Fatal("pinned load wrong content")
+	}
+	if !f2.pinned.Load() || f2.State() != FrameHot {
+		t.Fatal("pinned load state wrong")
+	}
+	_ = idx2
+}

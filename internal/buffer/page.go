@@ -1,0 +1,112 @@
+// Package buffer implements a LeanStore-style buffer manager: pointer
+// swizzling with tagged swips, hot/cool/free page states with a FIFO cool
+// queue (Figure 6), a dedicated page-provider thread that unswizzles, writes
+// back, and evicts pages (§3.5), and a writeback buffer that batches page
+// writes and device flushes (§3.8). Frames carry the per-page metadata the
+// logging design needs: the page GSN clock, the persisted GSN, and L_last
+// (the log that holds the page's most recent modification) for RFA (§3.2).
+package buffer
+
+import (
+	"encoding/binary"
+
+	"repro/internal/base"
+)
+
+// Page header layout (within the 16 KiB page, little-endian):
+//
+//	 0: u64 GSN            page GSN clock (§2.4)
+//	 8: u64 PageID         self ID (integrity checks)
+//	16: u64 TreeID
+//	24: u8  PageType
+//	25: u8  reserved
+//	26: u16 slot count
+//	28: u16 heap start     cells grow down from PageSize to this bound
+//	30: u16 reserved
+//	32: u64 upper          inner: rightmost child swip; meta: root swip
+//	40: slot array...
+const (
+	OffGSN       = 0
+	OffPageID    = 8
+	OffTreeID    = 16
+	OffPageType  = 24
+	OffCount     = 26
+	OffHeapStart = 28
+	OffUpper     = 32
+	HeaderSize   = 40
+)
+
+// Page types.
+const (
+	PageFree  = 0
+	PageLeaf  = 1
+	PageInner = 2
+	PageMeta  = 3
+)
+
+// PageGSN reads the page's GSN clock.
+func PageGSN(p []byte) base.GSN { return base.GSN(binary.LittleEndian.Uint64(p[OffGSN:])) }
+
+// SetPageGSN writes the page's GSN clock (caller holds the exclusive latch).
+func SetPageGSN(p []byte, gsn base.GSN) { binary.LittleEndian.PutUint64(p[OffGSN:], uint64(gsn)) }
+
+// PageID reads the page's self ID.
+func PageID(p []byte) base.PageID { return base.PageID(binary.LittleEndian.Uint64(p[OffPageID:])) }
+
+// SetPageID writes the page's self ID.
+func SetPageID(p []byte, pid base.PageID) {
+	binary.LittleEndian.PutUint64(p[OffPageID:], uint64(pid))
+}
+
+// TreeID reads the owning tree.
+func TreeID(p []byte) base.TreeID { return base.TreeID(binary.LittleEndian.Uint64(p[OffTreeID:])) }
+
+// SetTreeID writes the owning tree.
+func SetTreeID(p []byte, t base.TreeID) {
+	binary.LittleEndian.PutUint64(p[OffTreeID:], uint64(t))
+}
+
+// PageType reads the page type.
+func PageType(p []byte) byte { return p[OffPageType] }
+
+// SetPageType writes the page type.
+func SetPageType(p []byte, t byte) { p[OffPageType] = t }
+
+// Upper reads the header swip (inner rightmost child / meta root).
+func Upper(p []byte) Swip { return Swip(binary.LittleEndian.Uint64(p[OffUpper:])) }
+
+// SetUpper writes the header swip.
+func SetUpper(p []byte, s Swip) { binary.LittleEndian.PutUint64(p[OffUpper:], uint64(s)) }
+
+// Swip is a tagged 64-bit child reference (§2, pointer swizzling [31]): when
+// the high bit is set it holds the index of the in-memory buffer frame
+// (swizzled, hot path — no hash lookup); otherwise it holds the on-disk
+// PageID (unswizzled).
+type Swip uint64
+
+const swizzledBit = 1 << 63
+
+// SwipFromPID returns an unswizzled swip.
+func SwipFromPID(pid base.PageID) Swip { return Swip(pid) }
+
+// SwipFromFrame returns a swizzled swip.
+func SwipFromFrame(idx int32) Swip { return Swip(uint64(idx) | swizzledBit) }
+
+// IsSwizzled reports whether the swip points at a buffer frame.
+func (s Swip) IsSwizzled() bool { return uint64(s)&swizzledBit != 0 }
+
+// FrameIdx returns the buffer-frame index of a swizzled swip.
+func (s Swip) FrameIdx() int32 { return int32(uint64(s) &^ swizzledBit) }
+
+// PID returns the page ID of an unswizzled swip.
+func (s Swip) PID() base.PageID { return base.PageID(s) }
+
+// PageOps is how the buffer manager learns about page-type-specific
+// structure without depending on the B+-tree package. The tree registers an
+// implementation at pool construction.
+type PageOps interface {
+	// ChildSwipOffsets appends the byte offsets of every swip field in the
+	// page to dst and returns it (inner nodes: one per separator plus
+	// upper; meta pages: the root swip; leaves: none).
+	ChildSwipOffsets(page []byte, dst []int) []int
+}

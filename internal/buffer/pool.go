@@ -1,0 +1,564 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+	"repro/internal/sys"
+)
+
+// Frame states (Figure 6).
+const (
+	FrameFree int32 = iota
+	FrameHot
+	FrameCool
+)
+
+// NoLog is the L_last value of a page that has no logged modification yet.
+const NoLog int32 = -1
+
+// Frame is a buffer frame: one page slot plus the metadata the logging and
+// replacement machinery needs.
+type Frame struct {
+	Latch sys.HybridLatch
+
+	// Guarded by Latch (exclusive for writes):
+	pid    base.PageID
+	parent int32 // frame index of the parent holding our swizzled swip; -1 if none
+	data   []byte
+
+	state     atomic.Int32
+	writeback atomic.Bool // page copy sits in a writeback buffer; must not be evicted
+	pinned    atomic.Bool // meta pages: never unswizzled/evicted
+
+	// persistedGSN is the GSN of the page image on SSD; the page is dirty
+	// iff its in-memory GSN is larger (§3.8: updated only after the device
+	// flush completed).
+	persistedGSN atomic.Uint64
+
+	// lastLog is L_last for RFA (§3.2): the log partition holding the most
+	// recent modification of this page. Not persisted.
+	lastLog atomic.Int32
+}
+
+// Data returns the page bytes. Callers must hold the latch (or an optimistic
+// snapshot they re-validate).
+func (f *Frame) Data() []byte { return f.data }
+
+// PID returns the page ID mapped into this frame.
+func (f *Frame) PID() base.PageID { return f.pid }
+
+// Parent returns the parent frame index (-1 for meta pages).
+func (f *Frame) Parent() int32 { return f.parent }
+
+// SetParent records the parent frame holding this frame's swizzled swip.
+// Caller holds this frame's latch exclusively.
+func (f *Frame) SetParent(idx int32) { f.parent = idx }
+
+// State returns the frame state (FrameFree/FrameHot/FrameCool).
+func (f *Frame) State() int32 { return f.state.Load() }
+
+// Pin marks the frame as unevictable (meta pages).
+func (f *Frame) Pin() { f.pinned.Store(true) }
+
+// PersistedGSN returns the GSN of the on-SSD image of this page.
+func (f *Frame) PersistedGSN() base.GSN { return base.GSN(f.persistedGSN.Load()) }
+
+// LastLog returns L_last (RFA).
+func (f *Frame) LastLog() int32 { return f.lastLog.Load() }
+
+// SetLastLog records the log partition of the page's latest modification.
+// Caller holds the exclusive latch.
+func (f *Frame) SetLastLog(worker int32) { f.lastLog.Store(worker) }
+
+// Dirty reports whether the in-memory page is newer than its on-SSD image.
+// Caller should hold the latch for an exact answer.
+func (f *Frame) Dirty() bool { return uint64(PageGSN(f.data)) > f.persistedGSN.Load() }
+
+func (f *Frame) advancePersistedGSN(gsn base.GSN) {
+	for {
+		cur := f.persistedGSN.Load()
+		if uint64(gsn) <= cur || f.persistedGSN.CompareAndSwap(cur, uint64(gsn)) {
+			return
+		}
+	}
+}
+
+// Config configures the buffer pool.
+type Config struct {
+	// Frames is the pool size in pages.
+	Frames int
+	// SSD hosts the database file.
+	SSD *dev.SSD
+	// DBFileName is the database file name on the SSD (default "db").
+	DBFileName string
+	// Ops provides page-structure knowledge (registered by the B+-tree).
+	Ops PageOps
+	// FreeTarget is the desired free-list length (paper: ~1% of the pool).
+	FreeTarget int
+	// CoolTarget is the desired cool-queue length (paper: ~10%).
+	CoolTarget int
+	// NoSteal forbids writing dirty pages for eviction (the SiloR-style
+	// no-steal configuration): once every evictable page is dirty, page
+	// allocation stalls — Figure 9 (d).
+	NoSteal bool
+	// WritebackBatch is the number of pages batched per device flush
+	// (paper: 1024; scaled down by default).
+	WritebackBatch int
+	// ProviderDisabled turns the page provider off (pure in-memory modes
+	// without eviction).
+	ProviderDisabled bool
+	// FlushLogs enforces the write-ahead rule: called once per writeback
+	// batch before page images are written, it must make every log record
+	// appended so far durable (nil = no logging configured).
+	FlushLogs func()
+}
+
+func (c *Config) fillDefaults() {
+	if c.DBFileName == "" {
+		c.DBFileName = "db"
+	}
+	if c.Frames <= 0 {
+		c.Frames = 1024
+	}
+	if c.FreeTarget <= 0 {
+		c.FreeTarget = c.Frames / 100
+		if c.FreeTarget < 8 {
+			c.FreeTarget = 8
+		}
+	}
+	if c.CoolTarget <= 0 {
+		c.CoolTarget = c.Frames / 10
+		if c.CoolTarget < 16 {
+			c.CoolTarget = 16
+		}
+	}
+	if c.WritebackBatch <= 0 {
+		c.WritebackBatch = 64
+	}
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	cfg    Config
+	frames []Frame
+	backer []byte
+	dbFile *dev.File
+
+	freeC chan int32
+
+	coolMu  sync.Mutex
+	coolQ   []int32
+	coolMap map[base.PageID]int32
+
+	nextPID atomic.Uint64
+
+	providerWake chan struct{}
+	stop         chan struct{}
+	interrupt    chan struct{} // closed to abort stalled page waiters
+	intOnce      sync.Once
+	wg           sync.WaitGroup
+
+	// Counters.
+	pageReads     atomic.Uint64 // bytes read from the db file
+	providerWrote atomic.Uint64 // bytes written by the provider (persist MB/s)
+	allocStalls   atomic.Uint64 // times a worker had to wait for a free page
+	unswizzles    atomic.Uint64
+	evictions     atomic.Uint64
+	coolHits      atomic.Uint64 // re-swizzled from the cool queue
+}
+
+// NewPool creates the pool with all frames free and starts the page
+// provider unless disabled.
+func NewPool(cfg Config) *Pool {
+	cfg.fillDefaults()
+	p := &Pool{
+		cfg:          cfg,
+		frames:       make([]Frame, cfg.Frames),
+		backer:       make([]byte, cfg.Frames*base.PageSize),
+		coolMap:      make(map[base.PageID]int32),
+		freeC:        make(chan int32, cfg.Frames),
+		providerWake: make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		interrupt:    make(chan struct{}),
+	}
+	p.dbFile = cfg.SSD.Open(cfg.DBFileName)
+	for i := range p.frames {
+		f := &p.frames[i]
+		f.data = p.backer[i*base.PageSize : (i+1)*base.PageSize]
+		f.parent = -1
+		f.lastLog.Store(NoLog)
+		p.freeC <- int32(i)
+	}
+	p.nextPID.Store(2) // 0 invalid, 1 = catalog meta page
+	if !cfg.ProviderDisabled {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.providerLoop()
+		}()
+	}
+	return p
+}
+
+// Close stops the page provider. It does not write dirty pages (clean
+// shutdown persistence is the checkpointer's job; crash simulation wants
+// them dropped).
+func (p *Pool) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// Frame returns frame idx.
+func (p *Pool) Frame(idx int32) *Frame { return &p.frames[idx] }
+
+// NumFrames returns the pool size.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// DBFile exposes the database file (checkpointer, recovery).
+func (p *Pool) DBFile() *dev.File { return p.dbFile }
+
+// Ops returns the registered page-structure callbacks.
+func (p *Pool) Ops() PageOps { return p.cfg.Ops }
+
+// SetOps registers the page-structure callbacks (done once by the tree
+// layer right after pool construction).
+func (p *Pool) SetOps(ops PageOps) { p.cfg.Ops = ops }
+
+// AllocPID reserves a fresh page ID.
+func (p *Pool) AllocPID() base.PageID { return base.PageID(p.nextPID.Add(1) - 1) }
+
+// BumpPIDFloor ensures future allocations exceed pid (recovery).
+func (p *Pool) BumpPIDFloor(pid base.PageID) {
+	for {
+		cur := p.nextPID.Load()
+		if uint64(pid) < cur || p.nextPID.CompareAndSwap(cur, uint64(pid)+1) {
+			return
+		}
+	}
+}
+
+// NextPID returns the allocation high-water mark (persisted by checkpoints).
+func (p *Pool) NextPID() base.PageID { return base.PageID(p.nextPID.Load()) }
+
+// ErrPoolInterrupted is the panic value delivered to goroutines stalled on
+// page allocation when Interrupt is called: a no-steal engine whose pool is
+// exhausted by dirty pages stalls forever by design (Figure 9 d), and the
+// benchmark harness needs a way to tear it down. Catch it with recover and
+// abandon the transaction.
+var ErrPoolInterrupted = fmt.Errorf("buffer: pool interrupted while waiting for a free page")
+
+// Interrupt aborts every current and future stalled page wait (see
+// ErrPoolInterrupted). Called before Close on engines that may be stalled.
+func (p *Pool) Interrupt() {
+	p.intOnce.Do(func() { close(p.interrupt) })
+}
+
+// grabFreeFrame pops a free frame, waking the provider and stalling if the
+// free list is empty (§3.5: the free list must only bridge short bursts).
+func (p *Pool) grabFreeFrame() int32 {
+	select {
+	case idx := <-p.freeC:
+		p.maybeWakeProvider()
+		return idx
+	default:
+	}
+	p.allocStalls.Add(1)
+	for {
+		p.wakeProvider()
+		select {
+		case idx := <-p.freeC:
+			return idx
+		case <-p.interrupt:
+			panic(ErrPoolInterrupted)
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+}
+
+func (p *Pool) maybeWakeProvider() {
+	if len(p.freeC) < p.cfg.FreeTarget/2 {
+		p.wakeProvider()
+	}
+}
+
+func (p *Pool) wakeProvider() {
+	select {
+	case p.providerWake <- struct{}{}:
+	default:
+	}
+}
+
+// ReserveFrame pops a free frame for later use. DEADLOCK CONTRACT: the
+// caller must hold no page latches — this call may block until the page
+// provider frees pages, and the provider needs latches to do so.
+func (p *Pool) ReserveFrame() int32 { return p.grabFreeFrame() }
+
+// ReturnFrame gives an unused reservation back to the free list.
+func (p *Pool) ReturnFrame(idx int32) { p.freeC <- idx }
+
+// AllocPage takes a free frame (blocking — see ReserveFrame's contract),
+// formats it as a fresh page, and returns it exclusively latched.
+func (p *Pool) AllocPage(tree base.TreeID, ptype byte) (int32, *Frame) {
+	return p.AllocPageWithPID(tree, ptype, p.AllocPID())
+}
+
+// AllocPageWithPID is AllocPage for a caller-chosen PID (catalog meta page,
+// recovery loading).
+func (p *Pool) AllocPageWithPID(tree base.TreeID, ptype byte, pid base.PageID) (int32, *Frame) {
+	return p.AllocPageReserved(p.grabFreeFrame(), tree, ptype, pid)
+}
+
+// AllocPageReserved formats a previously reserved frame as a fresh page and
+// returns it exclusively latched. Never blocks — safe under held latches.
+func (p *Pool) AllocPageReserved(idx int32, tree base.TreeID, ptype byte, pid base.PageID) (int32, *Frame) {
+	f := &p.frames[idx]
+	f.Latch.LockExclusive()
+	clear(f.data)
+	SetPageID(f.data, pid)
+	SetTreeID(f.data, tree)
+	SetPageType(f.data, ptype)
+	SetHeapStart(f.data, base.PageSize)
+	f.pid = pid
+	f.parent = -1
+	f.lastLog.Store(NoLog)
+	f.persistedGSN.Store(0)
+	f.state.Store(FrameHot)
+	return idx, f
+}
+
+// ResolveSwizzled returns the frame a swizzled swip points to.
+func (p *Pool) ResolveSwizzled(s Swip) (int32, *Frame) {
+	idx := s.FrameIdx()
+	return idx, &p.frames[idx]
+}
+
+// ResolveSlow resolves an unswizzled swip found at byte offset swipOff of
+// the parent page. The caller holds the parent frame exclusively latched.
+// The child is brought in (from the cool queue or from SSD), the parent
+// swip is swizzled in place, and the child frame is returned (not latched —
+// it is reachable only through the parent, which the caller holds).
+//
+// reserved is a frame index from ReserveFrame (or -1 to grab one here,
+// allowed only for callers holding no other latches); usedReserved reports
+// whether it was consumed.
+func (p *Pool) ResolveSlow(parentIdx int32, swipOff int, reserved int32) (_ int32, _ *Frame, usedReserved bool) {
+	parent := &p.frames[parentIdx]
+	s := GetSwip(parent.data, swipOff)
+	if s.IsSwizzled() {
+		// Raced with another resolver before the caller upgraded.
+		idx, f := p.ResolveSwizzled(s)
+		return idx, f, false
+	}
+	pid := s.PID()
+
+	// Cool queue hit: promote back to hot (Figure 6 "swizzle" arc).
+	p.coolMu.Lock()
+	if idx, ok := p.coolMap[pid]; ok {
+		delete(p.coolMap, pid)
+		p.coolMu.Unlock()
+		f := &p.frames[idx]
+		f.Latch.LockExclusive()
+		f.state.Store(FrameHot)
+		f.parent = parentIdx
+		f.Latch.UnlockExclusive()
+		SetSwip(parent.data, swipOff, SwipFromFrame(idx))
+		p.coolHits.Add(1)
+		return idx, f, false
+	}
+	p.coolMu.Unlock()
+
+	// Miss: read from SSD into a free frame.
+	idx := reserved
+	if idx < 0 {
+		idx = p.grabFreeFrame()
+	} else {
+		usedReserved = true
+	}
+	f := &p.frames[idx]
+	f.Latch.LockExclusive()
+	n := p.dbFile.ReadAt(f.data, int64(pid)*base.PageSize)
+	if n < base.PageSize {
+		clear(f.data[n:])
+	}
+	p.pageReads.Add(base.PageSize)
+	if got := PageID(f.data); got != pid {
+		panic(fmt.Sprintf("buffer: page %d read returned page %d", pid, got))
+	}
+	gsn := PageGSN(f.data)
+	f.pid = pid
+	f.parent = parentIdx
+	f.lastLog.Store(NoLog)
+	f.persistedGSN.Store(uint64(gsn))
+	f.state.Store(FrameHot)
+	f.Latch.UnlockExclusive()
+	SetSwip(parent.data, swipOff, SwipFromFrame(idx))
+	return idx, f, usedReserved
+}
+
+// LoadPinnedPage reads a page that has no parent swip (tree meta pages)
+// from the database file into a pinned hot frame. Used when opening trees.
+func (p *Pool) LoadPinnedPage(pid base.PageID) (int32, *Frame) {
+	idx := p.grabFreeFrame()
+	f := &p.frames[idx]
+	f.Latch.LockExclusive()
+	n := p.dbFile.ReadAt(f.data, int64(pid)*base.PageSize)
+	if n < base.PageSize {
+		clear(f.data[n:])
+	}
+	p.pageReads.Add(base.PageSize)
+	gsn := PageGSN(f.data)
+	f.pid = pid
+	f.parent = -1
+	f.lastLog.Store(NoLog)
+	f.persistedGSN.Store(uint64(gsn))
+	f.state.Store(FrameHot)
+	f.pinned.Store(true)
+	f.Latch.UnlockExclusive()
+	return idx, f
+}
+
+// FreePage releases a page that was emptied and unlinked by the tree layer.
+// Caller holds the frame exclusively latched; the latch is released here.
+func (p *Pool) FreePage(idx int32, f *Frame) {
+	// A copy of this page may sit in a writeback buffer (checkpointer or
+	// provider); wait for that flush so the frame's metadata is not
+	// clobbered after reuse. Flushes never take latches, so this is brief.
+	for f.writeback.Load() {
+		time.Sleep(time.Microsecond)
+	}
+	f.state.Store(FrameFree)
+	f.pid = 0
+	f.parent = -1
+	f.writeback.Store(false)
+	f.Latch.UnlockExclusive()
+	p.freeC <- idx
+}
+
+// Stats snapshots pool counters.
+type Stats struct {
+	PageReadBytes      uint64
+	ProviderWriteBytes uint64
+	AllocStalls        uint64
+	Unswizzles         uint64
+	Evictions          uint64
+	CoolHits           uint64
+	FreeFrames         int
+	CoolPages          int
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.coolMu.Lock()
+	cool := len(p.coolMap)
+	p.coolMu.Unlock()
+	return Stats{
+		PageReadBytes:      p.pageReads.Load(),
+		ProviderWriteBytes: p.providerWrote.Load(),
+		AllocStalls:        p.allocStalls.Load(),
+		Unswizzles:         p.unswizzles.Load(),
+		Evictions:          p.evictions.Load(),
+		CoolHits:           p.coolHits.Load(),
+		FreeFrames:         len(p.freeC),
+		CoolPages:          cool,
+	}
+}
+
+// GetSwip reads the swip at byte offset off of a page.
+func GetSwip(page []byte, off int) Swip {
+	return Swip(leUint64(page[off:]))
+}
+
+// SetSwip writes the swip at byte offset off of a page.
+func SetSwip(page []byte, off int, s Swip) {
+	lePutUint64(page[off:], uint64(s))
+}
+
+// SetHeapStart writes the heap bound (exported for the tree layer).
+func SetHeapStart(p []byte, v int) {
+	p[OffHeapStart] = byte(v)
+	p[OffHeapStart+1] = byte(v >> 8)
+}
+
+// HeapStart reads the heap bound.
+func HeapStart(p []byte) int {
+	return int(p[OffHeapStart]) | int(p[OffHeapStart+1])<<8
+}
+
+func leUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func lePutUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// CoolLookup returns the frame index holding pid if it sits in the cool
+// queue (used by offline invariant checks).
+func (p *Pool) CoolLookup(pid base.PageID) (int32, bool) {
+	p.coolMu.Lock()
+	defer p.coolMu.Unlock()
+	idx, ok := p.coolMap[pid]
+	return idx, ok
+}
+
+// FrameStash holds pre-reserved frames for tree operations that must not
+// block on the free list while holding latches (which would deadlock
+// against the page provider). Refill only while holding no latches.
+type FrameStash struct {
+	pool   *Pool
+	frames []int32
+}
+
+// NewStash returns an empty stash.
+func (p *Pool) NewStash() *FrameStash { return &FrameStash{pool: p} }
+
+// Len returns the number of reserved frames.
+func (s *FrameStash) Len() int { return len(s.frames) }
+
+// RefillTo blocks until the stash holds n frames. LATCH-FREE CALLERS ONLY.
+func (s *FrameStash) RefillTo(n int) {
+	for len(s.frames) < n {
+		s.frames = append(s.frames, s.pool.grabFreeFrame())
+	}
+}
+
+// Take pops one reserved frame; panics if empty (callers must RefillTo
+// enough beforehand).
+func (s *FrameStash) Take() int32 {
+	if len(s.frames) == 0 {
+		panic("buffer: FrameStash empty — caller failed to refill")
+	}
+	idx := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	return idx
+}
+
+// Release returns all unused reservations to the free list.
+func (s *FrameStash) Release() {
+	for _, idx := range s.frames {
+		s.pool.freeC <- idx
+	}
+	s.frames = s.frames[:0]
+}
+
+// Put returns a single unused reservation to the stash.
+func (s *FrameStash) Put(idx int32) { s.frames = append(s.frames, idx) }
+
+// InWriteback reports whether a copy of this frame sits in a writeback
+// buffer awaiting its device flush.
+func (f *Frame) InWriteback() bool { return f.writeback.Load() }

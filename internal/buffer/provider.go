@@ -1,0 +1,247 @@
+package buffer
+
+import (
+	"time"
+
+	"repro/internal/sys"
+)
+
+// providerLoop is the dedicated page-provider thread of §3.5. It keeps the
+// pool in its hot/cool/free equilibrium (Figure 6):
+//
+//  1. unswizzle hot pages into the cool FIFO queue,
+//  2. evict clean pages from the old end of the queue onto the free list,
+//  3. write dirty pages out through the writeback buffer first (one batched
+//     write + one device flush), then evict them on the next pass.
+//
+// All three run in one thread on purpose — the paper argues that splitting
+// them lets one action outrun the others and unbalances the pool. The
+// provider never blocks on a latch: it uses try-locks and skips contended
+// pages, so it cannot deadlock with top-down worker latching.
+func (p *Pool) providerLoop() {
+	rng := sys.NewRand(0xBADC0FFEE)
+	wb := NewWriteback(p, p.cfg.WritebackBatch, &p.providerWrote)
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.providerWake:
+		case <-ticker.C:
+		}
+		for round := 0; round < 64; round++ {
+			if !p.providerRound(rng, wb) {
+				break
+			}
+			select {
+			case <-p.stop:
+				return
+			default:
+			}
+		}
+		// Never park with copies in the writeback buffer: their frames are
+		// marked writeBack, and the checkpointer waits for that flag to
+		// clear before it will touch them.
+		if wb.Len() > 0 {
+			wb.Flush()
+		}
+	}
+}
+
+// providerRound runs one unswizzle/evict/writeback round; it reports
+// whether another round is worthwhile (pool below targets AND this round
+// made progress — a no-steal pool full of dirty pages must not spin).
+func (p *Pool) providerRound(rng *sys.Rand, wb *Writeback) bool {
+	p.coolMu.Lock()
+	coolLen := len(p.coolMap)
+	p.coolMu.Unlock()
+	freeLen := len(p.freeC)
+	if freeLen >= p.cfg.FreeTarget && coolLen >= min(p.cfg.CoolTarget, p.hotEstimate()) {
+		return false
+	}
+	before := p.unswizzles.Load() + p.evictions.Load() + p.providerWrote.Load()
+
+	const batch = 64
+	// (1) Unswizzle a batch of hot pages into the cool queue.
+	if coolLen < p.cfg.CoolTarget {
+		for i := 0; i < batch; i++ {
+			p.tryUnswizzleRandom(rng)
+		}
+	}
+	// (2)+(3) Evict from the old end; dirty pages go to the writeback
+	// buffer (unless no-steal).
+	if freeLen < p.cfg.FreeTarget {
+		p.evictPass(batch, wb)
+		if wb.Len() > 0 {
+			wb.Flush()
+			// Pages just written are clean now; pick them up immediately.
+			p.evictPass(batch, wb)
+		}
+	}
+	after := p.unswizzles.Load() + p.evictions.Load() + p.providerWrote.Load()
+	return after > before
+}
+
+// hotEstimate approximates the number of hot pages (to avoid demanding a
+// bigger cool queue than there are pages).
+func (p *Pool) hotEstimate() int {
+	p.coolMu.Lock()
+	cool := len(p.coolMap)
+	p.coolMu.Unlock()
+	return len(p.frames) - len(p.freeC) - cool
+}
+
+// tryUnswizzleRandom picks a random hot frame; if it has swizzled children
+// it descends to one of them (inner pages can only be unswizzled after
+// their subtree, matching LeanStore's replacement strategy). The victim is
+// unswizzled: its parent's swip is replaced by the page ID and the frame
+// enters the cool FIFO queue.
+func (p *Pool) tryUnswizzleRandom(rng *sys.Rand) {
+	idx := int32(rng.Intn(len(p.frames)))
+	var swips []int
+	for depth := 0; depth < 8; depth++ {
+		f := &p.frames[idx]
+		if f.state.Load() != FrameHot || f.pinned.Load() {
+			return
+		}
+		if !f.Latch.TryLockExclusive() {
+			return
+		}
+		if f.state.Load() != FrameHot || f.pinned.Load() || f.parent < 0 {
+			f.Latch.UnlockExclusive()
+			return
+		}
+		// Descend if a child is swizzled.
+		swips = p.cfg.Ops.ChildSwipOffsets(f.data, swips[:0])
+		var swizzled []int
+		for _, so := range swips {
+			if GetSwip(f.data, so).IsSwizzled() {
+				swizzled = append(swizzled, so)
+			}
+		}
+		if len(swizzled) > 0 {
+			child := GetSwip(f.data, swizzled[rng.Intn(len(swizzled))]).FrameIdx()
+			f.Latch.UnlockExclusive()
+			idx = child
+			continue
+		}
+		p.unswizzleLocked(idx, f)
+		return
+	}
+}
+
+// unswizzleLocked moves a hot, child-free frame to the cool queue. Caller
+// holds the frame's exclusive latch; released on return.
+func (p *Pool) unswizzleLocked(idx int32, f *Frame) {
+	parentIdx := f.parent
+	parent := &p.frames[parentIdx]
+	if !parent.Latch.TryLockExclusive() {
+		f.Latch.UnlockExclusive()
+		return
+	}
+	// Find our swip in the parent and replace it with the PID.
+	found := false
+	var swips []int
+	swips = p.cfg.Ops.ChildSwipOffsets(parent.data, swips)
+	want := SwipFromFrame(idx)
+	for _, so := range swips {
+		if GetSwip(parent.data, so) == want {
+			SetSwip(parent.data, so, SwipFromPID(f.pid))
+			found = true
+			break
+		}
+	}
+	if !found {
+		// The tree moved the child (split/merge) — give up this round.
+		parent.Latch.UnlockExclusive()
+		f.Latch.UnlockExclusive()
+		return
+	}
+	f.state.Store(FrameCool)
+	p.coolMu.Lock()
+	p.coolMap[f.pid] = idx
+	p.coolQ = append(p.coolQ, idx)
+	p.coolMu.Unlock()
+	p.unswizzles.Add(1)
+	parent.Latch.UnlockExclusive()
+	f.Latch.UnlockExclusive()
+}
+
+// evictPass pops up to n frames from the old end of the cool queue,
+// evicting clean ones to the free list and copying dirty ones into the
+// writeback buffer (re-queued for eviction after the flush).
+func (p *Pool) evictPass(n int, wb *Writeback) {
+	var retry []int32 // frames to reconsider on the next pass
+	for i := 0; i < n; i++ {
+		p.coolMu.Lock()
+		var idx int32 = -1
+		for len(p.coolQ) > 0 {
+			cand := p.coolQ[0]
+			p.coolQ = p.coolQ[1:]
+			f := &p.frames[cand]
+			if f.state.Load() == FrameCool {
+				if mapped, ok := p.coolMap[f.pid]; ok && mapped == cand {
+					idx = cand
+					break
+				}
+			}
+			// Stale entry (page was re-swizzled or freed); skip.
+		}
+		p.coolMu.Unlock()
+		if idx < 0 {
+			break
+		}
+		f := &p.frames[idx]
+		if !f.Latch.TryLockExclusive() {
+			retry = append(retry, idx)
+			continue
+		}
+		if f.state.Load() != FrameCool {
+			f.Latch.UnlockExclusive()
+			continue
+		}
+		if f.writeback.Load() {
+			// A flush is in flight; try again later.
+			f.Latch.UnlockExclusive()
+			retry = append(retry, idx)
+			continue
+		}
+		if !f.Dirty() {
+			// Clean: evict (Figure 6 "evict" arc).
+			p.coolMu.Lock()
+			delete(p.coolMap, f.pid)
+			p.coolMu.Unlock()
+			f.state.Store(FrameFree)
+			f.pid = 0
+			f.parent = -1
+			f.Latch.UnlockExclusive()
+			p.freeC <- idx
+			p.evictions.Add(1)
+			continue
+		}
+		if p.cfg.NoSteal {
+			// No-steal configurations must not write dirty pages here; the
+			// page cycles back and allocation eventually stalls (Fig. 9 d).
+			f.Latch.UnlockExclusive()
+			retry = append(retry, idx)
+			continue
+		}
+		// Dirty: copy into the writeback buffer ("persist" arc); eviction
+		// happens on a later pass once the flush completed.
+		if !wb.Full() {
+			wb.Add(idx, f)
+		}
+		f.Latch.UnlockExclusive()
+		retry = append(retry, idx)
+		if wb.Full() {
+			wb.Flush()
+		}
+	}
+	if len(retry) > 0 {
+		// Back to the old end of the queue, preserving order.
+		p.coolMu.Lock()
+		p.coolQ = append(retry, p.coolQ...)
+		p.coolMu.Unlock()
+	}
+}

@@ -1,0 +1,109 @@
+package buffer
+
+import (
+	"sync/atomic"
+
+	"repro/internal/base"
+)
+
+// Writeback is the writeback buffer of §3.8: pages are copied out of the
+// pool under a brief exclusive latch (marking the frame writeBack), their
+// swizzled pointers replaced by page IDs in the copy, and the batch is then
+// written to the database file in one go followed by a single device flush.
+// Only after the flush does the persisted GSN of each frame advance — doing
+// it earlier could let the checkpointer prune the log too early (§3.8).
+//
+// Both the page provider and the checkpointer own one.
+type Writeback struct {
+	pool    *Pool
+	entries []wbEntry
+	arena   []byte
+	swipBuf []int
+	written *atomic.Uint64 // byte counter credited on flush
+}
+
+type wbEntry struct {
+	frameIdx int32
+	pid      base.PageID
+	gsn      base.GSN
+	off      int // offset of the copy within arena
+}
+
+// NewWriteback creates a writeback buffer crediting flushed bytes to
+// written (which may be nil).
+func NewWriteback(pool *Pool, batch int, written *atomic.Uint64) *Writeback {
+	return &Writeback{
+		pool:    pool,
+		arena:   make([]byte, batch*base.PageSize),
+		written: written,
+	}
+}
+
+// Len returns the number of buffered pages.
+func (w *Writeback) Len() int { return len(w.entries) }
+
+// Full reports whether the buffer reached its batch size.
+func (w *Writeback) Full() bool { return len(w.entries)*base.PageSize >= len(w.arena) }
+
+// Add copies the page in frame idx into the buffer. The caller holds the
+// frame's exclusive latch; the frame is marked writeBack (it may still be
+// modified — and even change hot/cool state — but must not be evicted until
+// the flush completes). Reports false if the buffer is full.
+func (w *Writeback) Add(idx int32, f *Frame) bool {
+	if w.Full() {
+		return false
+	}
+	off := len(w.entries) * base.PageSize
+	copyDst := w.arena[off : off+base.PageSize]
+	copy(copyDst, f.data)
+	// Replace swizzled swips with page IDs in the copy: in-memory pointers
+	// must never reach persistent storage (§3.8). Safe under the caller's
+	// latch: a swizzled child cannot be unswizzled or evicted while its
+	// parent is latched.
+	w.swipBuf = w.pool.cfg.Ops.ChildSwipOffsets(copyDst, w.swipBuf[:0])
+	for _, so := range w.swipBuf {
+		s := GetSwip(copyDst, so)
+		if s.IsSwizzled() {
+			child := w.pool.Frame(s.FrameIdx())
+			SetSwip(copyDst, so, SwipFromPID(child.pid))
+		}
+	}
+	f.writeback.Store(true)
+	w.entries = append(w.entries, wbEntry{
+		frameIdx: idx,
+		pid:      f.pid,
+		gsn:      PageGSN(copyDst),
+		off:      off,
+	})
+	return true
+}
+
+// Flush writes all buffered pages, flushes the device cache once, advances
+// the persisted GSNs, and clears the writeBack marks. Returns bytes written.
+func (w *Writeback) Flush() int {
+	if len(w.entries) == 0 {
+		return 0
+	}
+	// Write-ahead rule: all log records must be durable before any page
+	// image (possibly holding uncommitted changes — steal) hits the
+	// database file; otherwise undo information could be lost.
+	if w.pool.cfg.FlushLogs != nil {
+		w.pool.cfg.FlushLogs()
+	}
+	db := w.pool.dbFile
+	for _, e := range w.entries {
+		db.WriteAt(w.arena[e.off:e.off+base.PageSize], int64(e.pid)*base.PageSize)
+	}
+	db.Sync()
+	bytes := len(w.entries) * base.PageSize
+	for _, e := range w.entries {
+		f := w.pool.Frame(e.frameIdx)
+		f.advancePersistedGSN(e.gsn)
+		f.writeback.Store(false)
+	}
+	if w.written != nil {
+		w.written.Add(uint64(bytes))
+	}
+	w.entries = w.entries[:0]
+	return bytes
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitCleanReopenThenCrash guards the marker-continuity
+// invariant: after a clean shutdown and reopen, the stable-GSN marker from
+// the previous generation must stay valid (new GSNs exceed it), so a crash
+// right after the reopen cannot declassify previously acknowledged
+// group-commits into losers.
+func TestGroupCommitCleanReopenThenCrash(t *testing.T) {
+	cfg := testCfg(ModeGroupCommit)
+	e := mustOpen(t, cfg)
+	s := e.NewSession()
+	tree, _ := e.CreateTree(s, "t")
+	s.Begin()
+	for i := 0; i < 200; i++ {
+		if err := tree.Insert(s, k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+	if !e.Txns().WaitAllDurable(5 * time.Second) {
+		t.Fatal("commit never acked")
+	}
+	e.Close() // clean shutdown
+
+	cfg.PMem, cfg.SSD = e.Devices()
+	e2 := mustOpen(t, cfg)
+	// New-generation GSNs must exceed the old generation's.
+	if e2.WAL().MaxGSN() == 0 {
+		t.Fatal("GSN floor not applied on reopen")
+	}
+	s2 := e2.NewSession()
+	s2.Begin()
+	tree2 := e2.GetTree("t")
+	if err := tree2.Insert(s2, k(9999), v(9999)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Commit()
+	if !e2.Txns().WaitAllDurable(5 * time.Second) {
+		t.Fatal("second-generation commit never acked")
+	}
+
+	// Crash immediately: both generations' acked work must survive.
+	e3 := crashAndReopen(t, e2, cfg, 99)
+	defer e3.Close()
+	tree3 := e3.GetTree("t")
+	s3 := e3.NewSession()
+	s3.Begin()
+	for i := 0; i < 200; i += 11 {
+		got, ok := tree3.Lookup(s3, k(i), nil)
+		if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("first-generation key %d lost after reopen+crash", i)
+		}
+	}
+	if _, ok := tree3.Lookup(s3, k(9999), nil); !ok {
+		t.Fatal("second-generation key lost")
+	}
+	s3.Commit()
+}
+
+// TestTxnIDContinuityAcrossCrash: transaction IDs must never repeat across
+// generations — a repeated ID could make an old generation's loser records
+// inherit a new generation's commit during a later combined replay.
+func TestTxnIDContinuityAcrossCrash(t *testing.T) {
+	cfg := testCfg(ModeOurs)
+	e := mustOpen(t, cfg)
+	s := e.NewSession()
+	tree, _ := e.CreateTree(s, "t")
+	for i := 0; i < 50; i++ {
+		s.Begin()
+		tree.Insert(s, k(i), v(i))
+		s.Commit()
+	}
+	firstGenNext := e.Txns().NextTxnID()
+
+	e2 := crashAndReopen(t, e, cfg, 5)
+	defer e2.Close()
+	if got := e2.Txns().NextTxnID(); got < firstGenNext {
+		t.Fatalf("txn IDs rewound across crash: %d < %d", got, firstGenNext)
+	}
+}
+
+// TestLoserNotReUndoneAfterLaterWork is the dangerous scenario the loser
+// AbortEnd logging exists for: generation 1 crashes with an in-flight
+// insert of key X (loser, undone at recovery); generation 2 re-inserts X
+// and commits; a second crash replays both generations' logs — X must
+// survive (the gen-1 loser is "ended", not re-undone).
+func TestLoserNotReUndoneAfterLaterWork(t *testing.T) {
+	cfg := testCfg(ModeOurs)
+	e := mustOpen(t, cfg)
+	s := e.NewSession()
+	tree, _ := e.CreateTree(s, "t")
+	s.Begin()
+	tree.Insert(s, k(1), v(1))
+	s.Commit()
+	// In-flight insert of X, made durable via another session's flush-all
+	// commit (so its records definitely survive the crash).
+	s.Begin()
+	if err := tree.Insert(s, []byte("X"), []byte("loser-value")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.NewSessionOn(1)
+	s2.Begin()
+	tree.Insert(s2, k(2), v(2))
+	s2.Commit() // flushes all logs if RFA demands; force it:
+	e.WAL().FlushAllLogs()
+	s.AbandonForCrash()
+
+	e2 := crashAndReopen(t, e, cfg, 6)
+	tree2 := e2.GetTree("t")
+	sb := e2.NewSession()
+	sb.Begin()
+	if _, ok := tree2.Lookup(sb, []byte("X"), nil); ok {
+		t.Fatal("loser insert survived first recovery")
+	}
+	// Generation 2 commits X.
+	if err := tree2.Insert(sb, []byte("X"), []byte("committed-value")); err != nil {
+		t.Fatal(err)
+	}
+	sb.Commit()
+
+	// Second crash: combined history replays; X must keep the committed
+	// value.
+	e3 := crashAndReopen(t, e2, cfg, 7)
+	defer e3.Close()
+	tree3 := e3.GetTree("t")
+	sc := e3.NewSession()
+	sc.Begin()
+	got, ok := tree3.Lookup(sc, []byte("X"), nil)
+	if !ok || string(got) != "committed-value" {
+		t.Fatalf("gen-2 committed X destroyed by re-undo: %q ok=%v", got, ok)
+	}
+	sc.Commit()
+}

@@ -1,0 +1,834 @@
+// Package core wires the substrates into the complete storage engine: the
+// buffer manager with its page provider, the two-stage distributed WAL, the
+// transaction layer with RFA, the continuous checkpointer, restart
+// recovery, and the tree catalog. A Config.Mode selects between the paper's
+// design and every baseline of the evaluation section.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aries"
+	"repro/internal/base"
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/checkpoint"
+	"repro/internal/dev"
+	"repro/internal/recovery"
+	"repro/internal/silor"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Mode selects the logging/commit/checkpoint design (Figure 8's lines).
+type Mode int
+
+const (
+	// ModeOurs is the paper's design: per-worker logs on persistent memory,
+	// immediate commit with Remote Flush Avoidance, continuous
+	// checkpointing ("Our approach").
+	ModeOurs Mode = iota
+	// ModeNoRFA is the same but every commit flushes all logs ("No RFA").
+	ModeNoRFA
+	// ModeGroupCommit is Wang & Johnson's passive group commit [52]
+	// without RFA ("Group Commit").
+	ModeGroupCommit
+	// ModeGroupCommitRFA combines group commit with the RFA fast path
+	// (§3.2's fourth design point).
+	ModeGroupCommitRFA
+	// ModeARIES uses a single global log with per-append latching and
+	// synchronous commit flushes ("ARIES").
+	ModeARIES
+	// ModeAether is the single log with consolidated appends and flush
+	// pipelining ("Aether" [22]).
+	ModeAether
+	// ModeSiloR is value logging with epoch group commit, full-database
+	// tuple checkpoints, and no-steal ("SiloR"-style).
+	ModeSiloR
+	// ModeTextbook is the WiredTiger stand-in for Figure 12: single log,
+	// synchronous commits, and stop-the-world full checkpoints.
+	ModeTextbook
+	// ModeNoLogging disables logging entirely (Table 1 row 1).
+	ModeNoLogging
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeOurs:
+		return "ours"
+	case ModeNoRFA:
+		return "no-rfa"
+	case ModeGroupCommit:
+		return "group-commit"
+	case ModeGroupCommitRFA:
+		return "group-commit+rfa"
+	case ModeARIES:
+		return "aries"
+	case ModeAether:
+		return "aether"
+	case ModeSiloR:
+		return "silor"
+	case ModeTextbook:
+		return "textbook"
+	case ModeNoLogging:
+		return "no-logging"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config configures the engine.
+type Config struct {
+	Mode Mode
+	// Workers is the number of sessions/log partitions.
+	Workers int
+	// PoolPages sizes the buffer pool.
+	PoolPages int
+	// WALLimit bounds the live stage-2 log (checkpointing trigger).
+	WALLimit int64
+	// CheckpointShards is S of §3.4.
+	CheckpointShards int
+	// CheckpointThreads (paper: 2).
+	CheckpointThreads int
+	// CheckpointDisabled turns checkpointing off (Table 1 rows 1-5).
+	CheckpointDisabled bool
+	// ChunkSize / ChunksPerPartition / SegmentSize tune the WAL.
+	ChunkSize          int
+	ChunksPerPartition int
+	SegmentSize        int
+	// GroupCommitInterval is the committer tick / SiloR epoch length.
+	GroupCommitInterval time.Duration
+	// CompressionDisabled turns off log compression (§3.8 experiment).
+	CompressionDisabled bool
+	// StripUndoImages drops before-images (§3.6 volume experiment).
+	StripUndoImages bool
+	// CommitFlushDisabled / DiscardStaging are the Table 1 row toggles.
+	CommitFlushDisabled bool
+	DiscardStaging      bool
+	// Archive retains pruned segments in stage 3.
+	Archive bool
+	// RecoveryThreads parallelizes restart recovery.
+	RecoveryThreads int
+	// SiloREpoch overrides the epoch length (default 2ms).
+	SiloREpoch time.Duration
+
+	// PMem / SSD supply existing (possibly post-crash) devices; nil creates
+	// fresh ones.
+	PMem *dev.PMem
+	SSD  *dev.SSD
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = 2048
+	}
+	if c.WALLimit <= 0 {
+		c.WALLimit = 32 << 20
+	}
+	if c.CheckpointShards <= 0 {
+		c.CheckpointShards = 16
+	}
+	if c.CheckpointThreads <= 0 {
+		c.CheckpointThreads = 2
+	}
+	if c.RecoveryThreads <= 0 {
+		c.RecoveryThreads = 4
+	}
+	if c.SiloREpoch <= 0 {
+		c.SiloREpoch = 2 * time.Millisecond
+	}
+	if c.PMem == nil {
+		c.PMem = dev.NewPMem()
+	}
+	if c.SSD == nil {
+		c.SSD = dev.NewSSD()
+	}
+}
+
+// Engine is the storage engine instance.
+type Engine struct {
+	cfg Config
+
+	pm  *dev.PMem
+	ssd *dev.SSD
+
+	pool     *buffer.Pool
+	walMgr   *wal.Manager
+	backend  txn.Backend
+	ariesMgr *aries.Manager
+	silorMgr *silor.Manager
+	txns     *txn.Manager
+	ckpt     *checkpoint.Checkpointer
+
+	catalog *btree.BTree
+
+	treesMu     sync.RWMutex
+	treesByID   map[base.TreeID]*btree.BTree
+	treesByName map[string]*btree.BTree
+	nextTreeID  atomic.Uint64
+
+	sessionSeq atomic.Uint64
+
+	recoveryResult      *recovery.Result
+	silorRecoveryResult *silor.RecoverResult
+
+	silorChkSeq atomic.Uint64
+	silorChkWr  atomic.Uint64
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// masterFileName stores {magic, nextPID, nextTreeID}, updated on every
+// checkpoint so recovery can restore the allocators.
+const masterFileName = "master"
+
+// Open creates or reopens an engine on the given devices, running restart
+// recovery first when crash state is present.
+func Open(cfg Config) (*Engine, error) {
+	cfg.fillDefaults()
+	e := &Engine{
+		cfg:         cfg,
+		pm:          cfg.PMem,
+		ssd:         cfg.SSD,
+		treesByID:   make(map[base.TreeID]*btree.BTree),
+		treesByName: make(map[string]*btree.BTree),
+		stop:        make(chan struct{}),
+	}
+	e.nextTreeID.Store(uint64(base.CatalogTreeID) + 1)
+
+	// ---- Restart recovery (before anything else touches the devices) ----
+	master := e.readMaster()
+	oldSegments := wal.LiveSegmentNames(e.ssd) // removed after recovery
+	hasWAL := len(oldSegments) > 0 || len(e.pm.Regions()) > 0
+	if cfg.Mode == ModeSiloR {
+		if len(e.ssd.List("silor/")) > 0 || hasWAL {
+			e.silorRecoveryResult = silor.Recover(e.ssd)
+			// Value logging cannot recover pages: the database file and
+			// every index are rebuilt from tuples below (§2.2).
+			e.ssd.Remove("db")
+		}
+	} else if hasWAL {
+		e.recoveryResult = recovery.Run(e.ssd, e.pm, "db", cfg.RecoveryThreads)
+	}
+	e.pm.ReleaseAll() // recovery consumed the old stage-1 chunks
+
+	// Cross-generation floors: GSNs and transaction IDs continue past both
+	// the last checkpointed state and everything seen in the replayed log.
+	gsnFloor := master.maxGSN
+	txnFloor := master.nextTxnID
+	if e.recoveryResult != nil {
+		if e.recoveryResult.MaxGSN > gsnFloor {
+			gsnFloor = e.recoveryResult.MaxGSN
+		}
+		if e.recoveryResult.MaxTxnID >= txnFloor {
+			txnFloor = e.recoveryResult.MaxTxnID + 1
+		}
+	}
+
+	// ---- Buffer pool ----
+	e.pool = buffer.NewPool(buffer.Config{
+		Frames:  cfg.PoolPages,
+		SSD:     e.ssd,
+		Ops:     btree.PageOps{},
+		NoSteal: cfg.Mode == ModeSiloR,
+		FlushLogs: func() {
+			if cfg.Mode != ModeNoLogging {
+				e.walMgr.FlushAllLogs()
+			}
+		},
+	})
+
+	// ---- WAL + backend ----
+	wcfg := wal.Config{
+		ChunkSize:           cfg.ChunkSize,
+		ChunksPerPartition:  cfg.ChunksPerPartition,
+		SegmentSize:         cfg.SegmentSize,
+		Compression:         !cfg.CompressionDisabled,
+		StripUndoImages:     cfg.StripUndoImages,
+		Archive:             cfg.Archive,
+		CommitFlushDisabled: cfg.CommitFlushDisabled,
+		DiscardStaging:      cfg.DiscardStaging,
+		GroupCommitInterval: cfg.GroupCommitInterval,
+		GSNFloor:            gsnFloor,
+		PMem:                e.pm,
+		SSD:                 e.ssd,
+	}
+	rfa := false
+	switch cfg.Mode {
+	case ModeOurs:
+		wcfg.Partitions = cfg.Workers
+		wcfg.PersistMode = wal.PersistPMem
+		rfa = true
+	case ModeNoRFA:
+		wcfg.Partitions = cfg.Workers
+		wcfg.PersistMode = wal.PersistPMem
+	case ModeGroupCommit, ModeGroupCommitRFA:
+		wcfg.Partitions = cfg.Workers
+		wcfg.PersistMode = wal.PersistPMem
+		wcfg.GroupCommit = true
+		rfa = cfg.Mode == ModeGroupCommitRFA
+	case ModeARIES, ModeTextbook:
+		wcfg.Partitions = 1
+		wcfg.PersistMode = wal.PersistPMem
+	case ModeNoLogging:
+		// Nothing is ever appended, but sessions still validate their
+		// worker index against the backend.
+		wcfg.Partitions = cfg.Workers
+		wcfg.PersistMode = wal.PersistPMem
+	case ModeAether:
+		wcfg.Partitions = 1
+		wcfg.PersistMode = wal.PersistPMem
+		wcfg.GroupCommit = true
+	case ModeSiloR:
+		wcfg.Partitions = cfg.Workers
+		wcfg.PersistMode = wal.PersistDRAM
+		wcfg.GroupCommit = true
+		if wcfg.GroupCommitInterval <= 0 {
+			wcfg.GroupCommitInterval = cfg.SiloREpoch
+		}
+	}
+	e.walMgr = wal.NewManager(wcfg)
+
+	switch cfg.Mode {
+	case ModeARIES, ModeTextbook:
+		e.ariesMgr = aries.New(e.walMgr, false)
+		e.backend = e.ariesMgr
+	case ModeAether:
+		e.ariesMgr = aries.New(e.walMgr, true)
+		e.backend = e.ariesMgr
+	case ModeSiloR:
+		e.silorMgr = silor.New(e.walMgr)
+		e.backend = e.silorMgr
+	default:
+		e.backend = e.walMgr
+	}
+
+	// ---- Transactions ----
+	throttle := func() {
+		// Log-device backpressure: with the WAL far over its limit, stall
+		// new transactions until checkpointing truncates it (a full log
+		// device would otherwise mean an outage, §3.3).
+		for i := 0; int64(e.walMgr.LiveWALBytes()) > 2*cfg.WALLimit && i < 10000; i++ {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	if cfg.CheckpointDisabled || cfg.Mode == ModeNoLogging {
+		throttle = nil
+	}
+	asyncCommit := cfg.Mode == ModeGroupCommit || cfg.Mode == ModeGroupCommitRFA ||
+		cfg.Mode == ModeAether || cfg.Mode == ModeSiloR
+	e.txns = txn.NewManager(txn.Config{
+		Backend:      e.backend,
+		RFA:          rfa,
+		NoLogging:    cfg.Mode == ModeNoLogging,
+		AsyncCommit:  asyncCommit,
+		StartTxnID:   txnFloor,
+		TreeResolver: e.treeByID,
+		Throttle:     throttle,
+	})
+
+	// ---- Checkpointer ----
+	fullCkpt := (cfg.Mode == ModeARIES || cfg.Mode == ModeAether || cfg.Mode == ModeTextbook) &&
+		!cfg.CheckpointDisabled
+	e.ckpt = checkpoint.New(checkpoint.Config{
+		Pool:           e.pool,
+		WAL:            e.walMgr,
+		Txns:           e.txns,
+		WALLimit:       cfg.WALLimit,
+		Shards:         cfg.CheckpointShards,
+		Threads:        cfg.CheckpointThreads,
+		Full:           fullCkpt,
+		OnCheckpointed: func(base.GSN) { e.writeMaster() },
+	})
+	checkpointingActive := !cfg.CheckpointDisabled && cfg.Mode != ModeNoLogging && cfg.Mode != ModeSiloR
+	if checkpointingActive && !fullCkpt {
+		// Continuous mode: increments are triggered by staged WAL volume.
+		e.setWALOnStaged(e.ckpt.NotifyStaged)
+	}
+	if cfg.Mode == ModeSiloR && !cfg.CheckpointDisabled {
+		// SiloR checkpoint thread: full-database tuple checkpoints whenever
+		// the value log exceeds its limit (§2.3 / Figure 9 b-c).
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.silorCheckpointLoop()
+		}()
+	}
+
+	// ---- Catalog and trees ----
+	if err := e.openCatalog(master.nextPID, master.nextTreeID); err != nil {
+		return nil, err
+	}
+
+	// ---- Finish recovery: logical undo, checkpoint, fresh log ----
+	if e.recoveryResult != nil {
+		e.pool.BumpPIDFloor(e.recoveryResult.MaxPID)
+		e.runRecoveryUndo()
+		e.ckpt.CheckpointAll()
+		// Stage recovery-generated records (the losers' AbortEnds) so the
+		// archive covers them, then archive and drop exactly the previous
+		// generation's segments — the live manager's new files (and the
+		// stable-GSN marker, still valid thanks to the GSN floor) stay.
+		e.walMgr.StageAllToSSD()
+		if cfg.Archive {
+			wal.ArchiveAllLive(e.ssd)
+		}
+		wal.RemoveFiles(e.ssd, oldSegments)
+	}
+	if e.silorRecoveryResult != nil {
+		e.rebuildFromTuples(e.silorRecoveryResult.Tuples)
+		for _, n := range e.ssd.List("silor/") {
+			e.ssd.Remove(n)
+		}
+		wal.RemoveFiles(e.ssd, oldSegments)
+	}
+	return e, nil
+}
+
+// setWALOnStaged installs the staged-bytes hook (done post-construction so
+// the checkpointer can exist first).
+func (e *Engine) setWALOnStaged(fn func(int)) {
+	e.walMgr.SetOnStaged(fn)
+}
+
+// masterRecord carries the cross-restart floors: page/tree/transaction
+// allocators and the GSN high-water mark (GSNs must stay globally monotone
+// across generations so persisted page GSNs and the group-commit stable
+// marker remain valid).
+type masterRecord struct {
+	nextPID    base.PageID
+	nextTreeID base.TreeID
+	nextTxnID  base.TxnID
+	maxGSN     base.GSN
+}
+
+// readMaster loads the master record (zero values when absent).
+func (e *Engine) readMaster() masterRecord {
+	f := e.ssd.Open(masterFileName)
+	var b [40]byte
+	n := f.ReadAt(b[:], 0)
+	if n < 24 || binary.LittleEndian.Uint32(b[:]) != 0x4D535452 {
+		return masterRecord{}
+	}
+	m := masterRecord{
+		nextPID:    base.PageID(binary.LittleEndian.Uint64(b[8:])),
+		nextTreeID: base.TreeID(binary.LittleEndian.Uint64(b[16:])),
+	}
+	if n >= 40 {
+		m.nextTxnID = base.TxnID(binary.LittleEndian.Uint64(b[24:]))
+		m.maxGSN = base.GSN(binary.LittleEndian.Uint64(b[32:]))
+	}
+	return m
+}
+
+// writeMaster persists the master record.
+func (e *Engine) writeMaster() {
+	f := e.ssd.Open(masterFileName)
+	var b [40]byte
+	binary.LittleEndian.PutUint32(b[:], 0x4D535452)
+	binary.LittleEndian.PutUint64(b[8:], uint64(e.pool.NextPID()))
+	binary.LittleEndian.PutUint64(b[16:], e.nextTreeID.Load())
+	binary.LittleEndian.PutUint64(b[24:], uint64(e.txns.NextTxnID()))
+	binary.LittleEndian.PutUint64(b[32:], uint64(e.walMgr.MaxGSN()))
+	f.WriteAt(b[:], 0)
+	f.Sync()
+}
+
+// openCatalog creates or opens the catalog tree and loads all user trees.
+func (e *Engine) openCatalog(masterPID base.PageID, masterTree base.TreeID) error {
+	if masterPID > 0 {
+		e.pool.BumpPIDFloor(masterPID)
+	}
+	if uint64(masterTree) >= e.nextTreeID.Load() {
+		e.nextTreeID.Store(uint64(masterTree))
+	}
+	fresh := e.ssd.Open("db").Size() < 2*base.PageSize
+	if fresh {
+		boot := e.txns.NewSession(0)
+		boot.Begin()
+		e.catalog = btree.Create(e.pool, boot, base.CatalogTreeID, 1)
+		boot.Commit()
+	} else {
+		e.catalog = btree.Open(e.pool, base.CatalogTreeID, 1)
+	}
+	e.treesByID[base.CatalogTreeID] = e.catalog
+
+	// Load user trees from the catalog.
+	ctx := &readCtx{}
+	type entry struct {
+		name string
+		id   base.TreeID
+		meta base.PageID
+	}
+	var entries []entry
+	e.catalog.ScanAsc(ctx, nil, func(k, v []byte) bool {
+		if len(v) == 16 {
+			entries = append(entries, entry{
+				name: string(k),
+				id:   base.TreeID(binary.LittleEndian.Uint64(v)),
+				meta: base.PageID(binary.LittleEndian.Uint64(v[8:])),
+			})
+		}
+		return true
+	})
+	for _, en := range entries {
+		t := btree.Open(e.pool, en.id, en.meta)
+		e.treesByID[en.id] = t
+		e.treesByName[en.name] = t
+		if uint64(en.id) >= e.nextTreeID.Load() {
+			e.nextTreeID.Store(uint64(en.id) + 1)
+		}
+	}
+	return nil
+}
+
+// readCtx is a context for engine-internal reads and recovery undo: it
+// keeps a local GSN clock and never logs... reads never log; recovery undo
+// uses noLogCtx below.
+type readCtx struct {
+	gsn base.GSN
+}
+
+func (c *readCtx) WorkerID() int32 { return 0 }
+func (c *readCtx) OnPageAccess(_ *buffer.Frame, gsn base.GSN) {
+	if gsn > c.gsn {
+		c.gsn = gsn
+	}
+}
+func (c *readCtx) Log(f *buffer.Frame, rec *wal.Record) base.GSN {
+	panic("core: readCtx cannot log")
+}
+
+// noLogCtx performs recovery-undo modifications: page GSNs advance (so
+// dirtiness tracking and the final checkpoint work) but nothing is logged —
+// recovery undo is made idempotent by the logical operations themselves, so
+// a crash during undo simply reruns it (§3.7 note in DESIGN.md).
+type noLogCtx struct {
+	gsn base.GSN
+}
+
+func (c *noLogCtx) WorkerID() int32 { return 0 }
+func (c *noLogCtx) OnPageAccess(_ *buffer.Frame, gsn base.GSN) {
+	if gsn > c.gsn {
+		c.gsn = gsn
+	}
+}
+func (c *noLogCtx) Log(f *buffer.Frame, rec *wal.Record) base.GSN {
+	prop := c.gsn
+	if pg := buffer.PageGSN(f.Data()); pg > prop {
+		prop = pg
+	}
+	c.gsn = prop + 1
+	rec.GSN = c.gsn
+	return c.gsn
+}
+
+// runRecoveryUndo reverts every loser transaction logically (§3.7 phase 3)
+// and logs an end-of-transaction record for each, so that a later recovery
+// (or a media restore replaying the archived history) classifies the loser
+// as ended instead of undoing it a second time — which could otherwise
+// destroy committed work of a newer generation on the same keys.
+func (e *Engine) runRecoveryUndo() {
+	ctx := &noLogCtx{}
+	for txnID, recs := range e.recoveryResult.UndoWork {
+		for i := len(recs) - 1; i >= 0; i-- {
+			rec := &recs[i]
+			tree := e.treeByID(rec.Tree)
+			if tree == nil {
+				continue // the tree-create was itself undone via the catalog
+			}
+			tree.UndoOp(ctx, rec.Type, rec.Key, rec.Before, rec.Diffs)
+		}
+		if e.cfg.Mode != ModeNoLogging {
+			e.walMgr.AcquireOwnership(0)
+			e.walMgr.AbortEnd(0, txnID, ctx.gsn)
+			e.walMgr.ReleaseOwnership(0)
+		}
+	}
+}
+
+// rebuildFromTuples recreates the whole database from value-log recovery
+// output (SiloR mode): indexes cannot be recovered and are rebuilt (§2.2).
+func (e *Engine) rebuildFromTuples(tuples map[base.TreeID]map[string][]byte) {
+	boot := e.txns.NewSession(0)
+	// Recreate user trees preserving their IDs; catalog entries are
+	// rewritten with the new meta page IDs.
+	catalogTuples := tuples[base.CatalogTreeID]
+	for name, v := range catalogTuples {
+		if len(v) != 16 {
+			continue
+		}
+		id := base.TreeID(binary.LittleEndian.Uint64(v))
+		boot.Begin()
+		tree := btree.Create(e.pool, boot, id, e.pool.AllocPID())
+		var val [16]byte
+		binary.LittleEndian.PutUint64(val[:], uint64(id))
+		binary.LittleEndian.PutUint64(val[8:], uint64(tree.MetaPID()))
+		if err := e.catalog.Insert(boot, []byte(name), val[:]); err != nil {
+			boot.Abort()
+			continue
+		}
+		boot.Commit()
+		e.treesByID[id] = tree
+		e.treesByName[name] = tree
+		if uint64(id) >= e.nextTreeID.Load() {
+			e.nextTreeID.Store(uint64(id) + 1)
+		}
+		// Reinsert the tuples (index rebuild).
+		m := tuples[id]
+		boot.Begin()
+		n := 0
+		for k, val := range m {
+			if err := tree.Insert(boot, []byte(k), val); err != nil {
+				panic(err)
+			}
+			if n++; n%1000 == 0 { // bound transaction size during rebuild
+				boot.Commit()
+				boot.Begin()
+			}
+		}
+		boot.Commit()
+	}
+}
+
+func (e *Engine) treeByID(id base.TreeID) *btree.BTree {
+	e.treesMu.RLock()
+	defer e.treesMu.RUnlock()
+	return e.treesByID[id]
+}
+
+// silorCheckpointLoop triggers full tuple checkpoints when the value log
+// exceeds the limit.
+func (e *Engine) silorCheckpointLoop() {
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+		}
+		if int64(e.walMgr.LiveWALBytes()) >= e.cfg.WALLimit {
+			seq := e.silorChkSeq.Add(1)
+			n := e.silorMgr.CheckpointFull(e, seq)
+			e.silorChkWr.Add(uint64(n))
+		}
+	}
+}
+
+// ScanAllTuples implements silor.TupleSource: a fuzzy scan of every tree.
+func (e *Engine) ScanAllTuples(fn func(tree base.TreeID, key, val []byte) bool) {
+	e.treesMu.RLock()
+	trees := make([]*btree.BTree, 0, len(e.treesByID))
+	for _, t := range e.treesByID {
+		trees = append(trees, t)
+	}
+	e.treesMu.RUnlock()
+	ctx := &readCtx{}
+	n := 0
+	for _, t := range trees {
+		stop := false
+		t.ScanAsc(ctx, nil, func(k, v []byte) bool {
+			if n++; n%64 == 0 {
+				// The checkpoint scan runs on its own core in the paper's
+				// setup; on a single-CPU runtime it must yield or it
+				// starves every worker for the whole scan.
+				runtime.Gosched()
+			}
+			if !fn(t.ID, k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// NewSession returns a session pinned to the next worker round-robin.
+func (e *Engine) NewSession() *txn.Session {
+	w := int(e.sessionSeq.Add(1)-1) % e.cfg.Workers
+	return e.txns.NewSession(w)
+}
+
+// NewSessionOn pins a session to a specific worker.
+func (e *Engine) NewSessionOn(worker int) *txn.Session {
+	return e.txns.NewSession(worker)
+}
+
+// CreateTree creates a named B+-tree in its own transaction on s.
+func (e *Engine) CreateTree(s *txn.Session, name string) (*btree.BTree, error) {
+	e.treesMu.Lock()
+	if _, exists := e.treesByName[name]; exists {
+		e.treesMu.Unlock()
+		return nil, fmt.Errorf("core: tree %q already exists", name)
+	}
+	e.treesMu.Unlock()
+
+	id := base.TreeID(e.nextTreeID.Add(1) - 1)
+	s.Begin()
+	tree := btree.Create(e.pool, s, id, e.pool.AllocPID())
+	var val [16]byte
+	binary.LittleEndian.PutUint64(val[:], uint64(id))
+	binary.LittleEndian.PutUint64(val[8:], uint64(tree.MetaPID()))
+	if err := e.catalog.Insert(s, []byte(name), val[:]); err != nil {
+		s.Abort()
+		return nil, err
+	}
+	s.Commit()
+
+	e.treesMu.Lock()
+	e.treesByID[id] = tree
+	e.treesByName[name] = tree
+	e.treesMu.Unlock()
+	return tree, nil
+}
+
+// GetTree returns the named tree or nil.
+func (e *Engine) GetTree(name string) *btree.BTree {
+	e.treesMu.RLock()
+	defer e.treesMu.RUnlock()
+	return e.treesByName[name]
+}
+
+// Trees lists all user trees.
+func (e *Engine) Trees() map[string]*btree.BTree {
+	e.treesMu.RLock()
+	defer e.treesMu.RUnlock()
+	out := make(map[string]*btree.BTree, len(e.treesByName))
+	for n, t := range e.treesByName {
+		out[n] = t
+	}
+	return out
+}
+
+// RecoveryResult returns the last restart recovery's statistics (nil if the
+// engine started fresh).
+func (e *Engine) RecoveryResult() *recovery.Result { return e.recoveryResult }
+
+// SiloRRecoveryResult returns value-log recovery statistics.
+func (e *Engine) SiloRRecoveryResult() *silor.RecoverResult { return e.silorRecoveryResult }
+
+// Pool exposes the buffer pool (harness, tests).
+func (e *Engine) Pool() *buffer.Pool { return e.pool }
+
+// WAL exposes the log manager (harness, tests).
+func (e *Engine) WAL() *wal.Manager { return e.walMgr }
+
+// Txns exposes the transaction manager (harness, tests).
+func (e *Engine) Txns() *txn.Manager { return e.txns }
+
+// Checkpointer exposes the checkpointer (harness, tests).
+func (e *Engine) Checkpointer() *checkpoint.Checkpointer { return e.ckpt }
+
+// Devices returns the underlying simulated devices.
+func (e *Engine) Devices() (*dev.PMem, *dev.SSD) { return e.pm, e.ssd }
+
+// CheckpointNow synchronously writes all dirty pages and truncates the log.
+func (e *Engine) CheckpointNow() { e.ckpt.CheckpointAll() }
+
+// Interrupt aborts workers stalled on page allocation (the no-steal
+// out-of-memory stall of Figure 9 d): their blocked operations panic with
+// buffer.ErrPoolInterrupted, which drivers recover from and then abandon
+// the session. Call before Close when workers may be stalled.
+func (e *Engine) Interrupt() { e.pool.Interrupt() }
+
+// Close shuts the engine down cleanly: checkpoint everything, drain the
+// log, stop background threads.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.stop)
+	e.wg.Wait()
+	if e.cfg.Mode != ModeNoLogging && e.cfg.Mode != ModeSiloR {
+		e.ckpt.CheckpointAll()
+	}
+	e.writeMaster()
+	e.ckpt.Close()
+	if e.ariesMgr != nil {
+		e.ariesMgr.Close()
+	}
+	e.walMgr.Close(true)
+	e.pool.Close()
+	return nil
+}
+
+// SimulateCrash kills the engine without flushing anything and applies the
+// devices' crash semantics (PMem torn tails; SSD drops unsynced writes; in
+// DRAM-log modes stage 1 is lost entirely). The devices can then be passed
+// to Open for recovery. The engine must not be used afterwards; all
+// sessions must be idle.
+func (e *Engine) SimulateCrash(seed uint64) (*dev.PMem, *dev.SSD) {
+	if !e.closed.CompareAndSwap(false, true) {
+		panic("core: engine already closed")
+	}
+	close(e.stop)
+	e.wg.Wait()
+	e.ckpt.Close()
+	if e.ariesMgr != nil {
+		e.ariesMgr.Close()
+	}
+	e.walMgr.Close(false)
+	e.pool.Close()
+	if e.walPersistsToDRAM() {
+		e.pm.CrashVolatile()
+	} else {
+		e.pm.Crash(seed)
+	}
+	e.ssd.Crash()
+	return e.pm, e.ssd
+}
+
+func (e *Engine) walPersistsToDRAM() bool {
+	return e.cfg.Mode == ModeSiloR
+}
+
+// Stats aggregates engine-wide statistics for the benchmark harness.
+type Stats struct {
+	Txns txn.Stats
+	WAL  wal.Stats
+	Pool buffer.Stats
+	Ckpt checkpoint.Stats
+
+	LiveWALBytes  uint64
+	SSDBytesRead  uint64
+	SSDBytesWrite uint64
+	SSDSyncs      uint64
+	PMemWritten   uint64
+	PMemFlushed   uint64
+	SiloRChkBytes uint64
+}
+
+// Stats snapshots all counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Txns:          e.txns.Stats(),
+		WAL:           e.walMgr.Stats(),
+		Pool:          e.pool.Stats(),
+		Ckpt:          e.ckpt.Stats(),
+		LiveWALBytes:  e.walMgr.LiveWALBytes(),
+		SSDBytesRead:  e.ssd.BytesRead(),
+		SSDBytesWrite: e.ssd.BytesWritten(),
+		SSDSyncs:      e.ssd.SyncOps(),
+		PMemWritten:   e.pm.BytesWritten(),
+		PMemFlushed:   e.pm.BytesFlushed(),
+		SiloRChkBytes: e.silorChkWr.Load(),
+	}
+}
+
+// Workers returns the configured worker/session count.
+func (e *Engine) Workers() int { return e.cfg.Workers }

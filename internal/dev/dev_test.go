@@ -1,0 +1,226 @@
+package dev
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPMemFlushSurvivesCrash(t *testing.T) {
+	pm := NewPMem()
+	pm.TearSurviveProb = 0 // drop every unflushed line
+	r := pm.Allocate(4096)
+	r.Write(0, []byte("durable-part"))
+	r.FlushTo(12)
+	r.Write(12, []byte("volatile-part"))
+	pm.Crash(1)
+	if got := string(r.Bytes()[:12]); got != "durable-part" {
+		t.Fatalf("flushed data lost: %q", got)
+	}
+	if !bytes.Equal(r.Bytes()[12:25], make([]byte, 13)) {
+		t.Fatalf("unflushed data survived with TearSurviveProb=0: %q", r.Bytes()[12:25])
+	}
+}
+
+func TestPMemTornTailPartialSurvival(t *testing.T) {
+	pm := NewPMem()
+	pm.TearSurviveProb = 0.5
+	r := pm.Allocate(64 * 64)
+	data := make([]byte, 64*64)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	r.Write(0, data)
+	r.FlushTo(64) // only first line durable
+	pm.Crash(7)
+	// First line always survives.
+	for i := 0; i < 64; i++ {
+		if r.Bytes()[i] != 0xAB {
+			t.Fatalf("flushed byte %d lost", i)
+		}
+	}
+	// Tail: some lines survive, some are zeroed (probabilistic but with 63
+	// lines the chance of all-or-nothing is ~2^-63).
+	survived, lost := 0, 0
+	for line := 1; line < 64; line++ {
+		if r.Bytes()[line*64] == 0xAB {
+			survived++
+		} else {
+			lost++
+		}
+	}
+	if survived == 0 || lost == 0 {
+		t.Fatalf("tearing not partial: survived=%d lost=%d", survived, lost)
+	}
+	// Lines are all-or-nothing.
+	for line := 1; line < 64; line++ {
+		first := r.Bytes()[line*64]
+		for i := 0; i < 64; i++ {
+			if r.Bytes()[line*64+i] != first {
+				t.Fatalf("line %d torn within a cache line", line)
+			}
+		}
+	}
+}
+
+func TestPMemFlushIsMonotone(t *testing.T) {
+	pm := NewPMem()
+	r := pm.Allocate(1024)
+	r.Write(0, make([]byte, 512))
+	r.FlushTo(512)
+	r.FlushTo(100) // must not rewind
+	if r.Flushed() != 512 {
+		t.Fatalf("watermark rewound to %d", r.Flushed())
+	}
+}
+
+func TestPMemReset(t *testing.T) {
+	pm := NewPMem()
+	r := pm.Allocate(128)
+	r.Write(0, []byte("abc"))
+	r.FlushTo(3)
+	r.Reset()
+	if r.Written() != 0 || r.Flushed() != 0 {
+		t.Fatal("reset must rewind watermarks")
+	}
+	for _, b := range r.Bytes() {
+		if b != 0 {
+			t.Fatal("reset must zero the buffer")
+		}
+	}
+}
+
+func TestPMemAccounting(t *testing.T) {
+	pm := NewPMem()
+	r := pm.Allocate(1024)
+	r.Write(0, make([]byte, 100))
+	r.FlushTo(100)
+	if pm.BytesWritten() != 100 || pm.BytesFlushed() != 100 || pm.FlushOps() != 1 {
+		t.Fatalf("accounting wrong: %d %d %d", pm.BytesWritten(), pm.BytesFlushed(), pm.FlushOps())
+	}
+}
+
+func TestPMemCrashVolatile(t *testing.T) {
+	pm := NewPMem()
+	r := pm.Allocate(128)
+	r.Write(0, []byte("abc"))
+	r.FlushTo(3)
+	pm.CrashVolatile()
+	for _, b := range r.Bytes() {
+		if b != 0 {
+			t.Fatal("CrashVolatile must zero even flushed data")
+		}
+	}
+}
+
+func TestSSDSyncAndCrash(t *testing.T) {
+	d := NewSSD()
+	f := d.Open("db")
+	f.WriteAt([]byte("synced"), 0)
+	f.Sync()
+	f.WriteAt([]byte("unsynced"), 6)
+	d.Crash()
+	buf := make([]byte, 16)
+	n := f.ReadAt(buf, 0)
+	if string(buf[:n]) != "synced" {
+		t.Fatalf("after crash: %q", buf[:n])
+	}
+}
+
+func TestSSDCrashDropsNewFiles(t *testing.T) {
+	d := NewSSD()
+	f := d.Open("x")
+	f.WriteAt([]byte("hello"), 0)
+	d.Crash()
+	if f.Size() != 0 {
+		t.Fatalf("never-synced file should be empty after crash, size=%d", f.Size())
+	}
+}
+
+func TestSSDPartialSyncRanges(t *testing.T) {
+	d := NewSSD()
+	f := d.Open("db")
+	f.WriteAt([]byte("aaaa"), 0)
+	f.Sync()
+	f.WriteAt([]byte("bb"), 1) // overwrite middle, unsynced
+	d.Crash()
+	buf := make([]byte, 4)
+	f.ReadAt(buf, 0)
+	if string(buf) != "aaaa" {
+		t.Fatalf("unsynced overwrite survived: %q", buf)
+	}
+	f.WriteAt([]byte("cc"), 1)
+	f.Sync()
+	d.Crash()
+	f.ReadAt(buf, 0)
+	if string(buf) != "acca" {
+		t.Fatalf("synced overwrite lost: %q", buf)
+	}
+}
+
+func TestSSDOpenIsIdempotent(t *testing.T) {
+	d := NewSSD()
+	a := d.Open("f")
+	a.WriteAt([]byte("z"), 0)
+	b := d.Open("f")
+	if a != b {
+		t.Fatal("Open must return the same handle")
+	}
+}
+
+func TestSSDListAndRemove(t *testing.T) {
+	d := NewSSD()
+	d.Open("wal/p000/seg1")
+	d.Open("wal/p000/seg2")
+	d.Open("wal/p001/seg1")
+	d.Open("db")
+	if got := d.List("wal/p000/"); len(got) != 2 {
+		t.Fatalf("List: %v", got)
+	}
+	if got := d.List("wal/"); len(got) != 3 {
+		t.Fatalf("List: %v", got)
+	}
+	d.Remove("wal/p000/seg1")
+	if got := d.List("wal/p000/"); len(got) != 1 || got[0] != "wal/p000/seg2" {
+		t.Fatalf("after Remove: %v", got)
+	}
+}
+
+func TestSSDReadPastEOF(t *testing.T) {
+	d := NewSSD()
+	f := d.Open("f")
+	f.WriteAt([]byte("abc"), 0)
+	buf := make([]byte, 10)
+	if n := f.ReadAt(buf, 1); n != 2 || string(buf[:n]) != "bc" {
+		t.Fatalf("short read wrong: n=%d %q", n, buf[:n])
+	}
+	if n := f.ReadAt(buf, 100); n != 0 {
+		t.Fatalf("read past EOF returned %d", n)
+	}
+}
+
+func TestSSDAccounting(t *testing.T) {
+	d := NewSSD()
+	f := d.Open("f")
+	f.WriteAt(make([]byte, 100), 0)
+	f.Sync()
+	buf := make([]byte, 50)
+	f.ReadAt(buf, 0)
+	if d.BytesWritten() != 100 || d.BytesRead() != 50 || d.SyncOps() != 1 {
+		t.Fatalf("accounting: w=%d r=%d s=%d", d.BytesWritten(), d.BytesRead(), d.SyncOps())
+	}
+}
+
+func TestSSDTruncate(t *testing.T) {
+	d := NewSSD()
+	f := d.Open("f")
+	f.WriteAt([]byte("abcdef"), 0)
+	f.Sync()
+	f.Truncate(3)
+	if f.Size() != 3 {
+		t.Fatalf("size after truncate: %d", f.Size())
+	}
+	d.Crash()
+	if f.Size() != 3 {
+		t.Fatalf("truncate not durable: %d", f.Size())
+	}
+}

@@ -1,0 +1,214 @@
+// Package dev simulates the two storage devices the paper's design is built
+// around, with faithful durability semantics and crash behaviour:
+//
+//   - PMem: byte-addressable persistent memory (Intel Optane DCPMM in
+//     app-direct mode in the paper). Writes land in the CPU cache; they only
+//     become durable after an explicit flush (persist barrier). On a crash,
+//     everything below the flush watermark survives, while unflushed data may
+//     persist *partially and in arbitrary cache-line order* — the "torn tail"
+//     that motivates the per-record popcount checksum of §3.8.
+//
+//   - SSD: a named block store standing in for an O_DIRECT NVMe device plus
+//     filesystem. Writes land in the device cache and become durable on Sync
+//     (fdatasync); a crash drops unsynced writes.
+//
+// Both devices account bytes read/written/synced so the benchmark harness can
+// reproduce the MB/s time series of Figures 9 and 12, and both support an
+// optional latency/bandwidth model for the out-of-memory experiments.
+package dev
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sys"
+)
+
+// CacheLine is the persistence granularity of the simulated PMem device.
+const CacheLine = 64
+
+// PMem models a persistent-memory device from which fixed regions (WAL
+// chunks) are allocated. All counters are device-wide.
+type PMem struct {
+	mu      sync.Mutex
+	regions []*PMemRegion
+
+	// TearSurviveProb is the probability that an unflushed cache line
+	// nevertheless reaches the medium before a crash (lines leave the CPU in
+	// arbitrary order). 0 drops the whole unflushed tail; 1 keeps it all.
+	TearSurviveProb float64
+
+	bytesWritten atomic.Uint64
+	bytesFlushed atomic.Uint64
+	flushOps     atomic.Uint64
+}
+
+// NewPMem returns an empty simulated persistent-memory device with a
+// default torn-tail survival probability of 0.5.
+func NewPMem() *PMem {
+	return &PMem{TearSurviveProb: 0.5}
+}
+
+// Allocate carves a new zeroed region of the given size out of the device.
+// Regions correspond to the paper's WAL chunks (DAX-mapped files).
+func (p *PMem) Allocate(size int) *PMemRegion {
+	r := &PMemRegion{
+		dev:  p,
+		live: make([]byte, size),
+	}
+	p.mu.Lock()
+	p.regions = append(p.regions, r)
+	p.mu.Unlock()
+	return r
+}
+
+// BytesWritten returns the total bytes stored into the device.
+func (p *PMem) BytesWritten() uint64 { return p.bytesWritten.Load() }
+
+// BytesFlushed returns the total bytes made durable via flush barriers.
+func (p *PMem) BytesFlushed() uint64 { return p.bytesFlushed.Load() }
+
+// FlushOps returns the number of persist barriers issued.
+func (p *PMem) FlushOps() uint64 { return p.flushOps.Load() }
+
+// Regions returns all allocated regions (used by recovery to find live WAL
+// chunks after a crash).
+func (p *PMem) Regions() []*PMemRegion {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*PMemRegion(nil), p.regions...)
+}
+
+// ReleaseAll drops every allocated region, returning the device to its
+// initial empty state. Used after recovery has consumed the old WAL chunks
+// and before a fresh log manager allocates new ones.
+func (p *PMem) ReleaseAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.regions = nil
+}
+
+// CrashVolatile zeroes every region regardless of flush state — the crash
+// semantics when stage 1 is plain DRAM rather than persistent memory
+// (the "SiloR-style" and group-commit-on-DRAM configurations).
+func (p *PMem) CrashVolatile() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.regions {
+		clear(r.live)
+		r.flushed.Store(0)
+		r.written.Store(0)
+	}
+}
+
+// Crash simulates a power failure: in every region, data below the flush
+// watermark survives; each unflushed cache line above it independently
+// survives with probability TearSurviveProb and is otherwise lost (zeroed).
+// After Crash, the live content equals the post-restart medium content.
+// seed makes the tearing deterministic for tests.
+func (p *PMem) Crash(seed uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rng := sys.NewRand(seed)
+	for _, r := range p.regions {
+		r.crash(rng, p.TearSurviveProb)
+	}
+}
+
+// PMemRegion is one contiguous region (WAL chunk buffer). Usage is
+// append-oriented: writers store bytes at ascending offsets, publish the end
+// offset, and a flush barrier advances the durable watermark. Reset zeroes
+// the region for recycling (the paper zeroes chunk buffers after staging).
+//
+// Concurrency contract: a single owner goroutine writes; any goroutine may
+// FlushTo an offset it learned through an atomic load of the published end
+// (this is what Remote Flush Avoidance's fallback path does — flushing a
+// *remote* worker's log up to a GSN). The watermark is monotone.
+type PMemRegion struct {
+	dev     *PMem
+	live    []byte
+	written atomic.Uint64 // high-water mark of bytes stored (owner-published)
+	flushed atomic.Uint64 // durable watermark (monotone)
+}
+
+// Size returns the region capacity in bytes.
+func (r *PMemRegion) Size() int { return len(r.live) }
+
+// Write stores data at offset off. It does not make the data durable.
+func (r *PMemRegion) Write(off int, data []byte) {
+	if off < 0 || off+len(data) > len(r.live) {
+		panic(fmt.Sprintf("dev: PMemRegion.Write out of range: off=%d len=%d size=%d", off, len(data), len(r.live)))
+	}
+	copy(r.live[off:], data)
+	end := uint64(off + len(data))
+	for {
+		cur := r.written.Load()
+		if end <= cur || r.written.CompareAndSwap(cur, end) {
+			break
+		}
+	}
+	r.dev.bytesWritten.Add(uint64(len(data)))
+}
+
+// Bytes returns the live region contents. Readers must only touch offsets
+// below a published watermark they obtained via an atomic load.
+func (r *PMemRegion) Bytes() []byte { return r.live }
+
+// Written returns the published high-water mark of stored bytes.
+func (r *PMemRegion) Written() uint64 { return r.written.Load() }
+
+// Flushed returns the durable watermark.
+func (r *PMemRegion) Flushed() uint64 { return r.flushed.Load() }
+
+// FlushTo issues a persist barrier covering [0, off): after it returns, a
+// crash preserves every byte below off. Safe to call from any goroutine with
+// off ≤ the published Written() value. The watermark never moves backwards.
+func (r *PMemRegion) FlushTo(off uint64) {
+	if off > uint64(len(r.live)) {
+		panic("dev: PMemRegion.FlushTo beyond region")
+	}
+	for {
+		cur := r.flushed.Load()
+		if off <= cur {
+			return // already durable
+		}
+		if r.flushed.CompareAndSwap(cur, off) {
+			r.dev.bytesFlushed.Add(off - cur)
+			r.dev.flushOps.Add(1)
+			return
+		}
+	}
+}
+
+// Reset zeroes the region and rewinds both watermarks; used when a staged
+// chunk buffer is recycled onto the free list.
+func (r *PMemRegion) Reset() {
+	clear(r.live)
+	r.written.Store(0)
+	r.flushed.Store(0)
+}
+
+// crash rewrites live content to the post-failure medium state.
+func (r *PMemRegion) crash(rng *sys.Rand, surviveProb float64) {
+	fl := int(r.flushed.Load())
+	wr := int(r.written.Load())
+	// Unflushed tail: each cache line independently survives or is lost.
+	for lineStart := fl - fl%CacheLine; lineStart < wr; lineStart += CacheLine {
+		start := lineStart
+		if start < fl {
+			start = fl // bytes below the watermark always survive
+		}
+		end := lineStart + CacheLine
+		if end > wr {
+			end = wr
+		}
+		if rng.Float64() >= surviveProb {
+			clear(r.live[start:end])
+		}
+	}
+	// Bytes written but never covered by the high-water mark cannot exist;
+	// anything beyond wr was never written and is already zero.
+	r.flushed.Store(uint64(fl))
+	r.written.Store(uint64(wr))
+}

@@ -1,0 +1,230 @@
+package dev
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SSD models a flash device holding named files (the database file, the
+// per-partition stage-2 WAL segments, and the log archive). Writes go to the
+// volatile device cache and become durable only on Sync — the paper flushes
+// the device cache with fdatasync after each writeback batch (§3.8). A crash
+// discards everything that was not synced.
+type SSD struct {
+	mu    sync.Mutex
+	files map[string]*File
+
+	// Latency/bandwidth model (zero values disable it). Applied per call:
+	// sleep = OpLatency + bytes/Bandwidth.
+	OpLatency time.Duration // per read/write/sync call
+	Bandwidth int64         // bytes per second; 0 = infinite
+
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	syncOps      atomic.Uint64
+}
+
+// NewSSD returns an empty simulated flash device.
+func NewSSD() *SSD {
+	return &SSD{files: make(map[string]*File)}
+}
+
+// Open returns the named file, creating it empty if absent.
+func (d *SSD) Open(name string) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		f = &File{dev: d, name: name}
+		d.files[name] = f
+	}
+	return f
+}
+
+// Remove deletes the named file (both cached and durable content). Removal
+// itself is durable immediately — this models unlinking a staged WAL segment
+// after it was archived, where redoing the unlink after a crash is harmless.
+func (d *SSD) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+// List returns the names of all files with the given prefix, sorted.
+func (d *SSD) List(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var names []string
+	for n := range d.files {
+		if len(n) >= len(prefix) && n[:len(prefix)] == prefix {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BytesRead returns total bytes read from the device.
+func (d *SSD) BytesRead() uint64 { return d.bytesRead.Load() }
+
+// BytesWritten returns total bytes written to the device (cached or not).
+func (d *SSD) BytesWritten() uint64 { return d.bytesWritten.Load() }
+
+// SyncOps returns the number of Sync (fdatasync) calls.
+func (d *SSD) SyncOps() uint64 { return d.syncOps.Load() }
+
+// Crash simulates a power failure: every file reverts to its last-synced
+// content.
+func (d *SSD) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		f.crash()
+	}
+}
+
+func (d *SSD) delay(bytes int) {
+	if d.OpLatency == 0 && d.Bandwidth == 0 {
+		return
+	}
+	sleep := d.OpLatency
+	if d.Bandwidth > 0 {
+		sleep += time.Duration(int64(bytes) * int64(time.Second) / d.Bandwidth)
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// File is a byte-addressable file on the simulated SSD. All methods are safe
+// for concurrent use.
+type File struct {
+	dev  *SSD
+	name string
+
+	mu      sync.Mutex
+	live    []byte      // what readers see (OS/device view)
+	durable []byte      // what survives a crash
+	pending []spanRange // live ranges not yet synced into durable
+}
+
+type spanRange struct{ off, end int }
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current (live) file size.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.live))
+}
+
+// WriteAt stores data at offset off, extending the file if needed. The data
+// sits in the device cache until Sync.
+func (f *File) WriteAt(data []byte, off int64) {
+	if off < 0 {
+		panic("dev: File.WriteAt negative offset")
+	}
+	f.mu.Lock()
+	end := int(off) + len(data)
+	if end > len(f.live) {
+		if end > cap(f.live) {
+			newCap := 2 * cap(f.live)
+			if newCap < end {
+				newCap = end
+			}
+			if newCap < 4096 {
+				newCap = 4096
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.live)
+			f.live = grown
+		} else {
+			old := len(f.live)
+			f.live = f.live[:end]
+			clear(f.live[old:]) // holes read as zeros, like a real file
+		}
+	}
+	copy(f.live[off:], data)
+	f.pending = append(f.pending, spanRange{int(off), end})
+	f.mu.Unlock()
+	f.dev.bytesWritten.Add(uint64(len(data)))
+	f.dev.delay(len(data))
+}
+
+// ReadAt fills buf from offset off, returning the number of bytes read.
+// Reading past EOF returns the available prefix (n < len(buf)).
+func (f *File) ReadAt(buf []byte, off int64) int {
+	f.mu.Lock()
+	n := 0
+	if int(off) < len(f.live) {
+		n = copy(buf, f.live[off:])
+	}
+	f.mu.Unlock()
+	f.dev.bytesRead.Add(uint64(n))
+	f.dev.delay(n)
+	return n
+}
+
+// Sync makes all cached writes durable (fdatasync).
+func (f *File) Sync() {
+	f.mu.Lock()
+	if len(f.durable) < len(f.live) {
+		if len(f.live) > cap(f.durable) {
+			newCap := 2 * cap(f.durable)
+			if newCap < len(f.live) {
+				newCap = len(f.live)
+			}
+			grown := make([]byte, len(f.live), newCap)
+			copy(grown, f.durable)
+			f.durable = grown
+		} else {
+			old := len(f.durable)
+			f.durable = f.durable[:len(f.live)]
+			clear(f.durable[old:])
+		}
+	}
+	var bytes int
+	for _, r := range f.pending {
+		copy(f.durable[r.off:r.end], f.live[r.off:r.end])
+		bytes += r.end - r.off
+	}
+	f.pending = f.pending[:0]
+	f.mu.Unlock()
+	f.dev.syncOps.Add(1)
+	f.dev.delay(bytes)
+}
+
+// Truncate shrinks (or zero-extends) the file to size; durable immediately,
+// like Remove (used only for administrative operations, never on the
+// recovery-critical path).
+func (f *File) Truncate(size int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	resize := func(b []byte) []byte {
+		if int(size) <= len(b) {
+			return b[:size]
+		}
+		grown := make([]byte, size)
+		copy(grown, b)
+		return grown
+	}
+	f.live = resize(f.live)
+	f.durable = resize(f.durable)
+	f.pending = f.pending[:0]
+}
+
+func (f *File) crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.live = make([]byte, len(f.durable))
+	copy(f.live, f.durable)
+	f.pending = f.pending[:0]
+}
+
+// String implements fmt.Stringer.
+func (f *File) String() string { return fmt.Sprintf("ssdfile(%s, %dB)", f.name, len(f.live)) }

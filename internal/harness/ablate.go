@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// AblateShards measures §3.4's S knob: more shards smooth checkpoint writes
+// (lower coefficient of variation of the checkpoint write rate) and tighten
+// the deviation of the live WAL from its configured limit.
+func AblateShards(w io.Writer, sc Scale, threads int) error {
+	section(w, "Ablation: checkpoint shards S (§3.4)")
+	fmt.Fprintf(w, "%-8s %-14s %-16s %-14s\n", "S", "txn/s", "chkpt-rate CV", "max WAL vol")
+	for _, shards := range []int{1, 4, 16, 64} {
+		b, err := NewTPCCBench(sc, core.ModeOurs, threads, sc.PoolPages, func(c *core.Config) {
+			c.CheckpointShards = shards
+		})
+		if err != nil {
+			return err
+		}
+		s := runSeries(b, threads, sc.SeriesTicks, sc.TickEvery)
+		maxWAL := 0.0
+		for _, sm := range s.Samples {
+			if v := sm.Values["walVol B"]; v > maxWAL {
+				maxWAL = v
+			}
+		}
+		meanTPS, _ := seriesStats(s, "txn/s")
+		_, cv := seriesStats(s, "chk B/s")
+		b.Close()
+		fmt.Fprintf(w, "%-8d %-14s %-16.2f %-14s\n", shards, fmtRate(meanTPS), cv, fmtBytes(maxWAL))
+	}
+	return nil
+}
+
+// AblateGroupCommitInterval sweeps the committer tick: longer intervals
+// raise commit latency without helping throughput much — the reason §3.2
+// prefers RFA's immediate commits when persistent memory is available.
+func AblateGroupCommitInterval(w io.Writer, sc Scale, threads int) error {
+	section(w, "Ablation: group-commit interval vs latency")
+	fmt.Fprintf(w, "%-12s %-12s %-12s %-12s\n", "interval", "txn/s", "median", "p99")
+	for _, iv := range []time.Duration{100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond} {
+		b, err := NewTPCCBench(sc, core.ModeGroupCommit, threads, sc.PoolPages, func(c *core.Config) {
+			c.GroupCommitInterval = iv
+		})
+		if err != nil {
+			return err
+		}
+		hists := latencyRunTPCC(b, threads, sc.Duration)
+		h := hists[1] // payment: short write transaction
+		tps, _ := b.RunTPCCWorkers(threads, sc.Duration/2)
+		b.Close()
+		fmt.Fprintf(w, "%-12v %-12s %-12v %-12v\n", iv, fmtRate(tps), h.Quantile(0.5), h.Quantile(0.99))
+	}
+	return nil
+}
+
+// AblateChunkSize sweeps the stage-1 chunk size: tiny chunks cause seal
+// stalls (the WAL writer cannot keep up); large chunks waste persistent
+// memory (§3.1 sizes them at 20 MB with 5 per worker).
+func AblateChunkSize(w io.Writer, sc Scale, threads int) error {
+	section(w, "Ablation: WAL chunk size")
+	fmt.Fprintf(w, "%-12s %-12s %-12s\n", "chunk", "txn/s", "seal stalls")
+	for _, size := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		b, err := NewTPCCBench(sc, core.ModeOurs, threads, sc.PoolPages, func(c *core.Config) {
+			c.ChunkSize = size
+		})
+		if err != nil {
+			return err
+		}
+		tps, _ := b.RunTPCCWorkers(threads, sc.Duration)
+		stalls := b.Engine.WAL().Stats().SealStalls
+		b.Close()
+		fmt.Fprintf(w, "%-12s %-12s %-12d\n", fmtBytes(float64(size)), fmtRate(tps), stalls)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Package harness implements the benchmark experiments that regenerate
+// every table and figure of the paper's evaluation section (§4). Each
+// experiment is a function over a Scale preset, callable both from the
+// cmd/repro CLI and from the testing.B benchmarks at the repository root.
+//
+// Absolute numbers differ from the paper (simulated devices, scaled-down
+// data, this machine); the reproduction targets are the *shapes*: who wins,
+// by roughly what factor, and where behaviour changes (see EXPERIMENTS.md).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Scale bundles the workload sizes so experiments shrink uniformly.
+type Scale struct {
+	Name        string
+	Warehouses  int
+	Items       int
+	CustPerDist int
+	PoolPages   int // in-memory experiments
+	SmallPool   int // out-of-memory experiments
+	WALLimit    int64
+	Duration    time.Duration // steady-state measurement window
+	SeriesTicks int           // samples for time-series figures
+	TickEvery   time.Duration
+	YCSBRecords int
+	Threads     []int // thread sweep for Figure 8
+}
+
+// Scales available from the CLI; benchmarks use Tiny.
+var (
+	Tiny = Scale{
+		Name: "tiny", Warehouses: 2, Items: 500, CustPerDist: 60,
+		PoolPages: 2048, SmallPool: 256, WALLimit: 8 << 20,
+		Duration: 500 * time.Millisecond, SeriesTicks: 8, TickEvery: 250 * time.Millisecond,
+		YCSBRecords: 20000, Threads: []int{1, 2, 4},
+	}
+	Small = Scale{
+		Name: "small", Warehouses: 4, Items: 2000, CustPerDist: 150,
+		PoolPages: 8192, SmallPool: 1024, WALLimit: 32 << 20,
+		Duration: 2 * time.Second, SeriesTicks: 20, TickEvery: 500 * time.Millisecond,
+		YCSBRecords: 100000, Threads: []int{1, 2, 4, 8},
+	}
+	Medium = Scale{
+		Name: "medium", Warehouses: 8, Items: 10000, CustPerDist: 600,
+		PoolPages: 32768, SmallPool: 4096, WALLimit: 128 << 20,
+		Duration: 5 * time.Second, SeriesTicks: 30, TickEvery: time.Second,
+		YCSBRecords: 500000, Threads: []int{1, 2, 4, 8, 16},
+	}
+)
+
+// ScaleByName resolves a preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	default:
+		return Scale{}, fmt.Errorf("unknown scale %q (tiny|small|medium)", name)
+	}
+}
+
+// Bench is one prepared engine + TPC-C instance.
+type Bench struct {
+	Engine *core.Engine
+	TPCC   *workload.TPCC
+	Scale  Scale
+}
+
+// NewTPCCBench builds an engine in the given mode and loads TPC-C.
+func NewTPCCBench(sc Scale, mode core.Mode, workers int, poolPages int, overrides func(*core.Config)) (*Bench, error) {
+	cfg := core.Config{
+		Mode:      mode,
+		Workers:   workers,
+		PoolPages: poolPages,
+		WALLimit:  sc.WALLimit,
+	}
+	if overrides != nil {
+		overrides(&cfg)
+	}
+	eng, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := eng.NewSessionOn(0)
+	tp, err := workload.NewTPCC(sc.Warehouses, func(name string) (*btree.BTree, error) {
+		return eng.CreateTree(s, name)
+	})
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	tp.Items = sc.Items
+	tp.CustPerDist = sc.CustPerDist
+	if err := tp.Load(s, 12345); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return &Bench{Engine: eng, TPCC: tp, Scale: sc}, nil
+}
+
+// RunTPCCWorkers drives `threads` workers through the standard mix for the
+// duration and returns committed transactions per second.
+func (b *Bench) RunTPCCWorkers(threads int, duration time.Duration) (txnPerSec float64, committed uint64) {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := b.Engine.NewSessionOn(i % b.workerSlots())
+			defer recoverStalledWorker(s)
+			w := b.TPCC.NewWorker(uint64(i)*7919+1, i%b.Scale.Warehouses+1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.RunMix(s)
+			}
+		}(i)
+	}
+	// Throughput counts durability acknowledgements, so synchronous and
+	// asynchronous (group-commit) designs are compared fairly.
+	before := b.Engine.Txns().Stats()
+	start := time.Now()
+	time.Sleep(duration)
+	after := b.Engine.Txns().Stats()
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	joinOrInterrupt(b.Engine, &wg)
+	// Let stragglers drain so Close doesn't race benchmark accounting.
+	c := after.DurableCommits - before.DurableCommits
+	ab := after.Aborts - before.Aborts
+	_ = ab
+	return float64(c) / elapsed, c
+}
+
+// workerSlots returns the number of distinct session workers available
+// (the engine's Workers; single-log backends accept any worker index, so
+// modulo by this keeps session ids aligned with log partitions where they
+// exist).
+func (b *Bench) workerSlots() int { return b.Engine.Workers() }
+
+// Close shuts the bench engine down.
+func (b *Bench) Close() {
+	b.Engine.Interrupt()
+	b.Engine.Close()
+}
+
+// joinOrInterrupt waits for the workers; if they do not exit promptly the
+// engine is stalled (the designed no-steal out-of-memory stall, Figure 9 d)
+// and is interrupted — a terminal action, the engine is then only good for
+// Close.
+func joinOrInterrupt(eng *core.Engine, wg *sync.WaitGroup) {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		eng.Interrupt()
+		<-done
+	}
+}
+
+// recoverStalledWorker converts the pool-interrupt panic (the designed
+// no-steal stall) into a clean worker exit, releasing the session.
+func recoverStalledWorker(s *txn.Session) {
+	if r := recover(); r != nil {
+		if r == buffer.ErrPoolInterrupted {
+			s.AbandonForCrash()
+			return
+		}
+		panic(r)
+	}
+}
+
+// RemoteFlushPct computes the §4.1 metric from transaction stats.
+func (b *Bench) RemoteFlushPct() float64 {
+	st := b.Engine.Txns().Stats()
+	tot := st.RFASkips + st.RFAFlushes
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(st.RFAFlushes) / float64(tot)
+}
+
+// fmtRate renders transactions/second compactly.
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// fmtBytes renders a byte count.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

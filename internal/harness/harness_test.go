@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// microScale keeps experiment smoke tests fast.
+var microScale = Scale{
+	Name: "micro", Warehouses: 1, Items: 100, CustPerDist: 20,
+	PoolPages: 1024, SmallPool: 128, WALLimit: 2 << 20,
+	Duration: 80 * time.Millisecond, SeriesTicks: 2, TickEvery: 50 * time.Millisecond,
+	YCSBRecords: 2000, Threads: []int{1, 2},
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium"} {
+		sc, err := ScaleByName(name)
+		if err != nil || sc.Name != name {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+func TestNewTPCCBenchAndRun(t *testing.T) {
+	b, err := NewTPCCBench(microScale, core.ModeOurs, 2, microScale.PoolPages, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	tps, committed := b.RunTPCCWorkers(2, microScale.Duration)
+	if committed == 0 || tps <= 0 {
+		t.Fatalf("no throughput: %v/%d", tps, committed)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	var sb strings.Builder
+	rows, err := Fig8(&sb, microScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6*len(microScale.Threads) {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TPS <= 0 {
+			t.Fatalf("zero tps for %v/%d", r.Mode, r.Threads)
+		}
+	}
+	if !strings.Contains(sb.String(), "Figure 8") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestTabWarehousesSmoke(t *testing.T) {
+	var sb strings.Builder
+	rows, err := TabWarehouses(&sb, microScale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	var sb strings.Builder
+	rows, err := Table1(&sb, microScale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// Row 1 (no logging) should not be slower than row 6 (everything on)
+	// by less than... just require all rows produced throughput.
+	for _, r := range rows {
+		if r.TPS <= 0 {
+			t.Fatalf("row %q has no throughput", r.Component)
+		}
+	}
+}
+
+func TestUndoAndCompressionVolumes(t *testing.T) {
+	var sb strings.Builder
+	withB, withoutB, err := UndoVolume(&sb, microScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withB <= withoutB {
+		t.Fatalf("undo images must add volume: %v vs %v", withB, withoutB)
+	}
+	onB, offB, err := CompressionVolume(&sb, microScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onB >= offB {
+		t.Fatalf("compression must save volume: %v vs %v", onB, offB)
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	var sb strings.Builder
+	series, err := Fig9(&sb, microScale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series=%d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Samples) != microScale.SeriesTicks {
+			t.Fatalf("%s: %d samples", s.Label, len(s.Samples))
+		}
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	sc := microScale
+	var sb strings.Builder
+	rows, err := Fig10(&sb, sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6*7 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+}
+
+func TestRecoverySmoke(t *testing.T) {
+	var sb strings.Builder
+	res, err := Recovery(&sb, microScale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Fatal("recovery processed no records")
+	}
+	if res.PostTPS <= 0 {
+		t.Fatal("no post-recovery throughput")
+	}
+}

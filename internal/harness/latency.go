@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+// Fig11Strategy is one commit-flush strategy compared in Figure 11.
+type Fig11Strategy struct {
+	Label string
+	Mode  core.Mode
+	Over  func(*core.Config)
+}
+
+// fig11Strategies mirrors the paper's four bars: no flush at all (the
+// latency floor), RFA, always flushing all logs, and group commit.
+func fig11Strategies(gcInterval time.Duration) []Fig11Strategy {
+	return []Fig11Strategy{
+		{"no flush", core.ModeOurs, func(c *core.Config) { c.CommitFlushDisabled = true }},
+		{"RFA", core.ModeOurs, nil},
+		{"No RFA", core.ModeNoRFA, nil},
+		{"Grp. Commit", core.ModeGroupCommit, func(c *core.Config) { c.GroupCommitInterval = gcInterval }},
+	}
+}
+
+// Fig11Row summarizes one (strategy, txn-type) latency distribution.
+type Fig11Row struct {
+	Strategy string
+	TxnType  string
+	Median   time.Duration
+	P99      time.Duration
+}
+
+// Fig11 reproduces Figure 11: commit latencies of TPC-C's three write
+// transactions and YCSB updates under the four strategies. Transactions
+// arrive open-loop via a Poisson process at a fraction of the measured
+// capacity (§4.5). The paper's shape: RFA ≈ no-flush, "No RFA" slightly
+// above, group commit clearly higher (it waits for the committer tick).
+func Fig11(w io.Writer, sc Scale, threads int) ([]Fig11Row, error) {
+	section(w, "Figure 11: transaction latencies by commit strategy")
+	var rows []Fig11Row
+	gcInterval := 500 * time.Microsecond
+
+	fmt.Fprintf(w, "%-14s %-12s %12s %12s\n", "strategy", "txn", "median", "p99")
+	for _, strat := range fig11Strategies(gcInterval) {
+		b, err := NewTPCCBench(sc, strat.Mode, threads, sc.PoolPages, strat.Over)
+		if err != nil {
+			return nil, err
+		}
+		hists := latencyRunTPCC(b, threads, sc.Duration*2)
+		for _, tt := range []workload.TxnType{workload.TxnDelivery, workload.TxnNewOrder, workload.TxnPayment} {
+			h := hists[tt]
+			rows = append(rows, Fig11Row{strat.Label, tt.String(), h.Quantile(0.5), h.Quantile(0.99)})
+			fmt.Fprintf(w, "%-14s %-12s %12v %12v\n", strat.Label, tt.String(), h.Quantile(0.5), h.Quantile(0.99))
+		}
+		b.Close()
+
+		// YCSB single-tuple updates under the same strategy.
+		yb, err := newYCSBBench(sc, strat.Mode, threads)
+		if err != nil {
+			return nil, err
+		}
+		if strat.Over != nil {
+			// Strategy overrides that matter (CommitFlushDisabled /
+			// GroupCommitInterval) are engine-level; rebuild with them.
+			yb.eng.Close()
+			cfg := core.Config{Mode: strat.Mode, Workers: threads, PoolPages: sc.PoolPages, WALLimit: sc.WALLimit}
+			strat.Over(&cfg)
+			yb2, err := newYCSBBenchWith(sc, cfg)
+			if err != nil {
+				return nil, err
+			}
+			yb = yb2
+		}
+		h := latencyRunYCSB(yb, threads, sc.Duration)
+		rows = append(rows, Fig11Row{strat.Label, "ycsb", h.Quantile(0.5), h.Quantile(0.99)})
+		fmt.Fprintf(w, "%-14s %-12s %12v %12v\n", strat.Label, "ycsb", h.Quantile(0.5), h.Quantile(0.99))
+		yb.eng.Close()
+	}
+	return rows, nil
+}
+
+func newYCSBBenchWith(sc Scale, cfg core.Config) (*ycsbBench, error) {
+	eng, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := eng.NewSessionOn(0)
+	tree, err := eng.CreateTree(s, "ycsb")
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	y := workload.NewYCSB(tree, sc.YCSBRecords)
+	if err := y.Load(s, 1000); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return &ycsbBench{eng: eng, y: y}, nil
+}
+
+// latencyRunTPCC measures per-type execution latency under Poisson
+// arrivals at roughly half capacity.
+func latencyRunTPCC(b *Bench, threads int, duration time.Duration) map[workload.TxnType]*metrics.Histogram {
+	hists := make(map[workload.TxnType]*metrics.Histogram)
+	for tt := workload.TxnType(0); tt < workload.NumTxnTypes; tt++ {
+		hists[tt] = metrics.NewHistogram()
+	}
+	// Calibrate: a short closed-loop burst to estimate capacity.
+	calTPS, _ := b.RunTPCCWorkers(threads, duration/4)
+	rate := calTPS / 2
+	if rate < 100 {
+		rate = 100
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	perWorker := rate / float64(threads)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := b.Engine.NewSessionOn(i % b.workerSlots())
+			defer recoverStalledWorker(s)
+			s.SetSyncCommit(true) // latency includes the durability ack
+			w := b.TPCC.NewWorker(uint64(i)*211+9, i%b.Scale.Warehouses+1)
+			rng := sys.NewRand(uint64(i) + 77)
+			next := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Poisson arrivals: exponential inter-arrival times.
+				next = next.Add(time.Duration(expRand(rng, perWorker) * float64(time.Second)))
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				typ := w.PickTxn()
+				start := time.Now()
+				_, ok, err := w.Run(s, typ)
+				if err == nil && ok {
+					hists[typ].Observe(time.Since(start))
+				}
+			}
+		}(i)
+	}
+	time.Sleep(duration)
+	close(stop)
+	joinOrInterrupt(b.Engine, &wg)
+	return hists
+}
+
+func latencyRunYCSB(b *ycsbBench, threads int, duration time.Duration) *metrics.Histogram {
+	h := metrics.NewHistogram()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	workers := b.eng.Workers()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := b.eng.NewSessionOn(i % workers)
+			defer recoverStalledWorker(s)
+			s.SetSyncCommit(true)
+			w := b.y.NewWorker(uint64(i)*97+13, 0)
+			rng := sys.NewRand(uint64(i) + 23)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Modest pacing keeps utilization below saturation.
+				time.Sleep(time.Duration(expRand(rng, 2000) * float64(time.Second)))
+				start := time.Now()
+				if err := w.UpdateTxn(s); err == nil {
+					h.Observe(time.Since(start))
+				}
+			}
+		}(i)
+	}
+	time.Sleep(duration)
+	close(stop)
+	joinOrInterrupt(b.eng, &wg)
+	return h
+}
+
+// expRand draws an exponential inter-arrival time (seconds) for the rate.
+func expRand(r *sys.Rand, ratePerSec float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / ratePerSec
+}

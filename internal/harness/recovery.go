@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// RecoveryResult captures the §4.6 measurements.
+type RecoveryResult struct {
+	WALBytes       uint64
+	AnalysisTime   time.Duration
+	RedoTime       time.Duration
+	Records        int
+	PagesRedone    int
+	WALPerSec      float64 // bytes of WAL processed per second
+	PostTPS        float64 // throughput right after recovery
+	SiloRTotalTime time.Duration
+	SiloRLogRecs   int
+}
+
+// Recovery reproduces §4.6: run TPC-C until the WAL sits at its limit,
+// crash, and measure the recovery phases (analysis = partitioning the logs
+// by page, redo = merge/sort/apply; undo is negligible), the WAL processing
+// rate, and the post-recovery throughput. The same crash is then recovered
+// with the SiloR-style value-log replay for the paper's contrast (slower
+// replay, index rebuild).
+func Recovery(w io.Writer, sc Scale, threads int) (*RecoveryResult, error) {
+	section(w, "§4.6: recovery")
+	res := &RecoveryResult{}
+
+	// ---- Our approach ----
+	b, err := NewTPCCBench(sc, core.ModeOurs, threads, sc.PoolPages, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Run until the WAL reaches its configured bound (or a time cap).
+	deadline := time.Now().Add(10 * sc.Duration)
+	for int64(b.Engine.WAL().LiveWALBytes()) < sc.WALLimit*3/4 && time.Now().Before(deadline) {
+		b.RunTPCCWorkers(threads, sc.Duration/2)
+	}
+	walAtCrash := b.Engine.WAL().LiveWALBytes()
+	pm, ssd := b.Engine.SimulateCrash(4242)
+
+	cfg := core.Config{
+		Mode: core.ModeOurs, Workers: threads, PoolPages: sc.PoolPages,
+		WALLimit: sc.WALLimit, PMem: pm, SSD: ssd,
+	}
+	eng2, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rr := eng2.RecoveryResult()
+	if rr == nil {
+		eng2.Close()
+		return nil, fmt.Errorf("recovery did not run")
+	}
+	res.WALBytes = walAtCrash
+	res.AnalysisTime = rr.AnalysisTime
+	res.RedoTime = rr.RedoTime
+	res.Records = rr.Records
+	res.PagesRedone = rr.PagesRedone
+	total := rr.AnalysisTime + rr.RedoTime
+	if total > 0 {
+		res.WALPerSec = float64(rr.WALBytes) / total.Seconds()
+	}
+
+	// Post-recovery throughput (the paper: within a second of the pre-crash
+	// rate because redo warmed the cache; our redo works on raw pages, so
+	// the first transactions fault pages back in).
+	b2 := &Bench{Engine: eng2, Scale: sc}
+	tp2, err := attachTPCCTrees(eng2, sc.Warehouses)
+	if err != nil {
+		eng2.Close()
+		return nil, err
+	}
+	tp2.Items, tp2.CustPerDist = sc.Items, sc.CustPerDist
+	b2.TPCC = tp2
+	res.PostTPS, _ = b2.RunTPCCWorkers(threads, sc.Duration)
+	eng2.Close()
+
+	fmt.Fprintf(w, "WAL at crash:        %s\n", fmtBytes(float64(walAtCrash)))
+	fmt.Fprintf(w, "log records:         %d\n", res.Records)
+	fmt.Fprintf(w, "analysis phase:      %v\n", res.AnalysisTime)
+	fmt.Fprintf(w, "redo phase:          %v  (%d pages)\n", res.RedoTime, res.PagesRedone)
+	fmt.Fprintf(w, "WAL processed:       %s/s\n", fmtBytes(res.WALPerSec))
+	fmt.Fprintf(w, "post-recovery txn/s: %s\n", fmtRate(res.PostTPS))
+
+	// ---- SiloR-style contrast ----
+	bs, err := NewTPCCBench(sc, core.ModeSiloR, threads, sc.PoolPages, nil)
+	if err != nil {
+		return nil, err
+	}
+	deadline = time.Now().Add(6 * sc.Duration)
+	for int64(bs.Engine.WAL().LiveWALBytes()) < sc.WALLimit/2 && time.Now().Before(deadline) {
+		bs.RunTPCCWorkers(threads, sc.Duration/2)
+	}
+	pmS, ssdS := bs.Engine.SimulateCrash(777)
+	start := time.Now()
+	engS, err := core.Open(core.Config{
+		Mode: core.ModeSiloR, Workers: threads, PoolPages: sc.PoolPages,
+		WALLimit: sc.WALLimit, PMem: pmS, SSD: ssdS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SiloRTotalTime = time.Since(start)
+	if sr := engS.SiloRRecoveryResult(); sr != nil {
+		res.SiloRLogRecs = sr.LogRecords
+	}
+	engS.Close()
+	fmt.Fprintf(w, "silor recovery:      %v total (value-log replay + full index rebuild; %d log records)\n",
+		res.SiloRTotalTime, res.SiloRLogRecs)
+	return res, nil
+}
+
+// attachTPCCTrees rebinds the TPC-C schema after recovery.
+func attachTPCCTrees(eng *core.Engine, warehouses int) (*workload.TPCC, error) {
+	return workload.NewTPCC(warehouses, func(name string) (*btree.BTree, error) {
+		tr := eng.GetTree(name)
+		if tr == nil {
+			return nil, fmt.Errorf("harness: tree %q missing after recovery", name)
+		}
+		return tr, nil
+	})
+}

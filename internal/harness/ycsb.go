@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Fig10Row is one cell of the Figure 10 plot.
+type Fig10Row struct {
+	Mode        core.Mode
+	Theta       float64
+	TPS         float64
+	RemoteFlush float64 // ours only
+}
+
+// ycsbBench is a loaded YCSB engine reused across theta values.
+type ycsbBench struct {
+	eng *core.Engine
+	y   *workload.YCSB
+}
+
+func newYCSBBench(sc Scale, mode core.Mode, workers int) (*ycsbBench, error) {
+	eng, err := core.Open(core.Config{
+		Mode:      mode,
+		Workers:   workers,
+		PoolPages: sc.PoolPages,
+		WALLimit:  sc.WALLimit * 16, // see Fig8: paper proportions
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := eng.NewSessionOn(0)
+	tree, err := eng.CreateTree(s, "ycsb")
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	y := workload.NewYCSB(btreeOf(tree), sc.YCSBRecords)
+	if err := y.Load(s, 1000); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return &ycsbBench{eng: eng, y: y}, nil
+}
+
+// btreeOf is the identity (kept for clarity at call sites).
+func btreeOf(t *btree.BTree) *btree.BTree { return t }
+
+func (b *ycsbBench) run(threads int, theta float64, duration time.Duration) float64 {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	workers := b.eng.Workers()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := b.eng.NewSessionOn(i % workers)
+			defer recoverStalledWorker(s)
+			w := b.y.NewWorker(uint64(i)*131+uint64(theta*1000)+3, theta)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.UpdateTxn(s)
+			}
+		}(i)
+	}
+	before := b.eng.Txns().Stats().DurableCommits
+	start := time.Now()
+	time.Sleep(duration)
+	after := b.eng.Txns().Stats().DurableCommits
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	joinOrInterrupt(b.eng, &wg)
+	return float64(after-before) / elapsed
+}
+
+// Fig10 reproduces Figure 10: YCSB single-tuple-update throughput vs. the
+// Zipf skew for all six designs; the RFA line is annotated with the
+// remote-flush percentage (paper: 4.8% at θ=0 rising to 86.2% at high
+// skew, with all designs converging once contention dominates).
+func Fig10(w io.Writer, sc Scale, threads int) ([]Fig10Row, error) {
+	section(w, "Figure 10: YCSB updates vs Zipf theta")
+	thetas := []float64{0, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75}
+	modes := []core.Mode{
+		core.ModeSiloR, core.ModeGroupCommit, core.ModeOurs,
+		core.ModeNoRFA, core.ModeAether, core.ModeARIES,
+	}
+	fmt.Fprintf(w, "%-18s", "mode\\theta")
+	for _, th := range thetas {
+		fmt.Fprintf(w, "%10.2f", th)
+	}
+	fmt.Fprintln(w)
+	var rows []Fig10Row
+	for _, mode := range modes {
+		b, err := newYCSBBench(sc, mode, threads)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "%-18s", mode.String())
+		var flushPcts []float64
+		for _, theta := range thetas {
+			st0 := b.eng.Txns().Stats()
+			tps := b.run(threads, theta, sc.Duration)
+			st1 := b.eng.Txns().Stats()
+			pct := 0.0
+			if tot := (st1.RFASkips - st0.RFASkips) + (st1.RFAFlushes - st0.RFAFlushes); tot > 0 {
+				pct = 100 * float64(st1.RFAFlushes-st0.RFAFlushes) / float64(tot)
+			}
+			rows = append(rows, Fig10Row{mode, theta, tps, pct})
+			flushPcts = append(flushPcts, pct)
+			fmt.Fprintf(w, "%10s", fmtRate(tps))
+		}
+		fmt.Fprintln(w)
+		if mode == core.ModeOurs {
+			fmt.Fprintf(w, "%-18s", "  (remote flushes)")
+			for _, p := range flushPcts {
+				fmt.Fprintf(w, "%9.1f%%", p)
+			}
+			fmt.Fprintln(w)
+		}
+		b.eng.Close()
+	}
+	return rows, nil
+}

@@ -1,0 +1,215 @@
+// Package metrics provides the measurement tools the benchmark harness
+// uses: a time-series sampler (the per-second series of Figures 9 and 12)
+// and a log-scale latency histogram (the percentile plots of Figure 11).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one row of a time series: counter deltas over one interval.
+type Sample struct {
+	Elapsed time.Duration
+	Values  map[string]float64 // per-second rates for counter sources, absolute for gauges
+}
+
+// Sampler periodically snapshots a set of counters and gauges.
+type Sampler struct {
+	mu       sync.Mutex
+	counters map[string]func() uint64 // rate = delta/interval
+	gauges   map[string]func() float64
+	prev     map[string]uint64
+	samples  []Sample
+	start    time.Time
+	last     time.Time
+}
+
+// NewSampler creates an empty sampler.
+func NewSampler() *Sampler {
+	return &Sampler{
+		counters: make(map[string]func() uint64),
+		gauges:   make(map[string]func() float64),
+		prev:     make(map[string]uint64),
+	}
+}
+
+// Counter registers a monotonically increasing source; samples report its
+// per-second rate.
+func (s *Sampler) Counter(name string, fn func() uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters[name] = fn
+}
+
+// Gauge registers an absolute-valued source.
+func (s *Sampler) Gauge(name string, fn func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gauges[name] = fn
+}
+
+// Start resets the series and records the baseline.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = nil
+	s.start = time.Now()
+	s.last = s.start
+	for name, fn := range s.counters {
+		s.prev[name] = fn()
+	}
+}
+
+// Tick appends one sample covering the interval since the previous tick.
+func (s *Sampler) Tick() Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	dt := now.Sub(s.last).Seconds()
+	if dt <= 0 {
+		dt = 1e-9
+	}
+	sample := Sample{Elapsed: now.Sub(s.start), Values: make(map[string]float64)}
+	for name, fn := range s.counters {
+		cur := fn()
+		sample.Values[name] = float64(cur-s.prev[name]) / dt
+		s.prev[name] = cur
+	}
+	for name, fn := range s.gauges {
+		sample.Values[name] = fn()
+	}
+	s.last = now
+	s.samples = append(s.samples, sample)
+	return sample
+}
+
+// Samples returns the recorded series.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.samples...)
+}
+
+// Histogram is a concurrent log-scale latency histogram with 64 sub-buckets
+// per power of two (<2% relative quantile error), enough resolution for the
+// latency comparisons of §4.5.
+const numBuckets = 64 * 40
+
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64 // up to 2^40 ns ≈ 18 minutes
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+func bucketIndex(ns uint64) int {
+	if ns < 64 {
+		return int(ns)
+	}
+	// Index = 64*log2(ns/64) split into 64 sub-buckets per octave.
+	exp := 63 - leadingZeros(ns)
+	frac := (ns >> (uint(exp) - 6)) & 63
+	idx := (exp-6)*64 + 64 + int(frac)
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+func bucketLower(idx int) uint64 {
+	if idx < 64 {
+		return uint64(idx)
+	}
+	exp := (idx-64)/64 + 6
+	frac := uint64((idx - 64) % 64)
+	return (1 << uint(exp)) + frac<<(uint(exp)-6)
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return time.Duration(bucketLower(i))
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Summary formats median/p99/max for reports.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d median=%v p99=%v max=%v",
+		h.Count(), h.Quantile(0.5), h.Quantile(0.99), time.Duration(h.max.Load()))
+}
+
+// Percentiles computes several quantiles at once.
+func (h *Histogram) Percentiles(qs ...float64) []time.Duration {
+	sort.Float64s(qs)
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}

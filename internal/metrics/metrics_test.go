@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	med := h.Quantile(0.5)
+	if med < 400*time.Microsecond || med > 600*time.Microsecond {
+		t.Fatalf("median=%v", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900*time.Microsecond || p99 > 1100*time.Microsecond {
+		t.Fatalf("p99=%v", p99)
+	}
+	if h.Quantile(0.5) > h.Quantile(0.99) {
+		t.Fatal("quantiles not monotone")
+	}
+	mean := h.Mean()
+	if mean < 450*time.Microsecond || mean > 550*time.Microsecond {
+		t.Fatalf("mean=%v", mean)
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramBucketBoundsProperty(t *testing.T) {
+	// The reported quantile for a single observation must be within ~2% of
+	// the observed value (bucket resolution).
+	f := func(ns uint32) bool {
+		if ns == 0 {
+			return true
+		}
+		h := NewHistogram()
+		h.Observe(time.Duration(ns))
+		got := float64(h.Quantile(1.0))
+		want := float64(ns)
+		return got <= want && got >= want*0.96
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 40000 {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}
+
+func TestSamplerRatesAndGauges(t *testing.T) {
+	var counter atomic.Uint64
+	gaugeVal := 7.5
+	s := NewSampler()
+	s.Counter("ops", counter.Load)
+	s.Gauge("g", func() float64 { return gaugeVal })
+	s.Start()
+	counter.Add(500)
+	time.Sleep(20 * time.Millisecond)
+	sm := s.Tick()
+	rate := sm.Values["ops"]
+	if rate <= 0 {
+		t.Fatalf("rate=%v", rate)
+	}
+	if sm.Values["g"] != 7.5 {
+		t.Fatalf("gauge=%v", sm.Values["g"])
+	}
+	// Second tick covers only the delta.
+	counter.Add(100)
+	time.Sleep(10 * time.Millisecond)
+	sm2 := s.Tick()
+	if sm2.Values["ops"] <= 0 || sm2.Values["ops"] > rate*10 {
+		t.Fatalf("second rate inconsistent: %v vs %v", sm2.Values["ops"], rate)
+	}
+	if got := len(s.Samples()); got != 2 {
+		t.Fatalf("samples=%d", got)
+	}
+}
+
+func TestPercentilesSorted(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	ps := h.Percentiles(0.99, 0.5, 0.9)
+	if !(ps[0] <= ps[1] && ps[1] <= ps[2]) {
+		t.Fatalf("percentiles unsorted: %v", ps)
+	}
+}

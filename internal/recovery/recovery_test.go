@@ -1,0 +1,168 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/dev"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// buildCrashState runs work against a fresh engine stack and crashes it,
+// returning the devices for recovery.
+func buildCrashState(t *testing.T, work func(s *txn.Session, tree *btree.BTree)) (*dev.PMem, *dev.SSD) {
+	t.Helper()
+	pm := dev.NewPMem()
+	pm.TearSurviveProb = 0
+	ssd := dev.NewSSD()
+	walM := wal.NewManager(wal.Config{
+		Partitions:  2,
+		ChunkSize:   16 * 1024,
+		PersistMode: wal.PersistPMem,
+		Compression: true,
+		PMem:        pm,
+		SSD:         ssd,
+	})
+	pool := buffer.NewPool(buffer.Config{
+		Frames: 256, SSD: ssd, Ops: btree.PageOps{},
+		FlushLogs: walM.FlushAllLogs,
+	})
+	var tree *btree.BTree
+	txns := txn.NewManager(txn.Config{
+		Backend: walM, RFA: true,
+		TreeResolver: func(base.TreeID) *btree.BTree { return tree },
+	})
+	s := txns.NewSession(0)
+	s.Begin()
+	tree = btree.Create(pool, s, 7, pool.AllocPID()) // meta gets PID 2
+	s.Commit()
+	work(s, tree)
+	walM.Close(false)
+	pool.Close()
+	pm.Crash(1)
+	ssd.Crash()
+	return pm, ssd
+}
+
+// readPage loads a raw page image from the recovered database file.
+func readPage(ssd *dev.SSD, pid base.PageID) []byte {
+	buf := make([]byte, base.PageSize)
+	ssd.Open("db").ReadAt(buf, int64(pid)*base.PageSize)
+	return buf
+}
+
+func TestRunRedoesCommittedWork(t *testing.T) {
+	pm, ssd := buildCrashState(t, func(s *txn.Session, tree *btree.BTree) {
+		s.Begin()
+		for i := 0; i < 200; i++ {
+			key := []byte{byte(i >> 8), byte(i), 'a'}
+			if err := tree.Insert(s, key, bytes.Repeat([]byte("v"), 32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Commit()
+	})
+
+	res := Run(ssd, pm, "db", 2)
+	if res.Records == 0 || res.PagesRedone == 0 {
+		t.Fatalf("nothing recovered: %+v", res)
+	}
+	if res.Winners == 0 {
+		t.Fatal("committed txn not classified winner")
+	}
+	if len(res.UndoWork) != 0 {
+		t.Fatalf("no losers expected, got %d", len(res.UndoWork))
+	}
+	// The meta page must now point at a root containing the keys.
+	meta := readPage(ssd, 2)
+	if buffer.PageType(meta) != buffer.PageMeta {
+		t.Fatalf("meta page type %d", buffer.PageType(meta))
+	}
+	root := buffer.Upper(meta)
+	if root.IsSwizzled() || root.PID() == 0 {
+		t.Fatalf("meta upper not a PID: %v", root)
+	}
+}
+
+func TestRunClassifiesLosers(t *testing.T) {
+	pm, ssd := buildCrashState(t, func(s *txn.Session, tree *btree.BTree) {
+		s.Begin()
+		tree.Insert(s, []byte("committed"), []byte("1"))
+		s.Commit()
+		s.Begin()
+		tree.Insert(s, []byte("in-flight"), []byte("2"))
+		// Force the loser's records to be durable (steal-like situation):
+		// they reach the log because another commit flushes everything.
+		s2 := s // same session cannot nest; use the WAL directly via abandon
+		_ = s2
+		s.AbandonForCrash()
+	})
+	res := Run(ssd, pm, "db", 2)
+	// The in-flight txn's records may or may not have reached durable
+	// storage (they were never flushed); if they did, it must be a loser.
+	if res.Winners == 0 {
+		t.Fatal("committed winner missing")
+	}
+	for txnID, recs := range res.UndoWork {
+		if len(recs) == 0 {
+			t.Fatalf("loser %d with empty undo work", txnID)
+		}
+		for _, r := range recs {
+			if r.Type != wal.RecInsert && r.Type != wal.RecUpdate && r.Type != wal.RecDelete {
+				t.Fatalf("loser undo work contains %v", r.Type)
+			}
+		}
+	}
+}
+
+func TestRunIsIdempotent(t *testing.T) {
+	pm, ssd := buildCrashState(t, func(s *txn.Session, tree *btree.BTree) {
+		s.Begin()
+		for i := 0; i < 100; i++ {
+			tree.Insert(s, []byte{byte(i), 'x'}, []byte("val"))
+		}
+		s.Commit()
+	})
+	res1 := Run(ssd, pm, "db", 2)
+	img1 := readPage(ssd, 2)
+	res2 := Run(ssd, pm, "db", 2)
+	img2 := readPage(ssd, 2)
+	if !bytes.Equal(img1, img2) {
+		t.Fatal("second recovery changed the meta page")
+	}
+	if res1.Records != res2.Records {
+		t.Fatalf("record counts differ: %d vs %d", res1.Records, res2.Records)
+	}
+	if res2.RecordsRedone != 0 {
+		t.Fatalf("second recovery redid %d records (GSN skip test broken)", res2.RecordsRedone)
+	}
+}
+
+func TestRunEmptyDevices(t *testing.T) {
+	res := Run(dev.NewSSD(), dev.NewPMem(), "db", 2)
+	if res.Records != 0 || res.PagesRedone != 0 || len(res.UndoWork) != 0 {
+		t.Fatalf("empty devices produced work: %+v", res)
+	}
+}
+
+func TestMaxPIDTracksAllocations(t *testing.T) {
+	pm, ssd := buildCrashState(t, func(s *txn.Session, tree *btree.BTree) {
+		s.Begin()
+		// Enough inserts to force splits (new page allocations).
+		for i := 0; i < 3000; i++ {
+			key := []byte{byte(i >> 8), byte(i), 'p'}
+			if err := tree.Insert(s, key, bytes.Repeat([]byte("y"), 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Commit()
+	})
+	res := Run(ssd, pm, "db", 2)
+	if res.MaxPID < 4 {
+		t.Fatalf("splits must have allocated pages beyond the root: maxPID=%d", res.MaxPID)
+	}
+}

@@ -1,0 +1,189 @@
+// Package silor implements the SiloR-style value-logging baseline of the
+// evaluation (§2.2, §4): per-worker logs in DRAM, records that carry only
+// (tree, key, value, txnID) — no page IDs, no GSNs with recovery meaning,
+// no before images — epoch-based group commit with millisecond-scale
+// latency, full-database tuple checkpoints, and a no-steal buffer policy
+// (dirty pages are never written for eviction, so the system stalls once
+// memory is exhausted — Figure 9 b/c/d).
+//
+// Value-log recovery rebuilds tuples with largest-transaction-ID-wins and
+// must rebuild indexes from scratch — the feature losses §2.2 describes.
+package silor
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/base"
+	"repro/internal/wal"
+)
+
+// Manager adapts per-worker value logging onto the wal machinery (DRAM
+// persist mode + group commit acting as the epoch protocol). It implements
+// txn.Backend.
+type Manager struct {
+	wal *wal.Manager
+
+	// Full-database checkpoint state.
+	mu            sync.Mutex
+	checkpointing bool
+
+	valueRecords atomic.Uint64
+	skippedSys   atomic.Uint64
+}
+
+// New wraps a wal.Manager configured with PersistDRAM and GroupCommit
+// (the epoch committer); the group-commit interval is the epoch length.
+func New(w *wal.Manager) *Manager {
+	return &Manager{wal: w}
+}
+
+// NumPartitions delegates to the underlying per-worker logs.
+func (m *Manager) NumPartitions() int { return m.wal.NumPartitions() }
+
+// AcquireOwnership pins the worker's log.
+func (m *Manager) AcquireOwnership(w int) { m.wal.AcquireOwnership(w) }
+
+// ReleaseOwnership unpins the worker's log.
+func (m *Manager) ReleaseOwnership(w int) { m.wal.ReleaseOwnership(w) }
+
+// Append converts page-level operations into value records; structure
+// modifications are not logged at all (value logging recovers tuples, not
+// pages). The returned GSN still advances the page clocks so dirtiness
+// tracking keeps working.
+func (m *Manager) Append(worker int, rec *wal.Record, proposal base.GSN) base.GSN {
+	switch rec.Type {
+	case wal.RecInsert, wal.RecUpdate:
+		// Value logging stores the full new value (largest-txnID-wins at
+		// recovery requires self-contained records); the tree layer is told
+		// to skip diff compression for this backend (FullValueImages).
+		vrec := &wal.Record{Type: wal.RecValue, Txn: rec.Txn, Tree: rec.Tree, Key: rec.Key, After: rec.After}
+		m.valueRecords.Add(1)
+		return m.wal.Append(worker, vrec, proposal)
+	case wal.RecDelete:
+		vrec := &wal.Record{Type: wal.RecValue, Txn: rec.Txn, Tree: rec.Tree, Key: rec.Key, Aux: 1 /* tombstone */}
+		m.valueRecords.Add(1)
+		return m.wal.Append(worker, vrec, proposal)
+	default:
+		// System transaction (split etc.): not logged. Stamp locally.
+		m.skippedSys.Add(1)
+		return proposal + 1
+	}
+}
+
+// CommitTxn waits for the epoch committer (rfaSafe is ignored: value
+// logging has no page-level dependency tracking, every commit waits for the
+// global epoch horizon).
+func (m *Manager) CommitTxn(worker int, txn base.TxnID, proposal base.GSN, _ bool) base.GSN {
+	return m.wal.CommitTxn(worker, txn, proposal, false)
+}
+
+// CommitTxnAsync: SiloR's epoch commit is inherently asynchronous — the
+// worker continues and the epoch committer acknowledges later.
+func (m *Manager) CommitTxnAsync(worker int, txn base.TxnID, proposal base.GSN, _ bool, onDurable func()) base.GSN {
+	return m.wal.CommitTxnAsync(worker, txn, proposal, false, onDurable)
+}
+
+// AbortEnd appends the abort marker (value logs have no undo; aborted
+// transactions simply produce compensating value records through the
+// logical undo path).
+func (m *Manager) AbortEnd(worker int, txn base.TxnID, proposal base.GSN) base.GSN {
+	return m.wal.AbortEnd(worker, txn, proposal)
+}
+
+// MinFlushedGSN delegates to the epoch committer's horizon.
+func (m *Manager) MinFlushedGSN() base.GSN { return m.wal.MinFlushedGSN() }
+
+// WAL exposes the underlying log machinery.
+func (m *Manager) WAL() *wal.Manager { return m.wal }
+
+// FullValueImages reports true: value records must be self-contained.
+func (m *Manager) FullValueImages() bool { return true }
+
+// ValueRecords returns how many value records were logged.
+func (m *Manager) ValueRecords() uint64 { return m.valueRecords.Load() }
+
+// ---- Full-database checkpoints (§2.3, Figure 9 b/c) ----
+
+// TupleSource scans all tuples of all trees (implemented by the engine).
+type TupleSource interface {
+	ScanAllTuples(fn func(tree base.TreeID, key, val []byte) bool)
+}
+
+// CheckpointFull writes the entire database at tuple granularity to a
+// checkpoint file set and then truncates the log below the checkpoint's
+// start horizon. Returns bytes written. This is the slow, bursty full
+// checkpoint the paper contrasts with continuous checkpointing.
+func (m *Manager) CheckpointFull(src TupleSource, seq uint64) (bytes int64) {
+	m.mu.Lock()
+	if m.checkpointing {
+		m.mu.Unlock()
+		return 0
+	}
+	m.checkpointing = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.checkpointing = false
+		m.mu.Unlock()
+	}()
+
+	// All transactions that started after this horizon stay in the log.
+	horizon := m.wal.MinCurrentGSN()
+	f := m.checkpointFile(seq)
+	var buf []byte
+	src.ScanAllTuples(func(tree base.TreeID, key, val []byte) bool {
+		buf = buf[:0]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(tree))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+		buf = append(buf, key...)
+		buf = append(buf, val...)
+		f.WriteAt(buf, bytes)
+		bytes += int64(len(buf))
+		return true
+	})
+	f.Sync()
+	m.writeCheckpointMarker(seq, bytes)
+	m.wal.Prune(horizon)
+	return bytes
+}
+
+func (m *Manager) checkpointFile(seq uint64) fileLike {
+	return m.wal.SSD().Open(checkpointName(seq))
+}
+
+func (m *Manager) writeCheckpointMarker(seq uint64, size int64) {
+	mf := m.wal.SSD().Open("silor/chk-marker")
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:], seq)
+	binary.LittleEndian.PutUint64(b[8:], uint64(size))
+	mf.WriteAt(b[:], 0)
+	mf.Sync()
+}
+
+func checkpointName(seq uint64) string {
+	return "silor/chk-" + itoa(seq)
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+type fileLike interface {
+	WriteAt(data []byte, off int64)
+	ReadAt(buf []byte, off int64) int
+	Sync()
+	Size() int64
+}

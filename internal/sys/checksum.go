@@ -1,0 +1,47 @@
+package sys
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// PopChecksum computes the lightweight popcount-based checksum proposed by
+// van Renen et al. ("Persistent Memory I/O Primitives", DaMoN'19) and used by
+// the paper (§3.8) to find the last fully written log record in persistent
+// memory after a crash: log records may persist out of order and partially
+// (torn), so every record carries a checksum that is validated during the
+// recovery tail scan.
+//
+// The checksum mixes the population count of each 8-byte word with its
+// position so that both bit corruption and word reordering/truncation are
+// detected with high probability, while remaining far cheaper than CRC32 on
+// the logging fast path.
+func PopChecksum(data []byte) uint32 {
+	var sum uint64 = uint64(len(data))*0x9E3779B97F4A7C15 + 1
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		w := binary.LittleEndian.Uint64(data[i:])
+		sum += uint64(bits.OnesCount64(w))*0x100000001B3 + w
+		sum = bits.RotateLeft64(sum, 13)
+	}
+	if i < len(data) {
+		var tail [8]byte
+		copy(tail[:], data[i:])
+		w := binary.LittleEndian.Uint64(tail[:])
+		sum += uint64(bits.OnesCount64(w))*0x100000001B3 + w
+		sum = bits.RotateLeft64(sum, 13)
+	}
+	return uint32(sum) ^ uint32(sum>>32)
+}
+
+// Hash64 is a cheap 64-bit integer mix (splitmix64 finalizer), used for
+// hash-partitioning page IDs across recovery threads and for the cool-page
+// hash table.
+func Hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

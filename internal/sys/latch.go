@@ -1,0 +1,96 @@
+// Package sys provides low-level synchronization and hashing primitives used
+// throughout the storage engine: the hybrid (optimistic-versioned) latch that
+// LeanStore-style engines use for scalable page synchronization, the
+// popcount-based log-record checksum of van Renen et al. used to locate the
+// tail of a torn persistent-memory log, and a fast non-cryptographic RNG.
+package sys
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// HybridLatch is an optimistic-versioned latch in the style of LeanStore's
+// optimistic lock coupling. Readers take a version snapshot, read, and
+// validate; writers acquire exclusively, which makes the version odd for the
+// duration of the critical section and increments it again on release.
+//
+// The zero value is an unlocked latch.
+type HybridLatch struct {
+	version atomic.Uint64
+}
+
+// ErrRestart is the sentinel used by optimistic readers when validation
+// fails; tree traversals catch it and restart from the root.
+type restartError struct{}
+
+func (restartError) Error() string { return "sys: optimistic validation failed, restart" }
+
+// ErrRestart is returned (via panic-free error paths) when an optimistic
+// read raced with a writer and must be retried.
+var ErrRestart error = restartError{}
+
+// IsRestart reports whether err is the optimistic-restart sentinel.
+func IsRestart(err error) bool {
+	_, ok := err.(restartError)
+	return ok
+}
+
+const lockedBit = 1 // odd version means exclusively locked
+
+// LockExclusive acquires the latch exclusively, spinning until available.
+func (l *HybridLatch) LockExclusive() {
+	for {
+		v := l.version.Load()
+		if v&lockedBit == 0 && l.version.CompareAndSwap(v, v+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryLockExclusive attempts to acquire the latch without blocking.
+func (l *HybridLatch) TryLockExclusive() bool {
+	v := l.version.Load()
+	return v&lockedBit == 0 && l.version.CompareAndSwap(v, v+1)
+}
+
+// UnlockExclusive releases an exclusively held latch.
+func (l *HybridLatch) UnlockExclusive() {
+	l.version.Add(1)
+}
+
+// OptimisticVersion returns a version snapshot for optimistic reading.
+// It returns ok=false if the latch is currently write-locked.
+func (l *HybridLatch) OptimisticVersion() (v uint64, ok bool) {
+	v = l.version.Load()
+	return v, v&lockedBit == 0
+}
+
+// OptimisticVersionSpin waits (briefly yielding) until the latch is not
+// write-locked and returns the version snapshot.
+func (l *HybridLatch) OptimisticVersionSpin() uint64 {
+	for {
+		if v, ok := l.OptimisticVersion(); ok {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// Validate reports whether the latch version is still v, i.e. no writer
+// intervened since the snapshot was taken.
+func (l *HybridLatch) Validate(v uint64) bool {
+	return l.version.Load() == v
+}
+
+// UpgradeToExclusive atomically upgrades an optimistic snapshot to an
+// exclusive lock. It fails (returns false) if any writer intervened.
+func (l *HybridLatch) UpgradeToExclusive(v uint64) bool {
+	return v&lockedBit == 0 && l.version.CompareAndSwap(v, v+1)
+}
+
+// IsLockedExclusive reports whether the latch is currently write-locked.
+func (l *HybridLatch) IsLockedExclusive() bool {
+	return l.version.Load()&lockedBit != 0
+}

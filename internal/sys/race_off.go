@@ -1,0 +1,6 @@
+//go:build !race
+
+package sys
+
+// RaceEnabled reports whether the race detector is active; see race_on.go.
+const RaceEnabled = false

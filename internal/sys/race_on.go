@@ -1,0 +1,11 @@
+//go:build race
+
+package sys
+
+// RaceEnabled reports whether the race detector is active. Optimistic lock
+// coupling reads page bytes unsynchronized and validates a version counter
+// afterwards (a seqlock); the race detector flags those by-design
+// unsynchronized reads, so concurrency tests that exercise them skip under
+// -race. Pages never contain Go pointers (swips are frame indices), so torn
+// reads can only yield garbage values that version validation discards.
+const RaceEnabled = true

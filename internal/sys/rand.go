@@ -1,0 +1,77 @@
+package sys
+
+// Rand is a small, fast xoshiro256**-style PRNG. Workload generators create
+// one per worker goroutine so that benchmark threads never share RNG state
+// (math/rand's global source is a lock, which would distort the scalability
+// experiments this repository exists to reproduce).
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded deterministically from seed.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	// splitmix64 seeding as recommended by the xoshiro authors.
+	x := seed
+	for i := range r.s {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sys.Rand.Intn: n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// IntRange returns a uniform value in [lo, hi] inclusive (TPC-C's rand(x,y)).
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("sys.Rand.IntRange: hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,189 @@
+package sys
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHybridLatchExclusive(t *testing.T) {
+	var l HybridLatch
+	l.LockExclusive()
+	if !l.IsLockedExclusive() {
+		t.Fatal("latch should be exclusive")
+	}
+	if _, ok := l.OptimisticVersion(); ok {
+		t.Fatal("optimistic read must fail while write-locked")
+	}
+	if l.TryLockExclusive() {
+		t.Fatal("TryLockExclusive must fail while held")
+	}
+	l.UnlockExclusive()
+	if l.IsLockedExclusive() {
+		t.Fatal("latch should be free")
+	}
+}
+
+func TestHybridLatchOptimisticValidation(t *testing.T) {
+	var l HybridLatch
+	v := l.OptimisticVersionSpin()
+	if !l.Validate(v) {
+		t.Fatal("untouched latch must validate")
+	}
+	l.LockExclusive()
+	l.UnlockExclusive()
+	if l.Validate(v) {
+		t.Fatal("version must change after a write cycle")
+	}
+}
+
+func TestHybridLatchUpgrade(t *testing.T) {
+	var l HybridLatch
+	v := l.OptimisticVersionSpin()
+	if !l.UpgradeToExclusive(v) {
+		t.Fatal("upgrade from clean snapshot must succeed")
+	}
+	l.UnlockExclusive()
+
+	v = l.OptimisticVersionSpin()
+	l.LockExclusive()
+	l.UnlockExclusive()
+	if l.UpgradeToExclusive(v) {
+		t.Fatal("upgrade from stale snapshot must fail")
+	}
+}
+
+func TestHybridLatchConcurrentCounter(t *testing.T) {
+	var l HybridLatch
+	counter := 0
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.LockExclusive()
+				counter++
+				l.UnlockExclusive()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("lost updates: got %d want %d", counter, workers*iters)
+	}
+}
+
+func TestPopChecksumDetectsBitFlips(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog 0123456789")
+	sum := PopChecksum(data)
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			data[i] ^= 1 << bit
+			if PopChecksum(data) == sum {
+				t.Fatalf("bit flip at byte %d bit %d undetected", i, bit)
+			}
+			data[i] ^= 1 << bit
+		}
+	}
+}
+
+func TestPopChecksumDetectsTruncation(t *testing.T) {
+	data := make([]byte, 256)
+	r := NewRand(7)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	sum := PopChecksum(data)
+	for cut := 0; cut < len(data); cut += 13 {
+		if PopChecksum(data[:cut]) == sum {
+			t.Fatalf("truncation to %d bytes undetected", cut)
+		}
+	}
+}
+
+func TestPopChecksumProperty(t *testing.T) {
+	// Distinct inputs collide only with negligible probability; equal inputs
+	// always agree.
+	f := func(a []byte) bool {
+		s1 := PopChecksum(a)
+		s2 := PopChecksum(append([]byte(nil), a...))
+		return s1 == s2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(a []byte, i int) bool {
+		if len(a) == 0 {
+			return true
+		}
+		i = ((i % len(a)) + len(a)) % len(a)
+		b := append([]byte(nil), a...)
+		b[i] ^= 0xFF
+		return PopChecksum(a) != PopChecksum(b)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.IntRange(3, 9); v < 3 || v > 9 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(99)
+	buckets := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bucket %d skewed: %d", i, c)
+		}
+	}
+}
+
+func TestHash64Spread(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 10000; i++ {
+		h := Hash64(i)
+		if seen[h] {
+			t.Fatalf("collision for %d", i)
+		}
+		seen[h] = true
+	}
+}

@@ -1,0 +1,386 @@
+// Package txn implements transactions over the distributed log: sessions
+// pinned to worker log partitions (§3.1), the GSN clock protocol (§2.4,
+// Figure 1), Remote Flush Avoidance (§3.2), logical transaction abort
+// (§3.6), and the bookkeeping the continuous checkpointer needs
+// (minActiveTxGSN, Figure 4).
+package txn
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/wal"
+)
+
+// Backend abstracts the log implementation so the same transaction layer
+// drives the paper's design and all evaluation baselines: the distributed
+// WAL (wal.Manager), the ARIES/Aether single global log, and SiloR-style
+// value logging.
+type Backend interface {
+	NumPartitions() int
+	AcquireOwnership(worker int)
+	ReleaseOwnership(worker int)
+	// Append assigns a GSN (≥ proposal+1, strictly increasing per log) and
+	// appends rec to the worker's log.
+	Append(worker int, rec *wal.Record, proposal base.GSN) base.GSN
+	// CommitTxn makes the transaction durable per the backend's commit
+	// protocol and returns the commit GSN. rfaSafe = needsRemoteFlush was
+	// false.
+	CommitTxn(worker int, txn base.TxnID, proposal base.GSN, rfaSafe bool) base.GSN
+	// CommitTxnAsync appends the commit record and invokes onDurable once
+	// it is durable; group-commit backends return without waiting (the
+	// passive group commit of [52]: workers proceed to the next
+	// transaction).
+	CommitTxnAsync(worker int, txn base.TxnID, proposal base.GSN, rfaSafe bool, onDurable func()) base.GSN
+	// AbortEnd appends the end-of-transaction record after logical undo.
+	AbortEnd(worker int, txn base.TxnID, proposal base.GSN) base.GSN
+	// MinFlushedGSN is GSNflushed: all logs are durable up to it (§3.2).
+	MinFlushedGSN() base.GSN
+	// FullValueImages reports whether updates must carry full after-images
+	// instead of diffs (value-logging backends).
+	FullValueImages() bool
+}
+
+var _ Backend = (*wal.Manager)(nil)
+
+// Config configures the transaction manager.
+type Config struct {
+	// Backend is the log implementation.
+	Backend Backend
+	// RFA enables Remote Flush Avoidance; when false every commit flushes
+	// all logs (the "No RFA" baseline of Figure 8).
+	RFA bool
+	// NoLogging disables the log entirely (Table 1 row 1): GSNs are still
+	// maintained locally so dirtiness tracking works, but nothing is
+	// durable and aborts are still possible via the in-memory undo list.
+	NoLogging bool
+	// TreeResolver maps TreeIDs to trees for logical undo.
+	TreeResolver func(base.TreeID) *btree.BTree
+	// AsyncCommit makes Session.Commit return as soon as the commit record
+	// is appended; durability acknowledgements arrive asynchronously and
+	// are counted in Stats().DurableCommits (group-commit/epoch designs).
+	AsyncCommit bool
+	// StartTxnID makes transaction IDs of this generation exceed it
+	// (persisted in the master record; recovery classification depends on
+	// globally unique transaction IDs).
+	StartTxnID base.TxnID
+	// Throttle, if set, is called at every Begin while holding no latches;
+	// it blocks while the log device is over capacity (backpressure so the
+	// checkpointer can keep the WAL bounded even when producers outpace it).
+	Throttle func()
+}
+
+// Manager creates sessions and tracks global transaction state.
+type Manager struct {
+	cfg       Config
+	nextTxnID atomic.Uint64
+	sessions  []*Session
+
+	starts  atomic.Uint64
+	commits atomic.Uint64
+	durable atomic.Uint64
+	aborts  atomic.Uint64
+	// rfaSkips counts commits that avoided remote flushes; rfaFlushes
+	// counts commits that required them (the §4.1 remote-flush table).
+	rfaSkips   atomic.Uint64
+	rfaFlushes atomic.Uint64
+}
+
+// NewManager creates the transaction manager.
+func NewManager(cfg Config) *Manager {
+	m := &Manager{cfg: cfg}
+	start := uint64(cfg.StartTxnID)
+	if start < 1 {
+		start = 1
+	}
+	m.nextTxnID.Store(start)
+	return m
+}
+
+// NextTxnID returns the ID the next transaction will receive (persisted in
+// the master record for cross-restart uniqueness).
+func (m *Manager) NextTxnID() base.TxnID { return base.TxnID(m.nextTxnID.Load()) }
+
+const inactiveGSN = ^uint64(0)
+
+// NewSession creates a session pinned to the given worker/log partition.
+// A session runs one transaction at a time and is not safe for concurrent
+// use (transactions are pinned to worker threads, §3.1).
+func (m *Manager) NewSession(worker int) *Session {
+	if worker < 0 || worker >= m.cfg.Backend.NumPartitions() {
+		panic(fmt.Sprintf("txn: worker %d out of range", worker))
+	}
+	s := &Session{mgr: m, worker: int32(worker)}
+	s.activeGSN.Store(inactiveGSN)
+	m.sessions = append(m.sessions, s)
+	return s
+}
+
+// MinActiveTxGSN returns the smallest first-record GSN among active
+// transactions (^uint64(0) when none): log records above it may still be
+// needed for undo, bounding log truncation (Figure 4).
+func (m *Manager) MinActiveTxGSN() base.GSN {
+	min := base.GSN(inactiveGSN)
+	for _, s := range m.sessions {
+		if g := base.GSN(s.activeGSN.Load()); g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// Stats aggregates transaction counters.
+type Stats struct {
+	Starts, Commits, Aborts uint64
+	// DurableCommits counts durability acknowledgements; equals Commits in
+	// synchronous modes, lags slightly in asynchronous (group-commit) ones.
+	DurableCommits       uint64
+	RFASkips, RFAFlushes uint64
+}
+
+// Stats returns a counter snapshot.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Starts:         m.starts.Load(),
+		Commits:        m.commits.Load(),
+		DurableCommits: m.durable.Load(),
+		Aborts:         m.aborts.Load(),
+		RFASkips:       m.rfaSkips.Load(),
+		RFAFlushes:     m.rfaFlushes.Load(),
+	}
+}
+
+// WaitAllDurable blocks until every issued commit has been acknowledged
+// durable (asynchronous group-commit modes) or the timeout expires. Callers
+// that want "all acknowledged work survives a crash" semantics (tests,
+// clean benchmark teardown) quiesce with this before crashing.
+func (m *Manager) WaitAllDurable(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for m.commits.Load() != m.durable.Load() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return true
+}
+
+type undoEntry struct {
+	tree   base.TreeID
+	typ    wal.RecType
+	key    []byte
+	before []byte
+	diffs  []wal.Diff
+}
+
+// Session is one worker's transaction context. It implements btree.Ctx.
+type Session struct {
+	mgr    *Manager
+	worker int32
+
+	active       bool
+	inUndo       bool
+	txnID        base.TxnID
+	gsn          base.GSN // transaction GSN clock (§2.4)
+	firstGSN     base.GSN // first record GSN of the current transaction
+	startFlushed base.GSN // GSNflushed sampled at begin (RFA step 2)
+	needsRemote  bool     // RFA step 3
+	syncCommit   bool     // force synchronous commits (latency measurements)
+	undo         []undoEntry
+
+	activeGSN atomic.Uint64 // published firstGSN for MinActiveTxGSN
+}
+
+var _ btree.Ctx = (*Session)(nil)
+
+// WorkerID implements btree.Ctx.
+func (s *Session) WorkerID() int32 { return s.worker }
+
+// Begin starts a transaction: it takes ownership of the worker's log
+// partition, samples GSNflushed, and clears the RFA flag (§3.2 steps 2-3).
+func (s *Session) Begin() {
+	if s.active {
+		panic("txn: nested transaction")
+	}
+	if s.mgr.cfg.Throttle != nil {
+		s.mgr.cfg.Throttle()
+	}
+	s.mgr.cfg.Backend.AcquireOwnership(int(s.worker))
+	s.txnID = base.TxnID(s.mgr.nextTxnID.Add(1))
+	s.startFlushed = s.mgr.cfg.Backend.MinFlushedGSN()
+	s.needsRemote = false
+	s.firstGSN = 0
+	s.undo = s.undo[:0]
+	s.active = true
+	s.mgr.starts.Add(1)
+}
+
+// OnPageAccess implements the GSN clock sync and the RFA check on every
+// page access, read or write (§3.2): the access is dependency-safe if the
+// page's changes are all durable (pageGSN ≤ GSNflushed at begin) or its
+// last modification is in our own log (L_last); otherwise the transaction
+// must flush remote logs at commit.
+func (s *Session) OnPageAccess(f *buffer.Frame, pageGSN base.GSN) {
+	if pageGSN > s.gsn {
+		s.gsn = pageGSN
+	}
+	if !s.active || s.needsRemote {
+		return
+	}
+	if pageGSN <= s.startFlushed {
+		return // all changes to this page are already durable
+	}
+	last := f.LastLog()
+	if last == buffer.NoLog || last == s.worker {
+		return // last change is ours (flushed with our commit) or none
+	}
+	s.needsRemote = true
+}
+
+// Log implements btree.Ctx: it appends rec with the GSN proposal
+// max(txnGSN, pageGSN) and records undo information for user operations.
+func (s *Session) Log(f *buffer.Frame, rec *wal.Record) base.GSN {
+	proposal := s.gsn
+	if pg := buffer.PageGSN(f.Data()); pg > proposal {
+		proposal = pg
+	}
+
+	isUserOp := rec.Type == wal.RecInsert || rec.Type == wal.RecUpdate || rec.Type == wal.RecDelete
+	if isUserOp {
+		if !s.active {
+			panic("txn: user operation outside a transaction")
+		}
+		rec.Txn = s.txnID
+		if !s.inUndo {
+			s.undo = append(s.undo, undoEntry{
+				tree:   rec.Tree,
+				typ:    rec.Type,
+				key:    append([]byte(nil), rec.Key...),
+				before: append([]byte(nil), rec.Before...),
+				diffs:  cloneDiffs(rec.Diffs),
+			})
+		}
+	}
+
+	var gsn base.GSN
+	if s.mgr.cfg.NoLogging {
+		gsn = proposal + 1
+	} else {
+		gsn = s.mgr.cfg.Backend.Append(int(s.worker), rec, proposal)
+	}
+	s.gsn = gsn
+	if s.firstGSN == 0 && isUserOp {
+		s.firstGSN = gsn
+		s.activeGSN.Store(uint64(gsn))
+	}
+	return gsn
+}
+
+func cloneDiffs(diffs []wal.Diff) []wal.Diff {
+	if len(diffs) == 0 {
+		return nil
+	}
+	out := make([]wal.Diff, len(diffs))
+	for i, d := range diffs {
+		out[i] = wal.Diff{
+			Off:    d.Off,
+			Before: append([]byte(nil), d.Before...),
+			After:  append([]byte(nil), d.After...),
+		}
+	}
+	return out
+}
+
+// Commit makes the transaction durable under the configured protocol and
+// ends it. Read-only transactions complete without touching the log. In
+// AsyncCommit mode the call returns once the commit record is appended;
+// durability is acknowledged asynchronously (Stats().DurableCommits).
+func (s *Session) Commit() {
+	if !s.active {
+		panic("txn: commit without begin")
+	}
+	if s.mgr.cfg.NoLogging || s.firstGSN == 0 {
+		s.end()
+		s.mgr.commits.Add(1)
+		s.mgr.durable.Add(1)
+		return
+	}
+	rfaSafe := s.mgr.cfg.RFA && !s.needsRemote
+	if rfaSafe {
+		s.mgr.rfaSkips.Add(1)
+	} else {
+		s.mgr.rfaFlushes.Add(1)
+	}
+	if s.mgr.cfg.AsyncCommit && !s.syncCommit {
+		mgr := s.mgr
+		s.gsn = s.mgr.cfg.Backend.CommitTxnAsync(int(s.worker), s.txnID, s.gsn, rfaSafe,
+			func() { mgr.durable.Add(1) })
+	} else {
+		s.gsn = s.mgr.cfg.Backend.CommitTxn(int(s.worker), s.txnID, s.gsn, rfaSafe)
+		s.mgr.durable.Add(1)
+	}
+	s.end()
+	s.mgr.commits.Add(1)
+}
+
+// SetSyncCommit forces this session's commits to wait for durability even
+// under AsyncCommit backends (latency experiments measure the ack).
+func (s *Session) SetSyncCommit(v bool) { s.syncCommit = v }
+
+// Abort rolls the transaction back: each change is undone logically through
+// the regular access path (logging compensation records), then the
+// end-of-transaction record is appended; the final flush is omitted (§3.6).
+func (s *Session) Abort() {
+	if !s.active {
+		panic("txn: abort without begin")
+	}
+	s.inUndo = true
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		e := &s.undo[i]
+		tree := s.mgr.cfg.TreeResolver(e.tree)
+		tree.UndoOp(s, e.typ, e.key, e.before, e.diffs)
+	}
+	s.inUndo = false
+	if !s.mgr.cfg.NoLogging && s.firstGSN != 0 {
+		s.gsn = s.mgr.cfg.Backend.AbortEnd(int(s.worker), s.txnID, s.gsn)
+	}
+	s.end()
+	s.mgr.aborts.Add(1)
+}
+
+func (s *Session) end() {
+	s.active = false
+	s.activeGSN.Store(inactiveGSN)
+	s.undo = s.undo[:0]
+	s.mgr.cfg.Backend.ReleaseOwnership(int(s.worker))
+}
+
+// FullValueImages implements the btree's optional compression query.
+func (s *Session) FullValueImages() bool { return s.mgr.cfg.Backend.FullValueImages() }
+
+// AbandonForCrash drops an in-flight transaction without committing,
+// aborting, or logging anything — it models a worker dying mid-transaction
+// right before a simulated crash (the transaction becomes a recovery
+// loser). The session is unusable for the dead engine afterwards.
+func (s *Session) AbandonForCrash() {
+	if !s.active {
+		return
+	}
+	s.end()
+}
+
+// NeedsRemoteFlush exposes the RFA flag (tests, §4.1 measurements).
+func (s *Session) NeedsRemoteFlush() bool { return s.needsRemote }
+
+// TxnID returns the current transaction's ID.
+func (s *Session) TxnID() base.TxnID { return s.txnID }
+
+// GSN returns the session's clock (tests).
+func (s *Session) GSN() base.GSN { return s.gsn }
+
+// Active reports whether a transaction is open.
+func (s *Session) Active() bool { return s.active }

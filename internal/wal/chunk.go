@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"encoding/binary"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+)
+
+// chunkMagic marks a live chunk header in persistent memory; a recycled
+// (zeroed) chunk region no longer carries it, which is how recovery tells
+// live chunks apart from already-staged, recycled buffers.
+const chunkMagic = 0x57414C43 // "WALC"
+
+// chunkHeaderSize is the size of the header at the start of every chunk:
+//
+//	u32 magic, u32 partition, u64 seq
+const chunkHeaderSize = 16
+
+// Chunk is one WAL chunk: a persistent-memory region holding a header
+// followed by back-to-back encoded records (Figure 2). A partition owns a
+// circular set of chunks cycling through current → full → (staged) → free.
+type Chunk struct {
+	Region *dev.PMemRegion
+	Seq    uint64 // per-partition monotone sequence number
+
+	pos       int      // owner-only append offset
+	stagedPos int      // bytes already staged to SSD (guarded by Partition.stageMu)
+	firstGSN  base.GSN // GSN of first record (0 if none)
+	lastGSN   base.GSN // GSN of last appended record (owner-only during fill)
+}
+
+// initAsCurrent stamps the chunk header for the given partition/sequence and
+// prepares it for appends. The header itself becomes durable together with
+// the first flush covering it.
+func (c *Chunk) initAsCurrent(partition int, seq uint64) {
+	c.Seq = seq
+	c.pos = chunkHeaderSize
+	c.stagedPos = chunkHeaderSize
+	c.firstGSN = 0
+	c.lastGSN = 0
+	var hdr [chunkHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], chunkMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(partition))
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	c.Region.Write(0, hdr[:])
+}
+
+// parseChunkHeader reads a chunk header from raw region bytes; ok is false
+// if the region does not hold a live chunk.
+func parseChunkHeader(b []byte) (partition int, seq uint64, ok bool) {
+	if len(b) < chunkHeaderSize || binary.LittleEndian.Uint32(b[0:]) != chunkMagic {
+		return 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint32(b[4:])), binary.LittleEndian.Uint64(b[8:]), true
+}
+
+// free returns the remaining append capacity.
+func (c *Chunk) free() int { return c.Region.Size() - c.pos }

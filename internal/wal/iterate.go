@@ -1,0 +1,206 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+)
+
+// ReadLog reconstructs, from the raw post-crash devices, the per-partition
+// record sequences that recovery replays (Figure 7, phase 1 input), plus the
+// group-commit stable horizon from the marker file.
+//
+// Per partition, the durable log consists of stage-2 segment blocks and
+// intact stage-1 chunks in persistent memory. Where a chunk exists in both
+// (staged but not yet recycled at the crash), the persistent-memory copy
+// takes precedence (§3.8). Records are returned in append order; the scan of
+// each chunk stops at the first torn or invalid record (popcount checksum),
+// so a valid commit record implies the whole same-log prefix before it is
+// intact. All returned records are deep copies.
+func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GSN) {
+	parts = make(map[int][]Record)
+
+	// Stable horizon from the marker file (0 when absent).
+	marker := ssd.Open(markerFileName)
+	var mbuf [8]byte
+	if marker.ReadAt(mbuf[:], 0) == 8 {
+		stable = base.GSN(binary.LittleEndian.Uint64(mbuf[:]))
+	}
+
+	// Intact stage-1 chunks, indexed by (partition, seq).
+	type chunkKey struct {
+		part int
+		seq  uint64
+	}
+	pmemChunks := make(map[chunkKey][]byte)
+	if pm != nil {
+		for _, region := range pmRegions(pm) {
+			b := region.Bytes()
+			if part, seq, ok := parseChunkHeader(b); ok {
+				pmemChunks[chunkKey{part, seq}] = b[chunkHeaderSize:]
+			}
+		}
+	}
+
+	// Stage-2 blocks per partition, ordered by (seq, chunkOff).
+	type block struct {
+		seq      uint64
+		chunkOff int
+		data     []byte
+	}
+	blocksByPart := make(map[int][]block)
+	for _, name := range ssd.List("wal/p") {
+		var part, segNo int
+		if _, err := fmt.Sscanf(name, "wal/p%03d/seg%08d", &part, &segNo); err != nil {
+			continue
+		}
+		f := ssd.Open(name)
+		size := f.Size()
+		buf := make([]byte, size)
+		n := f.ReadAt(buf, 0)
+		buf = buf[:n]
+		pos := 0
+		for pos+blockHeaderSize <= len(buf) {
+			if binary.LittleEndian.Uint32(buf[pos:]) != blockMagic {
+				break
+			}
+			payloadLen := int(binary.LittleEndian.Uint32(buf[pos+4:]))
+			seq := binary.LittleEndian.Uint64(buf[pos+8:])
+			chunkOff := int(binary.LittleEndian.Uint32(buf[pos+16:]))
+			pos += blockHeaderSize
+			if pos+payloadLen > len(buf) {
+				break // torn block (crash during a never-synced write)
+			}
+			blocksByPart[part] = append(blocksByPart[part], block{seq, chunkOff, buf[pos : pos+payloadLen]})
+			pos += payloadLen
+		}
+		if _, ok := parts[part]; !ok {
+			parts[part] = nil
+		}
+	}
+	for k := range pmemChunks {
+		if _, ok := parts[k.part]; !ok {
+			parts[k.part] = nil
+		}
+	}
+
+	for part := range parts {
+		blocks := blocksByPart[part]
+		sort.SliceStable(blocks, func(i, j int) bool {
+			if blocks[i].seq != blocks[j].seq {
+				return blocks[i].seq < blocks[j].seq
+			}
+			return blocks[i].chunkOff < blocks[j].chunkOff
+		})
+		// Group into per-seq sources, pmem taking precedence.
+		type source struct {
+			seq    uint64
+			pmem   []byte
+			blocks []block
+		}
+		bySeq := make(map[uint64]*source)
+		var seqs []uint64
+		add := func(seq uint64) *source {
+			s, ok := bySeq[seq]
+			if !ok {
+				s = &source{seq: seq}
+				bySeq[seq] = s
+				seqs = append(seqs, seq)
+			}
+			return s
+		}
+		for _, b := range blocks {
+			add(b.seq).blocks = append(add(b.seq).blocks, b)
+		}
+		for k, data := range pmemChunks {
+			if k.part == part {
+				add(k.seq).pmem = data
+			}
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+		var recs []Record
+		for _, seq := range seqs {
+			s := bySeq[seq]
+			var ctx codecContext
+			if s.pmem != nil {
+				// Persistent-memory copy takes precedence over any
+				// (partially) staged blocks of the same chunk.
+				recs = appendChunkRecords(recs, s.pmem, &ctx)
+				continue
+			}
+			for _, b := range s.blocks {
+				recs = appendChunkRecords(recs, b.data, &ctx)
+			}
+		}
+		parts[part] = recs
+	}
+	return parts, stable
+}
+
+func appendChunkRecords(dst []Record, data []byte, ctx *codecContext) []Record {
+	pos := 0
+	for pos < len(data) {
+		rec, n, err := decode(data[pos:], ctx)
+		if err != nil {
+			break // torn tail / end of valid records in this chunk
+		}
+		dst = append(dst, CloneRecord(&rec))
+		pos += n
+	}
+	return dst
+}
+
+// pmRegions lists the device's regions. (Small accessor kept here so the
+// dev package stays ignorant of WAL chunk structure.)
+func pmRegions(pm *dev.PMem) []*dev.PMemRegion { return pm.Regions() }
+
+// ArchivePrefix is the stage-3 namespace on the SSD.
+const ArchivePrefix = "archive/"
+
+// IsWALFile reports whether an SSD file name belongs to the live WAL
+// (stage 2 or marker), as opposed to the database file or the archive.
+func IsWALFile(name string) bool {
+	return strings.HasPrefix(name, "wal/")
+}
+
+// RemoveFiles deletes exactly the named files. The engine snapshots the
+// previous generation's segment names before creating the new log manager
+// and removes only those after recovery — removing by a fresh List would
+// also hit files the live manager already holds handles to (its new
+// segments and the stable-GSN marker), orphaning them.
+func RemoveFiles(ssd *dev.SSD, names []string) {
+	for _, name := range names {
+		ssd.Remove(name)
+	}
+}
+
+// LiveSegmentNames lists the current stage-2 segment files (not the marker:
+// the new generation reuses it, and GSN monotonicity across generations
+// keeps its horizon valid).
+func LiveSegmentNames(ssd *dev.SSD) []string {
+	return ssd.List("wal/p")
+}
+
+// ArchiveAllLive copies every live stage-2 segment into the archive
+// namespace (used before RemoveAllWAL on the crash-recovery path so media
+// recovery retains the full log history; the stage-1 tail that never
+// reached a segment is the documented gap — take a fresh full backup after
+// a crash restart to re-establish the media-recovery baseline).
+func ArchiveAllLive(ssd *dev.SSD) {
+	for _, name := range ssd.List("wal/p") {
+		dst := ssd.Open(ArchivePrefix + name)
+		if dst.Size() > 0 {
+			continue
+		}
+		src := ssd.Open(name)
+		buf := make([]byte, src.Size())
+		n := src.ReadAt(buf, 0)
+		dst.WriteAt(buf[:n], 0)
+		dst.Sync()
+	}
+}

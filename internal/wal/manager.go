@@ -1,0 +1,625 @@
+package wal
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+)
+
+// Config configures the distributed WAL.
+type Config struct {
+	// Partitions is the number of per-worker logs (§3.1). Each session is
+	// pinned to one.
+	Partitions int
+	// ChunkSize is the stage-1 chunk size in bytes (paper: 20 MB; scaled
+	// down here).
+	ChunkSize int
+	// ChunksPerPartition is the length of the circular chunk list (paper: 5).
+	ChunksPerPartition int
+	// SegmentSize is the stage-2 segment file rotation threshold; pruning
+	// removes whole segments.
+	SegmentSize int
+	// PersistMode selects stage-1 placement (PMem or DRAM, §3.2).
+	PersistMode PersistMode
+	// GroupCommit enables the passive group-commit protocol [52]; required
+	// for durability in PersistDRAM mode unless SyncCommit is set.
+	GroupCommit bool
+	// GroupCommitInterval is the committer tick (0 = default).
+	GroupCommitInterval time.Duration
+	// SyncCommit (PersistDRAM only) makes every commit stage+sync its log
+	// synchronously — the ARIES-without-group-commit behaviour.
+	SyncCommit bool
+	// Compression enables same-page/same-txn field elision (§3.8).
+	Compression bool
+	// StripUndoImages drops before-images from user records (benchmark for
+	// §3.6's undo-volume estimate; recovery undo is impossible with it).
+	StripUndoImages bool
+	// Archive copies pruned segments to the archive namespace (stage 3)
+	// before deleting them.
+	Archive bool
+	// CommitFlushDisabled appends commit records without any flush or
+	// group-commit wait. Benchmark-only (Table 1 rows 2-3: log records are
+	// created/staged but commits are not made durable).
+	CommitFlushDisabled bool
+	// DiscardStaging recycles full chunks without writing them to SSD.
+	// Benchmark-only (Table 1 row 2: record creation cost in isolation).
+	DiscardStaging bool
+
+	// GSNFloor makes every GSN of this log generation exceed it. The engine
+	// passes the previous generation's maximum GSN so GSNs stay globally
+	// monotone across restarts — which keeps the group-commit stable marker
+	// and all persisted page GSNs valid in the new generation.
+	GSNFloor base.GSN
+
+	PMem *dev.PMem
+	SSD  *dev.SSD
+
+	// OnStaged is invoked with the number of bytes each time log data is
+	// staged to stage 2 — the continuous checkpointer's trigger (§3.4).
+	OnStaged func(bytes int)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 256 * 1024
+	}
+	if c.ChunksPerPartition < 2 {
+		c.ChunksPerPartition = 5
+	}
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 1 << 20
+	}
+	if c.GroupCommitInterval <= 0 {
+		c.GroupCommitInterval = 100 * time.Microsecond
+	}
+}
+
+// commitWaiter is a transaction parked in the group-commit queue; the
+// committer invokes onDurable once the commit record is durable. Passive
+// group commit [52] works precisely because the worker thread does NOT wait
+// here — it proceeds to the next transaction and the acknowledgement
+// arrives asynchronously.
+type commitWaiter struct {
+	gsn       base.GSN
+	part      int
+	rfaSafe   bool
+	onDurable func()
+}
+
+// Manager is the two-stage distributed log (Figure 2) plus the commit
+// protocols of §3.2. It implements the durability side of the engine; the
+// RFA decision itself (whether a commit needs remote flushes) is made by the
+// transaction layer and passed in.
+type Manager struct {
+	cfg   Config
+	parts []*Partition
+
+	// ownerMu[i] serializes ownership of partition i: the pinned session
+	// holds it for the duration of each transaction; between transactions
+	// the background lift ticker may grab it to flush the partition and
+	// lift its GSN watermarks, which keeps idle logs from stalling group
+	// commit, RFA, and log truncation.
+	ownerMu []sync.Mutex
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	gcNotify chan struct{}
+
+	gcMu    sync.Mutex
+	gcQueue []commitWaiter
+
+	// stableGSN is the group committer's verified durable horizon: every
+	// record (in any partition) with GSN ≤ stableGSN is durable, persisted
+	// in the marker file before any dependent commit is acknowledged.
+	stableGSN  atomic.Uint64
+	markerFile *dev.File
+
+	gsnFloor atomic.Uint64 // lift hint; new records always exceed it
+	closed   atomic.Bool
+
+	archived    atomic.Uint64
+	commitsRFA  atomic.Uint64 // commits acknowledged via the RFA fast path
+	commitsFull atomic.Uint64 // commits that required the full durability horizon
+}
+
+// markerFileName holds the group-commit stable-GSN marker.
+const markerFileName = "wal/marker"
+
+// NewManager creates the distributed log and starts its background threads
+// (per-partition WAL writers, the lift ticker, and — if configured — the
+// group committer).
+func NewManager(cfg Config) *Manager {
+	cfg.fillDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		stop:     make(chan struct{}),
+		gcNotify: make(chan struct{}, 1),
+	}
+	m.parts = make([]*Partition, cfg.Partitions)
+	m.ownerMu = make([]sync.Mutex, cfg.Partitions)
+	m.gsnFloor.Store(uint64(cfg.GSNFloor))
+	for i := range m.parts {
+		p := &Partition{ID: i, mgr: m, scratch: make([]byte, 4096)}
+		p.lastGSN.Store(uint64(cfg.GSNFloor))
+		p.flushedGSN.Store(uint64(cfg.GSNFloor))
+		p.initSegSeq()
+		p.initChunks(cfg.ChunksPerPartition, cfg.ChunkSize)
+		m.parts[i] = p
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			p.writerLoop(m.stop)
+		}()
+	}
+	m.markerFile = cfg.SSD.Open(markerFileName)
+	if cfg.GroupCommit {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.groupCommitterLoop()
+		}()
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.liftLoop()
+	}()
+	return m
+}
+
+// NumPartitions returns the number of per-worker logs.
+func (m *Manager) NumPartitions() int { return len(m.parts) }
+
+// Partition returns partition i (used by recovery and tests).
+func (m *Manager) Partition(i int) *Partition { return m.parts[i] }
+
+// AcquireOwnership pins partition worker to the calling session for the
+// duration of a transaction.
+func (m *Manager) AcquireOwnership(worker int) { m.ownerMu[worker].Lock() }
+
+// ReleaseOwnership releases the pin taken by AcquireOwnership.
+func (m *Manager) ReleaseOwnership(worker int) { m.ownerMu[worker].Unlock() }
+
+// Append assigns a GSN and appends rec to partition worker. The caller must
+// own the partition (hold AcquireOwnership). proposal is max(txnGSN,
+// pageGSN) per the GSN protocol.
+func (m *Manager) Append(worker int, rec *Record, proposal base.GSN) base.GSN {
+	if m.cfg.StripUndoImages {
+		rec.Before = nil
+		for i := range rec.Diffs {
+			rec.Diffs[i].Before = nil
+		}
+	}
+	return m.parts[worker].Append(rec, proposal)
+}
+
+// CommitTxn appends the commit record for txn and blocks until it is
+// durable under the configured protocol (§3.2). rfaSafe reports that the
+// transaction's needsRemoteFlush flag is false: every record it depends on
+// is either already durable or in its own log. It returns the commit GSN.
+func (m *Manager) CommitTxn(worker int, txn base.TxnID, proposal base.GSN, rfaSafe bool) base.GSN {
+	p := m.parts[worker]
+	if rfaSafe {
+		m.commitsRFA.Add(1)
+	} else {
+		m.commitsFull.Add(1)
+	}
+
+	if m.cfg.CommitFlushDisabled {
+		rec := Record{Type: RecCommit, Txn: txn, Aux: 1}
+		return p.Append(&rec, proposal)
+	}
+
+	if m.cfg.GroupCommit {
+		rec := Record{Type: RecCommit, Txn: txn, Aux: boolAux(rfaSafe)}
+		gsn := p.Append(&rec, proposal)
+		m.WaitCommitDurable(worker, gsn, rfaSafe)
+		return gsn
+	}
+
+	switch m.cfg.PersistMode {
+	case PersistPMem:
+		// Immediate commit: make remote dependencies durable *before*
+		// appending the commit record, so that at recovery the presence of
+		// a valid commit record implies all its dependencies are present
+		// (every commit record is marked dependency-safe, Aux=1).
+		if !rfaSafe {
+			for _, q := range m.parts {
+				if q != p {
+					q.FlushPMem()
+				}
+			}
+		}
+		rec := Record{Type: RecCommit, Txn: txn, Aux: 1}
+		gsn := p.Append(&rec, proposal)
+		p.FlushPMem()
+		return gsn
+	default: // PersistDRAM without group commit: synchronous stage+sync
+		if !rfaSafe {
+			for _, q := range m.parts {
+				if q != p {
+					q.stageAll(true)
+				}
+			}
+		}
+		rec := Record{Type: RecCommit, Txn: txn, Aux: 1}
+		gsn := p.Append(&rec, proposal)
+		p.stageAll(true)
+		return gsn
+	}
+}
+
+// AppendCommitRecord appends just the commit record (caller owns the
+// partition); combine with WaitCommitDurable for pipelined commit protocols
+// (Aether's flush pipelining) that must not block while holding the log.
+func (m *Manager) AppendCommitRecord(worker int, txn base.TxnID, proposal base.GSN, rfaSafe bool) base.GSN {
+	rec := Record{Type: RecCommit, Txn: txn, Aux: boolAux(rfaSafe)}
+	return m.parts[worker].Append(&rec, proposal)
+}
+
+// EnqueueCommitWaiter registers an asynchronous durability callback for the
+// commit record at gsn (group-commit mode).
+func (m *Manager) EnqueueCommitWaiter(worker int, gsn base.GSN, rfaSafe bool, onDurable func()) {
+	w := commitWaiter{gsn: gsn, part: worker, rfaSafe: rfaSafe, onDurable: onDurable}
+	m.gcMu.Lock()
+	m.gcQueue = append(m.gcQueue, w)
+	m.gcMu.Unlock()
+	select {
+	case m.gcNotify <- struct{}{}:
+	default:
+	}
+}
+
+// WaitCommitDurable blocks until the commit record at gsn is durable under
+// the group-commit protocol. Requires GroupCommit mode.
+func (m *Manager) WaitCommitDurable(worker int, gsn base.GSN, rfaSafe bool) {
+	done := make(chan struct{})
+	m.EnqueueCommitWaiter(worker, gsn, rfaSafe, func() { close(done) })
+	<-done
+}
+
+// CommitTxnAsync appends the commit record and arranges for onDurable to be
+// invoked once it is durable. In group-commit modes the call returns
+// immediately (passive group commit: the worker proceeds); otherwise the
+// synchronous protocol runs and onDurable fires before returning.
+func (m *Manager) CommitTxnAsync(worker int, txn base.TxnID, proposal base.GSN, rfaSafe bool, onDurable func()) base.GSN {
+	if m.cfg.GroupCommit && !m.cfg.CommitFlushDisabled {
+		if rfaSafe {
+			m.commitsRFA.Add(1)
+		} else {
+			m.commitsFull.Add(1)
+		}
+		rec := Record{Type: RecCommit, Txn: txn, Aux: boolAux(rfaSafe)}
+		gsn := m.parts[worker].Append(&rec, proposal)
+		m.EnqueueCommitWaiter(worker, gsn, rfaSafe, onDurable)
+		return gsn
+	}
+	gsn := m.CommitTxn(worker, txn, proposal, rfaSafe)
+	onDurable()
+	return gsn
+}
+
+func boolAux(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// AbortEnd appends the end-of-transaction record after a logical rollback.
+// Per §3.6, the log flush is omitted for aborts.
+func (m *Manager) AbortEnd(worker int, txn base.TxnID, proposal base.GSN) base.GSN {
+	rec := Record{Type: RecAbortEnd, Txn: txn}
+	return m.parts[worker].Append(&rec, proposal)
+}
+
+// FlushAllLogs makes every record appended so far (in every partition)
+// durable: the write-ahead rule enforced before page images reach the
+// database file (a page may carry uncommitted changes under steal, and its
+// undo information must never be lost). In PMem mode this is one cheap
+// persist barrier per partition.
+func (m *Manager) FlushAllLogs() {
+	for _, p := range m.parts {
+		if m.cfg.PersistMode == PersistPMem {
+			p.FlushPMem()
+		} else {
+			p.stageAll(true)
+		}
+	}
+}
+
+// MinFlushedGSN returns the GSN up to which *all* logs are durable — the
+// GSNflushed that RFA samples at transaction begin (§3.2).
+func (m *Manager) MinFlushedGSN() base.GSN {
+	min := base.GSN(^uint64(0))
+	for _, p := range m.parts {
+		if g := base.GSN(p.flushedGSN.Load()); g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// MinCurrentGSN returns the smallest current GSN among all logs; records
+// created afterwards are guaranteed to have higher GSNs (used by the
+// checkpointer, §3.4).
+func (m *Manager) MinCurrentGSN() base.GSN {
+	min := base.GSN(^uint64(0))
+	for _, p := range m.parts {
+		if g := base.GSN(p.lastGSN.Load()); g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// MaxGSN returns the largest GSN assigned so far across all logs.
+func (m *Manager) MaxGSN() base.GSN {
+	max := base.GSN(0)
+	for _, p := range m.parts {
+		if g := base.GSN(p.lastGSN.Load()); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// StableGSN returns the group committer's persisted durable horizon.
+func (m *Manager) StableGSN() base.GSN { return base.GSN(m.stableGSN.Load()) }
+
+// Prune truncates the log: every record with GSN < upTo is no longer needed
+// for recovery (its page is checkpointed and no active transaction may need
+// it for undo). Closed stage-2 segments below the horizon are archived and
+// deleted (§3.4).
+func (m *Manager) Prune(upTo base.GSN) {
+	for _, p := range m.parts {
+		p.prune(upTo)
+	}
+}
+
+// LiveWALBytes returns the total un-pruned stage-2 log volume — the "WAL
+// volume" series of Figure 9.
+func (m *Manager) LiveWALBytes() uint64 {
+	var n uint64
+	for _, p := range m.parts {
+		n += p.liveBytes.Load()
+	}
+	return n
+}
+
+// Stats aggregates counters for the harness.
+type Stats struct {
+	AppendedBytes   uint64
+	AppendedRecords uint64
+	StagedBytes     uint64
+	PrunedBytes     uint64
+	ArchivedBytes   uint64
+	SealStalls      uint64
+	CommitsRFA      uint64
+	CommitsFull     uint64
+}
+
+// Stats returns aggregated log statistics.
+func (m *Manager) Stats() Stats {
+	var s Stats
+	for _, p := range m.parts {
+		s.AppendedBytes += p.appendedBytes.Load()
+		s.AppendedRecords += p.appendedRecords.Load()
+		s.StagedBytes += p.stagedBytes.Load()
+		s.PrunedBytes += p.prunedBytes.Load()
+		s.SealStalls += p.sealStalls.Load()
+	}
+	s.ArchivedBytes = m.archived.Load()
+	s.CommitsRFA = m.commitsRFA.Load()
+	s.CommitsFull = m.commitsFull.Load()
+	return s
+}
+
+func (m *Manager) onStaged(bytes int) {
+	if m.cfg.OnStaged != nil {
+		m.cfg.OnStaged(bytes)
+	}
+}
+
+func (m *Manager) archiveSegment(seg *segmentInfo) {
+	m.archived.Add(uint64(seg.size))
+	if !m.cfg.Archive {
+		return
+	}
+	dst := m.cfg.SSD.Open("archive/" + seg.name)
+	buf := make([]byte, seg.size)
+	n := seg.file.ReadAt(buf, 0)
+	dst.WriteAt(buf[:n], 0)
+	dst.Sync()
+}
+
+// groupCommitterLoop implements passive group commit [52] with the RFA fast
+// path (§3.2): each tick it makes all logs durable, persists the verified
+// stable GSN to the marker file, and acknowledges waiting transactions —
+// RFA-safe ones as soon as their own log is durable, others once the global
+// horizon passes their commit GSN.
+func (m *Manager) groupCommitterLoop() {
+	// Interval-driven (the epoch): ticking on every enqueue would
+	// degenerate into one log flush per commit, which is exactly what
+	// group commit exists to avoid. The notify channel only short-cuts the
+	// wait when most of the interval already elapsed.
+	timer := time.NewTimer(m.cfg.GroupCommitInterval)
+	defer timer.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.gcNotify:
+			if time.Since(last) < m.cfg.GroupCommitInterval/2 {
+				continue
+			}
+		case <-timer.C:
+		}
+		timer.Reset(m.cfg.GroupCommitInterval)
+		last = time.Now()
+		m.groupCommitTick()
+	}
+}
+
+func (m *Manager) groupCommitTick() {
+	// 1. Make every log durable up to its current content.
+	for _, p := range m.parts {
+		if m.cfg.PersistMode == PersistPMem {
+			p.FlushPMem()
+		} else {
+			p.stageAll(true)
+		}
+	}
+	// 2. Compute and persist the stable horizon. flushedGSN is per-partition
+	// sound ("no record of mine with GSN ≤ this is lost"), so the min is a
+	// global horizon; the lift ticker keeps idle partitions from pinning it.
+	s := m.MinFlushedGSN()
+	if s > base.GSN(m.stableGSN.Load()) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(s))
+		m.markerFile.WriteAt(buf[:], 0)
+		m.markerFile.Sync()
+		m.stableGSN.Store(uint64(s))
+	}
+	// 3. Acknowledge waiters.
+	m.gcMu.Lock()
+	pending := m.gcQueue[:0]
+	for _, w := range m.gcQueue {
+		durable := false
+		if w.rfaSafe {
+			durable = base.GSN(m.parts[w.part].flushedGSN.Load()) >= w.gsn
+		} else {
+			durable = base.GSN(m.stableGSN.Load()) >= w.gsn
+		}
+		if durable {
+			w.onDurable()
+		} else {
+			pending = append(pending, w)
+		}
+	}
+	m.gcQueue = pending
+	m.gcMu.Unlock()
+}
+
+// liftLoop periodically takes ownership of idle partitions, flushes them,
+// and lifts their GSN watermarks to the global maximum. Without this, an
+// idle log would pin MinFlushedGSN/MinCurrentGSN forever, stalling group
+// commit, degrading RFA, and preventing log truncation. Lifting is safe
+// because it happens under partition ownership with no pending bytes: the
+// partition has no records in the lifted gap, and its future records are
+// assigned GSNs above the lifted watermark.
+func (m *Manager) liftLoop() {
+	const interval = 500 * time.Microsecond
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-timer.C:
+		}
+		timer.Reset(interval)
+		m.liftIdlePartitions()
+	}
+}
+
+func (m *Manager) liftIdlePartitions() {
+	target := m.MaxGSN()
+	if target == 0 {
+		return
+	}
+	for i, p := range m.parts {
+		if base.GSN(p.lastGSN.Load()) >= target && base.GSN(p.flushedGSN.Load()) >= target {
+			continue
+		}
+		if !m.ownerMu[i].TryLock() {
+			continue // a session owns it; its own activity keeps it fresh
+		}
+		// We are the owner now: drain pending bytes, then lift. As owner we
+		// know no new records can appear while we hold the lock, so after a
+		// successful drain every record of this partition is durable and
+		// the gap up to target is record-free: lifting both watermarks to
+		// target is sound.
+		durable := false
+		if m.cfg.PersistMode == PersistPMem {
+			p.FlushPMem()
+			ch := p.cur.Load()
+			durable = len(p.fullC) == 0 && ch.Region.Flushed() >= ch.Region.Written()
+		} else {
+			p.stageAll(true)
+			durable = p.fullyStaged()
+		}
+		if durable {
+			if base.GSN(p.lastGSN.Load()) < target {
+				p.lastGSN.Store(uint64(target))
+			}
+			p.advanceFlushedGSN(target)
+		}
+		m.ownerMu[i].Unlock()
+	}
+}
+
+// Close stops background threads. If drain is true, all pending log data is
+// staged and synced first (clean shutdown); with drain false the log is
+// abandoned as-is (used before simulated crashes).
+func (m *Manager) Close(drain bool) {
+	if !m.closed.CompareAndSwap(false, true) {
+		return // idempotent
+	}
+	if drain {
+		for i, p := range m.parts {
+			m.ownerMu[i].Lock()
+			p.stageAll(true)
+			m.ownerMu[i].Unlock()
+		}
+	}
+	close(m.stop)
+	m.wg.Wait()
+	if m.cfg.GroupCommit {
+		if drain {
+			// Clean shutdown: one final tick makes the queue durable.
+			m.groupCommitTick()
+		}
+		// Complete parked waiters so no callback is lost. On the crash
+		// path nothing was flushed here — unacknowledged commits may
+		// legitimately be lost, exactly like a real crash.
+		m.gcMu.Lock()
+		for _, w := range m.gcQueue {
+			w.onDurable()
+		}
+		m.gcQueue = nil
+		m.gcMu.Unlock()
+	}
+}
+
+// SSD exposes the flash device (baselines store checkpoint files on it).
+func (m *Manager) SSD() *dev.SSD { return m.cfg.SSD }
+
+// FullValueImages reports whether the backend needs full after-images for
+// updates instead of diffs. The physiological log prefers diffs (§3.8);
+// with compression disabled (the §3.8 comparison baseline) full images are
+// requested so the experiment measures both halves of the scheme.
+func (m *Manager) FullValueImages() bool { return !m.cfg.Compression }
+
+// SetOnStaged installs the staged-bytes hook after construction (the engine
+// builds the checkpointer after the log).
+func (m *Manager) SetOnStaged(fn func(int)) { m.cfg.OnStaged = fn }
+
+// StageAllToSSD forces every pending stage-1 byte into synced stage-2
+// segments (used before archiving the live WAL at the end of recovery, so
+// the archive covers recovery-generated records such as loser AbortEnds).
+func (m *Manager) StageAllToSSD() {
+	for i, p := range m.parts {
+		m.ownerMu[i].Lock()
+		p.stageAll(true)
+		m.ownerMu[i].Unlock()
+	}
+}

@@ -1,0 +1,448 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+)
+
+func testConfig(parts int) (Config, *dev.PMem, *dev.SSD) {
+	pm := NewTestPMem()
+	ssd := dev.NewSSD()
+	return Config{
+		Partitions:         parts,
+		ChunkSize:          8 * 1024,
+		ChunksPerPartition: 4,
+		SegmentSize:        16 * 1024,
+		PersistMode:        PersistPMem,
+		Compression:        true,
+		PMem:               pm,
+		SSD:                ssd,
+	}, pm, ssd
+}
+
+// NewTestPMem returns a PMem with deterministic full tearing (drop all
+// unflushed lines) so durability assertions are exact.
+func NewTestPMem() *dev.PMem {
+	pm := dev.NewPMem()
+	pm.TearSurviveProb = 0
+	return pm
+}
+
+func appendN(t *testing.T, m *Manager, part, n int, txn base.TxnID) base.GSN {
+	t.Helper()
+	var gsn base.GSN
+	m.AcquireOwnership(part)
+	defer m.ReleaseOwnership(part)
+	for i := 0; i < n; i++ {
+		rec := Record{
+			Type: RecInsert, Txn: txn, Tree: 2, Page: base.PageID(100 + i),
+			Key:   []byte(fmt.Sprintf("key-%d-%d", part, i)),
+			After: []byte(fmt.Sprintf("val-%d-%d", part, i)),
+		}
+		gsn = m.Append(part, &rec, gsn)
+	}
+	return gsn
+}
+
+func TestAppendAssignsMonotoneGSNs(t *testing.T) {
+	cfg, _, _ := testConfig(2)
+	m := NewManager(cfg)
+	defer m.Close(false)
+	m.AcquireOwnership(0)
+	var last base.GSN
+	for i := 0; i < 100; i++ {
+		rec := Record{Type: RecInsert, Txn: 1, Tree: 1, Page: 1, Key: []byte("k"), After: []byte("v")}
+		gsn := m.Append(0, &rec, 0)
+		if gsn <= last {
+			t.Fatalf("GSN not strictly increasing: %d after %d", gsn, last)
+		}
+		last = gsn
+	}
+	m.ReleaseOwnership(0)
+}
+
+func TestGSNProposalRespected(t *testing.T) {
+	cfg, _, _ := testConfig(1)
+	m := NewManager(cfg)
+	defer m.Close(false)
+	m.AcquireOwnership(0)
+	defer m.ReleaseOwnership(0)
+	rec := Record{Type: RecInsert, Txn: 1, Tree: 1, Page: 1, Key: []byte("k"), After: []byte("v")}
+	gsn := m.Append(0, &rec, 5000)
+	if gsn != 5001 {
+		t.Fatalf("proposal 5000 should yield 5001, got %d", gsn)
+	}
+}
+
+func TestImmediateCommitDurableAfterCrash(t *testing.T) {
+	cfg, pm, ssd := testConfig(2)
+	m := NewManager(cfg)
+	gsn := appendN(t, m, 0, 10, 7)
+	m.AcquireOwnership(0)
+	commitGSN := m.CommitTxn(0, 7, gsn, true)
+	m.ReleaseOwnership(0)
+	m.Close(false)
+
+	pm.Crash(1)
+	ssd.Crash()
+	parts, _ := ReadLog(ssd, pm)
+	recs := parts[0]
+	if len(recs) != 11 {
+		t.Fatalf("want 11 records after crash, got %d", len(recs))
+	}
+	last := recs[len(recs)-1]
+	if last.Type != RecCommit || last.GSN != commitGSN || last.Txn != 7 {
+		t.Fatalf("commit record wrong: %+v", last)
+	}
+}
+
+func TestUncommittedTailLostOnCrash(t *testing.T) {
+	cfg, pm, ssd := testConfig(1)
+	m := NewManager(cfg)
+	gsn := appendN(t, m, 0, 5, 7)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 7, gsn, true)
+	// More records, never flushed.
+	for i := 0; i < 3; i++ {
+		rec := Record{Type: RecInsert, Txn: 8, Tree: 2, Page: 1, Key: []byte("x"), After: []byte("y")}
+		gsn = m.Append(0, &rec, gsn)
+	}
+	m.ReleaseOwnership(0)
+	m.Close(false)
+	pm.Crash(1)
+	ssd.Crash()
+	parts, _ := ReadLog(ssd, pm)
+	recs := parts[0]
+	// 5 inserts + 1 commit survive; the unflushed tail must be gone (the
+	// test PMem drops all unflushed lines).
+	if len(recs) != 6 {
+		t.Fatalf("want 6 records, got %d", len(recs))
+	}
+}
+
+func TestTornTailStopsAtFirstInvalid(t *testing.T) {
+	cfg, pm, ssd := testConfig(1)
+	pm.TearSurviveProb = 0.5 // random line survival in the unflushed tail
+	m := NewManager(cfg)
+	gsn := appendN(t, m, 0, 3, 7)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 7, gsn, true)
+	g := base.GSN(0)
+	for i := 0; i < 50; i++ {
+		rec := Record{Type: RecInsert, Txn: 8, Tree: 2, Page: base.PageID(i), Key: []byte("unflushed"), After: []byte("data")}
+		g = m.Append(0, &rec, g)
+	}
+	m.ReleaseOwnership(0)
+	m.Close(false)
+	pm.Crash(12345)
+	ssd.Crash()
+	parts, _ := ReadLog(ssd, pm)
+	recs := parts[0]
+	if len(recs) < 4 {
+		t.Fatalf("flushed prefix lost: %d records", len(recs))
+	}
+	// Whatever tail survived must be a contiguous valid prefix: GSNs
+	// strictly increasing, no gaps relative to append order.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].GSN <= recs[i-1].GSN {
+			t.Fatalf("record order broken at %d", i)
+		}
+	}
+}
+
+func TestChunkRotationAndStaging(t *testing.T) {
+	cfg, pm, ssd := testConfig(1)
+	m := NewManager(cfg)
+	// Append enough to rotate chunks several times (8 KiB chunks).
+	gsn := appendN(t, m, 0, 500, 3)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 3, gsn, true)
+	m.ReleaseOwnership(0)
+	waitFor(t, func() bool { return m.Stats().StagedBytes > 0 }, "staging")
+	m.Close(true)
+	if got := m.Stats().SealStalls; got > 500 {
+		t.Fatalf("too many seal stalls: %d", got)
+	}
+	pm.Crash(1)
+	ssd.Crash()
+	parts, _ := ReadLog(ssd, pm)
+	if len(parts[0]) != 501 {
+		t.Fatalf("want 501 records across chunks+segments, got %d", len(parts[0]))
+	}
+	// Records must be in append order with no duplicates (staging dedupe).
+	seen := make(map[base.GSN]bool)
+	for _, r := range parts[0] {
+		if seen[r.GSN] {
+			t.Fatalf("duplicate GSN %d", r.GSN)
+		}
+		seen[r.GSN] = true
+	}
+}
+
+func TestRemoteFlushMakesOtherLogDurable(t *testing.T) {
+	cfg, pm, ssd := testConfig(2)
+	m := NewManager(cfg)
+	// Partition 1 has unflushed records.
+	appendN(t, m, 1, 5, 9)
+	// Partition 0 commits with needsRemoteFlush → all logs flushed first.
+	g := appendN(t, m, 0, 1, 4)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 4, g, false)
+	m.ReleaseOwnership(0)
+	m.Close(false)
+	pm.Crash(1)
+	ssd.Crash()
+	parts, _ := ReadLog(ssd, pm)
+	if len(parts[1]) != 5 {
+		t.Fatalf("remote flush did not persist partition 1: %d records", len(parts[1]))
+	}
+}
+
+func TestMinFlushedGSNAdvances(t *testing.T) {
+	cfg, _, _ := testConfig(2)
+	m := NewManager(cfg)
+	defer m.Close(false)
+	g0 := appendN(t, m, 0, 3, 1)
+	appendN(t, m, 1, 3, 2)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 1, g0, false) // flush-all
+	m.ReleaseOwnership(0)
+	min := m.MinFlushedGSN()
+	if min == 0 {
+		t.Fatal("MinFlushedGSN should advance after flush-all commit")
+	}
+}
+
+func TestIdlePartitionLifted(t *testing.T) {
+	cfg, _, _ := testConfig(4)
+	m := NewManager(cfg)
+	defer m.Close(false)
+	// Only partition 0 is active; 1..3 idle. The lift ticker must keep
+	// MinFlushedGSN close to the active log's GSN.
+	g := appendN(t, m, 0, 50, 1)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 1, g, true)
+	m.ReleaseOwnership(0)
+	waitFor(t, func() bool { return m.MinFlushedGSN() >= g }, "idle lift")
+}
+
+func TestGroupCommitAcks(t *testing.T) {
+	cfg, _, _ := testConfig(2)
+	cfg.GroupCommit = true
+	cfg.GroupCommitInterval = 200 * time.Microsecond
+	m := NewManager(cfg)
+	defer m.Close(false)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			g := appendN(t, m, p, 5, base.TxnID(p+1))
+			m.AcquireOwnership(p)
+			m.CommitTxn(p, base.TxnID(p+1), g, false)
+			m.ReleaseOwnership(p)
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("group commit never acknowledged")
+	}
+	if m.StableGSN() == 0 {
+		t.Fatal("stable GSN not persisted")
+	}
+}
+
+func TestGroupCommitDRAMSurvivesCrashViaSSD(t *testing.T) {
+	cfg, pm, ssd := testConfig(1)
+	cfg.PersistMode = PersistDRAM
+	cfg.GroupCommit = true
+	m := NewManager(cfg)
+	g := appendN(t, m, 0, 10, 5)
+	m.AcquireOwnership(0)
+	commitGSN := m.CommitTxn(0, 5, g, false)
+	m.ReleaseOwnership(0)
+	m.Close(false)
+	// DRAM stage 1 dies completely.
+	pm.CrashVolatile()
+	ssd.Crash()
+	parts, stable := ReadLog(ssd, pm)
+	if stable < commitGSN {
+		t.Fatalf("stable marker %d below acked commit %d", stable, commitGSN)
+	}
+	recs := parts[0]
+	if len(recs) != 11 || recs[len(recs)-1].Type != RecCommit {
+		t.Fatalf("acked group commit lost: %d records", len(recs))
+	}
+}
+
+func TestPruneRemovesOldSegments(t *testing.T) {
+	cfg, _, ssd := testConfig(1)
+	cfg.SegmentSize = 4 * 1024
+	m := NewManager(cfg)
+	defer m.Close(false)
+	g := appendN(t, m, 0, 2000, 3)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 3, g, true)
+	m.ReleaseOwnership(0)
+	waitFor(t, func() bool { return len(ssd.List("wal/p000/")) > 2 }, "segments")
+	before := m.LiveWALBytes()
+	m.Prune(g) // everything below the last GSN prunable
+	after := m.LiveWALBytes()
+	if after >= before {
+		t.Fatalf("prune did not shrink WAL: %d -> %d", before, after)
+	}
+	if m.Stats().ArchivedBytes == 0 {
+		t.Fatal("pruned segments not accounted as archived")
+	}
+}
+
+func TestPruneKeepsRecordsAboveHorizon(t *testing.T) {
+	cfg, pm, ssd := testConfig(1)
+	cfg.SegmentSize = 2 * 1024
+	m := NewManager(cfg)
+	g := appendN(t, m, 0, 500, 3)
+	m.AcquireOwnership(0)
+	commitGSN := m.CommitTxn(0, 3, g, true)
+	m.ReleaseOwnership(0)
+	m.Close(true)
+	m.Prune(commitGSN - 400)
+	pm.Crash(1)
+	ssd.Crash()
+	parts, _ := ReadLog(ssd, pm)
+	var minGSN base.GSN = ^base.GSN(0)
+	var maxGSN base.GSN
+	for _, r := range parts[0] {
+		if r.GSN < minGSN {
+			minGSN = r.GSN
+		}
+		if r.GSN > maxGSN {
+			maxGSN = r.GSN
+		}
+	}
+	if maxGSN != commitGSN {
+		t.Fatalf("newest record lost by prune: max=%d want %d", maxGSN, commitGSN)
+	}
+	if minGSN >= commitGSN-400 {
+		t.Fatalf("prune horizon violated: no records below %d kept, min=%d (segment granularity should keep some)", commitGSN-400, minGSN)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	cfg, _, _ := testConfig(1)
+	m := NewManager(cfg)
+	defer m.Close(false)
+	g := appendN(t, m, 0, 10, 1)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 1, g, true)
+	m.CommitTxn(0, 2, g+1, false)
+	m.ReleaseOwnership(0)
+	s := m.Stats()
+	if s.AppendedRecords != 12 {
+		t.Fatalf("AppendedRecords=%d want 12", s.AppendedRecords)
+	}
+	if s.CommitsRFA != 1 || s.CommitsFull != 1 {
+		t.Fatalf("commit counters: rfa=%d full=%d", s.CommitsRFA, s.CommitsFull)
+	}
+	if s.AppendedBytes == 0 {
+		t.Fatal("AppendedBytes zero")
+	}
+}
+
+func TestStripUndoImagesReducesVolume(t *testing.T) {
+	run := func(strip bool) uint64 {
+		cfg, _, _ := testConfig(1)
+		cfg.StripUndoImages = strip
+		m := NewManager(cfg)
+		defer m.Close(false)
+		m.AcquireOwnership(0)
+		defer m.ReleaseOwnership(0)
+		g := base.GSN(0)
+		for i := 0; i < 200; i++ {
+			rec := Record{
+				Type: RecUpdate, Txn: 1, Tree: 1, Page: 1, Key: []byte("key"),
+				Before: []byte("old-value-AAAA"), After: []byte("new-value-BBBB"),
+			}
+			g = m.Append(0, &rec, g)
+		}
+		return m.Stats().AppendedBytes
+	}
+	with, without := run(false), run(true)
+	if without >= with {
+		t.Fatalf("stripping undo images should shrink the log: with=%d without=%d", with, without)
+	}
+}
+
+func TestCompressionReducesVolume(t *testing.T) {
+	run := func(compress bool) uint64 {
+		cfg, _, _ := testConfig(1)
+		cfg.Compression = compress
+		m := NewManager(cfg)
+		defer m.Close(false)
+		m.AcquireOwnership(0)
+		defer m.ReleaseOwnership(0)
+		g := base.GSN(0)
+		for i := 0; i < 200; i++ {
+			rec := Record{Type: RecInsert, Txn: 1, Tree: 1, Page: 1, Key: []byte("key"), After: []byte("value")}
+			g = m.Append(0, &rec, g)
+		}
+		return m.Stats().AppendedBytes
+	}
+	on, off := run(true), run(false)
+	if on >= off {
+		t.Fatalf("compression should shrink the log: on=%d off=%d", on, off)
+	}
+}
+
+func TestConcurrentAppendAndRemoteFlush(t *testing.T) {
+	cfg, _, _ := testConfig(2)
+	m := NewManager(cfg)
+	defer m.Close(false)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // owner of partition 1 keeps appending
+		defer wg.Done()
+		m.AcquireOwnership(1)
+		defer m.ReleaseOwnership(1)
+		g := base.GSN(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := Record{Type: RecInsert, Txn: 2, Tree: 1, Page: 9, Key: []byte("k"), After: []byte("v")}
+			g = m.Append(1, &rec, g)
+		}
+	}()
+	// Partition 0 repeatedly commits with remote flushes.
+	m.AcquireOwnership(0)
+	g := base.GSN(0)
+	for i := 0; i < 200; i++ {
+		rec := Record{Type: RecInsert, Txn: 1, Tree: 1, Page: 1, Key: []byte("k"), After: []byte("v")}
+		g = m.Append(0, &rec, g)
+		m.CommitTxn(0, 1, g, false)
+	}
+	m.ReleaseOwnership(0)
+	close(stop)
+	wg.Wait()
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,440 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+)
+
+// PersistMode selects where stage 1 of the log lives (§3.1/§3.2).
+type PersistMode int
+
+const (
+	// PersistPMem keeps stage-1 chunks in persistent memory: a transaction
+	// commits by flushing CPU caches (a persist barrier), enabling
+	// low-latency immediate commit without group commit.
+	PersistPMem PersistMode = iota
+	// PersistDRAM keeps stage-1 chunks in DRAM: durability is only reached
+	// once chunks are staged to SSD and synced, so commits go through group
+	// commit (or a synchronous per-commit stage, for ARIES-style modes).
+	PersistDRAM
+)
+
+// Block header in stage-2 segment files:
+//
+//	u32 magic, u32 payloadLen, u64 chunkSeq, u32 chunkOff, u32 pad, u64 maxGSN
+const (
+	blockMagic      = 0x57424C4B // "WBLK"
+	blockHeaderSize = 32
+)
+
+// Partition is one worker-private log (Figure 2): a circular set of chunks
+// in stage-1 memory, a staging path to stage-2 SSD segment files, and the
+// durability watermarks the commit protocols and RFA rely on.
+//
+// Concurrency contract: exactly one owner goroutine appends (transactions
+// are pinned to workers, §3.1). Any goroutine may flush/stage published
+// bytes. Staging is serialized by stageMu.
+type Partition struct {
+	ID  int
+	mgr *Manager
+
+	cur   atomic.Pointer[Chunk]
+	freeC chan *Chunk
+	fullC chan *Chunk
+
+	// lastGSN is the GSN of the most recent record appended (owner writes,
+	// anyone reads). Per-partition record GSNs are strictly increasing.
+	lastGSN atomic.Uint64
+	// gsnHW per current chunk tracks the highest GSN whose record bytes are
+	// already published in that chunk; see Chunk appends below.
+	curGSNHW atomic.Uint64
+	// flushedGSN is the durability watermark: every record of this
+	// partition with GSN ≤ flushedGSN is durable (PMem-flushed in
+	// PersistPMem mode, staged+synced in PersistDRAM mode). Monotone.
+	flushedGSN atomic.Uint64
+
+	// Staging state, guarded by stageMu.
+	stageMu   sync.Mutex
+	segs      []*segmentInfo
+	segSeq    int
+	pendingC  chan struct{} // signal to the WAL writer that a chunk was sealed
+	liveBytes atomic.Uint64 // staged, not yet pruned (stage-2 live WAL volume)
+
+	// Owner-only state.
+	encCtx  codecContext
+	scratch []byte
+
+	// Stats.
+	appendedBytes   atomic.Uint64
+	appendedRecords atomic.Uint64
+	sealStalls      atomic.Uint64 // times the owner waited for a free chunk
+	stagedBytes     atomic.Uint64
+	prunedBytes     atomic.Uint64
+}
+
+type segmentInfo struct {
+	file   *dev.File
+	name   string
+	maxGSN base.GSN
+	size   int64
+	closed bool
+	dirty  bool
+}
+
+func (p *Partition) segName(n int) string {
+	return fmt.Sprintf("wal/p%03d/seg%08d", p.ID, n)
+}
+
+// initSegSeq resumes segment numbering after the highest existing segment
+// (live or archived), keeping per-partition segment order monotone across
+// engine generations — media recovery replays archived segments of all
+// generations in name order.
+func (p *Partition) initSegSeq() {
+	max := 0
+	scan := func(prefix, format string) {
+		for _, name := range p.mgr.cfg.SSD.List(prefix) {
+			var n int
+			if _, err := fmt.Sscanf(name, format, &n); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	dir := fmt.Sprintf("wal/p%03d/", p.ID)
+	scan(dir, dir+"seg%08d")
+	scan("archive/"+dir, "archive/"+dir+"seg%08d")
+	p.segSeq = max
+}
+
+// initChunks allocates the circular chunk list and installs the first
+// current chunk.
+func (p *Partition) initChunks(n, size int) {
+	p.freeC = make(chan *Chunk, n)
+	p.fullC = make(chan *Chunk, n)
+	p.pendingC = make(chan struct{}, 1)
+	for i := 0; i < n-1; i++ {
+		p.freeC <- &Chunk{Region: p.mgr.cfg.PMem.Allocate(size)}
+	}
+	first := &Chunk{Region: p.mgr.cfg.PMem.Allocate(size)}
+	first.initAsCurrent(p.ID, 1)
+	p.cur.Store(first)
+}
+
+// Append encodes rec into the current chunk, assigning it the next GSN:
+// max(proposal, last GSN of this log) + 1 (the GSN protocol of §2.4 — the
+// proposal carries max(txnGSN, pageGSN), and the +1 over the log's own last
+// GSN keeps per-log GSNs strictly increasing). It returns the assigned GSN.
+// Owner-only.
+func (p *Partition) Append(rec *Record, proposal base.GSN) base.GSN {
+	gsn := proposal
+	if last := base.GSN(p.lastGSN.Load()); last > gsn {
+		gsn = last
+	}
+	if floor := base.GSN(p.mgr.gsnFloor.Load()); floor > gsn {
+		gsn = floor
+	}
+	gsn++
+	rec.GSN = gsn
+
+	if need := EncodedSize(rec); need > cap(p.scratch) {
+		p.scratch = make([]byte, need+256)
+	}
+	n := encode(p.scratch[:cap(p.scratch)], rec, &p.encCtx, p.mgr.cfg.Compression)
+
+	ch := p.cur.Load()
+	if ch.free() < n {
+		p.sealCurrent(ch)
+		ch = p.cur.Load()
+		if ch.free() < n {
+			panic(fmt.Sprintf("wal: record of %d bytes exceeds chunk capacity %d", n, ch.Region.Size()))
+		}
+		// The chunk rotation reset the compression context; re-encode so the
+		// first record of the chunk is self-describing.
+		n = encode(p.scratch[:cap(p.scratch)], rec, &p.encCtx, p.mgr.cfg.Compression)
+	}
+	if ch.pos == chunkHeaderSize {
+		ch.firstGSN = gsn
+	}
+	ch.Region.Write(ch.pos, p.scratch[:n]) // publishes the new end atomically
+	ch.pos += n
+	ch.lastGSN = gsn
+	p.curGSNHW.Store(uint64(gsn)) // published after the bytes
+	p.lastGSN.Store(uint64(gsn))
+	p.appendedBytes.Add(uint64(n))
+	p.appendedRecords.Add(1)
+	return gsn
+}
+
+// sealCurrent moves the full current chunk to the full queue (flushing it in
+// PMem mode so that sealed chunks are always fully durable in stage 1),
+// wakes the WAL writer, and installs a fresh chunk from the free list —
+// waiting (a stall) if the writer has fallen behind. Owner-only.
+func (p *Partition) sealCurrent(ch *Chunk) {
+	if p.mgr.cfg.PersistMode == PersistPMem {
+		ch.Region.FlushTo(ch.Region.Written())
+		p.advanceFlushedGSN(ch.lastGSN)
+	}
+	p.fullC <- ch
+	select {
+	case p.pendingC <- struct{}{}:
+	default:
+	}
+	var next *Chunk
+	select {
+	case next = <-p.freeC:
+	default:
+		p.sealStalls.Add(1)
+		next = <-p.freeC
+	}
+	next.initAsCurrent(p.ID, ch.Seq+1)
+	p.curGSNHW.Store(0)
+	p.encCtx.reset()
+	p.cur.Store(next)
+}
+
+// advanceFlushedGSN lifts the durability watermark monotonically.
+func (p *Partition) advanceFlushedGSN(gsn base.GSN) {
+	for {
+		cur := p.flushedGSN.Load()
+		if uint64(gsn) <= cur || p.flushedGSN.CompareAndSwap(cur, uint64(gsn)) {
+			return
+		}
+	}
+}
+
+// FlushPMem issues a persist barrier over the published bytes of the
+// current chunk (sealed chunks were flushed at seal time). This is the
+// commit-time "flush my log" / "flush a remote log" primitive of §3.2 in
+// PersistPMem mode, safe to call from any goroutine.
+func (p *Partition) FlushPMem() {
+	if p.mgr.cfg.PersistMode != PersistPMem {
+		panic("wal: FlushPMem in DRAM persist mode")
+	}
+	// Load the GSN high-water mark before the published end: every record
+	// with GSN ≤ g has its bytes below e (the owner publishes bytes before
+	// the GSN), so after FlushTo(e) the watermark may advance to g. If the
+	// current chunk rotated between the loads, the sealed chunk was flushed
+	// at seal time, so g is durable either way.
+	g := base.GSN(p.curGSNHW.Load())
+	if lg := base.GSN(p.lastGSN.Load()); g == 0 {
+		// Fresh current chunk: everything earlier was sealed and flushed.
+		g = lg
+	}
+	ch := p.cur.Load()
+	e := ch.Region.Written()
+	ch.Region.FlushTo(e)
+	p.advanceFlushedGSN(g)
+}
+
+// stageAll stages pending stage-1 data to the partition's stage-2 segment
+// files and syncs them. Full (sealed) chunks are always staged, recycled
+// onto the free list, and their buffers zeroed (§3.1); when partial is true
+// the published prefix of the current chunk is staged as well (used by group
+// commit in PersistDRAM mode). In DRAM mode the durability watermark
+// advances accordingly. Any goroutine may call this; staging is serialized
+// and processes chunks strictly in sequence order.
+func (p *Partition) stageAll(partial bool) {
+	p.stageMu.Lock()
+	defer p.stageMu.Unlock()
+
+	if p.mgr.cfg.DiscardStaging {
+		// Benchmark-only: recycle chunks without SSD writes.
+		for {
+			select {
+			case ch := <-p.fullC:
+				ch.Region.Reset()
+				p.freeC <- ch
+				continue
+			default:
+			}
+			break
+		}
+		return
+	}
+
+	snap := base.GSN(p.lastGSN.Load()) // taken before any staging below
+	var maxDurable base.GSN
+	staged := false
+	// The owner may seal chunks concurrently; loop until the full queue
+	// stays empty so a chunk sealed mid-stage is not skipped.
+	for iter := 0; iter < 8; iter++ {
+		drained := false
+		for {
+			select {
+			case ch := <-p.fullC:
+				p.stageChunkLocked(ch, ch.pos, ch.lastGSN)
+				if ch.lastGSN > maxDurable {
+					maxDurable = ch.lastGSN
+				}
+				staged = true
+				drained = true
+				ch.Region.Reset()
+				p.freeC <- ch
+				continue
+			default:
+			}
+			break
+		}
+		if partial {
+			// Order matters (see FlushPMem): GSN high-water mark before end.
+			g := base.GSN(p.curGSNHW.Load())
+			ch := p.cur.Load()
+			e := int(ch.Region.Written())
+			if e > ch.stagedPos {
+				p.stageChunkLocked(ch, e, g)
+				staged = true
+			}
+			if g > maxDurable {
+				maxDurable = g
+			}
+		}
+		if len(p.fullC) == 0 && !drained || !partial {
+			break
+		}
+	}
+	if partial && maxDurable == 0 && len(p.fullC) == 0 {
+		// No records were staged and none are pending. If the log did not
+		// advance while we worked, everything up to the snapshot was
+		// already durable (all earlier chunks staged, current chunk empty).
+		ch := p.cur.Load()
+		if base.GSN(p.lastGSN.Load()) == snap && int(ch.Region.Written()) <= ch.stagedPos {
+			maxDurable = snap
+		}
+	}
+	if staged || partial {
+		p.syncSegmentsLocked()
+		if p.mgr.cfg.PersistMode == PersistDRAM && maxDurable > 0 {
+			p.advanceFlushedGSN(maxDurable)
+		}
+	}
+}
+
+// fullyStagedLocked reports whether no stage-1 bytes are pending (holding
+// stageMu), i.e. every appended record is on SSD.
+func (p *Partition) fullyStaged() bool {
+	p.stageMu.Lock()
+	defer p.stageMu.Unlock()
+	if len(p.fullC) != 0 {
+		return false
+	}
+	ch := p.cur.Load()
+	return int(ch.Region.Written()) <= ch.stagedPos
+}
+
+// stageChunkLocked writes chunk bytes [stagedPos:upTo) as one block into the
+// current segment file. Caller holds stageMu.
+func (p *Partition) stageChunkLocked(ch *Chunk, upTo int, maxGSN base.GSN) {
+	if upTo <= ch.stagedPos {
+		return
+	}
+	payload := ch.Region.Bytes()[ch.stagedPos:upTo]
+	var hdr [blockHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], blockMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:], ch.Seq)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(ch.stagedPos))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(maxGSN))
+
+	seg := p.currentSegmentLocked()
+	seg.file.WriteAt(hdr[:], seg.size)
+	seg.file.WriteAt(payload, seg.size+blockHeaderSize)
+	seg.size += int64(blockHeaderSize + len(payload))
+	if maxGSN > seg.maxGSN {
+		seg.maxGSN = maxGSN
+	}
+	seg.dirty = true
+	ch.stagedPos = upTo
+
+	n := uint64(blockHeaderSize + len(payload))
+	p.stagedBytes.Add(n)
+	p.liveBytes.Add(n)
+	p.mgr.onStaged(int(n))
+}
+
+func (p *Partition) currentSegmentLocked() *segmentInfo {
+	if len(p.segs) > 0 {
+		last := p.segs[len(p.segs)-1]
+		if !last.closed {
+			return last
+		}
+	}
+	p.segSeq++
+	name := p.segName(p.segSeq)
+	seg := &segmentInfo{file: p.mgr.cfg.SSD.Open(name), name: name}
+	p.segs = append(p.segs, seg)
+	return seg
+}
+
+func (p *Partition) syncSegmentsLocked() {
+	for _, seg := range p.segs {
+		if seg.dirty {
+			seg.file.Sync()
+			seg.dirty = false
+		}
+	}
+	// Rotate the active segment once it is large enough, so pruning can
+	// remove whole files.
+	if len(p.segs) > 0 {
+		last := p.segs[len(p.segs)-1]
+		if !last.closed && last.size >= int64(p.mgr.cfg.SegmentSize) {
+			last.closed = true
+		}
+	}
+}
+
+// prune archives and removes closed segments whose records all have
+// GSN < upTo — the log-truncation step of continuous checkpointing (§3.4).
+func (p *Partition) prune(upTo base.GSN) {
+	p.stageMu.Lock()
+	defer p.stageMu.Unlock()
+	kept := p.segs[:0]
+	for i, seg := range p.segs {
+		if seg.closed && seg.maxGSN < upTo && i == len(kept) {
+			p.mgr.archiveSegment(seg)
+			p.mgr.cfg.SSD.Remove(seg.name)
+			p.prunedBytes.Add(uint64(seg.size))
+			sub := uint64(seg.size)
+			for {
+				cur := p.liveBytes.Load()
+				next := uint64(0)
+				if cur > sub {
+					next = cur - sub
+				}
+				if p.liveBytes.CompareAndSwap(cur, next) {
+					break
+				}
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	p.segs = kept
+}
+
+// pendingStage1Bytes reports unstaged stage-1 bytes (full queue + current
+// chunk), used by Close and by tests.
+func (p *Partition) pendingStage1Bytes() int {
+	n := 0
+	ch := p.cur.Load()
+	n += int(ch.Region.Written()) - ch.stagedPos
+	// Note: chunks in fullC are counted approximately; this is advisory.
+	n += len(p.fullC) * (ch.Region.Size() / 2)
+	return n
+}
+
+// writerLoop is the per-partition background WAL writer of Figure 2: it
+// picks up sealed chunks and stages them to SSD.
+func (p *Partition) writerLoop(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-p.pendingC:
+			p.stageAll(false)
+		}
+	}
+}

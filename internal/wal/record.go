@@ -1,0 +1,465 @@
+// Package wal implements the paper's two-stage distributed write-ahead log
+// (§3.1, Figure 2): per-worker log partitions whose chunks live in simulated
+// persistent memory (stage 1), background WAL-writer staging to SSD segment
+// files (stage 2), and a log archive (stage 3); plus the GSN protocol
+// (§2.4), the log-compression scheme and popcount record checksums (§3.8),
+// the commit protocols (persistent-memory immediate commit and passive group
+// commit, §3.2), and log pruning for the continuous checkpointer (§3.4).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/sys"
+)
+
+// RecType enumerates log record types. User records (Insert/Update/Delete)
+// belong to a transaction and carry undo information (steal, §3.6); system
+// records (FormatPage/InnerInsert/InnerRemove/SetRoot) describe structure
+// modifications, are always redone, and are never undone.
+type RecType uint8
+
+const (
+	// RecInsert logs the insertion of (Key → After) into leaf Page of Tree.
+	RecInsert RecType = 1 + iota
+	// RecUpdate logs an in-place value change. With compression it stores
+	// only the changed byte regions (before & after, §3.8); otherwise full
+	// Before/After images.
+	RecUpdate
+	// RecDelete logs the removal of Key (Before = deleted value).
+	RecDelete
+	// RecFormatPage replaces the whole logical content of Page with the
+	// serialized tuples in Payload (used for page splits' new pages, root
+	// growth, and page initialization). Aux carries layout metadata.
+	RecFormatPage
+	// RecInnerInsert logs insertion of a separator (Key → child PID in Aux)
+	// into inner node Page.
+	RecInnerInsert
+	// RecInnerRemove logs removal of a separator from inner node Page.
+	RecInnerRemove
+	// RecSetRoot logs a root change of Tree on its meta page: Aux = new root
+	// page ID.
+	RecSetRoot
+	// RecCommit marks transaction Txn as committed (winner).
+	RecCommit
+	// RecAbortEnd marks the end of a rolled-back transaction: all its
+	// changes were logically undone during forward processing (§3.6).
+	RecAbortEnd
+	// RecValue is a SiloR-style value-logging record: (Tree, Key → After)
+	// written by Txn; no page ID, no GSN ordering, no before image. GSN
+	// carries the commit epoch.
+	RecValue
+
+	recTypeMax
+)
+
+// String implements fmt.Stringer.
+func (t RecType) String() string {
+	switch t {
+	case RecInsert:
+		return "insert"
+	case RecUpdate:
+		return "update"
+	case RecDelete:
+		return "delete"
+	case RecFormatPage:
+		return "format"
+	case RecInnerInsert:
+		return "inner-insert"
+	case RecInnerRemove:
+		return "inner-remove"
+	case RecSetRoot:
+		return "set-root"
+	case RecCommit:
+		return "commit"
+	case RecAbortEnd:
+		return "abort-end"
+	case RecValue:
+		return "value"
+	default:
+		return fmt.Sprintf("rectype(%d)", uint8(t))
+	}
+}
+
+// Diff is one changed byte region of an updated value: Before and After
+// apply at offset Off and have equal length. Together with the omission of
+// unchanged attributes this is the paper's update compression ("before and
+// after image of changed attributes together with a bitmask", §3.8),
+// generalized to byte ranges over our opaque values. Before may be nil when
+// undo images are disabled (the §3.6 undo-volume experiment), in which case
+// the record cannot be undone.
+type Diff struct {
+	Off    uint16
+	Before []byte // nil when undo images are stripped
+	After  []byte
+}
+
+// Record is a decoded log record. Field meaning depends on Type; see the
+// RecType constants.
+type Record struct {
+	Type    RecType
+	Txn     base.TxnID
+	GSN     base.GSN
+	Tree    base.TreeID
+	Page    base.PageID
+	Aux     uint64
+	Key     []byte
+	Before  []byte
+	After   []byte
+	Diffs   []Diff
+	Payload []byte
+}
+
+// Record wire format. All integers little-endian.
+//
+//	u32  size       total encoded size including this field
+//	u32  checksum   sys.PopChecksum over bytes [8:size)
+//	u8   type
+//	u8   flags
+//	u16  nDiffs
+//	u32  payloadLen
+//	u64  gsn
+//	[u64 tree, u64 page]   unless flagSamePage
+//	[u64 txn]              unless flagSameTxn
+//	[u64 aux]              if flagHasAux
+//	u16 keyLen, key
+//	u32 beforeLen, before
+//	u32 afterLen, after
+//	nDiffs × { u16 off, u16 len, before[len], after[len] }
+//	payload[payloadLen]
+const (
+	flagSamePage = 1 << 0 // Tree+Page identical to previous record in chunk
+	flagSameTxn  = 1 << 1 // Txn identical to previous record in chunk
+	flagHasAux   = 1 << 2
+)
+
+// recHeaderSize is the fixed prefix before optional fields.
+const recHeaderSize = 4 + 4 + 1 + 1 + 2 + 4 + 8
+
+// minRecordSize is the smallest possible valid record.
+const minRecordSize = recHeaderSize + 2 + 4 + 4
+
+// codecContext carries the cross-record compression state. It is reset at
+// chunk boundaries so chunks stay independently decodable (§3.8).
+type codecContext struct {
+	valid    bool
+	lastTree base.TreeID
+	lastPage base.PageID
+	lastTxn  base.TxnID
+	hasTxn   bool
+}
+
+func (c *codecContext) reset() { *c = codecContext{} }
+
+// EncodedSize returns an upper bound on the encoded size of rec.
+func EncodedSize(rec *Record) int {
+	n := recHeaderSize + 3*8 + 2 + len(rec.Key) + 4 + len(rec.Before) + 4 + len(rec.After) + len(rec.Payload)
+	if rec.Aux != 0 {
+		n += 8
+	}
+	for _, d := range rec.Diffs {
+		n += 4 + len(d.Before) + len(d.After)
+	}
+	return n
+}
+
+// encode serializes rec into buf (which must be large enough; see
+// EncodedSize) using and updating the compression context. When compress is
+// false the same-page/same-txn elision is disabled (records are fully
+// self-describing), which is the baseline for the §3.8 compression
+// experiment. Returns the number of bytes written.
+func encode(buf []byte, rec *Record, ctx *codecContext, compress bool) int {
+	var flags uint8
+	if compress && ctx.valid && rec.Tree == ctx.lastTree && rec.Page == ctx.lastPage {
+		flags |= flagSamePage
+	}
+	if compress && ctx.valid && ctx.hasTxn && rec.Txn == ctx.lastTxn {
+		flags |= flagSameTxn
+	}
+	if rec.Aux != 0 {
+		flags |= flagHasAux
+	}
+	if len(rec.Diffs) > 0xFFFF {
+		panic("wal: too many diff regions")
+	}
+	buf[8] = uint8(rec.Type)
+	buf[9] = flags
+	binary.LittleEndian.PutUint16(buf[10:], uint16(len(rec.Diffs)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(rec.Payload)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(rec.GSN))
+	pos := recHeaderSize
+	if flags&flagSamePage == 0 {
+		binary.LittleEndian.PutUint64(buf[pos:], uint64(rec.Tree))
+		binary.LittleEndian.PutUint64(buf[pos+8:], uint64(rec.Page))
+		pos += 16
+	}
+	if flags&flagSameTxn == 0 {
+		binary.LittleEndian.PutUint64(buf[pos:], uint64(rec.Txn))
+		pos += 8
+	}
+	if flags&flagHasAux != 0 {
+		binary.LittleEndian.PutUint64(buf[pos:], rec.Aux)
+		pos += 8
+	}
+	if len(rec.Key) > 0xFFFF {
+		panic("wal: key too long")
+	}
+	binary.LittleEndian.PutUint16(buf[pos:], uint16(len(rec.Key)))
+	pos += 2
+	pos += copy(buf[pos:], rec.Key)
+	binary.LittleEndian.PutUint32(buf[pos:], uint32(len(rec.Before)))
+	pos += 4
+	pos += copy(buf[pos:], rec.Before)
+	binary.LittleEndian.PutUint32(buf[pos:], uint32(len(rec.After)))
+	pos += 4
+	pos += copy(buf[pos:], rec.After)
+	for _, d := range rec.Diffs {
+		if d.Before != nil && len(d.Before) != len(d.After) {
+			panic("wal: diff region length mismatch")
+		}
+		binary.LittleEndian.PutUint16(buf[pos:], d.Off)
+		binary.LittleEndian.PutUint16(buf[pos+2:], uint16(len(d.After)))
+		if d.Before != nil {
+			buf[pos+3] |= 0x80 // high bit of length: before image present
+		}
+		pos += 4
+		pos += copy(buf[pos:], d.Before)
+		pos += copy(buf[pos:], d.After)
+	}
+	pos += copy(buf[pos:], rec.Payload)
+
+	binary.LittleEndian.PutUint32(buf[0:], uint32(pos))
+	binary.LittleEndian.PutUint32(buf[4:], sys.PopChecksum(buf[8:pos]))
+
+	ctx.valid = true
+	ctx.lastTree = rec.Tree
+	ctx.lastPage = rec.Page
+	ctx.lastTxn = rec.Txn
+	ctx.hasTxn = true
+	return pos
+}
+
+// ErrEndOfChunk is returned by decode when the scan reaches the end of the
+// valid record sequence (zeroed space, a torn record, or a checksum
+// mismatch — the PMem-tail detection of §3.8).
+var ErrEndOfChunk = errors.New("wal: end of valid records")
+
+// decode parses one record from buf, validating the checksum and resolving
+// compression against ctx. The returned record's byte slices alias buf.
+func decode(buf []byte, ctx *codecContext) (Record, int, error) {
+	var rec Record
+	if len(buf) < minRecordSize {
+		return rec, 0, ErrEndOfChunk
+	}
+	size := int(binary.LittleEndian.Uint32(buf[0:]))
+	if size < minRecordSize || size > len(buf) {
+		return rec, 0, ErrEndOfChunk
+	}
+	if sys.PopChecksum(buf[8:size]) != binary.LittleEndian.Uint32(buf[4:]) {
+		return rec, 0, ErrEndOfChunk
+	}
+	rec.Type = RecType(buf[8])
+	if rec.Type == 0 || rec.Type >= recTypeMax {
+		return rec, 0, ErrEndOfChunk
+	}
+	flags := buf[9]
+	nDiffs := int(binary.LittleEndian.Uint16(buf[10:]))
+	payloadLen := int(binary.LittleEndian.Uint32(buf[12:]))
+	rec.GSN = base.GSN(binary.LittleEndian.Uint64(buf[16:]))
+	pos := recHeaderSize
+	bad := func() (Record, int, error) { return Record{}, 0, ErrEndOfChunk }
+	if flags&flagSamePage == 0 {
+		if pos+16 > size {
+			return bad()
+		}
+		rec.Tree = base.TreeID(binary.LittleEndian.Uint64(buf[pos:]))
+		rec.Page = base.PageID(binary.LittleEndian.Uint64(buf[pos+8:]))
+		pos += 16
+	} else {
+		if !ctx.valid {
+			return bad()
+		}
+		rec.Tree, rec.Page = ctx.lastTree, ctx.lastPage
+	}
+	if flags&flagSameTxn == 0 {
+		if pos+8 > size {
+			return bad()
+		}
+		rec.Txn = base.TxnID(binary.LittleEndian.Uint64(buf[pos:]))
+		pos += 8
+	} else {
+		if !ctx.valid || !ctx.hasTxn {
+			return bad()
+		}
+		rec.Txn = ctx.lastTxn
+	}
+	if flags&flagHasAux != 0 {
+		if pos+8 > size {
+			return bad()
+		}
+		rec.Aux = binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+	}
+	if pos+2 > size {
+		return bad()
+	}
+	keyLen := int(binary.LittleEndian.Uint16(buf[pos:]))
+	pos += 2
+	if pos+keyLen+4 > size {
+		return bad()
+	}
+	if keyLen > 0 {
+		rec.Key = buf[pos : pos+keyLen]
+	}
+	pos += keyLen
+	beforeLen := int(binary.LittleEndian.Uint32(buf[pos:]))
+	pos += 4
+	if pos+beforeLen+4 > size {
+		return bad()
+	}
+	if beforeLen > 0 {
+		rec.Before = buf[pos : pos+beforeLen]
+	}
+	pos += beforeLen
+	afterLen := int(binary.LittleEndian.Uint32(buf[pos:]))
+	pos += 4
+	if pos+afterLen > size {
+		return bad()
+	}
+	if afterLen > 0 {
+		rec.After = buf[pos : pos+afterLen]
+	}
+	pos += afterLen
+	if nDiffs > 0 {
+		rec.Diffs = make([]Diff, 0, nDiffs)
+		for i := 0; i < nDiffs; i++ {
+			if pos+4 > size {
+				return bad()
+			}
+			off := binary.LittleEndian.Uint16(buf[pos:])
+			lenField := binary.LittleEndian.Uint16(buf[pos+2:])
+			hasBefore := lenField&0x8000 != 0
+			dlen := int(lenField & 0x7FFF)
+			pos += 4
+			d := Diff{Off: off}
+			if hasBefore {
+				if pos+2*dlen > size {
+					return bad()
+				}
+				d.Before = buf[pos : pos+dlen]
+				d.After = buf[pos+dlen : pos+2*dlen]
+				pos += 2 * dlen
+			} else {
+				if pos+dlen > size {
+					return bad()
+				}
+				d.After = buf[pos : pos+dlen]
+				pos += dlen
+			}
+			rec.Diffs = append(rec.Diffs, d)
+		}
+	}
+	if pos+payloadLen != size {
+		return bad()
+	}
+	if payloadLen > 0 {
+		rec.Payload = buf[pos : pos+payloadLen]
+	}
+
+	ctx.valid = true
+	ctx.lastTree = rec.Tree
+	ctx.lastPage = rec.Page
+	ctx.lastTxn = rec.Txn
+	ctx.hasTxn = true
+	return rec, size, nil
+}
+
+// ComputeDiffs produces the changed-byte regions between two equal-length
+// values, merging regions separated by fewer than 4 unchanged bytes. It
+// returns nil (meaning "store full images") when the values differ in length
+// or when diffing would not save space.
+func ComputeDiffs(before, after []byte) []Diff {
+	if len(before) != len(after) || len(before) == 0 {
+		return nil
+	}
+	const mergeGap = 4
+	var diffs []Diff
+	i := 0
+	for i < len(before) {
+		if before[i] == after[i] {
+			i++
+			continue
+		}
+		start := i
+		end := i + 1
+		gap := 0
+		for j := i + 1; j < len(before); j++ {
+			if before[j] != after[j] {
+				end = j + 1
+				gap = 0
+			} else {
+				gap++
+				if gap >= mergeGap {
+					break
+				}
+			}
+		}
+		diffs = append(diffs, Diff{
+			Off:    uint16(start),
+			Before: before[start:end],
+			After:  after[start:end],
+		})
+		i = end + mergeGap
+	}
+	// Only worthwhile if the diff encoding is smaller than the full images.
+	total := 0
+	for _, d := range diffs {
+		total += 4 + 2*len(d.Before)
+	}
+	if total >= 2*len(before) {
+		return nil
+	}
+	return diffs
+}
+
+// ApplyDiffs applies the After images of diffs to val (redo direction).
+func ApplyDiffs(val []byte, diffs []Diff) {
+	for _, d := range diffs {
+		copy(val[d.Off:], d.After)
+	}
+}
+
+// RevertDiffs applies the Before images of diffs to val (undo direction).
+// It panics if the diffs were written without undo images.
+func RevertDiffs(val []byte, diffs []Diff) {
+	for _, d := range diffs {
+		if d.Before == nil {
+			panic("wal: cannot revert diff without before image (undo images disabled)")
+		}
+		copy(val[d.Off:], d.Before)
+	}
+}
+
+// CloneRecord deep-copies rec so it remains valid after the buffer it was
+// decoded from is recycled.
+func CloneRecord(rec *Record) Record {
+	c := *rec
+	c.Key = append([]byte(nil), rec.Key...)
+	c.Before = append([]byte(nil), rec.Before...)
+	c.After = append([]byte(nil), rec.After...)
+	c.Payload = append([]byte(nil), rec.Payload...)
+	if len(rec.Diffs) > 0 {
+		c.Diffs = make([]Diff, len(rec.Diffs))
+		for i, d := range rec.Diffs {
+			c.Diffs[i] = Diff{
+				Off:    d.Off,
+				Before: append([]byte(nil), d.Before...),
+				After:  append([]byte(nil), d.After...),
+			}
+		}
+	}
+	return c
+}

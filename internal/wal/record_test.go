@@ -1,0 +1,299 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/base"
+	"repro/internal/sys"
+)
+
+func roundTrip(t *testing.T, rec Record, compress bool) Record {
+	t.Helper()
+	var enc, dec codecContext
+	buf := make([]byte, EncodedSize(&rec))
+	n := encode(buf, &rec, &enc, compress)
+	got, m, err := decode(buf[:n], &dec)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if m != n {
+		t.Fatalf("size mismatch: encoded %d decoded %d", n, m)
+	}
+	return got
+}
+
+func recordsEqual(a, b Record) bool {
+	norm := func(r Record) Record {
+		if len(r.Key) == 0 {
+			r.Key = nil
+		}
+		if len(r.Before) == 0 {
+			r.Before = nil
+		}
+		if len(r.After) == 0 {
+			r.After = nil
+		}
+		if len(r.Payload) == 0 {
+			r.Payload = nil
+		}
+		if len(r.Diffs) == 0 {
+			r.Diffs = nil
+		}
+		return r
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+func TestRecordRoundTripBasic(t *testing.T) {
+	rec := Record{
+		Type:   RecInsert,
+		Txn:    42,
+		GSN:    1234,
+		Tree:   7,
+		Page:   99,
+		Key:    []byte("key-1"),
+		After:  []byte("value-1"),
+		Before: nil,
+	}
+	got := roundTrip(t, rec, true)
+	if !recordsEqual(rec, got) {
+		t.Fatalf("mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestRecordRoundTripAllTypes(t *testing.T) {
+	recs := []Record{
+		{Type: RecInsert, Txn: 1, Tree: 2, Page: 3, Key: []byte("k"), After: []byte("v")},
+		{Type: RecUpdate, Txn: 1, Tree: 2, Page: 3, Key: []byte("k"), Diffs: []Diff{{Off: 2, Before: []byte("ab"), After: []byte("xy")}}},
+		{Type: RecUpdate, Txn: 1, Tree: 2, Page: 3, Key: []byte("k"), Before: []byte("old"), After: []byte("newer")},
+		{Type: RecDelete, Txn: 1, Tree: 2, Page: 3, Key: []byte("k"), Before: []byte("v")},
+		{Type: RecFormatPage, Tree: 2, Page: 4, Aux: 1, Payload: bytes.Repeat([]byte("x"), 500)},
+		{Type: RecInnerInsert, Tree: 2, Page: 5, Key: []byte("sep"), Aux: 77},
+		{Type: RecInnerRemove, Tree: 2, Page: 5, Key: []byte("sep")},
+		{Type: RecSetRoot, Tree: 2, Page: 6, Aux: 88},
+		{Type: RecCommit, Txn: 9, Aux: 1},
+		{Type: RecAbortEnd, Txn: 9},
+		{Type: RecValue, Txn: 9, Tree: 2, Key: []byte("k"), After: []byte("v")},
+	}
+	for i, rec := range recs {
+		rec.GSN = base.GSN(100 + i)
+		got := roundTrip(t, rec, true)
+		if !recordsEqual(rec, got) {
+			t.Fatalf("record %d (%v) mismatch:\n got %+v\nwant %+v", i, rec.Type, got, rec)
+		}
+	}
+}
+
+func TestRecordCompressionElision(t *testing.T) {
+	var ctx codecContext
+	buf := make([]byte, 4096)
+	r1 := Record{Type: RecInsert, Txn: 5, GSN: 1, Tree: 2, Page: 3, Key: []byte("a"), After: []byte("1")}
+	n1 := encode(buf, &r1, &ctx, true)
+	r2 := Record{Type: RecInsert, Txn: 5, GSN: 2, Tree: 2, Page: 3, Key: []byte("b"), After: []byte("2")}
+	n2 := encode(buf[n1:], &r2, &ctx, true)
+	if n2 >= n1 {
+		t.Fatalf("same-page/same-txn record should be smaller: first=%d second=%d", n1, n2)
+	}
+	// Decodes correctly in sequence.
+	var dctx codecContext
+	got1, m1, err := decode(buf, &dctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := decode(buf[m1:], &dctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Page != 3 || got2.Page != 3 || got2.Txn != 5 || got2.Tree != 2 {
+		t.Fatalf("elided fields wrong: %+v %+v", got1, got2)
+	}
+}
+
+func TestRecordNoCompression(t *testing.T) {
+	var ctx codecContext
+	buf := make([]byte, 4096)
+	r1 := Record{Type: RecInsert, Txn: 5, GSN: 1, Tree: 2, Page: 3, Key: []byte("a"), After: []byte("1")}
+	n1 := encode(buf, &r1, &ctx, false)
+	r2 := r1
+	r2.GSN = 2
+	n2 := encode(buf[n1:], &r2, &ctx, false)
+	if n1 != n2 {
+		t.Fatalf("uncompressed identical records must have equal size: %d vs %d", n1, n2)
+	}
+}
+
+func TestRecordChecksumRejectsCorruption(t *testing.T) {
+	var enc codecContext
+	rec := Record{Type: RecInsert, Txn: 1, GSN: 9, Tree: 1, Page: 1, Key: []byte("kk"), After: []byte("vv")}
+	buf := make([]byte, EncodedSize(&rec))
+	n := encode(buf, &rec, &enc, true)
+	for i := 8; i < n; i++ {
+		buf[i] ^= 0x40
+		var dec codecContext
+		if _, _, err := decode(buf[:n], &dec); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+		buf[i] ^= 0x40
+	}
+}
+
+func TestRecordDecodeTruncated(t *testing.T) {
+	var enc codecContext
+	rec := Record{Type: RecInsert, Txn: 1, GSN: 9, Tree: 1, Page: 1, Key: []byte("key"), After: []byte("value")}
+	buf := make([]byte, EncodedSize(&rec))
+	n := encode(buf, &rec, &enc, true)
+	for cut := 0; cut < n; cut++ {
+		var dec codecContext
+		if _, _, err := decode(buf[:cut], &dec); err == nil {
+			t.Fatalf("truncation to %d bytes undetected", cut)
+		}
+	}
+}
+
+func TestRecordDecodeZeros(t *testing.T) {
+	var dec codecContext
+	if _, _, err := decode(make([]byte, 1024), &dec); err != ErrEndOfChunk {
+		t.Fatalf("zeroed buffer: err=%v", err)
+	}
+}
+
+func TestSamePageFlagRequiresContext(t *testing.T) {
+	// A record whose samePage flag is set must not decode without context
+	// (fresh chunk): the flag only appears after an earlier record.
+	var enc codecContext
+	r1 := Record{Type: RecInsert, Txn: 1, GSN: 1, Tree: 2, Page: 3, Key: []byte("a"), After: []byte("1")}
+	buf := make([]byte, 4096)
+	n1 := encode(buf, &r1, &enc, true)
+	r2 := r1
+	r2.GSN = 2
+	n2 := encode(buf[n1:], &r2, &enc, true)
+	var dec codecContext
+	if _, _, err := decode(buf[n1:n1+n2], &dec); err == nil {
+		t.Fatal("contextless decode of elided record must fail")
+	}
+}
+
+func TestComputeDiffs(t *testing.T) {
+	before := []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	after := append([]byte(nil), before...)
+	after[3] = 'X'
+	after[25] = 'Y'
+	diffs := ComputeDiffs(before, after)
+	if len(diffs) != 2 {
+		t.Fatalf("want 2 regions, got %d: %+v", len(diffs), diffs)
+	}
+	redo := append([]byte(nil), before...)
+	ApplyDiffs(redo, diffs)
+	if !bytes.Equal(redo, after) {
+		t.Fatalf("ApplyDiffs wrong: %q", redo)
+	}
+	undo := append([]byte(nil), after...)
+	RevertDiffs(undo, diffs)
+	if !bytes.Equal(undo, before) {
+		t.Fatalf("RevertDiffs wrong: %q", undo)
+	}
+}
+
+func TestComputeDiffsMergesNearbyRegions(t *testing.T) {
+	before := bytes.Repeat([]byte("a"), 40)
+	after := append([]byte(nil), before...)
+	after[10] = 'X'
+	after[12] = 'Y' // within merge gap
+	diffs := ComputeDiffs(before, after)
+	if len(diffs) != 1 {
+		t.Fatalf("adjacent changes should merge: %+v", diffs)
+	}
+}
+
+func TestComputeDiffsFallbacks(t *testing.T) {
+	if ComputeDiffs([]byte("abc"), []byte("abcd")) != nil {
+		t.Fatal("length change must fall back to full images")
+	}
+	// Everything changed: diffing saves nothing.
+	if d := ComputeDiffs([]byte("aaaaaaaa"), []byte("bbbbbbbb")); d != nil {
+		t.Fatalf("full change should fall back, got %+v", d)
+	}
+	if ComputeDiffs(nil, nil) != nil {
+		t.Fatal("empty values")
+	}
+}
+
+func TestComputeDiffsProperty(t *testing.T) {
+	f := func(seed uint64, nChanges uint8) bool {
+		r := sys.NewRand(seed)
+		before := make([]byte, 64)
+		for i := range before {
+			before[i] = byte(r.Uint64())
+		}
+		after := append([]byte(nil), before...)
+		for i := 0; i < int(nChanges%16); i++ {
+			after[r.Intn(len(after))] ^= byte(r.Uint64() | 1)
+		}
+		diffs := ComputeDiffs(before, after)
+		if diffs == nil {
+			return true // fallback to full images is always allowed
+		}
+		redo := append([]byte(nil), before...)
+		ApplyDiffs(redo, diffs)
+		undo := append([]byte(nil), after...)
+		RevertDiffs(undo, diffs)
+		return bytes.Equal(redo, after) && bytes.Equal(undo, before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(txn uint64, tree, page uint64, key, val []byte) bool {
+		if len(key) > 1000 {
+			key = key[:1000]
+		}
+		rec := Record{
+			Type: RecInsert, Txn: base.TxnID(txn), GSN: 5,
+			Tree: base.TreeID(tree), Page: base.PageID(page),
+			Key: key, After: val,
+		}
+		var enc, dec codecContext
+		buf := make([]byte, EncodedSize(&rec))
+		n := encode(buf, &rec, &enc, true)
+		got, _, err := decode(buf[:n], &dec)
+		if err != nil {
+			return false
+		}
+		return recordsEqual(rec, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneRecordIndependence(t *testing.T) {
+	rec := Record{Type: RecUpdate, Key: []byte("k"), Diffs: []Diff{{Off: 0, Before: []byte("a"), After: []byte("b")}}}
+	c := CloneRecord(&rec)
+	rec.Key[0] = 'X'
+	rec.Diffs[0].After[0] = 'X'
+	if c.Key[0] != 'k' || c.Diffs[0].After[0] != 'b' {
+		t.Fatal("clone shares memory with original")
+	}
+}
+
+func TestStripUndoDiffRoundTrip(t *testing.T) {
+	rec := Record{
+		Type: RecUpdate, Txn: 1, GSN: 1, Tree: 1, Page: 1, Key: []byte("k"),
+		Diffs: []Diff{{Off: 3, Before: nil, After: []byte("zz")}},
+	}
+	got := roundTrip(t, rec, true)
+	if got.Diffs[0].Before != nil || !bytes.Equal(got.Diffs[0].After, []byte("zz")) {
+		t.Fatalf("after-only diff mismatch: %+v", got.Diffs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RevertDiffs must panic without before images")
+		}
+	}()
+	RevertDiffs(make([]byte, 10), got.Diffs)
+}

@@ -1,0 +1,571 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/sys"
+	"repro/internal/txn"
+)
+
+// interleave: on a single-CPU runtime, goroutines rarely preempt inside the
+// short transactions, so concurrent interference (the source of RFA's
+// remote flushes and of log contention) would never materialize. Yielding
+// at operation boundaries restores the interleaving a multi-core machine
+// exhibits naturally; see DESIGN.md's hardware substitutions.
+var interleave = runtime.GOMAXPROCS(0) == 1
+
+func yieldPoint() {
+	if interleave {
+		runtime.Gosched()
+	}
+}
+
+// TxnType identifies a TPC-C transaction for latency accounting (Fig. 11).
+type TxnType int
+
+// TPC-C transaction types.
+const (
+	TxnNewOrder TxnType = iota
+	TxnPayment
+	TxnOrderStatus
+	TxnDelivery
+	TxnStockLevel
+	NumTxnTypes
+)
+
+// String implements fmt.Stringer.
+func (t TxnType) String() string {
+	switch t {
+	case TxnNewOrder:
+		return "neworder"
+	case TxnPayment:
+		return "payment"
+	case TxnOrderStatus:
+		return "orderstatus"
+	case TxnDelivery:
+		return "delivery"
+	case TxnStockLevel:
+		return "stocklevel"
+	default:
+		return "unknown"
+	}
+}
+
+// TPCCWorker holds one worker's generator state.
+type TPCCWorker struct {
+	t   *TPCC
+	rng *sys.Rand
+	// HomeWarehouse pins the worker (spec: terminals are per-warehouse).
+	HomeWarehouse int
+}
+
+// NewWorker creates a worker bound to a home warehouse.
+func (t *TPCC) NewWorker(seed uint64, homeWarehouse int) *TPCCWorker {
+	return &TPCCWorker{t: t, rng: sys.NewRand(seed), HomeWarehouse: homeWarehouse}
+}
+
+// PickTxn draws from the standard mix (45/43/4/4/4, clause 5.2.3).
+func (w *TPCCWorker) PickTxn() TxnType {
+	x := w.rng.Intn(100)
+	switch {
+	case x < 45:
+		return TxnNewOrder
+	case x < 88:
+		return TxnPayment
+	case x < 92:
+		return TxnOrderStatus
+	case x < 96:
+		return TxnDelivery
+	default:
+		return TxnStockLevel
+	}
+}
+
+// Run executes one transaction of the given type; it returns the type and
+// whether the transaction committed.
+func (w *TPCCWorker) Run(s *txn.Session, typ TxnType) (TxnType, bool, error) {
+	var err error
+	committed := true
+	switch typ {
+	case TxnNewOrder:
+		committed, err = w.NewOrder(s)
+		w.t.CntNewOrder.Add(1)
+	case TxnPayment:
+		err = w.Payment(s)
+		w.t.CntPayment.Add(1)
+	case TxnOrderStatus:
+		err = w.OrderStatus(s)
+		w.t.CntOrderStatus.Add(1)
+	case TxnDelivery:
+		err = w.Delivery(s)
+		w.t.CntDelivery.Add(1)
+	case TxnStockLevel:
+		err = w.StockLevel(s)
+		w.t.CntStockLevel.Add(1)
+	}
+	return typ, committed, err
+}
+
+// RunMix executes one transaction from the standard mix.
+func (w *TPCCWorker) RunMix(s *txn.Session) (TxnType, bool, error) {
+	return w.Run(s, w.PickTxn())
+}
+
+// NewOrder (clause 2.4): reads warehouse/district/customer, increments the
+// district's next order id, inserts ORDER/NEW-ORDER and 5-15 order lines,
+// updating each item's stock. 1% of transactions roll back on an invalid
+// item (the paper's engine exercises logical undo through this, §3.6).
+func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
+	t, r := w.t, w.rng
+	wID := w.HomeWarehouse
+	dID := r.IntRange(1, numDistricts)
+	cID := r.IntRange(1, t.CustPerDist)
+	olCnt := r.IntRange(5, 15)
+	rollback := r.Intn(100) == 0 // invalid item on the last line
+
+	s.Begin()
+	defer func() {
+		if err != nil && s.Active() {
+			s.Abort()
+		}
+	}()
+
+	// Warehouse tax (read).
+	whRow, ok := t.Warehouse.Lookup(s, kWarehouse(wID), nil)
+	if !ok {
+		s.Abort()
+		return false, fmt.Errorf("tpcc: warehouse %d missing", wID)
+	}
+	_ = getF64(whRow, whTax)
+
+	// District: read tax, take and increment next_o_id. Under
+	// read-uncommitted, a concurrent transaction's rollback can restore the
+	// counter's before-image over our increment (a dirty write the paper's
+	// prototype permits too, §4); an order-ID collision is therefore
+	// possible and handled by re-drawing the ID.
+	takeOID := func() (int, error) {
+		var o int
+		err := t.District.UpdateFunc(s, kDistrict(wID, dID), func(row []byte) []byte {
+			o = int(getU32(row, diNextOID))
+			putU32(row, diNextOID, uint32(o+1))
+			return row
+		})
+		return o, err
+	}
+	var oID int
+	if oID, err = takeOID(); err != nil {
+		return false, err
+	}
+	yieldPoint()
+
+	// Customer discount (read).
+	if _, ok := t.Customer.Lookup(s, kCustomer(wID, dID, cID), nil); !ok {
+		s.Abort()
+		return false, fmt.Errorf("tpcc: customer missing")
+	}
+
+	// Insert ORDER, NEW-ORDER, order-customer index entry.
+	or := make([]byte, orSize)
+	putU32(or, orCID, uint32(cID))
+	putU64(or, orEntryD, uint64(oID))
+	or[orOLCnt] = byte(olCnt)
+	or[orAllLocal] = 1
+	for attempt := 0; ; attempt++ {
+		err = t.Order.Insert(s, kOrder(wID, dID, oID), or)
+		if err == nil {
+			break
+		}
+		if err == btree.ErrDuplicate && attempt < 64 {
+			if oID, err = takeOID(); err != nil {
+				return false, err
+			}
+			putU64(or, orEntryD, uint64(oID))
+			continue
+		}
+		return false, err
+	}
+	var empty [1]byte
+	if err = t.NewOrder.Insert(s, kNewOrder(wID, dID, oID), empty[:]); err != nil {
+		return false, err
+	}
+	if err = t.OrderCIdx.Insert(s, kOrderCIdx(wID, dID, cID, oID), empty[:]); err != nil {
+		return false, err
+	}
+
+	// Order lines.
+	ol := make([]byte, olSize)
+	for l := 1; l <= olCnt; l++ {
+		if rollback && l == olCnt {
+			// Unused item id: the transaction aborts and is rolled back
+			// logically.
+			s.Abort()
+			t.CntAborted.Add(1)
+			return false, nil
+		}
+		iID := NURandItemID(r, t.Items)
+		supplyW := wID
+		if t.Warehouses > 1 && r.Intn(100) == 0 {
+			for supplyW == wID {
+				supplyW = r.IntRange(1, t.Warehouses)
+			}
+			or[orAllLocal] = 0
+		}
+		itemRow, ok := t.Item.Lookup(s, kItem(iID), nil)
+		if !ok {
+			s.Abort()
+			return false, fmt.Errorf("tpcc: item %d missing", iID)
+		}
+		price := getF64(itemRow, itPrice)
+		qty := r.IntRange(1, 10)
+
+		// Stock update: quantity, ytd, counts (the changed-attribute diff
+		// shows up as a tiny update record).
+		err = t.Stock.UpdateFunc(s, kStock(supplyW, iID), func(row []byte) []byte {
+			sq := int(int16(getU16(row, stQty)))
+			if sq >= qty+10 {
+				sq -= qty
+			} else {
+				sq = sq - qty + 91
+			}
+			putU16(row, stQty, uint16(int16(sq)))
+			putU32(row, stYTD, getU32(row, stYTD)+uint32(qty))
+			putU16(row, stOrderCnt, getU16(row, stOrderCnt)+1)
+			if supplyW != wID {
+				putU16(row, stRemoteCnt, getU16(row, stRemoteCnt)+1)
+			}
+			return row
+		})
+		if err != nil {
+			return false, err
+		}
+
+		yieldPoint()
+		putU32(ol, olIID, uint32(iID))
+		putU32(ol, olSupplyW, uint32(supplyW))
+		putU64(ol, olDeliveryD, 0)
+		ol[olQty] = byte(qty)
+		putF64(ol, olAmount, float64(qty)*price)
+		fillString(ol, olDistInfo, 24, r)
+		if err = t.OrderLine.Insert(s, kOrderLine(wID, dID, oID, l), ol); err != nil {
+			return false, err
+		}
+	}
+	s.Commit()
+	return true, nil
+}
+
+// Payment (clause 2.5): updates warehouse and district YTD, the customer's
+// balance/payment counters (with bad-credit data rewriting), and appends a
+// history row. 60% select the customer by last name, 15% pay at a remote
+// warehouse.
+func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
+	t, r := w.t, w.rng
+	wID := w.HomeWarehouse
+	dID := r.IntRange(1, numDistricts)
+	amount := float64(r.IntRange(100, 500000)) / 100
+
+	cWID, cDID := wID, dID
+	if t.Warehouses > 1 && r.Intn(100) < 15 {
+		for cWID == wID {
+			cWID = r.IntRange(1, t.Warehouses)
+		}
+		cDID = r.IntRange(1, numDistricts)
+	}
+
+	s.Begin()
+	defer func() {
+		if err != nil && s.Active() {
+			s.Abort()
+		}
+	}()
+
+	err = t.Warehouse.UpdateFunc(s, kWarehouse(wID), func(row []byte) []byte {
+		putF64(row, whYTD, getF64(row, whYTD)+amount)
+		return row
+	})
+	if err != nil {
+		return err
+	}
+	yieldPoint()
+	err = t.District.UpdateFunc(s, kDistrict(wID, dID), func(row []byte) []byte {
+		putF64(row, diYTD, getF64(row, diYTD)+amount)
+		return row
+	})
+	if err != nil {
+		return err
+	}
+	yieldPoint()
+
+	cID := 0
+	if r.Intn(100) < 60 {
+		cID, err = w.customerByLastName(s, cWID, cDID)
+		if err != nil {
+			return err
+		}
+	} else {
+		cID = NURandCustomerID(r) % t.CustPerDist
+		if cID == 0 {
+			cID = 1
+		}
+	}
+
+	badCredit := false
+	err = t.Customer.UpdateFunc(s, kCustomer(cWID, cDID, cID), func(row []byte) []byte {
+		putF64(row, cuBalance, getF64(row, cuBalance)-amount)
+		putF64(row, cuYTDPayment, getF64(row, cuYTDPayment)+amount)
+		putU16(row, cuPaymentCnt, getU16(row, cuPaymentCnt)+1)
+		if string(row[cuCredit:cuCredit+2]) == "BC" {
+			badCredit = true
+			// Prepend payment info to C_DATA (clause 2.5.2.2): shifts the
+			// whole data field, producing a larger diff.
+			info := fmt.Sprintf("%d-%d-%d-%d-%d-%.2f|", cID, cDID, cWID, dID, wID, amount)
+			data := row[cuData : cuData+cuDataLen]
+			copy(data[len(info):], data[:cuDataLen-len(info)])
+			copy(data, info)
+		}
+		return row
+	})
+	if err != nil {
+		return err
+	}
+	_ = badCredit
+
+	hi := make([]byte, hiSize)
+	putF64(hi, 0, amount)
+	putU64(hi, 8, uint64(t.histSeq.Add(1)))
+	fillString(hi, 16, 24, r)
+	if err = t.History.Insert(s, kHistory(cWID, cDID, cID, t.histSeq.Add(1)), hi); err != nil {
+		return err
+	}
+	s.Commit()
+	return nil
+}
+
+// customerByLastName picks the middle customer (by first name) among those
+// sharing a random last name (clause 2.5.2.2).
+func (w *TPCCWorker) customerByLastName(s *txn.Session, wID, dID int) (int, error) {
+	t, r := w.t, w.rng
+	last := LastName(NURandLastName(r, 999) % min(999, t.CustPerDist-1))
+	prefix := kCustIdxPrefix(wID, dID, last)
+	type match struct {
+		first string
+		cID   int
+	}
+	var matches []match
+	t.CustIdx.ScanAsc(s, prefix, func(k, v []byte) bool {
+		if !bytes.HasPrefix(k, prefix) {
+			return false
+		}
+		matches = append(matches, match{
+			first: string(bytes.TrimRight(k[5+nameLen:5+2*nameLen], "\x00")),
+			cID:   int(binary.BigEndian.Uint32(v)),
+		})
+		return true
+	})
+	if len(matches) == 0 {
+		// Scaled-down databases may not contain this name; fall back to a
+		// direct id (keeps the mix running without a spec violation that
+		// matters for the reproduction).
+		return r.IntRange(1, t.CustPerDist), nil
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].first < matches[j].first })
+	return matches[(len(matches)+1)/2-1].cID, nil
+}
+
+// OrderStatus (clause 2.6): read-only — customer, their most recent order,
+// and its order lines. 60% by last name.
+func (w *TPCCWorker) OrderStatus(s *txn.Session) (err error) {
+	t, r := w.t, w.rng
+	wID := w.HomeWarehouse
+	dID := r.IntRange(1, numDistricts)
+
+	s.Begin()
+	defer func() {
+		if err != nil && s.Active() {
+			s.Abort()
+		}
+	}()
+
+	var cID int
+	if r.Intn(100) < 60 {
+		cID, err = w.customerByLastName(s, wID, dID)
+		if err != nil {
+			return err
+		}
+	} else {
+		cID = NURandCustomerID(r) % t.CustPerDist
+		if cID == 0 {
+			cID = 1
+		}
+	}
+	if _, ok := t.Customer.Lookup(s, kCustomer(wID, dID, cID), nil); !ok {
+		s.Abort()
+		return fmt.Errorf("tpcc: customer %d missing", cID)
+	}
+
+	// Most recent order: first entry of the complemented index.
+	prefix := kOrderCIdx(wID, dID, cID, 1<<31) // any o; need prefix only
+	prefix = prefix[:9]
+	oID := -1
+	t.OrderCIdx.ScanAsc(s, prefix, func(k, _ []byte) bool {
+		if !bytes.HasPrefix(k, prefix) {
+			return false
+		}
+		oID = int(^binary.BigEndian.Uint32(k[9:]))
+		return false // newest first: one row suffices
+	})
+	if oID < 0 {
+		s.Commit() // customer without orders (possible at tiny scale)
+		return nil
+	}
+	orRow, ok := t.Order.Lookup(s, kOrder(wID, dID, oID), nil)
+	if !ok {
+		s.Abort()
+		return fmt.Errorf("tpcc: order %d missing", oID)
+	}
+	olCnt := int(orRow[orOLCnt])
+	for l := 1; l <= olCnt; l++ {
+		if _, ok := t.OrderLine.Lookup(s, kOrderLine(wID, dID, oID, l), nil); !ok {
+			break
+		}
+	}
+	s.Commit()
+	return nil
+}
+
+// Delivery (clause 2.7): for each district of the warehouse, deliver the
+// oldest undelivered order: delete its NEW-ORDER row, stamp the carrier,
+// set the delivery date on every order line, and credit the customer.
+func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
+	t, r := w.t, w.rng
+	wID := w.HomeWarehouse
+	carrier := byte(r.IntRange(1, 10))
+
+	s.Begin()
+	defer func() {
+		if err != nil && s.Active() {
+			s.Abort()
+		}
+	}()
+
+	for dID := 1; dID <= numDistricts; dID++ {
+		yieldPoint()
+		// Oldest NEW-ORDER for the district.
+		prefix := kDistrict(wID, dID)
+		oID := -1
+		t.NewOrder.ScanAsc(s, prefix, func(k, _ []byte) bool {
+			if !bytes.HasPrefix(k, prefix) {
+				return false
+			}
+			oID = int(binary.BigEndian.Uint32(k[5:]))
+			return false
+		})
+		if oID < 0 {
+			continue // no undelivered order in this district
+		}
+		if err = t.NewOrder.Remove(s, kNewOrder(wID, dID, oID)); err != nil {
+			if err == btree.ErrNotFound {
+				// A concurrent Delivery got there first (read-uncommitted,
+				// no record locks); skip the district like an empty one.
+				err = nil
+				continue
+			}
+			return err
+		}
+		var cID, olCnt int
+		err = t.Order.UpdateFunc(s, kOrder(wID, dID, oID), func(row []byte) []byte {
+			cID = int(getU32(row, orCID))
+			olCnt = int(row[orOLCnt])
+			row[orCarrier] = carrier
+			return row
+		})
+		if err != nil {
+			return err
+		}
+		total := 0.0
+		for l := 1; l <= olCnt; l++ {
+			err = t.OrderLine.UpdateFunc(s, kOrderLine(wID, dID, oID, l), func(row []byte) []byte {
+				total += getF64(row, olAmount)
+				putU64(row, olDeliveryD, uint64(oID))
+				return row
+			})
+			if err == nil {
+				continue
+			}
+			err = nil
+			break
+		}
+		err = t.Customer.UpdateFunc(s, kCustomer(wID, dID, cID), func(row []byte) []byte {
+			putF64(row, cuBalance, getF64(row, cuBalance)+total)
+			putU16(row, cuDeliveryCnt, getU16(row, cuDeliveryCnt)+1)
+			return row
+		})
+		if err != nil {
+			return err
+		}
+	}
+	s.Commit()
+	return nil
+}
+
+// StockLevel (clause 2.8): read-only — count distinct items of the last 20
+// orders of a district whose stock is below a threshold.
+func (w *TPCCWorker) StockLevel(s *txn.Session) (err error) {
+	t, r := w.t, w.rng
+	wID := w.HomeWarehouse
+	dID := r.IntRange(1, numDistricts)
+	threshold := r.IntRange(10, 20)
+
+	s.Begin()
+	defer func() {
+		if err != nil && s.Active() {
+			s.Abort()
+		}
+	}()
+
+	dRow, ok := t.District.Lookup(s, kDistrict(wID, dID), nil)
+	if !ok {
+		s.Abort()
+		return fmt.Errorf("tpcc: district missing")
+	}
+	nextO := int(getU32(dRow, diNextOID))
+	lowO := nextO - 20
+	if lowO < 1 {
+		lowO = 1
+	}
+
+	seen := make(map[uint32]struct{}, 64)
+	low := 0
+	for o := lowO; o < nextO; o++ {
+		for l := 1; ; l++ {
+			olRow, ok := t.OrderLine.Lookup(s, kOrderLine(wID, dID, o, l), nil)
+			if !ok {
+				break
+			}
+			iID := getU32(olRow, olIID)
+			if _, dup := seen[iID]; dup {
+				continue
+			}
+			seen[iID] = struct{}{}
+			stRow, ok := t.Stock.Lookup(s, kStock(wID, int(iID)), nil)
+			if ok && int(int16(getU16(stRow, stQty))) < threshold {
+				low++
+			}
+		}
+	}
+	_ = low
+	s.Commit()
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,421 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/sys"
+	"repro/internal/txn"
+)
+
+func TestZipfUniform(t *testing.T) {
+	z := NewZipf(sys.NewRand(1), 100, 0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("uniform bucket %d skewed: %d", i, c)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.75, 0.99, 1.25, 1.75} {
+		z := NewZipf(sys.NewRand(2), 1000, theta)
+		counts := make(map[int]int)
+		const n = 50000
+		for i := 0; i < n; i++ {
+			k := z.Next()
+			if k < 0 || k >= 1000 {
+				t.Fatalf("theta=%v: out of range %d", theta, k)
+			}
+			counts[k]++
+		}
+		if counts[0] < counts[500]*2 {
+			t.Fatalf("theta=%v: no skew (k0=%d k500=%d)", theta, counts[0], counts[500])
+		}
+	}
+	// Higher theta concentrates more mass on the hottest key.
+	prev := 0
+	for _, theta := range []float64{0.5, 1.0, 1.5} {
+		z := NewZipf(sys.NewRand(3), 1000, theta)
+		zero := 0
+		for i := 0; i < 20000; i++ {
+			if z.Next() == 0 {
+				zero++
+			}
+		}
+		if zero <= prev {
+			t.Fatalf("theta=%v: hottest-key mass did not grow: %d <= %d", theta, zero, prev)
+		}
+		prev = zero
+	}
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" || LastName(999) != "EINGEINGEING" {
+		t.Fatalf("syllables wrong: %q %q", LastName(0), LastName(999))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371)=%q", LastName(371))
+	}
+}
+
+func TestNURandRanges(t *testing.T) {
+	r := sys.NewRand(4)
+	for i := 0; i < 10000; i++ {
+		if c := NURandCustomerID(r); c < 1 || c > 3000 {
+			t.Fatalf("customer id out of range: %d", c)
+		}
+		if it := NURandItemID(r, 10000); it < 1 || it > 10000 {
+			t.Fatalf("item id out of range: %d", it)
+		}
+		if l := NURandLastName(r, 999); l < 0 || l > 999 {
+			t.Fatalf("last name out of range: %d", l)
+		}
+	}
+}
+
+func newEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e, err := core.Open(core.Config{
+		Mode:      core.ModeOurs,
+		Workers:   2,
+		PoolPages: 4096,
+		WALLimit:  16 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func smallTPCC(t *testing.T, e *core.Engine, warehouses int) (*TPCC, *txn.Session) {
+	t.Helper()
+	s := e.NewSessionOn(0)
+	tp, err := NewTPCC(warehouses, func(name string) (*btree.BTree, error) {
+		return e.CreateTree(s, name)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Items = 200
+	tp.CustPerDist = 40
+	if err := tp.Load(s, 99); err != nil {
+		t.Fatal(err)
+	}
+	return tp, s
+}
+
+func TestYCSBLoadAndUpdate(t *testing.T) {
+	e := newEngine(t)
+	s := e.NewSessionOn(0)
+	tree, err := e.CreateTree(s, "ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := NewYCSB(tree, 2000)
+	if err := y.Load(s, 500); err != nil {
+		t.Fatal(err)
+	}
+	w := y.NewWorker(7, 0.75)
+	for i := 0; i < 500; i++ {
+		if err := w.UpdateTxn(s); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	if _, err := w.ReadTxn(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Begin()
+	if c := tree.Count(s); c != 2000 {
+		t.Fatalf("count=%d", c)
+	}
+	s.Commit()
+}
+
+func TestTPCCLoadConsistency(t *testing.T) {
+	e := newEngine(t)
+	tp, s := smallTPCC(t, e, 2)
+
+	s.Begin()
+	defer s.Commit()
+	// Districts: next order id == CustPerDist+1 after load.
+	for w := 1; w <= 2; w++ {
+		for d := 1; d <= numDistricts; d++ {
+			row, ok := tp.District.Lookup(s, kDistrict(w, d), nil)
+			if !ok {
+				t.Fatalf("district %d/%d missing", w, d)
+			}
+			if got := int(getU32(row, diNextOID)); got != tp.CustPerDist+1 {
+				t.Fatalf("next_o_id=%d want %d", got, tp.CustPerDist+1)
+			}
+		}
+	}
+	// Every customer exists and is indexed by last name.
+	found := 0
+	tp.CustIdx.ScanAsc(s, nil, func(k, v []byte) bool {
+		found++
+		return true
+	})
+	if found != 2*numDistricts*tp.CustPerDist {
+		t.Fatalf("customer index has %d entries, want %d", found, 2*numDistricts*tp.CustPerDist)
+	}
+	// Stock rows per warehouse.
+	stocks := tp.Stock.Count(s)
+	if stocks != 2*tp.Items {
+		t.Fatalf("stock rows: %d want %d", stocks, 2*tp.Items)
+	}
+}
+
+func TestTPCCMixRuns(t *testing.T) {
+	e := newEngine(t)
+	tp, s := smallTPCC(t, e, 1)
+	w := tp.NewWorker(5, 1)
+	counts := make(map[TxnType]int)
+	for i := 0; i < 400; i++ {
+		typ, _, err := w.RunMix(s)
+		if err != nil {
+			t.Fatalf("txn %d (%v): %v", i, typ, err)
+		}
+		counts[typ]++
+	}
+	if counts[TxnNewOrder] == 0 || counts[TxnPayment] == 0 ||
+		counts[TxnOrderStatus] == 0 || counts[TxnDelivery] == 0 || counts[TxnStockLevel] == 0 {
+		t.Fatalf("mix incomplete: %v", counts)
+	}
+	// Roughly the standard ratios.
+	if counts[TxnNewOrder] < counts[TxnDelivery] {
+		t.Fatalf("mix ratios wrong: %v", counts)
+	}
+}
+
+func TestTPCCNewOrderAdvancesDistrict(t *testing.T) {
+	e := newEngine(t)
+	tp, s := smallTPCC(t, e, 1)
+	w := tp.NewWorker(6, 1)
+	before := make([]int, numDistricts+1)
+	s.Begin()
+	for d := 1; d <= numDistricts; d++ {
+		row, _ := tp.District.Lookup(s, kDistrict(1, d), nil)
+		before[d] = int(getU32(row, diNextOID))
+	}
+	s.Commit()
+	committed := 0
+	for i := 0; i < 60; i++ {
+		ok, err := w.NewOrder(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			committed++
+		}
+	}
+	s.Begin()
+	total := 0
+	for d := 1; d <= numDistricts; d++ {
+		row, _ := tp.District.Lookup(s, kDistrict(1, d), nil)
+		total += int(getU32(row, diNextOID)) - before[d]
+	}
+	s.Commit()
+	if total != committed {
+		t.Fatalf("district next_o_id advanced %d times for %d committed new orders (aborted ones must not advance it durably)", total, committed)
+	}
+}
+
+// TestTPCCPaymentYTDConsistency is TPC-C consistency condition 1:
+// W_YTD = sum(D_YTD) of its districts, preserved by Payment transactions.
+func TestTPCCPaymentYTDConsistency(t *testing.T) {
+	e := newEngine(t)
+	tp, s := smallTPCC(t, e, 1)
+	w := tp.NewWorker(7, 1)
+	for i := 0; i < 150; i++ {
+		if err := w.Payment(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Begin()
+	whRow, _ := tp.Warehouse.Lookup(s, kWarehouse(1), nil)
+	wYTD := getF64(whRow, whYTD)
+	var dSum float64
+	for d := 1; d <= numDistricts; d++ {
+		row, _ := tp.District.Lookup(s, kDistrict(1, d), nil)
+		dSum += getF64(row, diYTD)
+	}
+	s.Commit()
+	// Loaded values: W_YTD=300000, sum D_YTD=10*30000: both sides grow by
+	// the same payment amounts.
+	if diff := wYTD - dSum; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("consistency 1 violated: W_YTD=%.2f sum(D_YTD)=%.2f", wYTD, dSum)
+	}
+}
+
+// TestTPCCDeliveryConsumesNewOrders checks Delivery removes NEW-ORDER rows
+// and stamps carriers.
+func TestTPCCDeliveryConsumesNewOrders(t *testing.T) {
+	e := newEngine(t)
+	tp, s := smallTPCC(t, e, 1)
+	w := tp.NewWorker(8, 1)
+	s.Begin()
+	noBefore := tp.NewOrder.Count(s)
+	s.Commit()
+	if err := w.Delivery(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Begin()
+	noAfter := tp.NewOrder.Count(s)
+	s.Commit()
+	if noAfter != noBefore-numDistricts {
+		t.Fatalf("delivery removed %d new-orders, want %d", noBefore-noAfter, numDistricts)
+	}
+}
+
+// TestTPCCCrashRecoveryConsistency runs a mix, crashes, recovers, and
+// re-checks consistency condition 1 plus order/new-order alignment.
+func TestTPCCCrashRecoveryConsistency(t *testing.T) {
+	cfg := core.Config{
+		Mode:      core.ModeOurs,
+		Workers:   2,
+		PoolPages: 4096,
+		WALLimit:  8 << 20,
+	}
+	e, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSessionOn(0)
+	tp, err := NewTPCC(1, func(name string) (*btree.BTree, error) {
+		return e.CreateTree(s, name)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Items = 200
+	tp.CustPerDist = 40
+	if err := tp.Load(s, 99); err != nil {
+		t.Fatal(err)
+	}
+	w := tp.NewWorker(9, 1)
+	for i := 0; i < 300; i++ {
+		if _, _, err := w.RunMix(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pm, ssd := e.SimulateCrash(77)
+	cfg.PMem, cfg.SSD = pm, ssd
+	e2, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+
+	tp2, err := attachTPCC(e2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp2.Items, tp2.CustPerDist = 200, 40
+
+	s2 := e2.NewSessionOn(0)
+	s2.Begin()
+	whRow, ok := tp2.Warehouse.Lookup(s2, kWarehouse(1), nil)
+	if !ok {
+		t.Fatal("warehouse lost")
+	}
+	wYTD := getF64(whRow, whYTD)
+	var dSum float64
+	maxNextO := 0
+	for d := 1; d <= numDistricts; d++ {
+		row, ok := tp2.District.Lookup(s2, kDistrict(1, d), nil)
+		if !ok {
+			t.Fatal("district lost")
+		}
+		dSum += getF64(row, diYTD)
+		if n := int(getU32(row, diNextOID)); n > maxNextO {
+			maxNextO = n
+		}
+	}
+	if diff := wYTD - dSum; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("post-recovery consistency 1 violated: %.2f vs %.2f", wYTD, dSum)
+	}
+	// Every order referenced by the district counters must exist with its
+	// order lines (condition 3 spirit): check the newest committed order of
+	// district 1.
+	for d := 1; d <= numDistricts; d++ {
+		row, _ := tp2.District.Lookup(s2, kDistrict(1, d), nil)
+		nextO := int(getU32(row, diNextOID))
+		for o := nextO - 3; o < nextO; o++ {
+			if o < 1 {
+				continue
+			}
+			orRow, ok := tp2.Order.Lookup(s2, kOrder(1, d, o), nil)
+			if !ok {
+				t.Fatalf("order %d/%d missing though next_o_id=%d", d, o, nextO)
+			}
+			olCnt := int(orRow[orOLCnt])
+			for l := 1; l <= olCnt; l++ {
+				if _, ok := tp2.OrderLine.Lookup(s2, kOrderLine(1, d, o, l), nil); !ok {
+					t.Fatalf("orderline %d/%d/%d missing", d, o, l)
+				}
+			}
+		}
+	}
+	s2.Commit()
+	for _, tree := range []*btree.BTree{tp2.Warehouse, tp2.District, tp2.Customer, tp2.Order, tp2.OrderLine, tp2.Stock} {
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// attachTPCC binds an already-created TPC-C schema (after recovery).
+func attachTPCC(e *core.Engine, warehouses int) (*TPCC, error) {
+	return NewTPCC(warehouses, func(name string) (*btree.BTree, error) {
+		tr := e.GetTree(name)
+		if tr == nil {
+			return nil, fmt.Errorf("workload: tree %q missing", name)
+		}
+		return tr, nil
+	})
+}
+
+func TestKeyEncodingOrder(t *testing.T) {
+	// Composite keys must sort by (w, d, o).
+	a := kOrder(1, 2, 3)
+	b := kOrder(1, 2, 10)
+	c := kOrder(1, 3, 1)
+	d := kOrder(2, 1, 1)
+	if !(bytes.Compare(a, b) < 0 && bytes.Compare(b, c) < 0 && bytes.Compare(c, d) < 0) {
+		t.Fatal("order keys do not sort correctly")
+	}
+	// Complemented order index: newer order sorts first.
+	n1 := kOrderCIdx(1, 1, 5, 100)
+	n2 := kOrderCIdx(1, 1, 5, 101)
+	if bytes.Compare(n2, n1) >= 0 {
+		t.Fatal("complemented order index does not sort newest-first")
+	}
+}
+
+func TestRowCodecs(t *testing.T) {
+	row := make([]byte, stSize)
+	var negFive int16 = -5
+	putU16(row, stQty, uint16(negFive))
+	if got := int(int16(getU16(row, stQty))); got != -5 {
+		t.Fatalf("signed qty roundtrip: %d", got)
+	}
+	putF64(row, stYTD, 0) // overlapping check: use correct accessors
+	putU32(row, stYTD, 12345)
+	if getU32(row, stYTD) != 12345 {
+		t.Fatal("u32 roundtrip")
+	}
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], 7)
+	_ = k
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/sys"
+	"repro/internal/txn"
+)
+
+// YCSB is the §4.4 workload: a fixed table of records with 8-byte keys and
+// 64-byte values; each transaction is a single-tuple update drawn from a
+// Zipfian distribution ("This stresses log synchronization to the maximum,
+// as much of the work consists of creating log records").
+type YCSB struct {
+	Tree    *btree.BTree
+	Records int
+	ValSize int
+}
+
+// NewYCSB describes a YCSB table (paper: 500M records × (8B key, 64B
+// value); scale Records down).
+func NewYCSB(tree *btree.BTree, records int) *YCSB {
+	return &YCSB{Tree: tree, Records: records, ValSize: 64}
+}
+
+// Key encodes record i as a big-endian 8-byte key.
+func (y *YCSB) Key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+// Load populates the table with one transaction per batch.
+func (y *YCSB) Load(s *txn.Session, batch int) error {
+	if batch <= 0 {
+		batch = 1000
+	}
+	val := make([]byte, y.ValSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	s.Begin()
+	for i := 0; i < y.Records; i++ {
+		if err := y.Tree.Insert(s, y.Key(i), val); err != nil {
+			s.Abort()
+			return fmt.Errorf("ycsb load at %d: %w", i, err)
+		}
+		if (i+1)%batch == 0 {
+			s.Commit()
+			s.Begin()
+		}
+	}
+	s.Commit()
+	return nil
+}
+
+// Worker is one YCSB worker's generator state.
+type Worker struct {
+	y    *YCSB
+	zipf *Zipf
+	rng  *sys.Rand
+	key  [8]byte
+}
+
+// NewWorker creates a worker with its own RNG and Zipfian generator.
+func (y *YCSB) NewWorker(seed uint64, theta float64) *Worker {
+	rng := sys.NewRand(seed)
+	return &Worker{y: y, zipf: NewZipf(rng, y.Records, theta), rng: rng}
+}
+
+// UpdateTxn runs one single-tuple-update transaction (100% update mix).
+func (w *Worker) UpdateTxn(s *txn.Session) error {
+	binary.BigEndian.PutUint64(w.key[:], uint64(w.zipf.Next()))
+	stamp := w.rng.Uint64()
+	s.Begin()
+	yieldPoint()
+	err := w.y.Tree.UpdateFunc(s, w.key[:], func(old []byte) []byte {
+		binary.LittleEndian.PutUint64(old[:8], stamp)
+		return old
+	})
+	if err != nil {
+		s.Abort()
+		return err
+	}
+	s.Commit()
+	return nil
+}
+
+// ReadTxn runs one single-tuple read (for mixed workloads and ablations).
+func (w *Worker) ReadTxn(s *txn.Session, dst []byte) ([]byte, error) {
+	binary.BigEndian.PutUint64(w.key[:], uint64(w.zipf.Next()))
+	s.Begin()
+	val, _ := w.y.Tree.Lookup(s, w.key[:], dst)
+	s.Commit()
+	return val, nil
+}

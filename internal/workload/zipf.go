@@ -1,0 +1,125 @@
+// Package workload implements the evaluation's two benchmarks: the full
+// TPC-C transaction mix (all five transactions, §4) and the YCSB-style
+// single-tuple-update workload with a Zipfian key distribution (§4.4,
+// Figure 10), plus the Zipfian and NURand generators they need.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sys"
+)
+
+// Zipf draws keys in [0, n) with P(k) ∝ 1/(k+1)^theta. theta = 0 is
+// uniform; Figure 10 sweeps theta from 0 to 1.75 (the YCSB Zipfian
+// constant). For theta < 1 it uses Gray et al.'s closed-form method (as in
+// YCSB's ZipfianGenerator); for theta ≥ 1, where that method diverges, it
+// samples by inverse CDF over a precomputed table.
+type Zipf struct {
+	rng   *sys.Rand
+	n     int
+	theta float64
+
+	// Gray method state (theta < 1).
+	alpha, zetan, eta float64
+
+	// Inverse-CDF table (theta >= 1).
+	cdf []float64
+}
+
+// NewZipf creates a generator over [0, n).
+func NewZipf(rng *sys.Rand, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("workload: zipf over empty domain")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	if theta == 0 {
+		return z
+	}
+	if theta < 1 {
+		z.zetan = zeta(n, theta)
+		z.alpha = 1.0 / (1.0 - theta)
+		z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+		return z
+	}
+	// Inverse CDF for skews the Gray method cannot handle.
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), theta)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() int {
+	if z.theta == 0 {
+		return z.rng.Intn(z.n)
+	}
+	if z.cdf != nil {
+		u := z.rng.Float64()
+		return sort.SearchFloat64s(z.cdf, u)
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1.0, z.alpha))
+}
+
+// nuRandC are the per-run constants of TPC-C's NURand (clause 2.1.6); fixed
+// values keep runs reproducible.
+const (
+	nuRandC255  = 91
+	nuRandC1023 = 453
+	nuRandC8191 = 4381
+)
+
+// nuRand is TPC-C's non-uniform random function NURand(A, x, y).
+func nuRand(r *sys.Rand, a, c, x, y int) int {
+	return (((r.IntRange(0, a) | r.IntRange(x, y)) + c) % (y - x + 1)) + x
+}
+
+// NURandCustomerID draws C_ID per clause 2.1.6.
+func NURandCustomerID(r *sys.Rand) int { return nuRand(r, 1023, nuRandC1023, 1, 3000) }
+
+// NURandItemID draws OL_I_ID per clause 2.1.6.
+func NURandItemID(r *sys.Rand, items int) int {
+	if items >= 100000 {
+		return nuRand(r, 8191, nuRandC8191, 1, items)
+	}
+	// Scaled-down item counts keep the same shape with a smaller A.
+	return nuRand(r, 1023, nuRandC1023, 1, items)
+}
+
+// NURandLastName draws a customer last-name index per clause 4.3.2.3.
+func NURandLastName(r *sys.Rand, maxIdx int) int {
+	return nuRand(r, 255, nuRandC255, 0, maxIdx)
+}
+
+// lastNameSyllables per TPC-C clause 4.3.2.3.
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName composes the TPC-C last name for an index in [0, 999].
+func LastName(idx int) string {
+	return lastNameSyllables[idx/100] + lastNameSyllables[(idx/10)%10] + lastNameSyllables[idx%10]
+}

@@ -1,0 +1,275 @@
+// Package leanstore is a from-scratch Go implementation of the logging,
+// checkpointing, and recovery design of Haubenschild, Sauer, Neumann and
+// Leis, "Rethinking Logging, Checkpoints, and Recovery for High-Performance
+// Storage Engines" (SIGMOD 2020), built on a LeanStore-style buffer-managed
+// B+-tree storage engine.
+//
+// The engine provides:
+//
+//   - per-worker write-ahead logs on (simulated) persistent memory with the
+//     GSN clock protocol, low-latency immediate commits, and Remote Flush
+//     Avoidance (§3.1-3.2 of the paper);
+//   - continuous checkpointing that bounds the live WAL — and therefore
+//     recovery time — without write bursts (§3.4);
+//   - a pointer-swizzling buffer manager with hot/cool/free page states and
+//     a dedicated page-provider thread, supporting datasets larger than
+//     memory with a steal policy (§3.5-3.6);
+//   - parallel three-phase restart recovery (§3.7);
+//   - every baseline of the paper's evaluation (ARIES, Aether, SiloR-style
+//     value logging, group commit, no-RFA) selectable via Options.Mode.
+//
+// Quick start:
+//
+//	db, err := leanstore.Open(leanstore.Options{})
+//	...
+//	s := db.Session()
+//	users, _ := db.CreateBTree(s, "users")
+//	s.Begin()
+//	users.Insert(s, []byte("alice"), []byte("42"))
+//	s.Commit()
+package leanstore
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/txn"
+)
+
+// Mode selects the logging/commit/checkpoint design.
+type Mode = core.Mode
+
+// Available engine modes: the paper's design and its evaluation baselines.
+const (
+	// ModeOurs is the paper's design: distributed logging on persistent
+	// memory, immediate commit with RFA, continuous checkpointing.
+	ModeOurs = core.ModeOurs
+	// ModeNoRFA disables Remote Flush Avoidance (commits flush all logs).
+	ModeNoRFA = core.ModeNoRFA
+	// ModeGroupCommit uses passive group commit without RFA.
+	ModeGroupCommit = core.ModeGroupCommit
+	// ModeGroupCommitRFA combines group commit with the RFA fast path.
+	ModeGroupCommitRFA = core.ModeGroupCommitRFA
+	// ModeARIES uses a single global log with synchronous commit flushes.
+	ModeARIES = core.ModeARIES
+	// ModeAether adds consolidated appends and flush pipelining to the
+	// single log.
+	ModeAether = core.ModeAether
+	// ModeSiloR uses value logging with epoch group commit and full-DB
+	// checkpoints (in-memory design; stalls when data exceeds memory).
+	ModeSiloR = core.ModeSiloR
+	// ModeTextbook models a classic engine with stop-the-world full
+	// checkpoints.
+	ModeTextbook = core.ModeTextbook
+	// ModeNoLogging disables durability entirely.
+	ModeNoLogging = core.ModeNoLogging
+)
+
+// Options configures a database instance. The zero value is a sensible
+// in-process configuration of the paper's design.
+type Options struct {
+	// Mode selects the logging design (default ModeOurs).
+	Mode Mode
+	// Workers is the number of log partitions / concurrent sessions
+	// (default 4). Sessions beyond this share partitions round-robin.
+	Workers int
+	// BufferPoolPages sizes the buffer pool in 16 KiB pages (default 2048 =
+	// 32 MiB).
+	BufferPoolPages int
+	// WALLimitBytes bounds the live write-ahead log; recovery time is
+	// proportional to it (default 32 MiB).
+	WALLimitBytes int64
+	// CheckpointShards is the continuous checkpointer's S (default 16).
+	CheckpointShards int
+	// GroupCommitInterval tunes group-commit/epoch latency.
+	GroupCommitInterval time.Duration
+	// DisableCheckpointing turns background checkpointing off.
+	DisableCheckpointing bool
+	// Devices carries the simulated PMem+SSD of a previous (crashed)
+	// instance; nil starts empty.
+	Devices *Devices
+}
+
+// Devices bundles the simulated storage devices so a database can be
+// reopened (and recovered) after Close or SimulateCrash.
+type Devices struct {
+	PMem *dev.PMem
+	SSD  *dev.SSD
+}
+
+// DB is a database instance.
+type DB struct {
+	eng *core.Engine
+}
+
+// Session is a transaction context pinned to one worker/log partition. A
+// session runs one transaction at a time and must not be shared between
+// goroutines.
+type Session = txn.Session
+
+// BTree is a named ordered key-value tree (relation or index).
+type BTree struct {
+	t *btree.BTree
+}
+
+// Errors returned by tree operations.
+var (
+	ErrDuplicate = btree.ErrDuplicate
+	ErrNotFound  = btree.ErrNotFound
+	ErrTooLarge  = btree.ErrTooLarge
+)
+
+// Limits on keys and values.
+const (
+	MaxKeyLen = btree.MaxKeyLen
+	MaxValLen = btree.MaxValLen
+	PageSize  = base.PageSize
+)
+
+// Open creates (or, given Devices from a crashed instance, recovers) a
+// database.
+func Open(opts Options) (*DB, error) {
+	cfg := core.Config{
+		Mode:                opts.Mode,
+		Workers:             opts.Workers,
+		PoolPages:           opts.BufferPoolPages,
+		WALLimit:            opts.WALLimitBytes,
+		CheckpointShards:    opts.CheckpointShards,
+		GroupCommitInterval: opts.GroupCommitInterval,
+		CheckpointDisabled:  opts.DisableCheckpointing,
+	}
+	if opts.Devices != nil {
+		cfg.PMem = opts.Devices.PMem
+		cfg.SSD = opts.Devices.SSD
+	}
+	eng, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Close shuts the database down cleanly (checkpointing all data first).
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Session returns a new session pinned to the next worker round-robin.
+func (db *DB) Session() *Session { return db.eng.NewSession() }
+
+// SessionOn pins a session to a specific worker in [0, Workers).
+func (db *DB) SessionOn(worker int) *Session { return db.eng.NewSessionOn(worker) }
+
+// CreateBTree creates a named tree in its own transaction.
+func (db *DB) CreateBTree(s *Session, name string) (*BTree, error) {
+	t, err := db.eng.CreateTree(s, name)
+	if err != nil {
+		return nil, err
+	}
+	return &BTree{t: t}, nil
+}
+
+// BTree opens an existing named tree.
+func (db *DB) BTree(name string) (*BTree, bool) {
+	t := db.eng.GetTree(name)
+	if t == nil {
+		return nil, false
+	}
+	return &BTree{t: t}, true
+}
+
+// SimulateCrash kills the instance without flushing anything and applies
+// crash semantics to the devices (persistent memory keeps flushed data with
+// a possibly torn tail; the SSD drops unsynced writes). Reopen with the
+// returned Devices to run recovery. All sessions must be idle.
+func (db *DB) SimulateCrash(seed uint64) *Devices {
+	pm, ssd := db.eng.SimulateCrash(seed)
+	return &Devices{PMem: pm, SSD: ssd}
+}
+
+// Devices returns the live devices (e.g. to reopen after Close).
+func (db *DB) Devices() *Devices {
+	pm, ssd := db.eng.Devices()
+	return &Devices{PMem: pm, SSD: ssd}
+}
+
+// Stats returns engine-wide counters.
+func (db *DB) Stats() core.Stats { return db.eng.Stats() }
+
+// RecoveredFromCrash reports whether opening this instance ran restart
+// recovery, and some headline numbers if it did.
+func (db *DB) RecoveredFromCrash() (ran bool, records int, took time.Duration) {
+	r := db.eng.RecoveryResult()
+	if r == nil {
+		return false, 0, 0
+	}
+	return true, r.Records, r.AnalysisTime + r.RedoTime
+}
+
+// Engine exposes the underlying engine for the benchmark harness.
+func (db *DB) Engine() *core.Engine { return db.eng }
+
+// WithTxn runs fn inside a transaction on s: commit on nil, abort (and
+// return the error) otherwise. A panic aborts and re-panics.
+func WithTxn(s *Session, fn func() error) error {
+	s.Begin()
+	defer func() {
+		if r := recover(); r != nil {
+			if s.Active() {
+				s.Abort()
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(); err != nil {
+		if s.Active() {
+			s.Abort()
+		}
+		return err
+	}
+	s.Commit()
+	return nil
+}
+
+// ---- BTree operations ----
+
+// Insert adds key → val; ErrDuplicate if the key exists.
+func (t *BTree) Insert(s *Session, key, val []byte) error { return t.t.Insert(s, key, val) }
+
+// Get fetches the value for key, appending to dst (may be nil).
+func (t *BTree) Get(s *Session, key, dst []byte) ([]byte, bool) { return t.t.Lookup(s, key, dst) }
+
+// Update replaces the value for key; ErrNotFound if absent.
+func (t *BTree) Update(s *Session, key, val []byte) error { return t.t.Update(s, key, val) }
+
+// UpdateFunc fetches and replaces in one descent: fn receives a mutable
+// copy and returns the new value (or nil to keep the old one).
+func (t *BTree) UpdateFunc(s *Session, key []byte, fn func(old []byte) []byte) error {
+	return t.t.UpdateFunc(s, key, fn)
+}
+
+// Upsert inserts or replaces.
+func (t *BTree) Upsert(s *Session, key, val []byte) error {
+	err := t.t.Insert(s, key, val)
+	if errors.Is(err, btree.ErrDuplicate) {
+		return t.t.Update(s, key, val)
+	}
+	return err
+}
+
+// Delete removes key; ErrNotFound if absent.
+func (t *BTree) Delete(s *Session, key []byte) error { return t.t.Remove(s, key) }
+
+// Scan iterates ascending from start (nil = beginning) until fn returns
+// false. fn receives copies valid only during the call.
+func (t *BTree) Scan(s *Session, start []byte, fn func(key, val []byte) bool) {
+	t.t.ScanAsc(s, start, fn)
+}
+
+// Count returns the number of entries (full scan).
+func (t *BTree) Count(s *Session) int { return t.t.Count(s) }
+
+// Internal returns the underlying tree (benchmark harness).
+func (t *BTree) Internal() *btree.BTree { return t.t }

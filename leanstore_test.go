@@ -1,0 +1,170 @@
+package leanstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	leanstore "repro"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, err := leanstore.Open(leanstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	s := db.Session()
+	users, err := db.CreateBTree(s, "users")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = leanstore.WithTxn(s, func() error {
+		return users.Insert(s, []byte("alice"), []byte("42"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Begin()
+	got, ok := users.Get(s, []byte("alice"), nil)
+	s.Commit()
+	if !ok || string(got) != "42" {
+		t.Fatalf("get: %v %q", ok, got)
+	}
+
+	if _, ok := db.BTree("users"); !ok {
+		t.Fatal("BTree lookup by name failed")
+	}
+	if _, ok := db.BTree("nope"); ok {
+		t.Fatal("phantom tree")
+	}
+}
+
+func TestPublicAPIWithTxnAbortsOnError(t *testing.T) {
+	db, _ := leanstore.Open(leanstore.Options{})
+	defer db.Close()
+	s := db.Session()
+	tr, _ := db.CreateBTree(s, "t")
+
+	sentinel := fmt.Errorf("boom")
+	err := leanstore.WithTxn(s, func() error {
+		tr.Insert(s, []byte("x"), []byte("1"))
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("err=%v", err)
+	}
+	s.Begin()
+	if _, ok := tr.Get(s, []byte("x"), nil); ok {
+		t.Fatal("aborted insert visible")
+	}
+	s.Commit()
+}
+
+func TestPublicAPIUpsertDeleteScan(t *testing.T) {
+	db, _ := leanstore.Open(leanstore.Options{})
+	defer db.Close()
+	s := db.Session()
+	tr, _ := db.CreateBTree(s, "t")
+
+	leanstore.WithTxn(s, func() error {
+		for i := 0; i < 100; i++ {
+			k := []byte(fmt.Sprintf("k%03d", i))
+			if err := tr.Upsert(s, k, []byte("a")); err != nil {
+				return err
+			}
+			if err := tr.Upsert(s, k, []byte("b")); err != nil {
+				return err
+			}
+		}
+		return tr.Delete(s, []byte("k050"))
+	})
+
+	s.Begin()
+	defer s.Commit()
+	if n := tr.Count(s); n != 99 {
+		t.Fatalf("count=%d", n)
+	}
+	var keys []string
+	tr.Scan(s, []byte("k09"), func(k, v []byte) bool {
+		if !bytes.Equal(v, []byte("b")) {
+			t.Fatalf("upsert didn't replace: %q", v)
+		}
+		keys = append(keys, string(k))
+		return true
+	})
+	if len(keys) != 10 || keys[0] != "k090" {
+		t.Fatalf("scan wrong: %v", keys)
+	}
+	if err := tr.Delete(s, []byte("k050")); err != leanstore.ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestPublicAPICrashRecovery(t *testing.T) {
+	opts := leanstore.Options{WALLimitBytes: 4 << 20}
+	db, _ := leanstore.Open(opts)
+	s := db.Session()
+	tr, _ := db.CreateBTree(s, "t")
+	leanstore.WithTxn(s, func() error {
+		for i := 0; i < 300; i++ {
+			if err := tr.Insert(s, []byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	opts.Devices = db.SimulateCrash(1)
+	db2, err := leanstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	ran, records, took := db2.RecoveredFromCrash()
+	if !ran || records == 0 || took <= 0 {
+		t.Fatalf("recovery info: ran=%v records=%d took=%v", ran, records, took)
+	}
+	tr2, ok := db2.BTree("t")
+	if !ok {
+		t.Fatal("tree lost")
+	}
+	s2 := db2.Session()
+	s2.Begin()
+	if n := tr2.Count(s2); n != 300 {
+		t.Fatalf("count after recovery: %d", n)
+	}
+	s2.Commit()
+}
+
+func TestPublicAPIModes(t *testing.T) {
+	for _, mode := range []leanstore.Mode{leanstore.ModeOurs, leanstore.ModeARIES, leanstore.ModeSiloR} {
+		db, err := leanstore.Open(leanstore.Options{Mode: mode, Workers: 2})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		s := db.Session()
+		tr, err := db.CreateBTree(s, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		leanstore.WithTxn(s, func() error {
+			return tr.Insert(s, []byte("k"), []byte("v"))
+		})
+		db.Close()
+	}
+}
+
+func TestPublicAPIStats(t *testing.T) {
+	db, _ := leanstore.Open(leanstore.Options{})
+	defer db.Close()
+	s := db.Session()
+	tr, _ := db.CreateBTree(s, "t")
+	leanstore.WithTxn(s, func() error { return tr.Insert(s, []byte("k"), []byte("v")) })
+	if st := db.Stats(); st.Txns.Commits == 0 {
+		t.Fatal("stats empty")
+	}
+}
