@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the gate CI and reviewers run;
+# `make bench-smoke` is a fast allocation/latency sanity pass over the
+# commit-path micro-benchmarks (fixed iteration count so it stays quick).
+
+GO ?= go
+
+.PHONY: check test vet bench-smoke bench
+
+check: vet
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Smoke-run the commit-path benchmarks with allocation reporting. 100
+# iterations is enough to catch a broken benchmark or a gross allocation
+# regression without paying for a full -benchtime run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkCommitPath' -benchtime=100x .
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .

@@ -8,6 +8,7 @@ package leanstore_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -28,6 +29,7 @@ func tpccThroughput(b *testing.B, mode core.Mode, threads int, over func(*core.C
 		b.Fatal(err)
 	}
 	defer bench.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var txns uint64
 	for i := 0; i < b.N; i++ {
@@ -68,6 +70,7 @@ func BenchmarkTabWarehouses(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer bench.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				bench.RunTPCCWorkers(2, 200*time.Millisecond)
@@ -119,6 +122,7 @@ func BenchmarkFig9OutOfMemory(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer bench.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			var txns uint64
 			for i := 0; i < b.N; i++ {
@@ -153,6 +157,7 @@ func BenchmarkFig10(b *testing.B) {
 				b.Fatal(err)
 			}
 			w := y.NewWorker(7, theta)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := w.UpdateTxn(s); err != nil {
@@ -186,6 +191,7 @@ func BenchmarkFig11Latency(b *testing.B) {
 			s := bench.Engine.NewSessionOn(0)
 			s.SetSyncCommit(true)
 			w := bench.TPCC.NewWorker(3, 1)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := w.Payment(s); err != nil {
@@ -214,6 +220,7 @@ func BenchmarkFig12Textbook(b *testing.B) {
 
 // BenchmarkRecovery is §4.6: crash recovery time and WAL processing rate.
 func BenchmarkRecovery(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		bench, err := harness.NewTPCCBench(benchScale, core.ModeOurs, 2, benchScale.PoolPages, nil)
@@ -264,6 +271,7 @@ func BenchmarkUndoVolume(b *testing.B) {
 			s := bench.Engine.NewSessionOn(0)
 			w := bench.TPCC.NewWorker(3, 1)
 			before := bench.Engine.WAL().Stats().AppendedBytes
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				w.RunMix(s)
@@ -295,6 +303,7 @@ func BenchmarkLogCompression(b *testing.B) {
 			s := bench.Engine.NewSessionOn(0)
 			w := bench.TPCC.NewWorker(3, 1)
 			before := bench.Engine.WAL().Stats().AppendedBytes
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				w.RunMix(s)
@@ -322,6 +331,7 @@ func BenchmarkCommitPath(b *testing.B) {
 	s := db.Session()
 	tree, _ := db.CreateBTree(s, "t")
 	leanstore.WithTxn(s, func() error { return tree.Insert(s, []byte("key"), make([]byte, 64)) })
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Begin()
@@ -330,6 +340,70 @@ func BenchmarkCommitPath(b *testing.B) {
 			return old
 		})
 		s.Commit()
+	}
+}
+
+// BenchmarkHotPathAllocs is the allocation-regression gate: it runs the
+// §3.2 RFA commit fast path (begin → tree update → log append → commit)
+// against the engine directly, with staging discarded and checkpointing off
+// so the simulated SSD's growable buffers — device-model cost, not engine
+// cost — stay out of the measurement, and fails if the steady-state path
+// allocates. Chunk rotation is the one excluded event (it legitimately
+// refreshes pmem chunks every few thousand transactions), covered by the
+// tolerance below.
+func BenchmarkHotPathAllocs(b *testing.B) {
+	eng, err := core.Open(core.Config{
+		Mode: core.ModeOurs, Workers: 1, PoolPages: 4096,
+		WALLimit:           1 << 30,
+		CheckpointDisabled: true, DiscardStaging: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	s := eng.NewSessionOn(0)
+	tree, err := eng.CreateTree(s, "gate")
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("key")
+	s.Begin()
+	if err := tree.Insert(s, key, make([]byte, 64)); err != nil {
+		b.Fatal(err)
+	}
+	s.Commit()
+	update := func(old []byte) []byte {
+		old[0]++
+		return old
+	}
+	// Warm up so lazily grown scratch (arena, encode buffer, undo slots)
+	// reaches steady state before counting.
+	for i := 0; i < 5000; i++ {
+		s.Begin()
+		tree.UpdateFunc(s, key, update)
+		s.Commit()
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Begin()
+		tree.UpdateFunc(s, key, update)
+		s.Commit()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	b.ReportMetric(perOp, "allocs/txn")
+	// Gate only on runs long enough for rotation and measurement noise to
+	// amortize; the calibration runs the framework uses to pick b.N are
+	// too short to judge.
+	const tolerance = 0.05
+	if b.N >= 10000 && perOp > tolerance {
+		b.Fatalf("RFA commit path allocates: %.4f allocs/txn (tolerance %.2f) — "+
+			"the hot path must stay allocation-free (ISSUE 2 gate)", perOp, tolerance)
 	}
 }
 
@@ -345,6 +419,7 @@ func BenchmarkBTreeInsert(b *testing.B) {
 	key := make([]byte, 8)
 	val := make([]byte, 100)
 	s.Begin()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < 8; j++ {
@@ -383,6 +458,7 @@ func BenchmarkBTreeLookup(b *testing.B) {
 	s.Commit()
 	var dst []byte
 	s.Begin()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := i % n

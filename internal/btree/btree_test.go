@@ -20,9 +20,18 @@ type testCtx struct {
 	worker int32
 	gsn    base.GSN
 	mu     sync.Mutex // shared across goroutines in concurrency tests
+	rec    wal.Record
+	arena  wal.Arena
 }
 
 func (c *testCtx) WorkerID() int32 { return c.worker }
+
+func (c *testCtx) Rec() *wal.Record {
+	c.rec.Reset()
+	return &c.rec
+}
+
+func (c *testCtx) Arena() *wal.Arena { return &c.arena }
 
 func (c *testCtx) OnPageAccess(_ *buffer.Frame, gsn base.GSN) {
 	c.mu.Lock()
@@ -51,6 +60,12 @@ func newTestTree(t *testing.T, frames int) (*BTree, *testCtx, *buffer.Pool) {
 		Frames: frames,
 		SSD:    ssd,
 		Ops:    PageOps{},
+		// The page provider unswizzles concurrently with optimistic
+		// traversals; those seqlock-style reads are flagged by the race
+		// detector by design (see internal/sys/race_on.go). Single-goroutine
+		// tests stay race-clean — and keep their -race coverage — by running
+		// without the provider.
+		ProviderDisabled: sys.RaceEnabled,
 	})
 	t.Cleanup(pool.Close)
 	ctx := &testCtx{worker: 0}
@@ -400,6 +415,9 @@ func TestModelRandomOps(t *testing.T) {
 // verifies correctness through eviction/reload cycles (out-of-memory
 // workloads, §1; dirty pages are written back by the provider).
 func TestOutOfMemoryEviction(t *testing.T) {
+	if sys.RaceEnabled {
+		t.Skip("needs the page provider, whose unswizzling races with seqlock-style optimistic reads by design (see sys.RaceEnabled)")
+	}
 	tree, ctx, pool := newTestTree(t, 64) // tiny pool: 1 MiB
 	const n = 8000
 	big := func(i int) []byte { // ~2.5 MiB total, 2.5x the pool

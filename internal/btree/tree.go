@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"runtime"
+	"sync"
 
 	"repro/internal/base"
 	"repro/internal/buffer"
@@ -23,7 +24,20 @@ type Ctx interface {
 	// Log appends rec (Tree/Page/Key/images filled in; GSN assigned by the
 	// log) while the caller holds the page's exclusive latch, and returns
 	// the record GSN. The tree stamps the page GSN and L_last afterwards.
+	// rec and its slices may alias page memory or the context arena; Log
+	// must consume them synchronously (clone what it retains) so the caller
+	// can reuse them immediately — see the wal.Partition.Append contract.
 	Log(f *buffer.Frame, rec *wal.Record) base.GSN
+	// Rec returns the context's reusable log record, Reset and ready to
+	// fill. The tree builds every record here instead of allocating, which
+	// is safe because Log consumes records synchronously and contexts are
+	// single-goroutine. The returned record is invalidated by the next Rec
+	// call.
+	Rec() *wal.Record
+	// Arena returns the context's per-transaction byte arena, used for
+	// copies that must outlive a page latch (undo images, resized values).
+	// Slices copied from it stay valid until the owning transaction ends.
+	Arena() *wal.Arena
 }
 
 // Errors returned by tree operations.
@@ -58,7 +72,8 @@ func Create(pool *buffer.Pool, ctx Ctx, id base.TreeID, metaPID base.PageID) *BT
 	root.Latch.UnlockExclusive()
 
 	buffer.SetUpper(meta.Data(), buffer.SwipFromFrame(rootIdx))
-	rec := &wal.Record{Type: wal.RecSetRoot, Txn: base.SystemTxn, Tree: id, Page: metaPID, Aux: uint64(rootPID)}
+	rec := ctx.Rec()
+	rec.Type, rec.Txn, rec.Tree, rec.Page, rec.Aux = wal.RecSetRoot, base.SystemTxn, id, metaPID, uint64(rootPID)
 	gsn := ctx.Log(meta, rec)
 	buffer.SetPageGSN(meta.Data(), gsn)
 	meta.SetLastLog(ctx.WorkerID())
@@ -80,10 +95,9 @@ func (t *BTree) MetaPID() base.PageID { return t.metaPID }
 // RecFormatPage and stamps the page. Caller holds the exclusive latch.
 func (t *BTree) logFormat(ctx Ctx, f *buffer.Frame) {
 	payload := serializeContent(f.Data(), t.deswizzle)
-	rec := &wal.Record{
-		Type: wal.RecFormatPage, Txn: base.SystemTxn,
-		Tree: t.ID, Page: f.PID(), Payload: payload,
-	}
+	rec := ctx.Rec()
+	rec.Type, rec.Txn = wal.RecFormatPage, base.SystemTxn
+	rec.Tree, rec.Page, rec.Payload = t.ID, f.PID(), payload
 	gsn := ctx.Log(f, rec)
 	buffer.SetPageGSN(f.Data(), gsn)
 	f.SetLastLog(ctx.WorkerID())
@@ -119,7 +133,10 @@ var errNeedFrame = errors.New("btree: need reserved frame")
 // the caller must validate after reading. Panics from torn optimistic reads
 // are converted into restarts. Frames for page loads are reserved only
 // while no latches are held (deadlock freedom against the page provider).
-func (t *BTree) findLeaf(ctx Ctx, key []byte, exclusive bool) descendResult {
+// needBound requests the separator upper bound in the result (a copy, so it
+// costs an allocation per inner level) — only the scan path uses it; point
+// operations pass false and descend allocation-free.
+func (t *BTree) findLeaf(ctx Ctx, key []byte, exclusive, needBound bool) descendResult {
 	reserved := int32(-1)
 	defer func() {
 		if reserved >= 0 {
@@ -127,7 +144,7 @@ func (t *BTree) findLeaf(ctx Ctx, key []byte, exclusive bool) descendResult {
 		}
 	}()
 	for {
-		res, err := t.tryDescend(ctx, key, exclusive, &reserved)
+		res, err := t.tryDescend(ctx, key, exclusive, needBound, &reserved)
 		if err == nil {
 			return res
 		}
@@ -139,7 +156,7 @@ func (t *BTree) findLeaf(ctx Ctx, key []byte, exclusive bool) descendResult {
 	}
 }
 
-func (t *BTree) tryDescend(ctx Ctx, key []byte, exclusive bool, reserved *int32) (res descendResult, err error) {
+func (t *BTree) tryDescend(ctx Ctx, key []byte, exclusive, needBound bool, reserved *int32) (res descendResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// Torn optimistic read produced wild offsets; restart.
@@ -217,13 +234,14 @@ func (t *BTree) tryDescend(ctx Ctx, key []byte, exclusive bool, reserved *int32)
 		if pos == slotCount(data) {
 			off = buffer.OffUpper
 		} else {
-			sep := slotKey(data, pos)
-			sepCopy := append([]byte(nil), sep...)
 			off = innerSlotSwipOff(data, pos)
-			if !child.Latch.Validate(cv) {
-				return res, errRestartTraversal
+			if needBound {
+				sepCopy := append([]byte(nil), slotKey(data, pos)...)
+				if !child.Latch.Validate(cv) {
+					return res, errRestartTraversal
+				}
+				bound = sepCopy
 			}
-			bound = sepCopy
 		}
 		if !child.Latch.Validate(cv) {
 			return res, errRestartTraversal
@@ -250,7 +268,7 @@ func (t *BTree) tryLookup(ctx Ctx, key []byte, dst []byte) (out []byte, err erro
 			out, err = nil, errRestartTraversal
 		}
 	}()
-	r := t.findLeaf(ctx, key, false)
+	r := t.findLeaf(ctx, key, false, false)
 	data := r.frame.Data()
 	pos, found := lowerBound(data, key)
 	if found {
@@ -265,50 +283,78 @@ func (t *BTree) tryLookup(ctx Ctx, key []byte, dst []byte) (out []byte, err erro
 	return out, nil
 }
 
+// scanScratch holds the reusable per-scan buffers for leaf collection. All
+// keys and values from one leaf are copied into the single flat buf;
+// keys/vals sub-slices are materialized only after the leaf validates, when
+// buf can no longer grow, so regrowth during collection cannot leave stale
+// views behind. Scratches are pooled so steady-state scans allocate only
+// when a leaf outgrows every buffer the pool has seen.
+type scanScratch struct {
+	cont  []byte
+	buf   []byte
+	offs  []int // stride 2 per entry: key start, val start
+	keys  [][]byte
+	vals  [][]byte
+	bound []byte // copied separator bound from findLeaf (nil = rightmost)
+}
+
+var scanPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
 // ScanAsc iterates ascending over all pairs with k >= start, invoking fn
 // until it returns false or the tree is exhausted. fn receives copies valid
 // only for the duration of the call.
 func (t *BTree) ScanAsc(ctx Ctx, start []byte, fn func(k, v []byte) bool) {
-	cont := append([]byte(nil), start...)
-	var keys, vals [][]byte
+	sc := scanPool.Get().(*scanScratch)
+	defer scanPool.Put(sc)
+	sc.cont = append(sc.cont[:0], start...)
 	for {
-		var bound []byte
-		ok := false
-		for !ok {
-			keys, vals, bound, ok = t.tryCollectLeaf(ctx, cont, keys[:0], vals[:0])
-			if !ok {
-				runtime.Gosched()
-			}
+		for !t.tryCollectLeaf(ctx, sc) {
+			runtime.Gosched()
 		}
-		for i := range keys {
-			if !fn(keys[i], vals[i]) {
+		for i := range sc.keys {
+			if !fn(sc.keys[i], sc.vals[i]) {
 				return
 			}
 		}
-		if bound == nil {
+		if sc.bound == nil {
 			return // rightmost leaf done
 		}
-		cont = append(bound, 0)
+		sc.cont = append(append(sc.cont[:0], sc.bound...), 0)
 	}
 }
 
-func (t *BTree) tryCollectLeaf(ctx Ctx, cont []byte, keys, vals [][]byte) (k, v [][]byte, bound []byte, ok bool) {
+func (t *BTree) tryCollectLeaf(ctx Ctx, sc *scanScratch) (ok bool) {
+	sc.buf, sc.offs = sc.buf[:0], sc.offs[:0]
+	sc.keys, sc.vals = sc.keys[:0], sc.vals[:0]
+	sc.bound = nil
 	defer func() {
 		if r := recover(); r != nil {
-			k, v, bound, ok = keys, vals, nil, false
+			ok = false
 		}
 	}()
-	res := t.findLeaf(ctx, cont, false)
+	res := t.findLeaf(ctx, sc.cont, false, true)
 	data := res.frame.Data()
-	pos, _ := lowerBound(data, cont)
+	pos, _ := lowerBound(data, sc.cont)
 	for ; pos < slotCount(data); pos++ {
-		keys = append(keys, append([]byte(nil), slotKey(data, pos)...))
-		vals = append(vals, append([]byte(nil), slotVal(data, pos)...))
+		sc.offs = append(sc.offs, len(sc.buf))
+		sc.buf = append(sc.buf, slotKey(data, pos)...)
+		sc.offs = append(sc.offs, len(sc.buf))
+		sc.buf = append(sc.buf, slotVal(data, pos)...)
 	}
 	if !res.frame.Latch.Validate(res.version) {
-		return keys, vals, nil, false
+		return false
 	}
-	return keys, vals, res.bound, true
+	for i := 0; i < len(sc.offs); i += 2 {
+		ks, vs := sc.offs[i], sc.offs[i+1]
+		ve := len(sc.buf)
+		if i+2 < len(sc.offs) {
+			ve = sc.offs[i+2]
+		}
+		sc.keys = append(sc.keys, sc.buf[ks:vs:vs])
+		sc.vals = append(sc.vals, sc.buf[vs:ve:ve])
+	}
+	sc.bound = res.bound
+	return true
 }
 
 // Count returns the number of entries (full scan; tests and tools).

@@ -21,7 +21,7 @@ func (t *BTree) Insert(ctx Ctx, key, val []byte) error {
 		return ErrTooLarge
 	}
 	for {
-		r := t.findLeaf(ctx, key, true)
+		r := t.findLeaf(ctx, key, true, false)
 		data := r.frame.Data()
 		pos, found := lowerBound(data, key)
 		if found {
@@ -33,7 +33,9 @@ func (t *BTree) Insert(ctx Ctx, key, val []byte) error {
 			t.splitForKey(ctx, key, len(key), len(val))
 			continue
 		}
-		rec := &wal.Record{Type: wal.RecInsert, Tree: t.ID, Page: r.frame.PID(), Key: key, After: val}
+		rec := ctx.Rec()
+		rec.Type, rec.Tree, rec.Page = wal.RecInsert, t.ID, r.frame.PID()
+		rec.Key, rec.After = key, val
 		t.logUserOp(ctx, r.frame, rec)
 		insertAt(data, pos, key, val)
 		r.frame.Latch.UnlockExclusive()
@@ -50,9 +52,8 @@ func (t *BTree) Update(ctx Ctx, key, val []byte) error {
 // descent. fn receives a copy it may modify and return (or return a new
 // slice); returning nil keeps the old value (no-op, nothing logged).
 func (t *BTree) UpdateFunc(ctx Ctx, key []byte, fn func(old []byte) []byte) error {
-	var scratch []byte
 	for {
-		r := t.findLeaf(ctx, key, true)
+		r := t.findLeaf(ctx, key, true, false)
 		data := r.frame.Data()
 		pos, found := lowerBound(data, key)
 		if !found {
@@ -60,7 +61,9 @@ func (t *BTree) UpdateFunc(ctx Ctx, key []byte, fn func(old []byte) []byte) erro
 			return ErrNotFound
 		}
 		old := slotVal(data, pos)
-		scratch = append(scratch[:0], old...)
+		// The mutable copy handed to fn comes from the context arena: it is
+		// reclaimed wholesale at transaction end instead of per call.
+		scratch := ctx.Arena().Copy(old)
 		val := fn(scratch)
 		if val == nil {
 			r.frame.Latch.UnlockExclusive()
@@ -71,18 +74,20 @@ func (t *BTree) UpdateFunc(ctx Ctx, key []byte, fn func(old []byte) []byte) erro
 			return ErrTooLarge
 		}
 		if len(val) == len(old) {
-			rec := &wal.Record{Type: wal.RecUpdate, Tree: t.ID, Page: r.frame.PID(), Key: key}
+			rec := ctx.Rec()
+			rec.Type, rec.Tree, rec.Page, rec.Key = wal.RecUpdate, t.ID, r.frame.PID(), key
 			fullImages := false
 			if fi, ok := ctx.(interface{ FullValueImages() bool }); ok {
 				fullImages = fi.FullValueImages()
 			}
 			var diffs []wal.Diff
 			if !fullImages {
-				diffs = wal.ComputeDiffs(old, val)
+				diffs = wal.ComputeDiffsInto(rec.Diffs[:0], old, val)
 			}
 			if diffs != nil {
 				rec.Diffs = diffs
 			} else {
+				rec.Diffs = rec.Diffs[:0]
 				rec.Before, rec.After = old, val
 			}
 			t.logUserOp(ctx, r.frame, rec)
@@ -91,7 +96,7 @@ func (t *BTree) UpdateFunc(ctx Ctx, key []byte, fn func(old []byte) []byte) erro
 			return nil
 		}
 		// Resize path: full images.
-		valCopy := append([]byte(nil), val...) // val may alias scratch/old
+		valCopy := ctx.Arena().Copy(val) // val may alias scratch/old
 		if !updateResize(data, pos, valCopy) {
 			r.frame.Latch.UnlockExclusive()
 			t.splitForKey(ctx, key, len(key), len(valCopy))
@@ -100,7 +105,9 @@ func (t *BTree) UpdateFunc(ctx Ctx, key []byte, fn func(old []byte) []byte) erro
 		// updateResize already changed the page; log with images captured
 		// before... capture order matters: re-fetch the new slot value is
 		// valCopy; old was copied into scratch above.
-		rec := &wal.Record{Type: wal.RecUpdate, Tree: t.ID, Page: r.frame.PID(), Key: key, Before: scratch, After: valCopy}
+		rec := ctx.Rec()
+		rec.Type, rec.Tree, rec.Page = wal.RecUpdate, t.ID, r.frame.PID()
+		rec.Key, rec.Before, rec.After = key, scratch, valCopy
 		t.logUserOp(ctx, r.frame, rec)
 		r.frame.Latch.UnlockExclusive()
 		return nil
@@ -110,14 +117,16 @@ func (t *BTree) UpdateFunc(ctx Ctx, key []byte, fn func(old []byte) []byte) erro
 // Remove deletes key; ErrNotFound if absent. Emptied leaves are unlinked
 // and freed (a logged system transaction).
 func (t *BTree) Remove(ctx Ctx, key []byte) error {
-	r := t.findLeaf(ctx, key, true)
+	r := t.findLeaf(ctx, key, true, false)
 	data := r.frame.Data()
 	pos, found := lowerBound(data, key)
 	if !found {
 		r.frame.Latch.UnlockExclusive()
 		return ErrNotFound
 	}
-	rec := &wal.Record{Type: wal.RecDelete, Tree: t.ID, Page: r.frame.PID(), Key: key, Before: slotVal(data, pos)}
+	rec := ctx.Rec()
+	rec.Type, rec.Tree, rec.Page = wal.RecDelete, t.ID, r.frame.PID()
+	rec.Key, rec.Before = key, slotVal(data, pos)
 	t.logUserOp(ctx, r.frame, rec)
 	removeAt(data, pos)
 	emptied := slotCount(data) == 0 && r.frame.Parent() != t.metaIdx
@@ -222,7 +231,9 @@ func (t *BTree) splitNode(ctx Ctx, parentIdx int32, parent *buffer.Frame, childI
 		t.logFormat(ctx, child)
 		t.logFormat(ctx, right)
 		t.logFormat(ctx, newRoot)
-		rec := &wal.Record{Type: wal.RecSetRoot, Txn: base.SystemTxn, Tree: t.ID, Page: t.metaPID, Aux: uint64(newRoot.PID())}
+		rec := ctx.Rec()
+		rec.Type, rec.Txn, rec.Tree = wal.RecSetRoot, base.SystemTxn, t.ID
+		rec.Page, rec.Aux = t.metaPID, uint64(newRoot.PID())
 		gsn := ctx.Log(parent, rec)
 		buffer.SetPageGSN(parent.Data(), gsn)
 		parent.SetLastLog(ctx.WorkerID())
@@ -242,10 +253,9 @@ func (t *BTree) splitNode(ctx Ctx, parentIdx int32, parent *buffer.Frame, childI
 
 	t.logFormat(ctx, child)
 	t.logFormat(ctx, right)
-	rec := &wal.Record{
-		Type: wal.RecInnerInsert, Txn: base.SystemTxn, Tree: t.ID, Page: parent.PID(),
-		Key: sep, Aux: uint64(child.PID()), After: encodePID(right.PID()),
-	}
+	rec := ctx.Rec()
+	rec.Type, rec.Txn, rec.Tree, rec.Page = wal.RecInnerInsert, base.SystemTxn, t.ID, parent.PID()
+	rec.Key, rec.Aux, rec.After = sep, uint64(child.PID()), encodePID(right.PID())
 	gsn := ctx.Log(parent, rec)
 	buffer.SetPageGSN(parent.Data(), gsn)
 	parent.SetLastLog(ctx.WorkerID())
@@ -309,11 +319,11 @@ restart:
 		if pos < slotCount(pdata) {
 			// Routed through slot pos: drop the separator; keys in its
 			// range now route right (the freed leaf was empty, so search
-			// stays consistent).
-			rec := &wal.Record{
-				Type: wal.RecInnerRemove, Txn: base.SystemTxn, Tree: t.ID, Page: parent.PID(),
-				Key: append([]byte(nil), slotKey(pdata, pos)...), Aux: 0,
-			}
+			// stays consistent). The key may alias pdata: Log encodes
+			// synchronously, before removeAt mutates the page.
+			rec := ctx.Rec()
+			rec.Type, rec.Txn, rec.Tree, rec.Page = wal.RecInnerRemove, base.SystemTxn, t.ID, parent.PID()
+			rec.Key, rec.Aux = slotKey(pdata, pos), 0
 			gsn := ctx.Log(parent, rec)
 			buffer.SetPageGSN(pdata, gsn)
 			parent.SetLastLog(ctx.WorkerID())
@@ -327,12 +337,10 @@ restart:
 				parent.Latch.UnlockExclusive()
 				return
 			}
-			lastSep := append([]byte(nil), slotKey(pdata, n-1)...)
 			lastSwip := buffer.GetSwip(pdata, innerSlotSwipOff(pdata, n-1))
-			rec := &wal.Record{
-				Type: wal.RecInnerRemove, Txn: base.SystemTxn, Tree: t.ID, Page: parent.PID(),
-				Key: lastSep, Aux: 1,
-			}
+			rec := ctx.Rec()
+			rec.Type, rec.Txn, rec.Tree, rec.Page = wal.RecInnerRemove, base.SystemTxn, t.ID, parent.PID()
+			rec.Key, rec.Aux = slotKey(pdata, n-1), 1
 			gsn := ctx.Log(parent, rec)
 			buffer.SetPageGSN(pdata, gsn)
 			parent.SetLastLog(ctx.WorkerID())
@@ -359,7 +367,7 @@ func (t *BTree) UndoOp(ctx Ctx, recType wal.RecType, key, before []byte, diffs [
 			panic(err)
 		}
 	case wal.RecUpdate:
-		if diffs != nil {
+		if len(diffs) > 0 {
 			_ = t.UpdateFunc(ctx, key, func(old []byte) []byte {
 				wal.RevertDiffs(old, diffs)
 				return old

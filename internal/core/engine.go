@@ -497,7 +497,9 @@ func (e *Engine) openCatalog(masterPID base.PageID, masterTree base.TreeID) erro
 // keeps a local GSN clock and never logs... reads never log; recovery undo
 // uses noLogCtx below.
 type readCtx struct {
-	gsn base.GSN
+	gsn   base.GSN
+	rec   wal.Record
+	arena wal.Arena
 }
 
 func (c *readCtx) WorkerID() int32 { return 0 }
@@ -509,13 +511,20 @@ func (c *readCtx) OnPageAccess(_ *buffer.Frame, gsn base.GSN) {
 func (c *readCtx) Log(f *buffer.Frame, rec *wal.Record) base.GSN {
 	panic("core: readCtx cannot log")
 }
+func (c *readCtx) Rec() *wal.Record {
+	c.rec.Reset()
+	return &c.rec
+}
+func (c *readCtx) Arena() *wal.Arena { return &c.arena }
 
 // noLogCtx performs recovery-undo modifications: page GSNs advance (so
 // dirtiness tracking and the final checkpoint work) but nothing is logged —
 // recovery undo is made idempotent by the logical operations themselves, so
 // a crash during undo simply reruns it (§3.7 note in DESIGN.md).
 type noLogCtx struct {
-	gsn base.GSN
+	gsn   base.GSN
+	rec   wal.Record
+	arena wal.Arena
 }
 
 func (c *noLogCtx) WorkerID() int32 { return 0 }
@@ -533,6 +542,11 @@ func (c *noLogCtx) Log(f *buffer.Frame, rec *wal.Record) base.GSN {
 	rec.GSN = c.gsn
 	return c.gsn
 }
+func (c *noLogCtx) Rec() *wal.Record {
+	c.rec.Reset()
+	return &c.rec
+}
+func (c *noLogCtx) Arena() *wal.Arena { return &c.arena }
 
 // runRecoveryUndo reverts every loser transaction logically (§3.7 phase 3)
 // and logs an end-of-transaction record for each, so that a later recovery

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // Fig8Row is one cell of the Figure 8 scalability plot.
@@ -91,12 +92,19 @@ type Table1Row struct {
 	Component string
 	TPS       float64
 	USPerTxn  float64 // CPU-cost proxy standing in for instructions/txn
+	// AllocsPerTxn and GCUSPerTxn separate allocator/collector work out of
+	// the CPU-cost proxy: µs/txn for a config that allocates per operation
+	// mixes engine cost with GC cost, which would distort the Table 1 ratios
+	// (see DESIGN.md §1, "GC pressure and measurement fidelity").
+	AllocsPerTxn float64 // heap objects allocated per committed txn (whole process)
+	GCUSPerTxn   float64 // stop-the-world GC pause µs per committed txn
 }
 
 // Table1 reproduces Table 1: enabling the logging components step by step
 // (no logging → +create records → +staging → +remote flushes → +RFA →
 // +checkpointing). The paper reports instructions/txn; we report µs/txn as
-// the in-process cost proxy (see DESIGN.md substitutions).
+// the in-process cost proxy (see DESIGN.md substitutions), with allocs/txn
+// and GC pause µs/txn broken out so collector work is visible separately.
 func Table1(w io.Writer, sc Scale, threads int) ([]Table1Row, error) {
 	section(w, "Table 1: component dissection (TPC-C)")
 	type cfgRow struct {
@@ -119,22 +127,29 @@ func Table1(w io.Writer, sc Scale, threads int) ([]Table1Row, error) {
 		{"5 +RFA", core.ModeOurs, func(c *core.Config) { c.CheckpointDisabled = true }},
 		{"6 +checkpointing", core.ModeOurs, nil},
 	}
-	fmt.Fprintf(w, "%-24s %-10s %-10s\n", "component", "txn/s", "µs/txn")
+	fmt.Fprintf(w, "%-24s %-10s %-10s %-12s %-10s\n",
+		"component", "txn/s", "µs/txn", "allocs/txn", "gc-µs/txn")
 	var rows []Table1Row
 	for _, c := range cfgs {
 		b, err := NewTPCCBench(sc, c.mode, threads, sc.PoolPages, c.over)
 		if err != nil {
 			return nil, err
 		}
+		var probe metrics.AllocProbe
+		probe.Start()
 		tps, committed := b.RunTPCCWorkers(threads, sc.Duration)
+		alloc := probe.Stop()
 		b.Close()
-		us := 0.0
+		us, allocs, gcUS := 0.0, 0.0, 0.0
 		if committed > 0 {
 			// µs of wall-clock worker time per txn across all threads.
 			us = float64(threads) * sc.Duration.Seconds() * 1e6 / float64(committed)
+			allocs = float64(alloc.Mallocs) / float64(committed)
+			gcUS = float64(alloc.PauseNs) / 1e3 / float64(committed)
 		}
-		rows = append(rows, Table1Row{c.name, tps, us})
-		fmt.Fprintf(w, "%-24s %-10s %-10.1f\n", c.name, fmtRate(tps), us)
+		rows = append(rows, Table1Row{c.name, tps, us, allocs, gcUS})
+		fmt.Fprintf(w, "%-24s %-10s %-10.1f %-12.2f %-10.3f\n",
+			c.name, fmtRate(tps), us, allocs, gcUS)
 	}
 	return rows, nil
 }

@@ -1,0 +1,42 @@
+package metrics
+
+import "runtime"
+
+// AllocStats summarizes heap allocation and GC activity over one
+// measurement window. The numbers come from runtime.ReadMemStats deltas and
+// therefore cover the whole process — workers, group committer, page
+// provider — which is exactly the GC pressure a throughput number hides
+// (§4.2: Table 1's instructions/txn would silently absorb allocator and
+// collector work).
+type AllocStats struct {
+	Mallocs   uint64 // heap objects allocated in the window
+	Bytes     uint64 // heap bytes allocated in the window
+	NumGC     uint32 // completed GC cycles in the window
+	PauseNs   uint64 // total stop-the-world pause in the window
+	GCCPUFrac float64 // cumulative process-lifetime GC CPU fraction at Stop
+}
+
+// AllocProbe captures ReadMemStats at Start and reports the delta at Stop.
+// ReadMemStats stops the world briefly, so call it only at window
+// boundaries, never inside the measured loop.
+type AllocProbe struct {
+	start runtime.MemStats
+}
+
+// Start records the baseline.
+func (p *AllocProbe) Start() {
+	runtime.ReadMemStats(&p.start)
+}
+
+// Stop returns the deltas since Start.
+func (p *AllocProbe) Stop() AllocStats {
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	return AllocStats{
+		Mallocs:   end.Mallocs - p.start.Mallocs,
+		Bytes:     end.TotalAlloc - p.start.TotalAlloc,
+		NumGC:     end.NumGC - p.start.NumGC,
+		PauseNs:   end.PauseTotalNs - p.start.PauseTotalNs,
+		GCCPUFrac: end.GCCPUFraction,
+	}
+}

@@ -25,6 +25,12 @@ import (
 type Manager struct {
 	wal *wal.Manager
 
+	// recs holds one reusable value record per worker: Append is owner-only
+	// per partition (the txn layer pins sessions to workers), and the wal
+	// encodes synchronously, so the translated record can be reused across
+	// appends without allocation.
+	recs []wal.Record
+
 	// Full-database checkpoint state.
 	mu            sync.Mutex
 	checkpointing bool
@@ -36,7 +42,7 @@ type Manager struct {
 // New wraps a wal.Manager configured with PersistDRAM and GroupCommit
 // (the epoch committer); the group-commit interval is the epoch length.
 func New(w *wal.Manager) *Manager {
-	return &Manager{wal: w}
+	return &Manager{wal: w, recs: make([]wal.Record, w.NumPartitions())}
 }
 
 // NumPartitions delegates to the underlying per-worker logs.
@@ -58,11 +64,17 @@ func (m *Manager) Append(worker int, rec *wal.Record, proposal base.GSN) base.GS
 		// Value logging stores the full new value (largest-txnID-wins at
 		// recovery requires self-contained records); the tree layer is told
 		// to skip diff compression for this backend (FullValueImages).
-		vrec := &wal.Record{Type: wal.RecValue, Txn: rec.Txn, Tree: rec.Tree, Key: rec.Key, After: rec.After}
+		vrec := &m.recs[worker]
+		vrec.Reset()
+		vrec.Type, vrec.Txn, vrec.Tree = wal.RecValue, rec.Txn, rec.Tree
+		vrec.Key, vrec.After = rec.Key, rec.After
 		m.valueRecords.Add(1)
 		return m.wal.Append(worker, vrec, proposal)
 	case wal.RecDelete:
-		vrec := &wal.Record{Type: wal.RecValue, Txn: rec.Txn, Tree: rec.Tree, Key: rec.Key, Aux: 1 /* tombstone */}
+		vrec := &m.recs[worker]
+		vrec.Reset()
+		vrec.Type, vrec.Txn, vrec.Tree = wal.RecValue, rec.Txn, rec.Tree
+		vrec.Key, vrec.Aux = rec.Key, 1 /* tombstone */
 		m.valueRecords.Add(1)
 		return m.wal.Append(worker, vrec, proposal)
 	default:

@@ -7,6 +7,7 @@ package txn
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -78,7 +79,11 @@ type Config struct {
 type Manager struct {
 	cfg       Config
 	nextTxnID atomic.Uint64
-	sessions  []*Session
+	// sessions is copy-on-write: NewSession swaps in a fresh slice under
+	// sessionsMu so MinActiveTxGSN (checkpointer goroutine) can iterate
+	// lock-free while workers are still being set up.
+	sessions   atomic.Pointer[[]*Session]
+	sessionsMu sync.Mutex
 
 	starts  atomic.Uint64
 	commits atomic.Uint64
@@ -115,8 +120,15 @@ func (m *Manager) NewSession(worker int) *Session {
 		panic(fmt.Sprintf("txn: worker %d out of range", worker))
 	}
 	s := &Session{mgr: m, worker: int32(worker)}
+	s.onDurable = func() { m.durable.Add(1) }
 	s.activeGSN.Store(inactiveGSN)
-	m.sessions = append(m.sessions, s)
+	m.sessionsMu.Lock()
+	list := []*Session{s}
+	if old := m.sessions.Load(); old != nil {
+		list = append(append([]*Session(nil), *old...), s)
+	}
+	m.sessions.Store(&list)
+	m.sessionsMu.Unlock()
 	return s
 }
 
@@ -125,7 +137,11 @@ func (m *Manager) NewSession(worker int) *Session {
 // needed for undo, bounding log truncation (Figure 4).
 func (m *Manager) MinActiveTxGSN() base.GSN {
 	min := base.GSN(inactiveGSN)
-	for _, s := range m.sessions {
+	list := m.sessions.Load()
+	if list == nil {
+		return min
+	}
+	for _, s := range *list {
 		if g := base.GSN(s.activeGSN.Load()); g < min {
 			min = g
 		}
@@ -192,6 +208,15 @@ type Session struct {
 	syncCommit   bool     // force synchronous commits (latency measurements)
 	undo         []undoEntry
 
+	// rec and arena back the zero-allocation hot path: the tree fills rec
+	// through Rec() for every operation and clones undo images into arena,
+	// both reused across transactions (sessions are single-goroutine). The
+	// onDurable callback is likewise built once so async commits do not
+	// allocate a fresh closure per transaction.
+	rec       wal.Record
+	arena     wal.Arena
+	onDurable func()
+
 	activeGSN atomic.Uint64 // published firstGSN for MinActiveTxGSN
 }
 
@@ -199,6 +224,19 @@ var _ btree.Ctx = (*Session)(nil)
 
 // WorkerID implements btree.Ctx.
 func (s *Session) WorkerID() int32 { return s.worker }
+
+// Rec implements btree.Ctx: the session's reusable log record. Safe because
+// Backend.Append consumes records synchronously (the Partition.Append
+// aliasing contract) and a session runs one operation at a time.
+func (s *Session) Rec() *wal.Record {
+	s.rec.Reset()
+	return &s.rec
+}
+
+// Arena implements btree.Ctx: the per-transaction byte arena. It is rewound
+// at Begin, so slices taken from it (undo images, update scratch values)
+// live exactly as long as the transaction that took them.
+func (s *Session) Arena() *wal.Arena { return &s.arena }
 
 // Begin starts a transaction: it takes ownership of the worker's log
 // partition, samples GSNflushed, and clears the RFA flag (§3.2 steps 2-3).
@@ -215,6 +253,7 @@ func (s *Session) Begin() {
 	s.needsRemote = false
 	s.firstGSN = 0
 	s.undo = s.undo[:0]
+	s.arena.Reset()
 	s.active = true
 	s.mgr.starts.Add(1)
 }
@@ -256,13 +295,29 @@ func (s *Session) Log(f *buffer.Frame, rec *wal.Record) base.GSN {
 		}
 		rec.Txn = s.txnID
 		if !s.inUndo {
-			s.undo = append(s.undo, undoEntry{
-				tree:   rec.Tree,
-				typ:    rec.Type,
-				key:    append([]byte(nil), rec.Key...),
-				before: append([]byte(nil), rec.Before...),
-				diffs:  cloneDiffs(rec.Diffs),
-			})
+			// Clone undo info into the transaction arena before Append (the
+			// backend may strip before-images from rec, and the btree mutates
+			// the page — which rec's slices alias — right after Log returns).
+			// Undo-entry slots are reused across transactions so their diffs
+			// slices reach steady-state capacity.
+			n := len(s.undo)
+			if cap(s.undo) > n {
+				s.undo = s.undo[:n+1]
+			} else {
+				s.undo = append(s.undo, undoEntry{})
+			}
+			e := &s.undo[n]
+			e.tree, e.typ = rec.Tree, rec.Type
+			e.key = s.arena.Copy(rec.Key)
+			e.before = s.arena.Copy(rec.Before)
+			e.diffs = e.diffs[:0]
+			for _, d := range rec.Diffs {
+				e.diffs = append(e.diffs, wal.Diff{
+					Off:    d.Off,
+					Before: s.arena.Copy(d.Before),
+					After:  s.arena.Copy(d.After),
+				})
+			}
 		}
 	}
 
@@ -278,21 +333,6 @@ func (s *Session) Log(f *buffer.Frame, rec *wal.Record) base.GSN {
 		s.activeGSN.Store(uint64(gsn))
 	}
 	return gsn
-}
-
-func cloneDiffs(diffs []wal.Diff) []wal.Diff {
-	if len(diffs) == 0 {
-		return nil
-	}
-	out := make([]wal.Diff, len(diffs))
-	for i, d := range diffs {
-		out[i] = wal.Diff{
-			Off:    d.Off,
-			Before: append([]byte(nil), d.Before...),
-			After:  append([]byte(nil), d.After...),
-		}
-	}
-	return out
 }
 
 // Commit makes the transaction durable under the configured protocol and
@@ -316,9 +356,8 @@ func (s *Session) Commit() {
 		s.mgr.rfaFlushes.Add(1)
 	}
 	if s.mgr.cfg.AsyncCommit && !s.syncCommit {
-		mgr := s.mgr
 		s.gsn = s.mgr.cfg.Backend.CommitTxnAsync(int(s.worker), s.txnID, s.gsn, rfaSafe,
-			func() { mgr.durable.Add(1) })
+			s.onDurable)
 	} else {
 		s.gsn = s.mgr.cfg.Backend.CommitTxn(int(s.worker), s.txnID, s.gsn, rfaSafe)
 		s.mgr.durable.Add(1)

@@ -1,0 +1,143 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/base"
+)
+
+// TestAppendAliasingContract pins the Append aliasing contract the
+// zero-allocation hot path depends on: one Record and one Arena are reused
+// across every append, and the arena-backed slices are overwritten as soon
+// as Append returns. If Append retained any reference instead of encoding
+// synchronously into its scratch buffer, the durable log would see the
+// mutated bytes.
+func TestAppendAliasingContract(t *testing.T) {
+	cfg, pm, ssd := testConfig(1)
+	m := NewManager(cfg)
+	m.AcquireOwnership(0)
+
+	const n = 64
+	var rec Record
+	var arena Arena
+	var gsn base.GSN
+	wantKeys := make([][]byte, 0, n)
+	wantVals := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		arena.Reset()
+		rec.Reset()
+		key := arena.Copy([]byte(fmt.Sprintf("key-%04d", i)))
+		val := arena.Copy([]byte(fmt.Sprintf("value-%04d", i)))
+		wantKeys = append(wantKeys, append([]byte(nil), key...))
+		wantVals = append(wantVals, append([]byte(nil), val...))
+		rec.Type, rec.Txn, rec.Tree, rec.Page = RecInsert, 7, 3, base.PageID(i+1)
+		rec.Key, rec.After = key, val
+		gsn = m.Append(0, &rec, gsn)
+		// Contract: rec and its buffers are dead once Append returns.
+		// Clobber everything the record referenced.
+		for j := range key {
+			key[j] = 0xEE
+		}
+		for j := range val {
+			val[j] = 0xEE
+		}
+		rec.Key, rec.After = nil, nil
+	}
+	m.CommitTxn(0, 7, gsn, true)
+	m.ReleaseOwnership(0)
+	m.Close(true)
+
+	pm.Crash(1)
+	ssd.Crash()
+	parts, _ := ReadLog(ssd, pm)
+	got := 0
+	for _, r := range parts[0] {
+		if r.Type != RecInsert {
+			continue
+		}
+		if got >= n {
+			t.Fatalf("more insert records than appended: %d", got+1)
+		}
+		if !bytes.Equal(r.Key, wantKeys[got]) || !bytes.Equal(r.After, wantVals[got]) {
+			t.Fatalf("record %d corrupted by post-Append mutation: key=%q val=%q",
+				got, r.Key, r.After)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("want %d insert records, got %d", n, got)
+	}
+}
+
+// TestSegmentSeqResumesAcrossMixedSegments seeds the SSD with live and
+// archived segment files from earlier engine generations (plus non-segment
+// decoys) and checks that new staging continues strictly after the highest
+// existing number — media recovery replays archived segments of all
+// generations in name order, so a restarted engine must never reuse one.
+func TestSegmentSeqResumesAcrossMixedSegments(t *testing.T) {
+	cfg, _, ssd := testConfig(1)
+	seeded := map[int]bool{2: true, 5: true}
+	for _, name := range []string{
+		"wal/p000/seg00000002",                 // live, older generation
+		"wal/p000/seg00000005",                 // live, older generation
+		ArchivePrefix + "wal/p000/seg00000009", // archived — holds the maximum
+		"wal/p000/segBOGUS",                    // must not parse
+		"wal/p000/marker",                      // unrelated file
+		"wal/p001/seg00000042",                 // other partition — ignored
+	} {
+		f := ssd.Open(name)
+		f.WriteAt([]byte{0}, 0)
+		f.Sync()
+	}
+
+	m := NewManager(cfg)
+	gsn := appendN(t, m, 0, 500, 3)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 3, gsn, true)
+	m.ReleaseOwnership(0)
+	waitFor(t, func() bool { return m.Stats().StagedBytes > 0 }, "staging")
+	m.Close(true)
+
+	fresh := 0
+	for _, name := range ssd.List("wal/p000/") {
+		n, ok := parseSegSuffix(name, "wal/p000/")
+		if !ok || seeded[n] {
+			continue
+		}
+		if n <= 9 {
+			t.Fatalf("new segment %q reuses a number at or below the archived maximum 9", name)
+		}
+		fresh++
+	}
+	if fresh == 0 {
+		t.Fatal("staging produced no new segment to check")
+	}
+}
+
+// TestParseSegName covers the non-allocating replacement of the fmt.Sscanf
+// scan in ReadLog.
+func TestParseSegName(t *testing.T) {
+	cases := []struct {
+		name        string
+		part, segNo int
+		ok          bool
+	}{
+		{"wal/p000/seg00000001", 0, 1, true},
+		{"wal/p017/seg00012345", 17, 12345, true},
+		{"wal/p1/seg2", 1, 2, true},
+		{"wal/p000/segBOGUS", 0, 0, false},
+		{"wal/p000/seg", 0, 0, false},
+		{"wal/pX/seg1", 0, 0, false},
+		{"wal/p000/seg1/extra", 0, 0, false},
+		{"other/p000/seg1", 0, 0, false},
+	}
+	for _, c := range cases {
+		part, segNo, ok := parseSegName(c.name)
+		if ok != c.ok || part != c.part || segNo != c.segNo {
+			t.Errorf("parseSegName(%q) = (%d, %d, %v), want (%d, %d, %v)",
+				c.name, part, segNo, ok, c.part, c.segNo, c.ok)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package wal
+
+// Arena is a growable byte arena for the zero-allocation transaction hot
+// path: callers copy transient byte slices (keys, before-images, diff
+// regions) into it and slice the copies out. The arena is owned by a single
+// goroutine (a session pinned to a worker, §3.1) and reused across
+// transactions — Reset at transaction begin rewinds it without releasing
+// the backing array, so steady state performs no heap allocations.
+//
+// Slices returned by Copy stay valid after later Copy calls even when the
+// backing array grows: Go's append copies into a fresh array and the old
+// one remains alive while the returned slices reference it. The contents
+// of a returned slice are never touched again by the arena; callers may
+// mutate them in place (e.g. the UpdateFunc scratch value).
+type Arena struct {
+	buf []byte
+}
+
+// Reset rewinds the arena, invalidating all slices handed out since the
+// last Reset. Capacity is retained.
+func (a *Arena) Reset() { a.buf = a.buf[:0] }
+
+// Copy appends b to the arena and returns the stored copy. A nil or empty
+// input returns nil (preserving the nil-ness conventions of undo images:
+// nil Before means "nothing to restore"). b may itself alias the arena.
+func (a *Arena) Copy(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	n := len(a.buf)
+	a.buf = append(a.buf, b...)
+	return a.buf[n : n+len(b) : n+len(b)]
+}
+
+// Len returns the number of bytes currently stored (tests, stats).
+func (a *Arena) Len() int { return len(a.buf) }

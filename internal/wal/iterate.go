@@ -2,7 +2,6 @@ package wal
 
 import (
 	"encoding/binary"
-	"fmt"
 	"sort"
 	"strings"
 
@@ -20,7 +19,10 @@ import (
 // takes precedence (§3.8). Records are returned in append order; the scan of
 // each chunk stops at the first torn or invalid record (popcount checksum),
 // so a valid commit record implies the whole same-log prefix before it is
-// intact. All returned records are deep copies.
+// intact. Returned records alias the source buffers (persistent-memory
+// regions and segment read buffers); those buffers stay alive exactly as
+// long as the records reference them, so callers may hold the records
+// freely but must not expect them to survive explicit device reuse.
 func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GSN) {
 	parts = make(map[int][]Record)
 
@@ -54,8 +56,8 @@ func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GS
 	}
 	blocksByPart := make(map[int][]block)
 	for _, name := range ssd.List("wal/p") {
-		var part, segNo int
-		if _, err := fmt.Sscanf(name, "wal/p%03d/seg%08d", &part, &segNo); err != nil {
+		part, _, ok := parseSegName(name)
+		if !ok {
 			continue
 		}
 		f := ssd.Open(name)
@@ -149,10 +151,44 @@ func appendChunkRecords(dst []Record, data []byte, ctx *codecContext) []Record {
 		if err != nil {
 			break // torn tail / end of valid records in this chunk
 		}
-		dst = append(dst, CloneRecord(&rec))
+		// The decoded record's slices alias data (a pmem region or a segment
+		// read buffer); both stay reachable through these slices for as long
+		// as the records live, so no deep copy is needed. Compressed fields
+		// are the exception — decode already materialises those.
+		dst = append(dst, rec)
 		pos += n
 	}
 	return dst
+}
+
+// parseSegName parses a stage-2 segment file name of the form
+// "wal/pNNN/segNNNNNNNN" without allocating (fmt.Sscanf costs several
+// allocations per call, which matters when recovery scans thousands of
+// segments).
+func parseSegName(name string) (part, segNo int, ok bool) {
+	const pfx = "wal/p"
+	if !strings.HasPrefix(name, pfx) {
+		return 0, 0, false
+	}
+	rest := name[len(pfx):]
+	part, rest, ok = parseDigits(rest)
+	if !ok || !strings.HasPrefix(rest, "/seg") {
+		return 0, 0, false
+	}
+	segNo, rest, ok = parseDigits(rest[len("/seg"):])
+	if !ok || rest != "" {
+		return 0, 0, false
+	}
+	return part, segNo, true
+}
+
+func parseDigits(s string) (n int, rest string, ok bool) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		n = n*10 + int(s[i]-'0')
+		i++
+	}
+	return n, s[i:], i > 0
 }
 
 // pmRegions lists the device's regions. (Small accessor kept here so the

@@ -404,6 +404,7 @@ type Stats struct {
 	SealStalls      uint64
 	CommitsRFA      uint64
 	CommitsFull     uint64
+	ScratchRegrows  uint64
 }
 
 // Stats returns aggregated log statistics.
@@ -415,6 +416,7 @@ func (m *Manager) Stats() Stats {
 		s.StagedBytes += p.stagedBytes.Load()
 		s.PrunedBytes += p.prunedBytes.Load()
 		s.SealStalls += p.sealStalls.Load()
+		s.ScratchRegrows += p.scratchRegrows.Load()
 	}
 	s.ArchivedBytes = m.archived.Load()
 	s.CommitsRFA = m.commitsRFA.Load()

@@ -75,6 +75,7 @@ type Partition struct {
 	sealStalls      atomic.Uint64 // times the owner waited for a free chunk
 	stagedBytes     atomic.Uint64
 	prunedBytes     atomic.Uint64
+	scratchRegrows  atomic.Uint64 // encode-scratch reallocations (steady state: 0)
 }
 
 type segmentInfo struct {
@@ -96,18 +97,39 @@ func (p *Partition) segName(n int) string {
 // generations in name order.
 func (p *Partition) initSegSeq() {
 	max := 0
-	scan := func(prefix, format string) {
+	scan := func(prefix string) {
 		for _, name := range p.mgr.cfg.SSD.List(prefix) {
-			var n int
-			if _, err := fmt.Sscanf(name, format, &n); err == nil && n > max {
+			if n, ok := parseSegSuffix(name, prefix); ok && n > max {
 				max = n
 			}
 		}
 	}
 	dir := fmt.Sprintf("wal/p%03d/", p.ID)
-	scan(dir, dir+"seg%08d")
-	scan("archive/"+dir, "archive/"+dir+"seg%08d")
+	scan(dir)
+	scan(ArchivePrefix + dir)
 	p.segSeq = max
+}
+
+// parseSegSuffix parses "<prefix>segNNNNNNNN" without fmt's reflection and
+// allocation machinery (fmt.Sscanf allocates per call, which matters when a
+// restart scans thousands of archived segments).
+func parseSegSuffix(name, prefix string) (int, bool) {
+	if len(name) < len(prefix)+3 || name[:len(prefix)] != prefix || name[len(prefix):len(prefix)+3] != "seg" {
+		return 0, false
+	}
+	digits := name[len(prefix)+3:]
+	if len(digits) == 0 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
 
 // initChunks allocates the circular chunk list and installs the first
@@ -129,6 +151,14 @@ func (p *Partition) initChunks(n, size int) {
 // proposal carries max(txnGSN, pageGSN), and the +1 over the log's own last
 // GSN keeps per-log GSNs strictly increasing). It returns the assigned GSN.
 // Owner-only.
+//
+// Aliasing contract: rec and every byte slice it references (Key, Before,
+// After, Diffs, Payload) are read only during the synchronous encode into
+// p.scratch and are dead once Append returns. Callers may therefore pass
+// slices that alias latched page memory or a per-session arena, and may
+// reuse or mutate rec and its buffers immediately afterwards — this is what
+// makes the zero-allocation hot path sound. Nothing in the log retains a
+// reference to the record.
 func (p *Partition) Append(rec *Record, proposal base.GSN) base.GSN {
 	gsn := proposal
 	if last := base.GSN(p.lastGSN.Load()); last > gsn {
@@ -141,7 +171,14 @@ func (p *Partition) Append(rec *Record, proposal base.GSN) base.GSN {
 	rec.GSN = gsn
 
 	if need := EncodedSize(rec); need > cap(p.scratch) {
-		p.scratch = make([]byte, need+256)
+		// Grow geometrically (×2, min need): additive growth re-allocates on
+		// every small size increase under ramping record sizes.
+		newCap := 2 * cap(p.scratch)
+		if newCap < need {
+			newCap = need
+		}
+		p.scratch = make([]byte, newCap)
+		p.scratchRegrows.Add(1)
 	}
 	n := encode(p.scratch[:cap(p.scratch)], rec, &p.encCtx, p.mgr.cfg.Compression)
 

@@ -113,6 +113,15 @@ type Record struct {
 	Payload []byte
 }
 
+// Reset clears the record for reuse, retaining the Diffs slice capacity so
+// a per-session record reaches steady state without reallocating. All byte
+// slices are dropped (they typically alias page memory or a caller arena
+// and are dead once the append's synchronous encode returned).
+func (r *Record) Reset() {
+	diffs := r.Diffs[:0]
+	*r = Record{Diffs: diffs}
+}
+
 // Record wire format. All integers little-endian.
 //
 //	u32  size       total encoded size including this field
@@ -150,6 +159,12 @@ type codecContext struct {
 	lastPage base.PageID
 	lastTxn  base.TxnID
 	hasTxn   bool
+	// diffs is a decode-side arena: decoded records slice their Diffs out of
+	// it instead of allocating per record, amortising allocation across a
+	// chunk scan (the recovery replay loop). It grows monotonically; reset
+	// drops it entirely, so records decoded before a reset keep referencing
+	// the old backing array and are never overwritten.
+	diffs []Diff
 }
 
 func (c *codecContext) reset() { *c = codecContext{} }
@@ -334,7 +349,7 @@ func decode(buf []byte, ctx *codecContext) (Record, int, error) {
 	}
 	pos += afterLen
 	if nDiffs > 0 {
-		rec.Diffs = make([]Diff, 0, nDiffs)
+		start := len(ctx.diffs)
 		for i := 0; i < nDiffs; i++ {
 			if pos+4 > size {
 				return bad()
@@ -359,8 +374,10 @@ func decode(buf []byte, ctx *codecContext) (Record, int, error) {
 				d.After = buf[pos : pos+dlen]
 				pos += dlen
 			}
-			rec.Diffs = append(rec.Diffs, d)
+			ctx.diffs = append(ctx.diffs, d)
 		}
+		end := len(ctx.diffs)
+		rec.Diffs = ctx.diffs[start:end:end]
 	}
 	if pos+payloadLen != size {
 		return bad()
@@ -382,11 +399,20 @@ func decode(buf []byte, ctx *codecContext) (Record, int, error) {
 // returns nil (meaning "store full images") when the values differ in length
 // or when diffing would not save space.
 func ComputeDiffs(before, after []byte) []Diff {
+	return ComputeDiffsInto(nil, before, after)
+}
+
+// ComputeDiffsInto is ComputeDiffs appending into dst (pass dst[:0] of a
+// reusable slice to avoid allocating on the hot update path). The nil
+// return keeps its "store full images" meaning: callers must not treat a
+// nil result as an empty diff set. The returned regions alias before and
+// after.
+func ComputeDiffsInto(dst []Diff, before, after []byte) []Diff {
 	if len(before) != len(after) || len(before) == 0 {
 		return nil
 	}
 	const mergeGap = 4
-	var diffs []Diff
+	diffs := dst
 	i := 0
 	for i < len(before) {
 		if before[i] == after[i] {

@@ -75,106 +75,75 @@ func NewTPCC(warehouses int, open TreeOpener) (*TPCC, error) {
 const numDistricts = 10
 
 // ---- Key encodings (big-endian composites preserve order) ----
+//
+// Every builder rebuilds the key in b[:0] and returns the (possibly grown)
+// slice, so callers thread one per-worker scratch buffer through all key
+// constructions instead of allocating per operation — the tree consumes keys
+// synchronously (page copy + log encode), so reuse across operations is
+// safe. maxKeyScratch bounds every composite key built here (kCustIdx, the
+// longest, is 5+16+16+4 bytes).
 
-func kWarehouse(w int) []byte {
-	b := make([]byte, 4)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	return b
+const maxKeyScratch = 48
+
+func kWarehouse(b []byte, w int) []byte {
+	return binary.BigEndian.AppendUint32(b[:0], uint32(w))
 }
 
-func kDistrict(w, d int) []byte {
-	b := make([]byte, 5)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	b[4] = byte(d)
-	return b
+func kDistrict(b []byte, w, d int) []byte {
+	return append(binary.BigEndian.AppendUint32(b[:0], uint32(w)), byte(d))
 }
 
-func kCustomer(w, d, c int) []byte {
-	b := make([]byte, 9)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	b[4] = byte(d)
-	binary.BigEndian.PutUint32(b[5:], uint32(c))
-	return b
+func kCustomer(b []byte, w, d, c int) []byte {
+	return binary.BigEndian.AppendUint32(kDistrict(b, w, d), uint32(c))
 }
 
 const nameLen = 16
 
-func padName(s string) []byte {
-	b := make([]byte, nameLen)
-	copy(b, s)
-	return b
+// appendName appends s padded with zeros to nameLen bytes.
+func appendName(b []byte, s string) []byte {
+	var pad [nameLen]byte
+	copy(pad[:], s)
+	return append(b, pad[:]...)
 }
 
-func kCustIdx(w, d int, last, first string, c int) []byte {
-	b := make([]byte, 5+nameLen+nameLen+4)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	b[4] = byte(d)
-	copy(b[5:], padName(last))
-	copy(b[5+nameLen:], padName(first))
-	binary.BigEndian.PutUint32(b[5+2*nameLen:], uint32(c))
-	return b
+func kCustIdx(b []byte, w, d int, last, first string, c int) []byte {
+	b = appendName(appendName(kDistrict(b, w, d), last), first)
+	return binary.BigEndian.AppendUint32(b, uint32(c))
 }
 
 // kCustIdxPrefix is the scan prefix for a (w,d,last) group.
-func kCustIdxPrefix(w, d int, last string) []byte {
-	b := make([]byte, 5+nameLen)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	b[4] = byte(d)
-	copy(b[5:], padName(last))
-	return b
+func kCustIdxPrefix(b []byte, w, d int, last string) []byte {
+	return appendName(kDistrict(b, w, d), last)
 }
 
-func kOrder(w, d, o int) []byte {
-	b := make([]byte, 9)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	b[4] = byte(d)
-	binary.BigEndian.PutUint32(b[5:], uint32(o))
-	return b
+func kOrder(b []byte, w, d, o int) []byte {
+	return binary.BigEndian.AppendUint32(kDistrict(b, w, d), uint32(o))
 }
 
 // kOrderCIdx stores the order id complemented so the newest order for a
 // customer is the first key in ascending order (descending scans are not
 // needed).
-func kOrderCIdx(w, d, c, o int) []byte {
-	b := make([]byte, 13)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	b[4] = byte(d)
-	binary.BigEndian.PutUint32(b[5:], uint32(c))
-	binary.BigEndian.PutUint32(b[9:], ^uint32(o))
-	return b
+func kOrderCIdx(b []byte, w, d, c, o int) []byte {
+	return binary.BigEndian.AppendUint32(kCustomer(b, w, d, c), ^uint32(o))
 }
 
-func kNewOrder(w, d, o int) []byte { return kOrder(w, d, o) }
+func kNewOrder(b []byte, w, d, o int) []byte { return kOrder(b, w, d, o) }
 
-func kOrderLine(w, d, o, ol int) []byte {
-	b := make([]byte, 10)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	b[4] = byte(d)
-	binary.BigEndian.PutUint32(b[5:], uint32(o))
-	b[9] = byte(ol)
-	return b
+func kOrderLine(b []byte, w, d, o, ol int) []byte {
+	return append(kOrder(b, w, d, o), byte(ol))
 }
 
-func kItem(i int) []byte {
-	b := make([]byte, 4)
-	binary.BigEndian.PutUint32(b, uint32(i))
-	return b
+func kItem(b []byte, i int) []byte {
+	return binary.BigEndian.AppendUint32(b[:0], uint32(i))
 }
 
-func kStock(w, i int) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	binary.BigEndian.PutUint32(b[4:], uint32(i))
-	return b
+func kStock(b []byte, w, i int) []byte {
+	b = binary.BigEndian.AppendUint32(b[:0], uint32(w))
+	return binary.BigEndian.AppendUint32(b, uint32(i))
 }
 
-func kHistory(w, d, c int, seq uint64) []byte {
-	b := make([]byte, 17)
-	binary.BigEndian.PutUint32(b, uint32(w))
-	b[4] = byte(d)
-	binary.BigEndian.PutUint32(b[5:], uint32(c))
-	binary.BigEndian.PutUint64(b[9:], seq)
-	return b
+func kHistory(b []byte, w, d, c int, seq uint64) []byte {
+	return binary.BigEndian.AppendUint64(kCustomer(b, w, d, c), seq)
 }
 
 // ---- Fixed row layouts (field offset constants) ----
@@ -293,12 +262,14 @@ func (t *TPCC) Load(s *txn.Session, seed uint64) error {
 	// Items (shared across warehouses).
 	s.Begin()
 	row := make([]byte, itSize)
+	kb := make([]byte, 0, maxKeyScratch)
 	for i := 1; i <= t.Items; i++ {
 		putU32(row, itImID, uint32(r.IntRange(1, 10000)))
 		fillString(row, itName, 24, r)
 		putF64(row, itPrice, float64(r.IntRange(100, 10000))/100)
 		fillString(row, itData, 50, r)
-		if err := t.Item.Insert(s, kItem(i), row); err != nil {
+		kb = kItem(kb, i)
+		if err := t.Item.Insert(s, kb, row); err != nil {
 			s.Abort()
 			return err
 		}
@@ -320,10 +291,11 @@ func (t *TPCC) Load(s *txn.Session, seed uint64) error {
 func (t *TPCC) loadWarehouse(s *txn.Session, r *sys.Rand, w int) error {
 	s.Begin()
 	wr := make([]byte, whSize)
+	kb := make([]byte, 0, maxKeyScratch)
 	fillString(wr, 0, whSize-16, r)
 	putF64(wr, whTax, float64(r.IntRange(0, 2000))/10000)
 	putF64(wr, whYTD, 300000)
-	if err := t.Warehouse.Insert(s, kWarehouse(w), wr); err != nil {
+	if err := t.Warehouse.Insert(s, kWarehouse(kb, w), wr); err != nil {
 		s.Abort()
 		return err
 	}
@@ -337,7 +309,8 @@ func (t *TPCC) loadWarehouse(s *txn.Session, r *sys.Rand, w int) error {
 		putU16(st, stRemoteCnt, 0)
 		fillString(st, stDist, 240, r)
 		fillString(st, stData, 50, r)
-		if err := t.Stock.Insert(s, kStock(w, i), st); err != nil {
+		kb = kStock(kb, w, i)
+		if err := t.Stock.Insert(s, kb, st); err != nil {
 			s.Abort()
 			return err
 		}
@@ -359,11 +332,12 @@ func (t *TPCC) loadWarehouse(s *txn.Session, r *sys.Rand, w int) error {
 func (t *TPCC) loadDistrict(s *txn.Session, r *sys.Rand, w, d int) error {
 	s.Begin()
 	dr := make([]byte, diSize)
+	kb := make([]byte, 0, maxKeyScratch)
 	fillString(dr, 0, diTax, r)
 	putF64(dr, diTax, float64(r.IntRange(0, 2000))/10000)
 	putF64(dr, diYTD, 30000)
 	putU32(dr, diNextOID, uint32(t.CustPerDist)+1)
-	if err := t.District.Insert(s, kDistrict(w, d), dr); err != nil {
+	if err := t.District.Insert(s, kDistrict(kb, w, d), dr); err != nil {
 		s.Abort()
 		return err
 	}
@@ -398,20 +372,23 @@ func (t *TPCC) loadDistrict(s *txn.Session, r *sys.Rand, w, d int) error {
 		putU16(cu, cuPaymentCnt, 1)
 		putU16(cu, cuDeliveryCnt, 0)
 		fillString(cu, cuData, cuDataLen, r)
-		if err := t.Customer.Insert(s, kCustomer(w, d, c), cu); err != nil {
+		kb = kCustomer(kb, w, d, c)
+		if err := t.Customer.Insert(s, kb, cu); err != nil {
 			s.Abort()
 			return err
 		}
 		var cid [4]byte
 		binary.BigEndian.PutUint32(cid[:], uint32(c))
-		if err := t.CustIdx.Insert(s, kCustIdx(w, d, last, first, c), cid[:]); err != nil {
+		kb = kCustIdx(kb, w, d, last, first, c)
+		if err := t.CustIdx.Insert(s, kb, cid[:]); err != nil {
 			s.Abort()
 			return err
 		}
 		putF64(hi, 0, 10)
 		putU64(hi, 8, uint64(c))
 		fillString(hi, 16, 24, r)
-		if err := t.History.Insert(s, kHistory(w, d, c, t.histSeq.Add(1)), hi); err != nil {
+		kb = kHistory(kb, w, d, c, t.histSeq.Add(1))
+		if err := t.History.Insert(s, kb, hi); err != nil {
 			s.Abort()
 			return err
 		}
@@ -441,16 +418,19 @@ func (t *TPCC) loadDistrict(s *txn.Session, r *sys.Rand, w, d int) error {
 		or[orCarrier] = carrier
 		or[orOLCnt] = byte(olCnt)
 		or[orAllLocal] = 1
-		if err := t.Order.Insert(s, kOrder(w, d, o), or); err != nil {
+		kb = kOrder(kb, w, d, o)
+		if err := t.Order.Insert(s, kb, or); err != nil {
 			s.Abort()
 			return err
 		}
-		if err := t.OrderCIdx.Insert(s, kOrderCIdx(w, d, c, o), empty[:]); err != nil {
+		kb = kOrderCIdx(kb, w, d, c, o)
+		if err := t.OrderCIdx.Insert(s, kb, empty[:]); err != nil {
 			s.Abort()
 			return err
 		}
 		if carrier == 0 {
-			if err := t.NewOrder.Insert(s, kNewOrder(w, d, o), empty[:]); err != nil {
+			kb = kNewOrder(kb, w, d, o)
+			if err := t.NewOrder.Insert(s, kb, empty[:]); err != nil {
 				s.Abort()
 				return err
 			}
@@ -462,7 +442,8 @@ func (t *TPCC) loadDistrict(s *txn.Session, r *sys.Rand, w, d int) error {
 			ol[olQty] = 5
 			putF64(ol, olAmount, float64(r.IntRange(1, 999999))/100)
 			fillString(ol, olDistInfo, 24, r)
-			if err := t.OrderLine.Insert(s, kOrderLine(w, d, o, l), ol); err != nil {
+			kb = kOrderLine(kb, w, d, o, l)
+			if err := t.OrderLine.Insert(s, kb, ol); err != nil {
 				s.Abort()
 				return err
 			}

@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
-	"sort"
+	"strconv"
 
 	"repro/internal/btree"
 	"repro/internal/sys"
@@ -56,18 +56,56 @@ func (t TxnType) String() string {
 	}
 }
 
+// lastNameMatch is one customerByLastName candidate; the first name is held
+// inline so collecting matches does not allocate strings per row.
+type lastNameMatch struct {
+	first [nameLen]byte
+	cID   int
+}
+
 // TPCCWorker holds one worker's generator state.
 type TPCCWorker struct {
 	t   *TPCC
 	rng *sys.Rand
 	// HomeWarehouse pins the worker (spec: terminals are per-warehouse).
 	HomeWarehouse int
+
+	// Reusable per-worker scratch so the steady-state mix measures the
+	// engine, not the generator: key buffer, row images, lookup destination,
+	// the bad-credit C_DATA prefix, the StockLevel dedup set, and the
+	// last-name match list. A worker drives one session at a time, so the
+	// buffers are single-goroutine.
+	kb      []byte
+	rowBuf  []byte
+	or      [orSize]byte
+	ol      [olSize]byte
+	hi      [hiSize]byte
+	info    []byte
+	seen    map[uint32]struct{}
+	matches []lastNameMatch
 }
 
 // NewWorker creates a worker bound to a home warehouse.
 func (t *TPCC) NewWorker(seed uint64, homeWarehouse int) *TPCCWorker {
-	return &TPCCWorker{t: t, rng: sys.NewRand(seed), HomeWarehouse: homeWarehouse}
+	return &TPCCWorker{
+		t: t, rng: sys.NewRand(seed), HomeWarehouse: homeWarehouse,
+		kb:   make([]byte, 0, maxKeyScratch),
+		seen: make(map[uint32]struct{}, 64),
+	}
 }
+
+// lookupRow reads a row into the worker's reusable lookup buffer. The
+// returned slice is valid until the next lookupRow call.
+func (w *TPCCWorker) lookupRow(s *txn.Session, tree *btree.BTree, key []byte) ([]byte, bool) {
+	row, ok := tree.Lookup(s, key, w.rowBuf)
+	if ok {
+		w.rowBuf = row
+	}
+	return row, ok
+}
+
+// emptyVal is the 1-byte placeholder value of presence-only index rows.
+var emptyVal [1]byte
 
 // PickTxn draws from the standard mix (45/43/4/4/4, clause 5.2.3).
 func (w *TPCCWorker) PickTxn() TxnType {
@@ -136,7 +174,7 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 	}()
 
 	// Warehouse tax (read).
-	whRow, ok := t.Warehouse.Lookup(s, kWarehouse(wID), nil)
+	whRow, ok := w.lookupRow(s, t.Warehouse, kWarehouse(w.kb, wID))
 	if !ok {
 		s.Abort()
 		return false, fmt.Errorf("tpcc: warehouse %d missing", wID)
@@ -150,7 +188,7 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 	// possible and handled by re-drawing the ID.
 	takeOID := func() (int, error) {
 		var o int
-		err := t.District.UpdateFunc(s, kDistrict(wID, dID), func(row []byte) []byte {
+		err := t.District.UpdateFunc(s, kDistrict(w.kb, wID, dID), func(row []byte) []byte {
 			o = int(getU32(row, diNextOID))
 			putU32(row, diNextOID, uint32(o+1))
 			return row
@@ -164,19 +202,22 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 	yieldPoint()
 
 	// Customer discount (read).
-	if _, ok := t.Customer.Lookup(s, kCustomer(wID, dID, cID), nil); !ok {
+	if _, ok := w.lookupRow(s, t.Customer, kCustomer(w.kb, wID, dID, cID)); !ok {
 		s.Abort()
 		return false, fmt.Errorf("tpcc: customer missing")
 	}
 
-	// Insert ORDER, NEW-ORDER, order-customer index entry.
-	or := make([]byte, orSize)
+	// Insert ORDER, NEW-ORDER, order-customer index entry. The row scratch
+	// is reused across transactions, so every field — including the carrier,
+	// which stays zero for undelivered orders — is (re)written here.
+	or := w.or[:]
 	putU32(or, orCID, uint32(cID))
 	putU64(or, orEntryD, uint64(oID))
+	or[orCarrier] = 0
 	or[orOLCnt] = byte(olCnt)
 	or[orAllLocal] = 1
 	for attempt := 0; ; attempt++ {
-		err = t.Order.Insert(s, kOrder(wID, dID, oID), or)
+		err = t.Order.Insert(s, kOrder(w.kb, wID, dID, oID), or)
 		if err == nil {
 			break
 		}
@@ -189,16 +230,15 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 		}
 		return false, err
 	}
-	var empty [1]byte
-	if err = t.NewOrder.Insert(s, kNewOrder(wID, dID, oID), empty[:]); err != nil {
+	if err = t.NewOrder.Insert(s, kNewOrder(w.kb, wID, dID, oID), emptyVal[:]); err != nil {
 		return false, err
 	}
-	if err = t.OrderCIdx.Insert(s, kOrderCIdx(wID, dID, cID, oID), empty[:]); err != nil {
+	if err = t.OrderCIdx.Insert(s, kOrderCIdx(w.kb, wID, dID, cID, oID), emptyVal[:]); err != nil {
 		return false, err
 	}
 
 	// Order lines.
-	ol := make([]byte, olSize)
+	ol := w.ol[:]
 	for l := 1; l <= olCnt; l++ {
 		if rollback && l == olCnt {
 			// Unused item id: the transaction aborts and is rolled back
@@ -215,7 +255,7 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 			}
 			or[orAllLocal] = 0
 		}
-		itemRow, ok := t.Item.Lookup(s, kItem(iID), nil)
+		itemRow, ok := w.lookupRow(s, t.Item, kItem(w.kb, iID))
 		if !ok {
 			s.Abort()
 			return false, fmt.Errorf("tpcc: item %d missing", iID)
@@ -225,7 +265,7 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 
 		// Stock update: quantity, ytd, counts (the changed-attribute diff
 		// shows up as a tiny update record).
-		err = t.Stock.UpdateFunc(s, kStock(supplyW, iID), func(row []byte) []byte {
+		err = t.Stock.UpdateFunc(s, kStock(w.kb, supplyW, iID), func(row []byte) []byte {
 			sq := int(int16(getU16(row, stQty)))
 			if sq >= qty+10 {
 				sq -= qty
@@ -251,7 +291,7 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 		ol[olQty] = byte(qty)
 		putF64(ol, olAmount, float64(qty)*price)
 		fillString(ol, olDistInfo, 24, r)
-		if err = t.OrderLine.Insert(s, kOrderLine(wID, dID, oID, l), ol); err != nil {
+		if err = t.OrderLine.Insert(s, kOrderLine(w.kb, wID, dID, oID, l), ol); err != nil {
 			return false, err
 		}
 	}
@@ -284,7 +324,7 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 		}
 	}()
 
-	err = t.Warehouse.UpdateFunc(s, kWarehouse(wID), func(row []byte) []byte {
+	err = t.Warehouse.UpdateFunc(s, kWarehouse(w.kb, wID), func(row []byte) []byte {
 		putF64(row, whYTD, getF64(row, whYTD)+amount)
 		return row
 	})
@@ -292,7 +332,7 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 		return err
 	}
 	yieldPoint()
-	err = t.District.UpdateFunc(s, kDistrict(wID, dID), func(row []byte) []byte {
+	err = t.District.UpdateFunc(s, kDistrict(w.kb, wID, dID), func(row []byte) []byte {
 		putF64(row, diYTD, getF64(row, diYTD)+amount)
 		return row
 	})
@@ -315,7 +355,7 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 	}
 
 	badCredit := false
-	err = t.Customer.UpdateFunc(s, kCustomer(cWID, cDID, cID), func(row []byte) []byte {
+	err = t.Customer.UpdateFunc(s, kCustomer(w.kb, cWID, cDID, cID), func(row []byte) []byte {
 		putF64(row, cuBalance, getF64(row, cuBalance)-amount)
 		putF64(row, cuYTDPayment, getF64(row, cuYTDPayment)+amount)
 		putU16(row, cuPaymentCnt, getU16(row, cuPaymentCnt)+1)
@@ -323,7 +363,20 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 			badCredit = true
 			// Prepend payment info to C_DATA (clause 2.5.2.2): shifts the
 			// whole data field, producing a larger diff.
-			info := fmt.Sprintf("%d-%d-%d-%d-%d-%.2f|", cID, cDID, cWID, dID, wID, amount)
+			info := w.info[:0]
+			info = strconv.AppendInt(info, int64(cID), 10)
+			info = append(info, '-')
+			info = strconv.AppendInt(info, int64(cDID), 10)
+			info = append(info, '-')
+			info = strconv.AppendInt(info, int64(cWID), 10)
+			info = append(info, '-')
+			info = strconv.AppendInt(info, int64(dID), 10)
+			info = append(info, '-')
+			info = strconv.AppendInt(info, int64(wID), 10)
+			info = append(info, '-')
+			info = strconv.AppendFloat(info, amount, 'f', 2, 64)
+			info = append(info, '|')
+			w.info = info
 			data := row[cuData : cuData+cuDataLen]
 			copy(data[len(info):], data[:cuDataLen-len(info)])
 			copy(data, info)
@@ -335,11 +388,11 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 	}
 	_ = badCredit
 
-	hi := make([]byte, hiSize)
+	hi := w.hi[:]
 	putF64(hi, 0, amount)
 	putU64(hi, 8, uint64(t.histSeq.Add(1)))
 	fillString(hi, 16, 24, r)
-	if err = t.History.Insert(s, kHistory(cWID, cDID, cID, t.histSeq.Add(1)), hi); err != nil {
+	if err = t.History.Insert(s, kHistory(w.kb, cWID, cDID, cID, t.histSeq.Add(1)), hi); err != nil {
 		return err
 	}
 	s.Commit()
@@ -351,29 +404,32 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 func (w *TPCCWorker) customerByLastName(s *txn.Session, wID, dID int) (int, error) {
 	t, r := w.t, w.rng
 	last := LastName(NURandLastName(r, 999) % min(999, t.CustPerDist-1))
-	prefix := kCustIdxPrefix(wID, dID, last)
-	type match struct {
-		first string
-		cID   int
-	}
-	var matches []match
+	prefix := kCustIdxPrefix(w.kb, wID, dID, last)
+	matches := w.matches[:0]
 	t.CustIdx.ScanAsc(s, prefix, func(k, v []byte) bool {
 		if !bytes.HasPrefix(k, prefix) {
 			return false
 		}
-		matches = append(matches, match{
-			first: string(bytes.TrimRight(k[5+nameLen:5+2*nameLen], "\x00")),
-			cID:   int(binary.BigEndian.Uint32(v)),
-		})
+		var m lastNameMatch
+		copy(m.first[:], k[5+nameLen:5+2*nameLen])
+		m.cID = int(binary.BigEndian.Uint32(v))
+		matches = append(matches, m)
 		return true
 	})
+	w.matches = matches
 	if len(matches) == 0 {
 		// Scaled-down databases may not contain this name; fall back to a
 		// direct id (keeps the mix running without a spec violation that
 		// matters for the reproduction).
 		return r.IntRange(1, t.CustPerDist), nil
 	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i].first < matches[j].first })
+	// Insertion sort by first name: match counts are tiny (a handful per
+	// last name), and sort.Slice would allocate its closure per call.
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && bytes.Compare(matches[j].first[:], matches[j-1].first[:]) < 0; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
 	return matches[(len(matches)+1)/2-1].cID, nil
 }
 
@@ -403,13 +459,13 @@ func (w *TPCCWorker) OrderStatus(s *txn.Session) (err error) {
 			cID = 1
 		}
 	}
-	if _, ok := t.Customer.Lookup(s, kCustomer(wID, dID, cID), nil); !ok {
+	if _, ok := w.lookupRow(s, t.Customer, kCustomer(w.kb, wID, dID, cID)); !ok {
 		s.Abort()
 		return fmt.Errorf("tpcc: customer %d missing", cID)
 	}
 
 	// Most recent order: first entry of the complemented index.
-	prefix := kOrderCIdx(wID, dID, cID, 1<<31) // any o; need prefix only
+	prefix := kOrderCIdx(w.kb, wID, dID, cID, 1<<31) // any o; need prefix only
 	prefix = prefix[:9]
 	oID := -1
 	t.OrderCIdx.ScanAsc(s, prefix, func(k, _ []byte) bool {
@@ -423,14 +479,14 @@ func (w *TPCCWorker) OrderStatus(s *txn.Session) (err error) {
 		s.Commit() // customer without orders (possible at tiny scale)
 		return nil
 	}
-	orRow, ok := t.Order.Lookup(s, kOrder(wID, dID, oID), nil)
+	orRow, ok := w.lookupRow(s, t.Order, kOrder(w.kb, wID, dID, oID))
 	if !ok {
 		s.Abort()
 		return fmt.Errorf("tpcc: order %d missing", oID)
 	}
 	olCnt := int(orRow[orOLCnt])
 	for l := 1; l <= olCnt; l++ {
-		if _, ok := t.OrderLine.Lookup(s, kOrderLine(wID, dID, oID, l), nil); !ok {
+		if _, ok := w.lookupRow(s, t.OrderLine, kOrderLine(w.kb, wID, dID, oID, l)); !ok {
 			break
 		}
 	}
@@ -456,7 +512,7 @@ func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
 	for dID := 1; dID <= numDistricts; dID++ {
 		yieldPoint()
 		// Oldest NEW-ORDER for the district.
-		prefix := kDistrict(wID, dID)
+		prefix := kDistrict(w.kb, wID, dID)
 		oID := -1
 		t.NewOrder.ScanAsc(s, prefix, func(k, _ []byte) bool {
 			if !bytes.HasPrefix(k, prefix) {
@@ -468,7 +524,7 @@ func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
 		if oID < 0 {
 			continue // no undelivered order in this district
 		}
-		if err = t.NewOrder.Remove(s, kNewOrder(wID, dID, oID)); err != nil {
+		if err = t.NewOrder.Remove(s, kNewOrder(w.kb, wID, dID, oID)); err != nil {
 			if err == btree.ErrNotFound {
 				// A concurrent Delivery got there first (read-uncommitted,
 				// no record locks); skip the district like an empty one.
@@ -478,7 +534,7 @@ func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
 			return err
 		}
 		var cID, olCnt int
-		err = t.Order.UpdateFunc(s, kOrder(wID, dID, oID), func(row []byte) []byte {
+		err = t.Order.UpdateFunc(s, kOrder(w.kb, wID, dID, oID), func(row []byte) []byte {
 			cID = int(getU32(row, orCID))
 			olCnt = int(row[orOLCnt])
 			row[orCarrier] = carrier
@@ -489,7 +545,7 @@ func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
 		}
 		total := 0.0
 		for l := 1; l <= olCnt; l++ {
-			err = t.OrderLine.UpdateFunc(s, kOrderLine(wID, dID, oID, l), func(row []byte) []byte {
+			err = t.OrderLine.UpdateFunc(s, kOrderLine(w.kb, wID, dID, oID, l), func(row []byte) []byte {
 				total += getF64(row, olAmount)
 				putU64(row, olDeliveryD, uint64(oID))
 				return row
@@ -500,7 +556,7 @@ func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
 			err = nil
 			break
 		}
-		err = t.Customer.UpdateFunc(s, kCustomer(wID, dID, cID), func(row []byte) []byte {
+		err = t.Customer.UpdateFunc(s, kCustomer(w.kb, wID, dID, cID), func(row []byte) []byte {
 			putF64(row, cuBalance, getF64(row, cuBalance)+total)
 			putU16(row, cuDeliveryCnt, getU16(row, cuDeliveryCnt)+1)
 			return row
@@ -528,7 +584,7 @@ func (w *TPCCWorker) StockLevel(s *txn.Session) (err error) {
 		}
 	}()
 
-	dRow, ok := t.District.Lookup(s, kDistrict(wID, dID), nil)
+	dRow, ok := w.lookupRow(s, t.District, kDistrict(w.kb, wID, dID))
 	if !ok {
 		s.Abort()
 		return fmt.Errorf("tpcc: district missing")
@@ -539,11 +595,12 @@ func (w *TPCCWorker) StockLevel(s *txn.Session) (err error) {
 		lowO = 1
 	}
 
-	seen := make(map[uint32]struct{}, 64)
+	seen := w.seen
+	clear(seen)
 	low := 0
 	for o := lowO; o < nextO; o++ {
 		for l := 1; ; l++ {
-			olRow, ok := t.OrderLine.Lookup(s, kOrderLine(wID, dID, o, l), nil)
+			olRow, ok := w.lookupRow(s, t.OrderLine, kOrderLine(w.kb, wID, dID, o, l))
 			if !ok {
 				break
 			}
@@ -552,7 +609,7 @@ func (w *TPCCWorker) StockLevel(s *txn.Session) (err error) {
 				continue
 			}
 			seen[iID] = struct{}{}
-			stRow, ok := t.Stock.Lookup(s, kStock(wID, int(iID)), nil)
+			stRow, ok := w.lookupRow(s, t.Stock, kStock(w.kb, wID, int(iID)))
 			if ok && int(int16(getU16(stRow, stQty))) < threshold {
 				low++
 			}

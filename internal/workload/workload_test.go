@@ -84,6 +84,13 @@ func TestNURandRanges(t *testing.T) {
 
 func newEngine(t *testing.T) *core.Engine {
 	t.Helper()
+	if sys.RaceEnabled {
+		// The engine's page provider and checkpointer run concurrently with
+		// the optimistic (seqlock-style) page reads these workload tests
+		// drive; the race detector flags those by-design unsynchronized
+		// reads (see internal/sys/race_on.go).
+		t.Skip("engine-driving test: optimistic page reads are incompatible with the race detector by design")
+	}
 	e, err := core.Open(core.Config{
 		Mode:      core.ModeOurs,
 		Workers:   2,
@@ -150,7 +157,7 @@ func TestTPCCLoadConsistency(t *testing.T) {
 	// Districts: next order id == CustPerDist+1 after load.
 	for w := 1; w <= 2; w++ {
 		for d := 1; d <= numDistricts; d++ {
-			row, ok := tp.District.Lookup(s, kDistrict(w, d), nil)
+			row, ok := tp.District.Lookup(s, kDistrict(nil, w, d), nil)
 			if !ok {
 				t.Fatalf("district %d/%d missing", w, d)
 			}
@@ -204,7 +211,7 @@ func TestTPCCNewOrderAdvancesDistrict(t *testing.T) {
 	before := make([]int, numDistricts+1)
 	s.Begin()
 	for d := 1; d <= numDistricts; d++ {
-		row, _ := tp.District.Lookup(s, kDistrict(1, d), nil)
+		row, _ := tp.District.Lookup(s, kDistrict(nil, 1, d), nil)
 		before[d] = int(getU32(row, diNextOID))
 	}
 	s.Commit()
@@ -221,7 +228,7 @@ func TestTPCCNewOrderAdvancesDistrict(t *testing.T) {
 	s.Begin()
 	total := 0
 	for d := 1; d <= numDistricts; d++ {
-		row, _ := tp.District.Lookup(s, kDistrict(1, d), nil)
+		row, _ := tp.District.Lookup(s, kDistrict(nil, 1, d), nil)
 		total += int(getU32(row, diNextOID)) - before[d]
 	}
 	s.Commit()
@@ -242,11 +249,11 @@ func TestTPCCPaymentYTDConsistency(t *testing.T) {
 		}
 	}
 	s.Begin()
-	whRow, _ := tp.Warehouse.Lookup(s, kWarehouse(1), nil)
+	whRow, _ := tp.Warehouse.Lookup(s, kWarehouse(nil, 1), nil)
 	wYTD := getF64(whRow, whYTD)
 	var dSum float64
 	for d := 1; d <= numDistricts; d++ {
-		row, _ := tp.District.Lookup(s, kDistrict(1, d), nil)
+		row, _ := tp.District.Lookup(s, kDistrict(nil, 1, d), nil)
 		dSum += getF64(row, diYTD)
 	}
 	s.Commit()
@@ -280,6 +287,9 @@ func TestTPCCDeliveryConsumesNewOrders(t *testing.T) {
 // TestTPCCCrashRecoveryConsistency runs a mix, crashes, recovers, and
 // re-checks consistency condition 1 plus order/new-order alignment.
 func TestTPCCCrashRecoveryConsistency(t *testing.T) {
+	if sys.RaceEnabled {
+		t.Skip("engine-driving test: optimistic page reads are incompatible with the race detector by design")
+	}
 	cfg := core.Config{
 		Mode:      core.ModeOurs,
 		Workers:   2,
@@ -325,7 +335,7 @@ func TestTPCCCrashRecoveryConsistency(t *testing.T) {
 
 	s2 := e2.NewSessionOn(0)
 	s2.Begin()
-	whRow, ok := tp2.Warehouse.Lookup(s2, kWarehouse(1), nil)
+	whRow, ok := tp2.Warehouse.Lookup(s2, kWarehouse(nil, 1), nil)
 	if !ok {
 		t.Fatal("warehouse lost")
 	}
@@ -333,7 +343,7 @@ func TestTPCCCrashRecoveryConsistency(t *testing.T) {
 	var dSum float64
 	maxNextO := 0
 	for d := 1; d <= numDistricts; d++ {
-		row, ok := tp2.District.Lookup(s2, kDistrict(1, d), nil)
+		row, ok := tp2.District.Lookup(s2, kDistrict(nil, 1, d), nil)
 		if !ok {
 			t.Fatal("district lost")
 		}
@@ -349,19 +359,19 @@ func TestTPCCCrashRecoveryConsistency(t *testing.T) {
 	// order lines (condition 3 spirit): check the newest committed order of
 	// district 1.
 	for d := 1; d <= numDistricts; d++ {
-		row, _ := tp2.District.Lookup(s2, kDistrict(1, d), nil)
+		row, _ := tp2.District.Lookup(s2, kDistrict(nil, 1, d), nil)
 		nextO := int(getU32(row, diNextOID))
 		for o := nextO - 3; o < nextO; o++ {
 			if o < 1 {
 				continue
 			}
-			orRow, ok := tp2.Order.Lookup(s2, kOrder(1, d, o), nil)
+			orRow, ok := tp2.Order.Lookup(s2, kOrder(nil, 1, d, o), nil)
 			if !ok {
 				t.Fatalf("order %d/%d missing though next_o_id=%d", d, o, nextO)
 			}
 			olCnt := int(orRow[orOLCnt])
 			for l := 1; l <= olCnt; l++ {
-				if _, ok := tp2.OrderLine.Lookup(s2, kOrderLine(1, d, o, l), nil); !ok {
+				if _, ok := tp2.OrderLine.Lookup(s2, kOrderLine(nil, 1, d, o, l), nil); !ok {
 					t.Fatalf("orderline %d/%d/%d missing", d, o, l)
 				}
 			}
@@ -388,16 +398,16 @@ func attachTPCC(e *core.Engine, warehouses int) (*TPCC, error) {
 
 func TestKeyEncodingOrder(t *testing.T) {
 	// Composite keys must sort by (w, d, o).
-	a := kOrder(1, 2, 3)
-	b := kOrder(1, 2, 10)
-	c := kOrder(1, 3, 1)
-	d := kOrder(2, 1, 1)
+	a := kOrder(nil, 1, 2, 3)
+	b := kOrder(nil, 1, 2, 10)
+	c := kOrder(nil, 1, 3, 1)
+	d := kOrder(nil, 2, 1, 1)
 	if !(bytes.Compare(a, b) < 0 && bytes.Compare(b, c) < 0 && bytes.Compare(c, d) < 0) {
 		t.Fatal("order keys do not sort correctly")
 	}
 	// Complemented order index: newer order sorts first.
-	n1 := kOrderCIdx(1, 1, 5, 100)
-	n2 := kOrderCIdx(1, 1, 5, 101)
+	n1 := kOrderCIdx(nil, 1, 1, 5, 100)
+	n2 := kOrderCIdx(nil, 1, 1, 5, 101)
 	if bytes.Compare(n2, n1) >= 0 {
 		t.Fatal("complemented order index does not sort newest-first")
 	}

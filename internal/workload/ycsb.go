@@ -25,11 +25,10 @@ func NewYCSB(tree *btree.BTree, records int) *YCSB {
 	return &YCSB{Tree: tree, Records: records, ValSize: 64}
 }
 
-// Key encodes record i as a big-endian 8-byte key.
-func (y *YCSB) Key(i int) []byte {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], uint64(i))
-	return b[:]
+// Key encodes record i as a big-endian 8-byte key into b (reused across
+// calls by the loader so key formatting does not allocate per record).
+func (y *YCSB) Key(b []byte, i int) []byte {
+	return binary.BigEndian.AppendUint64(b[:0], uint64(i))
 }
 
 // Load populates the table with one transaction per batch.
@@ -41,9 +40,10 @@ func (y *YCSB) Load(s *txn.Session, batch int) error {
 	for i := range val {
 		val[i] = byte('a' + i%26)
 	}
+	kb := make([]byte, 0, 8)
 	s.Begin()
 	for i := 0; i < y.Records; i++ {
-		if err := y.Tree.Insert(s, y.Key(i), val); err != nil {
+		if err := y.Tree.Insert(s, y.Key(kb, i), val); err != nil {
 			s.Abort()
 			return fmt.Errorf("ycsb load at %d: %w", i, err)
 		}
@@ -62,24 +62,32 @@ type Worker struct {
 	zipf *Zipf
 	rng  *sys.Rand
 	key  [8]byte
+
+	// stamp and updateFn keep the per-transaction update closure
+	// allocation-free: the closure is built once in NewWorker and reads the
+	// stamp through the worker instead of capturing a fresh local each txn.
+	stamp    uint64
+	updateFn func(old []byte) []byte
 }
 
 // NewWorker creates a worker with its own RNG and Zipfian generator.
 func (y *YCSB) NewWorker(seed uint64, theta float64) *Worker {
 	rng := sys.NewRand(seed)
-	return &Worker{y: y, zipf: NewZipf(rng, y.Records, theta), rng: rng}
+	w := &Worker{y: y, zipf: NewZipf(rng, y.Records, theta), rng: rng}
+	w.updateFn = func(old []byte) []byte {
+		binary.LittleEndian.PutUint64(old[:8], w.stamp)
+		return old
+	}
+	return w
 }
 
 // UpdateTxn runs one single-tuple-update transaction (100% update mix).
 func (w *Worker) UpdateTxn(s *txn.Session) error {
 	binary.BigEndian.PutUint64(w.key[:], uint64(w.zipf.Next()))
-	stamp := w.rng.Uint64()
+	w.stamp = w.rng.Uint64()
 	s.Begin()
 	yieldPoint()
-	err := w.y.Tree.UpdateFunc(s, w.key[:], func(old []byte) []byte {
-		binary.LittleEndian.PutUint64(old[:8], stamp)
-		return old
-	})
+	err := w.y.Tree.UpdateFunc(s, w.key[:], w.updateFn)
 	if err != nil {
 		s.Abort()
 		return err
