@@ -19,6 +19,7 @@
 //	tab-compression  §3.8 log compression savings
 //	recovery         §4.6 crash recovery phases and rates
 //	ablate           design-knob ablations (shards, intervals, chunks)
+//	ablate-io        I/O scheduler queue-depth × batch-size ablation
 //	all              everything above
 package main
 
@@ -94,6 +95,8 @@ func main() {
 				return err
 			}
 			return harness.AblateChunkSize(w, sc, *threads)
+		case "ablate-io":
+			return harness.AblateIO(w, sc, *threads)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -103,6 +106,7 @@ func main() {
 		for _, name := range []string{
 			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
 			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
+			"ablate-io",
 		} {
 			if err := run(name); err != nil {
 				fmt.Fprintf(os.Stderr, "repro %s: %v\n", name, err)

@@ -18,12 +18,18 @@ import (
 	"repro/internal/base"
 	"repro/internal/core"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 	"repro/internal/recovery"
 	"repro/internal/wal"
 )
 
 // backupHeaderSize prefixes each backup file: magic, page count, max GSN.
 const backupHeaderSize = 24
+
+// backupRetries bounds transient-error retries on backup/restore I/O;
+// persistent failures surface as errors to the caller (a failed backup is
+// retryable at the operation level, unlike WAL or redo I/O).
+const backupRetries = 8
 
 const backupMagic = 0x424B5550 // "BKUP"
 
@@ -50,25 +56,35 @@ func Full(eng *core.Engine, name string) (*Info, error) {
 	}
 	pages := int((size + base.PageSize - 1) / base.PageSize)
 
+	sched := eng.IOSched()
 	dst := ssd.Open(name)
 	var maxGSN base.GSN
 	buf := make([]byte, base.PageSize)
 	var off int64 = backupHeaderSize
 	for pid := 0; pid < pages; pid++ {
-		n := db.ReadAt(buf, int64(pid)*base.PageSize)
+		n, err := sched.ReadWait(iosched.ClassBackup, db, buf, int64(pid)*base.PageSize, backupRetries)
+		if err != nil {
+			return nil, fmt.Errorf("backup: reading page %d: %w", pid, err)
+		}
 		clear(buf[n:])
 		if g := pageGSN(buf); g > maxGSN {
 			maxGSN = g
 		}
-		dst.WriteAt(buf, off)
+		if err := sched.WriteWait(iosched.ClassBackup, dst, buf, off, backupRetries); err != nil {
+			return nil, fmt.Errorf("backup: writing page %d: %w", pid, err)
+		}
 		off += base.PageSize
 	}
 	var hdr [backupHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], backupMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(pages))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(maxGSN))
-	dst.WriteAt(hdr[:], 0)
-	dst.Sync()
+	if err := sched.WriteWait(iosched.ClassBackup, dst, hdr[:], 0, backupRetries); err != nil {
+		return nil, fmt.Errorf("backup: writing header: %w", err)
+	}
+	if err := sched.SyncWait(iosched.ClassBackup, dst, backupRetries); err != nil {
+		return nil, fmt.Errorf("backup: syncing %q: %w", name, err)
+	}
 	return &Info{Name: name, Pages: pages, MaxGSN: maxGSN, Bytes: off}, nil
 }
 
@@ -92,6 +108,7 @@ func Incremental(eng *core.Engine, name string, sinceGSN base.GSN) (*Info, error
 	size := db.Size()
 	pages := int((size + base.PageSize - 1) / base.PageSize)
 
+	sched := eng.IOSched()
 	dst := ssd.Open(name)
 	var maxGSN base.GSN
 	stored := 0
@@ -99,7 +116,10 @@ func Incremental(eng *core.Engine, name string, sinceGSN base.GSN) (*Info, error
 	var off int64 = incrHeaderSize
 	var pidb [8]byte
 	for pid := 0; pid < pages; pid++ {
-		n := db.ReadAt(buf, int64(pid)*base.PageSize)
+		n, err := sched.ReadWait(iosched.ClassBackup, db, buf, int64(pid)*base.PageSize, backupRetries)
+		if err != nil {
+			return nil, fmt.Errorf("backup: reading page %d: %w", pid, err)
+		}
 		clear(buf[n:])
 		g := pageGSN(buf)
 		if g > maxGSN {
@@ -109,8 +129,13 @@ func Incremental(eng *core.Engine, name string, sinceGSN base.GSN) (*Info, error
 			continue // unchanged since the previous backup in the chain
 		}
 		binary.LittleEndian.PutUint64(pidb[:], uint64(pid))
-		dst.WriteAt(pidb[:], off)
-		dst.WriteAt(buf, off+8)
+		err = sched.WriteWait(iosched.ClassBackup, dst, pidb[:], off, backupRetries)
+		if err == nil {
+			err = sched.WriteWait(iosched.ClassBackup, dst, buf, off+8, backupRetries)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("backup: writing page %d: %w", pid, err)
+		}
 		off += 8 + base.PageSize
 		stored++
 	}
@@ -119,8 +144,12 @@ func Incremental(eng *core.Engine, name string, sinceGSN base.GSN) (*Info, error
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(stored))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(maxGSN))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(sinceGSN))
-	dst.WriteAt(hdr[:], 0)
-	dst.Sync()
+	if err := sched.WriteWait(iosched.ClassBackup, dst, hdr[:], 0, backupRetries); err != nil {
+		return nil, fmt.Errorf("backup: writing header: %w", err)
+	}
+	if err := sched.SyncWait(iosched.ClassBackup, dst, backupRetries); err != nil {
+		return nil, fmt.Errorf("backup: syncing %q: %w", name, err)
+	}
 	return &Info{Name: name, Pages: stored, MaxGSN: maxGSN, Bytes: off}, nil
 }
 
@@ -131,7 +160,7 @@ const (
 
 // applyIncremental overlays an incremental backup's pages onto the database
 // file; returns the number of pages applied.
-func applyIncremental(ssd *dev.SSD, name string) (int, error) {
+func applyIncremental(ssd *dev.SSD, sched *iosched.Scheduler, name string) (int, error) {
 	src := ssd.Open(name)
 	var hdr [incrHeaderSize]byte
 	if src.ReadAt(hdr[:], 0) != incrHeaderSize || binary.LittleEndian.Uint32(hdr[0:]) != incrMagic {
@@ -143,13 +172,22 @@ func applyIncremental(ssd *dev.SSD, name string) (int, error) {
 	var pidb [8]byte
 	off := int64(incrHeaderSize)
 	for i := 0; i < count; i++ {
-		src.ReadAt(pidb[:], off)
-		src.ReadAt(buf, off+8)
+		_, err := sched.ReadWait(iosched.ClassBackup, src, pidb[:], off, backupRetries)
+		if err == nil {
+			_, err = sched.ReadWait(iosched.ClassBackup, src, buf, off+8, backupRetries)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("backup: reading increment %q: %w", name, err)
+		}
 		pid := binary.LittleEndian.Uint64(pidb[:])
-		db.WriteAt(buf, int64(pid)*base.PageSize)
+		if err := sched.WriteWait(iosched.ClassBackup, db, buf, int64(pid)*base.PageSize, backupRetries); err != nil {
+			return 0, fmt.Errorf("backup: applying page %d: %w", pid, err)
+		}
 		off += 8 + base.PageSize
 	}
-	db.Sync()
+	if err := sched.SyncWait(iosched.ClassBackup, db, backupRetries); err != nil {
+		return 0, fmt.Errorf("backup: syncing database: %w", err)
+	}
 	return count, nil
 }
 
@@ -162,6 +200,10 @@ func RestoreChain(ssd *dev.SSD, pm *dev.PMem, fullName string, increments []stri
 	if err != nil {
 		return nil, err
 	}
+	// Restore runs without an engine (its scheduler died with the media
+	// failure), so it brings its own.
+	sched := iosched.New(iosched.Config{})
+	defer sched.Close()
 	// Validate chain contiguity, then overlay the increments.
 	prev := backupMaxGSN(ssd, fullName)
 	for _, name := range increments {
@@ -174,7 +216,7 @@ func RestoreChain(ssd *dev.SSD, pm *dev.PMem, fullName string, increments []stri
 		if since != prev {
 			return nil, fmt.Errorf("backup: chain broken at %q: sinceGSN=%d, previous maxGSN=%d", name, since, prev)
 		}
-		n, err := applyIncremental(ssd, name)
+		n, err := applyIncremental(ssd, sched, name)
 		if err != nil {
 			return nil, err
 		}
@@ -212,15 +254,26 @@ func RestoreMedia(ssd *dev.SSD, pm *dev.PMem, backupName string, threads int) (*
 	}
 	pages := int(binary.LittleEndian.Uint32(hdr[4:]))
 
+	// Restore runs without an engine, so it brings its own scheduler.
+	sched := iosched.New(iosched.Config{})
+	defer sched.Close()
+
 	// 1. Replace the (lost/corrupt) database file with the backup image.
 	ssd.Remove("db")
 	db := ssd.Open("db")
 	buf := make([]byte, base.PageSize)
 	for pid := 0; pid < pages; pid++ {
-		src.ReadAt(buf, backupHeaderSize+int64(pid)*base.PageSize)
-		db.WriteAt(buf, int64(pid)*base.PageSize)
+		_, err := sched.ReadWait(iosched.ClassBackup, src, buf, backupHeaderSize+int64(pid)*base.PageSize, backupRetries)
+		if err == nil {
+			err = sched.WriteWait(iosched.ClassBackup, db, buf, int64(pid)*base.PageSize, backupRetries)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("backup: restoring page %d: %w", pid, err)
+		}
 	}
-	db.Sync()
+	if err := sched.SyncWait(iosched.ClassBackup, db, backupRetries); err != nil {
+		return nil, fmt.Errorf("backup: syncing database: %w", err)
+	}
 
 	// 2. Promote archived segments back into the live WAL namespace so the
 	// ordinary recovery pipeline replays them together with the live log.
@@ -231,7 +284,9 @@ func RestoreMedia(ssd *dev.SSD, pm *dev.PMem, backupName string, threads int) (*
 	for _, name := range ssd.List(wal.ArchivePrefix) {
 		liveName := name[len(wal.ArchivePrefix):]
 		if ssd.Open(liveName).Size() == 0 {
-			copyFile(ssd, name, liveName)
+			if err := copyFile(ssd, sched, name, liveName); err != nil {
+				return nil, err
+			}
 			archRecords++
 		}
 	}
@@ -246,12 +301,20 @@ func RestoreMedia(ssd *dev.SSD, pm *dev.PMem, backupName string, threads int) (*
 	return out, nil
 }
 
-func copyFile(ssd *dev.SSD, from, to string) {
+func copyFile(ssd *dev.SSD, sched *iosched.Scheduler, from, to string) error {
 	src := ssd.Open(from)
 	size := src.Size()
 	buf := make([]byte, size)
-	n := src.ReadAt(buf, 0)
+	n, err := sched.ReadWait(iosched.ClassBackup, src, buf, 0, backupRetries)
+	if err != nil {
+		return fmt.Errorf("backup: reading %q: %w", from, err)
+	}
 	dst := ssd.Open(to)
-	dst.WriteAt(buf[:n], 0)
-	dst.Sync()
+	if err := sched.WriteWait(iosched.ClassBackup, dst, buf[:n], 0, backupRetries); err != nil {
+		return fmt.Errorf("backup: writing %q: %w", to, err)
+	}
+	if err := sched.SyncWait(iosched.ClassBackup, dst, backupRetries); err != nil {
+		return fmt.Errorf("backup: syncing %q: %w", to, err)
+	}
+	return nil
 }

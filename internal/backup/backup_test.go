@@ -151,7 +151,7 @@ func TestRestoreRejectsNonBackup(t *testing.T) {
 	e := newEngine(t, cfg)
 	defer e.Close()
 	_, ssd := e.Devices()
-	ssd.Open("garbage").WriteAt([]byte("not a backup"), 0)
+	ssd.Open("garbage").Truncate(24) // 24 zero bytes: wrong magic
 	if _, err := RestoreMedia(ssd, nil, "garbage", 1); err == nil {
 		t.Fatal("garbage accepted as backup")
 	}

@@ -106,7 +106,7 @@ func (t *BTree) checkNode(s buffer.Swip, lo, hi []byte) error {
 			page = t.pool.Frame(idx).Data()
 		} else {
 			page = make([]byte, len(t.pool.Frame(0).Data()))
-			t.pool.DBFile().ReadAt(page, int64(s.PID())*int64(len(page)))
+			t.pool.ReadPageImage(page, s.PID())
 		}
 	}
 	n := slotCount(page)

@@ -159,6 +159,11 @@ func (t *BTree) findLeaf(ctx Ctx, key []byte, exclusive, needBound bool) descend
 func (t *BTree) tryDescend(ctx Ctx, key []byte, exclusive, needBound bool, reserved *int32) (res descendResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if r == buffer.ErrPoolInterrupted {
+				// Terminal: every future page wait panics too, so a
+				// restart would spin forever. Propagate to the owner.
+				panic(r)
+			}
 			// Torn optimistic read produced wild offsets; restart.
 			res, err = descendResult{}, errRestartTraversal
 		}
@@ -199,12 +204,24 @@ func (t *BTree) tryDescend(ctx Ctx, key []byte, exclusive, needBound bool, reser
 			if !parent.Latch.UpgradeToExclusive(pv) {
 				return res, errRestartTraversal
 			}
-			var used bool
-			childIdx, child, used = t.pool.ResolveSlow(parentIdx, swipOff, *reserved)
-			if used {
-				*reserved = -1
-			}
-			cv = child.Latch.OptimisticVersionSpin()
+			func() {
+				// The page load blocks and can panic (pool interrupt,
+				// exhausted read retries) while the parent is
+				// write-latched; release the latch on the way out or
+				// background writers spin on the orphaned latch forever.
+				defer func() {
+					if r := recover(); r != nil {
+						parent.Latch.UnlockExclusive()
+						panic(r)
+					}
+				}()
+				var used bool
+				childIdx, child, used = t.pool.ResolveSlow(parentIdx, swipOff, *reserved)
+				if used {
+					*reserved = -1
+				}
+				cv = child.Latch.OptimisticVersionSpin()
+			}()
 			parent.Latch.UnlockExclusive()
 			if !child.Latch.Validate(cv) {
 				return res, errRestartTraversal
@@ -265,6 +282,9 @@ func (t *BTree) Lookup(ctx Ctx, key []byte, dst []byte) ([]byte, bool) {
 func (t *BTree) tryLookup(ctx Ctx, key []byte, dst []byte) (out []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if r == buffer.ErrPoolInterrupted {
+				panic(r) // terminal; see tryDescend
+			}
 			out, err = nil, errRestartTraversal
 		}
 	}()
@@ -329,6 +349,12 @@ func (t *BTree) tryCollectLeaf(ctx Ctx, sc *scanScratch) (ok bool) {
 	sc.bound = nil
 	defer func() {
 		if r := recover(); r != nil {
+			if r == buffer.ErrPoolInterrupted {
+				// Terminal: the pool rejects page waits from now on, so
+				// retrying the leaf would spin forever. Let the scanner's
+				// owner handle the interrupt.
+				panic(r)
+			}
 			ok = false
 		}
 	}()

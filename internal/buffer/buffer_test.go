@@ -99,6 +99,7 @@ func TestWritebackPersistsAndTracksGSN(t *testing.T) {
 	}
 	f.Latch.UnlockExclusive()
 	wb.Flush()
+	wb.Drain()
 	if f.writeback.Load() {
 		t.Fatal("writeback mark not cleared")
 	}
@@ -126,6 +127,7 @@ func TestWritebackDeswizzlesCopies(t *testing.T) {
 	wb.Add(idx, f)
 	f.Latch.UnlockExclusive()
 	wb.Flush()
+	wb.Drain()
 	buf := make([]byte, base.PageSize)
 	p.DBFile().ReadAt(buf, int64(f.PID())*base.PageSize)
 	s := Upper(buf)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 	"repro/internal/sys"
 )
 
@@ -116,6 +117,10 @@ type Config struct {
 	// batch before page images are written, it must make every log record
 	// appended so far durable (nil = no logging configured).
 	FlushLogs func()
+	// Sched is the I/O scheduler all device traffic goes through. When
+	// nil the pool creates (and owns) a private one, so standalone pools
+	// in unit tests keep working.
+	Sched *iosched.Scheduler
 }
 
 func (c *Config) fillDefaults() {
@@ -144,10 +149,12 @@ func (c *Config) fillDefaults() {
 
 // Pool is the buffer pool.
 type Pool struct {
-	cfg    Config
-	frames []Frame
-	backer []byte
-	dbFile *dev.File
+	cfg      Config
+	frames   []Frame
+	backer   []byte
+	dbFile   *dev.File
+	sched    *iosched.Scheduler
+	ownSched bool
 
 	freeC chan int32
 
@@ -187,6 +194,11 @@ func NewPool(cfg Config) *Pool {
 		interrupt:    make(chan struct{}),
 	}
 	p.dbFile = cfg.SSD.Open(cfg.DBFileName)
+	p.sched = cfg.Sched
+	if p.sched == nil {
+		p.sched = iosched.New(iosched.Config{})
+		p.ownSched = true
+	}
 	for i := range p.frames {
 		f := &p.frames[i]
 		f.data = p.backer[i*base.PageSize : (i+1)*base.PageSize]
@@ -211,6 +223,9 @@ func NewPool(cfg Config) *Pool {
 func (p *Pool) Close() {
 	close(p.stop)
 	p.wg.Wait()
+	if p.ownSched {
+		p.sched.Close()
+	}
 }
 
 // Frame returns frame idx.
@@ -221,6 +236,28 @@ func (p *Pool) NumFrames() int { return len(p.frames) }
 
 // DBFile exposes the database file (checkpointer, recovery).
 func (p *Pool) DBFile() *dev.File { return p.dbFile }
+
+// Sched exposes the I/O scheduler the pool submits to.
+func (p *Pool) Sched() *iosched.Scheduler { return p.sched }
+
+// readPage fills buf from the database file at off through the scheduler
+// (sync facade over an async read) and returns the byte count. A page read
+// that still fails after retries means a worker holds latches it can never
+// release sensibly — the device is gone — so it is fatal.
+func (p *Pool) readPage(buf []byte, off int64) int {
+	n, err := p.sched.ReadWait(iosched.ClassPageRead, p.dbFile, buf, off, 64)
+	if err != nil {
+		panic(fmt.Sprintf("buffer: page read at %d failed: %v", off, err))
+	}
+	return n
+}
+
+// ReadPageImage reads the on-SSD image of pid into buf (len >= PageSize),
+// bypassing the pool. Consistency checks and tooling use it instead of
+// touching the database file directly.
+func (p *Pool) ReadPageImage(buf []byte, pid base.PageID) int {
+	return p.readPage(buf[:base.PageSize], int64(pid)*base.PageSize)
+}
 
 // Ops returns the registered page-structure callbacks.
 func (p *Pool) Ops() PageOps { return p.cfg.Ops }
@@ -381,7 +418,7 @@ func (p *Pool) ResolveSlow(parentIdx int32, swipOff int, reserved int32) (_ int3
 	}
 	f := &p.frames[idx]
 	f.Latch.LockExclusive()
-	n := p.dbFile.ReadAt(f.data, int64(pid)*base.PageSize)
+	n := p.readPage(f.data, int64(pid)*base.PageSize)
 	if n < base.PageSize {
 		clear(f.data[n:])
 	}
@@ -406,7 +443,7 @@ func (p *Pool) LoadPinnedPage(pid base.PageID) (int32, *Frame) {
 	idx := p.grabFreeFrame()
 	f := &p.frames[idx]
 	f.Latch.LockExclusive()
-	n := p.dbFile.ReadAt(f.data, int64(pid)*base.PageSize)
+	n := p.readPage(f.data, int64(pid)*base.PageSize)
 	if n < base.PageSize {
 		clear(f.data[n:])
 	}

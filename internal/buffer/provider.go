@@ -40,9 +40,12 @@ func (p *Pool) providerLoop() {
 			default:
 			}
 		}
-		// Never park with copies in the writeback buffer: their frames are
-		// marked writeBack, and the checkpointer waits for that flag to
-		// clear before it will touch them.
+		// Never park with unsubmitted copies in the writeback buffer:
+		// their frames are marked writeBack, and the checkpointer waits
+		// for that flag to clear before it will touch them. Once
+		// submitted, the I/O scheduler clears the flags at barrier
+		// completion regardless of what the provider does, so parking
+		// with a batch in flight is fine.
 		if wb.Len() > 0 {
 			wb.Flush()
 		}

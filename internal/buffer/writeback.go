@@ -4,22 +4,44 @@ import (
 	"sync/atomic"
 
 	"repro/internal/base"
+	"repro/internal/iosched"
 )
+
+// wbRetries is the per-request retry budget for writeback I/O. A batch
+// whose writes still fail after retries simply does not advance the
+// affected persisted GSNs: the pages stay dirty and are retried on the
+// next provider round or checkpoint increment.
+const wbRetries = 8
 
 // Writeback is the writeback buffer of §3.8: pages are copied out of the
 // pool under a brief exclusive latch (marking the frame writeBack), their
 // swizzled pointers replaced by page IDs in the copy, and the batch is then
-// written to the database file in one go followed by a single device flush.
-// Only after the flush does the persisted GSN of each frame advance — doing
-// it earlier could let the checkpointer prune the log too early (§3.8).
+// submitted to the I/O scheduler in one go followed by a single sync
+// barrier. Only after the barrier completes does the persisted GSN of each
+// frame advance — doing it earlier could let the checkpointer prune the log
+// too early (§3.8).
 //
-// Both the page provider and the checkpointer own one.
+// Flush is asynchronous: it swaps the filled batch into "flight" state and
+// returns while the scheduler works, so the owner overlaps the next batch's
+// copy-out with in-flight I/O (the libaio pattern of §3.8). At most one
+// batch is in flight; Flush drains the previous one first, and Drain waits
+// for the current one. Both the page provider and the checkpointer own one;
+// a Writeback is not safe for concurrent use.
 type Writeback struct {
 	pool    *Pool
+	class   iosched.Class
 	entries []wbEntry
 	arena   []byte
 	swipBuf []int
-	written *atomic.Uint64 // byte counter credited on flush
+	written *atomic.Uint64 // byte counter credited on barrier completion
+
+	failures atomic.Uint64 // batches entries that missed their GSN advance
+
+	// In-flight batch (submitted, barrier not yet waited).
+	flEntries []wbEntry
+	flArena   []byte
+	flWrites  []*iosched.Request
+	flSync    *iosched.Request
 }
 
 type wbEntry struct {
@@ -30,14 +52,24 @@ type wbEntry struct {
 }
 
 // NewWriteback creates a writeback buffer crediting flushed bytes to
-// written (which may be nil).
+// written (which may be nil). The default request class is ClassWriteback;
+// the checkpointer overrides it with SetClass.
 func NewWriteback(pool *Pool, batch int, written *atomic.Uint64) *Writeback {
 	return &Writeback{
 		pool:    pool,
+		class:   iosched.ClassWriteback,
 		arena:   make([]byte, batch*base.PageSize),
 		written: written,
 	}
 }
+
+// SetClass changes the scheduler class used for this buffer's requests.
+func (w *Writeback) SetClass(c iosched.Class) { w.class = c }
+
+// Failures returns the number of page writes that did not reach durability
+// because their write or sync failed after retries. Owners that must know a
+// flush really happened (the checkpointer) compare it around Flush+Drain.
+func (w *Writeback) Failures() uint64 { return w.failures.Load() }
 
 // Len returns the number of buffered pages.
 func (w *Writeback) Len() int { return len(w.entries) }
@@ -78,8 +110,10 @@ func (w *Writeback) Add(idx int32, f *Frame) bool {
 	return true
 }
 
-// Flush writes all buffered pages, flushes the device cache once, advances
-// the persisted GSNs, and clears the writeBack marks. Returns bytes written.
+// Flush submits all buffered pages plus one sync barrier to the I/O
+// scheduler and returns the submitted byte count without waiting for
+// completion. Persisted GSNs advance and writeBack marks clear on the
+// scheduler worker when the barrier completes. Call Drain to wait.
 func (w *Writeback) Flush() int {
 	if len(w.entries) == 0 {
 		return 0
@@ -90,20 +124,48 @@ func (w *Writeback) Flush() int {
 	if w.pool.cfg.FlushLogs != nil {
 		w.pool.cfg.FlushLogs()
 	}
+	// One batch in flight at a time: the flight buffers are reused.
+	w.Drain()
+	w.entries, w.flEntries = w.flEntries[:0], w.entries
+	w.arena, w.flArena = w.flArena, w.arena
+	if w.arena == nil {
+		// Second arena, allocated lazily on the first flush so buffers
+		// that never flush (read-mostly runs) pay only one.
+		w.arena = make([]byte, len(w.flArena))
+	}
 	db := w.pool.dbFile
-	for _, e := range w.entries {
-		db.WriteAt(w.arena[e.off:e.off+base.PageSize], int64(e.pid)*base.PageSize)
+	sched := w.pool.sched
+	w.flWrites = w.flWrites[:0]
+	for _, e := range w.flEntries {
+		w.flWrites = append(w.flWrites,
+			sched.Write(w.class, db, w.flArena[e.off:e.off+base.PageSize],
+				int64(e.pid)*base.PageSize, wbRetries))
 	}
-	db.Sync()
-	bytes := len(w.entries) * base.PageSize
-	for _, e := range w.entries {
-		f := w.pool.Frame(e.frameIdx)
-		f.advancePersistedGSN(e.gsn)
-		f.writeback.Store(false)
+	entries, writes := w.flEntries, w.flWrites
+	w.flSync = sched.SyncCb(w.class, db, wbRetries, func(sr *iosched.Request) {
+		// Scheduler worker context: atomics only, no blocking. The
+		// barrier guarantees every write in the batch already completed.
+		for i, e := range entries {
+			f := w.pool.Frame(e.frameIdx)
+			if sr.Err == nil && writes[i].Err == nil {
+				f.advancePersistedGSN(e.gsn)
+				if w.written != nil {
+					w.written.Add(base.PageSize)
+				}
+			} else {
+				w.failures.Add(1)
+			}
+			f.writeback.Store(false)
+		}
+	})
+	return len(entries) * base.PageSize
+}
+
+// Drain waits for the in-flight batch (if any) to finish its barrier.
+func (w *Writeback) Drain() {
+	if w.flSync == nil {
+		return
 	}
-	if w.written != nil {
-		w.written.Add(uint64(bytes))
-	}
-	w.entries = w.entries[:0]
-	return bytes
+	w.flSync.Wait()
+	w.flSync = nil
 }

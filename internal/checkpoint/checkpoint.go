@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/buffer"
+	"repro/internal/iosched"
 	"repro/internal/wal"
 )
 
@@ -135,6 +136,7 @@ func (c *Checkpointer) WrittenBytesCounter() *atomic.Uint64 { return &c.written 
 
 func (c *Checkpointer) loop() {
 	wb := buffer.NewWriteback(c.cfg.Pool, c.cfg.WritebackBatch, &c.written)
+	wb.SetClass(iosched.ClassCheckpoint)
 	ticker := time.NewTicker(5 * time.Millisecond)
 	defer ticker.Stop()
 	for {
@@ -206,7 +208,17 @@ func (c *Checkpointer) increment(wb *buffer.Writeback) {
 	c.nextIncr++
 	c.tableMu.Unlock()
 
+	failsBefore := wb.Failures()
 	c.writeShard(shard, wb)
+	wb.Drain()
+	if wb.Failures() != failsBefore {
+		// Some page of this shard never reached the device: recording
+		// minCurrent in the shard table now would let pruning drop log
+		// records the stale on-disk image still needs. Leave the table
+		// untouched — the pages stay dirty and the next rotation of this
+		// shard retries them.
+		return
+	}
 
 	c.tableMu.Lock()
 	c.maxChkptedInShard[shard] = minCurrent
@@ -290,10 +302,15 @@ func (c *Checkpointer) maybeFullCheckpoint(wb *buffer.Writeback) {
 		return
 	}
 	minCurrent := c.cfg.WAL.MinCurrentGSN()
+	failsBefore := wb.Failures()
 	for i := 0; i < c.cfg.Pool.NumFrames(); i++ {
 		c.writeFrame(int32(i), wb)
 	}
 	wb.Flush()
+	wb.Drain()
+	if wb.Failures() != failsBefore {
+		return // failed pages stay dirty; never prune past a stale image
+	}
 	prune := minCurrent
 	if t := c.cfg.Txns.MinActiveTxGSN(); t < prune {
 		prune = t
@@ -306,14 +323,29 @@ func (c *Checkpointer) maybeFullCheckpoint(wb *buffer.Writeback) {
 }
 
 // CheckpointAll synchronously writes every dirty page and truncates the log
-// (used for clean shutdown and at the end of recovery).
+// (used for clean shutdown and at the end of recovery). Failed page writes
+// are retried a few passes; if pages still cannot be persisted the log is
+// left untruncated so recovery can replay them.
 func (c *Checkpointer) CheckpointAll() {
 	wb := buffer.NewWriteback(c.cfg.Pool, c.cfg.WritebackBatch, &c.written)
+	wb.SetClass(iosched.ClassCheckpoint)
 	minCurrent := c.cfg.WAL.MinCurrentGSN()
-	for i := 0; i < c.cfg.Pool.NumFrames(); i++ {
-		c.writeFrame(int32(i), wb)
+	clean := false
+	for pass := 0; pass < 3; pass++ {
+		failsBefore := wb.Failures()
+		for i := 0; i < c.cfg.Pool.NumFrames(); i++ {
+			c.writeFrame(int32(i), wb)
+		}
+		wb.Flush()
+		wb.Drain()
+		if wb.Failures() == failsBefore {
+			clean = true
+			break
+		}
 	}
-	wb.Flush()
+	if !clean {
+		return
+	}
 	prune := minCurrent
 	if t := c.cfg.Txns.MinActiveTxGSN(); t < prune {
 		prune = t

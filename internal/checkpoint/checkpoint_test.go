@@ -87,10 +87,13 @@ func TestIncrementWritesDirtyPagesAndPrunes(t *testing.T) {
 	e.walM.SetOnStaged(c.NotifyStaged)
 
 	// Keep producing log volume until the checkpointer has gone around the
-	// shard table and pruning engages (the idle partition's watermark is
-	// lifted by the background ticker between rounds).
+	// shard table at least twice and pruning engages (the idle partition's
+	// watermark is lifted by the background ticker between rounds). With
+	// asynchronous page writes an increment can take long enough that
+	// pruning already engages on the first rotation, so the loop is gated
+	// on both conditions rather than assuming pruning needs two rotations.
 	deadline := time.Now().Add(10 * time.Second)
-	for e.walM.Stats().PrunedBytes == 0 && time.Now().Before(deadline) {
+	for (e.walM.Stats().PrunedBytes == 0 || c.Stats().Increments < 8) && time.Now().Before(deadline) {
 		e.insertN(t, 1000, 64)
 		time.Sleep(2 * time.Millisecond)
 	}

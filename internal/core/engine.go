@@ -19,6 +19,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/checkpoint"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 	"repro/internal/recovery"
 	"repro/internal/silor"
 	"repro/internal/txn"
@@ -118,6 +119,13 @@ type Config struct {
 	// SiloREpoch overrides the epoch length (default 2ms).
 	SiloREpoch time.Duration
 
+	// IOQueueDepth / IOBatchSize / IOPriorities tune the async I/O
+	// scheduler all SSD traffic is routed through (the libaio analogue;
+	// defaults in iosched.Config).
+	IOQueueDepth int
+	IOBatchSize  int
+	IOPriorities []iosched.Class
+
 	// PMem / SSD supply existing (possibly post-crash) devices; nil creates
 	// fresh ones.
 	PMem *dev.PMem
@@ -161,6 +169,7 @@ type Engine struct {
 	pm  *dev.PMem
 	ssd *dev.SSD
 
+	sched    *iosched.Scheduler
 	pool     *buffer.Pool
 	walMgr   *wal.Manager
 	backend  txn.Backend
@@ -206,6 +215,11 @@ func Open(cfg Config) (*Engine, error) {
 		stop:        make(chan struct{}),
 	}
 	e.nextTreeID.Store(uint64(base.CatalogTreeID) + 1)
+	e.sched = iosched.New(iosched.Config{
+		QueueDepth: cfg.IOQueueDepth,
+		BatchSize:  cfg.IOBatchSize,
+		Priorities: cfg.IOPriorities,
+	})
 
 	// ---- Restart recovery (before anything else touches the devices) ----
 	master := e.readMaster()
@@ -240,6 +254,7 @@ func Open(cfg Config) (*Engine, error) {
 	e.pool = buffer.NewPool(buffer.Config{
 		Frames:  cfg.PoolPages,
 		SSD:     e.ssd,
+		Sched:   e.sched,
 		Ops:     btree.PageOps{},
 		NoSteal: cfg.Mode == ModeSiloR,
 		FlushLogs: func() {
@@ -263,6 +278,7 @@ func Open(cfg Config) (*Engine, error) {
 		GSNFloor:            gsnFloor,
 		PMem:                e.pm,
 		SSD:                 e.ssd,
+		Sched:               e.sched,
 	}
 	rfa := false
 	switch cfg.Mode {
@@ -362,6 +378,14 @@ func Open(cfg Config) (*Engine, error) {
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
+			defer func() {
+				// A pool interrupt (designed no-steal stall, Figure 9 d) can
+				// strike mid-scan; the engine is terminal then and only Close
+				// remains, so the checkpoint thread just stops.
+				if r := recover(); r != nil && r != buffer.ErrPoolInterrupted {
+					panic(r)
+				}
+			}()
 			e.silorCheckpointLoop()
 		}()
 	}
@@ -382,7 +406,7 @@ func Open(cfg Config) (*Engine, error) {
 		// stable-GSN marker, still valid thanks to the GSN floor) stay.
 		e.walMgr.StageAllToSSD()
 		if cfg.Archive {
-			wal.ArchiveAllLive(e.ssd)
+			wal.ArchiveAllLive(e.ssd, e.sched)
 		}
 		wal.RemoveFiles(e.ssd, oldSegments)
 	}
@@ -432,7 +456,9 @@ func (e *Engine) readMaster() masterRecord {
 	return m
 }
 
-// writeMaster persists the master record.
+// writeMaster persists the master record. A write that still fails after
+// retries leaves the previous master in place — the engine keeps running on
+// the older (more conservative only in allocator terms) floors.
 func (e *Engine) writeMaster() {
 	f := e.ssd.Open(masterFileName)
 	var b [40]byte
@@ -441,8 +467,10 @@ func (e *Engine) writeMaster() {
 	binary.LittleEndian.PutUint64(b[16:], e.nextTreeID.Load())
 	binary.LittleEndian.PutUint64(b[24:], uint64(e.txns.NextTxnID()))
 	binary.LittleEndian.PutUint64(b[32:], uint64(e.walMgr.MaxGSN()))
-	f.WriteAt(b[:], 0)
-	f.Sync()
+	if err := e.sched.WriteWait(iosched.ClassCheckpoint, f, b[:], 0, 64); err != nil {
+		return
+	}
+	e.sched.SyncWait(iosched.ClassCheckpoint, f, 64)
 }
 
 // openCatalog creates or opens the catalog tree and loads all user trees.
@@ -751,6 +779,9 @@ func (e *Engine) Checkpointer() *checkpoint.Checkpointer { return e.ckpt }
 // Devices returns the underlying simulated devices.
 func (e *Engine) Devices() (*dev.PMem, *dev.SSD) { return e.pm, e.ssd }
 
+// IOSched exposes the engine's I/O scheduler (backup, harness, tests).
+func (e *Engine) IOSched() *iosched.Scheduler { return e.sched }
+
 // CheckpointNow synchronously writes all dirty pages and truncates the log.
 func (e *Engine) CheckpointNow() { e.ckpt.CheckpointAll() }
 
@@ -778,6 +809,7 @@ func (e *Engine) Close() error {
 	}
 	e.walMgr.Close(true)
 	e.pool.Close()
+	e.sched.Close()
 	return nil
 }
 
@@ -798,6 +830,9 @@ func (e *Engine) SimulateCrash(seed uint64) (*dev.PMem, *dev.SSD) {
 	}
 	e.walMgr.Close(false)
 	e.pool.Close()
+	// Abort instead of drain: queued requests fail with ErrAborted, exactly
+	// like I/Os that never reached the device before the crash.
+	e.sched.Abort()
 	if e.walPersistsToDRAM() {
 		e.pm.CrashVolatile()
 	} else {
@@ -817,6 +852,7 @@ type Stats struct {
 	WAL  wal.Stats
 	Pool buffer.Stats
 	Ckpt checkpoint.Stats
+	IO   iosched.Stats
 
 	LiveWALBytes  uint64
 	SSDBytesRead  uint64
@@ -834,6 +870,7 @@ func (e *Engine) Stats() Stats {
 		WAL:           e.walMgr.Stats(),
 		Pool:          e.pool.Stats(),
 		Ckpt:          e.ckpt.Stats(),
+		IO:            e.sched.Stats(),
 		LiveWALBytes:  e.walMgr.LiveWALBytes(),
 		SSDBytesRead:  e.ssd.BytesRead(),
 		SSDBytesWrite: e.ssd.BytesWritten(),

@@ -17,10 +17,17 @@ type SSD struct {
 	mu    sync.Mutex
 	files map[string]*File
 
-	// Latency/bandwidth model (zero values disable it). Applied per call:
-	// sleep = OpLatency + bytes/Bandwidth.
-	OpLatency time.Duration // per read/write/sync call
-	Bandwidth int64         // bytes per second; 0 = infinite
+	// Latency/bandwidth model (zero values disable it), set via SetPerf.
+	// Per-op latency overlaps across concurrent callers (parallel NVMe
+	// commands each pay it independently), while bandwidth is a shared
+	// device resource: callers reserve sequential slots on a token-bucket
+	// timeline so aggregate throughput never exceeds the configured rate
+	// no matter how many goroutines issue I/O at once.
+	opLatencyNs atomic.Int64
+	bandwidth   atomic.Int64 // bytes per second; 0 = infinite
+
+	bwMu   sync.Mutex
+	bwFree time.Time // when the device's transfer pipe is next free
 
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
@@ -86,13 +93,42 @@ func (d *SSD) Crash() {
 	}
 }
 
+// SetPerf configures the performance model: opLatency per device command
+// and a shared bandwidth cap in bytes/second (0 disables either). Safe to
+// call while I/O is in flight (the harness changes device speed mid-run).
+func (d *SSD) SetPerf(opLatency time.Duration, bandwidth int64) {
+	d.opLatencyNs.Store(int64(opLatency))
+	d.bandwidth.Store(bandwidth)
+}
+
+// OpLatency returns the configured per-command latency.
+func (d *SSD) OpLatency() time.Duration { return time.Duration(d.opLatencyNs.Load()) }
+
+// Bandwidth returns the configured shared bandwidth cap (0 = infinite).
+func (d *SSD) Bandwidth() int64 { return d.bandwidth.Load() }
+
 func (d *SSD) delay(bytes int) {
-	if d.OpLatency == 0 && d.Bandwidth == 0 {
-		return
+	op := time.Duration(d.opLatencyNs.Load())
+	var bwWait time.Duration
+	if bw := d.bandwidth.Load(); bw > 0 && bytes > 0 {
+		// Reserve a slot on the shared transfer timeline: concurrent
+		// callers queue behind each other instead of each sleeping
+		// bytes/bandwidth independently (which would let N callers
+		// move N× the configured rate).
+		service := time.Duration(int64(bytes) * int64(time.Second) / bw)
+		now := time.Now()
+		d.bwMu.Lock()
+		start := d.bwFree
+		if start.Before(now) {
+			start = now
+		}
+		d.bwFree = start.Add(service)
+		bwWait = d.bwFree.Sub(now)
+		d.bwMu.Unlock()
 	}
-	sleep := d.OpLatency
-	if d.Bandwidth > 0 {
-		sleep += time.Duration(int64(bytes) * int64(time.Second) / d.Bandwidth)
+	sleep := op
+	if bwWait > sleep {
+		sleep = bwWait
 	}
 	if sleep > 0 {
 		time.Sleep(sleep)
@@ -150,7 +186,25 @@ func (f *File) WriteAt(data []byte, off int64) {
 		}
 	}
 	copy(f.live[off:], data)
-	f.pending = append(f.pending, spanRange{int(off), end})
+	// Coalesce with every overlapping or adjacent pending span in one
+	// pass: repeated small writes to the same region before a Sync would
+	// otherwise grow the span list without bound and re-copy every span
+	// on Sync.
+	ns := spanRange{int(off), end}
+	kept := f.pending[:0]
+	for _, r := range f.pending {
+		if r.end < ns.off || r.off > ns.end {
+			kept = append(kept, r)
+			continue
+		}
+		if r.off < ns.off {
+			ns.off = r.off
+		}
+		if r.end > ns.end {
+			ns.end = r.end
+		}
+	}
+	f.pending = append(kept, ns)
 	f.mu.Unlock()
 	f.dev.bytesWritten.Add(uint64(len(data)))
 	f.dev.delay(len(data))

@@ -194,7 +194,7 @@ func Fig12(w io.Writer, sc Scale, threads int) ([]Series, error) {
 					over(c)
 				}
 				ssd := dev.NewSSD()
-				ssd.Bandwidth = ssdBandwidth
+				ssd.SetPerf(0, ssdBandwidth)
 				c.SSD = ssd
 			})
 			if err != nil {

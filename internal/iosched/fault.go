@@ -1,0 +1,106 @@
+// Fault injection: the scheduler is the single choke point for all SSD
+// traffic, so per-class fault profiles let robustness tests exercise the
+// engine's invariants (DESIGN.md §4) under failed writes, slow devices, and
+// out-of-order completion delivery without touching the subsystems
+// themselves.
+package iosched
+
+import (
+	"time"
+
+	"repro/internal/dev"
+	"repro/internal/sys"
+)
+
+// Fault is a per-class injection profile.
+type Fault struct {
+	// ErrRate is the probability in [0,1] that an attempt fails with
+	// ErrInjected instead of touching the device. Retries re-roll.
+	ErrRate float64
+	// ExtraLatency is added to every attempt.
+	ExtraLatency time.Duration
+	// ReorderWindow > 1 withholds completed write completions per file
+	// and delivers up to that many in shuffled order. Reordering never
+	// crosses a sync barrier: all withheld completions for a file are
+	// delivered (shuffled) strictly before a sync on it executes.
+	ReorderWindow int
+	// Seed reseeds the scheduler's fault RNG when non-zero, making a
+	// profile deterministic.
+	Seed uint64
+}
+
+// SetFault installs a fault profile for one class. A zero Fault clears it.
+func (s *Scheduler) SetFault(c Class, f Fault) {
+	s.mu.Lock()
+	s.faults[c] = f
+	if f.Seed != 0 {
+		s.rng = sys.NewRand(f.Seed)
+	}
+	s.mu.Unlock()
+}
+
+// ClearFaults removes every fault profile. Completions already withheld
+// for reordering are delivered by the next barrier/idle trigger as usual.
+func (s *Scheduler) ClearFaults() {
+	s.mu.Lock()
+	s.faults = [NumClasses]Fault{}
+	s.mu.Unlock()
+}
+
+// faultDecision rolls one attempt's injected error and added latency.
+func (s *Scheduler) faultDecision(c Class) (inject bool, extra time.Duration) {
+	s.mu.Lock()
+	f := s.faults[c]
+	if f.ErrRate > 0 && s.rng.Float64() < f.ErrRate {
+		inject = true
+	}
+	s.mu.Unlock()
+	return inject, f.ExtraLatency
+}
+
+// parkReorderedLocked withholds a completed write's completion and decides
+// whether the file's withheld set should be released now. Release triggers:
+//
+//	(a) the file has no queued or in-flight writes left — nothing more to
+//	    shuffle with, and callers that wait their write handles before
+//	    submitting a sync would otherwise deadlock;
+//	(c) the withheld set reached the configured window.
+//
+// Trigger (b) — a sync on the file is about to execute — lives in execute,
+// and (d) — Close/Abort — in Abort (Close drains via (a)).
+func (s *Scheduler) parkReorderedLocked(fs *fileState, r *Request) []*Request {
+	fs.reorderParked = append(fs.reorderParked, r)
+	window := s.faults[r.Class].ReorderWindow
+	if (fs.queuedWrites == 0 && fs.inflightWrites == 0) || len(fs.reorderParked) >= window {
+		return s.takeShuffledLocked(fs)
+	}
+	return nil
+}
+
+// releaseReordered delivers all withheld completions for f in shuffled
+// order. Called before a sync on f executes, so reordering stays within
+// the barrier window.
+func (s *Scheduler) releaseReordered(f *dev.File) {
+	s.mu.Lock()
+	fs := s.files[f]
+	if fs == nil || len(fs.reorderParked) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	release := s.takeShuffledLocked(fs)
+	s.mu.Unlock()
+	for _, r := range release {
+		s.deliver(r)
+	}
+}
+
+func (s *Scheduler) takeShuffledLocked(fs *fileState) []*Request {
+	parked := fs.reorderParked
+	fs.reorderParked = nil
+	// Fisher-Yates with the scheduler RNG (deterministic under Seed).
+	for i := len(parked) - 1; i > 0; i-- {
+		j := s.rng.Intn(i + 1)
+		parked[i], parked[j] = parked[j], parked[i]
+	}
+	return parked
+}

@@ -1,0 +1,673 @@
+// Package iosched is a libaio-style asynchronous I/O scheduler over the
+// simulated SSD (§3.8). The paper's engine never issues blocking
+// one-page-at-a-time I/O: WAL stage-2 writes, writeback batches, and
+// checkpoint increments all go through O_DIRECT + libaio submission and
+// completion queues. This package is the reproduction's substitute for that
+// seam: every subsystem submits typed requests (read / write / sync
+// barrier) into per-class FIFO queues, a fixed pool of workers drains them
+// in priority order (WAL flush > page-fault read > writeback > checkpoint >
+// backup/archive), and completion is delivered through an awaitable handle
+// or a callback. Because the device model sleeps to simulate latency,
+// running several requests on distinct workers is exactly how real
+// queue-depth parallelism overlaps device time with useful work.
+//
+// Durability semantics mirror libaio over a volatile write cache: a write
+// completion means the device accepted the data (it may still be lost by a
+// crash); only a sync-barrier completion makes previously completed writes
+// on that file durable. A sync request submitted to a file is eligible to
+// run only after every write submitted to that file *before the sync* has
+// completed, so "submit batch, then sync, then wait the sync" is the
+// idiomatic durable-batch pattern and callers never need to wait individual
+// writes for ordering (only for error checking).
+//
+// The scheduler is also the single fault-injection point for robustness
+// tests: per-class error rates, added latency, and completion reordering
+// within a barrier window (see fault.go).
+package iosched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dev"
+	"repro/internal/metrics"
+	"repro/internal/sys"
+)
+
+// Class identifies the submitter of a request; it selects the priority
+// queue, the fault-injection profile, and the stats bucket.
+type Class int32
+
+const (
+	ClassWAL        Class = iota // stage-2 log flush + commit marker: latency critical
+	ClassPageRead                // demand page faults: a worker is stalled on it
+	ClassWriteback               // provider dirty-page writeback
+	ClassCheckpoint              // checkpoint increments, master record, silor
+	ClassBackup                  // backup, restore, segment archiving
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassWAL:
+		return "wal"
+	case ClassPageRead:
+		return "read"
+	case ClassWriteback:
+		return "writeback"
+	case ClassCheckpoint:
+		return "checkpoint"
+	case ClassBackup:
+		return "backup"
+	}
+	return fmt.Sprintf("class%d", int32(c))
+}
+
+// Op is the request type.
+type Op int32
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpSync // durability barrier over all writes submitted to File before it
+)
+
+var (
+	// ErrInjected is returned by requests failed through SetFault.
+	ErrInjected = errors.New("iosched: injected I/O error")
+	// ErrAborted is returned for requests dropped by Abort (crash model).
+	ErrAborted = errors.New("iosched: aborted")
+	// ErrClosed is returned for requests submitted after Close began.
+	ErrClosed = errors.New("iosched: scheduler closed")
+)
+
+// Request is one I/O operation. Callers either construct one and Submit it
+// or use the Read/Write/Sync helpers. After completion (Wait returns, or
+// OnComplete fires) N holds the byte count for reads and Err the final
+// error after retries. A request must not be reused.
+type Request struct {
+	Op      Op
+	Class   Class
+	File    *dev.File
+	Buf     []byte // aliased until completion: caller must not mutate in flight
+	Off     int64
+	Retries int // extra attempts after an injected failure
+	// OnComplete, if set, runs on the worker goroutine that finished the
+	// request, before Wait is released. It must not block and must not
+	// call back into the scheduler.
+	OnComplete func(*Request)
+
+	N   int
+	Err error
+
+	done    chan struct{}
+	barrier uint64 // OpSync: required completed-write count on File
+}
+
+// Wait blocks until the request completes and returns its final error.
+func (r *Request) Wait() error {
+	<-r.done
+	return r.Err
+}
+
+// Config sizes the scheduler.
+type Config struct {
+	// QueueDepth is the number of concurrently executing requests
+	// (worker goroutines), the analogue of the libaio queue depth.
+	// Default 8.
+	QueueDepth int
+	// BatchSize caps how many requests one worker dequeues per lock
+	// hold. Larger batches amortize dequeue overhead but let a worker
+	// run stale low-priority picks after a high-priority arrival.
+	// Default 4.
+	BatchSize int
+	// Priorities is the dispatch order over classes. Default:
+	// WAL, page read, writeback, checkpoint, backup.
+	Priorities []Class
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4
+	}
+	if len(c.Priorities) == 0 {
+		c.Priorities = []Class{ClassWAL, ClassPageRead, ClassWriteback, ClassCheckpoint, ClassBackup}
+	}
+}
+
+// fileState tracks the per-file write/sync barrier accounting. Writes count
+// as completed when the device call returns (even if the completion is
+// being withheld by reorder injection, and even if the request failed) so
+// that sync barriers always become eligible.
+type fileState struct {
+	writesSubmitted uint64
+	writesCompleted uint64
+	queuedWrites    int
+	inflightWrites  int
+	parkedSyncs     []*Request // barrier not yet satisfied
+	reorderParked   []*Request // completed writes withheld by fault injection
+}
+
+func (fs *fileState) quiescent() bool {
+	return fs.queuedWrites == 0 && fs.inflightWrites == 0 &&
+		len(fs.parkedSyncs) == 0 && len(fs.reorderParked) == 0
+}
+
+type classCounters struct {
+	submitted    uint64
+	completed    uint64
+	errors       uint64
+	retries      uint64
+	injected     uint64
+	bytesRead    uint64
+	bytesWritten uint64
+	syncs        uint64
+	inflight     int
+}
+
+// Scheduler is the I/O scheduler. All methods are safe for concurrent use.
+type Scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cfg  Config
+
+	queues      [NumClasses][]*Request
+	queuedTotal int
+	files       map[*dev.File]*fileState
+	pending     int // queued + inflight + parked: outstanding completions
+
+	faults [NumClasses]Fault
+	rng    *sys.Rand
+
+	closing bool // no new submissions; drain in progress
+	closed  bool // workers may exit
+	aborted bool
+
+	counters [NumClasses]classCounters
+	lat      [NumClasses]*metrics.Histogram
+	wg       sync.WaitGroup
+}
+
+// New starts a scheduler with cfg.QueueDepth workers.
+func New(cfg Config) *Scheduler {
+	cfg.fillDefaults()
+	s := &Scheduler{
+		cfg:   cfg,
+		files: make(map[*dev.File]*fileState),
+		rng:   sys.NewRand(0x105ced),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for c := range s.lat {
+		s.lat[c] = metrics.NewHistogram()
+	}
+	s.wg.Add(cfg.QueueDepth)
+	for i := 0; i < cfg.QueueDepth; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues one request. The request completes asynchronously; after
+// Close or Abort it completes immediately with ErrClosed/ErrAborted.
+func (s *Scheduler) Submit(r *Request) {
+	r.done = make(chan struct{})
+	s.mu.Lock()
+	if !s.submitLocked(r) {
+		err := ErrClosed
+		if s.aborted {
+			err = ErrAborted
+		}
+		s.mu.Unlock()
+		r.Err = err
+		s.deliver(r)
+		return
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// SubmitBatch enqueues several requests under one lock hold.
+func (s *Scheduler) SubmitBatch(rs []*Request) {
+	for _, r := range rs {
+		r.done = make(chan struct{})
+	}
+	var rejected []*Request
+	s.mu.Lock()
+	for _, r := range rs {
+		if !s.submitLocked(r) {
+			rejected = append(rejected, r)
+		}
+	}
+	err := ErrClosed
+	if s.aborted {
+		err = ErrAborted
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, r := range rejected {
+		r.Err = err
+		s.deliver(r)
+	}
+}
+
+func (s *Scheduler) submitLocked(r *Request) bool {
+	if s.closing || s.closed {
+		return false
+	}
+	s.pending++
+	s.counters[r.Class].submitted++
+	fs := s.fileStateLocked(r.File)
+	switch r.Op {
+	case OpWrite:
+		fs.writesSubmitted++
+		fs.queuedWrites++
+		s.enqueueLocked(r, false)
+	case OpSync:
+		r.barrier = fs.writesSubmitted
+		if fs.writesCompleted >= r.barrier {
+			s.enqueueLocked(r, false)
+		} else {
+			fs.parkedSyncs = append(fs.parkedSyncs, r)
+		}
+	default:
+		s.enqueueLocked(r, false)
+	}
+	return true
+}
+
+func (s *Scheduler) fileStateLocked(f *dev.File) *fileState {
+	fs := s.files[f]
+	if fs == nil {
+		fs = &fileState{}
+		s.files[f] = fs
+	}
+	return fs
+}
+
+func (s *Scheduler) enqueueLocked(r *Request, front bool) {
+	q := s.queues[r.Class]
+	if front {
+		q = append(q, nil)
+		copy(q[1:], q)
+		q[0] = r
+	} else {
+		q = append(q, r)
+	}
+	s.queues[r.Class] = q
+	s.queuedTotal++
+}
+
+// popLocked removes the highest-priority queued request.
+func (s *Scheduler) popLocked() *Request {
+	for _, c := range s.cfg.Priorities {
+		if q := s.queues[c]; len(q) > 0 {
+			r := q[0]
+			q[0] = nil
+			s.queues[c] = q[1:]
+			if len(s.queues[c]) == 0 {
+				// Reset so the backing array is reusable instead of
+				// creeping forward forever.
+				s.queues[c] = q[:0]
+			}
+			s.queuedTotal--
+			return r
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	batch := make([]*Request, 0, 16)
+	for {
+		s.mu.Lock()
+		for s.queuedTotal == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.queuedTotal == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		batch = batch[:0]
+		for len(batch) < s.cfg.BatchSize && s.queuedTotal > 0 {
+			r := s.popLocked()
+			s.counters[r.Class].inflight++
+			if r.Op == OpWrite {
+				fs := s.fileStateLocked(r.File)
+				fs.queuedWrites--
+				fs.inflightWrites++
+			}
+			batch = append(batch, r)
+		}
+		s.mu.Unlock()
+		for _, r := range batch {
+			s.execute(r)
+		}
+	}
+}
+
+// execute runs one dequeued request on the device, applying fault
+// injection, then routes the completion.
+func (s *Scheduler) execute(r *Request) {
+	if r.Op == OpSync {
+		// Reordered completions must all be delivered strictly before
+		// the barrier completes (trigger b in fault.go).
+		s.releaseReordered(r.File)
+	}
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		inject, extra := s.faultDecision(r.Class)
+		if extra > 0 {
+			time.Sleep(extra)
+		}
+		if inject {
+			r.Err = ErrInjected
+		} else {
+			r.Err = nil
+			switch r.Op {
+			case OpRead:
+				r.N = r.File.ReadAt(r.Buf, r.Off)
+			case OpWrite:
+				r.File.WriteAt(r.Buf, r.Off)
+				r.N = len(r.Buf)
+			case OpSync:
+				r.File.Sync()
+			}
+		}
+		if r.Err == nil || attempt >= r.Retries {
+			break
+		}
+		s.mu.Lock()
+		s.counters[r.Class].retries++
+		s.mu.Unlock()
+	}
+	s.lat[r.Class].Observe(time.Since(start))
+
+	s.mu.Lock()
+	s.counters[r.Class].inflight--
+	if r.Op == OpWrite {
+		fs := s.fileStateLocked(r.File)
+		fs.inflightWrites--
+		fs.writesCompleted++
+		s.wakeSyncsLocked(fs)
+		if !s.closing && s.faults[r.Class].ReorderWindow > 1 {
+			release := s.parkReorderedLocked(fs, r)
+			s.maybeReapLocked(r.File, fs)
+			s.mu.Unlock()
+			for _, pr := range release {
+				s.deliver(pr)
+			}
+			return
+		}
+		s.maybeReapLocked(r.File, fs)
+	} else if r.Op == OpSync {
+		if fs := s.files[r.File]; fs != nil {
+			s.maybeReapLocked(r.File, fs)
+		}
+	}
+	s.mu.Unlock()
+	s.deliver(r)
+}
+
+// wakeSyncsLocked moves barrier-satisfied parked syncs to the front of
+// their class queue so the barrier completes ahead of later submissions.
+func (s *Scheduler) wakeSyncsLocked(fs *fileState) {
+	if len(fs.parkedSyncs) == 0 {
+		return
+	}
+	kept := fs.parkedSyncs[:0]
+	for _, sr := range fs.parkedSyncs {
+		if fs.writesCompleted >= sr.barrier {
+			s.enqueueLocked(sr, true)
+		} else {
+			kept = append(kept, sr)
+		}
+	}
+	fs.parkedSyncs = kept
+	s.cond.Broadcast()
+}
+
+// maybeReapLocked drops quiescent per-file state so archived/removed files
+// do not accumulate map entries over the engine's lifetime.
+func (s *Scheduler) maybeReapLocked(f *dev.File, fs *fileState) {
+	if fs.quiescent() {
+		delete(s.files, f)
+	}
+}
+
+// deliver finishes a request: stats, callback, handle, drain accounting.
+func (s *Scheduler) deliver(r *Request) {
+	s.mu.Lock()
+	ctr := &s.counters[r.Class]
+	ctr.completed++
+	if r.Err != nil {
+		ctr.errors++
+		if errors.Is(r.Err, ErrInjected) {
+			ctr.injected++
+		}
+	} else {
+		switch r.Op {
+		case OpRead:
+			ctr.bytesRead += uint64(r.N)
+		case OpWrite:
+			ctr.bytesWritten += uint64(r.N)
+		case OpSync:
+			ctr.syncs++
+		}
+	}
+	s.pending--
+	if s.pending == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	if r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+	close(r.done)
+}
+
+// Close drains every outstanding request, then stops the workers. New
+// submissions fail with ErrClosed once Close has begun.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closing = true
+	s.cond.Broadcast()
+	for s.pending > 0 {
+		s.cond.Wait()
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Abort models a crash: every queued request, parked sync, and withheld
+// completion is failed or delivered immediately without touching the
+// device; requests already executing finish their device call (the device's
+// own Crash drops unsynced data). The scheduler is unusable afterwards.
+func (s *Scheduler) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closing = true
+	s.aborted = true
+	var victims []*Request
+	for c := range s.queues {
+		victims = append(victims, s.queues[c]...)
+		s.queues[c] = nil
+	}
+	s.queuedTotal = 0
+	var withheld []*Request
+	for f, fs := range s.files {
+		victims = append(victims, fs.parkedSyncs...)
+		withheld = append(withheld, fs.reorderParked...)
+		fs.parkedSyncs, fs.reorderParked = nil, nil
+		fs.queuedWrites = 0
+		if fs.inflightWrites == 0 {
+			delete(s.files, f)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, r := range victims {
+		r.Err = ErrAborted
+		s.deliver(r)
+	}
+	for _, r := range withheld {
+		s.deliver(r) // device call already happened; keep its result
+	}
+	s.mu.Lock()
+	for s.pending > 0 {
+		s.cond.Wait()
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Read submits an asynchronous read into buf at off.
+func (s *Scheduler) Read(c Class, f *dev.File, buf []byte, off int64, retries int) *Request {
+	r := &Request{Op: OpRead, Class: c, File: f, Buf: buf, Off: off, Retries: retries}
+	s.Submit(r)
+	return r
+}
+
+// Write submits an asynchronous write of buf at off. buf is aliased until
+// the request completes.
+func (s *Scheduler) Write(c Class, f *dev.File, buf []byte, off int64, retries int) *Request {
+	r := &Request{Op: OpWrite, Class: c, File: f, Buf: buf, Off: off, Retries: retries}
+	s.Submit(r)
+	return r
+}
+
+// WriteCb is Write with a completion callback (runs on a worker; must not
+// block or re-enter the scheduler).
+func (s *Scheduler) WriteCb(c Class, f *dev.File, buf []byte, off int64, retries int, cb func(*Request)) *Request {
+	r := &Request{Op: OpWrite, Class: c, File: f, Buf: buf, Off: off, Retries: retries, OnComplete: cb}
+	s.Submit(r)
+	return r
+}
+
+// Sync submits a durability barrier over all writes previously submitted to
+// f. It executes only after those writes complete.
+func (s *Scheduler) Sync(c Class, f *dev.File, retries int) *Request {
+	r := &Request{Op: OpSync, Class: c, File: f, Retries: retries}
+	s.Submit(r)
+	return r
+}
+
+// SyncCb is Sync with a completion callback.
+func (s *Scheduler) SyncCb(c Class, f *dev.File, retries int, cb func(*Request)) *Request {
+	r := &Request{Op: OpSync, Class: c, File: f, Retries: retries, OnComplete: cb}
+	s.Submit(r)
+	return r
+}
+
+// ReadWait is a synchronous facade over Read.
+func (s *Scheduler) ReadWait(c Class, f *dev.File, buf []byte, off int64, retries int) (int, error) {
+	r := s.Read(c, f, buf, off, retries)
+	err := r.Wait()
+	return r.N, err
+}
+
+// WriteWait is a synchronous facade over Write; the buffer is free for
+// reuse when it returns.
+func (s *Scheduler) WriteWait(c Class, f *dev.File, buf []byte, off int64, retries int) error {
+	return s.Write(c, f, buf, off, retries).Wait()
+}
+
+// SyncWait is a synchronous facade over Sync.
+func (s *Scheduler) SyncWait(c Class, f *dev.File, retries int) error {
+	return s.Sync(c, f, retries).Wait()
+}
+
+// ClassStats is a stats snapshot for one request class.
+type ClassStats struct {
+	Submitted    uint64
+	Completed    uint64
+	Errors       uint64 // final errors after retries (includes aborts)
+	Retries      uint64
+	Injected     uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	Syncs        uint64
+	QueueLen     int
+	Inflight     int
+	MeanLatency  time.Duration
+	P99Latency   time.Duration
+}
+
+// Stats is a point-in-time snapshot across all classes.
+type Stats struct {
+	Classes [NumClasses]ClassStats
+}
+
+// Bytes returns total device bytes moved (reads + writes) across classes.
+func (st Stats) Bytes() uint64 {
+	var n uint64
+	for _, c := range st.Classes {
+		n += c.BytesRead + c.BytesWritten
+	}
+	return n
+}
+
+// Stats snapshots the per-class counters and latency quantiles.
+func (s *Scheduler) Stats() Stats {
+	var st Stats
+	s.mu.Lock()
+	for c := range st.Classes {
+		ctr := s.counters[c]
+		st.Classes[c] = ClassStats{
+			Submitted:    ctr.submitted,
+			Completed:    ctr.completed,
+			Errors:       ctr.errors,
+			Retries:      ctr.retries,
+			Injected:     ctr.injected,
+			BytesRead:    ctr.bytesRead,
+			BytesWritten: ctr.bytesWritten,
+			Syncs:        ctr.syncs,
+			QueueLen:     len(s.queues[c]),
+			Inflight:     ctr.inflight,
+		}
+	}
+	s.mu.Unlock()
+	for c := range st.Classes {
+		if s.lat[c].Count() > 0 {
+			st.Classes[c].MeanLatency = s.lat[c].Mean()
+			st.Classes[c].P99Latency = s.lat[c].Quantile(0.99)
+		}
+	}
+	return st
+}
+
+// Register exports per-class throughput counters and queue-depth gauges on
+// a harness sampler under io.<class>.* names.
+func (s *Scheduler) Register(sampler *metrics.Sampler) {
+	for c := Class(0); c < NumClasses; c++ {
+		c := c
+		sampler.Counter("io."+c.String()+".bytes", func() uint64 {
+			s.mu.Lock()
+			n := s.counters[c].bytesRead + s.counters[c].bytesWritten
+			s.mu.Unlock()
+			return n
+		})
+		sampler.Gauge("io."+c.String()+".queue", func() float64 {
+			s.mu.Lock()
+			n := len(s.queues[c]) + s.counters[c].inflight
+			s.mu.Unlock()
+			return float64(n)
+		})
+	}
+}

@@ -1,0 +1,327 @@
+package iosched
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dev"
+)
+
+// completionLog records delivery order from OnComplete callbacks.
+type completionLog struct {
+	mu    sync.Mutex
+	order []*Request
+}
+
+func (l *completionLog) cb(r *Request) {
+	l.mu.Lock()
+	l.order = append(l.order, r)
+	l.mu.Unlock()
+}
+
+func (l *completionLog) snapshot() []*Request {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Request(nil), l.order...)
+}
+
+func TestSyncBarrierMakesWritesDurable(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{QueueDepth: 4})
+	defer s.Close()
+	f := ssd.Open("data")
+
+	var reqs []*Request
+	for i := 0; i < 8; i++ {
+		buf := bytes.Repeat([]byte{byte('a' + i)}, 512)
+		reqs = append(reqs, s.Write(ClassWriteback, f, buf, int64(i)*512, 0))
+	}
+	// The sync is submitted while writes may still be queued: the barrier
+	// must hold regardless.
+	if err := s.SyncWait(ClassWriteback, f, 0); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	for i, r := range reqs {
+		if err := r.Wait(); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	ssd.Crash()
+	got := make([]byte, 512)
+	for i := 0; i < 8; i++ {
+		f.ReadAt(got, int64(i)*512)
+		if got[0] != byte('a'+i) || got[511] != byte('a'+i) {
+			t.Fatalf("write %d not durable after synced crash", i)
+		}
+	}
+}
+
+func TestSyncDoesNotCoverLaterWrites(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{QueueDepth: 1, BatchSize: 1})
+	defer s.Close()
+	f := ssd.Open("data")
+
+	s.Write(ClassWAL, f, []byte("early"), 0, 0)
+	sync := s.Sync(ClassWAL, f, 0)
+	if err := sync.Wait(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// A write submitted after the sync is cached, not durable.
+	if err := s.WriteWait(ClassWAL, f, []byte("later"), 16, 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ssd.Crash()
+	buf := make([]byte, 5)
+	if f.ReadAt(buf, 0); string(buf) != "early" {
+		t.Fatalf("synced write lost: %q", buf)
+	}
+	if n := f.ReadAt(buf, 16); n != 0 && buf[0] != 0 {
+		t.Fatalf("unsynced later write survived the crash")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{QueueDepth: 1, BatchSize: 1})
+	defer s.Close()
+	f := ssd.Open("data")
+
+	// Plug the single worker with a slow backup request, then queue one
+	// request per class while it sleeps; the worker must then drain them
+	// in priority order, not submission order.
+	s.SetFault(ClassBackup, Fault{ExtraLatency: 30 * time.Millisecond})
+	var log completionLog
+	plug := &Request{Op: OpWrite, Class: ClassBackup, File: f, Buf: []byte("plug"), OnComplete: log.cb}
+	s.Submit(plug)
+	time.Sleep(5 * time.Millisecond) // let the worker pick up the plug
+
+	submitOrder := []Class{ClassBackup, ClassCheckpoint, ClassWriteback, ClassPageRead, ClassWAL}
+	var reqs []*Request
+	for _, c := range submitOrder {
+		r := &Request{Op: OpWrite, Class: c, File: f, Buf: []byte{byte(c)}, Off: 64, OnComplete: log.cb}
+		reqs = append(reqs, r)
+		s.Submit(r)
+	}
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	order := log.snapshot()
+	if order[0] != plug {
+		t.Fatalf("plug did not complete first")
+	}
+	want := []Class{ClassWAL, ClassPageRead, ClassWriteback, ClassCheckpoint, ClassBackup}
+	for i, c := range want {
+		if got := order[i+1].Class; got != c {
+			t.Fatalf("completion %d: got class %v, want %v (full order %v)", i, got, c, order[1:])
+		}
+	}
+}
+
+func TestErrorInjectionWithoutRetries(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{QueueDepth: 2})
+	defer s.Close()
+	f := ssd.Open("data")
+
+	s.SetFault(ClassCheckpoint, Fault{ErrRate: 1.0, Seed: 42})
+	err := s.WriteWait(ClassCheckpoint, f, []byte("doomed"), 0, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if ssd.BytesWritten() != 0 {
+		t.Fatalf("injected failure still touched the device")
+	}
+	st := s.Stats().Classes[ClassCheckpoint]
+	if st.Errors != 1 || st.Injected != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Other classes are unaffected.
+	if err := s.WriteWait(ClassWAL, f, []byte("fine"), 0, 0); err != nil {
+		t.Fatalf("unfaulted class failed: %v", err)
+	}
+}
+
+func TestErrorInjectionRetriesRecover(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{QueueDepth: 2})
+	defer s.Close()
+	f := ssd.Open("data")
+
+	s.SetFault(ClassWAL, Fault{ErrRate: 0.5, Seed: 7})
+	for i := 0; i < 32; i++ {
+		if err := s.WriteWait(ClassWAL, f, []byte("persistent"), int64(i)*16, 64); err != nil {
+			t.Fatalf("write %d failed despite retries: %v", i, err)
+		}
+	}
+	st := s.Stats().Classes[ClassWAL]
+	if st.Retries == 0 {
+		t.Fatalf("expected some retries at 50%% error rate, got none: %+v", st)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("final errors despite retry budget: %+v", st)
+	}
+}
+
+func TestReorderStaysWithinBarrier(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{QueueDepth: 4})
+	defer s.Close()
+	f := ssd.Open("data")
+
+	s.SetFault(ClassWriteback, Fault{ReorderWindow: 4, Seed: 99})
+	var log completionLog
+	const n = 16
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		r := &Request{Op: OpWrite, Class: ClassWriteback, File: f,
+			Buf: []byte{byte(i)}, Off: int64(i), OnComplete: log.cb}
+		reqs = append(reqs, r)
+		s.Submit(r)
+	}
+	sync := &Request{Op: OpSync, Class: ClassWriteback, File: f, OnComplete: log.cb}
+	s.Submit(sync)
+	if err := sync.Wait(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+
+	order := log.snapshot()
+	seen := make(map[*Request]int)
+	for i, r := range order {
+		seen[r] = i
+	}
+	if len(seen) != n+1 {
+		t.Fatalf("completions delivered %d times, want %d distinct", len(order), n+1)
+	}
+	// Every write completion must land strictly before the barrier's.
+	for i, r := range reqs {
+		if seen[r] > seen[sync] {
+			t.Fatalf("write %d completed after its covering sync barrier", i)
+		}
+	}
+	ssd.Crash()
+	buf := make([]byte, 1)
+	for i := 0; i < n; i++ {
+		if f.ReadAt(buf, int64(i)); buf[0] != byte(i) {
+			t.Fatalf("write %d not durable despite completed barrier", i)
+		}
+	}
+}
+
+func TestAbortFailsQueuedRequests(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{QueueDepth: 1, BatchSize: 1})
+	f := ssd.Open("data")
+
+	s.SetFault(ClassBackup, Fault{ExtraLatency: 30 * time.Millisecond})
+	plug := s.Write(ClassBackup, f, []byte("plug"), 0, 0)
+	time.Sleep(5 * time.Millisecond)
+	queued := []*Request{
+		s.Write(ClassWriteback, f, []byte("q1"), 64, 0),
+		s.Sync(ClassWriteback, f, 0),
+		s.Read(ClassPageRead, f, make([]byte, 4), 0, 0),
+	}
+	s.Abort()
+	for i, r := range queued {
+		if err := r.Wait(); !errors.Is(err, ErrAborted) {
+			t.Fatalf("queued request %d: got %v, want ErrAborted", i, err)
+		}
+	}
+	if err := plug.Wait(); err != nil {
+		t.Fatalf("in-flight request should finish its device call: %v", err)
+	}
+	// Post-abort submissions fail immediately.
+	if err := s.WriteWait(ClassWAL, f, []byte("x"), 0, 0); !errors.Is(err, ErrAborted) {
+		t.Fatalf("post-abort submit: got %v", err)
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{QueueDepth: 2})
+	f := ssd.Open("data")
+
+	var reqs []*Request
+	for i := 0; i < 32; i++ {
+		reqs = append(reqs, s.Write(ClassCheckpoint, f, []byte{1}, int64(i), 0))
+	}
+	reqs = append(reqs, s.Sync(ClassCheckpoint, f, 0))
+	s.Close()
+	for i, r := range reqs {
+		if err := r.Wait(); err != nil {
+			t.Fatalf("request %d not drained cleanly: %v", i, err)
+		}
+	}
+	if err := s.WriteWait(ClassWAL, f, []byte("x"), 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit: got %v", err)
+	}
+}
+
+// TestQueueDepthOverlapsDeviceTime is the tentpole's raison d'être: with a
+// per-op device latency, queue depth 8 must finish a batch far faster than
+// queue depth 1 because simulated device time overlaps across workers.
+func TestQueueDepthOverlapsDeviceTime(t *testing.T) {
+	run := func(depth int) time.Duration {
+		ssd := dev.NewSSD()
+		ssd.SetPerf(2*time.Millisecond, 0)
+		s := New(Config{QueueDepth: depth})
+		defer s.Close()
+		f := ssd.Open("data")
+		start := time.Now()
+		var reqs []*Request
+		for i := 0; i < 32; i++ {
+			reqs = append(reqs, s.Write(ClassWriteback, f, []byte{1}, int64(i), 0))
+		}
+		for _, r := range reqs {
+			if err := r.Wait(); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+		return time.Since(start)
+	}
+	serial := run(1)  // ≈ 32 × 2ms
+	overlap := run(8) // ≈ 32/8 × 2ms
+	if overlap*2 >= serial {
+		t.Fatalf("queue depth 8 did not overlap: serial=%v overlap=%v", serial, overlap)
+	}
+}
+
+func TestSchedulerStatsCountTraffic(t *testing.T) {
+	ssd := dev.NewSSD()
+	s := New(Config{})
+	defer s.Close()
+	f := ssd.Open("data")
+
+	payload := bytes.Repeat([]byte{7}, 1024)
+	if err := s.WriteWait(ClassWAL, f, payload, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncWait(ClassWAL, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.ReadWait(ClassPageRead, f, make([]byte, 1024), 0, 0); err != nil || n != 1024 {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	st := s.Stats()
+	wal, rd := st.Classes[ClassWAL], st.Classes[ClassPageRead]
+	if wal.BytesWritten != 1024 || wal.Syncs != 1 || wal.Submitted != 2 || wal.Completed != 2 {
+		t.Fatalf("wal stats: %+v", wal)
+	}
+	if rd.BytesRead != 1024 || rd.Completed != 1 {
+		t.Fatalf("read stats: %+v", rd)
+	}
+	if st.Bytes() != 2048 {
+		t.Fatalf("total bytes: %d", st.Bytes())
+	}
+}

@@ -7,6 +7,7 @@
 package recovery
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -15,8 +16,14 @@ import (
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 	"repro/internal/wal"
 )
+
+// redoRetries bounds transient-error retries on redo I/O; like the WAL's
+// durability path, redo cannot tolerate a skipped page, so exhausting the
+// retries panics.
+const redoRetries = 64
 
 // Result reports what recovery did (the §4.6 measurements).
 type Result struct {
@@ -176,6 +183,11 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 	sort.Slice(work, func(i, j int) bool { return work[i].pid < work[j].pid })
 
 	db := ssd.Open(dbFileName)
+	// Recovery runs before the engine's scheduler exists, so redo brings its
+	// own: reads are page faults, page writes ride the writeback class, and
+	// one sync barrier at the end makes the redone database durable.
+	sched := iosched.New(iosched.Config{QueueDepth: threads})
+	defer sched.Close()
 	var redoneRecords, redonePages int64
 	var cntMu sync.Mutex
 	chunk := (len(work) + threads - 1) / threads
@@ -192,12 +204,29 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 		go func() {
 			defer wg.Done()
 			var rr, rp int64
-			img := make([]byte, base.PageSize)
+			// Two page images per worker: while one image's write is in
+			// flight the worker redoes the next page into the other.
+			var imgs [2][]byte
+			var inflight [2]*iosched.Request
+			for i := range imgs {
+				imgs[i] = make([]byte, base.PageSize)
+			}
+			cur := 0
 			for _, w := range slice {
+				img := imgs[cur]
+				if r := inflight[cur]; r != nil {
+					if err := r.Wait(); err != nil {
+						panic(fmt.Sprintf("recovery: redo write of page %d failed: %v", buffer.PageID(img), err))
+					}
+					inflight[cur] = nil
+				}
 				// Sort this page's records from all logs by GSN (§2.4:
 				// GSNs totally order the records of one page).
 				sort.Slice(w.recs, func(i, j int) bool { return w.recs[i].GSN < w.recs[j].GSN })
-				n := db.ReadAt(img, int64(w.pid)*base.PageSize)
+				n, err := sched.ReadWait(iosched.ClassPageRead, db, img, int64(w.pid)*base.PageSize, redoRetries)
+				if err != nil {
+					panic(fmt.Sprintf("recovery: redo read of page %d failed: %v", w.pid, err))
+				}
 				clear(img[n:])
 				applied := false
 				for i := range w.recs {
@@ -222,8 +251,16 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 					rr++
 				}
 				if applied {
-					db.WriteAt(img, int64(w.pid)*base.PageSize)
+					inflight[cur] = sched.Write(iosched.ClassWriteback, db, img, int64(w.pid)*base.PageSize, redoRetries)
+					cur = 1 - cur
 					rp++
+				}
+			}
+			for _, r := range inflight {
+				if r != nil {
+					if err := r.Wait(); err != nil {
+						panic(fmt.Sprintf("recovery: redo write failed: %v", err))
+					}
 				}
 			}
 			cntMu.Lock()
@@ -233,7 +270,9 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 		}()
 	}
 	wg.Wait()
-	db.Sync()
+	if err := sched.SyncWait(iosched.ClassWriteback, db, redoRetries); err != nil {
+		panic(fmt.Sprintf("recovery: final database sync failed: %v", err))
+	}
 	res.PagesRedone = int(redonePages)
 	res.RecordsRedone = int(redoneRecords)
 	res.RedoTime = time.Since(start)

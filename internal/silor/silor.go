@@ -16,8 +16,14 @@ import (
 	"sync/atomic"
 
 	"repro/internal/base"
+	"repro/internal/iosched"
 	"repro/internal/wal"
 )
+
+// chkRetries bounds transient-error retries on checkpoint I/O; a checkpoint
+// that still fails is abandoned without truncating the log, so the next
+// limit crossing simply retries with a fresh sequence number.
+const chkRetries = 8
 
 // Manager adapts per-worker value logging onto the wal machinery (DRAM
 // persist mode + group commit acting as the epoch protocol). It implements
@@ -143,36 +149,63 @@ func (m *Manager) CheckpointFull(src TupleSource, seq uint64) (bytes int64) {
 
 	// All transactions that started after this horizon stay in the log.
 	horizon := m.wal.MinCurrentGSN()
-	f := m.checkpointFile(seq)
-	var buf []byte
-	src.ScanAllTuples(func(tree base.TreeID, key, val []byte) bool {
+	sched := m.wal.Sched()
+	f := m.wal.SSD().Open(checkpointName(seq))
+	// Tuples accumulate in a chunk that is flushed through the scheduler,
+	// so one checkpoint issues a few large writes instead of one per tuple.
+	const flushChunk = 64 << 10
+	buf := make([]byte, 0, flushChunk+4096)
+	var ioErr error
+	flush := func() {
+		if len(buf) == 0 || ioErr != nil {
+			return
+		}
+		if err := sched.WriteWait(iosched.ClassCheckpoint, f, buf, bytes, chkRetries); err != nil {
+			ioErr = err
+			return
+		}
+		bytes += int64(len(buf))
 		buf = buf[:0]
+	}
+	src.ScanAllTuples(func(tree base.TreeID, key, val []byte) bool {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(tree))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
 		buf = append(buf, key...)
 		buf = append(buf, val...)
-		f.WriteAt(buf, bytes)
-		bytes += int64(len(buf))
-		return true
+		if len(buf) >= flushChunk {
+			flush()
+		}
+		return ioErr == nil
 	})
-	f.Sync()
-	m.writeCheckpointMarker(seq, bytes)
+	flush()
+	if ioErr == nil {
+		ioErr = sched.SyncWait(iosched.ClassCheckpoint, f, chkRetries)
+	}
+	if ioErr == nil {
+		ioErr = m.writeCheckpointMarker(seq, bytes)
+	}
+	if ioErr != nil {
+		// Abandon without truncating the log: recovery never sees the file
+		// (the marker still names the previous checkpoint), and the next
+		// limit crossing retries with a fresh sequence number.
+		m.wal.SSD().Remove(checkpointName(seq))
+		return 0
+	}
 	m.wal.Prune(horizon)
 	return bytes
 }
 
-func (m *Manager) checkpointFile(seq uint64) fileLike {
-	return m.wal.SSD().Open(checkpointName(seq))
-}
-
-func (m *Manager) writeCheckpointMarker(seq uint64, size int64) {
+func (m *Manager) writeCheckpointMarker(seq uint64, size int64) error {
+	sched := m.wal.Sched()
 	mf := m.wal.SSD().Open("silor/chk-marker")
 	var b [16]byte
 	binary.LittleEndian.PutUint64(b[0:], seq)
 	binary.LittleEndian.PutUint64(b[8:], uint64(size))
-	mf.WriteAt(b[:], 0)
-	mf.Sync()
+	if err := sched.WriteWait(iosched.ClassCheckpoint, mf, b[:], 0, chkRetries); err != nil {
+		return err
+	}
+	return sched.SyncWait(iosched.ClassCheckpoint, mf, chkRetries)
 }
 
 func checkpointName(seq uint64) string {
@@ -191,11 +224,4 @@ func itoa(v uint64) string {
 		v /= 10
 	}
 	return string(b[i:])
-}
-
-type fileLike interface {
-	WriteAt(data []byte, off int64)
-	ReadAt(buf []byte, off int64) int
-	Sync()
-	Size() int64
 }

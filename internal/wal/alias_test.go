@@ -87,9 +87,8 @@ func TestSegmentSeqResumesAcrossMixedSegments(t *testing.T) {
 		"wal/p000/marker",                      // unrelated file
 		"wal/p001/seg00000042",                 // other partition — ignored
 	} {
-		f := ssd.Open(name)
-		f.WriteAt([]byte{0}, 0)
-		f.Sync()
+		// Truncate is durable immediately; seeding only needs Size > 0.
+		ssd.Open(name).Truncate(1)
 	}
 
 	m := NewManager(cfg)

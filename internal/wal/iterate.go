@@ -2,11 +2,13 @@ package wal
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/base"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 )
 
 // ReadLog reconstructs, from the raw post-crash devices, the per-partition
@@ -227,16 +229,26 @@ func LiveSegmentNames(ssd *dev.SSD) []string {
 // recovery retains the full log history; the stage-1 tail that never
 // reached a segment is the documented gap — take a fresh full backup after
 // a crash restart to re-establish the media-recovery baseline).
-func ArchiveAllLive(ssd *dev.SSD) {
+func ArchiveAllLive(ssd *dev.SSD, sched *iosched.Scheduler) {
+	var buf []byte
 	for _, name := range ssd.List("wal/p") {
 		dst := ssd.Open(ArchivePrefix + name)
 		if dst.Size() > 0 {
 			continue
 		}
 		src := ssd.Open(name)
-		buf := make([]byte, src.Size())
-		n := src.ReadAt(buf, 0)
-		dst.WriteAt(buf[:n], 0)
-		dst.Sync()
+		if need := int(src.Size()); cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		n, err := sched.ReadWait(iosched.ClassBackup, src, buf[:src.Size()], 0, walRetries)
+		if err == nil {
+			err = sched.WriteWait(iosched.ClassBackup, dst, buf[:n], 0, walRetries)
+		}
+		if err == nil {
+			err = sched.SyncWait(iosched.ClassBackup, dst, walRetries)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("wal: archiving live segment %s failed: %v", name, err))
+		}
 	}
 }

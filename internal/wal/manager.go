@@ -2,12 +2,14 @@ package wal
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/base"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 )
 
 // Config configures the distributed WAL.
@@ -58,10 +60,20 @@ type Config struct {
 	PMem *dev.PMem
 	SSD  *dev.SSD
 
+	// Sched is the I/O scheduler all stage-2 and archive traffic goes
+	// through. When nil the manager creates (and owns) a private one, so
+	// standalone managers in unit tests keep working.
+	Sched *iosched.Scheduler
+
 	// OnStaged is invoked with the number of bytes each time log data is
 	// staged to stage 2 — the continuous checkpointer's trigger (§3.4).
 	OnStaged func(bytes int)
 }
+
+// walRetries is the retry budget for log-device I/O. The log is the
+// engine's durability root: an exhausted budget is treated as a failed
+// device and is fatal (see syncSegmentsLocked).
+const walRetries = 64
 
 func (c *Config) fillDefaults() {
 	if c.Partitions <= 0 {
@@ -124,6 +136,11 @@ type Manager struct {
 	gsnFloor atomic.Uint64 // lift hint; new records always exceed it
 	closed   atomic.Bool
 
+	sched      *iosched.Scheduler
+	ownSched   bool
+	archiveMu  sync.Mutex
+	archiveBuf []byte // pooled whole-segment copy buffer, guarded by archiveMu
+
 	archived    atomic.Uint64
 	commitsRFA  atomic.Uint64 // commits acknowledged via the RFA fast path
 	commitsFull atomic.Uint64 // commits that required the full durability horizon
@@ -141,6 +158,11 @@ func NewManager(cfg Config) *Manager {
 		cfg:      cfg,
 		stop:     make(chan struct{}),
 		gcNotify: make(chan struct{}, 1),
+	}
+	m.sched = cfg.Sched
+	if m.sched == nil {
+		m.sched = iosched.New(iosched.Config{})
+		m.ownSched = true
 	}
 	m.parts = make([]*Partition, cfg.Partitions)
 	m.ownerMu = make([]sync.Mutex, cfg.Partitions)
@@ -435,11 +457,27 @@ func (m *Manager) archiveSegment(seg *segmentInfo) {
 	if !m.cfg.Archive {
 		return
 	}
+	m.archiveMu.Lock()
+	defer m.archiveMu.Unlock()
+	// Pooled whole-segment buffer: archiving runs on every prune, and a
+	// fresh per-segment allocation here was measurable GC pressure.
+	if cap(m.archiveBuf) < int(seg.size) {
+		m.archiveBuf = make([]byte, seg.size)
+	}
+	buf := m.archiveBuf[:seg.size]
 	dst := m.cfg.SSD.Open("archive/" + seg.name)
-	buf := make([]byte, seg.size)
-	n := seg.file.ReadAt(buf, 0)
-	dst.WriteAt(buf[:n], 0)
-	dst.Sync()
+	n, err := m.sched.ReadWait(iosched.ClassBackup, seg.file, buf, 0, walRetries)
+	if err == nil {
+		err = m.sched.WriteWait(iosched.ClassBackup, dst, buf[:n], 0, walRetries)
+	}
+	if err == nil {
+		err = m.sched.SyncWait(iosched.ClassBackup, dst, walRetries)
+	}
+	if err != nil {
+		// The caller deletes the live segment right after this returns;
+		// losing the archive copy would silently break media recovery.
+		panic(fmt.Sprintf("wal: archiving segment %s failed: %v", seg.name, err))
+	}
 }
 
 // groupCommitterLoop implements passive group commit [52] with the RFA fast
@@ -487,8 +525,15 @@ func (m *Manager) groupCommitTick() {
 	if s > base.GSN(m.stableGSN.Load()) {
 		var buf [8]byte
 		binary.LittleEndian.PutUint64(buf[:], uint64(s))
-		m.markerFile.WriteAt(buf[:], 0)
-		m.markerFile.Sync()
+		err := m.sched.WriteWait(iosched.ClassWAL, m.markerFile, buf[:], 0, walRetries)
+		if err == nil {
+			err = m.sched.SyncWait(iosched.ClassWAL, m.markerFile, walRetries)
+		}
+		if err != nil {
+			// The marker may legitimately lag (commits then wait on the
+			// full horizon); never advance stableGSN past a failed write.
+			return
+		}
 		m.stableGSN.Store(uint64(s))
 	}
 	// 3. Acknowledge waiters.
@@ -600,7 +645,17 @@ func (m *Manager) Close(drain bool) {
 		m.gcQueue = nil
 		m.gcMu.Unlock()
 	}
+	if m.ownSched {
+		if drain {
+			m.sched.Close()
+		} else {
+			m.sched.Abort()
+		}
+	}
 }
+
+// Sched exposes the I/O scheduler the log submits to (silor and tests).
+func (m *Manager) Sched() *iosched.Scheduler { return m.sched }
 
 // SSD exposes the flash device (baselines store checkpoint files on it).
 func (m *Manager) SSD() *dev.SSD { return m.cfg.SSD }

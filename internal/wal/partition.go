@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 )
 
 // PersistMode selects where stage 1 of the log lives (§3.1/§3.2).
@@ -64,6 +65,16 @@ type Partition struct {
 	segSeq    int
 	pendingC  chan struct{} // signal to the WAL writer that a chunk was sealed
 	liveBytes atomic.Uint64 // staged, not yet pruned (stage-2 live WAL volume)
+
+	// Async staging cycle (guarded by stageMu): write handles submitted to
+	// the I/O scheduler this cycle, chunks whose recycle must wait for
+	// those writes to complete, and the slab backing in-flight block
+	// headers (stack headers would not survive an async submit).
+	cycle        []*iosched.Request
+	cycleRecycle []*Chunk
+	syncReqs     []*iosched.Request
+	hdrSlab      []byte
+	hdrUsed      int
 
 	// Owner-only state.
 	encCtx  codecContext
@@ -309,8 +320,10 @@ func (p *Partition) stageAll(partial bool) {
 				}
 				staged = true
 				drained = true
-				ch.Region.Reset()
-				p.freeC <- ch
+				// The chunk's payload writes are still queued in the
+				// scheduler (they alias the region); recycle only after
+				// the cycle barrier in syncSegmentsLocked.
+				p.cycleRecycle = append(p.cycleRecycle, ch)
 				continue
 			default:
 			}
@@ -362,23 +375,30 @@ func (p *Partition) fullyStaged() bool {
 	return int(ch.Region.Written()) <= ch.stagedPos
 }
 
-// stageChunkLocked writes chunk bytes [stagedPos:upTo) as one block into the
-// current segment file. Caller holds stageMu.
+// stageChunkLocked submits chunk bytes [stagedPos:upTo) as one block into
+// the current segment file: two async writes (header, payload) whose
+// handles join the staging cycle awaited by syncSegmentsLocked. The payload
+// aliases stage-1 memory — published chunk bytes are immutable until the
+// chunk is recycled, which the cycle barrier delays past completion.
+// Caller holds stageMu.
 func (p *Partition) stageChunkLocked(ch *Chunk, upTo int, maxGSN base.GSN) {
 	if upTo <= ch.stagedPos {
 		return
 	}
 	payload := ch.Region.Bytes()[ch.stagedPos:upTo]
-	var hdr [blockHeaderSize]byte
+	hdr := p.nextHdrLocked()
 	binary.LittleEndian.PutUint32(hdr[0:], blockMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(hdr[8:], ch.Seq)
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(ch.stagedPos))
+	binary.LittleEndian.PutUint32(hdr[20:], 0)
 	binary.LittleEndian.PutUint64(hdr[24:], uint64(maxGSN))
 
 	seg := p.currentSegmentLocked()
-	seg.file.WriteAt(hdr[:], seg.size)
-	seg.file.WriteAt(payload, seg.size+blockHeaderSize)
+	sched := p.mgr.sched
+	p.cycle = append(p.cycle,
+		sched.Write(iosched.ClassWAL, seg.file, hdr, seg.size, walRetries),
+		sched.Write(iosched.ClassWAL, seg.file, payload, seg.size+blockHeaderSize, walRetries))
 	seg.size += int64(blockHeaderSize + len(payload))
 	if maxGSN > seg.maxGSN {
 		seg.maxGSN = maxGSN
@@ -406,13 +426,54 @@ func (p *Partition) currentSegmentLocked() *segmentInfo {
 	return seg
 }
 
+// nextHdrLocked hands out one block header from the slab. When the slab
+// fills, a fresh one is allocated without copying: requests in flight keep
+// the old array alive until they complete.
+func (p *Partition) nextHdrLocked() []byte {
+	if p.hdrUsed+blockHeaderSize > len(p.hdrSlab) {
+		p.hdrSlab = make([]byte, 64*blockHeaderSize)
+		p.hdrUsed = 0
+	}
+	h := p.hdrSlab[p.hdrUsed : p.hdrUsed+blockHeaderSize]
+	p.hdrUsed = p.hdrUsed + blockHeaderSize
+	return h
+}
+
+// syncSegmentsLocked completes one staging cycle: wait for every write
+// submitted this cycle, recycle the chunks those writes aliased, then sync
+// all dirty segments in parallel and wait for the barriers. Only after it
+// returns may the caller advance flushedGSN — the WAL durability watermark
+// must never run ahead of the device flush. A log write that still fails
+// after retries is fatal: later commits may already be acked against GSNs
+// behind the hole, so there is no sound way to skip it.
 func (p *Partition) syncSegmentsLocked() {
+	for _, r := range p.cycle {
+		if err := r.Wait(); err != nil {
+			panic(fmt.Sprintf("wal: stage-2 write failed: %v", err))
+		}
+	}
+	p.cycle = p.cycle[:0]
+	p.hdrUsed = 0
+	for _, ch := range p.cycleRecycle {
+		ch.Region.Reset()
+		p.freeC <- ch
+	}
+	p.cycleRecycle = p.cycleRecycle[:0]
+
+	p.syncReqs = p.syncReqs[:0]
 	for _, seg := range p.segs {
 		if seg.dirty {
-			seg.file.Sync()
+			p.syncReqs = append(p.syncReqs,
+				p.mgr.sched.Sync(iosched.ClassWAL, seg.file, walRetries))
 			seg.dirty = false
 		}
 	}
+	for _, r := range p.syncReqs {
+		if err := r.Wait(); err != nil {
+			panic(fmt.Sprintf("wal: segment sync failed: %v", err))
+		}
+	}
+	p.syncReqs = p.syncReqs[:0]
 	// Rotate the active segment once it is large enough, so pruning can
 	// remove whole files.
 	if len(p.segs) > 0 {
