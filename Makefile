@@ -19,7 +19,7 @@ test:
 # iterations is enough to catch a broken benchmark or a gross allocation
 # regression without paying for a full -benchtime run.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='BenchmarkCommitPath|BenchmarkHotPathAllocs' -benchtime=100x .
+	$(GO) test -run='^$$' -bench='BenchmarkCommitPath|BenchmarkCommitLatency|BenchmarkHotPathAllocs' -benchtime=100x .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .

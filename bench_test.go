@@ -9,12 +9,15 @@ package leanstore_test
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	leanstore "repro"
+	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
@@ -404,6 +407,109 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 	if b.N >= 10000 && perOp > tolerance {
 		b.Fatalf("RFA commit path allocates: %.4f allocs/txn (tolerance %.2f) — "+
 			"the hot path must stay allocation-free (ISSUE 2 gate)", perOp, tolerance)
+	}
+}
+
+// BenchmarkCommitLatency measures synchronous group-commit latency through
+// the decentralized commit pipeline at 1 and 8 workers with RFA on and off,
+// and extends the PR 2 allocation gate over the commit-wait path (sharded
+// waiter queues, pooled ack channels): the steady state must stay at
+// ≤0.05 allocs/txn. Latency percentiles come from the wal commit-wait
+// histograms, split by acknowledgement class.
+func BenchmarkCommitLatency(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		for _, rfa := range []bool{true, false} {
+			mode, tag := core.ModeGroupCommit, "off"
+			if rfa {
+				mode, tag = core.ModeGroupCommitRFA, "on"
+			}
+			b.Run(fmt.Sprintf("workers=%d/rfa=%s", workers, tag), func(b *testing.B) {
+				benchCommitLatency(b, mode, workers)
+			})
+		}
+	}
+}
+
+func benchCommitLatency(b *testing.B, mode core.Mode, workers int) {
+	eng, err := core.Open(core.Config{
+		Mode: mode, Workers: workers, PoolPages: 4096,
+		WALLimit:           1 << 30,
+		CheckpointDisabled: true, DiscardStaging: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	// One tree and one key per worker so RFA-safe commits stay RFA-safe
+	// (no cross-partition page dependencies once warm).
+	setup := eng.NewSessionOn(0)
+	trees := make([]*btree.BTree, workers)
+	for w := 0; w < workers; w++ {
+		t, err := eng.CreateTree(setup, fmt.Sprintf("t%d", w))
+		if err != nil {
+			b.Fatal(err)
+		}
+		trees[w] = t
+	}
+	update := func(old []byte) []byte {
+		old[0]++
+		return old
+	}
+	sessions := make([]*txn.Session, workers)
+	for w := 0; w < workers; w++ {
+		s := eng.NewSessionOn(w)
+		s.SetSyncCommit(true)
+		sessions[w] = s
+		key := []byte("key")
+		s.Begin()
+		if err := trees[w].Insert(s, key, make([]byte, 64)); err != nil {
+			b.Fatal(err)
+		}
+		s.Commit()
+		for i := 0; i < 500; i++ { // reach scratch/arena steady state
+			s.Begin()
+			trees[w].UpdateFunc(s, key, update)
+			s.Commit()
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, tree, key := sessions[w], trees[w], []byte("key")
+			n := b.N / workers
+			if w == 0 {
+				n += b.N % workers
+			}
+			for i := 0; i < n; i++ {
+				s.Begin()
+				tree.UpdateFunc(s, key, update)
+				s.Commit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	b.ReportMetric(perOp, "allocs/txn")
+	st := eng.WAL().CommitWaitStats()
+	if h := st.RFA; h.Count() > 0 {
+		b.ReportMetric(float64(h.Quantile(0.99).Nanoseconds()), "p99-rfa-ns")
+	}
+	if h := st.Remote; h.Count() > 0 {
+		b.ReportMetric(float64(h.Quantile(0.99).Nanoseconds()), "p99-remote-ns")
+	}
+	const tolerance = 0.05
+	if b.N >= 10000 && perOp > tolerance {
+		b.Fatalf("commit-wait path allocates: %.4f allocs/txn (tolerance %.2f) — "+
+			"the decentralized commit path must stay allocation-free", perOp, tolerance)
 	}
 }
 

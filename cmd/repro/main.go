@@ -20,6 +20,7 @@
 //	recovery         §4.6 crash recovery phases and rates
 //	ablate           design-knob ablations (shards, intervals, chunks)
 //	ablate-io        I/O scheduler queue-depth × batch-size ablation
+//	ablate-commit    centralized vs decentralized group-commit pipeline
 //	all              everything above
 package main
 
@@ -97,6 +98,8 @@ func main() {
 			return harness.AblateChunkSize(w, sc, *threads)
 		case "ablate-io":
 			return harness.AblateIO(w, sc, *threads)
+		case "ablate-commit":
+			return harness.AblateCommit(w, sc, *threads)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -106,7 +109,7 @@ func main() {
 		for _, name := range []string{
 			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
 			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
-			"ablate-io",
+			"ablate-io", "ablate-commit",
 		} {
 			if err := run(name); err != nil {
 				fmt.Fprintf(os.Stderr, "repro %s: %v\n", name, err)

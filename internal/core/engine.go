@@ -103,8 +103,13 @@ type Config struct {
 	ChunkSize          int
 	ChunksPerPartition int
 	SegmentSize        int
-	// GroupCommitInterval is the committer tick / SiloR epoch length.
+	// GroupCommitInterval is the committer tick / SiloR epoch length. With
+	// the decentralized committer it pins the per-partition flush epoch;
+	// left zero, the epoch adapts to commit pressure (wal.Config docs).
 	GroupCommitInterval time.Duration
+	// CentralizedCommit selects the legacy single-loop group committer
+	// (the ablate-commit baseline) instead of per-partition flushers.
+	CentralizedCommit bool
 	// CompressionDisabled turns off log compression (§3.8 experiment).
 	CompressionDisabled bool
 	// StripUndoImages drops before-images (§3.6 volume experiment).
@@ -275,6 +280,7 @@ func Open(cfg Config) (*Engine, error) {
 		CommitFlushDisabled: cfg.CommitFlushDisabled,
 		DiscardStaging:      cfg.DiscardStaging,
 		GroupCommitInterval: cfg.GroupCommitInterval,
+		CentralizedCommit:   cfg.CentralizedCommit,
 		GSNFloor:            gsnFloor,
 		PMem:                e.pm,
 		SSD:                 e.ssd,

@@ -575,6 +575,25 @@ func (s *Scheduler) SyncCb(c Class, f *dev.File, retries int, cb func(*Request))
 	return r
 }
 
+// WriteSyncCb submits a write of buf at off immediately followed by a
+// durability barrier over f, and invokes cb with the first error (write,
+// then sync) once the barrier completes — the completion-driven durable-
+// write hook for commit pipelines. Unlike OnComplete callbacks, cb runs on
+// a detached goroutine and may block or re-enter the scheduler. buf is
+// aliased until cb fires.
+func (s *Scheduler) WriteSyncCb(c Class, f *dev.File, buf []byte, off int64, retries int, cb func(error)) {
+	w := &Request{Op: OpWrite, Class: c, File: f, Buf: buf, Off: off, Retries: retries}
+	sy := &Request{Op: OpSync, Class: c, File: f, Retries: retries}
+	s.SubmitBatch([]*Request{w, sy})
+	go func() {
+		err := w.Wait()
+		if serr := sy.Wait(); err == nil {
+			err = serr
+		}
+		cb(err)
+	}()
+}
+
 // ReadWait is a synchronous facade over Read.
 func (s *Scheduler) ReadWait(c Class, f *dev.File, buf []byte, off int64, retries int) (int, error) {
 	r := s.Read(c, f, buf, off, retries)

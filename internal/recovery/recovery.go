@@ -120,6 +120,10 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 				case wal.RecValue:
 					// SiloR value records are replayed by the silor
 					// package, not here.
+				case wal.RecLift:
+					// No-op GSN-watermark witness for idle-partition lifts;
+					// it only contributes to maxGSN / the log-derived stable
+					// horizon, never to redo or undo.
 				default:
 					if rec.Page > a.maxPID {
 						a.maxPID = rec.Page

@@ -88,7 +88,12 @@ type Manager struct {
 	starts  atomic.Uint64
 	commits atomic.Uint64
 	durable atomic.Uint64
-	aborts  atomic.Uint64
+	// durableRFA / durableRemote split durable by commit class: RFA-fast
+	// acks (own-partition flush) vs remote-flush acks (stable-horizon
+	// aggregator) — the §3.2 split the commit-wait histograms report.
+	durableRFA    atomic.Uint64
+	durableRemote atomic.Uint64
+	aborts        atomic.Uint64
 	// rfaSkips counts commits that avoided remote flushes; rfaFlushes
 	// counts commits that required them (the §4.1 remote-flush table).
 	rfaSkips   atomic.Uint64
@@ -120,7 +125,8 @@ func (m *Manager) NewSession(worker int) *Session {
 		panic(fmt.Sprintf("txn: worker %d out of range", worker))
 	}
 	s := &Session{mgr: m, worker: int32(worker)}
-	s.onDurable = func() { m.durable.Add(1) }
+	s.onDurableRFA = func() { m.durable.Add(1); m.durableRFA.Add(1) }
+	s.onDurableRemote = func() { m.durable.Add(1); m.durableRemote.Add(1) }
 	s.activeGSN.Store(inactiveGSN)
 	m.sessionsMu.Lock()
 	list := []*Session{s}
@@ -154,8 +160,11 @@ type Stats struct {
 	Starts, Commits, Aborts uint64
 	// DurableCommits counts durability acknowledgements; equals Commits in
 	// synchronous modes, lags slightly in asynchronous (group-commit) ones.
-	DurableCommits       uint64
-	RFASkips, RFAFlushes uint64
+	DurableCommits uint64
+	// DurableRFA / DurableRemote split DurableCommits by acknowledgement
+	// class: own-partition (RFA-fast) vs stable-horizon (remote-flush).
+	DurableRFA, DurableRemote uint64
+	RFASkips, RFAFlushes      uint64
 }
 
 // Stats returns a counter snapshot.
@@ -164,6 +173,8 @@ func (m *Manager) Stats() Stats {
 		Starts:         m.starts.Load(),
 		Commits:        m.commits.Load(),
 		DurableCommits: m.durable.Load(),
+		DurableRFA:     m.durableRFA.Load(),
+		DurableRemote:  m.durableRemote.Load(),
 		Aborts:         m.aborts.Load(),
 		RFASkips:       m.rfaSkips.Load(),
 		RFAFlushes:     m.rfaFlushes.Load(),
@@ -213,9 +224,12 @@ type Session struct {
 	// both reused across transactions (sessions are single-goroutine). The
 	// onDurable callback is likewise built once so async commits do not
 	// allocate a fresh closure per transaction.
-	rec       wal.Record
-	arena     wal.Arena
-	onDurable func()
+	rec   wal.Record
+	arena wal.Arena
+	// Built once per session so async commits do not allocate a closure
+	// per transaction; Commit picks one by the transaction's RFA class.
+	onDurableRFA    func()
+	onDurableRemote func()
 
 	activeGSN atomic.Uint64 // published firstGSN for MinActiveTxGSN
 }
@@ -355,12 +369,16 @@ func (s *Session) Commit() {
 	} else {
 		s.mgr.rfaFlushes.Add(1)
 	}
+	onDurable := s.onDurableRemote
+	if rfaSafe {
+		onDurable = s.onDurableRFA
+	}
 	if s.mgr.cfg.AsyncCommit && !s.syncCommit {
 		s.gsn = s.mgr.cfg.Backend.CommitTxnAsync(int(s.worker), s.txnID, s.gsn, rfaSafe,
-			s.onDurable)
+			onDurable)
 	} else {
 		s.gsn = s.mgr.cfg.Backend.CommitTxn(int(s.worker), s.txnID, s.gsn, rfaSafe)
-		s.mgr.durable.Add(1)
+		onDurable()
 	}
 	s.end()
 	s.mgr.commits.Add(1)

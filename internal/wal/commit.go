@@ -1,0 +1,458 @@
+package wal
+
+import (
+	"sync"
+	"time"
+
+	"encoding/binary"
+
+	"repro/internal/base"
+	"repro/internal/iosched"
+	"repro/internal/metrics"
+)
+
+// This file implements the decentralized, pipelined group-commit subsystem.
+//
+// The paper's commit protocol (§3.2, §3.5) never blocks workers on remote
+// flushes, and a commit is durable the moment its own records are flushed —
+// not when a global scan notices. The subsystem therefore has no central
+// committer loop:
+//
+//   - Each partition runs its own flusher goroutine that makes the
+//     partition's log durable on an adaptive epoch, so partition flushes
+//     from different flushers overlap on the device through the I/O
+//     scheduler instead of running serially from one tick loop.
+//   - Commit waiters are sharded: an RFA-safe waiter parks on its own
+//     partition's shard and is acknowledged directly when that partition's
+//     flushedGSN passes its commit GSN. A remote-flush waiter parks on the
+//     stable-horizon aggregator and is acknowledged when the aggregated
+//     MinFlushedGSN — recomputed lock-free from the per-partition atomics as
+//     flush completions arrive — passes its GSN.
+//   - The stable-horizon marker write is off the acknowledgement path: a
+//     dedicated writer persists it asynchronously as a recovery
+//     optimization. Durability of the in-memory horizon is instead
+//     guaranteed by construction: every advance of a partition's flushedGSN
+//     is backed by a durable record with that GSN (idle lifts append RecLift
+//     witnesses), and each partition's durable log is a gap-free
+//     GSN-increasing prefix, so recovery re-derives a horizon at least as
+//     high as any acknowledged commit from the logs themselves (see
+//     ReadLog). The marker only accelerates that and is never advanced past
+//     a failed write.
+//   - The flush epoch adapts per partition: it contracts toward epochMin
+//     while commits are waiting and backs off toward epochMax when idle,
+//     replacing the fixed GroupCommitInterval tick. An explicitly configured
+//     GroupCommitInterval pins the epoch (SiloR's epoch semantics and the
+//     interval ablation depend on a fixed epoch).
+//
+// The previous centralized committer is retained behind
+// Config.CentralizedCommit as the ablation baseline (see manager.go).
+
+const (
+	// epochMinDefault and epochMaxDefault bound the adaptive flush epoch
+	// when no explicit GroupCommitInterval is configured.
+	epochMinDefault = 20 * time.Microsecond
+	epochMaxDefault = time.Millisecond
+
+	// markerRetryBackoff paces marker-write retries after an I/O failure.
+	// Failed marker writes delay nothing but the recovery optimization.
+	markerRetryBackoff = time.Millisecond
+
+	// markerMinInterval paces successful marker writes. The marker is a
+	// recovery optimization, not a durability point — acknowledgements run
+	// on the in-memory horizon — so persisting it at horizon-advance rate
+	// (once per commit under low concurrency) would only waste device
+	// bandwidth and allocator traffic on the scheduler submission path.
+	markerMinInterval = 10 * time.Millisecond
+
+	// kickEpochThreshold: once the adaptive epoch has contracted to this
+	// or below, a kick is honored immediately instead of deferring to the
+	// timer. OS timer granularity is commonly ~1ms, which would silently
+	// stretch a contracted 20µs epoch to the kernel tick and put commit
+	// latency right back where the centralized 100µs-tick design was.
+	// Batching is not lost: waiters that arrive while a flush is running
+	// park and are drained together by the next one, so the effective
+	// epoch under pressure is the flush duration itself.
+	kickEpochThreshold = 100 * time.Microsecond
+)
+
+// waiterShard holds the parked RFA-safe commit waiters of one partition.
+// Acknowledgement order within a shard follows enqueue order, which for the
+// single-owner append discipline (§3.1) is GSN order.
+type waiterShard struct {
+	mu       sync.Mutex
+	waiters  []commitWaiter
+	draining bool // a drain extracted waiters and has not finished acking them
+	scratch  []commitWaiter
+}
+
+// horizonAgg holds the remote-flush waiters parked on the global stable
+// horizon. The horizon value itself (Manager.aggMin) is a lock-free
+// CAS-monotone aggregate of the per-partition flushedGSN atomics; the mutex
+// guards only the waiter queue.
+type horizonAgg struct {
+	mu       sync.Mutex
+	waiters  []commitWaiter
+	draining bool
+	scratch  []commitWaiter
+}
+
+// ackChPool recycles the single-use acknowledgement channels of synchronous
+// commit waits, keeping WaitCommitDurable off the allocator (the PR-2
+// ≤0.05 allocs/txn gate covers the commit path).
+var ackChPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+// ack completes one waiter: it records the commit-wait latency and fires the
+// acknowledgement. Callers must not hold any shard/horizon lock — callbacks
+// run application code (passive group commit's asynchronous notification).
+func (m *Manager) ack(w *commitWaiter, h *metrics.Histogram) {
+	h.Observe(time.Since(w.enq))
+	if w.ch != nil {
+		w.ch <- struct{}{}
+	} else if w.onDurable != nil {
+		w.onDurable()
+	}
+}
+
+// enqueueWaiter routes a commit waiter to its queue. When the waiter's
+// durability condition already holds and no earlier waiter is parked or in
+// flight on the same queue, it is acknowledged inline (the empty-queue check
+// under the lock preserves per-queue acknowledgement order).
+func (m *Manager) enqueueWaiter(w commitWaiter) {
+	if m.cfg.CentralizedCommit {
+		m.gcMu.Lock()
+		m.gcQueue = append(m.gcQueue, w)
+		m.gcMu.Unlock()
+		select {
+		case m.gcNotify <- struct{}{}:
+		default:
+		}
+		return
+	}
+	if w.rfaSafe {
+		sh := &m.shards[w.part]
+		sh.mu.Lock()
+		if len(sh.waiters) == 0 && !sh.draining &&
+			base.GSN(m.parts[w.part].flushedGSN.Load()) >= w.gsn {
+			sh.mu.Unlock()
+			m.ack(&w, m.histRFA)
+			return
+		}
+		sh.waiters = append(sh.waiters, w)
+		sh.mu.Unlock()
+		m.kickFlusher(w.part)
+		return
+	}
+	h := &m.horizon
+	h.mu.Lock()
+	if len(h.waiters) == 0 && !h.draining && base.GSN(m.aggMin.Load()) >= w.gsn {
+		h.mu.Unlock()
+		m.ack(&w, m.histRemote)
+		return
+	}
+	h.waiters = append(h.waiters, w)
+	h.mu.Unlock()
+	// A remote-flush commit needs every partition durable past its GSN.
+	for i := range m.flushKick {
+		m.kickFlusher(i)
+	}
+}
+
+func (m *Manager) kickFlusher(part int) {
+	select {
+	case m.flushKick[part] <- struct{}{}:
+	default:
+	}
+}
+
+// flusherLoop is one partition's commit flusher: it makes the partition
+// durable on an adaptive epoch and acknowledges the waiters that durability
+// reaches. While the epoch is long (light commit pressure) a kick — a newly
+// parked waiter — does not flush mid-epoch; the armed timer completes it,
+// so sparse commits still batch per epoch. Two cases are exempt and honor
+// the kick immediately: (1) the epoch has contracted below
+// kickEpochThreshold — contracted epochs sit far below OS timer granularity,
+// and deferring to the timer would stretch every commit to the kernel tick;
+// (2) the epoch is adaptive and the previous flush was idle — the elapsed
+// part of this epoch batched nothing, so waiting out its remainder adds
+// latency for no batching and the first commit after a lull would otherwise
+// pay the full uncontracted epoch. An explicitly pinned GroupCommitInterval
+// disables exemption (2): a pin promises epoch-paced durability (SiloR's
+// contract), including at the idle edge. (A pin at or below
+// kickEpochThreshold is under the OS timer floor and still serves kicks on
+// demand — the closest achievable approximation of such an epoch.)
+func (m *Manager) flusherLoop(p *Partition) {
+	pinned := m.epochMin == m.epochMax
+	interval := m.epochMax
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	last := time.Now()
+	lastBusy := false
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.flushKick[p.ID]:
+			if (pinned || lastBusy) && time.Since(last) < interval && interval > kickEpochThreshold {
+				continue // the armed timer completes the epoch
+			}
+		case <-timer.C:
+		}
+		busy := m.flushPartition(p)
+		lastBusy = busy
+		last = time.Now()
+		if busy {
+			interval /= 2
+			if interval < m.epochMin {
+				interval = m.epochMin
+			}
+		} else {
+			interval *= 2
+			if interval > m.epochMax {
+				interval = m.epochMax
+			}
+		}
+		timer.Reset(interval)
+	}
+}
+
+// flushPartition makes one partition durable, acknowledges its RFA waiters,
+// and folds the new flushedGSN into the stable-horizon aggregate (which may
+// acknowledge remote-flush waiters). It reports whether commit pressure was
+// observed, which drives the adaptive epoch.
+func (m *Manager) flushPartition(p *Partition) bool {
+	if m.cfg.PersistMode == PersistPMem {
+		p.FlushPMem()
+	} else {
+		p.stageAll(true)
+	}
+	ackedR, pendR := m.drainShard(p.ID)
+	ackedH, pendH := m.updateHorizon()
+	return ackedR+pendR+ackedH+pendH > 0
+}
+
+// drainShard acknowledges the RFA waiters of one partition whose commit GSN
+// the partition's flushedGSN has passed. Waiters are collected under the
+// shard lock but acknowledged outside it (callbacks run application code).
+// Only the partition's own flusher (and Close, after flushers stopped) calls
+// this, so extraction order — and therefore acknowledgement order — is the
+// enqueue order.
+func (m *Manager) drainShard(part int) (acked, pending int) {
+	sh := &m.shards[part]
+	flushed := base.GSN(m.parts[part].flushedGSN.Load())
+	sh.mu.Lock()
+	if len(sh.waiters) == 0 {
+		sh.mu.Unlock()
+		return 0, 0
+	}
+	sh.draining = true
+	ready := sh.scratch[:0]
+	kept := sh.waiters[:0]
+	for _, w := range sh.waiters {
+		if w.gsn <= flushed {
+			ready = append(ready, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(sh.waiters); i++ {
+		sh.waiters[i] = commitWaiter{}
+	}
+	sh.waiters = kept
+	pending = len(kept)
+	sh.mu.Unlock()
+
+	acked = len(ready)
+	for i := range ready {
+		m.ack(&ready[i], m.histRFA)
+		ready[i] = commitWaiter{} // drop callback references
+	}
+	sh.scratch = ready[:0]
+	sh.mu.Lock()
+	sh.draining = false
+	sh.mu.Unlock()
+	return acked, pending
+}
+
+// updateHorizon recomputes the aggregated stable horizon from the
+// per-partition flushedGSN atomics (lock-free, CAS-monotone) and
+// acknowledges remote-flush waiters it has passed. Called by every flusher
+// after its partition flush completes.
+func (m *Manager) updateHorizon() (acked, pending int) {
+	min := m.MinFlushedGSN()
+	advanced := false
+	for {
+		cur := m.aggMin.Load()
+		if uint64(min) <= cur {
+			break
+		}
+		if m.aggMin.CompareAndSwap(cur, uint64(min)) {
+			advanced = true
+			break
+		}
+	}
+	acked, pending = m.drainHorizon()
+	if advanced {
+		select {
+		case m.markerKick <- struct{}{}:
+		default:
+		}
+	}
+	return acked, pending
+}
+
+// drainHorizon acknowledges remote-flush waiters at the current aggregate
+// horizon. Concurrent flushers may race here; a drain already in progress
+// makes this a no-op (the in-flight drain, or the next epoch's, covers the
+// new horizon) so acknowledgement order stays the extraction order.
+func (m *Manager) drainHorizon() (acked, pending int) {
+	h := &m.horizon
+	limit := base.GSN(m.aggMin.Load())
+	h.mu.Lock()
+	if len(h.waiters) == 0 || h.draining {
+		pending = len(h.waiters)
+		h.mu.Unlock()
+		return 0, pending
+	}
+	h.draining = true
+	ready := h.scratch[:0]
+	kept := h.waiters[:0]
+	for _, w := range h.waiters {
+		if w.gsn <= limit {
+			ready = append(ready, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(h.waiters); i++ {
+		h.waiters[i] = commitWaiter{}
+	}
+	h.waiters = kept
+	pending = len(kept)
+	h.mu.Unlock()
+
+	acked = len(ready)
+	for i := range ready {
+		m.ack(&ready[i], m.histRemote)
+		ready[i] = commitWaiter{}
+	}
+	h.scratch = ready[:0]
+	h.mu.Lock()
+	h.draining = false
+	h.mu.Unlock()
+	return acked, pending
+}
+
+// markerLoop persists the stable-horizon marker asynchronously, off the
+// acknowledgement path. A failed write is retried with backoff and never
+// advances stableGSN — the marker may lag arbitrarily; recovery re-derives
+// the horizon from the logs when it does.
+func (m *Manager) markerLoop() {
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.markerKick:
+		}
+		for !m.persistMarker() {
+			select {
+			case <-m.stop:
+				return
+			case <-time.After(markerRetryBackoff):
+			}
+		}
+		// Pace marker writes; a kick arriving during the pause stays
+		// pending and is served immediately after it.
+		select {
+		case <-m.stop:
+			return
+		case <-time.After(markerMinInterval):
+		}
+	}
+}
+
+// persistMarker writes the current aggregate horizon to the marker file via
+// the scheduler's fused write+sync completion hook and advances stableGSN on
+// success. Returns false if the write failed (the horizon is NOT advanced),
+// true once the marker has caught up with the aggregate.
+func (m *Manager) persistMarker() bool {
+	for {
+		target := m.aggMin.Load()
+		if target <= m.stableGSN.Load() {
+			return true
+		}
+		binary.LittleEndian.PutUint64(m.markerBuf[:], target)
+		m.sched.WriteSyncCb(iosched.ClassWAL, m.markerFile, m.markerBuf[:], 0, walRetries,
+			func(err error) { m.markerErrC <- err })
+		if err := <-m.markerErrC; err != nil {
+			return false
+		}
+		m.stableGSN.Store(target)
+	}
+}
+
+// finalCommitFlush runs on clean shutdown, after every background goroutine
+// has stopped: it makes all partitions durable, acknowledges every waiter
+// that durability covers, and persists the marker synchronously.
+func (m *Manager) finalCommitFlush() {
+	if m.cfg.CentralizedCommit {
+		m.groupCommitTick()
+		return
+	}
+	for _, p := range m.parts {
+		if m.cfg.PersistMode == PersistPMem {
+			p.FlushPMem()
+		} else {
+			p.stageAll(true)
+		}
+	}
+	for i := range m.parts {
+		m.drainShard(i)
+	}
+	m.updateHorizon()
+	m.persistMarker()
+}
+
+// completeAllWaiters fires every still-parked acknowledgement so no caller
+// blocks past Close. On the crash path nothing was flushed first —
+// unacknowledged commits may legitimately be lost, exactly like a real
+// crash.
+func (m *Manager) completeAllWaiters() {
+	m.gcMu.Lock()
+	gq := m.gcQueue
+	m.gcQueue = nil
+	m.gcMu.Unlock()
+	for i := range gq {
+		m.ack(&gq[i], m.histRemote)
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		ws := sh.waiters
+		sh.waiters = nil
+		sh.mu.Unlock()
+		for j := range ws {
+			m.ack(&ws[j], m.histRFA)
+		}
+	}
+	h := &m.horizon
+	h.mu.Lock()
+	ws := h.waiters
+	h.waiters = nil
+	h.mu.Unlock()
+	for j := range ws {
+		m.ack(&ws[j], m.histRemote)
+	}
+}
+
+// CommitWaitStats exposes the commit acknowledgement latency distributions,
+// split by path: RFA-fast (acknowledged on the waiter's own partition flush)
+// versus remote-flush (acknowledged at the global stable horizon).
+type CommitWaitStats struct {
+	RFA    *metrics.Histogram
+	Remote *metrics.Histogram
+}
+
+// CommitWaitStats returns the live commit-wait histograms.
+func (m *Manager) CommitWaitStats() CommitWaitStats {
+	return CommitWaitStats{RFA: m.histRFA, Remote: m.histRemote}
+}

@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/iosched"
+)
+
+// TestMarkerFaultDelaysMarkerNotAcks: with every ClassWAL SSD write failing,
+// the asynchronous stable-horizon marker can never persist — but in PMem
+// mode commits become durable at the partitions' flushed horizon, so acks
+// must still arrive, StableGSN must never advance past what was persisted
+// (i.e. stay 0), and after a crash the log-derived horizon must still cover
+// every acknowledged commit.
+func TestMarkerFaultDelaysMarkerNotAcks(t *testing.T) {
+	cfg, pm, ssd := testConfig(2)
+	cfg.GroupCommit = true
+	m := NewManager(cfg)
+	m.Sched().SetFault(iosched.ClassWAL, iosched.Fault{ErrRate: 1, Seed: 7})
+
+	var acked atomic.Uint64
+	gsns := make([]base.GSN, 2)
+	for p := 0; p < 2; p++ {
+		g := appendN(t, m, p, 5, base.TxnID(p+1))
+		m.AcquireOwnership(p)
+		// Remote-flush commits: acked at MinFlushedGSN, not own-partition.
+		gsns[p] = m.CommitTxnAsync(p, base.TxnID(p+1), g, false,
+			func() { acked.Add(1) })
+		m.ReleaseOwnership(p)
+	}
+	waitFor(t, func() bool { return acked.Load() == 2 }, "acks despite marker faults")
+	if got := m.StableGSN(); got != 0 {
+		t.Fatalf("stable marker advanced to %d though every marker write failed", got)
+	}
+
+	// Crash. The acknowledged commits must be recoverable from the log
+	// alone: ReadLog's H_rec horizon stands in for the missing marker.
+	m.Close(false)
+	pm.Crash(7)
+	ssd.Crash()
+	parts, stable := ReadLog(ssd, pm)
+	for p := 0; p < 2; p++ {
+		if stable < gsns[p] {
+			t.Fatalf("recovered stable horizon %d below acked commit %d (partition %d)",
+				stable, gsns[p], p)
+		}
+		recs := parts[p]
+		if len(recs) == 0 || recs[len(recs)-1].Type != RecCommit {
+			t.Fatalf("partition %d: acked commit record lost (%d records)", p, len(recs))
+		}
+	}
+}
+
+// TestPartitionSyncFaultDelaysAcksNeverLoses: in DRAM mode every partition
+// flush goes through iosched segment writes and syncs. A high error rate
+// (within the walRetries budget) delays those flushes; acknowledgements must
+// all still arrive, in per-partition GSN order.
+func TestPartitionSyncFaultDelaysAcksNeverLoses(t *testing.T) {
+	const parts, commits = 2, 20
+	cfg, _, _ := testConfig(parts)
+	cfg.PersistMode = PersistDRAM
+	cfg.GroupCommit = true
+	m := NewManager(cfg)
+	defer m.Close(false)
+	m.Sched().SetFault(iosched.ClassWAL, iosched.Fault{ErrRate: 0.4, Seed: 11})
+
+	var mu sync.Mutex
+	ackOrder := make([][]base.GSN, parts)
+	var acked atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var g base.GSN
+			for i := 0; i < commits; i++ {
+				m.AcquireOwnership(p)
+				rec := Record{Type: RecInsert, Txn: base.TxnID(p*1000 + i + 1),
+					Tree: 1, Page: base.PageID(i + 1), Key: []byte("k"), After: []byte("v")}
+				g = m.Append(p, &rec, g)
+				gsn := m.AppendCommitRecord(p, base.TxnID(p*1000+i+1), g, true)
+				m.EnqueueCommitWaiter(p, gsn, true, func() {
+					mu.Lock()
+					ackOrder[p] = append(ackOrder[p], gsn)
+					mu.Unlock()
+					acked.Add(1)
+				})
+				g = gsn
+				m.ReleaseOwnership(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return acked.Load() == parts*commits },
+		"all acks under sync faults")
+	mu.Lock()
+	defer mu.Unlock()
+	for p := 0; p < parts; p++ {
+		for i := 1; i < len(ackOrder[p]); i++ {
+			if ackOrder[p][i] <= ackOrder[p][i-1] {
+				t.Fatalf("partition %d acks reordered: %d after %d",
+					p, ackOrder[p][i], ackOrder[p][i-1])
+			}
+		}
+	}
+}
+
+// TestPerPartitionAckOrderRFA: RFA-safe waiters are acknowledged by their
+// own partition's flusher; with one committing goroutine per partition the
+// acknowledgements must arrive in strictly increasing GSN order within each
+// partition, concurrently across all partitions.
+func TestPerPartitionAckOrderRFA(t *testing.T) {
+	const parts, commits = 4, 50
+	cfg, _, _ := testConfig(parts)
+	cfg.GroupCommit = true
+	m := NewManager(cfg)
+	defer m.Close(false)
+
+	var mu sync.Mutex
+	ackOrder := make([][]base.GSN, parts)
+	var acked atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var g base.GSN
+			for i := 0; i < commits; i++ {
+				m.AcquireOwnership(p)
+				rec := Record{Type: RecInsert, Txn: base.TxnID(p*1000 + i + 1),
+					Tree: 1, Page: base.PageID(i + 1), Key: []byte("k"), After: []byte("v")}
+				g = m.Append(p, &rec, g)
+				gsn := m.AppendCommitRecord(p, base.TxnID(p*1000+i+1), g, true)
+				m.EnqueueCommitWaiter(p, gsn, true, func() {
+					mu.Lock()
+					ackOrder[p] = append(ackOrder[p], gsn)
+					mu.Unlock()
+					acked.Add(1)
+				})
+				g = gsn
+				m.ReleaseOwnership(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return acked.Load() == parts*commits }, "all RFA acks")
+	mu.Lock()
+	defer mu.Unlock()
+	for p := 0; p < parts; p++ {
+		if len(ackOrder[p]) != commits {
+			t.Fatalf("partition %d: %d acks, want %d", p, len(ackOrder[p]), commits)
+		}
+		for i := 1; i < commits; i++ {
+			if ackOrder[p][i] <= ackOrder[p][i-1] {
+				t.Fatalf("partition %d acks reordered: %d after %d",
+					p, ackOrder[p][i], ackOrder[p][i-1])
+			}
+		}
+	}
+}
+
+// TestAdaptiveEpochPins: an explicit GroupCommitInterval must pin the
+// adaptive epoch to exactly that interval (SiloR epochs, ablation studies).
+func TestAdaptiveEpochPins(t *testing.T) {
+	cfg, _, _ := testConfig(1)
+	cfg.GroupCommit = true
+	cfg.GroupCommitInterval = 700 * time.Microsecond
+	m := NewManager(cfg)
+	defer m.Close(false)
+	if m.epochMin != cfg.GroupCommitInterval || m.epochMax != cfg.GroupCommitInterval {
+		t.Fatalf("explicit interval must pin the epoch: min=%v max=%v", m.epochMin, m.epochMax)
+	}
+
+	cfg2, _, _ := testConfig(1)
+	cfg2.GroupCommit = true
+	m2 := NewManager(cfg2)
+	defer m2.Close(false)
+	if m2.epochMin != epochMinDefault || m2.epochMax != epochMaxDefault {
+		t.Fatalf("adaptive defaults wrong: min=%v max=%v", m2.epochMin, m2.epochMax)
+	}
+}
+
+// TestCentralizedBaselineStillWorks: the legacy single-loop committer kept
+// for ablation must still acknowledge commits and persist the marker.
+func TestCentralizedBaselineStillWorks(t *testing.T) {
+	cfg, _, _ := testConfig(2)
+	cfg.GroupCommit = true
+	cfg.CentralizedCommit = true
+	m := NewManager(cfg)
+	defer m.Close(false)
+	var acked atomic.Uint64
+	for p := 0; p < 2; p++ {
+		g := appendN(t, m, p, 3, base.TxnID(p+1))
+		m.AcquireOwnership(p)
+		m.CommitTxnAsync(p, base.TxnID(p+1), g, false, func() { acked.Add(1) })
+		m.ReleaseOwnership(p)
+	}
+	waitFor(t, func() bool { return acked.Load() == 2 }, "centralized acks")
+	waitFor(t, func() bool { return m.StableGSN() != 0 }, "centralized marker")
+}
+
+// TestCommitWaitStats: the RFA-fast vs remote-flush histograms must record
+// one observation per acknowledged commit of the matching class.
+func TestCommitWaitStats(t *testing.T) {
+	cfg, _, _ := testConfig(2)
+	cfg.GroupCommit = true
+	m := NewManager(cfg)
+	defer m.Close(false)
+	g0 := appendN(t, m, 0, 2, 1)
+	m.AcquireOwnership(0)
+	m.CommitTxn(0, 1, g0, true) // RFA-safe synchronous wait
+	m.ReleaseOwnership(0)
+	g1 := appendN(t, m, 1, 2, 2)
+	m.AcquireOwnership(1)
+	m.CommitTxn(1, 2, g1, false) // remote-flush synchronous wait
+	m.ReleaseOwnership(1)
+	st := m.CommitWaitStats()
+	if st.RFA.Count() != 1 || st.Remote.Count() != 1 {
+		t.Fatalf("commit-wait histograms: rfa=%d remote=%d, want 1/1",
+			st.RFA.Count(), st.Remote.Count())
+	}
+}

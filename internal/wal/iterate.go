@@ -143,6 +143,44 @@ func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GS
 		}
 		parts[part] = recs
 	}
+
+	// Log-derived stable horizon (H_rec): the minimum over all recovered
+	// partitions of the last recovered record's GSN. The marker write is
+	// asynchronous (off the commit ack path), so the marker can lag the
+	// horizon at which the group committer acknowledged commits; H_rec
+	// closes that gap.
+	//
+	// Sound: per-partition GSNs strictly increase and each recovered
+	// partition log is a contiguous durable prefix, so a partition with
+	// last GSN g provably holds *all* of its records with GSN <= g
+	// (records below the prune horizon were covered by a checkpoint).
+	// Thus every partition is flushed through min(last GSNs) and any
+	// commit at or below it satisfies the remote-flush durability rule.
+	//
+	// Tight enough: an acknowledged commit at GSN g implied every
+	// partition's flushedGSN >= g, and every flushedGSN advance is backed
+	// by a durable record with that GSN (flush watermarks at seal/stage,
+	// RecLift witnesses for idle-partition lifts). Pruning only removes
+	// records below a checkpointed horizon <= g, so after a crash every
+	// partition still recovers a last record with GSN >= g and
+	// H_rec >= g covers the acknowledgement.
+	if len(parts) > 0 {
+		hrec := base.GSN(0)
+		first := true
+		for _, recs := range parts {
+			var last base.GSN
+			if len(recs) > 0 {
+				last = recs[len(recs)-1].GSN
+			}
+			if first || last < hrec {
+				hrec = last
+				first = false
+			}
+		}
+		if hrec > stable {
+			stable = hrec
+		}
+	}
 	return parts, stable
 }
 

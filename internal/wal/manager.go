@@ -10,6 +10,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/dev"
 	"repro/internal/iosched"
+	"repro/internal/metrics"
 )
 
 // Config configures the distributed WAL.
@@ -30,8 +31,17 @@ type Config struct {
 	// GroupCommit enables the passive group-commit protocol [52]; required
 	// for durability in PersistDRAM mode unless SyncCommit is set.
 	GroupCommit bool
-	// GroupCommitInterval is the committer tick (0 = default).
+	// GroupCommitInterval pins the flush epoch to a fixed length (SiloR
+	// epochs, the interval ablation, and the centralized baseline's tick).
+	// When 0 the decentralized flushers adapt their epoch per partition
+	// between epochMinDefault and epochMaxDefault; the centralized baseline
+	// defaults to a fixed 100µs tick.
 	GroupCommitInterval time.Duration
+	// CentralizedCommit retains the previous single-loop group committer
+	// (one tick loop flushing all partitions serially, synchronous marker
+	// write on the ack path, one global waiter queue) as the ablation
+	// baseline for the decentralized commit subsystem in commit.go.
+	CentralizedCommit bool
 	// SyncCommit (PersistDRAM only) makes every commit stage+sync its log
 	// synchronously — the ARIES-without-group-commit behaviour.
 	SyncCommit bool
@@ -88,21 +98,24 @@ func (c *Config) fillDefaults() {
 	if c.SegmentSize <= 0 {
 		c.SegmentSize = 1 << 20
 	}
-	if c.GroupCommitInterval <= 0 {
+	if c.CentralizedCommit && c.GroupCommitInterval <= 0 {
 		c.GroupCommitInterval = 100 * time.Microsecond
 	}
 }
 
-// commitWaiter is a transaction parked in the group-commit queue; the
-// committer invokes onDurable once the commit record is durable. Passive
-// group commit [52] works precisely because the worker thread does NOT wait
-// here — it proceeds to the next transaction and the acknowledgement
-// arrives asynchronously.
+// commitWaiter is a transaction parked in a commit-waiter queue; the flusher
+// (or centralized committer) acknowledges it once the commit record is
+// durable — through onDurable, or by a send on ch for synchronous waits
+// (pooled, see WaitCommitDurable). Passive group commit [52] works precisely
+// because the worker thread does NOT wait here — it proceeds to the next
+// transaction and the acknowledgement arrives asynchronously.
 type commitWaiter struct {
 	gsn       base.GSN
 	part      int
 	rfaSafe   bool
 	onDurable func()
+	ch        chan struct{}
+	enq       time.Time // enqueue instant, for the commit-wait histograms
 }
 
 // Manager is the two-stage distributed log (Figure 2) plus the commit
@@ -120,18 +133,49 @@ type Manager struct {
 	// commit, RFA, and log truncation.
 	ownerMu []sync.Mutex
 
-	stop     chan struct{}
-	wg       sync.WaitGroup
-	gcNotify chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
 
-	gcMu    sync.Mutex
-	gcQueue []commitWaiter
+	// liftLoop runs on its own stop channel so Close can quiesce it first:
+	// a final lift racing the drain could append a lift record to a
+	// partition the drain already staged.
+	liftStop chan struct{}
+	liftWG   sync.WaitGroup
 
-	// stableGSN is the group committer's verified durable horizon: every
-	// record (in any partition) with GSN ≤ stableGSN is durable, persisted
-	// in the marker file before any dependent commit is acknowledged.
+	// Centralized baseline state (Config.CentralizedCommit).
+	gcNotify  chan struct{}
+	gcMu      sync.Mutex
+	gcQueue   []commitWaiter
+	gcScratch []commitWaiter
+
+	// Decentralized commit state (see commit.go): per-partition waiter
+	// shards and flusher kick channels, the remote-flush waiter queue, and
+	// the lock-free aggregated MinFlushedGSN all acknowledgements against
+	// the global horizon use.
+	shards    []waiterShard
+	flushKick []chan struct{}
+	horizon   horizonAgg
+	aggMin    atomic.Uint64
+
+	// epochMin/epochMax bound the adaptive flush epoch (equal when the
+	// interval is pinned by Config.GroupCommitInterval).
+	epochMin time.Duration
+	epochMax time.Duration
+
+	// Commit-wait latency split by acknowledgement path.
+	histRFA    *metrics.Histogram
+	histRemote *metrics.Histogram
+
+	// stableGSN is the persisted stable horizon: every record (in any
+	// partition) with GSN ≤ stableGSN is durable and covered by the marker
+	// file. The decentralized committer acknowledges at the (possibly
+	// higher) in-memory aggregate and persists the marker asynchronously;
+	// recovery re-derives at least the acknowledged horizon from the logs.
 	stableGSN  atomic.Uint64
 	markerFile *dev.File
+	markerKick chan struct{}
+	markerBuf  [8]byte
+	markerErrC chan error
 
 	gsnFloor atomic.Uint64 // lift hint; new records always exceed it
 	closed   atomic.Bool
@@ -151,12 +195,14 @@ const markerFileName = "wal/marker"
 
 // NewManager creates the distributed log and starts its background threads
 // (per-partition WAL writers, the lift ticker, and — if configured — the
-// group committer).
+// commit subsystem: per-partition flushers plus the marker writer, or the
+// centralized baseline committer).
 func NewManager(cfg Config) *Manager {
 	cfg.fillDefaults()
 	m := &Manager{
 		cfg:      cfg,
 		stop:     make(chan struct{}),
+		liftStop: make(chan struct{}),
 		gcNotify: make(chan struct{}, 1),
 	}
 	m.sched = cfg.Sched
@@ -181,16 +227,46 @@ func NewManager(cfg Config) *Manager {
 		}()
 	}
 	m.markerFile = cfg.SSD.Open(markerFileName)
-	if cfg.GroupCommit {
-		m.wg.Add(1)
-		go func() {
-			defer m.wg.Done()
-			m.groupCommitterLoop()
-		}()
+	m.histRFA = metrics.NewHistogram()
+	m.histRemote = metrics.NewHistogram()
+	m.aggMin.Store(uint64(cfg.GSNFloor))
+	m.epochMin, m.epochMax = epochMinDefault, epochMaxDefault
+	if cfg.GroupCommitInterval > 0 {
+		m.epochMin, m.epochMax = cfg.GroupCommitInterval, cfg.GroupCommitInterval
 	}
-	m.wg.Add(1)
+	if cfg.GroupCommit {
+		if cfg.CentralizedCommit {
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				m.groupCommitterLoop()
+			}()
+		} else {
+			m.shards = make([]waiterShard, cfg.Partitions)
+			m.flushKick = make([]chan struct{}, cfg.Partitions)
+			for i := range m.flushKick {
+				m.flushKick[i] = make(chan struct{}, 1)
+			}
+			m.markerKick = make(chan struct{}, 1)
+			m.markerErrC = make(chan error, 1)
+			for _, p := range m.parts {
+				p := p
+				m.wg.Add(1)
+				go func() {
+					defer m.wg.Done()
+					m.flusherLoop(p)
+				}()
+			}
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				m.markerLoop()
+			}()
+		}
+	}
+	m.liftWG.Add(1)
 	go func() {
-		defer m.wg.Done()
+		defer m.liftWG.Done()
 		m.liftLoop()
 	}()
 	return m
@@ -289,22 +365,22 @@ func (m *Manager) AppendCommitRecord(worker int, txn base.TxnID, proposal base.G
 // EnqueueCommitWaiter registers an asynchronous durability callback for the
 // commit record at gsn (group-commit mode).
 func (m *Manager) EnqueueCommitWaiter(worker int, gsn base.GSN, rfaSafe bool, onDurable func()) {
-	w := commitWaiter{gsn: gsn, part: worker, rfaSafe: rfaSafe, onDurable: onDurable}
-	m.gcMu.Lock()
-	m.gcQueue = append(m.gcQueue, w)
-	m.gcMu.Unlock()
-	select {
-	case m.gcNotify <- struct{}{}:
-	default:
-	}
+	m.enqueueWaiter(commitWaiter{
+		gsn: gsn, part: worker, rfaSafe: rfaSafe, onDurable: onDurable, enq: time.Now(),
+	})
 }
 
 // WaitCommitDurable blocks until the commit record at gsn is durable under
-// the group-commit protocol. Requires GroupCommit mode.
+// the group-commit protocol. Requires GroupCommit mode. The wait channel is
+// pooled and signalled by a send (never closed), keeping synchronous commits
+// allocation-free.
 func (m *Manager) WaitCommitDurable(worker int, gsn base.GSN, rfaSafe bool) {
-	done := make(chan struct{})
-	m.EnqueueCommitWaiter(worker, gsn, rfaSafe, func() { close(done) })
-	<-done
+	ch := ackChPool.Get().(chan struct{})
+	m.enqueueWaiter(commitWaiter{
+		gsn: gsn, part: worker, rfaSafe: rfaSafe, ch: ch, enq: time.Now(),
+	})
+	<-ch
+	ackChPool.Put(ch)
 }
 
 // CommitTxnAsync appends the commit record and arranges for onDurable to be
@@ -480,11 +556,13 @@ func (m *Manager) archiveSegment(seg *segmentInfo) {
 	}
 }
 
-// groupCommitterLoop implements passive group commit [52] with the RFA fast
-// path (§3.2): each tick it makes all logs durable, persists the verified
-// stable GSN to the marker file, and acknowledges waiting transactions —
-// RFA-safe ones as soon as their own log is durable, others once the global
-// horizon passes their commit GSN.
+// groupCommitterLoop is the CENTRALIZED baseline committer (retained behind
+// Config.CentralizedCommit for the commit ablation; the default path is the
+// decentralized subsystem in commit.go). Each tick it makes all logs durable
+// serially, persists the verified stable GSN to the marker file
+// synchronously, and acknowledges waiting transactions — RFA-safe ones as
+// soon as their own log is durable, others once the global horizon passes
+// their commit GSN.
 func (m *Manager) groupCommitterLoop() {
 	// Interval-driven (the epoch): ticking on every enqueue would
 	// degenerate into one log flush per commit, which is exactly what
@@ -536,8 +614,12 @@ func (m *Manager) groupCommitTick() {
 		}
 		m.stableGSN.Store(uint64(s))
 	}
-	// 3. Acknowledge waiters.
+	// 3. Acknowledge waiters: collect under the lock, release, then notify.
+	// The callbacks run application code (commit continuations) and must
+	// never execute while gcMu is held — a callback that re-enters the
+	// manager (or simply runs long) would stall every concurrent enqueue.
 	m.gcMu.Lock()
+	ready := m.gcScratch[:0]
 	pending := m.gcQueue[:0]
 	for _, w := range m.gcQueue {
 		durable := false
@@ -547,13 +629,25 @@ func (m *Manager) groupCommitTick() {
 			durable = base.GSN(m.stableGSN.Load()) >= w.gsn
 		}
 		if durable {
-			w.onDurable()
+			ready = append(ready, w)
 		} else {
 			pending = append(pending, w)
 		}
 	}
+	for i := len(pending); i < len(m.gcQueue); i++ {
+		m.gcQueue[i] = commitWaiter{}
+	}
 	m.gcQueue = pending
 	m.gcMu.Unlock()
+	for i := range ready {
+		h := m.histRemote
+		if ready[i].rfaSafe {
+			h = m.histRFA
+		}
+		m.ack(&ready[i], h)
+		ready[i] = commitWaiter{}
+	}
+	m.gcScratch = ready[:0]
 }
 
 // liftLoop periodically takes ownership of idle partitions, flushes them,
@@ -569,7 +663,7 @@ func (m *Manager) liftLoop() {
 	defer timer.Stop()
 	for {
 		select {
-		case <-m.stop:
+		case <-m.liftStop:
 			return
 		case <-timer.C:
 		}
@@ -606,9 +700,27 @@ func (m *Manager) liftIdlePartitions() {
 		}
 		if durable {
 			if base.GSN(p.lastGSN.Load()) < target {
-				p.lastGSN.Store(uint64(target))
+				// Append a durable RecLift witness at exactly `target`
+				// (Append assigns max(proposal, last, floor)+1) instead of
+				// bare watermark stores: every advance of flushedGSN must be
+				// backed by a durable record with that GSN, so the
+				// log-derived stable horizon recovery computes (min over
+				// partitions of max recovered GSN, see ReadLog) covers every
+				// GSN the commit subsystem may have acknowledged against.
+				var rec Record
+				rec.Type = RecLift
+				p.Append(&rec, target-1)
+				if m.cfg.PersistMode == PersistPMem {
+					p.FlushPMem()
+				} else {
+					p.stageAll(true)
+				}
+			} else {
+				// lastGSN already reaches target and the drain above made
+				// every record durable; the watermark advance is record-
+				// backed by the partition's own tail record.
+				p.advanceFlushedGSN(target)
 			}
-			p.advanceFlushedGSN(target)
 		}
 		m.ownerMu[i].Unlock()
 	}
@@ -621,6 +733,14 @@ func (m *Manager) Close(drain bool) {
 	if !m.closed.CompareAndSwap(false, true) {
 		return // idempotent
 	}
+	// Quiesce order matters (satellite: drain must not race a final lift).
+	// 1. Stop the lift loop FIRST and wait for it: liftIdlePartitions
+	//    appends RecLift records under ownerMu, and a drain snapshotting
+	//    partitions while a lift loop is still live could stage a prefix
+	//    and then have a late lift extend the log behind it.
+	close(m.liftStop)
+	m.liftWG.Wait()
+	// 2. Drain every partition's stage-1 log into synced stage-2 segments.
 	if drain {
 		for i, p := range m.parts {
 			m.ownerMu[i].Lock()
@@ -628,22 +748,19 @@ func (m *Manager) Close(drain bool) {
 			m.ownerMu[i].Unlock()
 		}
 	}
+	// 3. Stop flushers, writer loops, and the marker writer.
 	close(m.stop)
 	m.wg.Wait()
 	if m.cfg.GroupCommit {
 		if drain {
-			// Clean shutdown: one final tick makes the queue durable.
-			m.groupCommitTick()
+			// Clean shutdown: one final flush round makes every queued
+			// record durable and persists the stable-horizon marker.
+			m.finalCommitFlush()
 		}
 		// Complete parked waiters so no callback is lost. On the crash
 		// path nothing was flushed here — unacknowledged commits may
 		// legitimately be lost, exactly like a real crash.
-		m.gcMu.Lock()
-		for _, w := range m.gcQueue {
-			w.onDurable()
-		}
-		m.gcQueue = nil
-		m.gcMu.Unlock()
+		m.completeAllWaiters()
 	}
 	if m.ownSched {
 		if drain {

@@ -52,6 +52,14 @@ const (
 	// written by Txn; no page ID, no GSN ordering, no before image. GSN
 	// carries the commit epoch.
 	RecValue
+	// RecLift is a no-op filler appended when an idle partition's GSN
+	// watermark is lifted to the global maximum (§3.5): it gives the lifted
+	// flushedGSN a durable, record-backed witness so recovery's log-derived
+	// stable horizon (min over partitions of max recovered GSN) covers
+	// group-commit acknowledgements even when the asynchronous stable-horizon
+	// marker was not yet persisted at crash time. Carries only a GSN; skipped
+	// by recovery analysis and redo.
+	RecLift
 
 	recTypeMax
 )
@@ -79,6 +87,8 @@ func (t RecType) String() string {
 		return "abort-end"
 	case RecValue:
 		return "value"
+	case RecLift:
+		return "lift"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}
