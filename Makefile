@@ -4,13 +4,23 @@
 
 GO ?= go
 
-.PHONY: check test vet bench-smoke bench
+.PHONY: check test vet lint bench-smoke bench
 
 check: vet
 	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Uses staticcheck when installed (CI installs
+# it); skips with a notice otherwise so the target never blocks a machine
+# without it.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...

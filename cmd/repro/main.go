@@ -21,6 +21,9 @@
 //	ablate           design-knob ablations (shards, intervals, chunks)
 //	ablate-io        I/O scheduler queue-depth × batch-size ablation
 //	ablate-commit    centralized vs decentralized group-commit pipeline
+//	obs-overhead     observability subsystem cost (tracing on vs off)
+//	commit-stages    per-stage commit latency split (append/queue/flush/ack)
+//	flight           crash flight-recorder post-mortem
 //	all              everything above
 package main
 
@@ -100,6 +103,13 @@ func main() {
 			return harness.AblateIO(w, sc, *threads)
 		case "ablate-commit":
 			return harness.AblateCommit(w, sc, *threads)
+		case "obs-overhead":
+			_, err := harness.ObsOverhead(w, sc)
+			return err
+		case "commit-stages":
+			return harness.CommitStageTable(w, sc, *threads)
+		case "flight":
+			return harness.FlightPostMortem(w, sc, *threads)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -109,7 +119,8 @@ func main() {
 		for _, name := range []string{
 			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
 			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
-			"ablate-io", "ablate-commit",
+			"ablate-io", "ablate-commit", "obs-overhead", "commit-stages",
+			"flight",
 		} {
 			if err := run(name); err != nil {
 				fmt.Fprintf(os.Stderr, "repro %s: %v\n", name, err)

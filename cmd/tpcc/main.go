@@ -42,6 +42,7 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
 	poolMiB := flag.Int("pool-mib", 64, "buffer pool size in MiB")
 	walMiB := flag.Int("wal-mib", 32, "WAL limit in MiB")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
 	flag.Parse()
 
 	mode, ok := modes[*modeName]
@@ -53,11 +54,15 @@ func main() {
 		Workers:   *threads,
 		PoolPages: *poolMiB << 20 / (16 << 10),
 		WALLimit:  int64(*walMiB) << 20,
+		ObsAddr:   *obsAddr,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
+	if a := eng.ObsAddr(); a != "" {
+		fmt.Printf("observability endpoint: http://%s/metrics\n", a)
+	}
 
 	fmt.Printf("loading TPC-C: %d warehouses, %d items, %d customers/district...\n",
 		*warehouses, *items, *custPerDist)

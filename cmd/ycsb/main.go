@@ -36,6 +36,7 @@ func main() {
 	threads := flag.Int("threads", 4, "worker threads")
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
 	measureLatency := flag.Bool("latency", true, "record per-txn commit latency (sync commits)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address")
 	flag.Parse()
 
 	mode, ok := modes[*modeName]
@@ -47,11 +48,15 @@ func main() {
 		Workers:   *threads,
 		PoolPages: 8192,
 		WALLimit:  256 << 20,
+		ObsAddr:   *obsAddr,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
+	if a := eng.ObsAddr(); a != "" {
+		fmt.Printf("observability endpoint: http://%s/metrics\n", a)
+	}
 
 	s := eng.NewSessionOn(0)
 	tree, err := eng.CreateTree(s, "ycsb")

@@ -9,6 +9,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/dev"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 	"repro/internal/sys"
 )
 
@@ -121,6 +122,12 @@ type Config struct {
 	// nil the pool creates (and owns) a private one, so standalone pools
 	// in unit tests keep working.
 	Sched *iosched.Scheduler
+	// Trace, if set, receives page-fault events on ring TraceRing. Nil
+	// disables tracing.
+	Trace *obs.Recorder
+	// TraceRing is the recorder ring page faults are recorded on (the
+	// engine dedicates one ring to the buffer pool).
+	TraceRing int
 }
 
 func (c *Config) fillDefaults() {
@@ -423,6 +430,7 @@ func (p *Pool) ResolveSlow(parentIdx int32, swipOff int, reserved int32) (_ int3
 		clear(f.data[n:])
 	}
 	p.pageReads.Add(base.PageSize)
+	p.cfg.Trace.Record(p.cfg.TraceRing, obs.EvPageFault, uint64(pid), 0)
 	if got := PageID(f.data); got != pid {
 		panic(fmt.Sprintf("buffer: page %d read returned page %d", pid, got))
 	}
@@ -448,6 +456,7 @@ func (p *Pool) LoadPinnedPage(pid base.PageID) (int32, *Frame) {
 		clear(f.data[n:])
 	}
 	p.pageReads.Add(base.PageSize)
+	p.cfg.Trace.Record(p.cfg.TraceRing, obs.EvPageFault, uint64(pid), 0)
 	gsn := PageGSN(f.data)
 	f.pid = pid
 	f.parent = -1
@@ -486,6 +495,24 @@ type Stats struct {
 	CoolHits           uint64
 	FreeFrames         int
 	CoolPages          int
+}
+
+// RegisterObs publishes the pool's counters in the central registry.
+func (p *Pool) RegisterObs(reg *obs.Registry) {
+	reg.CounterFunc("buffer_page_read_bytes_total", p.pageReads.Load)
+	reg.CounterFunc("buffer_provider_write_bytes_total", p.providerWrote.Load)
+	reg.CounterFunc("buffer_alloc_stalls_total", p.allocStalls.Load)
+	reg.CounterFunc("buffer_unswizzles_total", p.unswizzles.Load)
+	reg.CounterFunc("buffer_evictions_total", p.evictions.Load)
+	reg.CounterFunc("buffer_cool_hits_total", p.coolHits.Load)
+	reg.GaugeFunc("buffer_free_frames", func() float64 { return float64(len(p.freeC)) })
+	reg.GaugeFunc("buffer_cool_pages", func() float64 {
+		p.coolMu.Lock()
+		n := len(p.coolMap)
+		p.coolMu.Unlock()
+		return float64(n)
+	})
+	reg.GaugeFunc("buffer_frames", func() float64 { return float64(len(p.frames)) })
 }
 
 // Stats returns a snapshot of the pool counters.

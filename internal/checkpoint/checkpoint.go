@@ -19,6 +19,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/buffer"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -49,6 +50,10 @@ type Config struct {
 	// OnCheckpointed, if set, runs after each increment with the prune
 	// horizon (the engine persists the master record here).
 	OnCheckpointed func(pruneGSN base.GSN)
+	// Trace, if set, receives checkpoint events on ring TraceRing.
+	Trace *obs.Recorder
+	// TraceRing is the recorder ring checkpoint events are recorded on.
+	TraceRing int
 }
 
 // Checkpointer runs checkpoint increments in background threads.
@@ -133,6 +138,14 @@ func (c *Checkpointer) Stats() Stats {
 
 // WrittenBytesCounter exposes the byte counter for writeback crediting.
 func (c *Checkpointer) WrittenBytesCounter() *atomic.Uint64 { return &c.written }
+
+// RegisterObs publishes the checkpointer's counters in the central registry.
+func (c *Checkpointer) RegisterObs(reg *obs.Registry) {
+	reg.CounterFunc("checkpoint_written_bytes_total", c.written.Load)
+	reg.CounterFunc("checkpoint_increments_total", c.increments.Load)
+	reg.CounterFunc("checkpoint_full_runs_total", c.fullRuns.Load)
+	reg.GaugeFunc("checkpoint_pending_bytes", func() float64 { return float64(c.pending.Load()) })
+}
 
 func (c *Checkpointer) loop() {
 	wb := buffer.NewWriteback(c.cfg.Pool, c.cfg.WritebackBatch, &c.written)
@@ -236,6 +249,7 @@ func (c *Checkpointer) increment(wb *buffer.Writeback) {
 	}
 	c.cfg.WAL.Prune(prune)
 	c.increments.Add(1)
+	c.cfg.Trace.Record(c.cfg.TraceRing, obs.EvCheckpoint, uint64(prune), 0)
 	if c.cfg.OnCheckpointed != nil {
 		c.cfg.OnCheckpointed(prune)
 	}
@@ -317,6 +331,7 @@ func (c *Checkpointer) maybeFullCheckpoint(wb *buffer.Writeback) {
 	}
 	c.cfg.WAL.Prune(prune)
 	c.fullRuns.Add(1)
+	c.cfg.Trace.Record(c.cfg.TraceRing, obs.EvCheckpoint, uint64(prune), 1)
 	if c.cfg.OnCheckpointed != nil {
 		c.cfg.OnCheckpointed(prune)
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/dev"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/silor"
 	"repro/internal/txn"
@@ -135,6 +136,18 @@ type Config struct {
 	// fresh ones.
 	PMem *dev.PMem
 	SSD  *dev.SSD
+
+	// ObsDisabled turns the observability subsystem (metric registry +
+	// trace recorder) off entirely. It is on by default so benchmarks and
+	// the alloc gates exercise the instrumented path.
+	ObsDisabled bool
+	// ObsAddr, when non-empty, starts the embedded observability HTTP
+	// server (Prometheus /metrics, /debug/trace, /debug/pprof) on that
+	// address ("127.0.0.1:0" picks a free port; see Engine.ObsAddr).
+	ObsAddr string
+	// TraceEvents is the per-ring trace buffer capacity (rounded up to a
+	// power of two; default 4096).
+	TraceEvents int
 }
 
 func (c *Config) fillDefaults() {
@@ -165,6 +178,9 @@ func (c *Config) fillDefaults() {
 	if c.SSD == nil {
 		c.SSD = dev.NewSSD()
 	}
+	if c.TraceEvents <= 0 {
+		c.TraceEvents = 4096
+	}
 }
 
 // Engine is the storage engine instance.
@@ -173,6 +189,10 @@ type Engine struct {
 
 	pm  *dev.PMem
 	ssd *dev.SSD
+
+	obsReg *obs.Registry
+	obsRec *obs.Recorder
+	obsSrv *obs.Server
 
 	sched    *iosched.Scheduler
 	pool     *buffer.Pool
@@ -220,10 +240,22 @@ func Open(cfg Config) (*Engine, error) {
 		stop:        make(chan struct{}),
 	}
 	e.nextTreeID.Store(uint64(base.CatalogTreeID) + 1)
+
+	// ---- Observability (before any instrumented subsystem exists) ----
+	// Ring layout: [0, Workers) worker/partition lifecycle events,
+	// [Workers, Workers+NumClasses) iosched per-class events, then one ring
+	// for buffer page faults and one for checkpoint events.
+	if !cfg.ObsDisabled {
+		e.obsReg = obs.NewRegistry()
+		e.obsReg.RegisterRuntime()
+		e.obsRec = obs.NewRecorder(cfg.Workers+int(iosched.NumClasses)+2, cfg.TraceEvents)
+	}
 	e.sched = iosched.New(iosched.Config{
-		QueueDepth: cfg.IOQueueDepth,
-		BatchSize:  cfg.IOBatchSize,
-		Priorities: cfg.IOPriorities,
+		QueueDepth:    cfg.IOQueueDepth,
+		BatchSize:     cfg.IOBatchSize,
+		Priorities:    cfg.IOPriorities,
+		Trace:         e.obsRec,
+		TraceRingBase: cfg.Workers,
 	})
 
 	// ---- Restart recovery (before anything else touches the devices) ----
@@ -257,11 +289,13 @@ func Open(cfg Config) (*Engine, error) {
 
 	// ---- Buffer pool ----
 	e.pool = buffer.NewPool(buffer.Config{
-		Frames:  cfg.PoolPages,
-		SSD:     e.ssd,
-		Sched:   e.sched,
-		Ops:     btree.PageOps{},
-		NoSteal: cfg.Mode == ModeSiloR,
+		Frames:    cfg.PoolPages,
+		SSD:       e.ssd,
+		Sched:     e.sched,
+		Ops:       btree.PageOps{},
+		NoSteal:   cfg.Mode == ModeSiloR,
+		Trace:     e.obsRec,
+		TraceRing: cfg.Workers + int(iosched.NumClasses),
 		FlushLogs: func() {
 			if cfg.Mode != ModeNoLogging {
 				e.walMgr.FlushAllLogs()
@@ -285,6 +319,8 @@ func Open(cfg Config) (*Engine, error) {
 		PMem:                e.pm,
 		SSD:                 e.ssd,
 		Sched:               e.sched,
+		Obs:                 e.obsReg,
+		Trace:               e.obsRec,
 	}
 	rfa := false
 	switch cfg.Mode {
@@ -358,6 +394,7 @@ func Open(cfg Config) (*Engine, error) {
 		StartTxnID:   txnFloor,
 		TreeResolver: e.treeByID,
 		Throttle:     throttle,
+		Trace:        e.obsRec,
 	})
 
 	// ---- Checkpointer ----
@@ -372,7 +409,15 @@ func Open(cfg Config) (*Engine, error) {
 		Threads:        cfg.CheckpointThreads,
 		Full:           fullCkpt,
 		OnCheckpointed: func(base.GSN) { e.writeMaster() },
+		Trace:          e.obsRec,
+		TraceRing:      cfg.Workers + int(iosched.NumClasses) + 1,
 	})
+	if e.obsReg != nil {
+		e.sched.RegisterObs(e.obsReg)
+		e.pool.RegisterObs(e.obsReg)
+		e.txns.RegisterObs(e.obsReg)
+		e.ckpt.RegisterObs(e.obsReg)
+	}
 	checkpointingActive := !cfg.CheckpointDisabled && cfg.Mode != ModeNoLogging && cfg.Mode != ModeSiloR
 	if checkpointingActive && !fullCkpt {
 		// Continuous mode: increments are triggered by staged WAL volume.
@@ -422,6 +467,16 @@ func Open(cfg Config) (*Engine, error) {
 			e.ssd.Remove(n)
 		}
 		wal.RemoveFiles(e.ssd, oldSegments)
+	}
+
+	// ---- Observability HTTP endpoint (last: engine fully wired) ----
+	if cfg.ObsAddr != "" && e.obsReg != nil {
+		srv, err := obs.Serve(cfg.ObsAddr, e.obsReg, e.obsRec)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("core: obs endpoint: %w", err)
+		}
+		e.obsSrv = srv
 	}
 	return e, nil
 }
@@ -803,6 +858,9 @@ func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if e.obsSrv != nil {
+		e.obsSrv.Close()
+	}
 	close(e.stop)
 	e.wg.Wait()
 	if e.cfg.Mode != ModeNoLogging && e.cfg.Mode != ModeSiloR {
@@ -839,6 +897,18 @@ func (e *Engine) SimulateCrash(seed uint64) (*dev.PMem, *dev.SSD) {
 	// Abort instead of drain: queued requests fail with ErrAborted, exactly
 	// like I/Os that never reached the device before the crash.
 	e.sched.Abort()
+	if e.obsSrv != nil {
+		e.obsSrv.Close()
+	}
+	if e.obsRec != nil {
+		// Flight recorder: freeze the rings and persist the last trace
+		// events straight to the SSD (the scheduler is gone — this is the
+		// raw-pwrite of a real panic handler). The write happens before the
+		// device crash semantics are applied and is synced, so the dump
+		// survives and the recovery harness can read it back.
+		e.obsRec.SetEnabled(false)
+		obs.WriteFlightDump(e.ssd.Open(obs.FlightFileName), e.obsRec.Snapshot(2048))
+	}
 	if e.walPersistsToDRAM() {
 		e.pm.CrashVolatile()
 	} else {
@@ -889,3 +959,18 @@ func (e *Engine) Stats() Stats {
 
 // Workers returns the configured worker/session count.
 func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// ObsRegistry returns the central metric registry (nil when ObsDisabled).
+func (e *Engine) ObsRegistry() *obs.Registry { return e.obsReg }
+
+// ObsRecorder returns the trace recorder (nil when ObsDisabled).
+func (e *Engine) ObsRecorder() *obs.Recorder { return e.obsRec }
+
+// ObsAddr returns the bound address of the observability HTTP endpoint, or
+// "" when it is not serving. Useful with Config.ObsAddr = "127.0.0.1:0".
+func (e *Engine) ObsAddr() string {
+	if e.obsSrv == nil {
+		return ""
+	}
+	return e.obsSrv.Addr()
+}

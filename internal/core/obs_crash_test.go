@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/obs"
+)
+
+// TestFlightRecorderCrashConsistency crashes a loaded engine and checks the
+// flight-recorder dump against the recovered WAL: every commit acknowledgement
+// the trace recorded must be covered by the recovered log horizon (an ack the
+// log cannot back would mean the engine acknowledged a commit that was not
+// durable). This is the observability analogue of the commit-crash tests —
+// the trace must never claim more durability than recovery can prove.
+func TestFlightRecorderCrashConsistency(t *testing.T) {
+	for _, mode := range []Mode{ModeOurs, ModeGroupCommitRFA} {
+		for _, seed := range []uint64{5, 0xBEEF} {
+			name := fmt.Sprintf("mode=%d/seed=%#x", mode, seed)
+			cfg := testCfg(mode)
+			e := mustOpen(t, cfg)
+			if e.ObsRecorder() == nil {
+				t.Fatalf("%s: observability should be on by default", name)
+			}
+
+			s0 := e.NewSessionOn(0)
+			tree, err := e.CreateTree(s0, "t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < 2; w++ {
+				s := e.NewSessionOn(w)
+				for i := 0; i < 120; i += 10 {
+					s.Begin()
+					for j := i; j < i+10; j++ {
+						if err := tree.Insert(s, k(w*1000+j), v(w*1000+j)); err != nil {
+							t.Fatalf("%s: insert: %v", name, err)
+						}
+					}
+					s.Commit()
+				}
+			}
+			if !e.Txns().WaitAllDurable(10 * time.Second) {
+				t.Fatalf("%s: commits never acknowledged durable", name)
+			}
+
+			pm, ssd := e.SimulateCrash(seed)
+
+			// The dump must be readable off the crashed device, before any
+			// recovery touches it.
+			events, err := obs.ReadFlightDump(ssd.Open(obs.FlightFileName))
+			if err != nil {
+				t.Fatalf("%s: reading flight dump: %v", name, err)
+			}
+			if len(events) == 0 {
+				t.Fatalf("%s: flight dump empty", name)
+			}
+
+			cfg.PMem, cfg.SSD = pm, ssd
+			e2 := mustOpen(t, cfg)
+			res := e2.RecoveryResult()
+			if res == nil {
+				t.Fatalf("%s: no recovery ran", name)
+			}
+
+			// Invariant: every acknowledged commit GSN in the dump is covered
+			// by the recovered log.
+			seen := map[obs.EventType]int{}
+			var maxAck base.GSN
+			for _, ev := range events {
+				seen[ev.Type]++
+				if ev.Type == obs.EvCommitAck {
+					if g := base.GSN(ev.A1); g > maxAck {
+						maxAck = g
+					}
+				}
+			}
+			if seen[obs.EvCommitAck] == 0 {
+				t.Fatalf("%s: no commit acks in flight dump: %v", name, seen)
+			}
+			if seen[obs.EvLogAppend] == 0 || seen[obs.EvTxnBegin] == 0 {
+				t.Fatalf("%s: lifecycle events missing from dump: %v", name, seen)
+			}
+			if maxAck > res.MaxGSN {
+				t.Fatalf("%s: flight dump acks GSN %d beyond recovered horizon %d",
+					name, maxAck, res.MaxGSN)
+			}
+			e2.Close()
+		}
+	}
+}
+
+// TestObsDisabledNoDump: with observability off the engine records nothing
+// and writes no flight dump on crash.
+func TestObsDisabledNoDump(t *testing.T) {
+	cfg := testCfg(ModeOurs)
+	cfg.ObsDisabled = true
+	e := mustOpen(t, cfg)
+	if e.ObsRegistry() != nil || e.ObsRecorder() != nil || e.ObsAddr() != "" {
+		t.Fatal("observability artifacts present despite ObsDisabled")
+	}
+	s := e.NewSession()
+	tree, err := e.CreateTree(s, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Begin()
+	if err := tree.Insert(s, k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit()
+	_, ssd := e.SimulateCrash(1)
+	events, err := obs.ReadFlightDump(ssd.Open(obs.FlightFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("flight dump written despite ObsDisabled: %d events", len(events))
+	}
+}

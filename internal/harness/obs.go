@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// ObsOverheadRow is one cell of the observability-overhead comparison.
+type ObsOverheadRow struct {
+	Threads int
+	OnTPS   float64
+	OffTPS  float64
+}
+
+// ObsOverhead measures what the observability subsystem costs on the hot
+// path: TPC-C throughput with the metric registry + trace recorder enabled
+// (the default) versus fully disabled, at 1 and 8 workers. The acceptance
+// bar for the subsystem is ≤5% regression — tracing is a handful of
+// uncontended atomic stores per event and the registry reads are pull-time
+// only, so the two columns should be within noise of each other.
+func ObsOverhead(w io.Writer, sc Scale) ([]ObsOverheadRow, error) {
+	section(w, "Observability overhead: TPC-C txn/s, tracing+registry on vs off")
+	fmt.Fprintf(w, "%-10s %12s %12s %10s\n", "threads", "obs on", "obs off", "delta")
+	var rows []ObsOverheadRow
+	for _, th := range []int{1, 8} {
+		// Interleave on/off and keep each config's best of two rounds:
+		// engine lifetimes drift (allocator/GC state accumulates across
+		// benches in one process), so a single ordered A/B comparison
+		// misattributes that drift to whichever config ran later.
+		var tps [2]float64
+		for round := 0; round < 2; round++ {
+			for i, disabled := range []bool{false, true} {
+				b, err := NewTPCCBench(sc, core.ModeOurs, th, sc.PoolPages, func(c *core.Config) {
+					c.ObsDisabled = disabled
+				})
+				if err != nil {
+					return nil, err
+				}
+				t, _ := b.RunTPCCWorkers(th, sc.Duration)
+				b.Close()
+				if t > tps[i] {
+					tps[i] = t
+				}
+			}
+		}
+		delta := 0.0
+		if tps[1] > 0 {
+			delta = (tps[1] - tps[0]) / tps[1] * 100
+		}
+		rows = append(rows, ObsOverheadRow{Threads: th, OnTPS: tps[0], OffTPS: tps[1]})
+		fmt.Fprintf(w, "%-10d %12s %12s %9.1f%%\n", th, fmtRate(tps[0]), fmtRate(tps[1]), delta)
+	}
+	return rows, nil
+}
+
+// CommitStageTable runs a TPC-C burst and prints the per-stage commit
+// latency split the WAL's stage histograms record: append (commit-record
+// append), queue (enqueue → covering flush start), flush (the device
+// flush), ack (flush end → waiter notified). The sum of stage medians
+// approximates the end-to-end commit wait; the split shows where group
+// commit spends its time (queue+flush dominate; append and ack are sub-µs).
+func CommitStageTable(w io.Writer, sc Scale, threads int) error {
+	section(w, "Commit latency by pipeline stage")
+	for _, mode := range []core.Mode{core.ModeOurs, core.ModeGroupCommitRFA} {
+		b, err := NewTPCCBench(sc, mode, threads, sc.PoolPages, nil)
+		if err != nil {
+			return err
+		}
+		b.RunTPCCWorkers(threads, sc.Duration)
+		st := b.Engine.WAL().CommitStageStats()
+		fmt.Fprintf(w, "%s:\n", mode)
+		fmt.Fprintf(w, "  %-10s %10s %12s %12s %12s\n", "stage", "count", "p50", "p99", "mean")
+		for _, row := range []struct {
+			name string
+			h    *metrics.Histogram
+		}{
+			{"append", st.Append}, {"queue", st.Queue}, {"flush", st.Flush}, {"ack", st.Ack},
+		} {
+			if row.h == nil {
+				b.Close()
+				return fmt.Errorf("stage histogram %s not registered (obs disabled?)", row.name)
+			}
+			fmt.Fprintf(w, "  %-10s %10d %12v %12v %12v\n", row.name,
+				row.h.Count(), row.h.Quantile(0.5), row.h.Quantile(0.99), row.h.Mean())
+		}
+		b.Close()
+	}
+	return nil
+}
+
+// FlightPostMortem crashes a loaded engine, reads the flight-recorder dump
+// off the crashed SSD, and cross-checks it against what recovery replayed:
+// the last acknowledged commit in the trace must be covered by the
+// recovered WAL horizon. It prints the dump's tail — the post-mortem view
+// an operator would get after a real crash.
+func FlightPostMortem(w io.Writer, sc Scale, threads int) error {
+	section(w, "Crash flight recorder post-mortem")
+	b, err := NewTPCCBench(sc, core.ModeOurs, threads, sc.PoolPages, nil)
+	if err != nil {
+		return err
+	}
+	b.RunTPCCWorkers(threads, sc.Duration)
+	if !b.Engine.Txns().WaitAllDurable(10 * time.Second) {
+		b.Close()
+		return fmt.Errorf("commits never drained")
+	}
+	pm, ssd := b.Engine.SimulateCrash(2026)
+
+	events, err := obs.ReadFlightDump(ssd.Open(obs.FlightFileName))
+	if err != nil {
+		return err
+	}
+	eng2, err := core.Open(core.Config{
+		Mode: core.ModeOurs, Workers: threads, PoolPages: sc.PoolPages,
+		WALLimit: sc.WALLimit, PMem: pm, SSD: ssd,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng2.Close()
+	rr := eng2.RecoveryResult()
+	if rr == nil {
+		return fmt.Errorf("recovery did not run")
+	}
+
+	var maxAck uint64
+	byType := map[obs.EventType]int{}
+	for _, ev := range events {
+		byType[ev.Type]++
+		if ev.Type == obs.EvCommitAck && ev.A1 > maxAck {
+			maxAck = ev.A1
+		}
+	}
+	fmt.Fprintf(w, "flight dump:       %d events\n", len(events))
+	for _, t := range []obs.EventType{obs.EvTxnBegin, obs.EvLogAppend, obs.EvCommitEnqueue,
+		obs.EvPartitionFlush, obs.EvCommitAck, obs.EvPageFault, obs.EvIODispatch,
+		obs.EvIOComplete, obs.EvCheckpoint} {
+		if n := byType[t]; n > 0 {
+			fmt.Fprintf(w, "  %-16s %d\n", t.String(), n)
+		}
+	}
+	fmt.Fprintf(w, "last acked GSN:    %d\n", maxAck)
+	fmt.Fprintf(w, "recovered horizon: %d (%d records, %d winners)\n",
+		rr.MaxGSN, rr.Records, rr.Winners)
+	if maxAck > uint64(rr.MaxGSN) {
+		return fmt.Errorf("flight dump acks GSN %d beyond recovered horizon %d", maxAck, rr.MaxGSN)
+	}
+	fmt.Fprintf(w, "consistency:       every acked commit covered by the recovered WAL\n")
+	tail := events
+	if len(tail) > 8 {
+		tail = tail[len(tail)-8:]
+	}
+	fmt.Fprintln(w, "trace tail:")
+	for _, ev := range tail {
+		fmt.Fprintf(w, "  %s\n", ev.String())
+	}
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/dev"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sys"
 )
 
@@ -126,6 +127,12 @@ type Config struct {
 	// Priorities is the dispatch order over classes. Default:
 	// WAL, page read, writeback, checkpoint, backup.
 	Priorities []Class
+
+	// Trace, when set, receives EvIODispatch/EvIOComplete lifecycle events
+	// for every request, on ring TraceRingBase+class. Fixed at construction
+	// so workers read it without synchronization.
+	Trace         *obs.Recorder
+	TraceRingBase int
 }
 
 func (c *Config) fillDefaults() {
@@ -188,18 +195,22 @@ type Scheduler struct {
 	closed  bool // workers may exit
 	aborted bool
 
-	counters [NumClasses]classCounters
-	lat      [NumClasses]*metrics.Histogram
-	wg       sync.WaitGroup
+	counters  [NumClasses]classCounters
+	lat       [NumClasses]*metrics.Histogram
+	trace     *obs.Recorder
+	traceBase int
+	wg        sync.WaitGroup
 }
 
 // New starts a scheduler with cfg.QueueDepth workers.
 func New(cfg Config) *Scheduler {
 	cfg.fillDefaults()
 	s := &Scheduler{
-		cfg:   cfg,
-		files: make(map[*dev.File]*fileState),
-		rng:   sys.NewRand(0x105ced),
+		cfg:       cfg,
+		files:     make(map[*dev.File]*fileState),
+		rng:       sys.NewRand(0x105ced),
+		trace:     cfg.Trace,
+		traceBase: cfg.TraceRingBase,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for c := range s.lat {
@@ -359,6 +370,7 @@ func (s *Scheduler) execute(r *Request) {
 		// the barrier completes (trigger b in fault.go).
 		s.releaseReordered(r.File)
 	}
+	s.trace.Record(s.traceBase+int(r.Class), obs.EvIODispatch, uint64(r.Op), uint64(len(r.Buf)))
 	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		inject, extra := s.faultDecision(r.Class)
@@ -387,6 +399,7 @@ func (s *Scheduler) execute(r *Request) {
 		s.mu.Unlock()
 	}
 	s.lat[r.Class].Observe(time.Since(start))
+	s.trace.Record(s.traceBase+int(r.Class), obs.EvIOComplete, uint64(r.Op), uint64(r.N))
 
 	s.mu.Lock()
 	s.counters[r.Class].inflight--
@@ -669,6 +682,48 @@ func (s *Scheduler) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// RegisterObs absorbs the scheduler's per-class counters, queue-depth
+// gauges, and latency histograms into the central registry. The Sampler
+// Register below stays as the thin harness-compat accessor over the same
+// counters.
+func (s *Scheduler) RegisterObs(reg *obs.Registry) {
+	for c := Class(0); c < NumClasses; c++ {
+		c := c
+		name := "io_" + c.String()
+		reg.CounterFunc(name+"_bytes_read_total", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.counters[c].bytesRead
+		})
+		reg.CounterFunc(name+"_bytes_written_total", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.counters[c].bytesWritten
+		})
+		reg.CounterFunc(name+"_completed_total", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.counters[c].completed
+		})
+		reg.CounterFunc(name+"_errors_total", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.counters[c].errors
+		})
+		reg.CounterFunc(name+"_syncs_total", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.counters[c].syncs
+		})
+		reg.GaugeFunc(name+"_queue_depth", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.queues[c]) + s.counters[c].inflight)
+		})
+		reg.RegisterHistogram(name+"_latency_ns", s.lat[c])
+	}
 }
 
 // Register exports per-class throughput counters and queue-depth gauges on

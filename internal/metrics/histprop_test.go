@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: for any ns, the bucket that bucketIndex assigns must contain ns,
+// i.e. bucketLower(idx) <= ns < bucketLower(idx+1) (except the clamped top
+// bucket, whose upper bound is open).
+func TestBucketIndexLowerRoundTrip(t *testing.T) {
+	f := func(ns uint64) bool {
+		idx := bucketIndex(ns)
+		if idx < 0 || idx >= numBuckets {
+			return false
+		}
+		lo := bucketLower(idx)
+		if lo > ns {
+			return false
+		}
+		if idx == numBuckets-1 {
+			return true // top bucket is open-ended by design
+		}
+		return ns < bucketLower(idx+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive sweep over the exact power-of-two and sub-bucket boundary
+	// values where off-by-ones live.
+	for exp := 0; exp < 63; exp++ {
+		base := uint64(1) << uint(exp)
+		for _, ns := range []uint64{base - 1, base, base + 1} {
+			idx := bucketIndex(ns)
+			if lo := bucketLower(idx); lo > ns {
+				t.Fatalf("ns=%d: bucketLower(%d)=%d exceeds ns", ns, idx, lo)
+			}
+			if idx < numBuckets-1 && ns >= bucketLower(idx+1) {
+				t.Fatalf("ns=%d landed below bucket %d lower bound %d",
+					ns, idx+1, bucketLower(idx+1))
+			}
+		}
+	}
+}
+
+// Property: bucketLower is strictly increasing over the whole index range,
+// and bucketIndex(bucketLower(idx)) == idx — each bucket's lower bound maps
+// back to itself.
+func TestBucketLowerMonotoneAndSelfMapping(t *testing.T) {
+	prev := uint64(0)
+	for idx := 0; idx < numBuckets; idx++ {
+		lo := bucketLower(idx)
+		if idx > 0 && lo <= prev {
+			t.Fatalf("bucketLower not strictly increasing at %d: %d <= %d", idx, lo, prev)
+		}
+		prev = lo
+		if got := bucketIndex(lo); got != idx {
+			t.Fatalf("bucketIndex(bucketLower(%d)) = %d", idx, got)
+		}
+	}
+}
+
+// Property: bucket resolution is <2% relative error for all values within
+// the histogram's range (64 sub-buckets per octave → width/lower <= 1/64).
+func TestBucketRelativeError(t *testing.T) {
+	f := func(ns uint64) bool {
+		ns %= uint64(1) << 40 // histogram's designed range
+		if ns == 0 {
+			return true
+		}
+		lo := bucketLower(bucketIndex(ns))
+		return float64(ns-lo)/float64(ns) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+	if ps := h.Percentiles(0.5, 0.99); ps[0] != 0 || ps[1] != 0 {
+		t.Fatalf("Percentiles on empty histogram = %v", ps)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram()
+	d := 137 * time.Microsecond
+	for i := 0; i < 1000; i++ {
+		h.Observe(d)
+	}
+	lo := time.Duration(bucketLower(bucketIndex(uint64(d))))
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != lo {
+			t.Fatalf("Quantile(%v) = %v, want bucket lower bound %v", q, got, lo)
+		}
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by [Quantile(0), max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 5000; i++ {
+		h.Observe(time.Duration(i*i) * time.Nanosecond)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile(%v)=%v < Quantile(prev)=%v", q, cur, prev)
+		}
+		prev = cur
+	}
+	if h.Quantile(1) > time.Duration(h.max.Load()) {
+		t.Fatalf("Quantile(1)=%v exceeds max=%v", h.Quantile(1), time.Duration(h.max.Load()))
+	}
+}
+
+func TestObserveNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	h.Observe(time.Microsecond)
+	if h.Count() != 2 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	// Without the clamp the negative observation wraps to ~2^64 ns, lands in
+	// the top bucket, and drags the p99 to the histogram ceiling.
+	if p99 := h.Quantile(0.99); p99 > time.Millisecond {
+		t.Fatalf("p99=%v polluted by negative observation", p99)
+	}
+	if h.Quantile(0) != 0 {
+		t.Fatalf("negative observation not clamped to bucket 0: q0=%v", h.Quantile(0))
+	}
+}
+
+func TestPercentilesDoesNotMutateArgs(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	qs := []float64{0.99, 0.5, 0.9}
+	h.Percentiles(qs...)
+	if qs[0] != 0.99 || qs[1] != 0.5 || qs[2] != 0.9 {
+		t.Fatalf("Percentiles mutated caller slice: %v", qs)
+	}
+}
+
+// Sanity: quantile estimates from bucketed data stay within one bucket width
+// of the exact rank statistic for a log-uniform workload.
+func TestQuantileAccuracyLogUniform(t *testing.T) {
+	h := NewHistogram()
+	var exact []float64
+	x := 100.0
+	for i := 0; i < 4000; i++ {
+		ns := math.Round(x)
+		h.Observe(time.Duration(ns))
+		exact = append(exact, ns)
+		x *= 1.002 // spans ~3 octaves
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		idx := int(math.Ceil(q*float64(len(exact)))) - 1
+		want := exact[idx]
+		got := float64(h.Quantile(q))
+		if got > want || got < want*0.95 {
+			t.Fatalf("Quantile(%v)=%v, exact=%v", q, got, want)
+		}
+	}
+}

@@ -142,8 +142,14 @@ func bucketLower(idx int) uint64 {
 	return (1 << uint(exp)) + frac<<(uint(exp)-6)
 }
 
-// Observe records one latency.
+// Observe records one latency. Negative durations clamp to zero: stage
+// timers can legitimately go backwards (e.g. a commit waiter enqueued after
+// the flush that covers it), and without the clamp the uint64 conversion
+// would land them in the top bucket and wreck the tail quantiles.
 func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
 	ns := uint64(d.Nanoseconds())
 	h.buckets[bucketIndex(ns)].Add(1)
 	h.count.Add(1)
@@ -204,11 +210,13 @@ func (h *Histogram) Summary() string {
 		h.Count(), h.Quantile(0.5), h.Quantile(0.99), time.Duration(h.max.Load()))
 }
 
-// Percentiles computes several quantiles at once.
+// Percentiles computes several quantiles at once, returned in ascending
+// quantile order. The caller's slice is not modified.
 func (h *Histogram) Percentiles(qs ...float64) []time.Duration {
-	sort.Float64s(qs)
-	out := make([]time.Duration, len(qs))
-	for i, q := range qs {
+	sorted := append([]float64(nil), qs...)
+	sort.Float64s(sorted)
+	out := make([]time.Duration, len(sorted))
+	for i, q := range sorted {
 		out[i] = h.Quantile(q)
 	}
 	return out

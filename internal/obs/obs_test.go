@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dev"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("txn_commits_total")
+	c.Add(41)
+	c.Inc()
+	var src uint64 = 7
+	r.CounterFunc("wal_bytes_total", func() uint64 { return src })
+	r.GaugeFunc("pool_free_frames", func() float64 { return 12.5 })
+	snap := r.Snapshot()
+	if snap["txn_commits_total"] != 42 {
+		t.Fatalf("counter = %v, want 42", snap["txn_commits_total"])
+	}
+	if snap["wal_bytes_total"] != 7 {
+		t.Fatalf("counter func = %v, want 7", snap["wal_bytes_total"])
+	}
+	if snap["pool_free_frames"] != 12.5 {
+		t.Fatalf("gauge = %v, want 12.5", snap["pool_free_frames"])
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.GaugeFunc("x_total", func() float64 { return 0 })
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.Counter("bad name!")
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(3)
+	r.GaugeFunc("a_gauge", func() float64 { return 1.5 })
+	h := r.NewHistogram("lat_ns")
+	h.Observe(100 * time.Microsecond)
+	h.Observe(200 * time.Microsecond)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE b_total counter\nb_total 3\n",
+		"# TYPE a_gauge gauge\na_gauge 1.5\n",
+		"# TYPE lat_ns summary\n",
+		`lat_ns{quantile="0.5"}`,
+		"lat_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteProm output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+func TestRecorderSnapshotAndWrap(t *testing.T) {
+	rec := NewRecorder(2, 64)
+	for i := 0; i < 100; i++ {
+		rec.Record(0, EvTxnBegin, uint64(i), 0)
+	}
+	rec.Record(1, EvCommitAck, 999, 1)
+	ev := rec.Snapshot(0)
+	if len(ev) != 65 {
+		t.Fatalf("snapshot = %d events, want 65 (64-slot wrap + 1)", len(ev))
+	}
+	// Ring 0 wrapped: oldest surviving event is #36 (100-64).
+	var ring0 []Event
+	for _, e := range ev {
+		if e.Ring == 0 {
+			ring0 = append(ring0, e)
+		}
+	}
+	if ring0[0].A1 != 36 || ring0[len(ring0)-1].A1 != 99 {
+		t.Fatalf("ring 0 span = [%d,%d], want [36,99]", ring0[0].A1, ring0[len(ring0)-1].A1)
+	}
+	// max-limit keeps the newest events.
+	last := rec.Snapshot(3)
+	if len(last) != 3 {
+		t.Fatalf("Snapshot(3) = %d events", len(last))
+	}
+	if last[2].Type != EvCommitAck || last[2].A1 != 999 {
+		t.Fatalf("newest event = %+v, want the commit ack", last[2])
+	}
+}
+
+func TestRecorderNilDisabledAndOutOfRange(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Record(0, EvTxnBegin, 1, 2) // must not panic
+	if nilRec.Enabled() || nilRec.Rings() != 0 || nilRec.Snapshot(0) != nil {
+		t.Fatal("nil recorder accessors")
+	}
+	rec := NewRecorder(1, 64)
+	rec.SetEnabled(false)
+	rec.Record(0, EvTxnBegin, 1, 2)
+	rec.Record(5, EvTxnBegin, 1, 2) // out of range
+	rec.Record(-1, EvTxnBegin, 1, 2)
+	if n := len(rec.Snapshot(0)); n != 0 {
+		t.Fatalf("disabled recorder stored %d events", n)
+	}
+	rec.SetEnabled(true)
+	rec.Record(0, EvTxnBegin, 1, 2)
+	if n := len(rec.Snapshot(0)); n != 1 {
+		t.Fatalf("re-enabled recorder stored %d events, want 1", n)
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	rec := NewRecorder(1, 256)
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Record(0, EvLogAppend, 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestRecorderConcurrentSnapshot(t *testing.T) {
+	rec := NewRecorder(4, 128)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(ring int) {
+			defer wg.Done()
+			var i uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rec.Record(ring, EvLogAppend, i, 0)
+					i++
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		for _, e := range rec.Snapshot(0) {
+			if e.Type == 0 || e.Type > evMax {
+				t.Errorf("snapshot surfaced invalid event %+v", e)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightDumpRoundTripSurvivesCrash(t *testing.T) {
+	ssd := dev.NewSSD()
+	rec := NewRecorder(1, 64)
+	rec.Record(0, EvTxnBegin, 1, 0)
+	rec.Record(0, EvLogAppend, 42, 128)
+	rec.Record(0, EvCommitAck, 42, 0)
+	events := rec.Snapshot(0)
+	WriteFlightDump(ssd.Open(FlightFileName), events)
+	ssd.Crash() // dump is synced, must survive
+	got, err := ReadFlightDump(ssd.Open(FlightFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, wrote %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], events[i])
+		}
+	}
+	// Missing file reads as no dump.
+	if ev, err := ReadFlightDump(ssd.Open("obs/none")); err != nil || ev != nil {
+		t.Fatalf("empty file: events=%v err=%v", ev, err)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("commits_total").Add(5)
+	rec := NewRecorder(1, 64)
+	rec.Record(0, EvCommitAck, 7, 0)
+	h := Handler(reg, rec)
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "commits_total 5") {
+		t.Fatalf("/metrics: code=%d body=%q", w.Code, w.Body.String())
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/trace?n=10", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), `"type":"commit_ack"`) {
+		t.Fatalf("/debug/trace: code=%d body=%q", w.Code, w.Body.String())
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if w.Code != 200 {
+		t.Fatalf("/debug/pprof/: code=%d", w.Code)
+	}
+}

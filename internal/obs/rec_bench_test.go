@@ -1,0 +1,23 @@
+package obs
+
+import "testing"
+
+// BenchmarkRecord is the hot-path cost of one trace event (the budget the
+// coarse shared clock exists for; see Recorder.clock).
+func BenchmarkRecord(b *testing.B) {
+	r := NewRecorder(4, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(0, EvLogAppend, uint64(i), 64)
+	}
+}
+
+// BenchmarkRecordDisabled is the cost left behind when tracing is off (two
+// loads and a compare).
+func BenchmarkRecordDisabled(b *testing.B) {
+	r := NewRecorder(4, 4096)
+	r.SetEnabled(false)
+	for i := 0; i < b.N; i++ {
+		r.Record(0, EvLogAppend, uint64(i), 64)
+	}
+}

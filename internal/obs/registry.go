@@ -1,0 +1,278 @@
+// Package obs is the engine's unified observability subsystem: a central
+// metric registry (counters, gauges, log-bucket histograms) that absorbs the
+// per-subsystem instruments (wal commit-wait histograms, iosched per-class
+// counters, buffer and checkpoint progress), a zero-allocation trace
+// recorder with per-worker event rings and a crash flight-recorder dump
+// (trace.go), and an embedded HTTP endpoint exposing Prometheus text-format
+// metrics, pprof, and a JSON trace snapshot (serve.go).
+//
+// Design constraints, in priority order:
+//
+//  1. The hot path must stay allocation-free (the PR-2 ≤0.05 allocs/txn
+//     gate): counters are single atomics, histogram observation is the
+//     existing metrics.Histogram (atomic bucket increments), and trace
+//     recording is a handful of atomic stores into a preallocated ring.
+//  2. Scrapes and snapshots are cold paths and may allocate freely; they
+//     never take a lock that a worker touches.
+//  3. Subsystems keep their existing accessors (wal.CommitWaitStats,
+//     iosched.Stats, ...) as thin views over the same instruments, so code
+//     and tests written against them keep working unchanged.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	rtm "runtime/metrics"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Counter is a monotonically increasing uint64 instrument.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+type counterEntry struct {
+	name string
+	c    *Counter
+	fn   func() uint64
+}
+
+type gaugeEntry struct {
+	name string
+	fn   func() float64
+}
+
+type histEntry struct {
+	name string
+	h    *metrics.Histogram
+}
+
+// Registry is the central metric registry. Registration happens at engine
+// construction (allocations fine); reads happen on scrape. Instrument reads
+// go through atomics or the registered closures, so a scrape never blocks a
+// worker.
+type Registry struct {
+	mu       sync.Mutex
+	names    map[string]bool
+	counters []counterEntry
+	gauges   []gaugeEntry
+	hists    []histEntry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register reserves a name; duplicate registration panics (it is always a
+// wiring bug, and failing at Open beats silently shadowed metrics).
+func (r *Registry) register(name string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names[name] = true
+}
+
+// validName enforces the Prometheus metric-name charset.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter creates and registers an owned counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	c := &Counter{}
+	r.counters = append(r.counters, counterEntry{name: name, c: c})
+	return c
+}
+
+// CounterFunc registers a counter backed by an existing source. fn must be
+// monotone and safe for concurrent use.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	r.counters = append(r.counters, counterEntry{name: name, fn: fn})
+}
+
+// GaugeFunc registers an absolute-valued source.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	r.gauges = append(r.gauges, gaugeEntry{name: name, fn: fn})
+}
+
+// NewHistogram creates, registers, and returns a log-bucket histogram. The
+// caller observes into it directly (allocation-free).
+func (r *Registry) NewHistogram(name string) *metrics.Histogram {
+	h := metrics.NewHistogram()
+	r.RegisterHistogram(name, h)
+	return h
+}
+
+// RegisterHistogram absorbs an existing histogram instrument (e.g. the wal
+// commit-wait histograms) into the registry without changing its owner.
+func (r *Registry) RegisterHistogram(name string, h *metrics.Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	r.hists = append(r.hists, histEntry{name: name, h: h})
+}
+
+// Histogram returns the registered histogram with the given name (nil if
+// absent) — the registry-side accessor for harness tables.
+func (r *Registry) Histogram(name string) *metrics.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.hists {
+		if e.name == name {
+			return e.h
+		}
+	}
+	return nil
+}
+
+// Snapshot returns all counter and gauge values plus histogram counts (as
+// name_count) — the test- and harness-facing view.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	counters := append([]counterEntry(nil), r.counters...)
+	gauges := append([]gaugeEntry(nil), r.gauges...)
+	hists := append([]histEntry(nil), r.hists...)
+	r.mu.Unlock()
+	out := make(map[string]float64, len(counters)+len(gauges)+len(hists))
+	for _, e := range counters {
+		out[e.name] = float64(readCounter(e))
+	}
+	for _, e := range gauges {
+		out[e.name] = e.fn()
+	}
+	for _, e := range hists {
+		out[e.name+"_count"] = float64(e.h.Count())
+	}
+	return out
+}
+
+func readCounter(e counterEntry) uint64 {
+	if e.c != nil {
+		return e.c.Load()
+	}
+	return e.fn()
+}
+
+// promQuantiles are the quantile labels exported per histogram.
+var promQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// WriteProm writes the registry in Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// summaries (quantile series plus _sum and _count).
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	counters := append([]counterEntry(nil), r.counters...)
+	gauges := append([]gaugeEntry(nil), r.gauges...)
+	hists := append([]histEntry(nil), r.hists...)
+	r.mu.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, e := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, readCounter(e)); err != nil {
+			return err
+		}
+	}
+	for _, e := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", e.name, e.name, e.fn()); err != nil {
+			return err
+		}
+	}
+	for _, e := range hists {
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", e.name); err != nil {
+			return err
+		}
+		// Count is read before the quantiles; a concurrent Observe can at
+		// worst make the quantiles cover slightly more samples than _count.
+		count := e.h.Count()
+		mean := e.h.Mean()
+		for _, q := range promQuantiles {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %d\n", e.name, q, e.h.Quantile(q).Nanoseconds()); err != nil {
+				return err
+			}
+		}
+		sum := uint64(mean.Nanoseconds()) * count // Histogram exposes mean, not raw sum
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", e.name, sum, e.name, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterRuntime exports process-level runtime gauges (goroutines, heap,
+// GC) through the cheap runtime/metrics interface — the registry-side
+// replacement for hand-wired metrics.AllocProbe windows (which remains as
+// the compatibility accessor for delta-window measurements).
+func (r *Registry) RegisterRuntime() {
+	r.GaugeFunc("go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	r.CounterFunc("go_heap_allocs_total", func() uint64 {
+		return readRuntimeUint("/gc/heap/allocs:objects")
+	})
+	r.CounterFunc("go_heap_alloc_bytes_total", func() uint64 {
+		return readRuntimeUint("/gc/heap/allocs:bytes")
+	})
+	r.CounterFunc("go_gc_cycles_total", func() uint64 {
+		return readRuntimeUint("/gc/cycles/total:gc-cycles")
+	})
+	r.GaugeFunc("go_heap_live_bytes", func() float64 {
+		return float64(readRuntimeUint("/memory/classes/heap/objects:bytes"))
+	})
+	r.GaugeFunc("process_uptime_seconds", processUptime())
+}
+
+func processUptime() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// readRuntimeUint reads one uint64 sample from runtime/metrics (0 when the
+// metric is unsupported on this toolchain).
+func readRuntimeUint(name string) uint64 {
+	sample := []rtm.Sample{{Name: name}}
+	rtm.Read(sample)
+	if sample[0].Value.Kind() != rtm.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}

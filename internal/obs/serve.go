@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// traceView is the JSON shape of one event on /debug/trace.
+type traceView struct {
+	TS   uint64 `json:"ts"`
+	Type string `json:"type"`
+	Ring uint16 `json:"ring"`
+	Seq  uint32 `json:"seq"`
+	A1   uint64 `json:"a1"`
+	A2   uint64 `json:"a2"`
+}
+
+// Handler builds the observability mux: Prometheus text /metrics, a JSON
+// /debug/trace snapshot, and the standard /debug/pprof endpoints. reg and
+// rec may each be nil (the corresponding endpoint then serves empty output).
+func Handler(reg *Registry, rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WriteProm(w)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 512
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		if n > 4096 {
+			n = 4096
+		}
+		events := rec.Snapshot(n)
+		views := make([]traceView, len(events))
+		for i, e := range events {
+			views[i] = traceView{TS: e.TS, Type: e.Type.String(), Ring: e.Ring,
+				Seq: e.Seq, A1: e.A1, A2: e.A2}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(views)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9100", or ":0" for an ephemeral port)
+// and serves the Handler mux in the background. The caller owns the returned
+// Server and must Close it.
+func Serve(addr string, reg *Registry, rec *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, rec)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all active connections.
+func (s *Server) Close() error { return s.srv.Close() }

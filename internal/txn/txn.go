@@ -14,6 +14,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/btree"
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -73,6 +74,9 @@ type Config struct {
 	// it blocks while the log device is over capacity (backpressure so the
 	// checkpointer can keep the WAL bounded even when producers outpace it).
 	Throttle func()
+	// Trace, if set, receives txn lifecycle events on the session's worker
+	// ring. Nil disables tracing at the cost of one predictable branch.
+	Trace *obs.Recorder
 }
 
 // Manager creates sessions and tracks global transaction state.
@@ -109,6 +113,18 @@ func NewManager(cfg Config) *Manager {
 	}
 	m.nextTxnID.Store(start)
 	return m
+}
+
+// RegisterObs publishes the transaction counters in the central registry.
+func (m *Manager) RegisterObs(reg *obs.Registry) {
+	reg.CounterFunc("txn_starts_total", m.starts.Load)
+	reg.CounterFunc("txn_commits_total", m.commits.Load)
+	reg.CounterFunc("txn_durable_total", m.durable.Load)
+	reg.CounterFunc("txn_durable_rfa_total", m.durableRFA.Load)
+	reg.CounterFunc("txn_durable_remote_total", m.durableRemote.Load)
+	reg.CounterFunc("txn_aborts_total", m.aborts.Load)
+	reg.CounterFunc("txn_rfa_skips_total", m.rfaSkips.Load)
+	reg.CounterFunc("txn_rfa_flushes_total", m.rfaFlushes.Load)
 }
 
 // NextTxnID returns the ID the next transaction will receive (persisted in
@@ -263,6 +279,7 @@ func (s *Session) Begin() {
 	}
 	s.mgr.cfg.Backend.AcquireOwnership(int(s.worker))
 	s.txnID = base.TxnID(s.mgr.nextTxnID.Add(1))
+	s.mgr.cfg.Trace.Record(int(s.worker), obs.EvTxnBegin, uint64(s.txnID), 0)
 	s.startFlushed = s.mgr.cfg.Backend.MinFlushedGSN()
 	s.needsRemote = false
 	s.firstGSN = 0

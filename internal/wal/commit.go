@@ -9,6 +9,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/iosched"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // This file implements the decentralized, pipelined group-commit subsystem.
@@ -75,6 +76,13 @@ const (
 	kickEpochThreshold = 100 * time.Microsecond
 )
 
+// Acknowledgement classes for EvCommitAck trace events (a2).
+const (
+	ackClassRFA    = 0 // acknowledged by the waiter's own partition flush
+	ackClassRemote = 1 // acknowledged at the global stable horizon
+	ackClassSync   = 2 // synchronous commit protocol (no group commit)
+)
+
 // waiterShard holds the parked RFA-safe commit waiters of one partition.
 // Acknowledgement order within a shard follows enqueue order, which for the
 // single-owner append discipline (§3.1) is GSN order.
@@ -113,11 +121,45 @@ func (m *Manager) ack(w *commitWaiter, h *metrics.Histogram) {
 	}
 }
 
+// observeStages records the per-stage commit-latency split for one acked
+// waiter (no-op unless Config.Obs is set). flushStart/flushEnd bound the
+// partition flush that made the waiter durable; zero times mean the waiter
+// was already durable when it enqueued. A waiter can enqueue after the
+// flush covering it started, making the queue stage negative — Observe
+// clamps that to zero.
+func (m *Manager) observeStages(w *commitWaiter, flushStart, flushEnd time.Time) {
+	if m.histQueue == nil {
+		return
+	}
+	if flushStart.IsZero() {
+		m.histQueue.Observe(0)
+		m.histFlush.Observe(0)
+		m.histAck.Observe(time.Since(w.enq))
+		return
+	}
+	m.histQueue.Observe(flushStart.Sub(w.enq))
+	m.histFlush.Observe(flushEnd.Sub(flushStart))
+	m.histAck.Observe(time.Since(flushEnd))
+}
+
+// traceAck records the durability acknowledgement of one waiter. Callers on
+// the crash/Close path (completeAllWaiters) must NOT use this: those acks
+// merely unblock callers, the commits may be lost, and the flight recorder's
+// contract is that every recorded ack is covered by the recovered WAL.
+func (m *Manager) traceAck(w *commitWaiter) {
+	cls := uint64(ackClassRemote)
+	if w.rfaSafe {
+		cls = ackClassRFA
+	}
+	m.trace.Record(w.part, obs.EvCommitAck, uint64(w.gsn), cls)
+}
+
 // enqueueWaiter routes a commit waiter to its queue. When the waiter's
 // durability condition already holds and no earlier waiter is parked or in
 // flight on the same queue, it is acknowledged inline (the empty-queue check
 // under the lock preserves per-queue acknowledgement order).
 func (m *Manager) enqueueWaiter(w commitWaiter) {
+	m.trace.Record(w.part, obs.EvCommitEnqueue, uint64(w.gsn), boolAux(w.rfaSafe))
 	if m.cfg.CentralizedCommit {
 		m.gcMu.Lock()
 		m.gcQueue = append(m.gcQueue, w)
@@ -134,6 +176,8 @@ func (m *Manager) enqueueWaiter(w commitWaiter) {
 		if len(sh.waiters) == 0 && !sh.draining &&
 			base.GSN(m.parts[w.part].flushedGSN.Load()) >= w.gsn {
 			sh.mu.Unlock()
+			m.observeStages(&w, time.Time{}, time.Time{})
+			m.traceAck(&w)
 			m.ack(&w, m.histRFA)
 			return
 		}
@@ -146,6 +190,8 @@ func (m *Manager) enqueueWaiter(w commitWaiter) {
 	h.mu.Lock()
 	if len(h.waiters) == 0 && !h.draining && base.GSN(m.aggMin.Load()) >= w.gsn {
 		h.mu.Unlock()
+		m.observeStages(&w, time.Time{}, time.Time{})
+		m.traceAck(&w)
 		m.ack(&w, m.histRemote)
 		return
 	}
@@ -220,13 +266,17 @@ func (m *Manager) flusherLoop(p *Partition) {
 // acknowledge remote-flush waiters). It reports whether commit pressure was
 // observed, which drives the adaptive epoch.
 func (m *Manager) flushPartition(p *Partition) bool {
+	flushStart := time.Now()
 	if m.cfg.PersistMode == PersistPMem {
 		p.FlushPMem()
 	} else {
 		p.stageAll(true)
 	}
-	ackedR, pendR := m.drainShard(p.ID)
-	ackedH, pendH := m.updateHorizon()
+	flushEnd := time.Now()
+	m.trace.Record(p.ID, obs.EvPartitionFlush, p.flushedGSN.Load(),
+		uint64(flushEnd.Sub(flushStart)))
+	ackedR, pendR := m.drainShard(p.ID, flushStart, flushEnd)
+	ackedH, pendH := m.updateHorizon(flushStart, flushEnd)
 	return ackedR+pendR+ackedH+pendH > 0
 }
 
@@ -235,8 +285,9 @@ func (m *Manager) flushPartition(p *Partition) bool {
 // shard lock but acknowledged outside it (callbacks run application code).
 // Only the partition's own flusher (and Close, after flushers stopped) calls
 // this, so extraction order — and therefore acknowledgement order — is the
-// enqueue order.
-func (m *Manager) drainShard(part int) (acked, pending int) {
+// enqueue order. flushStart/flushEnd bound the flush that advanced
+// flushedGSN, for the per-stage latency split.
+func (m *Manager) drainShard(part int, flushStart, flushEnd time.Time) (acked, pending int) {
 	sh := &m.shards[part]
 	flushed := base.GSN(m.parts[part].flushedGSN.Load())
 	sh.mu.Lock()
@@ -263,6 +314,8 @@ func (m *Manager) drainShard(part int) (acked, pending int) {
 
 	acked = len(ready)
 	for i := range ready {
+		m.observeStages(&ready[i], flushStart, flushEnd)
+		m.traceAck(&ready[i])
 		m.ack(&ready[i], m.histRFA)
 		ready[i] = commitWaiter{} // drop callback references
 	}
@@ -277,7 +330,7 @@ func (m *Manager) drainShard(part int) (acked, pending int) {
 // per-partition flushedGSN atomics (lock-free, CAS-monotone) and
 // acknowledges remote-flush waiters it has passed. Called by every flusher
 // after its partition flush completes.
-func (m *Manager) updateHorizon() (acked, pending int) {
+func (m *Manager) updateHorizon(flushStart, flushEnd time.Time) (acked, pending int) {
 	min := m.MinFlushedGSN()
 	advanced := false
 	for {
@@ -290,7 +343,7 @@ func (m *Manager) updateHorizon() (acked, pending int) {
 			break
 		}
 	}
-	acked, pending = m.drainHorizon()
+	acked, pending = m.drainHorizon(flushStart, flushEnd)
 	if advanced {
 		select {
 		case m.markerKick <- struct{}{}:
@@ -304,7 +357,7 @@ func (m *Manager) updateHorizon() (acked, pending int) {
 // horizon. Concurrent flushers may race here; a drain already in progress
 // makes this a no-op (the in-flight drain, or the next epoch's, covers the
 // new horizon) so acknowledgement order stays the extraction order.
-func (m *Manager) drainHorizon() (acked, pending int) {
+func (m *Manager) drainHorizon(flushStart, flushEnd time.Time) (acked, pending int) {
 	h := &m.horizon
 	limit := base.GSN(m.aggMin.Load())
 	h.mu.Lock()
@@ -332,6 +385,8 @@ func (m *Manager) drainHorizon() (acked, pending int) {
 
 	acked = len(ready)
 	for i := range ready {
+		m.observeStages(&ready[i], flushStart, flushEnd)
+		m.traceAck(&ready[i])
 		m.ack(&ready[i], m.histRemote)
 		ready[i] = commitWaiter{}
 	}
@@ -398,6 +453,7 @@ func (m *Manager) finalCommitFlush() {
 		m.groupCommitTick()
 		return
 	}
+	flushStart := time.Now()
 	for _, p := range m.parts {
 		if m.cfg.PersistMode == PersistPMem {
 			p.FlushPMem()
@@ -405,10 +461,11 @@ func (m *Manager) finalCommitFlush() {
 			p.stageAll(true)
 		}
 	}
+	flushEnd := time.Now()
 	for i := range m.parts {
-		m.drainShard(i)
+		m.drainShard(i, flushStart, flushEnd)
 	}
-	m.updateHorizon()
+	m.updateHorizon(flushStart, flushEnd)
 	m.persistMarker()
 }
 
@@ -455,4 +512,49 @@ type CommitWaitStats struct {
 // CommitWaitStats returns the live commit-wait histograms.
 func (m *Manager) CommitWaitStats() CommitWaitStats {
 	return CommitWaitStats{RFA: m.histRFA, Remote: m.histRemote}
+}
+
+// CommitStageStats breaks the end-to-end commit wait into its pipeline
+// stages: append (commit-record append into the partition buffer), queue
+// (enqueue until the covering flush started), flush (the device flush
+// itself), and ack (flush completion until the waiter was notified).
+// Stage histograms are only populated when the manager was built with an
+// observability registry (Config.Obs).
+type CommitStageStats struct {
+	Append *metrics.Histogram
+	Queue  *metrics.Histogram
+	Flush  *metrics.Histogram
+	Ack    *metrics.Histogram
+}
+
+// CommitStageStats returns the per-stage commit latency histograms, or zero
+// histogram pointers when observability is disabled.
+func (m *Manager) CommitStageStats() CommitStageStats {
+	return CommitStageStats{
+		Append: m.histAppend,
+		Queue:  m.histQueue,
+		Flush:  m.histFlush,
+		Ack:    m.histAck,
+	}
+}
+
+// registerObs publishes the WAL's instruments in the central registry and
+// allocates the per-stage commit histograms (nil — and therefore unobserved
+// — otherwise, so the hot path pays nothing without a registry).
+func (m *Manager) registerObs(reg *obs.Registry) {
+	reg.RegisterHistogram("wal_commit_wait_rfa_ns", m.histRFA)
+	reg.RegisterHistogram("wal_commit_wait_remote_ns", m.histRemote)
+	m.histAppend = reg.NewHistogram("wal_commit_append_ns")
+	m.histQueue = reg.NewHistogram("wal_commit_queue_ns")
+	m.histFlush = reg.NewHistogram("wal_commit_flush_ns")
+	m.histAck = reg.NewHistogram("wal_commit_ack_ns")
+	reg.CounterFunc("wal_appended_bytes_total", func() uint64 { return m.Stats().AppendedBytes })
+	reg.CounterFunc("wal_appended_records_total", func() uint64 { return m.Stats().AppendedRecords })
+	reg.CounterFunc("wal_staged_bytes_total", func() uint64 { return m.Stats().StagedBytes })
+	reg.CounterFunc("wal_pruned_bytes_total", func() uint64 { return m.Stats().PrunedBytes })
+	reg.CounterFunc("wal_archived_bytes_total", m.archived.Load)
+	reg.CounterFunc("wal_commits_rfa_total", m.commitsRFA.Load)
+	reg.CounterFunc("wal_commits_full_total", m.commitsFull.Load)
+	reg.GaugeFunc("wal_live_bytes", func() float64 { return float64(m.LiveWALBytes()) })
+	reg.GaugeFunc("wal_stable_gsn", func() float64 { return float64(m.stableGSN.Load()) })
 }

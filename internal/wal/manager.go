@@ -11,6 +11,7 @@ import (
 	"repro/internal/dev"
 	"repro/internal/iosched"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Config configures the distributed WAL.
@@ -78,6 +79,14 @@ type Config struct {
 	// OnStaged is invoked with the number of bytes each time log data is
 	// staged to stage 2 — the continuous checkpointer's trigger (§3.4).
 	OnStaged func(bytes int)
+
+	// Obs, when set, absorbs the log's instruments into the central metric
+	// registry and enables the per-stage commit-latency histograms
+	// (append / queue / flush / ack).
+	Obs *obs.Registry
+	// Trace, when set, receives log and commit lifecycle events. Partition
+	// i records on ring i.
+	Trace *obs.Recorder
 }
 
 // walRetries is the retry budget for log-device I/O. The log is the
@@ -166,6 +175,16 @@ type Manager struct {
 	histRFA    *metrics.Histogram
 	histRemote *metrics.Histogram
 
+	// Per-stage commit-latency split (nil unless Config.Obs is set):
+	// commit-record append, enqueue→flush-start wait, the flush itself,
+	// and flush-end→acknowledgement.
+	histAppend *metrics.Histogram
+	histQueue  *metrics.Histogram
+	histFlush  *metrics.Histogram
+	histAck    *metrics.Histogram
+
+	trace *obs.Recorder
+
 	// stableGSN is the persisted stable horizon: every record (in any
 	// partition) with GSN ≤ stableGSN is durable and covered by the marker
 	// file. The decentralized committer acknowledges at the (possibly
@@ -229,6 +248,10 @@ func NewManager(cfg Config) *Manager {
 	m.markerFile = cfg.SSD.Open(markerFileName)
 	m.histRFA = metrics.NewHistogram()
 	m.histRemote = metrics.NewHistogram()
+	m.trace = cfg.Trace
+	if cfg.Obs != nil {
+		m.registerObs(cfg.Obs)
+	}
 	m.aggMin.Store(uint64(cfg.GSNFloor))
 	m.epochMin, m.epochMax = epochMinDefault, epochMaxDefault
 	if cfg.GroupCommitInterval > 0 {
@@ -317,7 +340,14 @@ func (m *Manager) CommitTxn(worker int, txn base.TxnID, proposal base.GSN, rfaSa
 
 	if m.cfg.GroupCommit {
 		rec := Record{Type: RecCommit, Txn: txn, Aux: boolAux(rfaSafe)}
+		var t0 time.Time
+		if m.histAppend != nil {
+			t0 = time.Now()
+		}
 		gsn := p.Append(&rec, proposal)
+		if m.histAppend != nil {
+			m.histAppend.Observe(time.Since(t0))
+		}
 		m.WaitCommitDurable(worker, gsn, rfaSafe)
 		return gsn
 	}
@@ -336,8 +366,23 @@ func (m *Manager) CommitTxn(worker int, txn base.TxnID, proposal base.GSN, rfaSa
 			}
 		}
 		rec := Record{Type: RecCommit, Txn: txn, Aux: 1}
+		var t0, t1 time.Time
+		if m.histAppend != nil {
+			t0 = time.Now()
+		}
 		gsn := p.Append(&rec, proposal)
+		if m.histAppend != nil {
+			t1 = time.Now()
+			m.histAppend.Observe(t1.Sub(t0))
+		}
 		p.FlushPMem()
+		if m.histFlush != nil {
+			m.histQueue.Observe(0)
+			m.histFlush.Observe(time.Since(t1))
+			m.histAck.Observe(0)
+		}
+		// The commit is durable here: immediate-commit acks synchronously.
+		m.trace.Record(worker, obs.EvCommitAck, uint64(gsn), ackClassSync)
 		return gsn
 	default: // PersistDRAM without group commit: synchronous stage+sync
 		if !rfaSafe {
@@ -348,8 +393,22 @@ func (m *Manager) CommitTxn(worker int, txn base.TxnID, proposal base.GSN, rfaSa
 			}
 		}
 		rec := Record{Type: RecCommit, Txn: txn, Aux: 1}
+		var t0, t1 time.Time
+		if m.histAppend != nil {
+			t0 = time.Now()
+		}
 		gsn := p.Append(&rec, proposal)
+		if m.histAppend != nil {
+			t1 = time.Now()
+			m.histAppend.Observe(t1.Sub(t0))
+		}
 		p.stageAll(true)
+		if m.histFlush != nil {
+			m.histQueue.Observe(0)
+			m.histFlush.Observe(time.Since(t1))
+			m.histAck.Observe(0)
+		}
+		m.trace.Record(worker, obs.EvCommitAck, uint64(gsn), ackClassSync)
 		return gsn
 	}
 }
@@ -395,7 +454,14 @@ func (m *Manager) CommitTxnAsync(worker int, txn base.TxnID, proposal base.GSN, 
 			m.commitsFull.Add(1)
 		}
 		rec := Record{Type: RecCommit, Txn: txn, Aux: boolAux(rfaSafe)}
+		var t0 time.Time
+		if m.histAppend != nil {
+			t0 = time.Now()
+		}
 		gsn := m.parts[worker].Append(&rec, proposal)
+		if m.histAppend != nil {
+			m.histAppend.Observe(time.Since(t0))
+		}
 		m.EnqueueCommitWaiter(worker, gsn, rfaSafe, onDurable)
 		return gsn
 	}
@@ -589,6 +655,7 @@ func (m *Manager) groupCommitterLoop() {
 
 func (m *Manager) groupCommitTick() {
 	// 1. Make every log durable up to its current content.
+	flushStart := time.Now()
 	for _, p := range m.parts {
 		if m.cfg.PersistMode == PersistPMem {
 			p.FlushPMem()
@@ -596,6 +663,7 @@ func (m *Manager) groupCommitTick() {
 			p.stageAll(true)
 		}
 	}
+	flushEnd := time.Now()
 	// 2. Compute and persist the stable horizon. flushedGSN is per-partition
 	// sound ("no record of mine with GSN ≤ this is lost"), so the min is a
 	// global horizon; the lift ticker keeps idle partitions from pinning it.
@@ -644,6 +712,8 @@ func (m *Manager) groupCommitTick() {
 		if ready[i].rfaSafe {
 			h = m.histRFA
 		}
+		m.observeStages(&ready[i], flushStart, flushEnd)
+		m.traceAck(&ready[i])
 		m.ack(&ready[i], h)
 		ready[i] = commitWaiter{}
 	}

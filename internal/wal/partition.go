@@ -9,6 +9,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/dev"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 )
 
 // PersistMode selects where stage 1 of the log lives (§3.1/§3.2).
@@ -214,6 +215,7 @@ func (p *Partition) Append(rec *Record, proposal base.GSN) base.GSN {
 	p.lastGSN.Store(uint64(gsn))
 	p.appendedBytes.Add(uint64(n))
 	p.appendedRecords.Add(1)
+	p.mgr.trace.Record(p.ID, obs.EvLogAppend, uint64(gsn), uint64(n))
 	return gsn
 }
 

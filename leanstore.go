@@ -89,6 +89,13 @@ type Options struct {
 	GroupCommitInterval time.Duration
 	// DisableCheckpointing turns background checkpointing off.
 	DisableCheckpointing bool
+	// ObsAddr, when non-empty, serves the observability HTTP endpoint
+	// (Prometheus /metrics, /debug/trace, /debug/pprof) on that address;
+	// "127.0.0.1:0" picks a free port (query it via DB.ObsAddr).
+	ObsAddr string
+	// DisableObservability turns the metric registry and trace recorder
+	// off (they are on by default and cost nothing measurable).
+	DisableObservability bool
 	// Devices carries the simulated PMem+SSD of a previous (crashed)
 	// instance; nil starts empty.
 	Devices *Devices
@@ -141,6 +148,8 @@ func Open(opts Options) (*DB, error) {
 		CheckpointShards:    opts.CheckpointShards,
 		GroupCommitInterval: opts.GroupCommitInterval,
 		CheckpointDisabled:  opts.DisableCheckpointing,
+		ObsAddr:             opts.ObsAddr,
+		ObsDisabled:         opts.DisableObservability,
 	}
 	if opts.Devices != nil {
 		cfg.PMem = opts.Devices.PMem
@@ -155,6 +164,10 @@ func Open(opts Options) (*DB, error) {
 
 // Close shuts the database down cleanly (checkpointing all data first).
 func (db *DB) Close() error { return db.eng.Close() }
+
+// ObsAddr returns the bound address of the observability endpoint, or ""
+// when Options.ObsAddr was empty.
+func (db *DB) ObsAddr() string { return db.eng.ObsAddr() }
 
 // Session returns a new session pinned to the next worker round-robin.
 func (db *DB) Session() *Session { return db.eng.NewSession() }

@@ -1,0 +1,133 @@
+package leanstore_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// scrape fetches and parses a Prometheus text exposition into name→value.
+// Every non-comment line must be `name value`; a parse failure fails the
+// test (the endpoint promises Prometheus text format 0.0.4).
+func scrape(t *testing.T, addr string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("scrape content-type %q", ct)
+	}
+	vals := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		vals[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+// TestMetricsScrapeEndToEnd runs a TPC-C burst against an engine serving the
+// observability endpoint, scrapes /metrics before and after, and checks that
+// the registry's counters are present, parseable, and monotone while the
+// trace and pprof endpoints respond.
+func TestMetricsScrapeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end burst")
+	}
+	b, err := harness.NewTPCCBench(harness.Tiny, core.ModeOurs, 4, 2048,
+		func(cfg *core.Config) { cfg.ObsAddr = "127.0.0.1:0" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addr := b.Engine.ObsAddr()
+	if addr == "" {
+		t.Fatal("obs endpoint not serving")
+	}
+
+	before := scrape(t, addr)
+	b.RunTPCCWorkers(4, 300*time.Millisecond)
+	after := scrape(t, addr)
+
+	// Representative counters from every subsystem the registry absorbs.
+	want := []string{
+		"txn_starts_total", "txn_commits_total", "txn_durable_total",
+		"wal_appended_bytes_total", "wal_appended_records_total",
+		"wal_commit_wait_rfa_ns_count", "wal_commit_append_ns_count",
+		"wal_commit_flush_ns_count",
+		"io_wal_bytes_written_total", "io_wal_completed_total",
+		"buffer_page_read_bytes_total", "buffer_free_frames",
+		"checkpoint_written_bytes_total",
+		"go_goroutines", "go_heap_allocs_total",
+	}
+	for _, name := range want {
+		if _, ok := after[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	// Counters must be monotone across the burst, and the burst must have
+	// moved the transaction counters.
+	monotone := []string{
+		"txn_starts_total", "txn_durable_total", "wal_appended_bytes_total",
+		"io_wal_bytes_written_total", "checkpoint_written_bytes_total",
+	}
+	for _, name := range monotone {
+		if after[name] < before[name] {
+			t.Errorf("counter %s went backwards: %v -> %v", name, before[name], after[name])
+		}
+	}
+	if after["txn_durable_total"] <= before["txn_durable_total"] {
+		t.Errorf("burst committed nothing: txn_durable_total %v -> %v",
+			before["txn_durable_total"], after["txn_durable_total"])
+	}
+
+	// The JSON trace endpoint must answer with recent events.
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/trace?n=64", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "commit_ack") {
+		t.Errorf("/debug/trace status %d body %.120s", resp.StatusCode, body)
+	}
+
+	// pprof index must be mounted.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
