@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test vet lint bench-smoke bench
+.PHONY: check test vet lint bench-smoke bench recovery-smoke
 
 check: vet
 	$(GO) test -race -short ./...
@@ -21,6 +21,10 @@ lint: vet
 	else \
 		echo "lint: staticcheck not installed; ran go vet only"; \
 	fi
+	@echo "lint: deprecated APIs (informational): RecoveredFromCrash -> RecoveryInfo/WaitRecovered;" \
+		"wal CommitWaitStats/CommitStageStats/StatsSnapshot -> wal.Stats; wal.ReadLog -> wal.ScanLog"
+	@refs=$$(grep -rln --include='*.go' 'RecoveredFromCrash\|CommitWaitStats()\|CommitStageStats()' . | grep -v '_test\.go' || true); \
+	if [ -n "$$refs" ]; then echo "  deprecated accessors still referenced in:"; echo "$$refs" | sed 's/^/    /'; fi
 
 test:
 	$(GO) test ./...
@@ -33,3 +37,9 @@ bench-smoke:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# Restart gate: the log-size × recovery-mode sweep must show on-demand
+# restart serving traffic well before blocking redo completes (-gate makes
+# cmd/repro exit non-zero when the trend does not hold).
+recovery-smoke:
+	$(GO) run ./cmd/repro ablate-recovery -scale tiny -threads 2 -gate

@@ -499,7 +499,7 @@ func benchCommitLatency(b *testing.B, mode core.Mode, workers int) {
 	runtime.ReadMemStats(&after)
 	perOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
 	b.ReportMetric(perOp, "allocs/txn")
-	st := eng.WAL().CommitWaitStats()
+	st := eng.WAL().Stats().CommitWait
 	if h := st.RFA; h.Count() > 0 {
 		b.ReportMetric(float64(h.Quantile(0.99).Nanoseconds()), "p99-rfa-ns")
 	}

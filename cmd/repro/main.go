@@ -21,6 +21,7 @@
 //	ablate           design-knob ablations (shards, intervals, chunks)
 //	ablate-io        I/O scheduler queue-depth × batch-size ablation
 //	ablate-commit    centralized vs decentralized group-commit pipeline
+//	ablate-recovery  restart log-size × recovery-mode sweep (ttft vs total)
 //	obs-overhead     observability subsystem cost (tracing on vs off)
 //	commit-stages    per-stage commit latency split (append/queue/flush/ack)
 //	flight           crash flight-recorder post-mortem
@@ -48,6 +49,7 @@ func main() {
 	fs := flag.NewFlagSet(exp, flag.ExitOnError)
 	scaleName := fs.String("scale", "small", "workload scale: tiny|small|medium")
 	threads := fs.Int("threads", 4, "worker threads for fixed-thread experiments")
+	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery)")
 	fs.Parse(os.Args[2:])
 
 	sc, err := harness.ScaleByName(*scaleName)
@@ -103,6 +105,23 @@ func main() {
 			return harness.AblateIO(w, sc, *threads)
 		case "ablate-commit":
 			return harness.AblateCommit(w, sc, *threads)
+		case "ablate-recovery":
+			rows, err := harness.AblateRecovery(w, sc, *threads)
+			if err != nil {
+				return err
+			}
+			if *gate && len(rows) > 0 {
+				// CI gate: at the largest log, on-demand restart must serve
+				// traffic well before blocking redo would even finish.
+				last := rows[len(rows)-1]
+				if last.TTFT[2] > last.Total[0]*8/10 {
+					return fmt.Errorf("recovery gate: on-demand time-to-first-txn %v is not under 80%% of blocking recovery %v",
+						last.TTFT[2], last.Total[0])
+				}
+				fmt.Fprintf(w, "recovery gate: ok — on-demand served after %v, blocking recovery took %v\n",
+					last.TTFT[2], last.Total[0])
+			}
+			return nil
 		case "obs-overhead":
 			_, err := harness.ObsOverhead(w, sc)
 			return err
@@ -119,8 +138,8 @@ func main() {
 		for _, name := range []string{
 			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
 			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
-			"ablate-io", "ablate-commit", "obs-overhead", "commit-stages",
-			"flight",
+			"ablate-io", "ablate-commit", "ablate-recovery", "obs-overhead",
+			"commit-stages", "flight",
 		} {
 			if err := run(name); err != nil {
 				fmt.Fprintf(os.Stderr, "repro %s: %v\n", name, err)

@@ -104,8 +104,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db2.Close()
-	if ran, records, took := db2.RecoveredFromCrash(); ran {
-		fmt.Printf("recovery replayed %d log records in %v\n", records, took)
+	if info := db2.RecoveryInfo(); info.Ran {
+		fmt.Printf("recovery replayed %d log records from %d partitions in %v (first txn after %v)\n",
+			info.Records, info.Partitions, info.Total, info.TimeToFirstTxn)
 	}
 	tree2, ok := db2.BTree("accounts")
 	if !ok {

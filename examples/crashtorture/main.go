@@ -59,8 +59,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("round %d: reopen: %v", round, err)
 		}
-		if ran, records, took := db.RecoveredFromCrash(); ran {
-			fmt.Printf("round %d: recovered %d records in %v\n", round, records, took)
+		if info := db.RecoveryInfo(); info.Ran {
+			fmt.Printf("round %d: recovered %d records in %v\n", round, info.Records, info.Total)
 		}
 		var ok bool
 		tree, ok = db.BTree("kv")

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 	"repro/internal/wal"
 )
 
@@ -68,7 +69,9 @@ func TestARIESCommitsDurableAfterCrash(t *testing.T) {
 	w.Close(false)
 	pm.Crash(1)
 	ssd.Crash()
-	parts, _ := wal.ReadLog(ssd, pm)
+	sched := iosched.New(iosched.Config{})
+	defer sched.Close()
+	parts, _, _, _ := wal.ScanLog(ssd, pm, sched, 0)
 	recs := parts[0]
 	if len(recs) != 2 || recs[1].Type != wal.RecCommit || recs[1].GSN != commitGSN {
 		t.Fatalf("commit lost: %d records", len(recs))

@@ -122,6 +122,14 @@ type Config struct {
 	// nil the pool creates (and owns) a private one, so standalone pools
 	// in unit tests keep working.
 	Sched *iosched.Scheduler
+	// FaultRedo, if set, is called on every page fault with the freshly
+	// read page image before the frame is published (on-demand restart:
+	// the recovery subsystem replays the page's pending log records in
+	// place). It returns true when the image was modified; the pool then
+	// keeps the frame's persisted GSN at the pre-redo on-disk value so the
+	// page registers as dirty and reaches the database file through the
+	// normal writeback/checkpoint paths.
+	FaultRedo func(pid base.PageID, img []byte) bool
 	// Trace, if set, receives page-fault events on ring TraceRing. Nil
 	// disables tracing.
 	Trace *obs.Recorder
@@ -431,10 +439,15 @@ func (p *Pool) ResolveSlow(parentIdx int32, swipOff int, reserved int32) (_ int3
 	}
 	p.pageReads.Add(base.PageSize)
 	p.cfg.Trace.Record(p.cfg.TraceRing, obs.EvPageFault, uint64(pid), 0)
+	// The persisted GSN is sampled before on-demand redo: a replayed page
+	// must register as dirty relative to its on-disk image.
+	gsn := PageGSN(f.data)
+	if p.cfg.FaultRedo != nil {
+		p.cfg.FaultRedo(pid, f.data)
+	}
 	if got := PageID(f.data); got != pid {
 		panic(fmt.Sprintf("buffer: page %d read returned page %d", pid, got))
 	}
-	gsn := PageGSN(f.data)
 	f.pid = pid
 	f.parent = parentIdx
 	f.lastLog.Store(NoLog)
@@ -458,6 +471,9 @@ func (p *Pool) LoadPinnedPage(pid base.PageID) (int32, *Frame) {
 	p.pageReads.Add(base.PageSize)
 	p.cfg.Trace.Record(p.cfg.TraceRing, obs.EvPageFault, uint64(pid), 0)
 	gsn := PageGSN(f.data)
+	if p.cfg.FaultRedo != nil {
+		p.cfg.FaultRedo(pid, f.data)
+	}
 	f.pid = pid
 	f.parent = -1
 	f.lastLog.Store(NoLog)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -170,9 +171,12 @@ func TestActiveTxnBoundsPruning(t *testing.T) {
 }
 
 func readBackLog(e *env) (map[int][]wal.Record, base.GSN) {
-	// Force pending stage-1 content out so ReadLog sees a consistent view.
+	// Force pending stage-1 content out so the scan sees a consistent view.
 	e.walM.FlushAllLogs()
-	return wal.ReadLog(e.ssd, e.pm)
+	sched := iosched.New(iosched.Config{})
+	defer sched.Close()
+	parts, stable, _, _ := wal.ScanLog(e.ssd, e.pm, sched, 0)
+	return parts, stable
 }
 
 func TestFullCheckpointMode(t *testing.T) {

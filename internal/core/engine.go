@@ -6,9 +6,12 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,6 +88,70 @@ func (m Mode) String() string {
 	}
 }
 
+// RecoveryMode selects how restart recovery drains the redo work after the
+// analysis scan (the scan itself — winners/losers plus the per-page dirty
+// table — always runs up front).
+type RecoveryMode int
+
+const (
+	// RecoverParallel redoes all pages before Open returns, one worker per
+	// WAL partition (the default: full recovery scales with the partition
+	// count).
+	RecoverParallel RecoveryMode = iota
+	// RecoverBlocking is the classic sequential redo pass (the ablation
+	// baseline: single worker, Open blocks for the whole log).
+	RecoverBlocking
+	// RecoverOnDemand opens for traffic immediately after the scan: a page
+	// fault replays just that page's pending records on first touch and
+	// background workers drain the rest. Time-to-first-transaction is then
+	// roughly independent of log size.
+	RecoverOnDemand
+)
+
+// String implements fmt.Stringer.
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoverParallel:
+		return "parallel"
+	case RecoverBlocking:
+		return "blocking"
+	case RecoverOnDemand:
+		return "on-demand"
+	default:
+		return fmt.Sprintf("recovery-mode(%d)", int(m))
+	}
+}
+
+// EngineState is the Open/recovery state machine: Closed → Scanning →
+// Serving → Recovered. A fresh boot (no crash state) goes straight to
+// Recovered; blocking and parallel recovery pass through Scanning to
+// Recovered inside Open; on-demand recovery returns from Open in Serving
+// and reaches Recovered when the background drain completes.
+type EngineState int32
+
+const (
+	StateClosed EngineState = iota
+	StateScanning
+	StateServing
+	StateRecovered
+)
+
+// String implements fmt.Stringer.
+func (s EngineState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateScanning:
+		return "scanning"
+	case StateServing:
+		return "serving"
+	case StateRecovered:
+		return "recovered"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
 // Config configures the engine.
 type Config struct {
 	Mode Mode
@@ -122,6 +189,9 @@ type Config struct {
 	Archive bool
 	// RecoveryThreads parallelizes restart recovery.
 	RecoveryThreads int
+	// RecoveryMode selects the redo drain strategy (default RecoverParallel;
+	// see the RecoveryMode constants).
+	RecoveryMode RecoveryMode
 	// SiloREpoch overrides the epoch length (default 2ms).
 	SiloREpoch time.Duration
 
@@ -213,7 +283,11 @@ type Engine struct {
 	sessionSeq atomic.Uint64
 
 	recoveryResult      *recovery.Result
+	restart             *recovery.Restart
 	silorRecoveryResult *silor.RecoverResult
+	state               atomic.Int32 // EngineState
+	recTTFT             atomic.Int64 // ns from Open start to first-txn readiness
+	recTotal            atomic.Int64 // ns from Open start to fully recovered
 
 	silorChkSeq atomic.Uint64
 	silorChkWr  atomic.Uint64
@@ -244,11 +318,11 @@ func Open(cfg Config) (*Engine, error) {
 	// ---- Observability (before any instrumented subsystem exists) ----
 	// Ring layout: [0, Workers) worker/partition lifecycle events,
 	// [Workers, Workers+NumClasses) iosched per-class events, then one ring
-	// for buffer page faults and one for checkpoint events.
+	// each for buffer page faults, checkpoint events, and restart recovery.
 	if !cfg.ObsDisabled {
 		e.obsReg = obs.NewRegistry()
 		e.obsReg.RegisterRuntime()
-		e.obsRec = obs.NewRecorder(cfg.Workers+int(iosched.NumClasses)+2, cfg.TraceEvents)
+		e.obsRec = obs.NewRecorder(cfg.Workers+int(iosched.NumClasses)+3, cfg.TraceEvents)
 	}
 	e.sched = iosched.New(iosched.Config{
 		QueueDepth:    cfg.IOQueueDepth,
@@ -258,8 +332,44 @@ func Open(cfg Config) (*Engine, error) {
 		TraceRingBase: cfg.Workers,
 	})
 
+	// fail unwinds a partially constructed engine: whatever subsystem
+	// exists is shut down (background goroutines joined, devices and the
+	// scheduler released) so a failed Open never leaks goroutines or holds
+	// the devices hostage.
+	fail := func(err error) (*Engine, error) {
+		e.closed.Store(true)
+		close(e.stop)
+		e.wg.Wait()
+		if e.restart != nil {
+			e.restart.Stop()
+		}
+		if e.ckpt != nil {
+			e.ckpt.Close()
+		}
+		if e.ariesMgr != nil {
+			e.ariesMgr.Close()
+		}
+		if e.walMgr != nil {
+			e.walMgr.Close(false)
+		}
+		if e.pool != nil {
+			e.pool.Close()
+		}
+		e.sched.Close()
+		if e.obsSrv != nil {
+			e.obsSrv.Close()
+		}
+		e.state.Store(int32(StateClosed))
+		return nil, err
+	}
+
 	// ---- Restart recovery (before anything else touches the devices) ----
-	master := e.readMaster()
+	openStart := time.Now()
+	master, err := e.readMaster()
+	if err != nil {
+		return fail(err)
+	}
+	recoveryRing := cfg.Workers + int(iosched.NumClasses) + 2
 	oldSegments := wal.LiveSegmentNames(e.ssd) // removed after recovery
 	hasWAL := len(oldSegments) > 0 || len(e.pm.Regions()) > 0
 	if cfg.Mode == ModeSiloR {
@@ -270,7 +380,47 @@ func Open(cfg Config) (*Engine, error) {
 			e.ssd.Remove("db")
 		}
 	} else if hasWAL {
-		e.recoveryResult = recovery.Run(e.ssd, e.pm, "db", cfg.RecoveryThreads)
+		e.state.Store(int32(StateScanning))
+		restart, err := recovery.Scan(recovery.ScanConfig{
+			SSD:        e.ssd,
+			PMem:       e.pm,
+			DBFileName: "db",
+			Sched:      e.sched,
+			Threads:    cfg.RecoveryThreads,
+			Trace:      e.obsRec,
+			TraceRing:  recoveryRing,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("core: recovery scan: %w", err))
+		}
+		e.restart = restart
+		e.recoveryResult = restart.Res
+		// The tail of the durable log may exist only in stage-1 chunks
+		// (staging to SSD is lazy), and ReleaseAll below recycles those for
+		// the new generation. Salvage the tail to SSD first: until the dirty
+		// table drains and the completion checkpoint runs, a crash — or a
+		// Close mid-drain — re-derives the remaining redo and undo work by
+		// rescanning the old log generation, which must therefore be
+		// complete on SSD. The salvage files are part of the old generation
+		// and are deleted with it.
+		salvaged, serr := wal.SalvageChunks(e.ssd, e.pm, e.sched)
+		if serr != nil {
+			return fail(fmt.Errorf("core: recovery scan: %w", serr))
+		}
+		oldSegments = append(oldSegments, salvaged...)
+		switch cfg.RecoveryMode {
+		case RecoverBlocking:
+			e.restart.RedoAll(1)
+		case RecoverOnDemand:
+			// Pages are redone on first touch (the pool's FaultRedo hook)
+			// and by background workers started once the engine is open.
+		default: // RecoverParallel
+			w := e.recoveryResult.Partitions
+			if w < 1 {
+				w = 1
+			}
+			e.restart.RedoAll(w)
+		}
 	}
 	e.pm.ReleaseAll() // recovery consumed the old stage-1 chunks
 
@@ -278,6 +428,7 @@ func Open(cfg Config) (*Engine, error) {
 	// the last checkpointed state and everything seen in the replayed log.
 	gsnFloor := master.maxGSN
 	txnFloor := master.nextTxnID
+	var chunkSeqFloor uint64
 	if e.recoveryResult != nil {
 		if e.recoveryResult.MaxGSN > gsnFloor {
 			gsnFloor = e.recoveryResult.MaxGSN
@@ -285,15 +436,21 @@ func Open(cfg Config) (*Engine, error) {
 		if e.recoveryResult.MaxTxnID >= txnFloor {
 			txnFloor = e.recoveryResult.MaxTxnID + 1
 		}
+		chunkSeqFloor = e.recoveryResult.MaxChunkSeq
 	}
 
 	// ---- Buffer pool ----
+	var faultRedo func(base.PageID, []byte) bool
+	if e.restart != nil && cfg.RecoveryMode == RecoverOnDemand {
+		faultRedo = e.restart.FaultRedo
+	}
 	e.pool = buffer.NewPool(buffer.Config{
 		Frames:    cfg.PoolPages,
 		SSD:       e.ssd,
 		Sched:     e.sched,
 		Ops:       btree.PageOps{},
 		NoSteal:   cfg.Mode == ModeSiloR,
+		FaultRedo: faultRedo,
 		Trace:     e.obsRec,
 		TraceRing: cfg.Workers + int(iosched.NumClasses),
 		FlushLogs: func() {
@@ -302,6 +459,12 @@ func Open(cfg Config) (*Engine, error) {
 			}
 		},
 	})
+	if e.recoveryResult != nil {
+		// The allocator floor must clear every page seen in the log before
+		// the catalog (or any undo work) allocates — with on-demand redo the
+		// database file alone understates the page count.
+		e.pool.BumpPIDFloor(e.recoveryResult.MaxPID)
+	}
 
 	// ---- WAL + backend ----
 	wcfg := wal.Config{
@@ -316,6 +479,7 @@ func Open(cfg Config) (*Engine, error) {
 		GroupCommitInterval: cfg.GroupCommitInterval,
 		CentralizedCommit:   cfg.CentralizedCommit,
 		GSNFloor:            gsnFloor,
+		ChunkSeqFloor:       chunkSeqFloor,
 		PMem:                e.pm,
 		SSD:                 e.ssd,
 		Sched:               e.sched,
@@ -417,6 +581,14 @@ func Open(cfg Config) (*Engine, error) {
 		e.pool.RegisterObs(e.obsReg)
 		e.txns.RegisterObs(e.obsReg)
 		e.ckpt.RegisterObs(e.obsReg)
+		e.obsReg.GaugeFunc("recovery_state", func() float64 { return float64(e.state.Load()) })
+		if e.restart != nil {
+			e.obsReg.GaugeFunc("recovery_pending_pages", func() float64 {
+				return float64(e.restart.PendingPages())
+			})
+			e.obsReg.CounterFunc("recovery_records_redone_total", e.restart.RedoneRecords)
+			e.obsReg.CounterFunc("recovery_pages_redone_total", e.restart.RedonePages)
+		}
 	}
 	checkpointingActive := !cfg.CheckpointDisabled && cfg.Mode != ModeNoLogging && cfg.Mode != ModeSiloR
 	if checkpointingActive && !fullCkpt {
@@ -443,23 +615,55 @@ func Open(cfg Config) (*Engine, error) {
 
 	// ---- Catalog and trees ----
 	if err := e.openCatalog(master.nextPID, master.nextTreeID); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	// ---- Finish recovery: logical undo, checkpoint, fresh log ----
 	if e.recoveryResult != nil {
-		e.pool.BumpPIDFloor(e.recoveryResult.MaxPID)
-		e.runRecoveryUndo()
+		// Undo every loser logically, make the undone images durable, and
+		// only then log the losers' end records. This order matters: if a
+		// crash hits before the AbortEnds are durable, the next recovery
+		// simply re-undoes (UndoOp is idempotent); the reverse order would
+		// let a durable AbortEnd mark a loser as ended while its unlogged
+		// undo was lost with the volatile pages — resurrecting the aborted
+		// changes.
+		maxUndoGSN := e.runRecoveryUndo()
 		e.ckpt.CheckpointAll()
+		e.appendLoserAbortEnds(maxUndoGSN)
 		// Stage recovery-generated records (the losers' AbortEnds) so the
 		// archive covers them, then archive and drop exactly the previous
 		// generation's segments — the live manager's new files (and the
 		// stable-GSN marker, still valid thanks to the GSN floor) stay.
 		e.walMgr.StageAllToSSD()
-		if cfg.Archive {
-			wal.ArchiveAllLive(e.ssd, e.sched)
+		finalize := func() {
+			if cfg.Archive {
+				wal.ArchiveAllLive(e.ssd, e.sched)
+			}
+			wal.RemoveFiles(e.ssd, oldSegments)
 		}
-		wal.RemoveFiles(e.ssd, oldSegments)
+		if cfg.RecoveryMode == RecoverOnDemand && e.restart.PendingPages() > 0 {
+			// Open returns while background workers drain the dirty table.
+			// The old log generation is retired only after every page is
+			// both redone and durable (the completion checkpoint below), so
+			// a crash mid-drain still finds the old segments and recovers.
+			e.state.Store(int32(StateServing))
+			w := e.recoveryResult.Partitions
+			if w < 1 {
+				w = 1
+			}
+			e.restart.StartBackground(w, func() {
+				e.ckpt.CheckpointAll()
+				e.walMgr.StageAllToSSD()
+				finalize()
+				e.recTotal.Store(int64(time.Since(openStart)))
+				e.state.Store(int32(StateRecovered))
+			})
+		} else {
+			if cfg.RecoveryMode == RecoverOnDemand {
+				e.restart.RedoAll(1) // empty dirty table; closes Done
+			}
+			finalize()
+		}
 	}
 	if e.silorRecoveryResult != nil {
 		e.rebuildFromTuples(e.silorRecoveryResult.Tuples)
@@ -473,10 +677,18 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.ObsAddr != "" && e.obsReg != nil {
 		srv, err := obs.Serve(cfg.ObsAddr, e.obsReg, e.obsRec)
 		if err != nil {
-			e.Close()
-			return nil, fmt.Errorf("core: obs endpoint: %w", err)
+			return fail(fmt.Errorf("core: obs endpoint: %w", err))
 		}
 		e.obsSrv = srv
+	}
+
+	// The engine is ready for its first transaction. Fresh boots and
+	// fully-drained restarts are Recovered outright; an on-demand restart
+	// stays Serving until the background drain's finalize flips it.
+	e.recTTFT.Store(int64(time.Since(openStart)))
+	if e.state.CompareAndSwap(int32(StateClosed), int32(StateRecovered)) ||
+		e.state.CompareAndSwap(int32(StateScanning), int32(StateRecovered)) {
+		e.recTotal.Store(e.recTTFT.Load())
 	}
 	return e, nil
 }
@@ -498,13 +710,21 @@ type masterRecord struct {
 	maxGSN     base.GSN
 }
 
-// readMaster loads the master record (zero values when absent).
-func (e *Engine) readMaster() masterRecord {
+// readMaster loads the master record. A missing or empty file is a fresh
+// boot (zero values); a non-empty file that is short or carries the wrong
+// magic is corruption and fails the open — silently treating it as fresh
+// would reset the allocator floors and hand out page IDs that collide with
+// live data.
+func (e *Engine) readMaster() (masterRecord, error) {
 	f := e.ssd.Open(masterFileName)
+	if f.Size() == 0 {
+		return masterRecord{}, nil
+	}
 	var b [40]byte
 	n := f.ReadAt(b[:], 0)
 	if n < 24 || binary.LittleEndian.Uint32(b[:]) != 0x4D535452 {
-		return masterRecord{}
+		return masterRecord{}, fmt.Errorf("core: master record corrupt (%d bytes, magic %#x)",
+			n, binary.LittleEndian.Uint32(b[:]))
 	}
 	m := masterRecord{
 		nextPID:    base.PageID(binary.LittleEndian.Uint64(b[8:])),
@@ -514,7 +734,7 @@ func (e *Engine) readMaster() masterRecord {
 		m.nextTxnID = base.TxnID(binary.LittleEndian.Uint64(b[24:]))
 		m.maxGSN = base.GSN(binary.LittleEndian.Uint64(b[32:]))
 	}
-	return m
+	return m, nil
 }
 
 // writeMaster persists the master record. A write that still fails after
@@ -542,7 +762,11 @@ func (e *Engine) openCatalog(masterPID base.PageID, masterTree base.TreeID) erro
 	if uint64(masterTree) >= e.nextTreeID.Load() {
 		e.nextTreeID.Store(uint64(masterTree))
 	}
-	fresh := e.ssd.Open("db").Size() < 2*base.PageSize
+	// With on-demand redo the database file may still be (nearly) empty
+	// while the log holds the catalog's pages — the dirty table, not the
+	// file size, decides freshness then.
+	fresh := e.ssd.Open("db").Size() < 2*base.PageSize &&
+		(e.restart == nil || !e.restart.HasPage(1))
 	if fresh {
 		boot := e.txns.NewSession(0)
 		boot.Begin()
@@ -637,14 +861,28 @@ func (c *noLogCtx) Rec() *wal.Record {
 }
 func (c *noLogCtx) Arena() *wal.Arena { return &c.arena }
 
+// sortedLoserIDs returns the loser transaction IDs in ascending order.
+// Recovery iterates losers in this fixed order (not Go's randomized map
+// order) so the GSNs assigned during undo — and with them the recovered
+// page images — are byte-identical across runs and recovery modes.
+func (e *Engine) sortedLoserIDs() []base.TxnID {
+	ids := make([]base.TxnID, 0, len(e.recoveryResult.UndoWork))
+	for id := range e.recoveryResult.UndoWork {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // runRecoveryUndo reverts every loser transaction logically (§3.7 phase 3)
-// and logs an end-of-transaction record for each, so that a later recovery
-// (or a media restore replaying the archived history) classifies the loser
-// as ended instead of undoing it a second time — which could otherwise
-// destroy committed work of a newer generation on the same keys.
-func (e *Engine) runRecoveryUndo() {
+// and returns the highest GSN the undo assigned. The losers' AbortEnd
+// records are NOT logged here — the caller first makes the undone images
+// durable, then calls appendLoserAbortEnds (see Open for the ordering
+// argument).
+func (e *Engine) runRecoveryUndo() base.GSN {
 	ctx := &noLogCtx{}
-	for txnID, recs := range e.recoveryResult.UndoWork {
+	for _, txnID := range e.sortedLoserIDs() {
+		recs := e.recoveryResult.UndoWork[txnID]
 		for i := len(recs) - 1; i >= 0; i-- {
 			rec := &recs[i]
 			tree := e.treeByID(rec.Tree)
@@ -653,11 +891,23 @@ func (e *Engine) runRecoveryUndo() {
 			}
 			tree.UndoOp(ctx, rec.Type, rec.Key, rec.Before, rec.Diffs)
 		}
-		if e.cfg.Mode != ModeNoLogging {
-			e.walMgr.AcquireOwnership(0)
-			e.walMgr.AbortEnd(0, txnID, ctx.gsn)
-			e.walMgr.ReleaseOwnership(0)
-		}
+	}
+	return ctx.gsn
+}
+
+// appendLoserAbortEnds logs an end-of-transaction record for every loser,
+// so that a later recovery (or a media restore replaying the archived
+// history) classifies the loser as ended instead of undoing it a second
+// time — which could otherwise destroy committed work of a newer
+// generation on the same keys.
+func (e *Engine) appendLoserAbortEnds(maxUndoGSN base.GSN) {
+	if e.cfg.Mode == ModeNoLogging {
+		return
+	}
+	for _, txnID := range e.sortedLoserIDs() {
+		e.walMgr.AcquireOwnership(0)
+		e.walMgr.AbortEnd(0, txnID, maxUndoGSN)
+		e.walMgr.ReleaseOwnership(0)
 	}
 }
 
@@ -822,6 +1072,70 @@ func (e *Engine) Trees() map[string]*btree.BTree {
 // engine started fresh).
 func (e *Engine) RecoveryResult() *recovery.Result { return e.recoveryResult }
 
+// State returns the engine's position in the Open/recovery state machine.
+func (e *Engine) State() EngineState { return EngineState(e.state.Load()) }
+
+// RecoveryInfo is the structured view of what recovery did on the last Open.
+type RecoveryInfo struct {
+	// Ran reports whether restart recovery ran (false on a fresh boot).
+	Ran bool
+	// Mode is the drain strategy that was configured.
+	Mode RecoveryMode
+	// Records is the number of log records scanned; Partitions the number
+	// of WAL partitions they came from; DirtyPages the dirty-table size.
+	Records    int
+	Partitions int
+	DirtyPages int
+	// PendingPages is the number of pages still awaiting redo (0 once
+	// recovery completed; only non-zero while an on-demand drain runs).
+	PendingPages int64
+	// TimeToFirstTxn is how long Open blocked before the engine could serve
+	// its first transaction. Total is the full recovery duration (equal to
+	// TimeToFirstTxn for blocking/parallel modes; for on-demand it extends
+	// to the end of the background drain and reads zero until then).
+	TimeToFirstTxn time.Duration
+	Total          time.Duration
+}
+
+// RecoveryInfo reports what recovery did on the last Open.
+func (e *Engine) RecoveryInfo() RecoveryInfo {
+	info := RecoveryInfo{
+		Mode:           e.cfg.RecoveryMode,
+		TimeToFirstTxn: time.Duration(e.recTTFT.Load()),
+	}
+	if e.recoveryResult == nil {
+		return info
+	}
+	info.Ran = true
+	info.Records = e.recoveryResult.Records
+	info.Partitions = e.recoveryResult.Partitions
+	info.DirtyPages = e.recoveryResult.DirtyPages
+	if e.restart != nil {
+		info.PendingPages = e.restart.PendingPages()
+	}
+	if e.State() == StateRecovered {
+		info.Total = time.Duration(e.recTotal.Load())
+	}
+	return info
+}
+
+// WaitRecovered blocks until recovery has fully completed (the on-demand
+// background drain included) or ctx is done. It returns immediately on a
+// fresh boot or after blocking/parallel recovery.
+func (e *Engine) WaitRecovered(ctx context.Context) error {
+	if e.restart == nil {
+		return nil
+	}
+	select {
+	case <-e.restart.Done():
+		return nil
+	case <-e.stop:
+		return errors.New("core: engine closed before recovery completed")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // SiloRRecoveryResult returns value-log recovery statistics.
 func (e *Engine) SiloRRecoveryResult() *silor.RecoverResult { return e.silorRecoveryResult }
 
@@ -863,6 +1177,13 @@ func (e *Engine) Close() error {
 	}
 	close(e.stop)
 	e.wg.Wait()
+	// Stop an in-flight on-demand drain before tearing anything down. Not
+	// waiting for it is safe: pages it never reached stay pending on disk
+	// and their records stay in the old log generation (only removed after
+	// a completed drain), so the next Open recovers them again.
+	if e.restart != nil {
+		e.restart.Stop()
+	}
 	if e.cfg.Mode != ModeNoLogging && e.cfg.Mode != ModeSiloR {
 		e.ckpt.CheckpointAll()
 	}
@@ -874,6 +1195,7 @@ func (e *Engine) Close() error {
 	e.walMgr.Close(true)
 	e.pool.Close()
 	e.sched.Close()
+	e.state.Store(int32(StateClosed))
 	return nil
 }
 
@@ -888,6 +1210,11 @@ func (e *Engine) SimulateCrash(seed uint64) (*dev.PMem, *dev.SSD) {
 	}
 	close(e.stop)
 	e.wg.Wait()
+	// Kill an in-flight on-demand drain before the scheduler is aborted —
+	// drain workers must not observe ErrAborted as an I/O failure.
+	if e.restart != nil {
+		e.restart.Stop()
+	}
 	e.ckpt.Close()
 	if e.ariesMgr != nil {
 		e.ariesMgr.Close()

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dev"
+	"repro/internal/iosched"
+	"repro/internal/wal"
+)
+
+// dumpTree returns the full logical contents of tree "t" as a map.
+func dumpTree(t *testing.T, e *Engine) map[string]string {
+	t.Helper()
+	tree := e.GetTree("t")
+	if tree == nil {
+		t.Fatal("tree lost after recovery")
+	}
+	s := e.NewSession()
+	s.Begin()
+	out := make(map[string]string)
+	tree.ScanAsc(s, nil, func(k, v []byte) bool {
+		out[string(k)] = string(v)
+		return true
+	})
+	s.Commit()
+	return out
+}
+
+// dbBytes reads the whole database file image.
+func dbBytes(ssd *dev.SSD) []byte {
+	f := ssd.Open("db")
+	buf := make([]byte, f.Size())
+	f.ReadAt(buf, 0)
+	return buf
+}
+
+// crashWorkload runs a deterministic mixed workload (inserts, updates,
+// deletes, a mid-way checkpoint, an uncommitted in-flight transaction) under
+// the given fault profile, then crashes. It returns the crashed devices and
+// the expected surviving contents.
+func crashWorkload(t *testing.T, cfg Config, seed uint64, faults bool) (*dev.PMem, *dev.SSD, map[string]string) {
+	t.Helper()
+	e := mustOpen(t, cfg)
+	if faults {
+		e.IOSched().SetFault(iosched.ClassWriteback, iosched.Fault{ErrRate: 0.3, ReorderWindow: 4, Seed: seed})
+		e.IOSched().SetFault(iosched.ClassCheckpoint, iosched.Fault{ErrRate: 0.2, ReorderWindow: 3, Seed: seed + 1})
+	}
+	s := e.NewSession()
+	tree, err := e.CreateTree(s, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	const n = 900
+	for i := 0; i < n; i += 60 {
+		s.Begin()
+		for j := i; j < i+60; j++ {
+			if err := tree.Insert(s, k(j), v(j)); err != nil {
+				t.Fatal(err)
+			}
+			want[string(k(j))] = string(v(j))
+		}
+		s.Commit()
+		if i == n/2 {
+			e.CheckpointNow() // may fail under the fault profile; both fine
+		}
+	}
+	s.Begin()
+	for i := 0; i < n; i += 7 {
+		nv := v(i + 1000000)
+		if err := tree.Update(s, k(i), nv); err != nil {
+			t.Fatal(err)
+		}
+		want[string(k(i))] = string(nv)
+	}
+	for i := 3; i < n; i += 13 {
+		if err := tree.Remove(s, k(i)); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, string(k(i)))
+	}
+	s.Commit()
+	if !e.Txns().WaitAllDurable(5 * time.Second) {
+		t.Fatal("commits never became durable")
+	}
+	// One in-flight loser whose undo recovery must replay identically in
+	// every mode.
+	loser := e.NewSession()
+	loser.Begin()
+	for i := 0; i < 40; i++ {
+		_ = tree.Insert(loser, k(i+5000000), v(i))
+		_ = tree.Remove(loser, k(i*11))
+	}
+	loser.AbandonForCrash()
+	pm, ssd := e.SimulateCrash(seed)
+	return pm, ssd, want
+}
+
+// TestRecoveryModeEquivalence is the tentpole's correctness pin: one crash
+// state, replayed under all three recovery modes (via device clones), must
+// yield the same logical contents AND a byte-identical database file once
+// each instance has fully recovered and shut down cleanly. Runs across
+// seeds with and without injected writeback/checkpoint faults.
+func TestRecoveryModeEquivalence(t *testing.T) {
+	for _, faults := range []bool{false, true} {
+		for _, seed := range []uint64{3, 0xC0FFEE} {
+			t.Run(fmt.Sprintf("faults=%v/seed=%#x", faults, seed), func(t *testing.T) {
+				cfg := testCfg(ModeOurs)
+				pm, ssd, want := crashWorkload(t, cfg, seed, faults)
+
+				modes := []RecoveryMode{RecoverBlocking, RecoverParallel, RecoverOnDemand}
+				dumps := make([]map[string]string, len(modes))
+				images := make([][]byte, len(modes))
+				for i, m := range modes {
+					mcfg := cfg
+					mcfg.RecoveryMode = m
+					mcfg.PMem, mcfg.SSD = pm.Clone(), ssd.Clone()
+					e := mustOpen(t, mcfg)
+					info := e.RecoveryInfo()
+					if !info.Ran {
+						t.Fatalf("%v: recovery did not run", m)
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					if err := e.WaitRecovered(ctx); err != nil {
+						t.Fatalf("%v: WaitRecovered: %v", m, err)
+					}
+					cancel()
+					if got := e.State(); got != StateRecovered {
+						t.Fatalf("%v: state %v after WaitRecovered", m, got)
+					}
+					if p := e.RecoveryInfo().PendingPages; p != 0 {
+						t.Fatalf("%v: %d pages still pending after WaitRecovered", m, p)
+					}
+					dumps[i] = dumpTree(t, e)
+					if err := e.Close(); err != nil {
+						t.Fatalf("%v: close: %v", m, err)
+					}
+					images[i] = dbBytes(mcfg.SSD)
+				}
+
+				for i, m := range modes {
+					if len(dumps[i]) != len(want) {
+						t.Fatalf("%v: %d rows, want %d", m, len(dumps[i]), len(want))
+					}
+					for key, val := range want {
+						if dumps[i][key] != val {
+							t.Fatalf("%v: key %q = %q, want %q", m, key, dumps[i][key], val)
+						}
+					}
+				}
+				for i := 1; i < len(modes); i++ {
+					if !bytes.Equal(images[0], images[i]) {
+						t.Fatalf("database file diverges between %v (%d bytes) and %v (%d bytes)",
+							modes[0], len(images[0]), modes[i], len(images[i]))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOnDemandServesDuringRecovery reopens a crash state in on-demand mode
+// and immediately reads and writes through the engine — before waiting for
+// the background drain — then verifies the final logical state matches a
+// blocking-recovery replay of the same crash state with the same new writes
+// applied.
+func TestOnDemandServesDuringRecovery(t *testing.T) {
+	cfg := testCfg(ModeOurs)
+	pm, ssd, want := crashWorkload(t, cfg, 0xFACADE, false)
+
+	apply := func(e *Engine, m map[string]string) {
+		tree := e.GetTree("t")
+		if tree == nil {
+			t.Fatal("tree lost")
+		}
+		s := e.NewSession()
+		// Reads hit cold pages mid-drain: every committed value must already
+		// be visible through fault-time redo.
+		s.Begin()
+		for i := 0; i < 900; i += 31 {
+			got, ok := tree.Lookup(s, k(i), nil)
+			wantV, wantOK := m[string(k(i))]
+			if ok != wantOK || (ok && string(got) != wantV) {
+				t.Fatalf("mid-recovery read of key %d: got %v %q, want %v %q", i, ok, got, wantOK, wantV)
+			}
+		}
+		s.Commit()
+		s.Begin()
+		for i := 0; i < 50; i++ {
+			nk, nv := k(i+7000000), v(i+7000000)
+			if err := tree.Insert(s, nk, nv); err != nil {
+				t.Fatal(err)
+			}
+			m[string(nk)] = string(nv)
+		}
+		s.Commit()
+	}
+
+	onCfg := cfg
+	onCfg.RecoveryMode = RecoverOnDemand
+	onCfg.PMem, onCfg.SSD = pm.Clone(), ssd.Clone()
+	wantOn := make(map[string]string, len(want))
+	for key, val := range want {
+		wantOn[key] = val
+	}
+	eOn := mustOpen(t, onCfg)
+	apply(eOn, wantOn)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eOn.WaitRecovered(ctx); err != nil {
+		t.Fatalf("WaitRecovered: %v", err)
+	}
+	gotOn := dumpTree(t, eOn)
+	eOn.Close()
+
+	blCfg := cfg
+	blCfg.RecoveryMode = RecoverBlocking
+	blCfg.PMem, blCfg.SSD = pm.Clone(), ssd.Clone()
+	wantBl := make(map[string]string, len(want))
+	for key, val := range want {
+		wantBl[key] = val
+	}
+	eBl := mustOpen(t, blCfg)
+	apply(eBl, wantBl)
+	gotBl := dumpTree(t, eBl)
+	eBl.Close()
+
+	if len(gotOn) != len(gotBl) {
+		t.Fatalf("on-demand has %d rows, blocking %d", len(gotOn), len(gotBl))
+	}
+	for key, val := range gotBl {
+		if gotOn[key] != val {
+			t.Fatalf("key %q: on-demand %q, blocking %q", key, gotOn[key], val)
+		}
+	}
+}
+
+// TestCloseMidOnDemandDrain closes the engine while the background drain may
+// still be running: the next open must recover the remaining pages from the
+// retained old log generation — nothing is lost.
+func TestCloseMidOnDemandDrain(t *testing.T) {
+	cfg := testCfg(ModeOurs)
+	pm, ssd, want := crashWorkload(t, cfg, 99, false)
+
+	cfg.RecoveryMode = RecoverOnDemand
+	cfg.PMem, cfg.SSD = pm, ssd
+	e := mustOpen(t, cfg)
+	// No WaitRecovered: Close races the drain on purpose.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.RecoveryMode = RecoverParallel
+	e2 := mustOpen(t, cfg)
+	defer e2.Close()
+	got := dumpTree(t, e2)
+	if len(got) != len(want) {
+		t.Fatalf("%d rows after close-mid-drain reopen, want %d", len(got), len(want))
+	}
+	for key, val := range want {
+		if got[key] != val {
+			t.Fatalf("key %q = %q, want %q", key, got[key], val)
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to (or below)
+// want, failing after a timeout. Opens that error out must not leak
+// scheduler, committer, or drain goroutines.
+func waitGoroutines(t *testing.T, want int, context string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d goroutines still running (baseline %d)", context, runtime.NumGoroutine(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestOpenFailsCleanlyOnCorruptMaster pins the redesigned error path: a
+// non-empty master record with a bad magic must fail the open (not silently
+// reset the allocators) and release every goroutine it started.
+func TestOpenFailsCleanlyOnCorruptMaster(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cfg := testCfg(ModeOurs)
+	cfg.SSD = dev.NewSSD()
+	cfg.SSD.Open(masterFileName).WriteAt([]byte("garbage-not-a-master-record"), 0)
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("open succeeded on a corrupt master record")
+	}
+	waitGoroutines(t, base, "corrupt master")
+}
+
+// TestOpenFailsCleanlyOnTruncatedSegment corrupts a live WAL segment down to
+// a torn sub-header prefix: the recovery scan must report the corruption,
+// Open must fail, and no goroutines may leak.
+func TestOpenFailsCleanlyOnTruncatedSegment(t *testing.T) {
+	cfg := testCfg(ModeOurs)
+	pm, ssd, _ := crashWorkload(t, cfg, 5, false)
+
+	segs := wal.LiveSegmentNames(ssd)
+	if len(segs) == 0 {
+		t.Skip("workload produced no staged segments")
+	}
+	// Rebuild the first segment as a 10-byte prefix of itself — shorter than
+	// a block header, the shape of a file system that lost the file's tail.
+	name := segs[0]
+	f := ssd.Open(name)
+	head := make([]byte, 10)
+	f.ReadAt(head, 0)
+	ssd.Remove(name)
+	nf := ssd.Open(name)
+	nf.WriteAt(head, 0)
+	nf.Sync()
+
+	base := runtime.NumGoroutine()
+	cfg.PMem, cfg.SSD = pm, ssd
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("open succeeded on a truncated WAL segment")
+	}
+	waitGoroutines(t, base, "truncated segment")
+}
+
+// TestRecoveryInfoFreshBoot: a fresh database reports Ran=false and reaches
+// StateRecovered immediately.
+func TestRecoveryInfoFreshBoot(t *testing.T) {
+	e := mustOpen(t, testCfg(ModeOurs))
+	defer e.Close()
+	if info := e.RecoveryInfo(); info.Ran {
+		t.Fatal("fresh boot claims recovery ran")
+	}
+	if got := e.State(); got != StateRecovered {
+		t.Fatalf("fresh boot state %v", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := e.WaitRecovered(ctx); err != nil {
+		t.Fatalf("WaitRecovered on fresh boot: %v", err)
+	}
+}

@@ -89,6 +89,22 @@ func (p *PMem) ReleaseAll() {
 	p.regions = nil
 }
 
+// Clone returns an independent deep copy of the device: same regions with
+// the same contents and watermarks, fresh counters. Recovery tests use it to
+// replay one post-crash state under several recovery configurations.
+func (p *PMem) Clone() *PMem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := &PMem{TearSurviveProb: p.TearSurviveProb}
+	for _, r := range p.regions {
+		nr := &PMemRegion{dev: c, live: append([]byte(nil), r.live...)}
+		nr.written.Store(r.written.Load())
+		nr.flushed.Store(r.flushed.Load())
+		c.regions = append(c.regions, nr)
+	}
+	return c
+}
+
 // CrashVolatile zeroes every region regardless of flush state — the crash
 // semantics when stage 1 is plain DRAM rather than persistent memory
 // (the "SiloR-style" and group-commit-on-DRAM configurations).

@@ -93,6 +93,27 @@ func (d *SSD) Crash() {
 	}
 }
 
+// Clone returns an independent deep copy of the device: same files, same
+// cached and durable content, fresh counters. Recovery tests use it to replay
+// one post-crash state under several recovery configurations.
+func (d *SSD) Clone() *SSD {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := NewSSD()
+	c.opLatencyNs.Store(d.opLatencyNs.Load())
+	c.bandwidth.Store(d.bandwidth.Load())
+	for name, f := range d.files {
+		f.mu.Lock()
+		nf := &File{dev: c, name: name}
+		nf.live = append([]byte(nil), f.live...)
+		nf.durable = append([]byte(nil), f.durable...)
+		nf.pending = append([]spanRange(nil), f.pending...)
+		f.mu.Unlock()
+		c.files[name] = nf
+	}
+	return c
+}
+
 // SetPerf configures the performance model: opLatency per device command
 // and a shared bandwidth cap in bytes/second (0 disables either). Safe to
 // call while I/O is in flight (the harness changes device speed mid-run).

@@ -42,7 +42,7 @@ func AblateCommit(w io.Writer, sc Scale, threads int) error {
 			if err != nil {
 				return err
 			}
-			st := b.Engine.WAL().CommitWaitStats()
+			st := b.Engine.WAL().Stats().CommitWait
 			st.RFA.Reset() // drop the load phase's observations
 			st.Remote.Reset()
 			tps, _ := b.RunTPCCWorkers(workers, sc.Duration)

@@ -72,7 +72,7 @@ func CommitStageTable(w io.Writer, sc Scale, threads int) error {
 			return err
 		}
 		b.RunTPCCWorkers(threads, sc.Duration)
-		st := b.Engine.WAL().CommitStageStats()
+		st := b.Engine.WAL().Stats().CommitStages
 		fmt.Fprintf(w, "%s:\n", mode)
 		fmt.Fprintf(w, "  %-10s %10s %12s %12s %12s\n", "stage", "count", "p50", "p99", "mean")
 		for _, row := range []struct {

@@ -15,6 +15,7 @@ type RecoveryResult struct {
 	WALBytes       uint64
 	AnalysisTime   time.Duration
 	RedoTime       time.Duration
+	TTFT           time.Duration // time Open blocked before the first transaction
 	Records        int
 	PagesRedone    int
 	WALPerSec      float64 // bytes of WAL processed per second
@@ -62,6 +63,7 @@ func Recovery(w io.Writer, sc Scale, threads int) (*RecoveryResult, error) {
 	res.WALBytes = walAtCrash
 	res.AnalysisTime = rr.AnalysisTime
 	res.RedoTime = rr.RedoTime
+	res.TTFT = eng2.RecoveryInfo().TimeToFirstTxn
 	res.Records = rr.Records
 	res.PagesRedone = rr.PagesRedone
 	total := rr.AnalysisTime + rr.RedoTime
@@ -87,6 +89,7 @@ func Recovery(w io.Writer, sc Scale, threads int) (*RecoveryResult, error) {
 	fmt.Fprintf(w, "log records:         %d\n", res.Records)
 	fmt.Fprintf(w, "analysis phase:      %v\n", res.AnalysisTime)
 	fmt.Fprintf(w, "redo phase:          %v  (%d pages)\n", res.RedoTime, res.PagesRedone)
+	fmt.Fprintf(w, "time to first txn:   %v\n", res.TTFT)
 	fmt.Fprintf(w, "WAL processed:       %s/s\n", fmtBytes(res.WALPerSec))
 	fmt.Fprintf(w, "post-recovery txn/s: %s\n", fmtRate(res.PostTPS))
 

@@ -14,7 +14,7 @@
 //     recording is a handful of atomic stores into a preallocated ring.
 //  2. Scrapes and snapshots are cold paths and may allocate freely; they
 //     never take a lock that a worker touches.
-//  3. Subsystems keep their existing accessors (wal.CommitWaitStats,
+//  3. Subsystems keep their existing accessors (wal.Stats.CommitWait,
 //     iosched.Stats, ...) as thin views over the same instruments, so code
 //     and tests written against them keep working unchanged.
 package obs

@@ -16,19 +16,23 @@ type EventType uint16
 
 const (
 	// Transaction/commit lifecycle (ring = worker id).
-	EvTxnBegin      EventType = 1 + iota // a1=txnID
-	EvLogAppend                          // a1=gsn, a2=record bytes
-	EvCommitEnqueue                      // a1=gsn, a2=1 if RFA-safe
-	EvPartitionFlush                     // a1=flushedGSN, a2=flushed bytes (ring = partition flusher)
-	EvCommitAck                          // a1=gsn, a2=ack class (0=rfa,1=remote,2=sync)
+	EvTxnBegin       EventType = 1 + iota // a1=txnID
+	EvLogAppend                           // a1=gsn, a2=record bytes
+	EvCommitEnqueue                       // a1=gsn, a2=1 if RFA-safe
+	EvPartitionFlush                      // a1=flushedGSN, a2=flushed bytes (ring = partition flusher)
+	EvCommitAck                           // a1=gsn, a2=ack class (0=rfa,1=remote,2=sync)
 	// Buffer/I-O lifecycle.
 	EvPageFault  // a1=pid (ring = buffer ring)
 	EvIODispatch // a1=op (read/write/sync), a2=buffer bytes (ring = iosched class ring)
 	EvIOComplete // a1=op, a2=result bytes
 	// Checkpointing.
 	EvCheckpoint // a1=pages written this increment, a2=1 if full run
+	// Restart recovery (ring = recovery ring).
+	EvRecoveryScan     // a1=records recovered, a2=analysis µs
+	EvRecoveryPageRedo // a1=pid, a2=records applied (on-demand fault or drain)
+	EvRecoveryDone     // a1=pages redone, a2=total recovery µs
 
-	evMax = EvCheckpoint
+	evMax = EvRecoveryDone
 )
 
 // String names the event type for dumps and /debug/trace.
@@ -52,6 +56,12 @@ func (t EventType) String() string {
 		return "io_complete"
 	case EvCheckpoint:
 		return "checkpoint"
+	case EvRecoveryScan:
+		return "recovery_scan"
+	case EvRecoveryPageRedo:
+		return "recovery_page_redo"
+	case EvRecoveryDone:
+		return "recovery_done"
 	default:
 		return fmt.Sprintf("event(%d)", uint16(t))
 	}

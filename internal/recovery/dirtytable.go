@@ -1,0 +1,107 @@
+package recovery
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/base"
+	"repro/internal/wal"
+)
+
+// Per-page redo states. A page moves pending → busy → done exactly once;
+// the busy owner (a drain worker or the fault path) is the only writer of
+// the page's records, so redo needs no per-page lock beyond the CAS claim.
+const (
+	pagePending int32 = iota
+	pageBusy
+	pageDone
+)
+
+// dirtyPage is one dirty-table entry: a page with pending redo records.
+type dirtyPage struct {
+	pid base.PageID
+	// recs holds the page's records merged across all log partitions in
+	// GSN order (§2.4: GSNs totally order the records of one page — this
+	// is what makes the page, not the partition, the sound unit of
+	// parallel redo). Freed once the page is done.
+	recs  []wal.Record
+	state atomic.Int32
+	done  chan struct{} // closed when the page's redo completed
+}
+
+// DirtyTable is the fast log scan's output (pageID → pending redo records).
+// The map is immutable after Scan; only the per-page claim state and the
+// pending counter change afterwards, so the on-demand fault path reads it
+// without locks while background workers drain it.
+type DirtyTable struct {
+	pages   map[base.PageID]*dirtyPage
+	order   []*dirtyPage // ascending page ID (sequential drain I/O)
+	pending atomic.Int64
+}
+
+// newDirtyTable builds the table from per-page record lists, sorting each
+// page's records by GSN (threads bounds the sort parallelism).
+func newDirtyTable(merged map[base.PageID][]wal.Record, threads int) *DirtyTable {
+	t := &DirtyTable{pages: make(map[base.PageID]*dirtyPage, len(merged))}
+	t.order = make([]*dirtyPage, 0, len(merged))
+	for pid, recs := range merged {
+		dp := &dirtyPage{pid: pid, recs: recs, done: make(chan struct{})}
+		t.pages[pid] = dp
+		t.order = append(t.order, dp)
+	}
+	sort.Slice(t.order, func(i, j int) bool { return t.order[i].pid < t.order[j].pid })
+	t.pending.Store(int64(len(t.order)))
+
+	if threads < 1 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	for _, chunk := range chunkPages(t.order, threads) {
+		chunk := chunk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, dp := range chunk {
+				recs := dp.recs
+				// A page touched from one partition arrives already in GSN
+				// order (per-partition GSNs strictly increase in log order),
+				// so most lists skip the reflect-based stable sort — only
+				// cross-partition concatenations pay for it.
+				if sort.SliceIsSorted(recs, func(i, j int) bool { return recs[i].GSN < recs[j].GSN }) {
+					continue
+				}
+				sort.SliceStable(recs, func(i, j int) bool { return recs[i].GSN < recs[j].GSN })
+			}
+		}()
+	}
+	wg.Wait()
+	return t
+}
+
+// Len returns the number of dirty pages found by the scan.
+func (t *DirtyTable) Len() int { return len(t.order) }
+
+// Pending returns the number of pages not yet redone.
+func (t *DirtyTable) Pending() int64 { return t.pending.Load() }
+
+// chunkPages splits pages into at most workers contiguous ranges, so each
+// drain worker reads an ascending page-ID run (sequential I/O).
+func chunkPages(pages []*dirtyPage, workers int) [][]*dirtyPage {
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(pages) + workers - 1) / workers
+	if chunk == 0 {
+		return nil
+	}
+	var out [][]*dirtyPage
+	for lo := 0; lo < len(pages); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pages) {
+			hi = len(pages)
+		}
+		out = append(out, pages[lo:hi])
+	}
+	return out
+}

@@ -1,15 +1,31 @@
-// Package recovery implements the paper's three-phase parallel restart
-// (§3.7, Figure 7): per-partition log analysis separating winners from
-// losers and partitioning records by page ID, merge-sort-apply redo over
-// page-ID ranges (repeating history: loser records are applied too), and
-// the input for the logical undo phase, which the engine executes through
-// the regular access path once the trees are reopened.
+// Package recovery implements the paper's parallel restart (§3.7, Figure 7)
+// around a per-page dirty table: a fast log-scan pass separates winners from
+// losers and builds pageID → pending-record lists (merged across partitions
+// and sorted by GSN — §2.4's per-page total order makes the page the sound
+// unit of parallel redo). The table can then be drained three ways:
+//
+//   - RedoAll(1): the retained sequential baseline (classic stop-the-world
+//     redo, the ablation anchor);
+//   - RedoAll(n): partition-parallel redo, one worker per WAL partition,
+//     each double-buffering page reads/writes through the I/O scheduler;
+//   - StartBackground + FaultRedo: on-demand redo — the engine opens for
+//     traffic immediately, a page fault replays just that page's records on
+//     first touch, and background workers drain the remainder.
+//
+// Redo is idempotent under any interleaving because every record carries the
+// page's GSN at the time of the change: a record with GSN ≤ the image's GSN
+// is already reflected and is skipped, and a page is claimed (pending → busy
+// → done) by exactly one worker, so cross-path races are benign.
+//
+// The input for the logical undo phase (loser transactions) is returned in
+// Result.UndoWork; the engine executes it through the regular access path
+// once the trees are reopened.
 package recovery
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/base"
@@ -17,6 +33,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/dev"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -28,43 +45,94 @@ const redoRetries = 64
 // Result reports what recovery did (the §4.6 measurements).
 type Result struct {
 	AnalysisTime time.Duration
-	RedoTime     time.Duration
+	// RedoTime is the duration of the redo pass: the blocking pass for
+	// RedoAll, the background drain (first worker start to final device
+	// sync) for on-demand restart.
+	RedoTime time.Duration
 
 	Partitions    int
 	Records       int
 	WALBytes      uint64 // bytes of live WAL read
 	Winners       int
 	Losers        int
+	DirtyPages    int // dirty-table entries (pages with pending records)
 	PagesRedone   int
 	RecordsRedone int
 	MaxPID        base.PageID
 	MaxGSN        base.GSN
 	MaxTxnID      base.TxnID
+	// MaxChunkSeq is the highest stage-1 chunk sequence number observed in
+	// the log; the engine floors the next generation's chunk seqs past it.
+	MaxChunkSeq uint64
 
 	// UndoWork holds, per loser transaction, its user records in log order;
 	// the engine reverts them in reverse through the logical access path.
 	UndoWork map[base.TxnID][]wal.Record
 }
 
-type pageWork struct {
-	pid  base.PageID
-	recs []wal.Record
+// ScanConfig configures the analysis pass.
+type ScanConfig struct {
+	SSD  *dev.SSD
+	PMem *dev.PMem
+	// DBFileName is the database file redo applies to (default "db").
+	DBFileName string
+	// Sched carries every scan read (WAL class) and redo page read/write
+	// (page-read/writeback classes). Required.
+	Sched *iosched.Scheduler
+	// Threads bounds analysis parallelism (default 4).
+	Threads int
+	// Trace, if set, receives recovery events on ring TraceRing.
+	Trace *obs.Recorder
+	// TraceRing is the recorder ring recovery events are recorded on.
+	TraceRing int
 }
 
-// Run executes analysis and redo against the raw post-crash devices,
-// leaving the database file fully redone (and synced). threads parallelizes
-// both phases.
-func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
-	if threads <= 0 {
-		threads = 4
+// Restart is a scanned-but-not-necessarily-redone recovery in progress: the
+// dirty table plus the machinery to drain it (blocking, parallel, or
+// on-demand).
+type Restart struct {
+	// Res carries the analysis statistics immediately after Scan; the redo
+	// counters are final once the drain completed (Done).
+	Res *Result
+
+	sched     *iosched.Scheduler
+	db        *dev.File
+	trace     *obs.Recorder
+	traceRing int
+	table     *DirtyTable
+
+	redoneRecords atomic.Int64
+	redonePages   atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	bg       sync.WaitGroup
+	drained  chan struct{}
+	allDone  atomic.Bool
+}
+
+// Scan runs the analysis pass against the raw post-crash devices: it reads
+// the whole live log (partition-parallel, through the scheduler at WAL-class
+// priority), classifies winners and losers, and builds the dirty table. No
+// page is touched. An error means the log is structurally corrupt and the
+// engine must refuse to open.
+func Scan(cfg ScanConfig) (*Restart, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.DBFileName == "" {
+		cfg.DBFileName = "db"
 	}
 	res := &Result{UndoWork: make(map[base.TxnID][]wal.Record)}
 
-	// ---- Phase 1: analysis (per partition, Figure 7 left) ----
 	start := time.Now()
-	readBefore := ssd.BytesRead()
-	parts, stable := wal.ReadLog(ssd, pm)
+	readBefore := cfg.SSD.BytesRead()
+	parts, stable, maxSeq, err := wal.ScanLog(cfg.SSD, cfg.PMem, cfg.Sched, cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
 	res.Partitions = len(parts)
+	res.MaxChunkSeq = maxSeq
 
 	type analysis struct {
 		redo    map[base.PageID][]wal.Record
@@ -79,7 +147,7 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 	results := make([]*analysis, 0, len(parts))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, threads)
+	sem := make(chan struct{}, cfg.Threads)
 	for _, recs := range parts {
 		recs := recs
 		wg.Add(1)
@@ -88,12 +156,18 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 			defer wg.Done()
 			defer func() { <-sem }()
 			a := &analysis{
-				redo:    make(map[base.PageID][]wal.Record),
-				byTxn:   make(map[base.TxnID][]wal.Record),
 				winners: make(map[base.TxnID]bool),
 				ended:   make(map[base.TxnID]bool),
 			}
-			for _, rec := range recs {
+			// Pass 1: classify transactions, track maxima, and COUNT the
+			// per-page and per-txn record lists. Pass 2 fills exactly-sized
+			// slices — appending half a million ~100-byte records through
+			// doubling growth re-copies the arrays log₂(n) times and
+			// dominated the analysis in profiles.
+			redoN := make(map[base.PageID]int32)
+			undoN := make(map[base.TxnID]int32)
+			for i := range recs {
+				rec := &recs[i]
 				a.records++
 				if rec.GSN > a.maxGSN {
 					a.maxGSN = rec.GSN
@@ -131,10 +205,32 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 					if rec.Aux > uint64(a.maxPID) && (rec.Type == wal.RecSetRoot || rec.Type == wal.RecInnerInsert) {
 						a.maxPID = base.PageID(rec.Aux)
 					}
-					a.redo[rec.Page] = append(a.redo[rec.Page], rec)
+					redoN[rec.Page]++
 					if rec.Txn != base.SystemTxn &&
 						(rec.Type == wal.RecInsert || rec.Type == wal.RecUpdate || rec.Type == wal.RecDelete) {
-						a.byTxn[rec.Txn] = append(a.byTxn[rec.Txn], rec)
+						undoN[rec.Txn]++
+					}
+				}
+			}
+			a.redo = make(map[base.PageID][]wal.Record, len(redoN))
+			a.byTxn = make(map[base.TxnID][]wal.Record, len(undoN))
+			for i := range recs {
+				rec := &recs[i]
+				switch rec.Type {
+				case wal.RecCommit, wal.RecAbortEnd, wal.RecValue, wal.RecLift:
+				default:
+					l, ok := a.redo[rec.Page]
+					if !ok {
+						l = make([]wal.Record, 0, redoN[rec.Page])
+					}
+					a.redo[rec.Page] = append(l, *rec)
+					if rec.Txn != base.SystemTxn &&
+						(rec.Type == wal.RecInsert || rec.Type == wal.RecUpdate || rec.Type == wal.RecDelete) {
+						u, ok := a.byTxn[rec.Txn]
+						if !ok {
+							u = make([]wal.Record, 0, undoN[rec.Txn])
+						}
+						a.byTxn[rec.Txn] = append(u, *rec)
 					}
 				}
 			}
@@ -146,6 +242,15 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 	wg.Wait()
 
 	losers := make(map[base.TxnID]bool)
+	// Exact-size the cross-partition merge too; a page touched by only one
+	// partition (the common case) adopts that partition's slice unchanged.
+	mergedN := make(map[base.PageID]int)
+	for _, a := range results {
+		for pid, recs := range a.redo {
+			mergedN[pid] += len(recs)
+		}
+	}
+	merged := make(map[base.PageID][]wal.Record, len(mergedN))
 	for _, a := range results {
 		res.Records += a.records
 		if a.maxPID > res.MaxPID {
@@ -158,6 +263,17 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 			res.MaxTxnID = a.maxTxn
 		}
 		res.Winners += len(a.winners)
+		for pid, recs := range a.redo {
+			if len(recs) == mergedN[pid] {
+				merged[pid] = recs
+				continue
+			}
+			dst, ok := merged[pid]
+			if !ok {
+				dst = make([]wal.Record, 0, mergedN[pid])
+			}
+			merged[pid] = append(dst, recs...)
+		}
 		// Transactions are pinned to one log: winner/loser status and undo
 		// lists are decided per partition.
 		for txn, recs := range a.byTxn {
@@ -168,117 +284,311 @@ func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
 		}
 	}
 	res.Losers = len(losers)
-	res.WALBytes = ssd.BytesRead() - readBefore
+	res.WALBytes = cfg.SSD.BytesRead() - readBefore
+
+	r := &Restart{
+		Res:       res,
+		sched:     cfg.Sched,
+		db:        cfg.SSD.Open(cfg.DBFileName),
+		trace:     cfg.Trace,
+		traceRing: cfg.TraceRing,
+		table:     newDirtyTable(merged, cfg.Threads),
+		stop:      make(chan struct{}),
+		drained:   make(chan struct{}),
+	}
+	res.DirtyPages = r.table.Len()
 	res.AnalysisTime = time.Since(start)
+	r.trace.Record(r.traceRing, obs.EvRecoveryScan,
+		uint64(res.Records), uint64(res.AnalysisTime.Microseconds()))
+	return r, nil
+}
 
-	// ---- Phase 2: redo (page-ID ranges across threads, Figure 7 right) ----
-	start = time.Now()
-	// Merge per-partition redo tables into per-page record lists.
-	merged := make(map[base.PageID][]wal.Record)
-	for _, a := range results {
-		for pid, recs := range a.redo {
-			merged[pid] = append(merged[pid], recs...)
-		}
-	}
-	work := make([]pageWork, 0, len(merged))
-	for pid, recs := range merged {
-		work = append(work, pageWork{pid, recs})
-	}
-	sort.Slice(work, func(i, j int) bool { return work[i].pid < work[j].pid })
+// HasPage reports whether the dirty table holds pending records for pid.
+func (r *Restart) HasPage(pid base.PageID) bool {
+	_, ok := r.table.pages[pid]
+	return ok
+}
 
-	db := ssd.Open(dbFileName)
-	// Recovery runs before the engine's scheduler exists, so redo brings its
-	// own: reads are page faults, page writes ride the writeback class, and
-	// one sync barrier at the end makes the redone database durable.
-	sched := iosched.New(iosched.Config{QueueDepth: threads})
-	defer sched.Close()
-	var redoneRecords, redonePages int64
-	var cntMu sync.Mutex
-	chunk := (len(work) + threads - 1) / threads
-	if chunk == 0 {
-		chunk = 1
+// PendingPages returns the number of pages not yet redone.
+func (r *Restart) PendingPages() int64 { return r.table.Pending() }
+
+// DirtyPages returns the dirty-table size.
+func (r *Restart) DirtyPages() int { return r.table.Len() }
+
+// RedoneRecords returns the number of records applied so far.
+func (r *Restart) RedoneRecords() uint64 { return uint64(r.redoneRecords.Load()) }
+
+// RedonePages returns the number of pages modified by redo so far.
+func (r *Restart) RedonePages() uint64 { return uint64(r.redonePages.Load()) }
+
+// Done is closed once the whole dirty table is redone, the database file is
+// synced, and the engine's completion callback (if any) has run.
+func (r *Restart) Done() <-chan struct{} { return r.drained }
+
+// Stop aborts any in-flight background drain and waits for its goroutines to
+// exit. Pages not yet redone stay pending on disk — their records are still
+// in the old log generation, so the next open simply recovers again. Safe to
+// call at any time, including after the drain completed.
+func (r *Restart) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.bg.Wait()
+}
+
+func (r *Restart) stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
 	}
-	for lo := 0; lo < len(work); lo += chunk {
-		hi := lo + chunk
-		if hi > len(work) {
-			hi = len(work)
-		}
-		slice := work[lo:hi]
+}
+
+// RedoAll drains the entire dirty table before the engine opens: workers
+// split the table into ascending page-ID ranges (one worker per WAL
+// partition in the parallel mode; 1 = the sequential baseline), each
+// double-buffering through the scheduler, and a final sync makes the redone
+// database durable.
+func (r *Restart) RedoAll(workers int) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, chunk := range chunkPages(r.table.order, workers) {
+		chunk := chunk
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var rr, rp int64
-			// Two page images per worker: while one image's write is in
-			// flight the worker redoes the next page into the other.
-			var imgs [2][]byte
-			var inflight [2]*iosched.Request
-			for i := range imgs {
-				imgs[i] = make([]byte, base.PageSize)
-			}
-			cur := 0
-			for _, w := range slice {
-				img := imgs[cur]
-				if r := inflight[cur]; r != nil {
-					if err := r.Wait(); err != nil {
-						panic(fmt.Sprintf("recovery: redo write of page %d failed: %v", buffer.PageID(img), err))
-					}
-					inflight[cur] = nil
-				}
-				// Sort this page's records from all logs by GSN (§2.4:
-				// GSNs totally order the records of one page).
-				sort.Slice(w.recs, func(i, j int) bool { return w.recs[i].GSN < w.recs[j].GSN })
-				n, err := sched.ReadWait(iosched.ClassPageRead, db, img, int64(w.pid)*base.PageSize, redoRetries)
-				if err != nil {
-					panic(fmt.Sprintf("recovery: redo read of page %d failed: %v", w.pid, err))
-				}
-				clear(img[n:])
-				applied := false
-				for i := range w.recs {
-					rec := &w.recs[i]
-					if rec.GSN <= buffer.PageGSN(img) {
-						continue // image already contains this change
-					}
-					if buffer.PageID(img) == 0 {
-						// Fresh page: establish identity before the first
-						// physiological record.
-						buffer.SetPageID(img, rec.Page)
-						buffer.SetTreeID(img, rec.Tree)
-						buffer.SetHeapStart(img, base.PageSize)
-						if rec.Type == wal.RecSetRoot {
-							buffer.SetPageType(img, buffer.PageMeta)
-						}
-					}
-					if err := btree.ApplyRecord(img, rec); err != nil {
-						panic(err) // invariant violation: redo must succeed
-					}
-					applied = true
-					rr++
-				}
-				if applied {
-					inflight[cur] = sched.Write(iosched.ClassWriteback, db, img, int64(w.pid)*base.PageSize, redoRetries)
-					cur = 1 - cur
-					rp++
-				}
-			}
-			for _, r := range inflight {
-				if r != nil {
-					if err := r.Wait(); err != nil {
-						panic(fmt.Sprintf("recovery: redo write failed: %v", err))
-					}
-				}
-			}
-			cntMu.Lock()
-			redoneRecords += rr
-			redonePages += rp
-			cntMu.Unlock()
+			r.drainPages(chunk)
 		}()
 	}
 	wg.Wait()
-	if err := sched.SyncWait(iosched.ClassWriteback, db, redoRetries); err != nil {
+	if err := r.sched.SyncWait(iosched.ClassWriteback, r.db, redoRetries); err != nil {
 		panic(fmt.Sprintf("recovery: final database sync failed: %v", err))
 	}
-	res.PagesRedone = int(redonePages)
-	res.RecordsRedone = int(redoneRecords)
-	res.RedoTime = time.Since(start)
-	return res
+	r.finishDrain(start, nil)
+}
+
+// StartBackground drains the dirty table behind a serving engine: workers
+// claim and redo pages against the raw database file while the fault path
+// races them benignly (the claim CAS plus the per-page GSN check make any
+// interleaving safe). When every page is done — including pages the fault
+// path claimed — the database file is synced, onDrained runs (the engine
+// checkpoints and retires the old log generation there), and Done closes.
+func (r *Restart) StartBackground(workers int, onDrained func()) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, chunk := range chunkPages(r.table.order, workers) {
+		chunk := chunk
+		wg.Add(1)
+		r.bg.Add(1)
+		go func() {
+			defer r.bg.Done()
+			defer wg.Done()
+			r.drainPages(chunk)
+		}()
+	}
+	r.bg.Add(1)
+	go func() {
+		defer r.bg.Done()
+		wg.Wait()
+		// Wait out pages the fault path claimed but has not finished.
+		for _, dp := range r.table.order {
+			select {
+			case <-dp.done:
+			case <-r.stop:
+				return
+			}
+		}
+		if err := r.sched.SyncWait(iosched.ClassWriteback, r.db, redoRetries); err != nil {
+			if r.stopped() {
+				return
+			}
+			panic(fmt.Sprintf("recovery: final database sync failed: %v", err))
+		}
+		r.finishDrain(start, onDrained)
+	}()
+}
+
+// finishDrain publishes the final redo counters, runs the completion
+// callback, and closes Done.
+func (r *Restart) finishDrain(start time.Time, onDrained func()) {
+	r.Res.RedoTime = time.Since(start)
+	r.Res.PagesRedone = int(r.redonePages.Load())
+	r.Res.RecordsRedone = int(r.redoneRecords.Load())
+	r.allDone.Store(true)
+	if onDrained != nil {
+		onDrained()
+	}
+	close(r.drained)
+	r.trace.Record(r.traceRing, obs.EvRecoveryDone,
+		uint64(r.Res.PagesRedone), uint64(r.Res.RedoTime.Microseconds()))
+}
+
+// drainPages claims and redoes one ascending page-ID range. Two page images
+// alternate so a page's write is in flight while the next page is read and
+// redone (the double buffer of §3.7's redo loop).
+func (r *Restart) drainPages(pages []*dirtyPage) {
+	var imgs [2][]byte
+	var inflight [2]*iosched.Request
+	var owner [2]*dirtyPage
+	for i := range imgs {
+		imgs[i] = make([]byte, base.PageSize)
+	}
+	// settle waits for the slot's in-flight write and marks its page done —
+	// only then may the fault path's busy-waiters re-read the page.
+	settle := func(slot int) bool {
+		req := inflight[slot]
+		if req == nil {
+			return true
+		}
+		inflight[slot] = nil
+		dp := owner[slot]
+		owner[slot] = nil
+		if err := req.Wait(); err != nil {
+			if r.stopped() {
+				return false
+			}
+			panic(fmt.Sprintf("recovery: redo write of page %d failed: %v", dp.pid, err))
+		}
+		r.finishPage(dp)
+		return true
+	}
+	cur := 0
+	for _, dp := range pages {
+		if r.stopped() {
+			break
+		}
+		if !dp.state.CompareAndSwap(pagePending, pageBusy) {
+			continue // the fault path (or a racing worker) owns this page
+		}
+		if !settle(cur) {
+			return
+		}
+		img := imgs[cur]
+		n, err := r.sched.ReadWait(iosched.ClassPageRead, r.db, img, int64(dp.pid)*base.PageSize, redoRetries)
+		if err != nil {
+			if r.stopped() {
+				return
+			}
+			panic(fmt.Sprintf("recovery: redo read of page %d failed: %v", dp.pid, err))
+		}
+		clear(img[n:])
+		if applied := r.applyToImage(img, dp); applied > 0 {
+			r.redonePages.Add(1)
+			inflight[cur] = r.sched.Write(iosched.ClassWriteback, r.db, img, int64(dp.pid)*base.PageSize, redoRetries)
+			owner[cur] = dp
+			cur = 1 - cur
+		} else {
+			r.finishPage(dp)
+		}
+	}
+	settle(0)
+	settle(1)
+}
+
+// FaultRedo is the buffer pool's fault-time redo hook (on-demand restart):
+// called with a freshly read page image, it replays the page's pending
+// records in place and reports whether the image changed. The caller (the
+// pool) keeps the frame's persisted GSN at the on-disk value, so a replayed
+// page registers as dirty and the completion checkpoint persists it before
+// the old log generation is retired.
+func (r *Restart) FaultRedo(pid base.PageID, img []byte) bool {
+	if r.allDone.Load() {
+		return false
+	}
+	dp := r.table.pages[pid]
+	if dp == nil {
+		return false
+	}
+	for {
+		switch dp.state.Load() {
+		case pageDone:
+			return false
+		case pagePending:
+			if !dp.state.CompareAndSwap(pagePending, pageBusy) {
+				continue
+			}
+			applied := r.applyToImage(img, dp)
+			if applied > 0 {
+				r.redonePages.Add(1)
+			}
+			r.finishPage(dp)
+			return applied > 0
+		case pageBusy:
+			// A drain worker owns the page and is redoing it against the
+			// raw database file; the caller's image predates that write.
+			// Wait for the page to settle, then re-read it.
+			select {
+			case <-dp.done:
+			case <-r.stop:
+				return false
+			}
+			n, err := r.sched.ReadWait(iosched.ClassPageRead, r.db, img, int64(pid)*base.PageSize, redoRetries)
+			if err != nil {
+				panic(fmt.Sprintf("recovery: fault re-read of page %d failed: %v", pid, err))
+			}
+			clear(img[n:])
+			return true
+		}
+	}
+}
+
+// applyToImage replays dp's records into img under the per-page GSN check
+// (a record with GSN ≤ the image's GSN is already reflected — §3.7's
+// idempotence argument) and returns the number applied. Caller owns the
+// busy claim on dp.
+func (r *Restart) applyToImage(img []byte, dp *dirtyPage) int {
+	applied := 0
+	for i := range dp.recs {
+		rec := &dp.recs[i]
+		if rec.GSN <= buffer.PageGSN(img) {
+			continue // image already contains this change
+		}
+		if buffer.PageID(img) == 0 {
+			// Fresh page: establish identity before the first
+			// physiological record.
+			buffer.SetPageID(img, rec.Page)
+			buffer.SetTreeID(img, rec.Tree)
+			buffer.SetHeapStart(img, base.PageSize)
+			if rec.Type == wal.RecSetRoot {
+				buffer.SetPageType(img, buffer.PageMeta)
+			}
+		}
+		if err := btree.ApplyRecord(img, rec); err != nil {
+			panic(err) // invariant violation: redo must succeed
+		}
+		applied++
+	}
+	r.redoneRecords.Add(int64(applied))
+	r.trace.Record(r.traceRing, obs.EvRecoveryPageRedo, uint64(dp.pid), uint64(applied))
+	return applied
+}
+
+// finishPage marks dp done and releases its records (they alias the scan's
+// log buffers; freeing them per page lets the log memory go as the drain
+// progresses).
+func (r *Restart) finishPage(dp *dirtyPage) {
+	dp.recs = nil
+	dp.state.Store(pageDone)
+	close(dp.done)
+	r.table.pending.Add(-1)
+}
+
+// Run executes analysis and redo against the raw post-crash devices,
+// leaving the database file fully redone (and synced). threads parallelizes
+// both phases.
+//
+// Deprecated: use Scan plus a drain mode (RedoAll or StartBackground) — Run
+// brings its own scheduler, blocks until fully redone, and panics on scan
+// errors instead of reporting them.
+func Run(ssd *dev.SSD, pm *dev.PMem, dbFileName string, threads int) *Result {
+	if threads <= 0 {
+		threads = 4
+	}
+	sched := iosched.New(iosched.Config{QueueDepth: threads})
+	defer sched.Close()
+	r, err := Scan(ScanConfig{SSD: ssd, PMem: pm, DBFileName: dbFileName, Sched: sched, Threads: threads})
+	if err != nil {
+		panic(fmt.Sprintf("recovery: log scan failed: %v", err))
+	}
+	r.RedoAll(threads)
+	return r.Res
 }

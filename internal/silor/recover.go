@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/dev"
+	"repro/internal/iosched"
 	"repro/internal/wal"
 )
 
@@ -73,7 +74,9 @@ func Recover(ssd *dev.SSD) *RecoverResult {
 	// 2. Replay the value logs: winners only (epoch-durable commits), per
 	// key the largest GSN wins.
 	start = time.Now()
-	parts, stable := wal.ReadLog(ssd, nil)
+	sched := iosched.New(iosched.Config{})
+	parts, stable, _, _ := wal.ScanLog(ssd, nil, sched, 0)
+	sched.Close()
 	type pending struct {
 		gsn  base.GSN
 		tree base.TreeID

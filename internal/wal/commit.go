@@ -510,6 +510,9 @@ type CommitWaitStats struct {
 }
 
 // CommitWaitStats returns the live commit-wait histograms.
+//
+// Deprecated: use Stats().CommitWait — the consolidated Stats struct carries
+// the commit-latency histograms alongside the volume counters.
 func (m *Manager) CommitWaitStats() CommitWaitStats {
 	return CommitWaitStats{RFA: m.histRFA, Remote: m.histRemote}
 }
@@ -529,6 +532,9 @@ type CommitStageStats struct {
 
 // CommitStageStats returns the per-stage commit latency histograms, or zero
 // histogram pointers when observability is disabled.
+//
+// Deprecated: use Stats().CommitStages — the consolidated Stats struct
+// carries the commit-latency histograms alongside the volume counters.
 func (m *Manager) CommitStageStats() CommitStageStats {
 	return CommitStageStats{
 		Append: m.histAppend,

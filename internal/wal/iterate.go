@@ -5,13 +5,41 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/base"
 	"repro/internal/dev"
 	"repro/internal/iosched"
 )
 
+// scanRetries bounds transient-fault retries on segment reads during the
+// recovery log scan; a persistent read failure aborts the scan with an error
+// (the engine refuses to open rather than recover from a partial log).
+const scanRetries = 16
+
+// segBlock is one stage-2 block: a (possibly partial) staged chunk image.
+type segBlock struct {
+	seq      uint64
+	chunkOff int
+	data     []byte
+}
+
 // ReadLog reconstructs, from the raw post-crash devices, the per-partition
+// record sequences that recovery replays (Figure 7, phase 1 input), plus the
+// group-commit stable horizon from the marker file.
+//
+// Deprecated: use ScanLog, which routes segment reads through the engine's
+// I/O scheduler, scans partitions in parallel, and reports structural
+// corruption instead of silently truncating the log. ReadLog brings its own
+// scheduler and swallows scan errors (kept for tests and tooling).
+func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GSN) {
+	sched := iosched.New(iosched.Config{})
+	defer sched.Close()
+	parts, stable, _, _ = ScanLog(ssd, pm, sched, 0)
+	return parts, stable
+}
+
+// ScanLog reconstructs, from the raw post-crash devices, the per-partition
 // record sequences that recovery replays (Figure 7, phase 1 input), plus the
 // group-commit stable horizon from the marker file.
 //
@@ -25,14 +53,34 @@ import (
 // regions and segment read buffers); those buffers stay alive exactly as
 // long as the records reference them, so callers may hold the records
 // freely but must not expect them to survive explicit device reuse.
-func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GSN) {
+//
+// Partitions are scanned concurrently (bounded by threads; 0 = one goroutine
+// per partition) and each partition double-buffers its segment reads through
+// sched at WAL-class priority: the read of segment i+1 is in flight while
+// segment i is parsed.
+//
+// A torn tail (crash during a never-synced segment write) is expected and
+// ends that segment's scan; a segment whose head is not a valid block
+// header, or a segment read that still fails after retries, is structural
+// corruption the durability protocol cannot produce, and yields an error.
+//
+// maxSeq is the highest chunk sequence number observed in any source
+// (stage-1 chunk, staged block, or salvaged chunk image). The engine feeds
+// it back as the new log generation's Config.ChunkSeqFloor so sequence
+// numbers never collide across generations — the per-seq source merge below
+// depends on that uniqueness.
+func ScanLog(ssd *dev.SSD, pm *dev.PMem, sched *iosched.Scheduler, threads int) (parts map[int][]Record, stable base.GSN, maxSeq uint64, err error) {
 	parts = make(map[int][]Record)
 
-	// Stable horizon from the marker file (0 when absent).
+	// Stable horizon from the marker file (0 when absent). A failed marker
+	// read only loses the acceleration: the log-derived horizon H_rec below
+	// always covers every acknowledged commit (see commit.go).
 	marker := ssd.Open(markerFileName)
 	var mbuf [8]byte
-	if marker.ReadAt(mbuf[:], 0) == 8 {
-		stable = base.GSN(binary.LittleEndian.Uint64(mbuf[:]))
+	if marker.Size() >= 8 {
+		if n, rerr := sched.ReadWait(iosched.ClassWAL, marker, mbuf[:], 0, scanRetries); rerr == nil && n == 8 {
+			stable = base.GSN(binary.LittleEndian.Uint64(mbuf[:]))
+		}
 	}
 
 	// Intact stage-1 chunks, indexed by (partition, seq).
@@ -46,42 +94,25 @@ func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GS
 			b := region.Bytes()
 			if part, seq, ok := parseChunkHeader(b); ok {
 				pmemChunks[chunkKey{part, seq}] = b[chunkHeaderSize:]
+				if seq > maxSeq {
+					maxSeq = seq
+				}
 			}
 		}
 	}
 
-	// Stage-2 blocks per partition, ordered by (seq, chunkOff).
-	type block struct {
-		seq      uint64
-		chunkOff int
-		data     []byte
+	// Segment files per partition, in segment order.
+	type segRef struct {
+		name  string
+		segNo int
 	}
-	blocksByPart := make(map[int][]block)
+	segsByPart := make(map[int][]segRef)
 	for _, name := range ssd.List("wal/p") {
-		part, _, ok := parseSegName(name)
+		part, segNo, ok := parseSegName(name)
 		if !ok {
 			continue
 		}
-		f := ssd.Open(name)
-		size := f.Size()
-		buf := make([]byte, size)
-		n := f.ReadAt(buf, 0)
-		buf = buf[:n]
-		pos := 0
-		for pos+blockHeaderSize <= len(buf) {
-			if binary.LittleEndian.Uint32(buf[pos:]) != blockMagic {
-				break
-			}
-			payloadLen := int(binary.LittleEndian.Uint32(buf[pos+4:]))
-			seq := binary.LittleEndian.Uint64(buf[pos+8:])
-			chunkOff := int(binary.LittleEndian.Uint32(buf[pos+16:]))
-			pos += blockHeaderSize
-			if pos+payloadLen > len(buf) {
-				break // torn block (crash during a never-synced write)
-			}
-			blocksByPart[part] = append(blocksByPart[part], block{seq, chunkOff, buf[pos : pos+payloadLen]})
-			pos += payloadLen
-		}
+		segsByPart[part] = append(segsByPart[part], segRef{name, segNo})
 		if _, ok := parts[part]; !ok {
 			parts[part] = nil
 		}
@@ -92,56 +123,82 @@ func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GS
 		}
 	}
 
+	partIDs := make([]int, 0, len(parts))
 	for part := range parts {
-		blocks := blocksByPart[part]
-		sort.SliceStable(blocks, func(i, j int) bool {
-			if blocks[i].seq != blocks[j].seq {
-				return blocks[i].seq < blocks[j].seq
-			}
-			return blocks[i].chunkOff < blocks[j].chunkOff
-		})
-		// Group into per-seq sources, pmem taking precedence.
-		type source struct {
-			seq    uint64
-			pmem   []byte
-			blocks []block
-		}
-		bySeq := make(map[uint64]*source)
-		var seqs []uint64
-		add := func(seq uint64) *source {
-			s, ok := bySeq[seq]
-			if !ok {
-				s = &source{seq: seq}
-				bySeq[seq] = s
-				seqs = append(seqs, seq)
-			}
-			return s
-		}
-		for _, b := range blocks {
-			add(b.seq).blocks = append(add(b.seq).blocks, b)
-		}
+		partIDs = append(partIDs, part)
+	}
+	sort.Ints(partIDs)
+	if threads <= 0 || threads > len(partIDs) {
+		threads = len(partIDs)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		scanErr error
+	)
+	sem := make(chan struct{}, max(threads, 1))
+	for _, part := range partIDs {
+		part := part
+		segs := segsByPart[part]
+		sort.Slice(segs, func(i, j int) bool { return segs[i].segNo < segs[j].segNo })
+		chunks := make(map[uint64][]byte)
 		for k, data := range pmemChunks {
 			if k.part == part {
-				add(k.seq).pmem = data
+				chunks[k.seq] = data
 			}
 		}
-		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-
-		var recs []Record
-		for _, seq := range seqs {
-			s := bySeq[seq]
-			var ctx codecContext
-			if s.pmem != nil {
-				// Persistent-memory copy takes precedence over any
-				// (partially) staged blocks of the same chunk.
-				recs = appendChunkRecords(recs, s.pmem, &ctx)
-				continue
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var blocks []segBlock
+			// Double-buffered segment reads: while segment i is parsed, the
+			// read of segment i+1 is already queued at WAL-class priority.
+			reads := make([]*iosched.Request, len(segs))
+			bufs := make([][]byte, len(segs))
+			issue := func(i int) {
+				f := ssd.Open(segs[i].name)
+				bufs[i] = make([]byte, f.Size())
+				reads[i] = sched.Read(iosched.ClassWAL, f, bufs[i], 0, scanRetries)
 			}
-			for _, b := range s.blocks {
-				recs = appendChunkRecords(recs, b.data, &ctx)
+			if len(segs) > 0 {
+				issue(0)
 			}
-		}
-		parts[part] = recs
+			var perr error
+			for i := range segs {
+				if i+1 < len(segs) {
+					issue(i + 1)
+				}
+				if err := reads[i].Wait(); err != nil {
+					perr = fmt.Errorf("wal: scan of segment %s failed: %w", segs[i].name, err)
+					break
+				}
+				b, err := parseSegment(segs[i].name, bufs[i][:reads[i].N])
+				if err != nil {
+					perr = err
+					break
+				}
+				blocks = append(blocks, b...)
+			}
+			recs := mergeSources(blocks, chunks)
+			mu.Lock()
+			parts[part] = recs
+			for _, b := range blocks {
+				if b.seq > maxSeq {
+					maxSeq = b.seq
+				}
+			}
+			if perr != nil && scanErr == nil {
+				scanErr = perr
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if scanErr != nil {
+		return parts, stable, maxSeq, scanErr
 	}
 
 	// Log-derived stable horizon (H_rec): the minimum over all recovered
@@ -181,7 +238,129 @@ func ReadLog(ssd *dev.SSD, pm *dev.PMem) (parts map[int][]Record, stable base.GS
 			stable = hrec
 		}
 	}
-	return parts, stable
+	return parts, stable, maxSeq, nil
+}
+
+// parseSegment splits one segment file's bytes into stage-2 blocks. A torn
+// tail ends the scan normally; a non-empty segment that does not start with
+// a valid block header is structural corruption (synced segment writes are
+// whole blocks, so a durable segment head is either empty or valid).
+func parseSegment(name string, buf []byte) ([]segBlock, error) {
+	if len(buf) > 0 && (len(buf) < blockHeaderSize ||
+		binary.LittleEndian.Uint32(buf) != blockMagic) {
+		return nil, fmt.Errorf("wal: segment %s is corrupt (no valid block header at offset 0)", name)
+	}
+	var blocks []segBlock
+	pos := 0
+	for pos+blockHeaderSize <= len(buf) {
+		if binary.LittleEndian.Uint32(buf[pos:]) != blockMagic {
+			break
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(buf[pos+4:]))
+		seq := binary.LittleEndian.Uint64(buf[pos+8:])
+		chunkOff := int(binary.LittleEndian.Uint32(buf[pos+16:]))
+		pos += blockHeaderSize
+		if pos+payloadLen > len(buf) {
+			break // torn block (crash during a never-synced write)
+		}
+		blocks = append(blocks, segBlock{seq, chunkOff, buf[pos : pos+payloadLen]})
+		pos += payloadLen
+	}
+	return blocks, nil
+}
+
+// salvagedChunkOff is the block-header chunkOff sentinel marking a salvaged
+// full stage-1 chunk image (see SalvageChunks), as opposed to an ordinary
+// staged block, which carries the chunk offset its payload came from.
+const salvagedChunkOff = 1<<32 - 1
+
+// mergeSources decodes one partition's records in append order from its
+// stage-2 blocks and stage-1 chunks: per chunk seq, the persistent-memory
+// copy takes precedence over any (partially) staged blocks of the same
+// chunk (§3.8). A salvaged chunk image ranks like a persistent-memory copy:
+// it is the complete decodable prefix of the chunk at salvage time, which
+// covers at least whatever staging had copied out by then.
+func mergeSources(blocks []segBlock, chunks map[uint64][]byte) []Record {
+	sort.SliceStable(blocks, func(i, j int) bool {
+		if blocks[i].seq != blocks[j].seq {
+			return blocks[i].seq < blocks[j].seq
+		}
+		return blocks[i].chunkOff < blocks[j].chunkOff
+	})
+	type source struct {
+		pmem   []byte
+		blocks []segBlock
+	}
+	bySeq := make(map[uint64]*source)
+	var seqs []uint64
+	add := func(seq uint64) *source {
+		s, ok := bySeq[seq]
+		if !ok {
+			s = &source{}
+			bySeq[seq] = s
+			seqs = append(seqs, seq)
+		}
+		return s
+	}
+	for _, b := range blocks {
+		s := add(b.seq)
+		if b.chunkOff == salvagedChunkOff {
+			s.pmem = b.data
+			continue
+		}
+		s.blocks = append(s.blocks, b)
+	}
+	// A live stage-1 copy still outranks a salvaged image of the same seq
+	// (it can only be fresher), so this assignment comes last.
+	for seq, data := range chunks {
+		add(seq).pmem = data
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	// Size the result exactly up front: growing a []Record half-a-million
+	// entries by doubling re-copies (and re-zeroes) the whole backing array
+	// log₂(n) times, which dominated the analysis pass in profiles. Counting
+	// walks only the per-record size prefixes — no decode, no checksum.
+	n := 0
+	for _, seq := range seqs {
+		s := bySeq[seq]
+		if s.pmem != nil {
+			n += countRecords(s.pmem)
+			continue
+		}
+		for _, b := range s.blocks {
+			n += countRecords(b.data)
+		}
+	}
+	recs := make([]Record, 0, n)
+	for _, seq := range seqs {
+		s := bySeq[seq]
+		var ctx codecContext
+		if s.pmem != nil {
+			recs = appendChunkRecords(recs, s.pmem, &ctx)
+			continue
+		}
+		for _, b := range s.blocks {
+			recs = appendChunkRecords(recs, b.data, &ctx)
+		}
+	}
+	return recs
+}
+
+// countRecords upper-bounds the records in a chunk image by walking the
+// size-prefix chain. It skips checksum validation, so a torn tail can add a
+// few phantom entries — fine for a capacity estimate.
+func countRecords(data []byte) int {
+	n, pos := 0, 0
+	for pos+minRecordSize <= len(data) {
+		size := int(binary.LittleEndian.Uint32(data[pos:]))
+		if size < minRecordSize || pos+size > len(data) {
+			break
+		}
+		n++
+		pos += size
+	}
+	return n
 }
 
 func appendChunkRecords(dst []Record, data []byte, ctx *codecContext) []Record {
@@ -199,6 +378,103 @@ func appendChunkRecords(dst []Record, data []byte, ctx *codecContext) []Record {
 		pos += n
 	}
 	return dst
+}
+
+// SalvageChunks persists the decodable prefix of every intact stage-1 chunk
+// into fresh stage-2 segment files (one per partition, blocks carrying the
+// salvagedChunkOff sentinel), synced at WAL-class priority. The engine calls
+// it after the recovery scan and before recycling the stage-1 device for the
+// new log generation: the tail of the durable log may exist only in stage-1
+// chunks (staging to SSD is lazy), and that tail must stay durable on SSD as
+// long as recovery work remains — until the on-demand dirty table drains and
+// the completion checkpoint runs, a crash (or a close mid-drain) re-derives
+// pending redo and undo work by rescanning the old log generation.
+//
+// Salvage runs before the new wal.Manager exists, so the new manager's
+// initSegSeq numbers its own segments past the salvage files. The returned
+// names belong to the old generation: the engine appends them to the
+// segment set it deletes once recovery completes.
+func SalvageChunks(ssd *dev.SSD, pm *dev.PMem, sched *iosched.Scheduler) ([]string, error) {
+	if pm == nil {
+		return nil, nil
+	}
+	type salvageChunk struct {
+		seq  uint64
+		data []byte
+	}
+	byPart := make(map[int][]salvageChunk)
+	for _, region := range pmRegions(pm) {
+		b := region.Bytes()
+		part, seq, ok := parseChunkHeader(b)
+		if !ok {
+			continue
+		}
+		data := b[chunkHeaderSize:]
+		if n := validRecordPrefix(data); n > 0 {
+			byPart[part] = append(byPart[part], salvageChunk{seq, data[:n]})
+		}
+	}
+	if len(byPart) == 0 {
+		return nil, nil
+	}
+
+	nextSeg := make(map[int]int)
+	for _, name := range ssd.List("wal/p") {
+		if part, segNo, ok := parseSegName(name); ok && segNo >= nextSeg[part] {
+			nextSeg[part] = segNo + 1
+		}
+	}
+
+	partIDs := make([]int, 0, len(byPart))
+	for part := range byPart {
+		partIDs = append(partIDs, part)
+	}
+	sort.Ints(partIDs)
+	var names []string
+	for _, part := range partIDs {
+		chunks := byPart[part]
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i].seq < chunks[j].seq })
+		size := 0
+		for _, c := range chunks {
+			size += blockHeaderSize + len(c.data)
+		}
+		buf := make([]byte, 0, size)
+		for _, c := range chunks {
+			var hdr [blockHeaderSize]byte
+			binary.LittleEndian.PutUint32(hdr[0:], blockMagic)
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(len(c.data)))
+			binary.LittleEndian.PutUint64(hdr[8:], c.seq)
+			binary.LittleEndian.PutUint32(hdr[16:], salvagedChunkOff)
+			buf = append(buf, hdr[:]...)
+			buf = append(buf, c.data...)
+		}
+		name := fmt.Sprintf("wal/p%03d/seg%08d", part, nextSeg[part])
+		f := ssd.Open(name)
+		err := sched.WriteWait(iosched.ClassWAL, f, buf, 0, walRetries)
+		if err == nil {
+			err = sched.SyncWait(iosched.ClassWAL, f, walRetries)
+		}
+		if err != nil {
+			return names, fmt.Errorf("wal: salvaging stage-1 chunks of partition %d failed: %w", part, err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// validRecordPrefix measures the decodable prefix of a chunk's record bytes
+// — where appendChunkRecords would stop on the same input.
+func validRecordPrefix(data []byte) int {
+	var ctx codecContext
+	pos := 0
+	for pos < len(data) {
+		_, n, err := decode(data[pos:], &ctx)
+		if err != nil {
+			break
+		}
+		pos += n
+	}
+	return pos
 }
 
 // parseSegName parses a stage-2 segment file name of the form

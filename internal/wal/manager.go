@@ -67,6 +67,12 @@ type Config struct {
 	// monotone across restarts — which keeps the group-commit stable marker
 	// and all persisted page GSNs valid in the new generation.
 	GSNFloor base.GSN
+	// ChunkSeqFloor makes every stage-1 chunk sequence number of this log
+	// generation exceed it. The engine passes the maximum seq observed in
+	// the replayed log: recovery merges a chunk's sources (stage-1 copy,
+	// staged blocks, salvaged image) by seq, which is only sound while no
+	// two generations that can coexist in a scan share a seq.
+	ChunkSeqFloor uint64
 
 	PMem *dev.PMem
 	SSD  *dev.SSD
@@ -558,7 +564,11 @@ func (m *Manager) LiveWALBytes() uint64 {
 	return n
 }
 
-// Stats aggregates counters for the harness.
+// Stats is the WAL's one cohesive statistics surface: volume and commit-path
+// counters plus the nested commit-latency histogram handles (live histograms;
+// snapshot via their own methods). The histogram fields may hold nil
+// histograms when the manager was built without an observability registry —
+// CommitWait is always populated, CommitStages only with Config.Obs.
 type Stats struct {
 	AppendedBytes   uint64
 	AppendedRecords uint64
@@ -569,6 +579,13 @@ type Stats struct {
 	CommitsRFA      uint64
 	CommitsFull     uint64
 	ScratchRegrows  uint64
+
+	// CommitWait holds the end-to-end commit acknowledgement latency
+	// distributions, split by RFA-fast versus remote-flush path.
+	CommitWait CommitWaitStats
+	// CommitStages breaks the commit wait into pipeline stages
+	// (append/queue/flush/ack); populated only with Config.Obs.
+	CommitStages CommitStageStats
 }
 
 // Stats returns aggregated log statistics.
@@ -585,6 +602,13 @@ func (m *Manager) Stats() Stats {
 	s.ArchivedBytes = m.archived.Load()
 	s.CommitsRFA = m.commitsRFA.Load()
 	s.CommitsFull = m.commitsFull.Load()
+	s.CommitWait = CommitWaitStats{RFA: m.histRFA, Remote: m.histRemote}
+	s.CommitStages = CommitStageStats{
+		Append: m.histAppend,
+		Queue:  m.histQueue,
+		Flush:  m.histFlush,
+		Ack:    m.histAck,
+	}
 	return s
 }
 

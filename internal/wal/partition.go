@@ -154,7 +154,7 @@ func (p *Partition) initChunks(n, size int) {
 		p.freeC <- &Chunk{Region: p.mgr.cfg.PMem.Allocate(size)}
 	}
 	first := &Chunk{Region: p.mgr.cfg.PMem.Allocate(size)}
-	first.initAsCurrent(p.ID, 1)
+	first.initAsCurrent(p.ID, p.mgr.cfg.ChunkSeqFloor+1)
 	p.cur.Store(first)
 }
 

@@ -30,6 +30,7 @@
 package leanstore
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -42,6 +43,26 @@ import (
 
 // Mode selects the logging/commit/checkpoint design.
 type Mode = core.Mode
+
+// RecoveryMode selects how restart recovery drains its redo work.
+type RecoveryMode = core.RecoveryMode
+
+// Recovery modes. The analysis scan (winners/losers and the per-page dirty
+// table) always runs before Open returns; the mode decides when the pages
+// themselves are redone.
+const (
+	// RecoverParallel (the default) redoes everything before Open returns,
+	// one worker per WAL partition.
+	RecoverParallel = core.RecoverParallel
+	// RecoverBlocking is the classic sequential redo pass — the ablation
+	// baseline; Open blocks for the whole log with a single worker.
+	RecoverBlocking = core.RecoverBlocking
+	// RecoverOnDemand opens for traffic immediately: a faulted page is
+	// redone on first touch, background workers drain the rest, and
+	// WaitRecovered signals full completion. Time-to-first-transaction is
+	// then roughly independent of log size.
+	RecoverOnDemand = core.RecoverOnDemand
+)
 
 // Available engine modes: the paper's design and its evaluation baselines.
 const (
@@ -89,6 +110,9 @@ type Options struct {
 	GroupCommitInterval time.Duration
 	// DisableCheckpointing turns background checkpointing off.
 	DisableCheckpointing bool
+	// RecoveryMode selects the restart-recovery drain strategy (default
+	// RecoverParallel).
+	RecoveryMode RecoveryMode
 	// ObsAddr, when non-empty, serves the observability HTTP endpoint
 	// (Prometheus /metrics, /debug/trace, /debug/pprof) on that address;
 	// "127.0.0.1:0" picks a free port (query it via DB.ObsAddr).
@@ -148,6 +172,7 @@ func Open(opts Options) (*DB, error) {
 		CheckpointShards:    opts.CheckpointShards,
 		GroupCommitInterval: opts.GroupCommitInterval,
 		CheckpointDisabled:  opts.DisableCheckpointing,
+		RecoveryMode:        opts.RecoveryMode,
 		ObsAddr:             opts.ObsAddr,
 		ObsDisabled:         opts.DisableObservability,
 	}
@@ -211,14 +236,37 @@ func (db *DB) Devices() *Devices {
 // Stats returns engine-wide counters.
 func (db *DB) Stats() core.Stats { return db.eng.Stats() }
 
+// RecoveryInfo is the structured view of what recovery did on the last
+// Open: whether it ran, how much log it processed, and the two headline
+// durations — TimeToFirstTxn (how long Open blocked) and Total (when the
+// database was fully recovered; for on-demand recovery this extends past
+// Open to the end of the background drain and reads zero until then).
+type RecoveryInfo = core.RecoveryInfo
+
+// RecoveryInfo reports what recovery did on the last Open.
+func (db *DB) RecoveryInfo() RecoveryInfo { return db.eng.RecoveryInfo() }
+
+// WaitRecovered blocks until recovery has fully completed — for
+// RecoverOnDemand, until the background drain finished and the old log
+// generation was retired — or until ctx is done. It returns immediately on
+// a fresh boot or after blocking/parallel recovery.
+func (db *DB) WaitRecovered(ctx context.Context) error { return db.eng.WaitRecovered(ctx) }
+
 // RecoveredFromCrash reports whether opening this instance ran restart
 // recovery, and some headline numbers if it did.
+//
+// Deprecated: use RecoveryInfo, which separates time-to-first-transaction
+// from total recovery time and exposes the drain progress.
 func (db *DB) RecoveredFromCrash() (ran bool, records int, took time.Duration) {
-	r := db.eng.RecoveryResult()
-	if r == nil {
+	info := db.eng.RecoveryInfo()
+	if !info.Ran {
 		return false, 0, 0
 	}
-	return true, r.Records, r.AnalysisTime + r.RedoTime
+	took = info.Total
+	if took == 0 {
+		took = info.TimeToFirstTxn
+	}
+	return true, info.Records, took
 }
 
 // Engine exposes the underlying engine for the benchmark harness.

@@ -124,6 +124,7 @@ func TestPublicAPICrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
+	//lint:ignore SA1019 the deprecated shim must keep working until removal
 	ran, records, took := db2.RecoveredFromCrash()
 	if !ran || records == 0 || took <= 0 {
 		t.Fatalf("recovery info: ran=%v records=%d took=%v", ran, records, took)
