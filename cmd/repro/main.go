@@ -22,6 +22,7 @@
 //	ablate-io        I/O scheduler queue-depth × batch-size ablation
 //	ablate-commit    centralized vs decentralized group-commit pipeline
 //	ablate-recovery  restart log-size × recovery-mode sweep (ttft vs total)
+//	ablate-replication  WAL-shipping read-replica scaling sweep
 //	obs-overhead     observability subsystem cost (tracing on vs off)
 //	commit-stages    per-stage commit latency split (append/queue/flush/ack)
 //	flight           crash flight-recorder post-mortem
@@ -32,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -49,7 +51,7 @@ func main() {
 	fs := flag.NewFlagSet(exp, flag.ExitOnError)
 	scaleName := fs.String("scale", "small", "workload scale: tiny|small|medium")
 	threads := fs.Int("threads", 4, "worker threads for fixed-thread experiments")
-	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery)")
+	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery, ablate-replication)")
 	fs.Parse(os.Args[2:])
 
 	sc, err := harness.ScaleByName(*scaleName)
@@ -122,6 +124,45 @@ func main() {
 					last.TTFT[2], last.Total[0])
 			}
 			return nil
+		case "ablate-replication":
+			rows, err := harness.AblateReplication(w, sc, *threads)
+			if err != nil {
+				return err
+			}
+			if *gate && len(rows) == 4 {
+				// CI gate: aggregate replica reads must scale with replica
+				// count (monotone 1->2->4, >=2.5x at 4), the primary's commit
+				// median must stay within noise of the no-replica baseline,
+				// and lag must return to zero once the burst quiesces.
+				base, r1, r2, r4 := rows[0], rows[1], rows[2], rows[3]
+				if !(r1.ReadsPerSec < r2.ReadsPerSec && r2.ReadsPerSec < r4.ReadsPerSec) {
+					return fmt.Errorf("replication gate: reads not monotone in replica count: %.0f / %.0f / %.0f",
+						r1.ReadsPerSec, r2.ReadsPerSec, r4.ReadsPerSec)
+				}
+				if r4.ReadsPerSec < 2.5*r1.ReadsPerSec {
+					return fmt.Errorf("replication gate: 4 replicas give %.2fx of 1 replica, want >= 2.5x",
+						r4.ReadsPerSec/r1.ReadsPerSec)
+				}
+				const slack = 500 * time.Microsecond
+				if r4.CommitP50 > 3*base.CommitP50 && r4.CommitP50 > base.CommitP50+slack {
+					return fmt.Errorf("replication gate: commit p50 degraded %v -> %v with 4 replicas",
+						base.CommitP50, r4.CommitP50)
+				}
+				if r4.CommitMean > 3*base.CommitMean && r4.CommitMean > base.CommitMean+slack {
+					return fmt.Errorf("replication gate: commit mean degraded %v -> %v with 4 replicas",
+						base.CommitMean, r4.CommitMean)
+				}
+				for _, r := range rows {
+					if r.FinalLag != 0 {
+						return fmt.Errorf("replication gate: %d-replica cell left lag %d after quiesce",
+							r.Replicas, r.FinalLag)
+					}
+				}
+				fmt.Fprintf(w, "replication gate: ok — reads %.0f/%.0f/%.0f per sec (%.2fx at 4), commit mean %v -> %v\n",
+					r1.ReadsPerSec, r2.ReadsPerSec, r4.ReadsPerSec,
+					r4.ReadsPerSec/r1.ReadsPerSec, base.CommitMean, r4.CommitMean)
+			}
+			return nil
 		case "obs-overhead":
 			_, err := harness.ObsOverhead(w, sc)
 			return err
@@ -138,7 +179,8 @@ func main() {
 		for _, name := range []string{
 			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
 			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
-			"ablate-io", "ablate-commit", "ablate-recovery", "obs-overhead",
+			"ablate-io", "ablate-commit", "ablate-recovery",
+			"ablate-replication", "obs-overhead",
 			"commit-stages", "flight",
 		} {
 			if err := run(name); err != nil {

@@ -1,0 +1,114 @@
+package btree
+
+// Read-only descent over materialized page images, for readers that have no
+// buffer pool: a replica serves queries from a copy-on-write snapshot of
+// redo-built pages (see internal/repl). Images are immutable byte slices
+// keyed by page ID, with child references in on-disk (PID) swip form — the
+// form recovery redo and the replica apply loop produce. There is no
+// latching: a snapshot never changes, so a descent needs no validation and
+// returned keys/values may alias the images.
+
+import (
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/buffer"
+)
+
+// ImageResolver maps a page ID to its image in the snapshot, or nil if the
+// snapshot has no such page.
+type ImageResolver func(base.PageID) []byte
+
+// imageMaxDepth bounds descents so a corrupt snapshot (a swip cycle) fails
+// instead of looping.
+const imageMaxDepth = 64
+
+// imageFindLeaf descends from the tree's meta page to the leaf that would
+// hold key, returning the leaf image and the tightest right separator bound
+// seen on the path (nil when the leaf is the rightmost). A nil leaf with nil
+// error means the tree has no root yet (no records applied).
+func imageFindLeaf(resolve ImageResolver, metaPID base.PageID, key []byte) (leaf, bound []byte, err error) {
+	page := resolve(metaPID)
+	if page == nil {
+		return nil, nil, fmt.Errorf("btree: image meta page %d missing", metaPID)
+	}
+	swip := buffer.Upper(page)
+	for depth := 0; depth < imageMaxDepth; depth++ {
+		if swip.IsSwizzled() {
+			return nil, nil, fmt.Errorf("btree: swizzled swip %#x in page image", uint64(swip))
+		}
+		pid := swip.PID()
+		if pid == 0 {
+			// Meta not yet linked to a root: the tree's creation has not
+			// reached this snapshot.
+			return nil, nil, nil
+		}
+		page = resolve(pid)
+		if page == nil {
+			return nil, nil, fmt.Errorf("btree: image page %d missing", pid)
+		}
+		switch buffer.PageType(page) {
+		case buffer.PageLeaf:
+			return page, bound, nil
+		case buffer.PageInner:
+			pos, _ := lowerBound(page, key)
+			if pos == slotCount(page) {
+				swip = buffer.Upper(page)
+			} else {
+				swip = buffer.GetSwip(page, innerSlotSwipOff(page, pos))
+				bound = slotKey(page, pos)
+			}
+		default:
+			return nil, nil, fmt.Errorf("btree: image page %d has type %d on descent", pid, buffer.PageType(page))
+		}
+	}
+	return nil, nil, fmt.Errorf("btree: image descent exceeded depth %d (swip cycle?)", imageMaxDepth)
+}
+
+// ImageGet fetches the value for key, appending it to dst (which may be
+// nil). The returned slice is a copy.
+func ImageGet(resolve ImageResolver, metaPID base.PageID, key, dst []byte) ([]byte, bool, error) {
+	leaf, _, err := imageFindLeaf(resolve, metaPID, key)
+	if err != nil || leaf == nil {
+		return nil, false, err
+	}
+	pos, found := lowerBound(leaf, key)
+	if !found {
+		return nil, false, nil
+	}
+	return append(dst[:0], slotVal(leaf, pos)...), true, nil
+}
+
+// ImageScan iterates ascending over all pairs with k >= start, invoking fn
+// until it returns false or the tree is exhausted. fn receives slices that
+// alias the snapshot's page images; they stay valid as long as the snapshot
+// does. Leaf hops re-descend by separator bound, mirroring ScanAsc.
+func ImageScan(resolve ImageResolver, metaPID base.PageID, start []byte, fn func(k, v []byte) bool) error {
+	cont := append([]byte(nil), start...)
+	for {
+		leaf, bound, err := imageFindLeaf(resolve, metaPID, cont)
+		if err != nil {
+			return err
+		}
+		if leaf == nil {
+			return nil
+		}
+		pos, _ := lowerBound(leaf, cont)
+		for ; pos < slotCount(leaf); pos++ {
+			if !fn(slotKey(leaf, pos), slotVal(leaf, pos)) {
+				return nil
+			}
+		}
+		if bound == nil {
+			return nil // rightmost leaf done
+		}
+		cont = append(append(cont[:0], bound...), 0)
+	}
+}
+
+// ImageCount returns the number of entries reachable in the snapshot.
+func ImageCount(resolve ImageResolver, metaPID base.PageID) (int, error) {
+	n := 0
+	err := ImageScan(resolve, metaPID, nil, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}

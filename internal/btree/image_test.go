@@ -1,0 +1,171 @@
+package btree
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/buffer"
+)
+
+// snapshotImages deep-copies every page reachable from the tree's meta frame
+// into PID-keyed images with swips rewritten to on-disk (PID) form — the
+// shape a replica's redo-built snapshot has.
+func snapshotImages(t *testing.T, tree *BTree, pool *buffer.Pool) map[base.PageID][]byte {
+	t.Helper()
+	images := make(map[base.PageID][]byte)
+	var walk func(idx int32)
+	fixSwip := func(data, img []byte, off int, walkChild func(int32)) {
+		s := buffer.GetSwip(data, off)
+		if !s.IsSwizzled() {
+			if s.PID() != 0 {
+				t.Fatalf("page evicted mid-test (swip %#x); enlarge the pool", uint64(s))
+			}
+			return
+		}
+		cidx, child := pool.ResolveSwizzled(s)
+		buffer.SetSwip(img, off, buffer.SwipFromPID(buffer.PageID(child.Data())))
+		walkChild(cidx)
+	}
+	walk = func(idx int32) {
+		data := pool.Frame(idx).Data()
+		img := append([]byte(nil), data...)
+		images[buffer.PageID(data)] = img
+		switch buffer.PageType(data) {
+		case buffer.PageLeaf:
+		case buffer.PageMeta:
+			fixSwip(data, img, buffer.OffUpper, walk)
+		case buffer.PageInner:
+			fixSwip(data, img, buffer.OffUpper, walk)
+			for i := 0; i < slotCount(data); i++ {
+				fixSwip(data, img, innerSlotSwipOff(data, i), walk)
+			}
+		default:
+			t.Fatalf("unexpected page type %d", buffer.PageType(data))
+		}
+	}
+	walk(tree.metaIdx)
+	return images
+}
+
+func TestImageDescentMatchesTree(t *testing.T) {
+	tree, ctx, pool := newTestTree(t, 1024)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(ctx, k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	images := snapshotImages(t, tree, pool)
+	if len(images) < 4 {
+		t.Fatalf("want a multi-level tree, got %d pages", len(images))
+	}
+	resolve := func(pid base.PageID) []byte { return images[pid] }
+	metaPID := buffer.PageID(pool.Frame(tree.metaIdx).Data())
+
+	for i := 0; i < n; i += 17 {
+		got, ok, err := ImageGet(resolve, metaPID, k(i), nil)
+		if err != nil || !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("ImageGet(%q) = %q %v %v", k(i), got, ok, err)
+		}
+	}
+	if _, ok, err := ImageGet(resolve, metaPID, []byte("nope"), nil); ok || err != nil {
+		t.Fatalf("phantom key: ok=%v err=%v", ok, err)
+	}
+
+	// Full scan order and content must match the live tree.
+	var want [][]byte
+	tree.ScanAsc(ctx, nil, func(key, _ []byte) bool {
+		want = append(want, append([]byte(nil), key...))
+		return true
+	})
+	var got [][]byte
+	err := ImageScan(resolve, metaPID, nil, func(key, val []byte) bool {
+		got = append(got, append([]byte(nil), key...))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan lengths: image %d, tree %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("scan diverged at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+
+	// Mid-start scan and early termination.
+	count := 0
+	err = ImageScan(resolve, metaPID, k(n/2), func(key, _ []byte) bool {
+		if count == 0 && !bytes.Equal(key, k(n/2)) {
+			t.Fatalf("scan started at %q, want %q", key, k(n/2))
+		}
+		count++
+		return count < 10
+	})
+	if err != nil || count != 10 {
+		t.Fatalf("bounded scan: count=%d err=%v", count, err)
+	}
+
+	if c, err := ImageCount(resolve, metaPID); err != nil || c != n {
+		t.Fatalf("ImageCount=%d err=%v, want %d", c, err, n)
+	}
+}
+
+func TestImageMissingPageIsAnError(t *testing.T) {
+	tree, ctx, pool := newTestTree(t, 1024)
+	for i := 0; i < 2000; i++ {
+		if err := tree.Insert(ctx, k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	images := snapshotImages(t, tree, pool)
+	metaPID := buffer.PageID(pool.Frame(tree.metaIdx).Data())
+	// Remove one leaf: descents that route to it must fail loudly.
+	var victim base.PageID
+	for pid, img := range images {
+		if buffer.PageType(img) == buffer.PageLeaf {
+			victim = pid
+			break
+		}
+	}
+	delete(images, victim)
+	resolve := func(pid base.PageID) []byte { return images[pid] }
+	sawErr := false
+	for i := 0; i < 2000; i++ {
+		if _, _, err := ImageGet(resolve, metaPID, k(i), nil); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("missing page never surfaced as an error")
+	}
+}
+
+func TestImageEmptySnapshot(t *testing.T) {
+	// A snapshot with no meta page (tree creation not yet replicated).
+	resolve := func(base.PageID) []byte { return nil }
+	if _, _, err := ImageGet(resolve, 1, []byte("k"), nil); err == nil {
+		t.Fatal("missing meta page must error")
+	}
+	// A meta page with no root linked yet: empty tree, no error.
+	meta := make([]byte, base.PageSize)
+	buffer.SetPageID(meta, 1)
+	buffer.SetPageType(meta, buffer.PageMeta)
+	buffer.SetHeapStart(meta, base.PageSize)
+	resolve = func(pid base.PageID) []byte {
+		if pid == 1 {
+			return meta
+		}
+		return nil
+	}
+	if _, ok, err := ImageGet(resolve, 1, []byte("k"), nil); ok || err != nil {
+		t.Fatalf("rootless meta: ok=%v err=%v", ok, err)
+	}
+	if c, err := ImageCount(resolve, 1); c != 0 || err != nil {
+		t.Fatalf("rootless count: %d %v", c, err)
+	}
+}

@@ -47,6 +47,7 @@ const (
 	ClassWriteback               // provider dirty-page writeback
 	ClassCheckpoint              // checkpoint increments, master record, silor
 	ClassBackup                  // backup, restore, segment archiving
+	ClassRepl                    // replication: catch-up segment reads, replica WAL writes
 	NumClasses
 )
 
@@ -62,6 +63,8 @@ func (c Class) String() string {
 		return "checkpoint"
 	case ClassBackup:
 		return "backup"
+	case ClassRepl:
+		return "repl"
 	}
 	return fmt.Sprintf("class%d", int32(c))
 }
@@ -143,7 +146,7 @@ func (c *Config) fillDefaults() {
 		c.BatchSize = 4
 	}
 	if len(c.Priorities) == 0 {
-		c.Priorities = []Class{ClassWAL, ClassPageRead, ClassWriteback, ClassCheckpoint, ClassBackup}
+		c.Priorities = []Class{ClassWAL, ClassPageRead, ClassWriteback, ClassCheckpoint, ClassBackup, ClassRepl}
 	}
 }
 

@@ -1,0 +1,243 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/wal"
+)
+
+// Byte-stream transport for the Source interface, so a replica can pull from
+// a primary across a process boundary (tests run it over net.Pipe; any
+// ordered duplex byte stream works). One request in flight per connection;
+// the client serializes callers.
+//
+// Frames are length-free little-endian structs:
+//
+//	request:  u8 op | op-specific body
+//	  opInfo: (empty)
+//	  opRead: u32 part, u64 cursorSeq, u32 cursorOff, u32 maxBytes
+//	response: u8 status (0 ok, 1 error)
+//	  error:  u32 len, utf-8 message
+//	  opInfo: u32 partitions, u64 maxGSN
+//	  opRead: u64 nextSeq, u32 nextOff, u32 extentCount, then per extent
+//	          u32 part, u64 seq, u32 off, u32 dataLen, data
+const (
+	pipeOpInfo = 1
+	pipeOpRead = 2
+
+	pipeOK  = 0
+	pipeErr = 1
+
+	// pipeMaxFrame bounds untrusted lengths read off the wire.
+	pipeMaxFrame = 64 << 20
+)
+
+type pipeWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func (p *pipeWriter) u8(v byte)    { p.buf = append(p.buf, v) }
+func (p *pipeWriter) u32(v uint32) { p.buf = binary.LittleEndian.AppendUint32(p.buf, v) }
+func (p *pipeWriter) u64(v uint64) { p.buf = binary.LittleEndian.AppendUint64(p.buf, v) }
+func (p *pipeWriter) bytes(b []byte) {
+	p.u32(uint32(len(b)))
+	p.buf = append(p.buf, b...)
+}
+
+func (p *pipeWriter) flush() error {
+	if p.err == nil {
+		_, p.err = p.w.Write(p.buf)
+	}
+	p.buf = p.buf[:0]
+	return p.err
+}
+
+type pipeReader struct {
+	r   io.Reader
+	tmp [8]byte
+	err error
+}
+
+func (p *pipeReader) u8() byte {
+	if p.err != nil {
+		return 0
+	}
+	_, p.err = io.ReadFull(p.r, p.tmp[:1])
+	return p.tmp[0]
+}
+
+func (p *pipeReader) u32() uint32 {
+	if p.err != nil {
+		return 0
+	}
+	_, p.err = io.ReadFull(p.r, p.tmp[:4])
+	return binary.LittleEndian.Uint32(p.tmp[:4])
+}
+
+func (p *pipeReader) u64() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	_, p.err = io.ReadFull(p.r, p.tmp[:8])
+	return binary.LittleEndian.Uint64(p.tmp[:8])
+}
+
+func (p *pipeReader) bytes() []byte {
+	n := p.u32()
+	if p.err != nil {
+		return nil
+	}
+	if n > pipeMaxFrame {
+		p.err = fmt.Errorf("repl: pipe frame of %d bytes exceeds limit", n)
+		return nil
+	}
+	b := make([]byte, n)
+	_, p.err = io.ReadFull(p.r, b)
+	return b
+}
+
+// ServeSource answers pipe requests against src until conn's read side
+// fails (EOF on client close). It is synchronous; run it in a goroutine.
+func ServeSource(conn io.ReadWriter, src Source) error {
+	in := &pipeReader{r: conn}
+	out := &pipeWriter{w: conn}
+	for {
+		op := in.u8()
+		if in.err != nil {
+			if in.err == io.EOF {
+				return nil
+			}
+			return in.err
+		}
+		switch op {
+		case pipeOpInfo:
+			out.u8(pipeOK)
+			out.u32(uint32(src.Partitions()))
+			out.u64(uint64(src.MaxGSN()))
+		case pipeOpRead:
+			part := int(in.u32())
+			cur := wal.ShipCursor{Seq: in.u64(), Off: int(in.u32())}
+			maxBytes := int(in.u32())
+			if in.err != nil {
+				return in.err
+			}
+			extents, next, err := src.Read(part, cur, maxBytes)
+			if err != nil {
+				out.u8(pipeErr)
+				out.bytes([]byte(err.Error()))
+				break
+			}
+			out.u8(pipeOK)
+			out.u64(next.Seq)
+			out.u32(uint32(next.Off))
+			out.u32(uint32(len(extents)))
+			for _, e := range extents {
+				out.u32(uint32(e.Part))
+				out.u64(e.Seq)
+				out.u32(uint32(e.Off))
+				out.bytes(e.Data)
+			}
+		default:
+			return fmt.Errorf("repl: unknown pipe op %d", op)
+		}
+		if err := out.flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// pipeClient implements Source over a duplex byte stream.
+type pipeClient struct {
+	mu   sync.Mutex
+	conn io.ReadWriter
+	in   *pipeReader
+	out  *pipeWriter
+
+	partitions int
+}
+
+// Dial performs the initial info exchange over conn and returns a Source
+// pulling through it. The returned Source is safe for one replica (calls are
+// serialized internally).
+func Dial(conn io.ReadWriter) (Source, error) {
+	c := &pipeClient{conn: conn, in: &pipeReader{r: conn}, out: &pipeWriter{w: conn}}
+	parts, _, err := c.info()
+	if err != nil {
+		return nil, err
+	}
+	c.partitions = parts
+	return c, nil
+}
+
+func (c *pipeClient) info() (int, base.GSN, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out.u8(pipeOpInfo)
+	if err := c.out.flush(); err != nil {
+		return 0, 0, err
+	}
+	if st := c.in.u8(); c.in.err == nil && st != pipeOK {
+		return 0, 0, fmt.Errorf("repl: pipe info failed: %s", c.in.bytes())
+	}
+	parts := int(c.in.u32())
+	gsn := base.GSN(c.in.u64())
+	return parts, gsn, c.in.err
+}
+
+func (c *pipeClient) Partitions() int { return c.partitions }
+
+func (c *pipeClient) MaxGSN() base.GSN {
+	_, gsn, err := c.info()
+	if err != nil {
+		return 0 // lag reads degrade to zero on a broken pipe; Read surfaces the error
+	}
+	return gsn
+}
+
+func (c *pipeClient) Read(part int, cur wal.ShipCursor, maxBytes int) ([]wal.ShipExtent, wal.ShipCursor, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out.u8(pipeOpRead)
+	c.out.u32(uint32(part))
+	c.out.u64(cur.Seq)
+	c.out.u32(uint32(cur.Off))
+	c.out.u32(uint32(maxBytes))
+	if err := c.out.flush(); err != nil {
+		return nil, cur, err
+	}
+	if st := c.in.u8(); c.in.err == nil && st != pipeOK {
+		msg := c.in.bytes()
+		if c.in.err != nil {
+			return nil, cur, c.in.err
+		}
+		return nil, cur, fmt.Errorf("repl: remote ship read: %s", msg)
+	}
+	next := wal.ShipCursor{Seq: c.in.u64(), Off: int(c.in.u32())}
+	n := c.in.u32()
+	if c.in.err != nil {
+		return nil, cur, c.in.err
+	}
+	if n > 1<<20 {
+		return nil, cur, fmt.Errorf("repl: pipe extent count %d exceeds limit", n)
+	}
+	extents := make([]wal.ShipExtent, 0, n)
+	for i := uint32(0); i < n; i++ {
+		e := wal.ShipExtent{
+			Part: int(c.in.u32()),
+			Seq:  c.in.u64(),
+			Off:  int(c.in.u32()),
+			Data: c.in.bytes(),
+		}
+		if c.in.err != nil {
+			return nil, cur, c.in.err
+		}
+		extents = append(extents, e)
+	}
+	return extents, next, c.in.err
+}

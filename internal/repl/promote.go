@@ -1,0 +1,37 @@
+package repl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Promote turns a replica's local store into a full engine after the primary
+// is lost. The replica is closed (final persist round: everything fetched is
+// locally durable, marker at the applied horizon) and its device is handed
+// to the standard restart path — core.Open detects the on-disk log and runs
+// recovery exactly as a crashed single-node engine would, redoing winners
+// and rolling back losers over the shipped prefix. The promoted engine's
+// logical state therefore matches single-node crash recovery at the
+// replica's horizon; the read snapshot plays no part in it.
+//
+// cfg supplies the new engine's tuning; its Workers count is forced to the
+// source's partition count (the on-disk log layout), and its devices are
+// overridden: the replica's SSD, a fresh PMem (the primary's stage-1 state
+// died with the primary — everything the replica shipped was already
+// stage-2 durable).
+func Promote(r *Replica, cfg core.Config) (*core.Engine, error) {
+	parts := len(r.parts)
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("repl: final persist before promotion: %w", err)
+	}
+	r.promoted = true
+	cfg.Workers = parts
+	cfg.SSD = r.ssd
+	cfg.PMem = nil
+	eng, err := core.Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("repl: promotion recovery: %w", err)
+	}
+	return eng, nil
+}

@@ -1,0 +1,236 @@
+package repl
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+type kvPair struct{ k, v []byte }
+
+// dumpEngine produces the engine's full logical state: every tree by name,
+// each as its ordered key/value sequence.
+func dumpEngine(t *testing.T, e *core.Engine) map[string][]kvPair {
+	t.Helper()
+	out := make(map[string][]kvPair)
+	s := e.NewSession()
+	for name, tree := range e.Trees() {
+		s.Begin()
+		var pairs []kvPair
+		tree.ScanAsc(s, nil, func(k, v []byte) bool {
+			pairs = append(pairs, kvPair{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return true
+		})
+		s.Commit()
+		out[name] = pairs
+	}
+	return out
+}
+
+func compareDumps(t *testing.T, want, got map[string][]kvPair) {
+	t.Helper()
+	names := func(d map[string][]kvPair) []string {
+		var ns []string
+		for n := range d {
+			ns = append(ns, n)
+		}
+		sort.Strings(ns)
+		return ns
+	}
+	wn, gn := names(want), names(got)
+	if len(wn) != len(gn) {
+		t.Fatalf("tree sets differ: %v vs %v", wn, gn)
+	}
+	for i := range wn {
+		if wn[i] != gn[i] {
+			t.Fatalf("tree sets differ: %v vs %v", wn, gn)
+		}
+	}
+	for _, n := range wn {
+		w, g := want[n], got[n]
+		if len(w) != len(g) {
+			t.Fatalf("tree %q: %d vs %d entries", n, len(w), len(g))
+		}
+		for i := range w {
+			if !bytes.Equal(w[i].k, g[i].k) || !bytes.Equal(w[i].v, g[i].v) {
+				t.Fatalf("tree %q diverges at entry %d: (%q,%q) vs (%q,%q)",
+					n, i, w[i].k, w[i].v, g[i].k, g[i].v)
+			}
+		}
+	}
+}
+
+// TestPromoteMatchesSingleNodeRecovery is the acceptance check: after the
+// primary crashes, a fully caught-up replica promoted via the standard
+// restart path must recover byte-identical logical state to single-node
+// crash recovery over the same log — including rolling back a transaction
+// that was in flight at the crash.
+func TestPromoteMatchesSingleNodeRecovery(t *testing.T) {
+	cfg := testCfg()
+	e := mustOpen(t, cfg)
+	const n = 700
+	loadBoth(t, e, "t", 0, n)
+	loadBoth(t, e, "u", 0, 50)
+
+	// An in-flight loser at crash time: recovery must roll it back on both
+	// paths.
+	s := e.NewSession()
+	tree := e.GetTree("t")
+	s.Begin()
+	if err := tree.Insert(s, []byte("loser-key"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Update(s, k(3), []byte("dirty-update")); err != nil {
+		t.Fatal(err)
+	}
+	s.AbandonForCrash()
+	quiesce(t, e)
+
+	p := NewPrimary(e)
+	r, err := p.NewReplica(ReplicaConfig{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, r)
+	if r.Horizon() != e.WAL().MaxGSN() {
+		t.Fatalf("replica horizon %d short of primary max GSN %d", r.Horizon(), e.WAL().MaxGSN())
+	}
+
+	// Primary dies. Recover it single-node from its crashed devices...
+	pm, ssd := e.SimulateCrash(99)
+	cfg2 := cfg
+	cfg2.PMem, cfg2.SSD = pm, ssd
+	single := mustOpen(t, cfg2)
+	defer single.Close()
+	if single.RecoveryResult() == nil {
+		t.Fatal("single-node path did not run recovery")
+	}
+
+	// ...and promote the replica in parallel.
+	promoted, err := Promote(r, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if promoted.RecoveryResult() == nil {
+		t.Fatal("promotion did not run recovery")
+	}
+
+	sDump := dumpEngine(t, single)
+	pDump := dumpEngine(t, promoted)
+	if len(sDump["t"]) != n {
+		t.Fatalf("single-node recovery lost data: %d entries", len(sDump["t"]))
+	}
+	compareDumps(t, sDump, pDump)
+
+	// Spot-check the loser rollback on the promoted side.
+	ps := promoted.NewSession()
+	pt := promoted.GetTree("t")
+	ps.Begin()
+	if _, ok := pt.Lookup(ps, []byte("loser-key"), nil); ok {
+		t.Fatal("in-flight insert survived promotion")
+	}
+	if got, ok := pt.Lookup(ps, k(3), nil); !ok || !bytes.Equal(got, v(3)) {
+		t.Fatalf("dirty update not rolled back: %q %v", got, ok)
+	}
+	ps.Commit()
+}
+
+// TestPromotedEngineIsWritable: promotion yields a full engine — it accepts
+// new transactions and can itself ship to replicas.
+func TestPromotedEngineIsWritable(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	loadBoth(t, e, "t", 0, 300)
+	quiesce(t, e)
+	p := NewPrimary(e)
+	r, err := p.NewReplica(ReplicaConfig{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converge(t, r)
+	e.SimulateCrash(7)
+
+	promoted, err := Promote(r, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	s := promoted.NewSession()
+	tree := promoted.GetTree("t")
+	if tree == nil {
+		t.Fatal("tree lost in promotion")
+	}
+	s.Begin()
+	for i := 300; i < 400; i++ {
+		if err := tree.Insert(s, k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+	s.Begin()
+	for i := 0; i < 400; i += 13 {
+		got, ok := tree.Lookup(s, k(i), nil)
+		if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("key %d after promotion: %q %v", i, got, ok)
+		}
+	}
+	s.Commit()
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromoteLaggingReplica: a replica that has not caught up promotes to a
+// consistent prefix of the primary's history — a valid (if stale) database,
+// never a corrupt one.
+func TestPromoteLaggingReplica(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	loadBoth(t, e, "t", 0, 4000)
+	quiesce(t, e)
+	p := NewPrimary(e)
+	// Small fetches, few steps: the replica holds only a prefix.
+	r, err := p.NewReplica(ReplicaConfig{Manual: true, FetchBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Lag() == 0 {
+		t.Fatal("test needs a lagging replica; raise the load")
+	}
+	e.SimulateCrash(3)
+
+	promoted, err := Promote(r, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	tree := promoted.GetTree("t")
+	if tree == nil {
+		t.Fatal("catalog did not survive partial promotion")
+	}
+	s := promoted.NewSession()
+	s.Begin()
+	seen := 0
+	prev := []byte(nil)
+	tree.ScanAsc(s, nil, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("order violated: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		seen++
+		return true
+	})
+	s.Commit()
+	if seen == 0 || seen > 4000 {
+		t.Fatalf("prefix recovery produced %d entries", seen)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package repl implements WAL shipping and read replicas over the
+// partitioned log: a primary-side shipper that serves durable log bytes
+// through wal.Manager.ShipRead (pull model — replicas pace themselves, so a
+// slow replica costs the primary nothing but replication-class SSD reads),
+// and a replica engine that runs continuous redo over the shipped stream and
+// serves snapshot-consistent reads at its replayed GSN horizon.
+//
+// Consistency model. A replica's snapshot at horizon H contains exactly the
+// effects of every log record with GSN ≤ H, across all partitions. Records
+// are applied in the engine's forward-processing style — including those of
+// transactions that later abort (their logged compensations are applied too,
+// exactly like the primary's single-version read-uncommitted forward path) —
+// so replica reads are prefix-consistent physical snapshots with
+// read-uncommitted visibility. Promotion does not use the snapshot: it
+// recovers from the replica's local log copy with the standard restart path,
+// which redoes winners and rolls back losers, yielding the same logical
+// state single-node crash recovery produces from the same log prefix.
+package repl
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wal"
+)
+
+// Source is a replica's view of a primary log: the partition count, the
+// primary's append horizon, and the pull endpoint. *Primary implements it
+// in-process; pipeClient implements it over a byte-stream transport.
+type Source interface {
+	Partitions() int
+	MaxGSN() base.GSN
+	Read(part int, cur wal.ShipCursor, maxBytes int) ([]wal.ShipExtent, wal.ShipCursor, error)
+}
+
+// Primary is the shipping surface of one engine. Create at most one per
+// engine (its metrics register once in the engine's observability registry):
+//
+//	repl_shipped_bytes_total   counter, log bytes served to replicas
+//	repl_lag_gsn               gauge, max over attached replicas of
+//	                           primary MaxGSN − replica horizon
+//	repl_apply_batch_ns        histogram, per-replica apply batch latency
+//	repl_applied_records_total counter, records applied across replicas
+type Primary struct {
+	eng *core.Engine
+	log *wal.Manager
+
+	shippedBytes   atomic.Uint64
+	appliedRecords atomic.Uint64
+	applyHist      *metrics.Histogram
+
+	mu       sync.Mutex
+	replicas []*Replica
+}
+
+// NewPrimary wraps eng as a replication source and registers the
+// replication metrics in its observability registry (when enabled).
+func NewPrimary(eng *core.Engine) *Primary {
+	p := &Primary{eng: eng, log: eng.WAL(), applyHist: metrics.NewHistogram()}
+	if reg := eng.ObsRegistry(); reg != nil {
+		reg.CounterFunc("repl_shipped_bytes_total", p.shippedBytes.Load)
+		reg.CounterFunc("repl_applied_records_total", p.appliedRecords.Load)
+		reg.GaugeFunc("repl_lag_gsn", p.maxLag)
+		reg.RegisterHistogram("repl_apply_batch_ns", p.applyHist)
+	}
+	return p
+}
+
+// Engine returns the wrapped primary engine.
+func (p *Primary) Engine() *core.Engine { return p.eng }
+
+// Partitions implements Source.
+func (p *Primary) Partitions() int { return p.log.NumPartitions() }
+
+// MaxGSN implements Source: the primary's append horizon (an upper bound on
+// what a replica can have applied; replica lag is measured against it).
+func (p *Primary) MaxGSN() base.GSN { return p.log.MaxGSN() }
+
+// Read implements Source, counting shipped payload bytes.
+func (p *Primary) Read(part int, cur wal.ShipCursor, maxBytes int) ([]wal.ShipExtent, wal.ShipCursor, error) {
+	extents, next, err := p.log.ShipRead(part, cur, maxBytes)
+	for _, e := range extents {
+		p.shippedBytes.Add(uint64(len(e.Data)))
+	}
+	return extents, next, err
+}
+
+// NewReplica creates a replica pulling directly from this primary
+// (in-process) and attaches it for lag accounting. Close the replica to
+// detach it.
+func (p *Primary) NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	r, err := newReplica(p, cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	p.attach(r)
+	return r, nil
+}
+
+func (p *Primary) attach(r *Replica) {
+	p.mu.Lock()
+	p.replicas = append(p.replicas, r)
+	p.mu.Unlock()
+}
+
+func (p *Primary) detach(r *Replica) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, x := range p.replicas {
+		if x == r {
+			p.replicas = append(p.replicas[:i], p.replicas[i+1:]...)
+			return
+		}
+	}
+}
+
+// maxLag reports the worst replica lag in GSN ticks (0 with no replicas).
+func (p *Primary) maxLag() float64 {
+	max := base.GSN(0)
+	head := p.log.MaxGSN()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.replicas {
+		if h := r.Horizon(); head > h && head-h > max {
+			max = head - h
+		}
+	}
+	return float64(max)
+}
+
+// observeApply receives per-batch apply stats from attached replicas.
+func (p *Primary) observeApply(d time.Duration, records int) {
+	p.applyHist.Observe(d)
+	p.appliedRecords.Add(uint64(records))
+}
+
+// applySink decouples Replica from Primary so pipe-connected replicas work
+// without one.
+type applySink interface {
+	observeApply(d time.Duration, records int)
+	detach(r *Replica)
+}

@@ -1,0 +1,407 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func testCfg() core.Config {
+	return core.Config{
+		Mode:             core.ModeOurs,
+		Workers:          2,
+		PoolPages:        512,
+		WALLimit:         64 << 20,
+		CheckpointShards: 8,
+		ChunkSize:        32 * 1024,
+		SegmentSize:      64 * 1024,
+		Archive:          true,
+	}
+}
+
+func mustOpen(t *testing.T, cfg core.Config) *core.Engine {
+	t.Helper()
+	e, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func k(i int) []byte { return []byte(fmt.Sprintf("k%07d", i)) }
+func v(i int) []byte { return []byte(fmt.Sprintf("value-%07d", i)) }
+
+// loadBoth writes n keys into tree name on both workers' partitions,
+// committing every 50.
+func loadBoth(t *testing.T, e *core.Engine, name string, lo, hi int) {
+	t.Helper()
+	s0 := e.NewSessionOn(0)
+	s1 := e.NewSessionOn(1)
+	tree := e.GetTree(name)
+	if tree == nil {
+		var err error
+		tree, err = e.CreateTree(s0, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s0.Begin()
+	s1.Begin()
+	for i := lo; i < hi; i++ {
+		s := s0
+		if i%2 == 1 {
+			s = s1
+		}
+		if err := tree.Insert(s, k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 49 {
+			s0.Commit()
+			s1.Commit()
+			s0.Begin()
+			s1.Begin()
+		}
+	}
+	s0.Commit()
+	s1.Commit()
+}
+
+// quiesce makes every commit durable and the full log shippable.
+func quiesce(t *testing.T, e *core.Engine) {
+	t.Helper()
+	if !e.Txns().WaitAllDurable(5 * time.Second) {
+		t.Fatal("commits never became durable")
+	}
+	e.WAL().FlushAllLogs()
+	// Let the lift loop write RecLift witnesses so idle partitions reach the
+	// global horizon (the replica's applied horizon is the min over
+	// partitions of the last shipped GSN).
+	deadline := time.Now().Add(5 * time.Second)
+	for e.WAL().MinFlushedGSN() < e.WAL().MaxGSN() {
+		if time.Now().After(deadline) {
+			t.Fatalf("lift never converged: min %d max %d", e.WAL().MinFlushedGSN(), e.WAL().MaxGSN())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// converge steps a manual replica until a full round moves no cursor, then
+// returns. With a quiesced primary that means the entire shippable log has
+// been fetched and applied.
+func converge(t *testing.T, r *Replica) {
+	t.Helper()
+	for rounds := 0; rounds < 1000; rounds++ {
+		before := make([]interface{}, len(r.parts))
+		for i, p := range r.parts {
+			before[i] = p.cursor
+		}
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+		moved := false
+		for i, p := range r.parts {
+			if p.cursor != before[i] {
+				moved = true
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+	t.Fatal("replica never converged")
+}
+
+func checkReplicaReads(t *testing.T, r *Replica, tree string, n int) {
+	t.Helper()
+	rt, ok := r.Tree(tree)
+	if !ok {
+		t.Fatalf("tree %q not visible on replica (horizon %d)", tree, r.Horizon())
+	}
+	for i := 0; i < n; i += 7 {
+		got, ok, err := rt.Get(k(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("replica Get(%q) = %q %v, want %q", k(i), got, ok, v(i))
+		}
+	}
+	if c, err := rt.Count(); err != nil || c != n {
+		t.Fatalf("replica Count = %d (%v), want %d", c, err, n)
+	}
+	prev := []byte(nil)
+	if err := rt.Scan(nil, func(key, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			t.Fatalf("scan order violated: %q then %q", prev, key)
+		}
+		prev = append(prev[:0], key...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaConvergesAndServesReads(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	defer e.Close()
+	const n = 1200
+	loadBoth(t, e, "t", 0, n)
+	quiesce(t, e)
+
+	p := NewPrimary(e)
+	r, err := p.NewReplica(ReplicaConfig{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	converge(t, r)
+
+	if r.Horizon() == 0 {
+		t.Fatal("horizon never advanced")
+	}
+	checkReplicaReads(t, r, "t", n)
+
+	// The snapshot the reads used must be immutable: more writes and steps
+	// must not disturb a pinned snapshot.
+	snap := r.Snapshot()
+	h := snap.Horizon
+	loadBoth(t, e, "t", n, n+300)
+	quiesce(t, e)
+	converge(t, r)
+	if snap.Horizon != h {
+		t.Fatal("published snapshot mutated")
+	}
+	if r.Horizon() <= h {
+		t.Fatalf("horizon stuck at %d after more writes", h)
+	}
+	checkReplicaReads(t, r, "t", n+300)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestReplicaSeesDeletesAndUpdates(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	defer e.Close()
+	loadBoth(t, e, "t", 0, 400)
+	s := e.NewSession()
+	tree := e.GetTree("t")
+	s.Begin()
+	for i := 0; i < 400; i += 4 {
+		if err := tree.Remove(s, k(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 400; i += 4 {
+		if err := tree.Update(s, k(i), []byte("updated")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+	quiesce(t, e)
+
+	p := NewPrimary(e)
+	r, err := p.NewReplica(ReplicaConfig{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	converge(t, r)
+
+	rt, ok := r.Tree("t")
+	if !ok {
+		t.Fatal("tree missing on replica")
+	}
+	for i := 0; i < 400; i++ {
+		got, found, err := rt.Get(k(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case i%4 == 0:
+			if found {
+				t.Fatalf("deleted key %d visible on replica", i)
+			}
+		case i%4 == 1:
+			if !found || !bytes.Equal(got, []byte("updated")) {
+				t.Fatalf("updated key %d: %q %v", i, got, found)
+			}
+		default:
+			if !found || !bytes.Equal(got, v(i)) {
+				t.Fatalf("key %d: %q %v", i, got, found)
+			}
+		}
+	}
+}
+
+func TestReplicaRestartResumes(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	defer e.Close()
+	loadBoth(t, e, "t", 0, 600)
+	quiesce(t, e)
+
+	p := NewPrimary(e)
+	r, err := p.NewReplica(ReplicaConfig{Manual: true, FetchBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partial catch-up: a few small fetches, then stop the replica.
+	for i := 0; i < 5; i++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ssd := r.LocalSSD()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// More primary writes while the replica is down.
+	loadBoth(t, e, "t", 600, 900)
+	quiesce(t, e)
+
+	r2, err := p.NewReplica(ReplicaConfig{Manual: true, SSD: ssd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	converge(t, r2)
+	checkReplicaReads(t, r2, "t", 900)
+
+	// And once more: a clean second restart must also resume.
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := p.NewReplica(ReplicaConfig{Manual: true, SSD: ssd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	converge(t, r3)
+	checkReplicaReads(t, r3, "t", 900)
+}
+
+func TestReplicaBackpressureBoundsPending(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	defer e.Close()
+	loadBoth(t, e, "t", 0, 2000)
+	quiesce(t, e)
+
+	p := NewPrimary(e)
+	// A tiny pending budget: fetches must pause rather than buffer the
+	// whole backlog, and apply must drain the queue so fetching resumes.
+	r, err := p.NewReplica(ReplicaConfig{Manual: true, FetchBytes: 8 << 10, MaxPendingBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for rounds := 0; rounds < 2000; rounds++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, part := range r.parts {
+			if part.pendingBytes > (16<<10)+(8<<10) {
+				t.Fatalf("pending bytes %d blew the budget", part.pendingBytes)
+			}
+		}
+		if r.Lag() == 0 {
+			break
+		}
+	}
+	if r.Lag() != 0 {
+		t.Fatalf("replica never drained its lag (lag %d)", r.Lag())
+	}
+	checkReplicaReads(t, r, "t", 2000)
+}
+
+func TestPipeTransport(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	defer e.Close()
+	loadBoth(t, e, "t", 0, 800)
+	quiesce(t, e)
+
+	p := NewPrimary(e)
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- ServeSource(server, p) }()
+
+	src, err := Dial(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Partitions() != p.Partitions() {
+		t.Fatalf("partitions over pipe: %d, want %d", src.Partitions(), p.Partitions())
+	}
+	if src.MaxGSN() != p.MaxGSN() {
+		t.Fatalf("MaxGSN over pipe: %d, want %d", src.MaxGSN(), p.MaxGSN())
+	}
+	r, err := NewReplica(src, ReplicaConfig{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	converge(t, r)
+	checkReplicaReads(t, r, "t", 800)
+
+	client.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("server exit: %v", err)
+	}
+}
+
+func TestReplicaMetricsExported(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	defer e.Close()
+	loadBoth(t, e, "t", 0, 500)
+	quiesce(t, e)
+
+	p := NewPrimary(e)
+	r, err := p.NewReplica(ReplicaConfig{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	converge(t, r)
+
+	vals := e.ObsRegistry().Snapshot()
+	if vals["repl_shipped_bytes_total"] <= 0 {
+		t.Fatalf("repl_shipped_bytes_total = %v, want > 0", vals["repl_shipped_bytes_total"])
+	}
+	if vals["repl_applied_records_total"] <= 0 {
+		t.Fatalf("repl_applied_records_total = %v, want > 0", vals["repl_applied_records_total"])
+	}
+	if _, ok := vals["repl_lag_gsn"]; !ok {
+		t.Fatal("repl_lag_gsn missing from registry snapshot")
+	}
+	if vals["repl_apply_batch_ns_count"] <= 0 {
+		t.Fatalf("repl_apply_batch_ns_count = %v, want > 0", vals["repl_apply_batch_ns_count"])
+	}
+}
+
+func TestReplicaBackgroundLoop(t *testing.T) {
+	e := mustOpen(t, testCfg())
+	defer e.Close()
+	loadBoth(t, e, "t", 0, 300)
+	quiesce(t, e)
+
+	p := NewPrimary(e)
+	r, err := p.NewReplica(ReplicaConfig{Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Lag() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if r.Lag() > 0 {
+		t.Fatalf("background replica stuck at lag %d (err %v)", r.Lag(), r.Err())
+	}
+	checkReplicaReads(t, r, "t", 300)
+}

@@ -1,0 +1,575 @@
+package repl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/dev"
+	"repro/internal/iosched"
+	"repro/internal/wal"
+)
+
+// ReplicaConfig tunes one replica.
+type ReplicaConfig struct {
+	// SSD is the replica's local device, holding its WAL copy (and, on
+	// restart, resuming from it). Nil creates a fresh device.
+	SSD *dev.SSD
+	// Interval is the fetch/apply loop period (default 2ms).
+	Interval time.Duration
+	// FetchBytes bounds one ShipRead (default 256 KiB).
+	FetchBytes int
+	// MaxPendingBytes is the per-partition decoded-but-unapplied budget:
+	// fetching pauses for a partition that exceeds it until apply catches
+	// up. This is the bounded-lag backpressure (default 4 MiB).
+	MaxPendingBytes int
+	// SegmentSize rotates local segment files (default 4 MiB).
+	SegmentSize int
+	// Threads parallelizes the restart log scan (default 2).
+	Threads int
+	// Manual disables the background loop; the owner calls Step directly
+	// (tests and the harness use this for deterministic pacing).
+	Manual bool
+}
+
+func (c *ReplicaConfig) fillDefaults() {
+	if c.SSD == nil {
+		c.SSD = dev.NewSSD()
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.FetchBytes <= 0 {
+		c.FetchBytes = 256 << 10
+	}
+	if c.MaxPendingBytes <= 0 {
+		c.MaxPendingBytes = 4 << 20
+	}
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 4 << 20
+	}
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+}
+
+// Snapshot is an immutable page-image snapshot at a GSN horizon. Readers pin
+// one and descend without latches; the apply loop publishes successors
+// copy-on-write, never mutating a published page.
+type Snapshot struct {
+	Horizon base.GSN
+	pages   map[base.PageID][]byte
+
+	treesOnce sync.Once
+	trees     map[string]base.PageID // tree name → meta PID, from the catalog
+}
+
+func (s *Snapshot) resolve(pid base.PageID) []byte { return s.pages[pid] }
+
+// treeMeta resolves a tree name via the replicated catalog (meta page ID 1,
+// 16-byte entries {tree ID, meta PID} — mirroring core's openCatalog).
+func (s *Snapshot) treeMeta(name string) (base.PageID, bool) {
+	s.treesOnce.Do(func() {
+		s.trees = make(map[string]base.PageID)
+		if s.pages[1] == nil {
+			return
+		}
+		_ = btree.ImageScan(s.resolve, 1, nil, func(k, v []byte) bool {
+			if len(v) == 16 {
+				s.trees[string(k)] = base.PageID(leUint64(v[8:]))
+			}
+			return true
+		})
+	})
+	pid, ok := s.trees[name]
+	return pid, ok
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// replPart is one partition's stream state, owned by the apply loop.
+type replPart struct {
+	id     int
+	cursor wal.ShipCursor
+	dec    wal.ShipDecoder
+
+	// pending holds decoded redo records (cloned, GSN-ascending) not yet
+	// applied; pendingBytes approximates their memory for backpressure.
+	pending      []wal.Record
+	pendingBytes int
+	// lastGSN is the GSN of the last decoded record (applied or not): this
+	// partition's contribution to the replica horizon.
+	lastGSN base.GSN
+
+	seg      *dev.File
+	segNo    int
+	segAt    int64
+	segDirty bool
+}
+
+// Replica pulls the primary's log, persists it locally, applies it to a
+// copy-on-write page snapshot, and serves reads at the applied horizon.
+type Replica struct {
+	cfg   ReplicaConfig
+	src   Source
+	ssd   *dev.SSD
+	sched *iosched.Scheduler
+	sink  applySink // optional (direct attachment to a Primary)
+
+	parts []*replPart
+	snap  atomic.Pointer[Snapshot]
+
+	horizon  atomic.Uint64 // published applied GSN horizon
+	marker   base.GSN      // last persisted marker (loop-owned)
+	applied  atomic.Uint64 // records applied
+	shipErr  atomic.Pointer[error]
+	stepMu   sync.Mutex // serializes Step with Close's final drain
+	stop     chan struct{}
+	done     chan struct{}
+	closed   atomic.Bool
+	promoted bool
+
+	// Read service-time model: every point read charges one page-sized
+	// device read at page-read priority against the replica's own SSD, so
+	// replica read capacity is bounded by its device like the primary's
+	// cold reads are — not by the absence of I/O in a page-image lookup.
+	readModel *dev.File
+	pageBufs  sync.Pool
+}
+
+// NewReplica builds a replica over src. If cfg.SSD holds a previous
+// incarnation's log copy, the replica resumes: it replays the local log into
+// a fresh snapshot, re-derives each partition's ship cursor and mid-chunk
+// decoder state, and continues pulling where it left off.
+func NewReplica(src Source, cfg ReplicaConfig) (*Replica, error) {
+	return newReplica(src, cfg, nil)
+}
+
+// newReplica takes the sink up front: the background loop reads it, so it
+// must be in place before the goroutine starts.
+func newReplica(src Source, cfg ReplicaConfig, sink applySink) (*Replica, error) {
+	cfg.fillDefaults()
+	r := &Replica{
+		cfg:   cfg,
+		src:   src,
+		sink:  sink,
+		ssd:   cfg.SSD,
+		sched: iosched.New(iosched.Config{}),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	r.pageBufs.New = func() any { return make([]byte, base.PageSize) }
+	r.readModel = r.ssd.Open("readmodel")
+	if err := r.sched.WriteWait(iosched.ClassRepl, r.readModel, make([]byte, base.PageSize), 0, 4); err != nil {
+		r.sched.Close()
+		return nil, fmt.Errorf("repl: init read model: %w", err)
+	}
+	for i := 0; i < src.Partitions(); i++ {
+		r.parts = append(r.parts, &replPart{id: i})
+	}
+	r.snap.Store(&Snapshot{pages: map[base.PageID][]byte{}})
+
+	if err := r.resumeLocal(); err != nil {
+		r.sched.Close()
+		return nil, err
+	}
+	if cfg.Manual {
+		close(r.done)
+	} else {
+		go r.run()
+	}
+	return r, nil
+}
+
+// resumeLocal rebuilds snapshot, cursors, and decoder state from the local
+// log copy after a replica restart.
+func (r *Replica) resumeLocal() error {
+	if len(r.ssd.List("wal/p")) == 0 {
+		return nil
+	}
+	parts, _, _, err := wal.ScanLog(r.ssd, nil, r.sched, r.cfg.Threads)
+	if err != nil {
+		return fmt.Errorf("repl: restart scan of local log: %w", err)
+	}
+	resume, err := wal.LoadShipResume(r.ssd, r.sched)
+	if err != nil {
+		return fmt.Errorf("repl: restart resume state: %w", err)
+	}
+	for _, p := range r.parts {
+		if recs := parts[p.id]; len(recs) > 0 {
+			p.lastGSN = recs[len(recs)-1].GSN
+			for i := range recs {
+				r.bufferRecord(p, &recs[i])
+			}
+		}
+		if rs, ok := resume[p.id]; ok {
+			p.cursor = rs.Cursor
+			for _, e := range rs.Tail {
+				if err := p.dec.Feed(e, func(*wal.Record) error { return nil }); err != nil {
+					return fmt.Errorf("repl: decoder warm-up of partition %d: %w", p.id, err)
+				}
+			}
+		}
+		// Resume local segment numbering past existing files.
+		for _, name := range r.ssd.List("wal/p") {
+			if part, segNo, ok := wal.ParseShipSegment(name); ok && part == p.id && segNo > p.segNo {
+				p.segNo = segNo
+			}
+		}
+	}
+	r.applyReady()
+	return nil
+}
+
+// redoRecord reports whether rec mutates a page image (mirrors the redo
+// filter of recovery's analysis pass).
+func redoRecord(rec *wal.Record) bool {
+	switch rec.Type {
+	case wal.RecCommit, wal.RecAbortEnd, wal.RecValue, wal.RecLift:
+		return false
+	}
+	return rec.Page != 0
+}
+
+// bufferRecord clones rec into p's pending queue if it carries redo work.
+func (r *Replica) bufferRecord(p *replPart, rec *wal.Record) {
+	if !redoRecord(rec) {
+		return
+	}
+	p.pending = append(p.pending, wal.CloneRecord(rec))
+	p.pendingBytes += 64 + len(rec.Key) + len(rec.Before) + len(rec.After) + len(rec.Payload)
+}
+
+func (r *Replica) run() {
+	defer close(r.done)
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	// Durability (segment sync + marker) runs on a slower cadence than
+	// fetch/apply: it costs device commands on the replica's SSD that would
+	// otherwise starve reads, and losing it only means refetching the
+	// unsynced suffix after a replica crash.
+	lastSync := time.Now()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.stepMu.Lock()
+			err := r.fetchRound()
+			if err == nil && time.Since(lastSync) >= syncCadence {
+				err = r.finalize()
+				lastSync = time.Now()
+			}
+			r.stepMu.Unlock()
+			if err != nil {
+				e := err
+				r.shipErr.Store(&e)
+				return
+			}
+		}
+	}
+}
+
+// syncCadence paces background local-durability rounds.
+const syncCadence = 25 * time.Millisecond
+
+// Step runs one full fetch→persist→apply→sync→marker round (Manual mode and
+// tests; the background loop paces durability separately).
+func (r *Replica) Step() error {
+	r.stepMu.Lock()
+	defer r.stepMu.Unlock()
+	if err := r.fetchRound(); err != nil {
+		return err
+	}
+	return r.finalize()
+}
+
+// fetchRound pulls the next log extents of every partition, persists them
+// locally (unsynced), and applies what the horizon admits.
+func (r *Replica) fetchRound() error {
+	for _, p := range r.parts {
+		if p.pendingBytes >= r.cfg.MaxPendingBytes {
+			continue // backpressure: let apply drain before fetching more
+		}
+		extents, next, err := r.src.Read(p.id, p.cursor, r.cfg.FetchBytes)
+		if err != nil {
+			return fmt.Errorf("repl: ship read of partition %d: %w", p.id, err)
+		}
+		for _, e := range extents {
+			if err := p.dec.Feed(e, func(rec *wal.Record) error {
+				p.lastGSN = rec.GSN
+				r.bufferRecord(p, rec)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := r.persistExtent(p, e); err != nil {
+				return err
+			}
+		}
+		p.cursor = next
+	}
+	r.applyReady()
+	return nil
+}
+
+// finalize makes everything fetched so far locally durable and persists the
+// marker at the applied horizon. It never talks to the source, so it also
+// runs as the last act of Close — including after the primary died (the
+// promote-on-crash path).
+func (r *Replica) finalize() error {
+	// Local durability before the horizon may cover the new records.
+	for _, p := range r.parts {
+		if p.segDirty {
+			if err := r.sched.SyncWait(iosched.ClassRepl, p.seg, 16); err != nil {
+				return fmt.Errorf("repl: local segment sync: %w", err)
+			}
+			p.segDirty = false
+		}
+	}
+	r.applyReady()
+	if h := base.GSN(r.horizon.Load()); h > r.marker {
+		if err := wal.WriteShipMarker(r.sched, r.ssd, h); err != nil {
+			return fmt.Errorf("repl: marker write: %w", err)
+		}
+		r.marker = h
+	}
+	return nil
+}
+
+// persistExtent appends e to the replica's local segment chain (same file
+// layout as the primary, so the standard log scan recovers it).
+func (r *Replica) persistExtent(p *replPart, e wal.ShipExtent) error {
+	if p.seg == nil || p.segAt >= int64(r.cfg.SegmentSize) {
+		p.segNo++
+		p.seg = r.ssd.Open(wal.ShipSegmentName(p.id, p.segNo))
+		p.segAt = 0
+	}
+	at, err := wal.AppendShipBlock(r.sched, p.seg, p.segAt, e, p.lastGSN)
+	if err != nil {
+		return fmt.Errorf("repl: local log append: %w", err)
+	}
+	p.segAt = at
+	p.segDirty = true
+	return nil
+}
+
+// applyReady applies every pending record with GSN ≤ the replica horizon
+// H = min over partitions of the last decoded GSN. Per-partition GSNs are
+// strictly increasing and the shipped prefix is gap-free, so every record
+// with GSN ≤ H has been decoded (the same argument recovery uses for its
+// stable-horizon lift; idle partitions advance via the primary's lift
+// records). The snapshot therefore steps from one prefix-consistent horizon
+// to the next.
+func (r *Replica) applyReady() {
+	h := base.GSN(0)
+	for i, p := range r.parts {
+		if i == 0 || p.lastGSN < h {
+			h = p.lastGSN
+		}
+	}
+	cur := r.snap.Load()
+	if h <= cur.Horizon {
+		return
+	}
+	start := time.Now()
+	byPage := make(map[base.PageID][]wal.Record)
+	applied := 0
+	for _, p := range r.parts {
+		n := 0
+		for n < len(p.pending) && p.pending[n].GSN <= h {
+			rec := p.pending[n]
+			byPage[rec.Page] = append(byPage[rec.Page], rec)
+			r.trimPending(p, &rec)
+			n++
+		}
+		if n > 0 {
+			rest := p.pending[n:]
+			p.pending = append(p.pending[:0:cap(p.pending)], rest...)
+		}
+	}
+	pages := cur.pages
+	if len(byPage) > 0 {
+		pages = make(map[base.PageID][]byte, len(cur.pages)+len(byPage))
+		for pid, img := range cur.pages {
+			pages[pid] = img
+		}
+		for pid, recs := range byPage {
+			// Records from different partitions merge here; apply in GSN
+			// order (the dirty-table idiom: cheap sorted-check first).
+			if !sort.SliceIsSorted(recs, func(i, j int) bool { return recs[i].GSN < recs[j].GSN }) {
+				sort.SliceStable(recs, func(i, j int) bool { return recs[i].GSN < recs[j].GSN })
+			}
+			img := make([]byte, base.PageSize)
+			if old := pages[pid]; old != nil {
+				copy(img, old)
+			}
+			applied += applyToImage(img, recs)
+			pages[pid] = img
+		}
+	}
+	next := &Snapshot{Horizon: h, pages: pages}
+	r.snap.Store(next)
+	r.horizon.Store(uint64(h))
+	r.applied.Add(uint64(applied))
+	if r.sink != nil {
+		r.sink.observeApply(time.Since(start), applied)
+	}
+}
+
+func (r *Replica) trimPending(p *replPart, rec *wal.Record) {
+	p.pendingBytes -= 64 + len(rec.Key) + len(rec.Before) + len(rec.After) + len(rec.Payload)
+	if p.pendingBytes < 0 {
+		p.pendingBytes = 0
+	}
+}
+
+// applyToImage mirrors recovery's redo apply: per-page GSN check for
+// idempotence, fresh-page identity initialization, then the physiological
+// redo. Keeping these identical is what makes a promoted replica's recovery
+// byte-equivalent to single-node recovery over the same log prefix.
+func applyToImage(img []byte, recs []wal.Record) int {
+	applied := 0
+	for i := range recs {
+		rec := &recs[i]
+		if rec.GSN <= buffer.PageGSN(img) {
+			continue // image already contains this change
+		}
+		if buffer.PageID(img) == 0 {
+			buffer.SetPageID(img, rec.Page)
+			buffer.SetTreeID(img, rec.Tree)
+			buffer.SetHeapStart(img, base.PageSize)
+			if rec.Type == wal.RecSetRoot {
+				buffer.SetPageType(img, buffer.PageMeta)
+			}
+		}
+		if err := btree.ApplyRecord(img, rec); err != nil {
+			panic(err) // invariant violation: shipped redo must succeed
+		}
+		applied++
+	}
+	return applied
+}
+
+// Horizon returns the replica's applied GSN horizon.
+func (r *Replica) Horizon() base.GSN { return base.GSN(r.horizon.Load()) }
+
+// Lag returns the replica's distance from the primary's append horizon in
+// GSN ticks.
+func (r *Replica) Lag() base.GSN {
+	head := r.src.MaxGSN()
+	if h := r.Horizon(); head > h {
+		return head - h
+	}
+	return 0
+}
+
+// Err reports a terminal replication error (nil while healthy).
+func (r *Replica) Err() error {
+	if e := r.shipErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Snapshot pins the current snapshot. It never changes; successors are
+// published copy-on-write.
+func (r *Replica) Snapshot() *Snapshot { return r.snap.Load() }
+
+// chargeRead bills one page-sized device read (the service-time model for a
+// leaf fetch; see the Replica doc comment).
+func (r *Replica) chargeRead() error {
+	buf := r.pageBufs.Get().([]byte)
+	_, err := r.sched.ReadWait(iosched.ClassPageRead, r.readModel, buf, 0, 4)
+	r.pageBufs.Put(buf)
+	return err
+}
+
+// Tree is a read handle on one replicated tree.
+type Tree struct {
+	r    *Replica
+	name string
+}
+
+// Tree resolves a tree by catalog name at the current horizon.
+func (r *Replica) Tree(name string) (*Tree, bool) {
+	if _, ok := r.Snapshot().treeMeta(name); !ok {
+		return nil, false
+	}
+	return &Tree{r: r, name: name}, true
+}
+
+// Get fetches the value for key at the replica's current horizon, appending
+// to dst. The result is a copy.
+func (t *Tree) Get(key, dst []byte) ([]byte, bool, error) {
+	snap := t.r.Snapshot()
+	meta, ok := snap.treeMeta(t.name)
+	if !ok {
+		return nil, false, fmt.Errorf("repl: tree %q vanished from catalog", t.name)
+	}
+	if err := t.r.chargeRead(); err != nil {
+		return nil, false, err
+	}
+	return btree.ImageGet(snap.resolve, meta, key, dst)
+}
+
+// Scan iterates ascending from start at the replica's current horizon; fn's
+// slices alias the pinned snapshot.
+func (t *Tree) Scan(start []byte, fn func(k, v []byte) bool) error {
+	snap := t.r.Snapshot()
+	meta, ok := snap.treeMeta(t.name)
+	if !ok {
+		return fmt.Errorf("repl: tree %q vanished from catalog", t.name)
+	}
+	if err := t.r.chargeRead(); err != nil {
+		return err
+	}
+	return btree.ImageScan(snap.resolve, meta, start, fn)
+}
+
+// Count returns the number of entries at the replica's current horizon.
+func (t *Tree) Count() (int, error) {
+	snap := t.r.Snapshot()
+	meta, ok := snap.treeMeta(t.name)
+	if !ok {
+		return 0, fmt.Errorf("repl: tree %q vanished from catalog", t.name)
+	}
+	if err := t.r.chargeRead(); err != nil {
+		return 0, err
+	}
+	return btree.ImageCount(snap.resolve, meta)
+}
+
+// Close stops the apply loop, runs a final persist round so everything
+// fetched is locally durable with the marker at the applied horizon, and
+// releases the replica's scheduler. The local SSD remains, ready for a
+// restart or promotion.
+func (r *Replica) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(r.stop)
+	<-r.done
+	var err error
+	if r.Err() == nil {
+		r.stepMu.Lock()
+		err = r.finalize()
+		r.stepMu.Unlock()
+	}
+	if r.sink != nil {
+		r.sink.detach(r)
+	}
+	r.sched.Close()
+	return err
+}
+
+// LocalSSD exposes the replica's local device (tests and promotion).
+func (r *Replica) LocalSSD() *dev.SSD { return r.ssd }

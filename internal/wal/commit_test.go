@@ -218,7 +218,7 @@ func TestCommitWaitStats(t *testing.T) {
 	m.AcquireOwnership(1)
 	m.CommitTxn(1, 2, g1, false) // remote-flush synchronous wait
 	m.ReleaseOwnership(1)
-	st := m.CommitWaitStats()
+	st := m.Stats().CommitWait
 	if st.RFA.Count() != 1 || st.Remote.Count() != 1 {
 		t.Fatalf("commit-wait histograms: rfa=%d remote=%d, want 1/1",
 			st.RFA.Count(), st.Remote.Count())

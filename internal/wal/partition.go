@@ -77,6 +77,14 @@ type Partition struct {
 	hdrSlab      []byte
 	hdrUsed      int
 
+	// Ship block index (guarded by stageMu), lazily seeded on the first
+	// ShipRead: one ref per staged block, in (seq, chunk offset) order.
+	// Only the prefix shipRefs[:shipDurable] — blocks past their sync
+	// barrier — may be served to replicas; see ship.go.
+	shipRefs    []shipBlockRef
+	shipDurable int
+	shipSeeded  bool
+
 	// Owner-only state.
 	encCtx  codecContext
 	scratch []byte
@@ -401,6 +409,12 @@ func (p *Partition) stageChunkLocked(ch *Chunk, upTo int, maxGSN base.GSN) {
 	p.cycle = append(p.cycle,
 		sched.Write(iosched.ClassWAL, seg.file, hdr, seg.size, walRetries),
 		sched.Write(iosched.ClassWAL, seg.file, payload, seg.size+blockHeaderSize, walRetries))
+	if p.shipSeeded {
+		p.shipRefs = append(p.shipRefs, shipBlockRef{
+			seq: ch.Seq, off: ch.stagedPos, n: len(payload),
+			file: seg.file, pos: seg.size + blockHeaderSize,
+		})
+	}
 	seg.size += int64(blockHeaderSize + len(payload))
 	if maxGSN > seg.maxGSN {
 		seg.maxGSN = maxGSN
@@ -476,6 +490,8 @@ func (p *Partition) syncSegmentsLocked() {
 		}
 	}
 	p.syncReqs = p.syncReqs[:0]
+	// Every indexed block is now past its sync barrier and shippable.
+	p.shipDurable = len(p.shipRefs)
 	// Rotate the active segment once it is large enough, so pruning can
 	// remove whole files.
 	if len(p.segs) > 0 {

@@ -1,0 +1,475 @@
+package wal
+
+// Log shipping (primary side). Replication pulls the durable log: a replica
+// (or the repl package's shipper on its behalf) repeatedly calls
+// Manager.ShipRead with a per-partition cursor and receives the next run of
+// durable, record-aligned log bytes — staged stage-2 blocks re-read from the
+// segment files at replication I/O priority, plus, in PersistPMem mode, the
+// flushed tail of the current stage-1 chunk copied straight out of memory.
+//
+// The pull model is what bounds the primary's exposure: there is no
+// per-replica send queue to overflow, a slow replica simply reads older
+// blocks from the SSD (the same bytes recovery would read), and the only
+// primary-side state is a per-partition index of staged blocks maintained
+// under the existing staging mutex.
+//
+// Cursor protocol. A cursor (chunk seq, chunk offset) always rests on a
+// record boundary: block boundaries are record-aligned by construction
+// (staging copies published record bytes), and the PMem flushed watermark
+// only ever lands on a published record end. Extents for one partition are
+// contiguous in (seq, off) order; a seq advance restarts at the chunk header
+// size and resets the codec context (see ShipDecoder). The zero cursor binds
+// to the start of the partition's durable history.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+	"repro/internal/iosched"
+)
+
+// ShipCursor addresses a replica's position in one partition's chunk stream:
+// the next byte to ship is chunk Seq at chunk offset Off. The zero cursor is
+// unbound and binds to the start of the partition's durable history on the
+// first ShipRead.
+type ShipCursor struct {
+	Seq uint64
+	Off int
+}
+
+func (c ShipCursor) zero() bool { return c.Seq == 0 && c.Off == 0 }
+
+// Less orders cursor positions within one partition.
+func (c ShipCursor) Less(o ShipCursor) bool {
+	if c.Seq != o.Seq {
+		return c.Seq < o.Seq
+	}
+	return c.Off < o.Off
+}
+
+// ShipExtent is one contiguous, record-aligned run of durable log bytes of
+// one chunk. Data is a fresh copy owned by the receiver.
+type ShipExtent struct {
+	Part int
+	Seq  uint64
+	Off  int
+	Data []byte
+}
+
+// Ship errors. ErrShipHistory is permanent (the replica cannot be
+// bootstrapped from this primary's log alone); ErrShipGap indicates a
+// cursor pointing at bytes the index no longer covers.
+var (
+	ErrShipGap = errors.New("wal: ship cursor points at log bytes missing from the segment index")
+
+	ErrShipHistory = errors.New("wal: log history does not reach back to an empty database " +
+		"(a previous generation was pruned without archiving); seed the replica from a backup instead")
+)
+
+// shipBlockRef locates one staged stage-2 block: which chunk byte range it
+// carries and where its payload sits on the SSD. File handles stay readable
+// after pruning removes a segment from the namespace (open-unlink
+// semantics), so refs never need repair; the archive copy exists for
+// restarts.
+type shipBlockRef struct {
+	seq  uint64
+	off  int // chunk offset of the first payload byte
+	n    int
+	file *dev.File
+	pos  int64 // file offset of the payload (past the block header)
+}
+
+func (r shipBlockRef) end() int { return r.off + r.n }
+
+// seedShipLocked builds the partition's ship block index from its on-SSD
+// segments, live and archived. It first completes and syncs the in-flight
+// staging cycle so every block submitted so far is durable and visible to
+// the scan; blocks staged afterwards index themselves in stageChunkLocked.
+// Caller holds stageMu.
+func (p *Partition) seedShipLocked() error {
+	p.syncSegmentsLocked()
+
+	ssd := p.mgr.cfg.SSD
+	sched := p.mgr.sched
+	var refs []shipBlockRef
+	salvageOf := make(map[uint64]*shipBlockRef)
+
+	scanPrefix := func(prefix string) error {
+		for _, name := range ssd.List(prefix) {
+			if _, ok := parseSegSuffix(name, prefix); !ok {
+				continue
+			}
+			f := ssd.Open(name)
+			size := f.Size()
+			var hdr [blockHeaderSize]byte
+			for pos := int64(0); pos+blockHeaderSize <= size; {
+				if _, err := sched.ReadWait(iosched.ClassRepl, f, hdr[:], pos, walRetries); err != nil {
+					return fmt.Errorf("wal: ship index scan of %s: %w", name, err)
+				}
+				if binary.LittleEndian.Uint32(hdr[:]) != blockMagic {
+					break
+				}
+				n := int(binary.LittleEndian.Uint32(hdr[4:]))
+				seq := binary.LittleEndian.Uint64(hdr[8:])
+				off := int(binary.LittleEndian.Uint32(hdr[16:]))
+				if pos+int64(blockHeaderSize+n) > size {
+					break // torn tail (crashed old generation)
+				}
+				ref := shipBlockRef{seq: seq, off: off, n: n, file: f, pos: pos + blockHeaderSize}
+				if off == salvagedChunkOff {
+					// A salvaged chunk image covers the chunk's full decodable
+					// prefix from the start; it supersedes any partially
+					// staged blocks of the same seq (mergeSources precedence).
+					ref.off = chunkHeaderSize
+					salvageOf[seq] = &ref
+				} else {
+					refs = append(refs, ref)
+				}
+				pos += int64(blockHeaderSize + n)
+			}
+		}
+		return nil
+	}
+	dir := fmt.Sprintf("wal/p%03d/", p.ID)
+	if err := scanPrefix(dir); err != nil {
+		return err
+	}
+	if err := scanPrefix(ArchivePrefix + dir); err != nil {
+		return err
+	}
+	if len(salvageOf) > 0 {
+		kept := refs[:0]
+		for _, r := range refs {
+			if salvageOf[r.seq] == nil {
+				kept = append(kept, r)
+			}
+		}
+		refs = kept
+		for _, r := range salvageOf {
+			refs = append(refs, *r)
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].seq != refs[j].seq {
+			return refs[i].seq < refs[j].seq
+		}
+		return refs[i].off < refs[j].off
+	})
+	p.shipRefs = refs
+	p.shipDurable = len(refs)
+	p.shipSeeded = true
+	return nil
+}
+
+// consumedAllRefsLocked reports whether c sits at or past the end of every
+// indexed block (durable or still in the staging cycle). Caller holds
+// stageMu.
+func (p *Partition) consumedAllRefsLocked(c ShipCursor) bool {
+	if len(p.shipRefs) == 0 {
+		return true
+	}
+	last := p.shipRefs[len(p.shipRefs)-1]
+	return c.Seq > last.seq || (c.Seq == last.seq && c.Off >= last.end())
+}
+
+// ShipRead copies the next run of durable log bytes of partition part,
+// starting at cur, into freshly allocated extents, and returns the advanced
+// cursor. It returns no extents (and possibly an advanced cursor) when the
+// cursor has caught up with the durable horizon; the caller polls. maxBytes
+// soft-bounds the returned payload at block granularity (at least one block
+// is always returned when available; <= 0 means 1 MiB).
+//
+// Only durable bytes are served: staged blocks past their sync barrier, and
+// in PersistPMem mode the flushed prefix of the current chunk. A replica can
+// therefore never observe records the primary would lose in a crash.
+func (m *Manager) ShipRead(part int, cur ShipCursor, maxBytes int) ([]ShipExtent, ShipCursor, error) {
+	if part < 0 || part >= len(m.parts) {
+		return nil, cur, fmt.Errorf("wal: ShipRead of unknown partition %d", part)
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	p := m.parts[part]
+
+	// In PMem mode sealed chunks wait in fullC until capacity pressure
+	// stages them — which on a lightly loaded primary may be never. The ship
+	// path stages them itself so the stream can pass chunk seals; the sync
+	// below then admits the new blocks to the durable (servable) prefix.
+	if len(p.fullC) > 0 {
+		p.stageAll(false)
+	}
+
+	type plannedRead struct {
+		ref  shipBlockRef
+		skip int // bytes of the block before the cursor
+	}
+	var plans []plannedRead
+	var tail *ShipExtent
+
+	p.stageMu.Lock()
+	if !p.shipSeeded {
+		if err := p.seedShipLocked(); err != nil {
+			p.stageMu.Unlock()
+			return nil, cur, err
+		}
+	} else if p.shipDurable < len(p.shipRefs) {
+		p.syncSegmentsLocked()
+	}
+	refs := p.shipRefs[:p.shipDurable]
+
+	if cur.zero() {
+		// Bind to the start of durable history. A complete history starts at
+		// the very first chunk of the very first generation: seq floors make
+		// chunk seqs strictly increasing across generations, so seq 1 at the
+		// chunk header is the only valid origin.
+		if len(refs) > 0 {
+			first := refs[0]
+			if first.seq != 1 || first.off != chunkHeaderSize {
+				p.stageMu.Unlock()
+				return nil, cur, ErrShipHistory
+			}
+			cur = ShipCursor{Seq: first.seq, Off: chunkHeaderSize}
+		} else {
+			if len(p.fullC) > 0 {
+				// Sealed chunks are waiting to be staged; bind once indexed.
+				p.stageMu.Unlock()
+				return nil, cur, nil
+			}
+			ch := p.cur.Load()
+			if ch.Seq != m.cfg.ChunkSeqFloor+1 || m.cfg.ChunkSeqFloor != 0 {
+				// Nothing on SSD but the partition is past its first chunk:
+				// earlier chunks existed and are gone.
+				p.stageMu.Unlock()
+				return nil, cur, ErrShipHistory
+			}
+			cur = ShipCursor{Seq: ch.Seq, Off: chunkHeaderSize}
+		}
+	}
+
+	// Consume indexed blocks from the cursor forward.
+	idx := sort.Search(len(refs), func(i int) bool {
+		r := refs[i]
+		if r.seq != cur.Seq {
+			return r.seq > cur.Seq
+		}
+		return r.end() > cur.Off
+	})
+	c := cur
+	total := 0
+	for idx < len(refs) && total < maxBytes {
+		r := refs[idx]
+		switch {
+		case r.seq == c.Seq && r.off <= c.Off:
+			// Continues (or contains) the cursor within the same chunk.
+		case r.seq > c.Seq && r.off == chunkHeaderSize:
+			// Staging is strictly chunk-ordered, so a block of a later chunk
+			// proves chunk c.Seq was fully staged and — since the cursor only
+			// rests on consumed-block boundaries — fully shipped.
+			c = ShipCursor{Seq: r.seq, Off: chunkHeaderSize}
+		default:
+			p.stageMu.Unlock()
+			return nil, cur, ErrShipGap
+		}
+		plans = append(plans, plannedRead{ref: r, skip: c.Off - r.off})
+		total += r.end() - c.Off
+		c = ShipCursor{Seq: r.seq, Off: r.end()}
+		idx++
+	}
+
+	// Tail of the current stage-1 chunk (PersistPMem only: in DRAM mode the
+	// chunk is not durable until staged). The copy happens under stageMu —
+	// the region cannot be recycled while we hold it.
+	if total < maxBytes && m.cfg.PersistMode == PersistPMem {
+		ch := p.cur.Load()
+		if c.Seq < ch.Seq && len(p.fullC) == 0 && p.consumedAllRefsLocked(c) {
+			// Every chunk before the current one is staged, indexed, and
+			// consumed: advance onto the current chunk.
+			c = ShipCursor{Seq: ch.Seq, Off: chunkHeaderSize}
+		}
+		if c.Seq == ch.Seq {
+			if e := int(ch.Region.Flushed()); e > c.Off {
+				tail = &ShipExtent{
+					Part: part, Seq: c.Seq, Off: c.Off,
+					Data: append([]byte(nil), ch.Region.Bytes()[c.Off:e]...),
+				}
+				c.Off = e
+			}
+		}
+	}
+	p.stageMu.Unlock()
+
+	// Block payload reads run outside the staging mutex: segment files are
+	// append-only, and planned refs are past their sync barrier, so the
+	// bytes are immutable.
+	extents := make([]ShipExtent, 0, len(plans)+1)
+	for _, pl := range plans {
+		buf := make([]byte, pl.ref.n)
+		if _, err := m.sched.ReadWait(iosched.ClassRepl, pl.ref.file, buf, pl.ref.pos, walRetries); err != nil {
+			return nil, cur, fmt.Errorf("wal: ship read of partition %d block (%d,%d): %w",
+				part, pl.ref.seq, pl.ref.off, err)
+		}
+		extents = append(extents, ShipExtent{
+			Part: part, Seq: pl.ref.seq, Off: pl.ref.off + pl.skip, Data: buf[pl.skip:],
+		})
+	}
+	if tail != nil {
+		extents = append(extents, *tail)
+	}
+	return extents, c, nil
+}
+
+// ShipDecoder decodes one partition's shipped record stream, maintaining
+// codec-context continuity within a chunk (records are delta-encoded against
+// their predecessors; the context resets at chunk boundaries, mirroring the
+// append side). Feed extents strictly in cursor order.
+type ShipDecoder struct {
+	bound bool
+	seq   uint64
+	off   int
+	ctx   codecContext
+}
+
+// Pos returns the decoder's current stream position (next expected extent).
+func (d *ShipDecoder) Pos() ShipCursor { return ShipCursor{Seq: d.seq, Off: d.off} }
+
+// Feed decodes every record of e in order, invoking fn for each. Decoded
+// records (and their slices) alias e.Data; fn must copy what it retains
+// beyond the buffer's lifetime. An out-of-order or undecodable extent is a
+// protocol violation and returns an error with the stream position.
+func (d *ShipDecoder) Feed(e ShipExtent, fn func(*Record) error) error {
+	switch {
+	case !d.bound:
+		if e.Off != chunkHeaderSize {
+			return fmt.Errorf("wal: ship decoder bound mid-chunk at (%d,%d)", e.Seq, e.Off)
+		}
+		d.bound, d.seq, d.off = true, e.Seq, chunkHeaderSize
+	case e.Seq == d.seq:
+		if e.Off != d.off {
+			return fmt.Errorf("wal: ship extent gap: stream at (%d,%d), extent at (%d,%d)",
+				d.seq, d.off, e.Seq, e.Off)
+		}
+	case e.Seq > d.seq:
+		if e.Off != chunkHeaderSize {
+			return fmt.Errorf("wal: ship extent gap: stream at (%d,%d), extent at (%d,%d)",
+				d.seq, d.off, e.Seq, e.Off)
+		}
+		d.seq, d.off = e.Seq, chunkHeaderSize
+		d.ctx.reset()
+	default:
+		return fmt.Errorf("wal: ship extent went backwards: stream at (%d,%d), extent at (%d,%d)",
+			d.seq, d.off, e.Seq, e.Off)
+	}
+	pos := 0
+	for pos < len(e.Data) {
+		rec, n, err := decode(e.Data[pos:], &d.ctx)
+		if err != nil {
+			return fmt.Errorf("wal: undecodable shipped bytes at (%d,%d): %w", d.seq, d.off+pos, err)
+		}
+		if err := fn(&rec); err != nil {
+			return err
+		}
+		pos += n
+	}
+	d.off += len(e.Data)
+	return nil
+}
+
+// AppendShipBlock appends e as one stage-2 block at offset at of f (a
+// replica's local segment file, named like the primary's so wal.ScanLog can
+// replay it on restart and core.Open can recover it on promotion). The write
+// is issued at replication I/O priority and waited; the caller batches syncs.
+// Returns the new end-of-file offset.
+func AppendShipBlock(sched *iosched.Scheduler, f *dev.File, at int64, e ShipExtent, maxGSN base.GSN) (int64, error) {
+	buf := make([]byte, blockHeaderSize+len(e.Data))
+	binary.LittleEndian.PutUint32(buf[0:], blockMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(e.Data)))
+	binary.LittleEndian.PutUint64(buf[8:], e.Seq)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(e.Off))
+	binary.LittleEndian.PutUint32(buf[20:], 0)
+	binary.LittleEndian.PutUint64(buf[24:], uint64(maxGSN))
+	copy(buf[blockHeaderSize:], e.Data)
+	if err := sched.WriteWait(iosched.ClassRepl, f, buf, at, walRetries); err != nil {
+		return at, err
+	}
+	return at + int64(len(buf)), nil
+}
+
+// ShipSegmentName names a replica-local segment file, matching the
+// primary-side layout so the replica's store is recoverable by ScanLog.
+func ShipSegmentName(part int, segNo int) string {
+	return fmt.Sprintf("wal/p%03d/seg%08d", part, segNo)
+}
+
+// ParseShipSegment is the inverse of ShipSegmentName (live namespace only).
+func ParseShipSegment(name string) (part, segNo int, ok bool) {
+	return parseSegName(name)
+}
+
+// WriteShipMarker persists gsn as the stable-GSN marker on a replica's local
+// device. The replica's applied horizon is a sound stable horizon: every
+// record with GSN <= horizon is locally durable, and the horizon only covers
+// GSNs that were durable on every primary partition (ShipRead serves durable
+// bytes only), so any commit at or below it satisfied the group-commit
+// durability rule on the primary.
+func WriteShipMarker(sched *iosched.Scheduler, ssd *dev.SSD, gsn base.GSN) error {
+	f := ssd.Open(markerFileName)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(gsn))
+	if err := sched.WriteWait(iosched.ClassRepl, f, b[:], 0, walRetries); err != nil {
+		return err
+	}
+	return sched.SyncWait(iosched.ClassRepl, f, walRetries)
+}
+
+// ShipResume is one partition's replica-side restart state: where the local
+// store ends (the refetch cursor) and the stored extents of the final,
+// possibly partial, chunk — replaying Tail through a fresh ShipDecoder
+// (discarding the records) re-derives the mid-chunk codec context so
+// decoding can continue seamlessly at Cursor.
+type ShipResume struct {
+	Cursor ShipCursor
+	Tail   []ShipExtent
+}
+
+// LoadShipResume reconstructs per-partition resume state from a replica's
+// local segment files (written via AppendShipBlock). A torn tail from a
+// replica crash truncates to the last complete block — block boundaries are
+// record-aligned, so the cursor stays valid and the lost suffix is simply
+// refetched.
+func LoadShipResume(ssd *dev.SSD, sched *iosched.Scheduler) (map[int]ShipResume, error) {
+	out := make(map[int]ShipResume)
+	for _, name := range ssd.List("wal/p") {
+		part, _, ok := parseSegName(name)
+		if !ok {
+			continue
+		}
+		f := ssd.Open(name)
+		buf := make([]byte, f.Size())
+		n, err := sched.ReadWait(iosched.ClassRepl, f, buf, 0, walRetries)
+		if err != nil {
+			return nil, fmt.Errorf("wal: ship resume scan of %s: %w", name, err)
+		}
+		blocks, err := parseSegment(name, buf[:n])
+		if err != nil {
+			return nil, err
+		}
+		rs := out[part]
+		// Segment names sort in creation order, and blocks within a segment
+		// are in append order, so this loop sees the partition's extents in
+		// cursor order.
+		for _, b := range blocks {
+			if b.seq > rs.Cursor.Seq {
+				rs.Tail = rs.Tail[:0]
+			}
+			e := ShipExtent{Part: part, Seq: b.seq, Off: b.chunkOff, Data: b.data}
+			rs.Tail = append(rs.Tail, e)
+			rs.Cursor = ShipCursor{Seq: b.seq, Off: b.chunkOff + len(b.data)}
+		}
+		out[part] = rs
+	}
+	return out, nil
+}

@@ -32,12 +32,14 @@ package leanstore
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/base"
 	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/dev"
+	"repro/internal/repl"
 	"repro/internal/txn"
 )
 
@@ -120,6 +122,10 @@ type Options struct {
 	// DisableObservability turns the metric registry and trace recorder
 	// off (they are on by default and cost nothing measurable).
 	DisableObservability bool
+	// Archive retains pruned WAL segments (stage 3) instead of deleting
+	// them. Required to bootstrap read replicas after the live log has been
+	// truncated, and for the log-archive experiments.
+	Archive bool
 	// Devices carries the simulated PMem+SSD of a previous (crashed)
 	// instance; nil starts empty.
 	Devices *Devices
@@ -135,6 +141,11 @@ type Devices struct {
 // DB is a database instance.
 type DB struct {
 	eng *core.Engine
+
+	// Replication source, created lazily by NewReplica/ServeReplication
+	// (at most once: its metrics register in the engine's registry).
+	replOnce    sync.Once
+	replPrimary *repl.Primary
 }
 
 // Session is a transaction context pinned to one worker/log partition. A
@@ -175,6 +186,7 @@ func Open(opts Options) (*DB, error) {
 		RecoveryMode:        opts.RecoveryMode,
 		ObsAddr:             opts.ObsAddr,
 		ObsDisabled:         opts.DisableObservability,
+		Archive:             opts.Archive,
 	}
 	if opts.Devices != nil {
 		cfg.PMem = opts.Devices.PMem

@@ -124,10 +124,9 @@ func TestPublicAPICrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	//lint:ignore SA1019 the deprecated shim must keep working until removal
-	ran, records, took := db2.RecoveredFromCrash()
-	if !ran || records == 0 || took <= 0 {
-		t.Fatalf("recovery info: ran=%v records=%d took=%v", ran, records, took)
+	info := db2.RecoveryInfo()
+	if !info.Ran || info.Records == 0 || info.TimeToFirstTxn <= 0 {
+		t.Fatalf("recovery info: %+v", info)
 	}
 	tr2, ok := db2.BTree("t")
 	if !ok {

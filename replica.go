@@ -1,0 +1,145 @@
+package leanstore
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/repl"
+)
+
+// ReplicaOptions tunes a read replica (see internal/repl for the shipping
+// design). Zero values pick sensible defaults.
+type ReplicaOptions struct {
+	// ApplyInterval is the fetch/apply loop period (default 2ms).
+	ApplyInterval time.Duration
+	// FetchBytes bounds one log pull (default 256 KiB).
+	FetchBytes int
+	// MaxPendingBytes bounds decoded-but-unapplied log per partition;
+	// fetching pauses above it (bounded-lag backpressure, default 4 MiB).
+	MaxPendingBytes int
+	// Devices carries a previous replica incarnation's local store; the
+	// replica resumes from its persisted applied horizon instead of
+	// re-shipping history.
+	Devices *Devices
+}
+
+// Replica is a read-only follower of a DB: it pulls the primary's
+// write-ahead log, applies it continuously, and serves snapshot reads at its
+// replayed GSN horizon. Reads never block behind replication (readers pin an
+// immutable snapshot) and the primary's commit path is untouched — shipping
+// is pull-based and reads only durable log bytes.
+type Replica struct {
+	r *repl.Replica
+}
+
+func (o ReplicaOptions) lower() repl.ReplicaConfig {
+	cfg := repl.ReplicaConfig{
+		Interval:        o.ApplyInterval,
+		FetchBytes:      o.FetchBytes,
+		MaxPendingBytes: o.MaxPendingBytes,
+	}
+	if o.Devices != nil {
+		cfg.SSD = o.Devices.SSD
+	}
+	return cfg
+}
+
+// NewReplica attaches a read replica to this database. To bootstrap a
+// replica after the live WAL has been truncated, open the DB with Archive
+// set (the replica then catches up from archived segments).
+func (db *DB) NewReplica(opts ReplicaOptions) (*Replica, error) {
+	db.replOnce.Do(func() { db.replPrimary = repl.NewPrimary(db.eng) })
+	r, err := db.replPrimary.NewReplica(opts.lower())
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{r: r}, nil
+}
+
+// ServeReplication serves this database's log over conn (any ordered duplex
+// byte stream) until the peer disconnects, for replicas in other processes.
+// Run it in its own goroutine, one per connection.
+func (db *DB) ServeReplication(conn io.ReadWriter) error {
+	db.replOnce.Do(func() { db.replPrimary = repl.NewPrimary(db.eng) })
+	return repl.ServeSource(conn, db.replPrimary)
+}
+
+// OpenReplica builds a replica pulling through conn from a primary serving
+// ServeReplication on the other end.
+func OpenReplica(conn io.ReadWriter, opts ReplicaOptions) (*Replica, error) {
+	src, err := repl.Dial(conn)
+	if err != nil {
+		return nil, err
+	}
+	r, err := repl.NewReplica(src, opts.lower())
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{r: r}, nil
+}
+
+// ReplicaTree is a read handle on one tree at the replica's horizon.
+type ReplicaTree struct {
+	t *repl.Tree
+}
+
+// BTree resolves a tree by name; false until the tree's creation has been
+// replicated.
+func (r *Replica) BTree(name string) (*ReplicaTree, bool) {
+	t, ok := r.r.Tree(name)
+	if !ok {
+		return nil, false
+	}
+	return &ReplicaTree{t: t}, true
+}
+
+// Get reads key at the replica's current horizon.
+func (t *ReplicaTree) Get(key, dst []byte) ([]byte, bool, error) { return t.t.Get(key, dst) }
+
+// Scan iterates ascending from start at the replica's current horizon.
+func (t *ReplicaTree) Scan(start []byte, fn func(key, val []byte) bool) error {
+	return t.t.Scan(start, fn)
+}
+
+// Count returns the number of entries at the replica's current horizon.
+func (t *ReplicaTree) Count() (int, error) { return t.t.Count() }
+
+// Horizon is the GSN up to which this replica has applied the log; all reads
+// observe exactly the primary's state at some horizon.
+func (r *Replica) Horizon() uint64 { return uint64(r.r.Horizon()) }
+
+// Lag is the replica's distance behind the primary in GSN ticks.
+func (r *Replica) Lag() uint64 { return uint64(r.r.Lag()) }
+
+// Err reports a terminal replication error, if any.
+func (r *Replica) Err() error { return r.r.Err() }
+
+// Close stops replication, leaving the local store durable at the applied
+// horizon (resumable via ReplicaOptions.Devices, or promotable).
+func (r *Replica) Close() error { return r.r.Close() }
+
+// Promote turns the (closed or live) replica into a standalone DB by running
+// standard crash recovery over its local log copy — the failover path after
+// losing the primary. opts configures the new instance; its Devices are
+// ignored (the replica's store is used).
+func (r *Replica) Promote(opts Options) (*DB, error) {
+	cfg := core.Config{
+		Mode:                opts.Mode,
+		Workers:             opts.Workers,
+		PoolPages:           opts.BufferPoolPages,
+		WALLimit:            opts.WALLimitBytes,
+		CheckpointShards:    opts.CheckpointShards,
+		GroupCommitInterval: opts.GroupCommitInterval,
+		CheckpointDisabled:  opts.DisableCheckpointing,
+		RecoveryMode:        opts.RecoveryMode,
+		ObsAddr:             opts.ObsAddr,
+		ObsDisabled:         opts.DisableObservability,
+		Archive:             opts.Archive,
+	}
+	eng, err := repl.Promote(r.r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}

@@ -1,0 +1,125 @@
+package leanstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	leanstore "repro"
+)
+
+func waitCaughtUp(t *testing.T, r *leanstore.Replica) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Lag() > 0 {
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at lag %d", r.Lag())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReplicaPublicAPI(t *testing.T) {
+	db, err := leanstore.Open(leanstore.Options{Workers: 2, Archive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session()
+	tr, err := db.CreateBTree(s, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	s.Begin()
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(s, []byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+
+	r, err := db.NewReplica(leanstore.ReplicaOptions{ApplyInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	waitCaughtUp(t, r)
+
+	rt, ok := r.BTree("t")
+	if !ok {
+		t.Fatalf("tree not visible at horizon %d", r.Horizon())
+	}
+	got, ok, err := rt.Get([]byte("k00042"), nil)
+	if err != nil || !ok || !bytes.Equal(got, []byte("v00042")) {
+		t.Fatalf("replica Get: %q %v %v", got, ok, err)
+	}
+	if c, err := rt.Count(); err != nil || c != n {
+		t.Fatalf("replica Count: %d %v", c, err)
+	}
+	seen := 0
+	if err := rt.Scan([]byte("k00490"), func(k, v []byte) bool { seen++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 10 {
+		t.Fatalf("tail scan saw %d entries, want 10", seen)
+	}
+}
+
+func TestReplicaOverConnectionAndPromote(t *testing.T) {
+	db, err := leanstore.Open(leanstore.Options{Workers: 2, Archive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	tr, err := db.CreateBTree(s, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Begin()
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(s, []byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+
+	server, client := net.Pipe()
+	go db.ServeReplication(server)
+	r, err := leanstore.OpenReplica(client, leanstore.ReplicaOptions{ApplyInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, r)
+
+	// Primary dies; the replica takes over.
+	db.SimulateCrash(5)
+	server.Close()
+	client.Close()
+	promoted, err := r.Promote(leanstore.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if !promoted.RecoveryInfo().Ran {
+		t.Fatal("promotion did not run recovery")
+	}
+	pt, ok := promoted.BTree("t")
+	if !ok {
+		t.Fatal("tree lost in promotion")
+	}
+	ps := promoted.Session()
+	ps.Begin()
+	if c := pt.Count(ps); c != 300 {
+		t.Fatalf("promoted count %d, want 300", c)
+	}
+	if err := pt.Insert(ps, []byte("new-after-promotion"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ps.Commit()
+}
