@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test vet lint bench-smoke bench recovery-smoke replication-smoke
+.PHONY: check test vet lint bench-smoke bench recovery-smoke replication-smoke sharding-smoke
 
 check: vet
 	$(GO) test -race -short ./...
@@ -56,3 +56,10 @@ recovery-smoke:
 # flat and lag drains to zero after the burst (-gate enforces all three).
 replication-smoke:
 	$(GO) run ./cmd/repro ablate-replication -scale tiny -threads 2 -gate
+
+# Sharding gate: the shard-count sweep must show one shard within 5% of the
+# unsharded engine and 4 shards (4 devices) clearing 2x one shard, and every
+# recovery mode must resolve a coordinator crash identically on all
+# participants (-gate enforces all of it).
+sharding-smoke:
+	$(GO) run ./cmd/repro ablate-sharding -scale tiny -gate

@@ -155,7 +155,7 @@ func BenchmarkFig10(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			y := workload.NewYCSB(tree.Internal(), benchScale.YCSBRecords)
+			y := workload.NewYCSB(workload.WrapBTree(tree.Internal()), benchScale.YCSBRecords)
 			if err := y.Load(s, 1000); err != nil {
 				b.Fatal(err)
 			}

@@ -23,6 +23,7 @@
 //	ablate-commit    centralized vs decentralized group-commit pipeline
 //	ablate-recovery  restart log-size × recovery-mode sweep (ttft vs total)
 //	ablate-replication  WAL-shipping read-replica scaling sweep
+//	ablate-sharding  range-sharded TPC-C scale-out sweep + 2PC crash equivalence
 //	obs-overhead     observability subsystem cost (tracing on vs off)
 //	commit-stages    per-stage commit latency split (append/queue/flush/ack)
 //	flight           crash flight-recorder post-mortem
@@ -51,7 +52,7 @@ func main() {
 	fs := flag.NewFlagSet(exp, flag.ExitOnError)
 	scaleName := fs.String("scale", "small", "workload scale: tiny|small|medium")
 	threads := fs.Int("threads", 4, "worker threads for fixed-thread experiments")
-	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery, ablate-replication)")
+	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery, ablate-replication, ablate-sharding)")
 	fs.Parse(os.Args[2:])
 
 	sc, err := harness.ScaleByName(*scaleName)
@@ -163,6 +164,38 @@ func main() {
 					r4.ReadsPerSec/r1.ReadsPerSec, base.CommitMean, r4.CommitMean)
 			}
 			return nil
+		case "ablate-sharding":
+			rows, err := harness.AblateSharding(w, sc)
+			if err != nil {
+				return err
+			}
+			// Atomicity is part of the headline: every recovery mode must
+			// resolve a coordinator crash identically on all participants.
+			fmt.Fprintln(w, "2PC crash equivalence across recovery modes:")
+			if err := harness.ShardingCrashEquivalence(w); err != nil {
+				return err
+			}
+			if *gate && len(rows) == 4 {
+				// CI gate: the cluster layer must not tax single-shard
+				// traffic (within 5% of the unsharded engine), and four
+				// shards (four devices) must clear 2x one shard despite the
+				// cross-shard 2PC share of the mix.
+				base, s1, s4 := rows[0], rows[1], rows[3]
+				if s1.TPS < 0.95*base.TPS {
+					return fmt.Errorf("sharding gate: one shard gives %.0f txn/s vs %.0f unsharded (%.1f%% deficit, want <= 5%%)",
+						s1.TPS, base.TPS, 100*(1-s1.TPS/base.TPS))
+				}
+				if s4.TPS < 2.0*s1.TPS {
+					return fmt.Errorf("sharding gate: 4 shards give %.2fx of 1 shard, want >= 2x",
+						s4.TPS/s1.TPS)
+				}
+				if s4.CrossPct <= 0 {
+					return fmt.Errorf("sharding gate: 4-shard cell saw no cross-shard commits; sweep is not exercising 2PC")
+				}
+				fmt.Fprintf(w, "sharding gate: ok — unsharded %.0f, 1 shard %.0f, 4 shards %.0f txn/s (%.2fx, %.1f%% cross-shard)\n",
+					base.TPS, s1.TPS, s4.TPS, s4.TPS/s1.TPS, s4.CrossPct)
+			}
+			return nil
 		case "obs-overhead":
 			_, err := harness.ObsOverhead(w, sc)
 			return err
@@ -180,7 +213,7 @@ func main() {
 			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
 			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
 			"ablate-io", "ablate-commit", "ablate-recovery",
-			"ablate-replication", "obs-overhead",
+			"ablate-replication", "ablate-sharding", "obs-overhead",
 			"commit-stages", "flight",
 		} {
 			if err := run(name); err != nil {

@@ -1,9 +1,13 @@
 // Command tpcc runs the TPC-C benchmark (all five transactions, standard
 // mix) against the engine in any logging mode, printing per-second
 // throughput and a final summary with per-transaction-type counts, log
-// statistics, and checkpoint activity.
+// statistics, and checkpoint activity. With -shards N it runs N
+// range-partitioned engines in one process (warehouses spread evenly,
+// Item replicated); remote-warehouse transactions then commit through
+// cross-shard two-phase commit.
 //
 //	go run ./cmd/tpcc -mode ours -warehouses 4 -threads 4 -duration 10s
+//	go run ./cmd/tpcc -mode ours -warehouses 8 -shards 4 -duration 10s
 package main
 
 import (
@@ -15,9 +19,11 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/shard"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
@@ -38,10 +44,12 @@ func main() {
 	warehouses := flag.Int("warehouses", 4, "TPC-C warehouses")
 	items := flag.Int("items", 2000, "items (spec: 100000)")
 	custPerDist := flag.Int("customers", 150, "customers per district (spec: 3000)")
-	threads := flag.Int("threads", 4, "worker threads")
+	threads := flag.Int("threads", 4, "benchmark worker goroutines")
+	workers := flag.Int("workers", 0, "engine worker slots / log partitions (default: threads)")
+	shards := flag.Int("shards", 1, "range-partitioned engines in this process")
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
-	poolMiB := flag.Int("pool-mib", 64, "buffer pool size in MiB")
-	walMiB := flag.Int("wal-mib", 32, "WAL limit in MiB")
+	poolMiB := flag.Int("pool-mib", 64, "buffer pool size in MiB (per shard)")
+	walMiB := flag.Int("wal-mib", 32, "WAL limit in MiB (per shard)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
 	flag.Parse()
 
@@ -49,26 +57,93 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown mode %q (want %s)", *modeName, strings.Join(modeNames(), "|"))
 	}
-	eng, err := core.Open(core.Config{
+	if *workers == 0 {
+		*workers = *threads
+	}
+	ecfg := core.Config{
 		Mode:      mode,
-		Workers:   *threads,
+		Workers:   *workers,
 		PoolPages: *poolMiB << 20 / (16 << 10),
 		WALLimit:  int64(*walMiB) << 20,
 		ObsAddr:   *obsAddr,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	defer eng.Close()
+
+	// Open the store: one engine, or a range-sharded cluster of them.
+	var (
+		eng *core.Engine
+		cl  *shard.Cluster
+		err error
+	)
+	if *shards > 1 {
+		if *warehouses < *shards {
+			log.Fatalf("need at least one warehouse per shard (%d warehouses, %d shards)", *warehouses, *shards)
+		}
+		cl, err = shard.Open(shard.Config{
+			Shards:     *shards,
+			Boundaries: harness.WarehouseBoundaries(*warehouses, *shards),
+			Engine:     ecfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = cl.Engine(0) // observability endpoint + representative stats
+		defer cl.Close()
+	} else {
+		eng, err = core.Open(ecfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+	}
 	if a := eng.ObsAddr(); a != "" {
 		fmt.Printf("observability endpoint: http://%s/metrics\n", a)
 	}
 
+	// Sessions are pinned to the engine's actual worker slots (which the
+	// engine may have clamped or defaulted), not to the thread count.
+	slots := eng.Workers()
+	newSession := func(i int) workload.Session {
+		if cl != nil {
+			return cl.NewSessionOn(i % slots)
+		}
+		return eng.NewSessionOn(i % slots)
+	}
+	engines := []*core.Engine{eng}
+	if cl != nil {
+		engines = engines[:0]
+		for i := 0; i < cl.Shards(); i++ {
+			engines = append(engines, cl.Engine(i))
+		}
+	}
+	durable := func() (n uint64) {
+		for _, e := range engines {
+			n += e.Txns().Stats().DurableCommits
+		}
+		return
+	}
+	liveWAL := func() (n uint64) {
+		for _, e := range engines {
+			n += e.WAL().LiveWALBytes()
+		}
+		return
+	}
+
 	fmt.Printf("loading TPC-C: %d warehouses, %d items, %d customers/district...\n",
 		*warehouses, *items, *custPerDist)
-	s := eng.NewSessionOn(0)
-	tp, err := workload.NewTPCC(*warehouses, func(name string) (*btree.BTree, error) {
-		return eng.CreateTree(s, name)
+	s := newSession(0)
+	tp, err := workload.NewTPCC(*warehouses, func(name string) (workload.Tree, error) {
+		if cl != nil {
+			tr, err := cl.CreateTree(name, name == "tpcc_item")
+			if err != nil {
+				return nil, err
+			}
+			return workload.WrapShardTree(tr), nil
+		}
+		tr, err := eng.CreateTree(s.(*txn.Session), name)
+		if err != nil {
+			return nil, err
+		}
+		return workload.WrapBTree(tr), nil
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -78,7 +153,8 @@ func main() {
 	if err := tp.Load(s, 42); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("loaded in %v (%d pages)\n", time.Since(loadStart).Round(time.Millisecond), eng.Pool().NextPID())
+	fmt.Printf("loaded in %v (%d pages on shard 0)\n",
+		time.Since(loadStart).Round(time.Millisecond), eng.Pool().NextPID())
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -86,11 +162,11 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ws := eng.NewSessionOn(i % *threads)
+			ws := newSession(i)
 			defer func() {
 				if r := recover(); r != nil {
 					if r == buffer.ErrPoolInterrupted {
-						ws.AbandonForCrash()
+						ws.(interface{ AbandonForCrash() }).AbandonForCrash()
 						return
 					}
 					panic(r)
@@ -109,40 +185,57 @@ func main() {
 	}
 
 	start := time.Now()
-	prev := eng.Txns().Stats().DurableCommits
+	prev := durable()
 	ticker := time.NewTicker(time.Second)
 	for time.Since(start) < *duration {
 		<-ticker.C
-		cur := eng.Txns().Stats().DurableCommits
+		cur := durable()
 		fmt.Printf("  t=%4.0fs  %8d txn/s   WAL %6.1f MiB\n",
-			time.Since(start).Seconds(), cur-prev, float64(eng.WAL().LiveWALBytes())/(1<<20))
+			time.Since(start).Seconds(), cur-prev, float64(liveWAL())/(1<<20))
 		prev = cur
 	}
 	ticker.Stop()
 	close(stop)
-	eng.Interrupt()
+	for _, e := range engines {
+		e.Interrupt()
+	}
 	wg.Wait()
 
-	st := eng.Stats()
 	elapsed := time.Since(start).Seconds()
-	fmt.Printf("\n=== summary (%s, %d threads, %.0fs) ===\n", mode, *threads, elapsed)
+	var tx txn.Stats
+	var appended, ckptInc, ckptBytes, evict uint64
+	for _, e := range engines {
+		st := e.Stats()
+		tx.DurableCommits += st.Txns.DurableCommits
+		tx.Aborts += st.Txns.Aborts
+		tx.RFASkips += st.Txns.RFASkips
+		tx.RFAFlushes += st.Txns.RFAFlushes
+		appended += st.WAL.AppendedBytes
+		ckptInc += st.Ckpt.Increments
+		ckptBytes += st.Ckpt.WrittenBytes
+		evict += st.Pool.Evictions
+	}
+	fmt.Printf("\n=== summary (%s, %d threads, %d shard(s), %.0fs) ===\n", mode, *threads, len(engines), elapsed)
 	fmt.Printf("throughput:     %.0f txn/s (%d committed, %d aborted)\n",
-		float64(st.Txns.DurableCommits)/elapsed, st.Txns.DurableCommits, st.Txns.Aborts)
+		float64(tx.DurableCommits)/elapsed, tx.DurableCommits, tx.Aborts)
 	fmt.Printf("mix:            neworder=%d payment=%d orderstatus=%d delivery=%d stocklevel=%d\n",
 		tp.CntNewOrder.Load(), tp.CntPayment.Load(), tp.CntOrderStatus.Load(),
 		tp.CntDelivery.Load(), tp.CntStockLevel.Load())
-	if st.Txns.RFASkips+st.Txns.RFAFlushes > 0 {
-		fmt.Printf("remote flushes: %.1f%%\n",
-			100*float64(st.Txns.RFAFlushes)/float64(st.Txns.RFASkips+st.Txns.RFAFlushes))
+	if cl != nil {
+		fmt.Printf("cross-shard:    %d two-phase commits (%.2f%% of commits)\n",
+			cl.CrossShardTxns(), 100*safeDiv(float64(cl.CrossShardTxns()), float64(tx.DurableCommits)))
 	}
-	fmt.Printf("log:            %.1f MiB appended (%.0f B/txn), %.1f MiB live, %d seal stalls\n",
-		float64(st.WAL.AppendedBytes)/(1<<20),
-		safeDiv(float64(st.WAL.AppendedBytes), float64(st.Txns.DurableCommits)),
-		float64(st.LiveWALBytes)/(1<<20), st.WAL.SealStalls)
+	if tx.RFASkips+tx.RFAFlushes > 0 {
+		fmt.Printf("remote flushes: %.1f%%\n",
+			100*float64(tx.RFAFlushes)/float64(tx.RFASkips+tx.RFAFlushes))
+	}
+	fmt.Printf("log:            %.1f MiB appended (%.0f B/txn), %.1f MiB live\n",
+		float64(appended)/(1<<20),
+		safeDiv(float64(appended), float64(tx.DurableCommits)),
+		float64(liveWAL())/(1<<20))
 	fmt.Printf("checkpointer:   %d increments, %.1f MiB written\n",
-		st.Ckpt.Increments, float64(st.Ckpt.WrittenBytes)/(1<<20))
-	fmt.Printf("buffer pool:    %d evictions, %.1f MiB written back, %.1f MiB read\n",
-		st.Pool.Evictions, float64(st.Pool.ProviderWriteBytes)/(1<<20), float64(st.Pool.PageReadBytes)/(1<<20))
+		ckptInc, float64(ckptBytes)/(1<<20))
+	fmt.Printf("buffer pool:    %d evictions\n", evict)
 }
 
 func modeNames() []string {

@@ -33,7 +33,8 @@ func main() {
 	modeName := flag.String("mode", "ours", "logging mode")
 	records := flag.Int("records", 100000, "table size (paper: 500M)")
 	theta := flag.Float64("theta", 0.0, "Zipf skew (paper sweeps 0..1.75)")
-	threads := flag.Int("threads", 4, "worker threads")
+	threads := flag.Int("threads", 4, "benchmark worker goroutines")
+	workers := flag.Int("workers", 0, "engine worker slots / log partitions (default: threads)")
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
 	measureLatency := flag.Bool("latency", true, "record per-txn commit latency (sync commits)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address")
@@ -43,9 +44,12 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown mode %q", *modeName)
 	}
+	if *workers == 0 {
+		*workers = *threads
+	}
 	eng, err := core.Open(core.Config{
 		Mode:      mode,
-		Workers:   *threads,
+		Workers:   *workers,
 		PoolPages: 8192,
 		WALLimit:  256 << 20,
 		ObsAddr:   *obsAddr,
@@ -63,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	y := workload.NewYCSB(tree, *records)
+	y := workload.NewYCSB(workload.WrapBTree(tree), *records)
 	fmt.Printf("loading %d records...\n", *records)
 	if err := y.Load(s, 2000); err != nil {
 		log.Fatal(err)
@@ -76,7 +80,9 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ws := eng.NewSessionOn(i % *threads)
+			// Pin to the engine's actual worker slots (the engine may have
+			// clamped or defaulted the requested count).
+			ws := eng.NewSessionOn(i % eng.Workers())
 			defer func() {
 				if r := recover(); r != nil {
 					if r == buffer.ErrPoolInterrupted {

@@ -284,6 +284,14 @@ type Engine struct {
 
 	recoveryResult      *recovery.Result
 	restart             *recovery.Restart
+	inDoubtMu           sync.Mutex
+	inDoubtTxns         map[base.TxnID]uint64 // prepared, undecided at restart
+	inDoubtAborted      []base.TxnID          // resolved-abort, awaiting seal
+	inDoubtMaxUndo      base.GSN
+	inDoubtUnpin        func() // releases the prune pin; run inside retire
+	retire              func() // drops the previous log generation, once
+	retireDrained       bool   // on-demand background redo finished
+	retireResolved      bool   // no in-doubt txns / decisions left to keep
 	silorRecoveryResult *silor.RecoverResult
 	state               atomic.Int32 // EngineState
 	recTTFT             atomic.Int64 // ns from Open start to first-txn readiness
@@ -635,11 +643,30 @@ func Open(cfg Config) (*Engine, error) {
 		// generation's segments — the live manager's new files (and the
 		// stable-GSN marker, still valid thanks to the GSN floor) stay.
 		e.walMgr.StageAllToSSD()
-		finalize := func() {
+		e.retire = func() {
 			if cfg.Archive {
 				wal.ArchiveAllLive(e.ssd, e.sched)
 			}
 			wal.RemoveFiles(e.ssd, oldSegments)
+			if e.inDoubtUnpin != nil {
+				e.inDoubtUnpin()
+			}
+		}
+		// In-doubt transactions (prepared for a cross-shard commit, no end
+		// record) and coordinator decision records keep the previous log
+		// generation alive: another shard's restart may still need this
+		// engine's prepare/decide records to resolve its own in-doubt
+		// transactions, so retirement waits for RetireInDoubtLog. The new
+		// generation is pinned against pruning too — a resolution commit
+		// record pruned while the old prepare survives would resurrect the
+		// doubt on the next crash, after the coordinator's decision may
+		// already be gone.
+		e.retireResolved = len(e.recoveryResult.InDoubt) == 0 &&
+			len(e.recoveryResult.Decisions) == 0
+		if !e.retireResolved {
+			e.inDoubtTxns = e.recoveryResult.InDoubt
+			e.inDoubtMaxUndo = maxUndoGSN
+			e.inDoubtUnpin = e.txns.PinGSN(e.recoveryResult.MaxGSN)
 		}
 		if cfg.RecoveryMode == RecoverOnDemand && e.restart.PendingPages() > 0 {
 			// Open returns while background workers drain the dirty table.
@@ -654,7 +681,7 @@ func Open(cfg Config) (*Engine, error) {
 			e.restart.StartBackground(w, func() {
 				e.ckpt.CheckpointAll()
 				e.walMgr.StageAllToSSD()
-				finalize()
+				e.markRetire(true, false)
 				e.recTotal.Store(int64(time.Since(openStart)))
 				e.state.Store(int32(StateRecovered))
 			})
@@ -662,7 +689,7 @@ func Open(cfg Config) (*Engine, error) {
 			if cfg.RecoveryMode == RecoverOnDemand {
 				e.restart.RedoAll(1) // empty dirty table; closes Done
 			}
-			finalize()
+			e.markRetire(true, false)
 		}
 	}
 	if e.silorRecoveryResult != nil {
@@ -909,6 +936,137 @@ func (e *Engine) appendLoserAbortEnds(maxUndoGSN base.GSN) {
 		e.walMgr.AbortEnd(0, txnID, maxUndoGSN)
 		e.walMgr.ReleaseOwnership(0)
 	}
+}
+
+// markRetire records that one of the two retirement preconditions now
+// holds — the on-demand background redo drained, or every in-doubt
+// transaction and decision record became disposable — and drops the
+// previous log generation once both do. Retirement runs exactly once.
+func (e *Engine) markRetire(drained, resolved bool) {
+	e.inDoubtMu.Lock()
+	if drained {
+		e.retireDrained = true
+	}
+	if resolved {
+		e.retireResolved = true
+	}
+	var f func()
+	if e.retireDrained && e.retireResolved {
+		f, e.retire = e.retire, nil
+	}
+	e.inDoubtMu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+// InDoubtTxn identifies one transaction that restart recovery found
+// prepared for a cross-shard commit but without an end record: its fate
+// belongs to the coordinator shard and must be resolved before the engine
+// can retire the log generation holding the prepare.
+type InDoubtTxn struct {
+	Txn base.TxnID
+	GID uint64 // global transaction ID carried by the prepare record
+}
+
+// InDoubt lists the transactions recovery left in-doubt, sorted by
+// transaction ID. Empty after a clean boot or once every transaction has
+// been passed to ResolveInDoubt.
+func (e *Engine) InDoubt() []InDoubtTxn {
+	e.inDoubtMu.Lock()
+	defer e.inDoubtMu.Unlock()
+	out := make([]InDoubtTxn, 0, len(e.inDoubtTxns))
+	for txnID, gid := range e.inDoubtTxns {
+		out = append(out, InDoubtTxn{Txn: txnID, GID: gid})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Txn < out[j].Txn })
+	return out
+}
+
+// Decisions returns the durable coordinator commit decisions found in this
+// engine's recovered log, keyed by global transaction ID. Absence means
+// presumed abort. Nil on a fresh boot.
+func (e *Engine) Decisions() map[uint64]bool {
+	if e.recoveryResult == nil {
+		return nil
+	}
+	return e.recoveryResult.Decisions
+}
+
+// ResolveInDoubt applies the coordinator's verdict to one in-doubt
+// transaction. Commit appends the phase-two commit record (its effects
+// were already redone from the prepare-side records); abort logically
+// reverts the transaction's records, exactly like the loser path in Open.
+// Neither outcome is durable until SealInDoubtResolution.
+func (e *Engine) ResolveInDoubt(txnID base.TxnID, commit bool) {
+	e.inDoubtMu.Lock()
+	if _, ok := e.inDoubtTxns[txnID]; !ok {
+		e.inDoubtMu.Unlock()
+		panic(fmt.Sprintf("core: ResolveInDoubt(%d): not in doubt", txnID))
+	}
+	delete(e.inDoubtTxns, txnID)
+	e.inDoubtMu.Unlock()
+	if commit {
+		e.walMgr.AcquireOwnership(0)
+		e.walMgr.AppendCommitRecord(0, txnID, 0, true)
+		e.walMgr.ReleaseOwnership(0)
+		return
+	}
+	ctx := &noLogCtx{gsn: e.inDoubtMaxUndo}
+	recs := e.recoveryResult.InDoubtUndo[txnID]
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := &recs[i]
+		tree := e.treeByID(rec.Tree)
+		if tree == nil {
+			continue
+		}
+		tree.UndoOp(ctx, rec.Type, rec.Key, rec.Before, rec.Diffs)
+	}
+	if ctx.gsn > e.inDoubtMaxUndo {
+		e.inDoubtMaxUndo = ctx.gsn
+	}
+	e.inDoubtAborted = append(e.inDoubtAborted, txnID)
+}
+
+// SealInDoubtResolution makes every ResolveInDoubt outcome durable:
+// aborted transactions' undone images are checkpointed before their end
+// records are appended (the Open loser-path ordering argument), then all
+// resolution records are flushed. After this returns, a crash can no
+// longer change any resolved transaction's fate — so it must be called on
+// every shard before RetireInDoubtLog runs on any of them.
+func (e *Engine) SealInDoubtResolution() {
+	if len(e.inDoubtAborted) > 0 {
+		e.ckpt.CheckpointAll()
+		sort.Slice(e.inDoubtAborted, func(i, j int) bool {
+			return e.inDoubtAborted[i] < e.inDoubtAborted[j]
+		})
+		for _, txnID := range e.inDoubtAborted {
+			e.walMgr.AcquireOwnership(0)
+			e.walMgr.AbortEnd(0, txnID, e.inDoubtMaxUndo)
+			e.walMgr.ReleaseOwnership(0)
+		}
+		e.inDoubtAborted = nil
+	}
+	e.walMgr.FlushAllLogs()
+}
+
+// RetireInDoubtLog retires the previous log generation an in-doubt (or
+// decision-bearing) restart kept alive, and releases the prune pin. Only
+// call after SealInDoubtResolution completed on every shard of the
+// cluster: retiring a coordinator's decide records while another shard
+// could still crash unresolved would turn its committed transactions into
+// presumed aborts. With on-demand recovery still draining, the actual
+// removal is deferred to the drain's completion.
+func (e *Engine) RetireInDoubtLog() {
+	e.inDoubtMu.Lock()
+	pending := e.retire != nil && !e.retireResolved
+	e.inDoubtMu.Unlock()
+	if !pending {
+		return
+	}
+	e.ckpt.CheckpointAll()
+	e.walMgr.StageAllToSSD()
+	e.markRetire(false, true)
 }
 
 // rebuildFromTuples recreates the whole database from value-log recovery

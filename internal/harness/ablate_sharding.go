@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// AblateShardingRow is one cell of the TPC-C scale-out ablation.
+type AblateShardingRow struct {
+	// Label names the cell; Shards is 0 for the unsharded single-engine
+	// baseline and the shard count otherwise.
+	Label  string
+	Shards int
+	// TPS is committed (durability-acknowledged) transactions per second
+	// over the measurement window; Committed the absolute count.
+	TPS       float64
+	Committed uint64
+	// CrossPct is the share of commits that went through cross-shard
+	// two-phase commit (0 for unsharded and single-shard cells).
+	CrossPct float64
+}
+
+// AblateSharding sweeps TPC-C over {unsharded, 1, 2, 4 shards} at a fixed
+// 8-warehouse scale with an out-of-memory buffer pool and a throttled SSD
+// per shard, so the workload is device-bound: adding shards adds devices,
+// and throughput scales with them the way a multi-socket or multi-drive
+// deployment would. The headline trends: one shard tracks the unsharded
+// engine (the cluster layer adds only routing, the RFA fast path is
+// untouched), and four shards clear 2x despite ~10% of the mix committing
+// through cross-shard two-phase commit.
+func AblateSharding(w io.Writer, sc Scale) ([]AblateShardingRow, error) {
+	section(w, "Ablation: sharding — TPC-C scale-out × shard count")
+	const (
+		opLatency  = 100 * time.Microsecond
+		bandwidth  = 1 << 30
+		warehouses = 8
+		workers    = 4
+	)
+	scA := sc
+	scA.Warehouses = warehouses
+	// One worker goroutine homed at each warehouse: every shard receives
+	// home-warehouse traffic, and remote-warehouse Payment/NewOrder become
+	// cross-shard commits at the standard ~10-15% mix rate.
+	threads := warehouses
+	window := 2 * sc.Duration
+	fmt.Fprintf(w, "[%d warehouses, %d worker goroutines, %d pool pages per shard, shard SSD model %v/op %d MiB/s; window %v]\n",
+		warehouses, threads, sc.SmallPool, opLatency, bandwidth>>20, window)
+	fmt.Fprintf(w, "%-12s %-10s %-9s %-11s %-9s\n",
+		"cell", "txn/s", "scale", "committed", "cross")
+
+	var rows []AblateShardingRow
+	for _, n := range []int{0, 1, 2, 4} {
+		row, err := ablateShardingCell(scA, workers, threads, n, opLatency, bandwidth, window)
+		if err != nil {
+			return rows, fmt.Errorf("ablate-sharding %q: %w", row.Label, err)
+		}
+		rows = append(rows, row)
+		scale := "-"
+		if n > 0 && len(rows) > 1 && rows[1].TPS > 0 {
+			scale = fmt.Sprintf("%.2fx", row.TPS/rows[1].TPS)
+		}
+		fmt.Fprintf(w, "%-12s %-10.0f %-9s %-11d %-9s\n",
+			row.Label, row.TPS, scale, row.Committed,
+			fmt.Sprintf("%.1f%%", row.CrossPct))
+	}
+	return rows, nil
+}
+
+func ablateShardingCell(sc Scale, workers, threads, shards int, opLatency time.Duration, bandwidth int64, window time.Duration) (AblateShardingRow, error) {
+	row := AblateShardingRow{Shards: shards}
+	var (
+		b   *Bench
+		err error
+	)
+	if shards == 0 {
+		row.Label = "unsharded"
+		b, err = NewTPCCBench(sc, core.ModeOurs, workers, sc.SmallPool, nil)
+	} else {
+		row.Label = fmt.Sprintf("%d shard(s)", shards)
+		b, err = NewShardedTPCCBench(sc, core.ModeOurs, workers, sc.SmallPool, shards, nil)
+	}
+	if err != nil {
+		return row, err
+	}
+	defer b.Close()
+
+	// Load runs on the default (fast) devices; once it is durable, every
+	// shard's SSD switches to the realistic latency model so the
+	// measurement is device-bound.
+	for _, eng := range b.engines() {
+		if !eng.Txns().WaitAllDurable(10 * time.Second) {
+			return row, fmt.Errorf("load never became durable")
+		}
+		_, ssd := eng.Devices()
+		ssd.SetPerf(opLatency, int64(bandwidth))
+	}
+
+	row.TPS, row.Committed = b.RunTPCCWorkers(threads, window)
+	if b.Cluster != nil && row.Committed > 0 {
+		row.CrossPct = 100 * float64(b.Cluster.CrossShardTxns()) / float64(row.Committed)
+	}
+	return row, nil
+}
+
+// engines lists every engine of the bench store (one for an engine bench,
+// one per shard for a cluster bench).
+func (b *Bench) engines() []*core.Engine {
+	if b.Cluster != nil {
+		out := make([]*core.Engine, b.Cluster.Shards())
+		for i := range out {
+			out[i] = b.Cluster.Engine(i)
+		}
+		return out
+	}
+	return []*core.Engine{b.Engine}
+}
+
+// ShardingCrashEquivalence pins the 2PC recovery contract across every
+// restart-recovery mode: a 4-shard cluster crashes mid-protocol — once
+// after the coordinator's decision record hardened (the commit point) and
+// once with all participants prepared but no decision — and each crash
+// image is recovered under parallel, blocking, and on-demand redo. All
+// three modes must resolve the in-doubt transaction identically on every
+// participant: committed everywhere after the decision, aborted everywhere
+// (presumed abort) before it.
+func ShardingCrashEquivalence(w io.Writer) error {
+	modes := []struct {
+		name string
+		rm   core.RecoveryMode
+	}{
+		{"parallel", core.RecoverParallel},
+		{"blocking", core.RecoverBlocking},
+		{"on-demand", core.RecoverOnDemand},
+	}
+	for _, cse := range []struct {
+		label      string
+		wantCommit bool
+		stop       func(p shard.CommitPoint, sh int) bool
+	}{
+		// Crash with every participant prepared but the decision record
+		// never written: presumed abort everywhere.
+		{"crash before decision", false,
+			func(p shard.CommitPoint, sh int) bool { return p == shard.PointPrepared && sh == 3 }},
+		// Crash right after the coordinator's decision hardened, before
+		// any phase-2 commit record: must commit everywhere on restart.
+		{"crash after decision", true,
+			func(p shard.CommitPoint, sh int) bool { return p == shard.PointDecided }},
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			var first []bool
+			for i, m := range modes {
+				got, err := shardingCrashOutcome(m.rm, cse.stop, seed)
+				if err != nil {
+					return fmt.Errorf("sharding crash equivalence (%s, %s recovery, seed %d): %w",
+						cse.label, m.name, seed, err)
+				}
+				for sh, present := range got {
+					if present != cse.wantCommit {
+						return fmt.Errorf("sharding crash equivalence (%s, %s recovery, seed %d): shard %d key present=%v, want %v",
+							cse.label, m.name, seed, sh, present, cse.wantCommit)
+					}
+				}
+				if i == 0 {
+					first = got
+					continue
+				}
+				for sh := range got {
+					if got[sh] != first[sh] {
+						return fmt.Errorf("sharding crash equivalence (%s, seed %d): %s recovery disagrees with %s on shard %d",
+							cse.label, seed, m.name, modes[0].name, sh)
+					}
+				}
+			}
+			fmt.Fprintf(w, "  %-22s seed %d: identical resolution under %d recovery modes (commit=%v)\n",
+				cse.label, seed, len(modes), cse.wantCommit)
+		}
+	}
+	return nil
+}
+
+// shardingCrashOutcome runs one cross-shard transaction into an injected
+// crash on a fresh 4-shard cluster, recovers the crash image under rm, and
+// reports per shard whether the transaction's key survived.
+func shardingCrashOutcome(rm core.RecoveryMode, stop func(p shard.CommitPoint, sh int) bool, seed uint64) ([]bool, error) {
+	const shards = 4
+	cfg := shard.Config{
+		Shards: shards,
+		Engine: core.Config{
+			Mode: core.ModeOurs, Workers: 2, PoolPages: 256,
+			WALLimit: 4 << 20, ChunkSize: 32 * 1024, SegmentSize: 64 * 1024,
+			RecoveryMode: rm,
+		},
+	}
+	key := func(sh int, n int) []byte { return []byte(fmt.Sprintf("%08d", sh*100000000/shards+n)) }
+	for i := 1; i < shards; i++ {
+		cfg.Boundaries = append(cfg.Boundaries, key(i, 0))
+	}
+
+	c, err := shard.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := c.CreateTree("t", false)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	// Committed baseline row per shard, durable before the crash.
+	s := c.NewSession()
+	s.Begin()
+	for sh := 0; sh < shards; sh++ {
+		if err := tree.Insert(s, key(sh, 1), []byte("baseline")); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	s.Commit()
+	c.WaitAllDurable()
+
+	c.SetCommitHook(stop)
+	s2 := c.NewSession()
+	s2.Begin()
+	for sh := 0; sh < shards; sh++ {
+		if err := tree.Insert(s2, key(sh, 42), []byte("in-flight")); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	s2.Commit() // abandoned mid-protocol by the hook
+	if s2.Active() {
+		c.Close()
+		return nil, fmt.Errorf("commit hook never fired")
+	}
+	cfg.Devices = c.Crash(seed)
+
+	rec, err := shard.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rec.Close()
+	for i := 0; i < shards; i++ {
+		if err := rec.Engine(i).WaitRecovered(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	rt, ok := rec.OpenTree("t", false)
+	if !ok {
+		return nil, fmt.Errorf("tree lost in crash")
+	}
+	out := make([]bool, shards)
+	rs := rec.NewSession()
+	rs.Begin()
+	for sh := 0; sh < shards; sh++ {
+		if _, ok := rt.Get(rs, key(sh, 1), nil); !ok {
+			return nil, fmt.Errorf("baseline row lost on shard %d", sh)
+		}
+		_, out[sh] = rt.Get(rs, key(sh, 42), nil)
+	}
+	rs.Commit()
+	return out, nil
+}

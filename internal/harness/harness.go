@@ -9,15 +9,15 @@
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
-	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/core"
-	"repro/internal/txn"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -73,11 +73,15 @@ func ScaleByName(name string) (Scale, error) {
 	}
 }
 
-// Bench is one prepared engine + TPC-C instance.
+// Bench is one prepared store + TPC-C instance. Exactly one of Engine
+// (single embedded engine) or Cluster (range-sharded set of engines) is
+// set; the workload drives both through the same workload.Tree adapters,
+// so sharded/unsharded comparisons measure the engines, not the driver.
 type Bench struct {
-	Engine *core.Engine
-	TPCC   *workload.TPCC
-	Scale  Scale
+	Engine  *core.Engine
+	Cluster *shard.Cluster
+	TPCC    *workload.TPCC
+	Scale   Scale
 }
 
 // NewTPCCBench builds an engine in the given mode and loads TPC-C.
@@ -96,8 +100,12 @@ func NewTPCCBench(sc Scale, mode core.Mode, workers int, poolPages int, override
 		return nil, err
 	}
 	s := eng.NewSessionOn(0)
-	tp, err := workload.NewTPCC(sc.Warehouses, func(name string) (*btree.BTree, error) {
-		return eng.CreateTree(s, name)
+	tp, err := workload.NewTPCC(sc.Warehouses, func(name string) (workload.Tree, error) {
+		tr, err := eng.CreateTree(s, name)
+		if err != nil {
+			return nil, err
+		}
+		return workload.WrapBTree(tr), nil
 	})
 	if err != nil {
 		eng.Close()
@@ -112,6 +120,109 @@ func NewTPCCBench(sc Scale, mode core.Mode, workers int, poolPages int, override
 	return &Bench{Engine: eng, TPCC: tp, Scale: sc}, nil
 }
 
+// WarehouseBoundaries returns the shards-1 split keys that spread
+// warehouses 1..W evenly over the shards. Every TPC-C tree except Item is
+// keyed by a big-endian uint32 warehouse prefix, so a 4-byte BE32 split
+// at warehouse 1+i*W/N ranges all of a warehouse's rows onto one shard.
+func WarehouseBoundaries(warehouses, shards int) [][]byte {
+	bounds := make([][]byte, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		w := 1 + i*warehouses/shards
+		bounds = append(bounds, binary.BigEndian.AppendUint32(nil, uint32(w)))
+	}
+	return bounds
+}
+
+// NewShardedTPCCBench builds a range-sharded cluster (warehouses spread
+// evenly over shards, the Item table replicated to every shard so
+// NewOrder's item lookups never widen a transaction's participant set)
+// and loads TPC-C through the cluster session — remote-warehouse Payment
+// and NewOrder transactions become cross-shard two-phase commits.
+func NewShardedTPCCBench(sc Scale, mode core.Mode, workers, poolPagesPerShard, shards int, overrides func(*core.Config)) (*Bench, error) {
+	ecfg := core.Config{
+		Mode:      mode,
+		Workers:   workers,
+		PoolPages: poolPagesPerShard,
+		WALLimit:  sc.WALLimit,
+	}
+	if overrides != nil {
+		overrides(&ecfg)
+	}
+	cl, err := shard.Open(shard.Config{
+		Shards:     shards,
+		Boundaries: WarehouseBoundaries(sc.Warehouses, shards),
+		Engine:     ecfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tp, err := workload.NewTPCC(sc.Warehouses, func(name string) (workload.Tree, error) {
+		tr, err := cl.CreateTree(name, name == "tpcc_item")
+		if err != nil {
+			return nil, err
+		}
+		return workload.WrapShardTree(tr), nil
+	})
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	tp.Items = sc.Items
+	tp.CustPerDist = sc.CustPerDist
+	s := cl.NewSessionOn(0)
+	if err := tp.Load(s, 12345); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return &Bench{Cluster: cl, TPCC: tp, Scale: sc}, nil
+}
+
+// NewSession opens a workload session pinned to worker slot i (modulo the
+// available slots), on the engine or on the cluster.
+func (b *Bench) NewSession(i int) workload.Session {
+	if b.Cluster != nil {
+		return b.Cluster.NewSessionOn(i % b.workerSlots())
+	}
+	return b.Engine.NewSessionOn(i % b.workerSlots())
+}
+
+// durableCommits sums durability acknowledgements across the store.
+func (b *Bench) durableCommits() uint64 {
+	if b.Cluster != nil {
+		var n uint64
+		for i := 0; i < b.Cluster.Shards(); i++ {
+			n += b.Cluster.Engine(i).Txns().Stats().DurableCommits
+		}
+		return n
+	}
+	return b.Engine.Txns().Stats().DurableCommits
+}
+
+// interrupt unblocks stalled pool waiters on every engine of the store.
+func (b *Bench) interrupt() {
+	if b.Cluster != nil {
+		for i := 0; i < b.Cluster.Shards(); i++ {
+			b.Cluster.Engine(i).Interrupt()
+		}
+		return
+	}
+	b.Engine.Interrupt()
+}
+
+// join waits for the workers; if they do not exit promptly the store is
+// stalled (the designed no-steal out-of-memory stall) and is interrupted —
+// a terminal action, the store is then only good for Close.
+func (b *Bench) join(wg *sync.WaitGroup) {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		b.interrupt()
+		<-done
+	}
+}
+
 // RunTPCCWorkers drives `threads` workers through the standard mix for the
 // duration and returns committed transactions per second.
 func (b *Bench) RunTPCCWorkers(threads int, duration time.Duration) (txnPerSec float64, committed uint64) {
@@ -121,7 +232,7 @@ func (b *Bench) RunTPCCWorkers(threads int, duration time.Duration) (txnPerSec f
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			s := b.Engine.NewSessionOn(i % b.workerSlots())
+			s := b.NewSession(i)
 			defer recoverStalledWorker(s)
 			w := b.TPCC.NewWorker(uint64(i)*7919+1, i%b.Scale.Warehouses+1)
 			for {
@@ -136,17 +247,15 @@ func (b *Bench) RunTPCCWorkers(threads int, duration time.Duration) (txnPerSec f
 	}
 	// Throughput counts durability acknowledgements, so synchronous and
 	// asynchronous (group-commit) designs are compared fairly.
-	before := b.Engine.Txns().Stats()
+	before := b.durableCommits()
 	start := time.Now()
 	time.Sleep(duration)
-	after := b.Engine.Txns().Stats()
+	after := b.durableCommits()
 	elapsed := time.Since(start).Seconds()
 	close(stop)
-	joinOrInterrupt(b.Engine, &wg)
+	b.join(&wg)
 	// Let stragglers drain so Close doesn't race benchmark accounting.
-	c := after.DurableCommits - before.DurableCommits
-	ab := after.Aborts - before.Aborts
-	_ = ab
+	c := after - before
 	return float64(c) / elapsed, c
 }
 
@@ -154,11 +263,20 @@ func (b *Bench) RunTPCCWorkers(threads int, duration time.Duration) (txnPerSec f
 // (the engine's Workers; single-log backends accept any worker index, so
 // modulo by this keeps session ids aligned with log partitions where they
 // exist).
-func (b *Bench) workerSlots() int { return b.Engine.Workers() }
+func (b *Bench) workerSlots() int {
+	if b.Cluster != nil {
+		return b.Cluster.Workers()
+	}
+	return b.Engine.Workers()
+}
 
-// Close shuts the bench engine down.
+// Close shuts the bench store down.
 func (b *Bench) Close() {
-	b.Engine.Interrupt()
+	b.interrupt()
+	if b.Cluster != nil {
+		b.Cluster.Close()
+		return
+	}
 	b.Engine.Close()
 }
 
@@ -178,25 +296,37 @@ func joinOrInterrupt(eng *core.Engine, wg *sync.WaitGroup) {
 }
 
 // recoverStalledWorker converts the pool-interrupt panic (the designed
-// no-steal stall) into a clean worker exit, releasing the session.
-func recoverStalledWorker(s *txn.Session) {
+// no-steal stall) into a clean worker exit, releasing the session. Both
+// engine and cluster sessions support abandoning mid-transaction.
+func recoverStalledWorker(s workload.Session) {
 	if r := recover(); r != nil {
 		if r == buffer.ErrPoolInterrupted {
-			s.AbandonForCrash()
+			s.(interface{ AbandonForCrash() }).AbandonForCrash()
 			return
 		}
 		panic(r)
 	}
 }
 
-// RemoteFlushPct computes the §4.1 metric from transaction stats.
+// RemoteFlushPct computes the §4.1 metric from transaction stats (summed
+// over shards for a cluster bench).
 func (b *Bench) RemoteFlushPct() float64 {
-	st := b.Engine.Txns().Stats()
-	tot := st.RFASkips + st.RFAFlushes
+	var skips, flushes uint64
+	if b.Cluster != nil {
+		for i := 0; i < b.Cluster.Shards(); i++ {
+			st := b.Cluster.Engine(i).Txns().Stats()
+			skips += st.RFASkips
+			flushes += st.RFAFlushes
+		}
+	} else {
+		st := b.Engine.Txns().Stats()
+		skips, flushes = st.RFASkips, st.RFAFlushes
+	}
+	tot := skips + flushes
 	if tot == 0 {
 		return 0
 	}
-	return 100 * float64(st.RFAFlushes) / float64(tot)
+	return 100 * float64(flushes) / float64(tot)
 }
 
 // fmtRate renders transactions/second compactly.

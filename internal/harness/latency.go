@@ -99,7 +99,7 @@ func newYCSBBenchWith(sc Scale, cfg core.Config) (*ycsbBench, error) {
 		eng.Close()
 		return nil, err
 	}
-	y := workload.NewYCSB(tree, sc.YCSBRecords)
+	y := workload.NewYCSB(workload.WrapBTree(tree), sc.YCSBRecords)
 	if err := y.Load(s, 1000); err != nil {
 		eng.Close()
 		return nil, err

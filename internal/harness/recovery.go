@@ -5,7 +5,6 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/workload"
 )
@@ -123,11 +122,11 @@ func Recovery(w io.Writer, sc Scale, threads int) (*RecoveryResult, error) {
 
 // attachTPCCTrees rebinds the TPC-C schema after recovery.
 func attachTPCCTrees(eng *core.Engine, warehouses int) (*workload.TPCC, error) {
-	return workload.NewTPCC(warehouses, func(name string) (*btree.BTree, error) {
+	return workload.NewTPCC(warehouses, func(name string) (workload.Tree, error) {
 		tr := eng.GetTree(name)
 		if tr == nil {
 			return nil, fmt.Errorf("harness: tree %q missing after recovery", name)
 		}
-		return tr, nil
+		return workload.WrapBTree(tr), nil
 	})
 }

@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/workload"
 )
@@ -41,16 +40,13 @@ func newYCSBBench(sc Scale, mode core.Mode, workers int) (*ycsbBench, error) {
 		eng.Close()
 		return nil, err
 	}
-	y := workload.NewYCSB(btreeOf(tree), sc.YCSBRecords)
+	y := workload.NewYCSB(workload.WrapBTree(tree), sc.YCSBRecords)
 	if err := y.Load(s, 1000); err != nil {
 		eng.Close()
 		return nil, err
 	}
 	return &ycsbBench{eng: eng, y: y}, nil
 }
-
-// btreeOf is the identity (kept for clarity at call sites).
-func btreeOf(t *btree.BTree) *btree.BTree { return t }
 
 func (b *ycsbBench) run(threads int, theta float64, duration time.Duration) float64 {
 	stop := make(chan struct{})

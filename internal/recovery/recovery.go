@@ -68,6 +68,21 @@ type Result struct {
 	// UndoWork holds, per loser transaction, its user records in log order;
 	// the engine reverts them in reverse through the logical access path.
 	UndoWork map[base.TxnID][]wal.Record
+
+	// InDoubt maps prepared-but-not-ended transactions (cross-shard 2PC
+	// participants crashed between prepare and the phase-two end record) to
+	// their global transaction IDs. They are neither winners nor losers:
+	// their effects are redone like everything else, but no undo runs and no
+	// end record is appended until the shard layer resolves them against the
+	// coordinator shard's decision log. InDoubtUndo keeps their user records
+	// for the resolve-as-abort path.
+	InDoubt     map[base.TxnID]uint64
+	InDoubtUndo map[base.TxnID][]wal.Record
+	// Decisions holds every durable coordinator commit-decision record found
+	// in the log (global txn ID → committed). Presumed abort: an in-doubt
+	// transaction whose gid is absent from its coordinator's Decisions
+	// aborts.
+	Decisions map[uint64]bool
 }
 
 // ScanConfig configures the analysis pass.
@@ -123,7 +138,12 @@ func Scan(cfg ScanConfig) (*Restart, error) {
 	if cfg.DBFileName == "" {
 		cfg.DBFileName = "db"
 	}
-	res := &Result{UndoWork: make(map[base.TxnID][]wal.Record)}
+	res := &Result{
+		UndoWork:    make(map[base.TxnID][]wal.Record),
+		InDoubt:     make(map[base.TxnID]uint64),
+		InDoubtUndo: make(map[base.TxnID][]wal.Record),
+		Decisions:   make(map[uint64]bool),
+	}
 
 	start := time.Now()
 	readBefore := cfg.SSD.BytesRead()
@@ -135,14 +155,16 @@ func Scan(cfg ScanConfig) (*Restart, error) {
 	res.MaxChunkSeq = maxSeq
 
 	type analysis struct {
-		redo    map[base.PageID][]wal.Record
-		byTxn   map[base.TxnID][]wal.Record
-		winners map[base.TxnID]bool
-		ended   map[base.TxnID]bool
-		records int
-		maxPID  base.PageID
-		maxGSN  base.GSN
-		maxTxn  base.TxnID
+		redo      map[base.PageID][]wal.Record
+		byTxn     map[base.TxnID][]wal.Record
+		winners   map[base.TxnID]bool
+		ended     map[base.TxnID]bool
+		prepared  map[base.TxnID]uint64
+		decisions map[uint64]bool
+		records   int
+		maxPID    base.PageID
+		maxGSN    base.GSN
+		maxTxn    base.TxnID
 	}
 	results := make([]*analysis, 0, len(parts))
 	var mu sync.Mutex
@@ -198,6 +220,20 @@ func Scan(cfg ScanConfig) (*Restart, error) {
 					// No-op GSN-watermark witness for idle-partition lifts;
 					// it only contributes to maxGSN / the log-derived stable
 					// horizon, never to redo or undo.
+				case wal.RecPrepare:
+					// Cross-shard phase one: the transaction is in-doubt
+					// unless an end record follows. Aux is the global ID.
+					if a.prepared == nil {
+						a.prepared = make(map[base.TxnID]uint64)
+					}
+					a.prepared[rec.Txn] = rec.Aux
+				case wal.RecDecide:
+					// Coordinator commit decision for global txn Aux; its
+					// durable presence commits the cross-shard transaction.
+					if a.decisions == nil {
+						a.decisions = make(map[uint64]bool)
+					}
+					a.decisions[rec.Aux] = true
 				default:
 					if rec.Page > a.maxPID {
 						a.maxPID = rec.Page
@@ -217,7 +253,8 @@ func Scan(cfg ScanConfig) (*Restart, error) {
 			for i := range recs {
 				rec := &recs[i]
 				switch rec.Type {
-				case wal.RecCommit, wal.RecAbortEnd, wal.RecValue, wal.RecLift:
+				case wal.RecCommit, wal.RecAbortEnd, wal.RecValue, wal.RecLift,
+					wal.RecPrepare, wal.RecDecide:
 				default:
 					l, ok := a.redo[rec.Page]
 					if !ok {
@@ -275,12 +312,27 @@ func Scan(cfg ScanConfig) (*Restart, error) {
 			merged[pid] = append(dst, recs...)
 		}
 		// Transactions are pinned to one log: winner/loser status and undo
-		// lists are decided per partition.
-		for txn, recs := range a.byTxn {
-			if !a.winners[txn] {
-				losers[txn] = true
-				res.UndoWork[txn] = recs
+		// lists are decided per partition. Prepared-but-not-ended
+		// transactions are in-doubt, not losers: their fate belongs to the
+		// coordinator shard, so recovery must neither undo them nor end them.
+		for txn, gid := range a.prepared {
+			if !a.ended[txn] && !a.winners[txn] {
+				res.InDoubt[txn] = gid
 			}
+		}
+		for gid := range a.decisions {
+			res.Decisions[gid] = true
+		}
+		for txn, recs := range a.byTxn {
+			if a.winners[txn] {
+				continue
+			}
+			if _, inDoubt := res.InDoubt[txn]; inDoubt {
+				res.InDoubtUndo[txn] = recs
+				continue
+			}
+			losers[txn] = true
+			res.UndoWork[txn] = recs
 		}
 	}
 	res.Losers = len(losers)

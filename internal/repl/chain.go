@@ -1,0 +1,124 @@
+package repl
+
+// Replica chains. A replica persists the shipped log locally in the same
+// block format the primary stages (AppendShipBlock), so it can itself act
+// as a Source for further replicas: reads are served from the locally
+// durable block index, speaking the exact cursor protocol of
+// wal.Manager.ShipRead. A downstream replica cannot tell whether its
+// upstream is the primary or another replica, and fan-out trees cost the
+// primary one shipping stream per direct child only.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/base"
+	"repro/internal/iosched"
+	"repro/internal/wal"
+)
+
+// Partitions implements Source: the upstream partition layout, which the
+// local log copy mirrors.
+func (r *Replica) Partitions() int { return len(r.parts) }
+
+// MaxGSN implements Source for chain serving: the horizon of the locally
+// durable log copy — the newest record a downstream replica can currently
+// obtain from this replica (not the primary's append horizon; a chained
+// replica's lag is measured against its upstream).
+func (r *Replica) MaxGSN() base.GSN {
+	r.chainMu.Lock()
+	defer r.chainMu.Unlock()
+	var max base.GSN
+	for _, p := range r.parts {
+		if n := p.refsDurable; n > 0 {
+			if g := p.refs[n-1].MaxGSN; g > max {
+				max = g
+			}
+		}
+	}
+	return max
+}
+
+// Read implements Source: the next run of locally durable log bytes of
+// partition part from cur, sliced out of the replica's own segment files.
+// Identical semantics to wal.Manager.ShipRead — the zero cursor binds to
+// the start of history (which a replica holds in full, since its own zero
+// cursor bound there), extents are record-aligned and contiguous, and a
+// caught-up cursor returns no extents until more log lands and hardens.
+func (r *Replica) Read(part int, cur wal.ShipCursor, maxBytes int) ([]wal.ShipExtent, wal.ShipCursor, error) {
+	if part < 0 || part >= len(r.parts) {
+		return nil, cur, fmt.Errorf("repl: chain read of unknown partition %d", part)
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	p := r.parts[part]
+
+	type plannedRead struct {
+		ref  wal.ShipBlockRef
+		skip int // bytes of the block before the cursor
+	}
+	var plans []plannedRead
+
+	r.chainMu.Lock()
+	refs := p.refs[:p.refsDurable]
+	if cur.Seq == 0 && cur.Off == 0 {
+		if len(refs) == 0 {
+			// Nothing persisted locally yet; bind once log arrives.
+			r.chainMu.Unlock()
+			return nil, cur, nil
+		}
+		first := refs[0]
+		if first.Seq != 1 || first.Off != wal.ChunkHeaderSize {
+			r.chainMu.Unlock()
+			return nil, cur, wal.ErrShipHistory
+		}
+		cur = wal.ShipCursor{Seq: first.Seq, Off: wal.ChunkHeaderSize}
+	}
+	idx := sort.Search(len(refs), func(i int) bool {
+		ref := refs[i]
+		if ref.Seq != cur.Seq {
+			return ref.Seq > cur.Seq
+		}
+		return ref.End() > cur.Off
+	})
+	c := cur
+	total := 0
+	for idx < len(refs) && total < maxBytes {
+		ref := refs[idx]
+		switch {
+		case ref.Seq == c.Seq && ref.Off <= c.Off:
+			// Continues (or contains) the cursor within the same chunk.
+		case ref.Seq > c.Seq && ref.Off == wal.ChunkHeaderSize:
+			// Persisting is strictly cursor-ordered, so a block of a later
+			// chunk proves chunk c.Seq was persisted and shipped in full.
+			c = wal.ShipCursor{Seq: ref.Seq, Off: wal.ChunkHeaderSize}
+		default:
+			r.chainMu.Unlock()
+			return nil, cur, wal.ErrShipGap
+		}
+		plans = append(plans, plannedRead{ref: ref, skip: c.Off - ref.Off})
+		total += ref.End() - c.Off
+		c = wal.ShipCursor{Seq: ref.Seq, Off: ref.End()}
+		idx++
+	}
+	r.chainMu.Unlock()
+
+	// Payload reads run outside chainMu: segment files are append-only and
+	// planned refs are past their sync barrier, so the bytes are immutable.
+	extents := make([]wal.ShipExtent, 0, len(plans))
+	for _, pl := range plans {
+		buf := make([]byte, pl.ref.N)
+		if _, err := r.sched.ReadWait(iosched.ClassRepl, pl.ref.File, buf, pl.ref.Pos, 4); err != nil {
+			return nil, cur, fmt.Errorf("repl: chain read of partition %d block (%d,%d): %w",
+				part, pl.ref.Seq, pl.ref.Off, err)
+		}
+		extents = append(extents, wal.ShipExtent{
+			Part: part, Seq: pl.ref.Seq, Off: pl.ref.Off + pl.skip, Data: buf[pl.skip:],
+		})
+	}
+	return extents, c, nil
+}
+
+// Compile-time check: a replica is a valid upstream for another replica.
+var _ Source = (*Replica)(nil)

@@ -113,6 +113,12 @@ type replPart struct {
 	segNo    int
 	segAt    int64
 	segDirty bool
+
+	// refs indexes the locally persisted blocks in cursor order;
+	// refs[:refsDurable] are past a sync barrier and may be served to
+	// downstream replicas (chains). Guarded by Replica.chainMu.
+	refs        []wal.ShipBlockRef
+	refsDurable int
 }
 
 // Replica pulls the primary's log, persists it locally, applies it to a
@@ -131,6 +137,7 @@ type Replica struct {
 	marker   base.GSN      // last persisted marker (loop-owned)
 	applied  atomic.Uint64 // records applied
 	shipErr  atomic.Pointer[error]
+	chainMu  sync.Mutex // guards per-partition chain refs (downstream readers)
 	stepMu   sync.Mutex // serializes Step with Close's final drain
 	stop     chan struct{}
 	done     chan struct{}
@@ -224,6 +231,15 @@ func (r *Replica) resumeLocal() error {
 				p.segNo = segNo
 			}
 		}
+	}
+	// Rebuild the chain-serving index: everything on disk is durable.
+	refsByPart, err := wal.ScanShipBlocks(r.ssd, r.sched)
+	if err != nil {
+		return fmt.Errorf("repl: restart chain index: %w", err)
+	}
+	for _, p := range r.parts {
+		p.refs = refsByPart[p.id]
+		p.refsDurable = len(p.refs)
 	}
 	r.applyReady()
 	return nil
@@ -333,6 +349,7 @@ func (r *Replica) finalize() error {
 				return fmt.Errorf("repl: local segment sync: %w", err)
 			}
 			p.segDirty = false
+			r.markChainDurable(p)
 		}
 	}
 	r.applyReady()
@@ -349,6 +366,15 @@ func (r *Replica) finalize() error {
 // layout as the primary, so the standard log scan recovers it).
 func (r *Replica) persistExtent(p *replPart, e wal.ShipExtent) error {
 	if p.seg == nil || p.segAt >= int64(r.cfg.SegmentSize) {
+		if p.seg != nil && p.segDirty {
+			// Roll: harden the outgoing segment so its blocks join the
+			// chain-servable prefix before the next file starts.
+			if err := r.sched.SyncWait(iosched.ClassRepl, p.seg, 16); err != nil {
+				return fmt.Errorf("repl: segment roll sync: %w", err)
+			}
+			p.segDirty = false
+			r.markChainDurable(p)
+		}
 		p.segNo++
 		p.seg = r.ssd.Open(wal.ShipSegmentName(p.id, p.segNo))
 		p.segAt = 0
@@ -357,9 +383,23 @@ func (r *Replica) persistExtent(p *replPart, e wal.ShipExtent) error {
 	if err != nil {
 		return fmt.Errorf("repl: local log append: %w", err)
 	}
+	r.chainMu.Lock()
+	p.refs = append(p.refs, wal.ShipBlockRef{
+		Seq: e.Seq, Off: e.Off, N: len(e.Data),
+		File: p.seg, Pos: at - int64(len(e.Data)), MaxGSN: p.lastGSN,
+	})
+	r.chainMu.Unlock()
 	p.segAt = at
 	p.segDirty = true
 	return nil
+}
+
+// markChainDurable admits every persisted block of p to the downstream-
+// servable prefix (called after the segment holding them is synced).
+func (r *Replica) markChainDurable(p *replPart) {
+	r.chainMu.Lock()
+	p.refsDurable = len(p.refs)
+	r.chainMu.Unlock()
 }
 
 // applyReady applies every pending record with GSN ≤ the replica horizon

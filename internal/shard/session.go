@@ -1,0 +1,317 @@
+package shard
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// Session is a transaction context over the cluster. It lazily opens one
+// engine session per shard and enlists a shard the first time a statement
+// touches it; a transaction that stays on one shard commits through that
+// engine's unmodified fast path (RFA and all), only transactions that
+// logged work on two or more shards pay for two-phase commit. A Session
+// runs one transaction at a time and must not be shared between
+// goroutines.
+type Session struct {
+	c      *Cluster
+	worker int
+	subs   []*txn.Session // lazily created, reused across transactions
+	joined []bool
+	order  []int // shards in enlistment order
+	active bool
+}
+
+// NewSession returns a session pinned (round-robin) to one worker slot of
+// every shard's log.
+func (c *Cluster) NewSession() *Session {
+	return c.NewSessionOn(int(c.sessionSeq.Add(1)-1) % c.Workers())
+}
+
+// NewSessionOn pins the session to a specific worker in [0, Workers);
+// out-of-range values wrap.
+func (c *Cluster) NewSessionOn(worker int) *Session {
+	return &Session{
+		c:      c,
+		worker: ((worker % c.Workers()) + c.Workers()) % c.Workers(),
+		subs:   make([]*txn.Session, len(c.engines)),
+		joined: make([]bool, len(c.engines)),
+	}
+}
+
+// Begin starts a transaction. Shard enlistment happens lazily on first
+// touch.
+//
+// Begin takes the cluster's per-slot transaction lock: sessions pinned to
+// the same worker slot run their transactions one at a time. This is what
+// makes lazy enlistment deadlock-free — a transaction blocks on a shard's
+// log-partition ownership only if another session of the same slot holds
+// it, and the slot lock rules exactly that out (two same-slot sessions
+// enlisting shards in opposite orders would otherwise wait on each other
+// forever). Sessions on distinct slots never share a log partition and
+// run fully in parallel.
+func (s *Session) Begin() {
+	if s.active {
+		panic("shard: begin with transaction active")
+	}
+	s.c.slotMu[s.worker].Lock()
+	s.active = true
+}
+
+// Active reports whether a transaction is open.
+func (s *Session) Active() bool { return s.active }
+
+// sub enlists shard i in the current transaction and returns its engine
+// session.
+func (s *Session) sub(i int) *txn.Session {
+	if !s.active {
+		panic("shard: statement without begin")
+	}
+	if !s.joined[i] {
+		if s.subs[i] == nil {
+			s.subs[i] = s.c.engines[i].NewSessionOn(s.worker)
+		}
+		s.subs[i].Begin()
+		s.joined[i] = true
+		s.order = append(s.order, i)
+	}
+	return s.subs[i]
+}
+
+// readShard picks the shard for a replicated-tree read: an already
+// enlisted shard if there is one (so replicated reads never widen the
+// participant set), shard 0 otherwise.
+func (s *Session) readShard() int {
+	if len(s.order) > 0 {
+		return s.order[0]
+	}
+	return 0
+}
+
+func (s *Session) reset() {
+	for _, i := range s.order {
+		s.joined[i] = false
+	}
+	s.order = s.order[:0]
+	s.active = false
+	s.c.slotMu[s.worker].Unlock()
+}
+
+// Abort rolls the transaction back on every enlisted shard.
+func (s *Session) Abort() {
+	if !s.active {
+		panic("shard: abort without begin")
+	}
+	for _, i := range s.order {
+		s.subs[i].Abort()
+	}
+	s.reset()
+}
+
+// AbandonForCrash drops an in-flight transaction without committing,
+// aborting, or logging anything on any shard — it models a worker dying
+// mid-transaction right before a simulated crash (see
+// txn.Session.AbandonForCrash).
+func (s *Session) AbandonForCrash() { s.abandon() }
+
+// abandon models the process dying mid-commit: every enlisted shard's
+// transaction is dropped without an end record (it becomes a recovery
+// loser or, if already prepared, an in-doubt transaction). Only reached
+// through a commit hook; the session stays unusable until the cluster is
+// crashed and reopened.
+func (s *Session) abandon() {
+	for _, i := range s.order {
+		if s.subs[i].Active() {
+			s.subs[i].AbandonForCrash()
+		}
+		s.subs[i] = nil
+	}
+	s.reset()
+}
+
+// Commit commits the transaction. One enlisted shard (or none, or a
+// read-only spread): the engines' own commit paths, untouched. Two or
+// more shards with logged writes: two-phase commit — every participant
+// appends and hardens a prepare record carrying the global transaction
+// ID, the coordinator (the first shard that logged work) then appends its
+// decision record, whose durability is the atomic commit point; phase two
+// commit records follow without waiting. The coordinator's decision
+// record is pinned against log pruning until every participant's
+// phase-two record is durable, since until then a crashed participant
+// still resolves through it.
+func (s *Session) Commit() {
+	if !s.active {
+		panic("shard: commit without begin")
+	}
+	switch len(s.order) {
+	case 0:
+		s.reset()
+		return
+	case 1:
+		s.subs[s.order[0]].Commit()
+		s.reset()
+		return
+	}
+	logged := make([]int, 0, len(s.order))
+	for _, i := range s.order {
+		if s.subs[i].Logged() {
+			logged = append(logged, i)
+		}
+	}
+	if len(logged) <= 1 {
+		// At most one shard wrote; reads have nothing to make atomic.
+		for _, i := range s.order {
+			s.subs[i].Commit()
+		}
+		s.reset()
+		return
+	}
+
+	c := s.c
+	c.crossTxns.Inc()
+	coord := logged[0]
+	gid := c.gidSeq.Add(1)<<8 | uint64(coord)
+
+	// Phase one. The coordinator prepares too: its own transaction must
+	// be in-doubt (not a loser) if the crash lands after the decision.
+	prepStart := time.Now()
+	for _, i := range logged {
+		s.subs[i].Prepare(gid)
+		if h := c.commitHook; h != nil && h(PointPrepared, i) {
+			s.abandon()
+			return
+		}
+	}
+	c.prepareLat.Observe(time.Since(prepStart))
+
+	// Commit point.
+	decideGSN := s.subs[coord].Decide(gid)
+	if h := c.commitHook; h != nil && h(PointDecided, coord) {
+		s.abandon()
+		return
+	}
+
+	// Phase two. The pin is taken while the coordinator's transaction is
+	// still active (its own active-GSN floor covers the decide record),
+	// so there is no window where the decision could be pruned.
+	unpin := c.engines[coord].Txns().PinGSN(decideGSN)
+	remaining := int32(len(logged))
+	onDurable := func() {
+		if atomic.AddInt32(&remaining, -1) == 0 {
+			unpin()
+		}
+	}
+	for _, i := range s.order {
+		if s.subs[i].Logged() {
+			s.subs[i].CommitDecided(onDurable)
+		} else {
+			s.subs[i].Commit()
+		}
+	}
+	s.reset()
+}
+
+// ---- Tree operations (routed) ----
+
+// Insert adds key → val. On a replicated tree the write fans out to every
+// shard (enlisting all of them).
+func (t *Tree) Insert(s *Session, key, val []byte) error {
+	if t.replicated {
+		for i := range t.sub {
+			if err := t.sub[i].Insert(s.sub(i), key, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	i := t.c.route(key)
+	return t.sub[i].Insert(s.sub(i), key, val)
+}
+
+// Get fetches the value for key, appending to dst (may be nil).
+func (t *Tree) Get(s *Session, key, dst []byte) ([]byte, bool) {
+	i := t.c.route(key)
+	if t.replicated {
+		i = s.readShard()
+	}
+	return t.sub[i].Lookup(s.sub(i), key, dst)
+}
+
+// Update replaces the value for key.
+func (t *Tree) Update(s *Session, key, val []byte) error {
+	if t.replicated {
+		for i := range t.sub {
+			if err := t.sub[i].Update(s.sub(i), key, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	i := t.c.route(key)
+	return t.sub[i].Update(s.sub(i), key, val)
+}
+
+// UpdateFunc fetches and replaces in one descent (partitioned trees
+// only — a replicated tree's fn could observe divergent copies).
+func (t *Tree) UpdateFunc(s *Session, key []byte, fn func(old []byte) []byte) error {
+	if t.replicated {
+		panic("shard: UpdateFunc on replicated tree")
+	}
+	i := t.c.route(key)
+	return t.sub[i].UpdateFunc(s.sub(i), key, fn)
+}
+
+// Delete removes key.
+func (t *Tree) Delete(s *Session, key []byte) error {
+	if t.replicated {
+		for i := range t.sub {
+			if err := t.sub[i].Remove(s.sub(i), key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	i := t.c.route(key)
+	return t.sub[i].Remove(s.sub(i), key)
+}
+
+// Scan iterates ascending from start (nil = beginning) until fn returns
+// false. Shards hold disjoint, ordered key ranges, so visiting them in
+// index order from the shard owning start yields a globally ordered scan.
+func (t *Tree) Scan(s *Session, start []byte, fn func(key, val []byte) bool) {
+	if t.replicated {
+		i := s.readShard()
+		t.sub[i].ScanAsc(s.sub(i), start, fn)
+		return
+	}
+	first := 0
+	if start != nil {
+		first = t.c.route(start)
+	}
+	stopped := false
+	wrapped := func(k, v []byte) bool {
+		if !fn(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for i := first; i < len(t.sub) && !stopped; i++ {
+		t.sub[i].ScanAsc(s.sub(i), start, wrapped)
+	}
+}
+
+// Count returns the number of entries (full scan; one shard's copy for a
+// replicated tree).
+func (t *Tree) Count(s *Session) int {
+	if t.replicated {
+		i := s.readShard()
+		return t.sub[i].Count(s.sub(i))
+	}
+	n := 0
+	for i := range t.sub {
+		n += t.sub[i].Count(s.sub(i))
+	}
+	return n
+}

@@ -1,0 +1,327 @@
+// Package shard runs N embeddable engines as one range-partitioned store
+// inside a single process. Keys are routed by byte-ordered split points;
+// every shard is a full engine (own buffer pool, WAL partitions, group
+// committer, checkpointer, devices), so single-shard transactions keep the
+// engine's commit fast path — including Remote Flush Avoidance — entirely
+// untouched. Transactions that write more than one shard commit with
+// two-phase commit layered on the per-shard group committers: prepare
+// records in every participant's WAL, a decision record in the
+// coordinator shard's WAL (the commit point, presumed abort), and restart
+// recovery that resolves in-doubt transactions by consulting the
+// coordinator's durable decisions.
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// Devices bundles one shard's simulated storage so a cluster can be
+// reopened (and recovered) after Close or Crash.
+type Devices struct {
+	PMem *dev.PMem
+	SSD  *dev.SSD
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Shards is the number of engines (1..256; the coordinator shard index
+	// is encoded in the low byte of the global transaction ID).
+	Shards int
+	// Boundaries holds Shards-1 strictly ascending split keys: shard i
+	// owns keys in [Boundaries[i-1], Boundaries[i]), with the first and
+	// last ranges open-ended.
+	Boundaries [][]byte
+	// Engine is the per-shard engine template. Devices and ObsAddr are
+	// managed per shard: the observability endpoint (if any) binds on
+	// shard 0, whose registry also carries the cluster's shard_* metrics.
+	Engine core.Config
+	// Devices, when non-nil, reopens a crashed or closed cluster; its
+	// length must equal Shards.
+	Devices []Devices
+}
+
+// Cluster is a set of range-partitioned engines behind one API.
+type Cluster struct {
+	cfg     Config
+	engines []*core.Engine
+	bounds  [][]byte
+
+	gidSeq     atomic.Uint64 // global txn IDs: (seq << 8) | coordinator
+	sessionSeq atomic.Uint64
+
+	// slotMu serializes transactions of sessions sharing a worker slot
+	// (see Session.Begin: lazy shard enlistment is deadlock-free only
+	// because same-slot transactions never run concurrently).
+	slotMu []sync.Mutex
+
+	// Cluster-level metrics (registered in shard 0's registry).
+	crossTxns      *obs.Counter
+	inDoubtRestart *obs.Counter
+	prepareLat     *metrics.Histogram
+
+	// commitHook, when set via SetCommitHook, is consulted at the named
+	// points of the two-phase commit protocol; returning true abandons
+	// the transaction mid-protocol (crash injection for recovery tests).
+	commitHook func(point CommitPoint, shard int) bool
+}
+
+// CommitPoint identifies where in the two-phase commit protocol a commit
+// hook fires.
+type CommitPoint int
+
+const (
+	// PointPrepared fires after one participant's prepare record is
+	// durable; the shard argument is that participant.
+	PointPrepared CommitPoint = iota
+	// PointDecided fires after the coordinator's decision record is
+	// durable (the transaction's commit point); the shard argument is the
+	// coordinator.
+	PointDecided
+)
+
+// twoPCModes lists the engine modes whose transaction backend is the
+// partitioned WAL manager — the only backend implementing txn.TwoPC.
+// Single-log (ARIES/Aether/Textbook), value-log (SiloR) and no-logging
+// engines cannot host cross-shard prepares.
+func modeSupports2PC(m core.Mode) bool {
+	switch m {
+	case core.ModeARIES, core.ModeAether, core.ModeTextbook,
+		core.ModeSiloR, core.ModeNoLogging:
+		return false
+	}
+	return true
+}
+
+// Open starts (or, given Devices, recovers) a cluster. After every shard's
+// own restart recovery completes, Open resolves cross-shard in-doubt
+// transactions: each prepared-but-undecided transaction commits iff its
+// coordinator shard holds a durable decision record (presumed abort
+// otherwise), identically on every participant, before the cluster serves
+// its first transaction.
+func Open(cfg Config) (*Cluster, error) {
+	if cfg.Shards <= 0 || cfg.Shards > 256 {
+		return nil, fmt.Errorf("shard: Shards must be in 1..256, got %d", cfg.Shards)
+	}
+	if len(cfg.Boundaries) != cfg.Shards-1 {
+		return nil, fmt.Errorf("shard: need %d boundaries for %d shards, got %d",
+			cfg.Shards-1, cfg.Shards, len(cfg.Boundaries))
+	}
+	for i := 1; i < len(cfg.Boundaries); i++ {
+		if bytes.Compare(cfg.Boundaries[i-1], cfg.Boundaries[i]) >= 0 {
+			return nil, fmt.Errorf("shard: boundaries must be strictly ascending")
+		}
+	}
+	if !modeSupports2PC(cfg.Engine.Mode) {
+		return nil, fmt.Errorf("shard: mode %v has no two-phase commit support (needs a partitioned WAL backend)", cfg.Engine.Mode)
+	}
+	if cfg.Devices != nil && len(cfg.Devices) != cfg.Shards {
+		return nil, fmt.Errorf("shard: %d device sets for %d shards", len(cfg.Devices), cfg.Shards)
+	}
+
+	c := &Cluster{
+		cfg:            cfg,
+		bounds:         cfg.Boundaries,
+		crossTxns:      new(obs.Counter),
+		inDoubtRestart: new(obs.Counter),
+		prepareLat:     metrics.NewHistogram(),
+	}
+	fail := func(err error) (*Cluster, error) {
+		for _, e := range c.engines {
+			e.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		ecfg := cfg.Engine
+		ecfg.PMem, ecfg.SSD = nil, nil
+		if cfg.Devices != nil {
+			ecfg.PMem, ecfg.SSD = cfg.Devices[i].PMem, cfg.Devices[i].SSD
+		}
+		if i > 0 {
+			ecfg.ObsAddr = "" // one endpoint per process, on shard 0
+		}
+		eng, err := core.Open(ecfg)
+		if err != nil {
+			return fail(fmt.Errorf("shard %d: %w", i, err))
+		}
+		c.engines = append(c.engines, eng)
+	}
+	c.slotMu = make([]sync.Mutex, c.engines[0].Workers())
+	if reg := c.engines[0].ObsRegistry(); reg != nil {
+		c.crossTxns = reg.Counter("shard_cross_txns_total")
+		c.inDoubtRestart = reg.Counter("shard_in_doubt_restart_total")
+		reg.RegisterHistogram("shard_prepare_seconds", c.prepareLat)
+		reg.GaugeFunc("shard_shards", func() float64 { return float64(cfg.Shards) })
+	}
+	c.resolveInDoubt()
+	return c, nil
+}
+
+// resolveInDoubt settles every transaction that some shard's restart
+// recovery left prepared but undecided. The verdict is the coordinator's:
+// a durable decision record commits the transaction on every participant;
+// no record means the crash hit before the commit point and the
+// transaction aborts everywhere (presumed abort). Resolution is made
+// durable on every shard (seal) before any shard retires the old log
+// generation holding the prepare and decision records — retiring a
+// coordinator's decisions earlier could turn a committed transaction into
+// a presumed abort on a participant that crashes again mid-resolution.
+func (c *Cluster) resolveInDoubt() {
+	decisions := make(map[uint64]bool)
+	var maxSeq uint64
+	for _, e := range c.engines {
+		for gid := range e.Decisions() {
+			decisions[gid] = true
+			if s := gid >> 8; s > maxSeq {
+				maxSeq = s
+			}
+		}
+		for _, d := range e.InDoubt() {
+			if s := d.GID >> 8; s > maxSeq {
+				maxSeq = s
+			}
+		}
+	}
+	// Never reuse a global txn ID: a stale decision record surviving in a
+	// coordinator's log must not resolve a future in-doubt transaction.
+	c.gidSeq.Store(maxSeq)
+
+	for _, e := range c.engines {
+		for _, d := range e.InDoubt() {
+			c.inDoubtRestart.Inc()
+			e.ResolveInDoubt(d.Txn, decisions[d.GID])
+		}
+	}
+	for _, e := range c.engines {
+		e.SealInDoubtResolution()
+	}
+	for _, e := range c.engines {
+		e.RetireInDoubtLog()
+	}
+}
+
+// SetCommitHook installs a test hook consulted at the labelled points of
+// every cross-shard commit; returning true abandons the transaction at
+// that point, as if the process died (pair with Crash and a reopen to
+// exercise in-doubt resolution).
+func (c *Cluster) SetCommitHook(fn func(point CommitPoint, shard int) bool) {
+	c.commitHook = fn
+}
+
+// route returns the shard owning key.
+func (c *Cluster) route(key []byte) int {
+	return sort.Search(len(c.bounds), func(i int) bool {
+		return bytes.Compare(key, c.bounds[i]) < 0
+	})
+}
+
+// Shards returns the number of shards.
+func (c *Cluster) Shards() int { return len(c.engines) }
+
+// Workers returns the per-shard worker/log-partition count (after engine
+// defaulting).
+func (c *Cluster) Workers() int { return c.engines[0].Workers() }
+
+// Engine exposes one shard's engine (harness and tests).
+func (c *Cluster) Engine(i int) *core.Engine { return c.engines[i] }
+
+// CrossShardTxns returns the number of transactions committed through
+// two-phase commit since Open.
+func (c *Cluster) CrossShardTxns() uint64 { return c.crossTxns.Load() }
+
+// InDoubtAtRestart returns the number of in-doubt transactions the last
+// Open resolved.
+func (c *Cluster) InDoubtAtRestart() uint64 { return c.inDoubtRestart.Load() }
+
+// Close shuts every shard down cleanly.
+func (c *Cluster) Close() error {
+	var first error
+	for _, e := range c.engines {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Devices returns the live per-shard devices (e.g. to reopen after Close).
+func (c *Cluster) Devices() []Devices {
+	out := make([]Devices, len(c.engines))
+	for i, e := range c.engines {
+		pm, ssd := e.Devices()
+		out[i] = Devices{PMem: pm, SSD: ssd}
+	}
+	return out
+}
+
+// Crash kills every shard without flushing anything and applies crash
+// semantics to all devices (deterministic per seed). Reopen with the
+// returned Devices to run recovery and in-doubt resolution.
+func (c *Cluster) Crash(seed uint64) []Devices {
+	out := make([]Devices, len(c.engines))
+	for i, e := range c.engines {
+		pm, ssd := e.SimulateCrash(seed + uint64(i)*0x9E3779B97F4A7C15)
+		out[i] = Devices{PMem: pm, SSD: ssd}
+	}
+	return out
+}
+
+// WaitAllDurable blocks until every shard's committed transactions are
+// durable (see txn.Manager.WaitAllDurable).
+func (c *Cluster) WaitAllDurable() {
+	for _, e := range c.engines {
+		e.Txns().WaitAllDurable(0)
+	}
+}
+
+// ---- Trees ----
+
+// Tree is a named ordered key-value tree spanning the cluster. A
+// partitioned tree stores each key on the shard owning it; a replicated
+// tree keeps a full copy on every shard (reads stay local to a
+// transaction's existing participants, writes fan out to all shards).
+type Tree struct {
+	c          *Cluster
+	name       string
+	replicated bool
+	sub        []*btree.BTree
+}
+
+// CreateTree creates a tree on every shard.
+func (c *Cluster) CreateTree(name string, replicated bool) (*Tree, error) {
+	t := &Tree{c: c, name: name, replicated: replicated}
+	for _, e := range c.engines {
+		s := e.NewSessionOn(0)
+		bt, err := e.CreateTree(s, name)
+		if err != nil {
+			return nil, fmt.Errorf("shard: create %q: %w", name, err)
+		}
+		t.sub = append(t.sub, bt)
+	}
+	return t, nil
+}
+
+// OpenTree opens an existing tree. The replicated flag is declarative
+// (the cluster does not persist it): pass the same value used at
+// CreateTree.
+func (c *Cluster) OpenTree(name string, replicated bool) (*Tree, bool) {
+	t := &Tree{c: c, name: name, replicated: replicated}
+	for _, e := range c.engines {
+		bt := e.GetTree(name)
+		if bt == nil {
+			return nil, false
+		}
+		t.sub = append(t.sub, bt)
+	}
+	return t, true
+}

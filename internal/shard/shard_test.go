@@ -1,0 +1,444 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// testCfg builds an n-shard cluster config over numeric string keys
+// ("%08d"), with boundaries splitting [0, 100000000) evenly.
+func testCfg(n int, mode core.Mode) Config {
+	var bounds [][]byte
+	for i := 1; i < n; i++ {
+		bounds = append(bounds, []byte(fmt.Sprintf("%08d", i*100000000/n)))
+	}
+	return Config{
+		Shards:     n,
+		Boundaries: bounds,
+		Engine: core.Config{
+			Mode:             mode,
+			Workers:          2,
+			PoolPages:        256,
+			WALLimit:         4 << 20,
+			CheckpointShards: 8,
+			ChunkSize:        32 * 1024,
+			SegmentSize:      64 * 1024,
+		},
+	}
+}
+
+func mustOpen(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sk(i int) []byte { return []byte(fmt.Sprintf("%08d", i)) }
+func sv(i int) []byte { return []byte(fmt.Sprintf("value-%08d", i)) }
+
+// spread returns one key per shard of an n-shard testCfg cluster.
+func spread(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i*100000000/n + 42
+	}
+	return out
+}
+
+func TestSingleShardStaysLocal(t *testing.T) {
+	c := mustOpen(t, testCfg(2, core.ModeOurs))
+	defer c.Close()
+	tree, err := c.CreateTree("t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.NewSession()
+	s.Begin()
+	if err := tree.Insert(s, sk(1), sv(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(s, sk(2), sv(2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit()
+	s.Begin()
+	got, ok := tree.Get(s, sk(1), nil)
+	s.Commit()
+	if !ok || !bytes.Equal(got, sv(1)) {
+		t.Fatalf("get: %v %q", ok, got)
+	}
+	if n := c.CrossShardTxns(); n != 0 {
+		t.Fatalf("single-shard txn used 2PC (%d cross-shard commits)", n)
+	}
+}
+
+func TestCrossShardCommitScanCount(t *testing.T) {
+	cfg := testCfg(4, core.ModeOurs)
+	c := mustOpen(t, cfg)
+	keys := spread(4)
+	tree, _ := c.CreateTree("t", false)
+	s := c.NewSession()
+	s.Begin()
+	for _, k := range keys {
+		if err := tree.Insert(s, sk(k), sv(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+	if n := c.CrossShardTxns(); n != 1 {
+		t.Fatalf("cross-shard commits = %d, want 1", n)
+	}
+
+	// Globally ordered scan across all four shards.
+	s.Begin()
+	var seen []string
+	tree.Scan(s, nil, func(k, v []byte) bool {
+		seen = append(seen, string(k))
+		return true
+	})
+	if n := tree.Count(s); n != len(keys) {
+		t.Fatalf("count = %d, want %d", n, len(keys))
+	}
+	s.Commit()
+	if len(seen) != len(keys) {
+		t.Fatalf("scan saw %d keys, want %d", len(seen), len(keys))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] >= seen[i] {
+			t.Fatalf("scan out of order: %q before %q", seen[i-1], seen[i])
+		}
+	}
+
+	// Survives a clean restart.
+	c.WaitAllDurable()
+	c.Close()
+	cfg.Devices = c.Devices()
+	c2 := mustOpen(t, cfg)
+	defer c2.Close()
+	tree2, ok := c2.OpenTree("t", false)
+	if !ok {
+		t.Fatal("tree lost after clean restart")
+	}
+	s2 := c2.NewSession()
+	s2.Begin()
+	for _, k := range keys {
+		if _, ok := tree2.Get(s2, sk(k), nil); !ok {
+			t.Fatalf("key %d lost after restart", k)
+		}
+	}
+	s2.Commit()
+}
+
+func TestCrossShardAbort(t *testing.T) {
+	c := mustOpen(t, testCfg(2, core.ModeOurs))
+	defer c.Close()
+	tree, _ := c.CreateTree("t", false)
+	keys := spread(2)
+	s := c.NewSession()
+	s.Begin()
+	for _, k := range keys {
+		if err := tree.Insert(s, sk(k), sv(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Abort()
+	s.Begin()
+	for _, k := range keys {
+		if _, ok := tree.Get(s, sk(k), nil); ok {
+			t.Fatalf("aborted key %d visible", k)
+		}
+	}
+	s.Commit()
+}
+
+func TestReplicatedTree(t *testing.T) {
+	c := mustOpen(t, testCfg(2, core.ModeOurs))
+	defer c.Close()
+	items, _ := c.CreateTree("items", true)
+	s := c.NewSession()
+	s.Begin()
+	for i := 0; i < 10; i++ {
+		if err := items.Insert(s, sk(i), sv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+	// Every shard holds a full copy.
+	for i := 0; i < c.Shards(); i++ {
+		bt := c.Engine(i).GetTree("items")
+		es := c.Engine(i).NewSessionOn(0)
+		es.Begin()
+		n := bt.Count(es)
+		es.Commit()
+		if n != 10 {
+			t.Fatalf("shard %d holds %d items, want 10", i, n)
+		}
+	}
+	// A replicated read inside a partitioned txn must not widen the
+	// participant set: the next txn touches shard 1 then reads items.
+	before := c.CrossShardTxns()
+	tree, _ := c.CreateTree("t", false)
+	k1 := spread(2)[1]
+	s.Begin()
+	if err := tree.Insert(s, sk(k1), sv(k1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := items.Get(s, sk(3), nil); !ok {
+		t.Fatal("replicated read failed")
+	}
+	s.Commit()
+	if n := c.CrossShardTxns(); n != before {
+		t.Fatal("replicated read widened the participant set into 2PC")
+	}
+}
+
+func TestUnsupportedModeRejected(t *testing.T) {
+	for _, m := range []core.Mode{core.ModeARIES, core.ModeAether, core.ModeTextbook, core.ModeSiloR, core.ModeNoLogging} {
+		cfg := testCfg(2, m)
+		if _, err := Open(cfg); err == nil {
+			t.Fatalf("mode %v: sharded open succeeded, want error", m)
+		}
+	}
+}
+
+// crashCluster abandons one cross-shard transaction at the given commit
+// point, crashes every shard, and returns the devices for reopening. The
+// transaction writes one key per shard of keys.
+func crashCluster(t *testing.T, cfg Config, keys []int, stop func(CommitPoint, int) bool, seed uint64) []Devices {
+	t.Helper()
+	c := mustOpen(t, cfg)
+	tree, err := c.CreateTree("t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed baseline data on every shard, hardened before the crash.
+	s := c.NewSession()
+	s.Begin()
+	for _, k := range keys {
+		if err := tree.Insert(s, sk(k+1), sv(k+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+	c.WaitAllDurable()
+
+	c.SetCommitHook(stop)
+	s2 := c.NewSession()
+	s2.Begin()
+	for _, k := range keys {
+		if err := tree.Insert(s2, sk(k), sv(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2.Commit() // abandoned mid-protocol by the hook
+	if s2.Active() {
+		t.Fatal("commit hook did not fire")
+	}
+	return c.Crash(seed)
+}
+
+// verifyAtomic reopens the crashed cluster and asserts the in-flight
+// transaction resolved to the same fate on every shard — and that the
+// fate matches the protocol: committed iff the coordinator's decision
+// record was durable at the crash.
+func verifyAtomic(t *testing.T, cfg Config, keys []int, wantCommit bool, wantInDoubt uint64) {
+	t.Helper()
+	c := mustOpen(t, cfg)
+	defer c.Close()
+	for i := 0; i < c.Shards(); i++ {
+		if err := c.Engine(i).WaitRecovered(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.InDoubtAtRestart(); got != wantInDoubt {
+		t.Fatalf("in-doubt at restart = %d, want %d", got, wantInDoubt)
+	}
+	tree, ok := c.OpenTree("t", false)
+	if !ok {
+		t.Fatal("tree lost in crash")
+	}
+	s := c.NewSession()
+	s.Begin()
+	for _, k := range keys {
+		if _, ok := tree.Get(s, sk(k+1), nil); !ok {
+			t.Fatalf("baseline key %d lost", k+1)
+		}
+		_, present := tree.Get(s, sk(k), nil)
+		if present != wantCommit {
+			t.Fatalf("key %d present=%v, want %v (atomicity broken)", k, present, wantCommit)
+		}
+	}
+	s.Commit()
+
+	// The recovered cluster keeps working, including fresh 2PC commits
+	// (global txn IDs must not collide with pre-crash ones).
+	s.Begin()
+	for _, k := range keys {
+		if err := tree.Insert(s, sk(k+2), sv(k+2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+	c.WaitAllDurable()
+}
+
+func TestCrashBeforeDecisionAborts(t *testing.T) {
+	// All participants prepared, coordinator never decided: presumed
+	// abort on every shard, all four in-doubt at restart.
+	cfg := testCfg(4, core.ModeOurs)
+	keys := spread(4)
+	devs := crashCluster(t, cfg, keys,
+		func(p CommitPoint, shard int) bool { return p == PointPrepared && shard == 3 },
+		1)
+	cfg.Devices = devs
+	verifyAtomic(t, cfg, keys, false, 4)
+}
+
+func TestCrashMidPrepareAborts(t *testing.T) {
+	// Only the first participant prepared: it is in-doubt, the rest are
+	// plain losers; everyone aborts.
+	cfg := testCfg(4, core.ModeOurs)
+	keys := spread(4)
+	devs := crashCluster(t, cfg, keys,
+		func(p CommitPoint, shard int) bool { return p == PointPrepared },
+		2)
+	cfg.Devices = devs
+	verifyAtomic(t, cfg, keys, false, 1)
+}
+
+func TestCrashAfterDecisionCommits(t *testing.T) {
+	// The decision record was durable: every prepared participant is
+	// in-doubt and must resolve to commit.
+	cfg := testCfg(4, core.ModeOurs)
+	keys := spread(4)
+	devs := crashCluster(t, cfg, keys,
+		func(p CommitPoint, shard int) bool { return p == PointDecided },
+		3)
+	cfg.Devices = devs
+	verifyAtomic(t, cfg, keys, true, 4)
+}
+
+// TestInDoubtResolutionEquivalence is the randomized atomicity pin: for
+// every recovery mode and both outcomes, crash a cross-shard commit at a
+// seed-chosen protocol point and require every shard to resolve the
+// transaction identically — commit iff the decision was durable.
+func TestInDoubtResolutionEquivalence(t *testing.T) {
+	modes := []struct {
+		name string
+		rm   core.RecoveryMode
+	}{
+		{"parallel", core.RecoverParallel},
+		{"blocking", core.RecoverBlocking},
+		{"ondemand", core.RecoverOnDemand},
+	}
+	for _, m := range modes {
+		for seed := uint64(1); seed <= 3; seed++ {
+			for _, wantCommit := range []bool{false, true} {
+				name := fmt.Sprintf("%s/seed%d/commit=%v", m.name, seed, wantCommit)
+				t.Run(name, func(t *testing.T) {
+					cfg := testCfg(4, core.ModeOurs)
+					cfg.Engine.RecoveryMode = m.rm
+					keys := spread(4)
+					var stop func(CommitPoint, int) bool
+					var wantInDoubt uint64
+					if wantCommit {
+						stop = func(p CommitPoint, shard int) bool { return p == PointDecided }
+						wantInDoubt = 4
+					} else {
+						// Die after the seed-chosen prepare (1-based), so
+						// different seeds leave different participant
+						// subsets prepared; all must abort.
+						cut := int(seed % 4)
+						n := 0
+						stop = func(p CommitPoint, shard int) bool {
+							if p != PointPrepared {
+								return false
+							}
+							n++
+							return n > cut
+						}
+						wantInDoubt = uint64(cut + 1)
+					}
+					devs := crashCluster(t, cfg, keys, stop, seed*977)
+					cfg.Devices = devs
+					verifyAtomic(t, cfg, keys, wantCommit, wantInDoubt)
+				})
+			}
+		}
+	}
+}
+
+// TestGroupCommitCrossShard exercises 2PC over the asynchronous group
+// committer, including a crash-recommit cycle.
+func TestGroupCommitCrossShard(t *testing.T) {
+	cfg := testCfg(2, core.ModeGroupCommitRFA)
+	keys := spread(2)
+	devs := crashCluster(t, cfg, keys,
+		func(p CommitPoint, shard int) bool { return p == PointDecided },
+		7)
+	cfg.Devices = devs
+	verifyAtomic(t, cfg, keys, true, 2)
+}
+
+// TestSameSlotSessionsNoDeadlock pins the regression where two sessions
+// sharing a worker slot enlisted shards in opposite orders and deadlocked
+// on log-partition ownership: the per-slot transaction lock must instead
+// serialize them. Workers=2 with four goroutines forces slot sharing;
+// each transaction intentionally touches the shards in a goroutine-
+// dependent order.
+func TestSameSlotSessionsNoDeadlock(t *testing.T) {
+	c := mustOpen(t, testCfg(2, core.ModeOurs))
+	defer c.Close()
+	tree, err := c.CreateTree("t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := spread(2)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			s := c.NewSessionOn(g % 2) // two goroutines per slot
+			for round := 0; round < 25; round++ {
+				s.Begin()
+				// Opposite enlistment order per goroutine parity.
+				order := []int{0, 1}
+				if g%2 == 1 {
+					order = []int{1, 0}
+				}
+				for _, sh := range order {
+					k := append(sk(keys[sh]), byte('a'+g))
+					if err := tree.Insert(s, append(k, byte(round)), sv(round)); err != nil {
+						s.Abort()
+						done <- err
+						return
+					}
+				}
+				s.Commit()
+			}
+			done <- nil
+		}(g)
+	}
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("cross-shard transactions deadlocked on shared worker slots")
+		}
+	}
+	c.WaitAllDurable()
+	if got := c.CrossShardTxns(); got != 100 {
+		t.Fatalf("CrossShardTxns = %d, want 100", got)
+	}
+}

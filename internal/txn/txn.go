@@ -49,6 +49,20 @@ type Backend interface {
 
 var _ Backend = (*wal.Manager)(nil)
 
+// TwoPC is the optional backend surface for cross-shard two-phase commit:
+// participant prepare (all-log durable wait), coordinator decision
+// (own-partition durable wait), and the phase-two commit record (appended
+// without waiting — the decide record is the durability point). Only the
+// distributed WAL implements it; value-logging and single-log baselines
+// don't take part in sharding.
+type TwoPC interface {
+	Prepare(worker int, txn base.TxnID, gid uint64, proposal base.GSN) base.GSN
+	Decide(worker int, txn base.TxnID, gid uint64, proposal base.GSN) base.GSN
+	CommitDecided(worker int, txn base.TxnID, proposal base.GSN, onDurable func()) base.GSN
+}
+
+var _ TwoPC = (*wal.Manager)(nil)
+
 // Config configures the transaction manager.
 type Config struct {
 	// Backend is the log implementation.
@@ -102,6 +116,14 @@ type Manager struct {
 	// counts commits that required them (the §4.1 remote-flush table).
 	rfaSkips   atomic.Uint64
 	rfaFlushes atomic.Uint64
+
+	// pins holds explicit log-prune pins (PinGSN) that MinActiveTxGSN folds
+	// into its minimum alongside active sessions; pinned counts entries so
+	// the common pin-free case stays lock-free on the checkpointer path.
+	pinMu  sync.Mutex
+	pins   map[uint64]base.GSN
+	pinSeq uint64
+	pinned atomic.Int64
 }
 
 // NewManager creates the transaction manager.
@@ -168,7 +190,43 @@ func (m *Manager) MinActiveTxGSN() base.GSN {
 			min = g
 		}
 	}
+	if m.pinned.Load() != 0 {
+		m.pinMu.Lock()
+		for _, g := range m.pins {
+			if g < min {
+				min = g
+			}
+		}
+		m.pinMu.Unlock()
+	}
 	return min
+}
+
+// PinGSN pins the log-prune horizon at gsn until the returned release is
+// called: records at or above gsn stay recoverable regardless of session
+// activity. The shard layer pins a coordinator's decide record until every
+// participant's phase-two end record is durable, and pins in-doubt
+// transactions' undo records at restart until resolution. release is
+// idempotent.
+func (m *Manager) PinGSN(gsn base.GSN) (release func()) {
+	m.pinMu.Lock()
+	if m.pins == nil {
+		m.pins = make(map[uint64]base.GSN)
+	}
+	m.pinSeq++
+	id := m.pinSeq
+	m.pins[id] = gsn
+	m.pinned.Add(1)
+	m.pinMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.pinMu.Lock()
+			delete(m.pins, id)
+			m.pinned.Add(-1)
+			m.pinMu.Unlock()
+		})
+	}
 }
 
 // Stats aggregates transaction counters.
@@ -404,6 +462,84 @@ func (s *Session) Commit() {
 // SetSyncCommit forces this session's commits to wait for durability even
 // under AsyncCommit backends (latency experiments measure the ack).
 func (s *Session) SetSyncCommit(v bool) { s.syncCommit = v }
+
+// Logged reports whether the current transaction appended any user log
+// record — false for read-only participants, which skip phase one entirely.
+func (s *Session) Logged() bool { return s.firstGSN != 0 }
+
+// Prepare runs a participant's phase one of cross-shard two-phase commit: it
+// appends a prepare record carrying the global transaction ID and blocks
+// until the transaction's records — and, via the all-partition stable
+// horizon, everything they depend on — are durable. The transaction stays
+// active: its undo information, partition ownership, and prune pin survive
+// until the coordinator's decision arrives (CommitDecided or Abort).
+// Read-only transactions return without touching the log. Panics if the
+// backend does not implement TwoPC.
+func (s *Session) Prepare(gid uint64) {
+	if !s.active {
+		panic("txn: prepare without begin")
+	}
+	if s.mgr.cfg.NoLogging || s.firstGSN == 0 {
+		return
+	}
+	b, ok := s.mgr.cfg.Backend.(TwoPC)
+	if !ok {
+		panic("txn: backend does not support two-phase commit")
+	}
+	s.gsn = b.Prepare(int(s.worker), s.txnID, gid, s.gsn)
+}
+
+// CommitDecided finishes a prepared transaction after the coordinator's
+// decision became durable: it appends the phase-two commit record without
+// waiting (the decide record is the transaction's durability point) and ends
+// the transaction. The durable acknowledgement arrives asynchronously in
+// group-commit modes, synchronously otherwise; onDurable (optional) fires
+// with it — the shard layer uses this to release the coordinator's decide
+// pin once every participant's phase-two record is on stable storage.
+func (s *Session) CommitDecided(onDurable func()) {
+	if !s.active {
+		panic("txn: commit without begin")
+	}
+	if s.mgr.cfg.NoLogging || s.firstGSN == 0 {
+		s.end()
+		s.mgr.commits.Add(1)
+		s.mgr.durable.Add(1)
+		if onDurable != nil {
+			onDurable()
+		}
+		return
+	}
+	b, ok := s.mgr.cfg.Backend.(TwoPC)
+	if !ok {
+		panic("txn: backend does not support two-phase commit")
+	}
+	cb := s.onDurableRemote
+	if onDurable != nil {
+		inner := cb
+		cb = func() { inner(); onDurable() }
+	}
+	s.gsn = b.CommitDecided(int(s.worker), s.txnID, s.gsn, cb)
+	s.end()
+	s.mgr.commits.Add(1)
+}
+
+// Decide appends the coordinator's commit-decision record for global
+// transaction gid on this session's partition and blocks until it is
+// durable — the commit point of a cross-shard transaction. The session must
+// hold an active prepared transaction (the coordinator is always a
+// participant with logged work; its active state pins the decide record
+// against pruning until the shard layer takes over the pin).
+func (s *Session) Decide(gid uint64) base.GSN {
+	if !s.active {
+		panic("txn: decide without begin")
+	}
+	b, ok := s.mgr.cfg.Backend.(TwoPC)
+	if !ok {
+		panic("txn: backend does not support two-phase commit")
+	}
+	s.gsn = b.Decide(int(s.worker), s.txnID, gid, s.gsn)
+	return s.gsn
+}
 
 // Abort rolls the transaction back: each change is undone logically through
 // the regular access path (logging compensation records), then the

@@ -490,6 +490,74 @@ func (m *Manager) AbortEnd(worker int, txn base.TxnID, proposal base.GSN) base.G
 	return m.parts[worker].Append(&rec, proposal)
 }
 
+// Prepare appends the two-phase-commit prepare record for txn (Aux = gid,
+// the cluster-wide global transaction ID) and blocks until it is durable in
+// every partition's prefix. The all-partition wait is what lets a durable
+// prepare vouch for the transaction's dependencies: every record the
+// transaction touched or depends on carries a smaller GSN, so the stable
+// horizon reaching the prepare GSN covers them all — exactly the remote-class
+// commit durability rule, reused for phase one.
+func (m *Manager) Prepare(worker int, txn base.TxnID, gid uint64, proposal base.GSN) base.GSN {
+	rec := Record{Type: RecPrepare, Txn: txn, Aux: gid}
+	gsn := m.parts[worker].Append(&rec, proposal)
+	switch {
+	case m.cfg.CommitFlushDisabled:
+		// Ablation mode: commits don't wait either; keep the shapes aligned.
+	case m.cfg.GroupCommit:
+		m.WaitCommitDurable(worker, gsn, false)
+	default:
+		m.FlushAllLogs()
+	}
+	return gsn
+}
+
+// Decide appends the coordinator's commit-decision record for global
+// transaction gid and blocks until it is durable in its own partition — the
+// cross-shard transaction's durability point. Participants' prepares are
+// already durable (the coordinator decides only after every prepare
+// acknowledged), so only the decide's own partition needs waiting on.
+func (m *Manager) Decide(worker int, txn base.TxnID, gid uint64, proposal base.GSN) base.GSN {
+	p := m.parts[worker]
+	rec := Record{Type: RecDecide, Txn: txn, Aux: gid}
+	gsn := p.Append(&rec, proposal)
+	switch {
+	case m.cfg.CommitFlushDisabled:
+	case m.cfg.GroupCommit:
+		m.WaitCommitDurable(worker, gsn, true)
+	case m.cfg.PersistMode == PersistPMem:
+		p.FlushPMem()
+	default:
+		p.stageAll(true)
+	}
+	return gsn
+}
+
+// CommitDecided appends the phase-two commit record of a prepared
+// transaction. The record is marked dependency-safe (Aux=1): the prepare
+// already made the transaction's records and dependencies durable, so
+// recovery may trust this commit wherever it finds it. In group-commit mode
+// durability rides the partition's normal flush cadence and onDurable fires
+// asynchronously; synchronous modes flush the own partition and fire it
+// before returning.
+func (m *Manager) CommitDecided(worker int, txn base.TxnID, proposal base.GSN, onDurable func()) base.GSN {
+	p := m.parts[worker]
+	rec := Record{Type: RecCommit, Txn: txn, Aux: 1}
+	gsn := p.Append(&rec, proposal)
+	switch {
+	case m.cfg.CommitFlushDisabled:
+		onDurable()
+	case m.cfg.GroupCommit:
+		m.EnqueueCommitWaiter(worker, gsn, true, onDurable)
+	case m.cfg.PersistMode == PersistPMem:
+		p.FlushPMem()
+		onDurable()
+	default:
+		p.stageAll(true)
+		onDurable()
+	}
+	return gsn
+}
+
 // FlushAllLogs makes every record appended so far (in every partition)
 // durable: the write-ahead rule enforced before page images reach the
 // database file (a page may carry uncommitted changes under steal, and its

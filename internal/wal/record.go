@@ -60,6 +60,20 @@ const (
 	// marker was not yet persisted at crash time. Carries only a GSN; skipped
 	// by recovery analysis and redo.
 	RecLift
+	// RecPrepare marks transaction Txn as prepared in a cross-shard
+	// two-phase commit: all its log records precede this one in the same
+	// partition and are durable before the prepare is acknowledged to the
+	// coordinator. Aux carries the cluster-wide global transaction ID
+	// (coordinator shard in the low 8 bits). A prepared-but-not-ended
+	// transaction is in-doubt at restart: recovery neither redoes nor undoes
+	// a decision for it — resolution consults the coordinator shard's log.
+	RecPrepare
+	// RecDecide is the coordinator's commit decision record for global
+	// transaction Aux: once durable in the coordinator shard's own WAL, the
+	// cross-shard transaction is committed (presumed abort: an in-doubt
+	// transaction whose global ID has no durable decide record aborts).
+	// Carries no page and is skipped by redo.
+	RecDecide
 
 	recTypeMax
 )
@@ -89,6 +103,10 @@ func (t RecType) String() string {
 		return "value"
 	case RecLift:
 		return "lift"
+	case RecPrepare:
+		return "prepare"
+	case RecDecide:
+		return "decide"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}

@@ -425,6 +425,69 @@ func WriteShipMarker(sched *iosched.Scheduler, ssd *dev.SSD, gsn base.GSN) error
 	return sched.SyncWait(iosched.ClassRepl, f, walRetries)
 }
 
+// ChunkHeaderSize is the chunk offset of a chunk's first record byte — the
+// offset every partition stream starts at. Exported for replica-side chain
+// serving, which speaks the same cursor protocol as ShipRead.
+const ChunkHeaderSize = chunkHeaderSize
+
+// ShipBlockRef locates one block of a replica's locally persisted segment
+// chain: which chunk byte range it carries and where its payload sits on the
+// local SSD. It is the replica-side analog of the primary's ship index entry,
+// letting a replica serve Source reads to downstream replicas (chains).
+type ShipBlockRef struct {
+	Seq    uint64
+	Off    int // chunk offset of the first payload byte
+	N      int
+	File   *dev.File
+	Pos    int64 // file offset of the payload (past the block header)
+	MaxGSN base.GSN
+}
+
+// End returns the chunk offset just past this block's payload.
+func (r ShipBlockRef) End() int { return r.Off + r.N }
+
+// ScanShipBlocks indexes a replica's locally persisted segments (written by
+// AppendShipBlock) for chain serving: per partition, blocks in cursor order.
+// A torn trailing block (replica crash) is skipped — its bytes are refetched
+// from upstream, matching LoadShipResume's truncation rule.
+func ScanShipBlocks(ssd *dev.SSD, sched *iosched.Scheduler) (map[int][]ShipBlockRef, error) {
+	out := make(map[int][]ShipBlockRef)
+	for _, name := range ssd.List("wal/p") {
+		part, _, ok := parseSegName(name)
+		if !ok {
+			continue
+		}
+		f := ssd.Open(name)
+		size := f.Size()
+		var hdr [blockHeaderSize]byte
+		for pos := int64(0); pos+blockHeaderSize <= size; {
+			if _, err := sched.ReadWait(iosched.ClassRepl, f, hdr[:], pos, walRetries); err != nil {
+				return nil, fmt.Errorf("wal: ship block scan of %s: %w", name, err)
+			}
+			if binary.LittleEndian.Uint32(hdr[:]) != blockMagic {
+				break
+			}
+			n := int(binary.LittleEndian.Uint32(hdr[4:]))
+			seq := binary.LittleEndian.Uint64(hdr[8:])
+			off := binary.LittleEndian.Uint32(hdr[16:])
+			maxGSN := base.GSN(binary.LittleEndian.Uint64(hdr[24:]))
+			if pos+int64(blockHeaderSize+n) > size {
+				break // torn tail
+			}
+			if off != salvagedChunkOff { // salvage images never chain-serve
+				out[part] = append(out[part], ShipBlockRef{
+					Seq: seq, Off: int(off), N: n,
+					File: f, Pos: pos + blockHeaderSize, MaxGSN: maxGSN,
+				})
+			}
+			pos += int64(blockHeaderSize + n)
+		}
+	}
+	// Segment names sort in creation order and blocks within a segment are in
+	// append order, so per-partition lists are already in cursor order.
+	return out, nil
+}
+
 // ShipResume is one partition's replica-side restart state: where the local
 // store ends (the refetch cursor) and the stored extents of the final,
 // possibly partial, chunk — replaying Tail through a fresh ShipDecoder

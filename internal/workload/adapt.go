@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"repro/internal/btree"
+	"repro/internal/shard"
+	"repro/internal/txn"
+)
+
+// Session is the transaction context a workload drives: an engine session
+// (*txn.Session) or a sharded cluster session (*shard.Session). Both run
+// one transaction at a time on one goroutine.
+type Session interface {
+	Begin()
+	Commit()
+	Abort()
+	Active() bool
+}
+
+// Tree is the ordered key-value surface the workloads need. The engine
+// and shard adapters below implement it, so one TPC-C/YCSB implementation
+// drives a single engine and a range-sharded cluster through the exact
+// same code path — benchmark comparisons between the two measure the
+// engines, not divergent workload drivers.
+type Tree interface {
+	Insert(s Session, key, val []byte) error
+	Lookup(s Session, key, dst []byte) ([]byte, bool)
+	UpdateFunc(s Session, key []byte, fn func(old []byte) []byte) error
+	Remove(s Session, key []byte) error
+	ScanAsc(s Session, start []byte, fn func(k, v []byte) bool)
+	Count(s Session) int
+}
+
+// ---- Single-engine adapter ----
+
+type engineTree struct{ t *btree.BTree }
+
+// WrapBTree adapts an engine tree; sessions passed to it must be
+// *txn.Session from the same engine.
+func WrapBTree(t *btree.BTree) Tree { return engineTree{t} }
+
+func ectx(s Session) *txn.Session { return s.(*txn.Session) }
+
+func (e engineTree) Insert(s Session, key, val []byte) error {
+	return e.t.Insert(ectx(s), key, val)
+}
+func (e engineTree) Lookup(s Session, key, dst []byte) ([]byte, bool) {
+	return e.t.Lookup(ectx(s), key, dst)
+}
+func (e engineTree) UpdateFunc(s Session, key []byte, fn func(old []byte) []byte) error {
+	return e.t.UpdateFunc(ectx(s), key, fn)
+}
+func (e engineTree) Remove(s Session, key []byte) error {
+	return e.t.Remove(ectx(s), key)
+}
+func (e engineTree) ScanAsc(s Session, start []byte, fn func(k, v []byte) bool) {
+	e.t.ScanAsc(ectx(s), start, fn)
+}
+func (e engineTree) Count(s Session) int { return e.t.Count(ectx(s)) }
+
+// ---- Sharded-cluster adapter ----
+
+type shardTree struct{ t *shard.Tree }
+
+// WrapShardTree adapts a cluster tree; sessions passed to it must be
+// *shard.Session from the same cluster.
+func WrapShardTree(t *shard.Tree) Tree { return shardTree{t} }
+
+func sctx(s Session) *shard.Session { return s.(*shard.Session) }
+
+func (e shardTree) Insert(s Session, key, val []byte) error {
+	return e.t.Insert(sctx(s), key, val)
+}
+func (e shardTree) Lookup(s Session, key, dst []byte) ([]byte, bool) {
+	return e.t.Get(sctx(s), key, dst)
+}
+func (e shardTree) UpdateFunc(s Session, key []byte, fn func(old []byte) []byte) error {
+	return e.t.UpdateFunc(sctx(s), key, fn)
+}
+func (e shardTree) Remove(s Session, key []byte) error {
+	return e.t.Delete(sctx(s), key)
+}
+func (e shardTree) ScanAsc(s Session, start []byte, fn func(k, v []byte) bool) {
+	e.t.Scan(sctx(s), start, fn)
+}
+func (e shardTree) Count(s Session) int { return e.t.Count(sctx(s)) }
+
+// Unwrap returns the underlying engine tree of a WrapBTree adapter (nil
+// for other Tree implementations) — for tests and tools needing
+// btree-level access such as invariant checks.
+func Unwrap(t Tree) *btree.BTree {
+	if e, ok := t.(engineTree); ok {
+		return e.t
+	}
+	return nil
+}

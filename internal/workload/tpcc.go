@@ -6,9 +6,7 @@ import (
 	"math"
 	"sync/atomic"
 
-	"repro/internal/btree"
 	"repro/internal/sys"
-	"repro/internal/txn"
 )
 
 // TPCC implements the full TPC-C benchmark (all five transaction types,
@@ -22,17 +20,17 @@ type TPCC struct {
 	Items       int // spec: 100000; scale down for laptop-sized runs
 	CustPerDist int // spec: 3000
 
-	Warehouse *btree.BTree
-	District  *btree.BTree
-	Customer  *btree.BTree
-	CustIdx   *btree.BTree // (w,d,last,first,c) → c
-	History   *btree.BTree
-	Order     *btree.BTree
-	OrderCIdx *btree.BTree // (w,d,c,^o) → () : newest order first
-	NewOrder  *btree.BTree
-	OrderLine *btree.BTree
-	Item      *btree.BTree
-	Stock     *btree.BTree
+	Warehouse Tree
+	District  Tree
+	Customer  Tree
+	CustIdx   Tree // (w,d,last,first,c) → c
+	History   Tree
+	Order     Tree
+	OrderCIdx Tree // (w,d,c,^o) → () : newest order first
+	NewOrder  Tree
+	OrderLine Tree
+	Item      Tree
+	Stock     Tree
 
 	histSeq atomic.Uint64
 
@@ -42,13 +40,13 @@ type TPCC struct {
 }
 
 // TreeOpener creates or fetches the named tree (the engine's CreateTree).
-type TreeOpener func(name string) (*btree.BTree, error)
+type TreeOpener func(name string) (Tree, error)
 
 // NewTPCC builds the schema through the opener.
 func NewTPCC(warehouses int, open TreeOpener) (*TPCC, error) {
 	t := &TPCC{Warehouses: warehouses, Items: 10000, CustPerDist: 300}
 	var err error
-	bind := func(p **btree.BTree, name string) {
+	bind := func(p *Tree, name string) {
 		if err != nil {
 			return
 		}
@@ -256,7 +254,7 @@ func fillString(b []byte, off, n int, r *sys.Rand) {
 
 // Load populates the database. One transaction per batch of rows keeps the
 // undo lists and log bounded during the load phase.
-func (t *TPCC) Load(s *txn.Session, seed uint64) error {
+func (t *TPCC) Load(s Session, seed uint64) error {
 	r := sys.NewRand(seed)
 
 	// Items (shared across warehouses).
@@ -288,7 +286,7 @@ func (t *TPCC) Load(s *txn.Session, seed uint64) error {
 	return nil
 }
 
-func (t *TPCC) loadWarehouse(s *txn.Session, r *sys.Rand, w int) error {
+func (t *TPCC) loadWarehouse(s Session, r *sys.Rand, w int) error {
 	s.Begin()
 	wr := make([]byte, whSize)
 	kb := make([]byte, 0, maxKeyScratch)
@@ -329,7 +327,7 @@ func (t *TPCC) loadWarehouse(s *txn.Session, r *sys.Rand, w int) error {
 	return nil
 }
 
-func (t *TPCC) loadDistrict(s *txn.Session, r *sys.Rand, w, d int) error {
+func (t *TPCC) loadDistrict(s Session, r *sys.Rand, w, d int) error {
 	s.Begin()
 	dr := make([]byte, diSize)
 	kb := make([]byte, 0, maxKeyScratch)

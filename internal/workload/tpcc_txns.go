@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/sys"
-	"repro/internal/txn"
 )
 
 // interleave: on a single-CPU runtime, goroutines rarely preempt inside the
@@ -83,20 +82,142 @@ type TPCCWorker struct {
 	info    []byte
 	seen    map[uint32]struct{}
 	matches []lastNameMatch
+
+	// cl passes operands between the transactions and the persistent tree
+	// callbacks below. A callback literal handed to Tree.UpdateFunc or
+	// Tree.ScanAsc escapes through the interface call (the compiler cannot
+	// see the callee), so capturing transaction locals would heap-allocate
+	// the closure and every captured variable on each statement. The
+	// callbacks are built once per worker in bind and only reference w.
+	cl struct {
+		oID, cID, olCnt      int
+		qty, supplyW         int
+		dID, wID, cWID, cDID int
+		carrier              byte
+		amount, total        float64
+		badCredit            bool
+		prefix               []byte
+	}
+	fnTakeOID, fnStockTake, fnPayWh, fnPayDist, fnPayCust,
+	fnDeliverOrder, fnDeliverLine, fnDeliverCust func(row []byte) []byte
+	fnScanCust, fnScanNewest, fnScanOldest func(k, v []byte) bool
 }
 
 // NewWorker creates a worker bound to a home warehouse.
 func (t *TPCC) NewWorker(seed uint64, homeWarehouse int) *TPCCWorker {
-	return &TPCCWorker{
+	w := &TPCCWorker{
 		t: t, rng: sys.NewRand(seed), HomeWarehouse: homeWarehouse,
 		kb:   make([]byte, 0, maxKeyScratch),
 		seen: make(map[uint32]struct{}, 64),
+	}
+	w.bind()
+	return w
+}
+
+// bind builds the worker's reusable tree callbacks (see the cl field).
+func (w *TPCCWorker) bind() {
+	w.fnTakeOID = func(row []byte) []byte {
+		w.cl.oID = int(getU32(row, diNextOID))
+		putU32(row, diNextOID, uint32(w.cl.oID+1))
+		return row
+	}
+	w.fnStockTake = func(row []byte) []byte {
+		qty := w.cl.qty
+		sq := int(int16(getU16(row, stQty)))
+		if sq >= qty+10 {
+			sq -= qty
+		} else {
+			sq = sq - qty + 91
+		}
+		putU16(row, stQty, uint16(int16(sq)))
+		putU32(row, stYTD, getU32(row, stYTD)+uint32(qty))
+		putU16(row, stOrderCnt, getU16(row, stOrderCnt)+1)
+		if w.cl.supplyW != w.HomeWarehouse {
+			putU16(row, stRemoteCnt, getU16(row, stRemoteCnt)+1)
+		}
+		return row
+	}
+	w.fnPayWh = func(row []byte) []byte {
+		putF64(row, whYTD, getF64(row, whYTD)+w.cl.amount)
+		return row
+	}
+	w.fnPayDist = func(row []byte) []byte {
+		putF64(row, diYTD, getF64(row, diYTD)+w.cl.amount)
+		return row
+	}
+	w.fnPayCust = func(row []byte) []byte {
+		putF64(row, cuBalance, getF64(row, cuBalance)-w.cl.amount)
+		putF64(row, cuYTDPayment, getF64(row, cuYTDPayment)+w.cl.amount)
+		putU16(row, cuPaymentCnt, getU16(row, cuPaymentCnt)+1)
+		if string(row[cuCredit:cuCredit+2]) == "BC" {
+			w.cl.badCredit = true
+			// Prepend payment info to C_DATA (clause 2.5.2.2): shifts the
+			// whole data field, producing a larger diff.
+			info := w.info[:0]
+			info = strconv.AppendInt(info, int64(w.cl.cID), 10)
+			info = append(info, '-')
+			info = strconv.AppendInt(info, int64(w.cl.cDID), 10)
+			info = append(info, '-')
+			info = strconv.AppendInt(info, int64(w.cl.cWID), 10)
+			info = append(info, '-')
+			info = strconv.AppendInt(info, int64(w.cl.dID), 10)
+			info = append(info, '-')
+			info = strconv.AppendInt(info, int64(w.cl.wID), 10)
+			info = append(info, '-')
+			info = strconv.AppendFloat(info, w.cl.amount, 'f', 2, 64)
+			info = append(info, '|')
+			w.info = info
+			data := row[cuData : cuData+cuDataLen]
+			copy(data[len(info):], data[:cuDataLen-len(info)])
+			copy(data, info)
+		}
+		return row
+	}
+	w.fnDeliverOrder = func(row []byte) []byte {
+		w.cl.cID = int(getU32(row, orCID))
+		w.cl.olCnt = int(row[orOLCnt])
+		row[orCarrier] = w.cl.carrier
+		return row
+	}
+	w.fnDeliverLine = func(row []byte) []byte {
+		w.cl.total += getF64(row, olAmount)
+		putU64(row, olDeliveryD, uint64(w.cl.oID))
+		return row
+	}
+	w.fnDeliverCust = func(row []byte) []byte {
+		putF64(row, cuBalance, getF64(row, cuBalance)+w.cl.total)
+		putU16(row, cuDeliveryCnt, getU16(row, cuDeliveryCnt)+1)
+		return row
+	}
+	w.fnScanCust = func(k, v []byte) bool {
+		if !bytes.HasPrefix(k, w.cl.prefix) {
+			return false
+		}
+		var m lastNameMatch
+		copy(m.first[:], k[5+nameLen:5+2*nameLen])
+		m.cID = int(binary.BigEndian.Uint32(v))
+		w.matches = append(w.matches, m)
+		return true
+	}
+	w.fnScanNewest = func(k, _ []byte) bool {
+		if !bytes.HasPrefix(k, w.cl.prefix) {
+			return false
+		}
+		w.cl.oID = int(^binary.BigEndian.Uint32(k[9:]))
+		return false // newest first: one row suffices
+	}
+	w.fnScanOldest = func(k, _ []byte) bool {
+		if !bytes.HasPrefix(k, w.cl.prefix) {
+			return false
+		}
+		w.cl.oID = int(binary.BigEndian.Uint32(k[5:]))
+		return false
 	}
 }
 
 // lookupRow reads a row into the worker's reusable lookup buffer. The
 // returned slice is valid until the next lookupRow call.
-func (w *TPCCWorker) lookupRow(s *txn.Session, tree *btree.BTree, key []byte) ([]byte, bool) {
+func (w *TPCCWorker) lookupRow(s Session, tree Tree, key []byte) ([]byte, bool) {
 	row, ok := tree.Lookup(s, key, w.rowBuf)
 	if ok {
 		w.rowBuf = row
@@ -126,7 +247,7 @@ func (w *TPCCWorker) PickTxn() TxnType {
 
 // Run executes one transaction of the given type; it returns the type and
 // whether the transaction committed.
-func (w *TPCCWorker) Run(s *txn.Session, typ TxnType) (TxnType, bool, error) {
+func (w *TPCCWorker) Run(s Session, typ TxnType) (TxnType, bool, error) {
 	var err error
 	committed := true
 	switch typ {
@@ -150,7 +271,7 @@ func (w *TPCCWorker) Run(s *txn.Session, typ TxnType) (TxnType, bool, error) {
 }
 
 // RunMix executes one transaction from the standard mix.
-func (w *TPCCWorker) RunMix(s *txn.Session) (TxnType, bool, error) {
+func (w *TPCCWorker) RunMix(s Session) (TxnType, bool, error) {
 	return w.Run(s, w.PickTxn())
 }
 
@@ -158,7 +279,7 @@ func (w *TPCCWorker) RunMix(s *txn.Session) (TxnType, bool, error) {
 // district's next order id, inserts ORDER/NEW-ORDER and 5-15 order lines,
 // updating each item's stock. 1% of transactions roll back on an invalid
 // item (the paper's engine exercises logical undo through this, §3.6).
-func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
+func (w *TPCCWorker) NewOrder(s Session) (committed bool, err error) {
 	t, r := w.t, w.rng
 	wID := w.HomeWarehouse
 	dID := r.IntRange(1, numDistricts)
@@ -187,13 +308,8 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 	// prototype permits too, §4); an order-ID collision is therefore
 	// possible and handled by re-drawing the ID.
 	takeOID := func() (int, error) {
-		var o int
-		err := t.District.UpdateFunc(s, kDistrict(w.kb, wID, dID), func(row []byte) []byte {
-			o = int(getU32(row, diNextOID))
-			putU32(row, diNextOID, uint32(o+1))
-			return row
-		})
-		return o, err
+		err := t.District.UpdateFunc(s, kDistrict(w.kb, wID, dID), w.fnTakeOID)
+		return w.cl.oID, err
 	}
 	var oID int
 	if oID, err = takeOID(); err != nil {
@@ -265,21 +381,8 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 
 		// Stock update: quantity, ytd, counts (the changed-attribute diff
 		// shows up as a tiny update record).
-		err = t.Stock.UpdateFunc(s, kStock(w.kb, supplyW, iID), func(row []byte) []byte {
-			sq := int(int16(getU16(row, stQty)))
-			if sq >= qty+10 {
-				sq -= qty
-			} else {
-				sq = sq - qty + 91
-			}
-			putU16(row, stQty, uint16(int16(sq)))
-			putU32(row, stYTD, getU32(row, stYTD)+uint32(qty))
-			putU16(row, stOrderCnt, getU16(row, stOrderCnt)+1)
-			if supplyW != wID {
-				putU16(row, stRemoteCnt, getU16(row, stRemoteCnt)+1)
-			}
-			return row
-		})
+		w.cl.qty, w.cl.supplyW = qty, supplyW
+		err = t.Stock.UpdateFunc(s, kStock(w.kb, supplyW, iID), w.fnStockTake)
 		if err != nil {
 			return false, err
 		}
@@ -303,7 +406,7 @@ func (w *TPCCWorker) NewOrder(s *txn.Session) (committed bool, err error) {
 // balance/payment counters (with bad-credit data rewriting), and appends a
 // history row. 60% select the customer by last name, 15% pay at a remote
 // warehouse.
-func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
+func (w *TPCCWorker) Payment(s Session) (err error) {
 	t, r := w.t, w.rng
 	wID := w.HomeWarehouse
 	dID := r.IntRange(1, numDistricts)
@@ -324,18 +427,13 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 		}
 	}()
 
-	err = t.Warehouse.UpdateFunc(s, kWarehouse(w.kb, wID), func(row []byte) []byte {
-		putF64(row, whYTD, getF64(row, whYTD)+amount)
-		return row
-	})
+	w.cl.amount = amount
+	err = t.Warehouse.UpdateFunc(s, kWarehouse(w.kb, wID), w.fnPayWh)
 	if err != nil {
 		return err
 	}
 	yieldPoint()
-	err = t.District.UpdateFunc(s, kDistrict(w.kb, wID, dID), func(row []byte) []byte {
-		putF64(row, diYTD, getF64(row, diYTD)+amount)
-		return row
-	})
+	err = t.District.UpdateFunc(s, kDistrict(w.kb, wID, dID), w.fnPayDist)
 	if err != nil {
 		return err
 	}
@@ -354,39 +452,12 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 		}
 	}
 
-	badCredit := false
-	err = t.Customer.UpdateFunc(s, kCustomer(w.kb, cWID, cDID, cID), func(row []byte) []byte {
-		putF64(row, cuBalance, getF64(row, cuBalance)-amount)
-		putF64(row, cuYTDPayment, getF64(row, cuYTDPayment)+amount)
-		putU16(row, cuPaymentCnt, getU16(row, cuPaymentCnt)+1)
-		if string(row[cuCredit:cuCredit+2]) == "BC" {
-			badCredit = true
-			// Prepend payment info to C_DATA (clause 2.5.2.2): shifts the
-			// whole data field, producing a larger diff.
-			info := w.info[:0]
-			info = strconv.AppendInt(info, int64(cID), 10)
-			info = append(info, '-')
-			info = strconv.AppendInt(info, int64(cDID), 10)
-			info = append(info, '-')
-			info = strconv.AppendInt(info, int64(cWID), 10)
-			info = append(info, '-')
-			info = strconv.AppendInt(info, int64(dID), 10)
-			info = append(info, '-')
-			info = strconv.AppendInt(info, int64(wID), 10)
-			info = append(info, '-')
-			info = strconv.AppendFloat(info, amount, 'f', 2, 64)
-			info = append(info, '|')
-			w.info = info
-			data := row[cuData : cuData+cuDataLen]
-			copy(data[len(info):], data[:cuDataLen-len(info)])
-			copy(data, info)
-		}
-		return row
-	})
+	w.cl.cID, w.cl.cDID, w.cl.cWID = cID, cDID, cWID
+	w.cl.dID, w.cl.wID, w.cl.badCredit = dID, wID, false
+	err = t.Customer.UpdateFunc(s, kCustomer(w.kb, cWID, cDID, cID), w.fnPayCust)
 	if err != nil {
 		return err
 	}
-	_ = badCredit
 
 	hi := w.hi[:]
 	putF64(hi, 0, amount)
@@ -401,22 +472,13 @@ func (w *TPCCWorker) Payment(s *txn.Session) (err error) {
 
 // customerByLastName picks the middle customer (by first name) among those
 // sharing a random last name (clause 2.5.2.2).
-func (w *TPCCWorker) customerByLastName(s *txn.Session, wID, dID int) (int, error) {
+func (w *TPCCWorker) customerByLastName(s Session, wID, dID int) (int, error) {
 	t, r := w.t, w.rng
 	last := LastName(NURandLastName(r, 999) % min(999, t.CustPerDist-1))
-	prefix := kCustIdxPrefix(w.kb, wID, dID, last)
-	matches := w.matches[:0]
-	t.CustIdx.ScanAsc(s, prefix, func(k, v []byte) bool {
-		if !bytes.HasPrefix(k, prefix) {
-			return false
-		}
-		var m lastNameMatch
-		copy(m.first[:], k[5+nameLen:5+2*nameLen])
-		m.cID = int(binary.BigEndian.Uint32(v))
-		matches = append(matches, m)
-		return true
-	})
-	w.matches = matches
+	w.cl.prefix = kCustIdxPrefix(w.kb, wID, dID, last)
+	w.matches = w.matches[:0]
+	t.CustIdx.ScanAsc(s, w.cl.prefix, w.fnScanCust)
+	matches := w.matches
 	if len(matches) == 0 {
 		// Scaled-down databases may not contain this name; fall back to a
 		// direct id (keeps the mix running without a spec violation that
@@ -435,7 +497,7 @@ func (w *TPCCWorker) customerByLastName(s *txn.Session, wID, dID int) (int, erro
 
 // OrderStatus (clause 2.6): read-only — customer, their most recent order,
 // and its order lines. 60% by last name.
-func (w *TPCCWorker) OrderStatus(s *txn.Session) (err error) {
+func (w *TPCCWorker) OrderStatus(s Session) (err error) {
 	t, r := w.t, w.rng
 	wID := w.HomeWarehouse
 	dID := r.IntRange(1, numDistricts)
@@ -466,15 +528,10 @@ func (w *TPCCWorker) OrderStatus(s *txn.Session) (err error) {
 
 	// Most recent order: first entry of the complemented index.
 	prefix := kOrderCIdx(w.kb, wID, dID, cID, 1<<31) // any o; need prefix only
-	prefix = prefix[:9]
-	oID := -1
-	t.OrderCIdx.ScanAsc(s, prefix, func(k, _ []byte) bool {
-		if !bytes.HasPrefix(k, prefix) {
-			return false
-		}
-		oID = int(^binary.BigEndian.Uint32(k[9:]))
-		return false // newest first: one row suffices
-	})
+	w.cl.prefix = prefix[:9]
+	w.cl.oID = -1
+	t.OrderCIdx.ScanAsc(s, w.cl.prefix, w.fnScanNewest)
+	oID := w.cl.oID
 	if oID < 0 {
 		s.Commit() // customer without orders (possible at tiny scale)
 		return nil
@@ -497,7 +554,7 @@ func (w *TPCCWorker) OrderStatus(s *txn.Session) (err error) {
 // Delivery (clause 2.7): for each district of the warehouse, deliver the
 // oldest undelivered order: delete its NEW-ORDER row, stamp the carrier,
 // set the delivery date on every order line, and credit the customer.
-func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
+func (w *TPCCWorker) Delivery(s Session) (err error) {
 	t, r := w.t, w.rng
 	wID := w.HomeWarehouse
 	carrier := byte(r.IntRange(1, 10))
@@ -509,18 +566,14 @@ func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
 		}
 	}()
 
+	w.cl.carrier = carrier
 	for dID := 1; dID <= numDistricts; dID++ {
 		yieldPoint()
 		// Oldest NEW-ORDER for the district.
-		prefix := kDistrict(w.kb, wID, dID)
-		oID := -1
-		t.NewOrder.ScanAsc(s, prefix, func(k, _ []byte) bool {
-			if !bytes.HasPrefix(k, prefix) {
-				return false
-			}
-			oID = int(binary.BigEndian.Uint32(k[5:]))
-			return false
-		})
+		w.cl.prefix = kDistrict(w.kb, wID, dID)
+		w.cl.oID = -1
+		t.NewOrder.ScanAsc(s, w.cl.prefix, w.fnScanOldest)
+		oID := w.cl.oID
 		if oID < 0 {
 			continue // no undelivered order in this district
 		}
@@ -533,34 +586,21 @@ func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
 			}
 			return err
 		}
-		var cID, olCnt int
-		err = t.Order.UpdateFunc(s, kOrder(w.kb, wID, dID, oID), func(row []byte) []byte {
-			cID = int(getU32(row, orCID))
-			olCnt = int(row[orOLCnt])
-			row[orCarrier] = carrier
-			return row
-		})
+		err = t.Order.UpdateFunc(s, kOrder(w.kb, wID, dID, oID), w.fnDeliverOrder)
 		if err != nil {
 			return err
 		}
-		total := 0.0
+		cID, olCnt := w.cl.cID, w.cl.olCnt
+		w.cl.total = 0
 		for l := 1; l <= olCnt; l++ {
-			err = t.OrderLine.UpdateFunc(s, kOrderLine(w.kb, wID, dID, oID, l), func(row []byte) []byte {
-				total += getF64(row, olAmount)
-				putU64(row, olDeliveryD, uint64(oID))
-				return row
-			})
+			err = t.OrderLine.UpdateFunc(s, kOrderLine(w.kb, wID, dID, oID, l), w.fnDeliverLine)
 			if err == nil {
 				continue
 			}
 			err = nil
 			break
 		}
-		err = t.Customer.UpdateFunc(s, kCustomer(w.kb, wID, dID, cID), func(row []byte) []byte {
-			putF64(row, cuBalance, getF64(row, cuBalance)+total)
-			putU16(row, cuDeliveryCnt, getU16(row, cuDeliveryCnt)+1)
-			return row
-		})
+		err = t.Customer.UpdateFunc(s, kCustomer(w.kb, wID, dID, cID), w.fnDeliverCust)
 		if err != nil {
 			return err
 		}
@@ -571,7 +611,7 @@ func (w *TPCCWorker) Delivery(s *txn.Session) (err error) {
 
 // StockLevel (clause 2.8): read-only — count distinct items of the last 20
 // orders of a district whose stock is below a threshold.
-func (w *TPCCWorker) StockLevel(s *txn.Session) (err error) {
+func (w *TPCCWorker) StockLevel(s Session) (err error) {
 	t, r := w.t, w.rng
 	wID := w.HomeWarehouse
 	dID := r.IntRange(1, numDistricts)

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/sys"
 	"repro/internal/txn"
@@ -107,8 +106,12 @@ func newEngine(t *testing.T) *core.Engine {
 func smallTPCC(t *testing.T, e *core.Engine, warehouses int) (*TPCC, *txn.Session) {
 	t.Helper()
 	s := e.NewSessionOn(0)
-	tp, err := NewTPCC(warehouses, func(name string) (*btree.BTree, error) {
-		return e.CreateTree(s, name)
+	tp, err := NewTPCC(warehouses, func(name string) (Tree, error) {
+		tr, err := e.CreateTree(s, name)
+		if err != nil {
+			return nil, err
+		}
+		return WrapBTree(tr), nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +131,7 @@ func TestYCSBLoadAndUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	y := NewYCSB(tree, 2000)
+	y := NewYCSB(WrapBTree(tree), 2000)
 	if err := y.Load(s, 500); err != nil {
 		t.Fatal(err)
 	}
@@ -301,8 +304,12 @@ func TestTPCCCrashRecoveryConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := e.NewSessionOn(0)
-	tp, err := NewTPCC(1, func(name string) (*btree.BTree, error) {
-		return e.CreateTree(s, name)
+	tp, err := NewTPCC(1, func(name string) (Tree, error) {
+		tr, err := e.CreateTree(s, name)
+		if err != nil {
+			return nil, err
+		}
+		return WrapBTree(tr), nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -378,8 +385,8 @@ func TestTPCCCrashRecoveryConsistency(t *testing.T) {
 		}
 	}
 	s2.Commit()
-	for _, tree := range []*btree.BTree{tp2.Warehouse, tp2.District, tp2.Customer, tp2.Order, tp2.OrderLine, tp2.Stock} {
-		if err := tree.CheckInvariants(); err != nil {
+	for _, tree := range []Tree{tp2.Warehouse, tp2.District, tp2.Customer, tp2.Order, tp2.OrderLine, tp2.Stock} {
+		if err := Unwrap(tree).CheckInvariants(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -387,12 +394,12 @@ func TestTPCCCrashRecoveryConsistency(t *testing.T) {
 
 // attachTPCC binds an already-created TPC-C schema (after recovery).
 func attachTPCC(e *core.Engine, warehouses int) (*TPCC, error) {
-	return NewTPCC(warehouses, func(name string) (*btree.BTree, error) {
+	return NewTPCC(warehouses, func(name string) (Tree, error) {
 		tr := e.GetTree(name)
 		if tr == nil {
 			return nil, fmt.Errorf("workload: tree %q missing", name)
 		}
-		return tr, nil
+		return WrapBTree(tr), nil
 	})
 }
 

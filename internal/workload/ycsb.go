@@ -4,9 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/btree"
 	"repro/internal/sys"
-	"repro/internal/txn"
 )
 
 // YCSB is the §4.4 workload: a fixed table of records with 8-byte keys and
@@ -14,14 +12,14 @@ import (
 // Zipfian distribution ("This stresses log synchronization to the maximum,
 // as much of the work consists of creating log records").
 type YCSB struct {
-	Tree    *btree.BTree
+	Tree    Tree
 	Records int
 	ValSize int
 }
 
 // NewYCSB describes a YCSB table (paper: 500M records × (8B key, 64B
 // value); scale Records down).
-func NewYCSB(tree *btree.BTree, records int) *YCSB {
+func NewYCSB(tree Tree, records int) *YCSB {
 	return &YCSB{Tree: tree, Records: records, ValSize: 64}
 }
 
@@ -32,7 +30,7 @@ func (y *YCSB) Key(b []byte, i int) []byte {
 }
 
 // Load populates the table with one transaction per batch.
-func (y *YCSB) Load(s *txn.Session, batch int) error {
+func (y *YCSB) Load(s Session, batch int) error {
 	if batch <= 0 {
 		batch = 1000
 	}
@@ -82,7 +80,7 @@ func (y *YCSB) NewWorker(seed uint64, theta float64) *Worker {
 }
 
 // UpdateTxn runs one single-tuple-update transaction (100% update mix).
-func (w *Worker) UpdateTxn(s *txn.Session) error {
+func (w *Worker) UpdateTxn(s Session) error {
 	binary.BigEndian.PutUint64(w.key[:], uint64(w.zipf.Next()))
 	w.stamp = w.rng.Uint64()
 	s.Begin()
@@ -97,7 +95,7 @@ func (w *Worker) UpdateTxn(s *txn.Session) error {
 }
 
 // ReadTxn runs one single-tuple read (for mixed workloads and ablations).
-func (w *Worker) ReadTxn(s *txn.Session, dst []byte) ([]byte, error) {
+func (w *Worker) ReadTxn(s Session, dst []byte) ([]byte, error) {
 	binary.BigEndian.PutUint64(w.key[:], uint64(w.zipf.Next()))
 	s.Begin()
 	val, _ := w.y.Tree.Lookup(s, w.key[:], dst)

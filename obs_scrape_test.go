@@ -193,3 +193,52 @@ func TestReplicationMetricsScrape(t *testing.T) {
 		t.Fatalf("replica error under burst: %v", r.Err())
 	}
 }
+
+// TestShardingMetricsScrape runs a TPC-C burst against a 2-shard cluster
+// whose shard-0 registry carries the cluster metrics, and checks the
+// shard_* series reach the Prometheus endpoint: the shard-count gauge,
+// the cross-shard 2PC counter moved by the burst, the prepare-latency
+// histogram populated, and the in-doubt restart counter present (zero —
+// no crash happened).
+func TestShardingMetricsScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end burst")
+	}
+	b, err := harness.NewShardedTPCCBench(harness.Tiny, core.ModeOurs, 4, 2048, 2,
+		func(cfg *core.Config) { cfg.ObsAddr = "127.0.0.1:0" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addr := b.Cluster.Engine(0).ObsAddr()
+	if addr == "" {
+		t.Fatal("obs endpoint not serving on shard 0")
+	}
+
+	before := scrape(t, addr)
+	b.RunTPCCWorkers(4, 300*time.Millisecond)
+	after := scrape(t, addr)
+
+	for _, name := range []string{
+		"shard_shards", "shard_cross_txns_total",
+		"shard_in_doubt_restart_total", "shard_prepare_seconds_count",
+	} {
+		if _, ok := after[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	if got := after["shard_shards"]; got != 2 {
+		t.Errorf("shard_shards = %v, want 2", got)
+	}
+	if after["shard_cross_txns_total"] <= before["shard_cross_txns_total"] {
+		t.Errorf("burst drove no cross-shard commits: shard_cross_txns_total %v -> %v",
+			before["shard_cross_txns_total"], after["shard_cross_txns_total"])
+	}
+	if after["shard_prepare_seconds_count"] < after["shard_cross_txns_total"] {
+		t.Errorf("prepare histogram count %v below cross-shard txns %v",
+			after["shard_prepare_seconds_count"], after["shard_cross_txns_total"])
+	}
+	if got := after["shard_in_doubt_restart_total"]; got != 0 {
+		t.Errorf("shard_in_doubt_restart_total = %v, want 0 without a crash", got)
+	}
+}

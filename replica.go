@@ -79,6 +79,15 @@ func OpenReplica(conn io.ReadWriter, opts ReplicaOptions) (*Replica, error) {
 	return &Replica{r: r}, nil
 }
 
+// ServeReplication serves this replica's locally persisted log copy over
+// conn, exactly as a primary would (replica chains): downstream replicas
+// opened with OpenReplica on the other end pull from this replica instead
+// of the primary, so fan-out costs the primary one stream per direct
+// child. Run it in its own goroutine, one per connection.
+func (r *Replica) ServeReplication(conn io.ReadWriter) error {
+	return repl.ServeSource(conn, r.r)
+}
+
 // ReplicaTree is a read handle on one tree at the replica's horizon.
 type ReplicaTree struct {
 	t *repl.Tree

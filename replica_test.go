@@ -71,6 +71,94 @@ func TestReplicaPublicAPI(t *testing.T) {
 	}
 }
 
+// TestReplicaChain wires primary → mid → tail: the middle replica serves
+// its locally persisted log copy to the tail exactly as a primary would,
+// so the tail converges to the same state without the primary ever seeing
+// a second shipping stream.
+func TestReplicaChain(t *testing.T) {
+	db, err := leanstore.Open(leanstore.Options{Workers: 2, Archive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session()
+	tr, err := db.CreateBTree(s, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func(lo, hi int) {
+		s.Begin()
+		for i := lo; i < hi; i++ {
+			if err := tr.Insert(s, []byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%05d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Commit()
+	}
+	load(0, 400)
+
+	srv1, cli1 := net.Pipe()
+	go db.ServeReplication(srv1)
+	mid, err := leanstore.OpenReplica(cli1, leanstore.ReplicaOptions{ApplyInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+
+	srv2, cli2 := net.Pipe()
+	go mid.ServeReplication(srv2)
+	tail, err := leanstore.OpenReplica(cli2, leanstore.ReplicaOptions{ApplyInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+
+	waitTailCount := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if err := mid.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tail.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if tt, ok := tail.BTree("t"); ok {
+				if c, err := tt.Count(); err == nil && c == want {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				tt, ok := tail.BTree("t")
+				c := -1
+				if ok {
+					c, _ = tt.Count()
+				}
+				t.Fatalf("tail stuck: count %d want %d (mid horizon %d, tail horizon %d)",
+					c, want, mid.Horizon(), tail.Horizon())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitTailCount(400)
+
+	tt, ok := tail.BTree("t")
+	if !ok {
+		t.Fatal("tree missing on tail")
+	}
+	got, ok, err := tt.Get([]byte("k00042"), nil)
+	if err != nil || !ok || !bytes.Equal(got, []byte("v00042")) {
+		t.Fatalf("tail Get: %q %v %v", got, ok, err)
+	}
+
+	// New commits flow down the chain.
+	load(400, 500)
+	waitTailCount(500)
+	if got, ok, err := tt.Get([]byte("k00499"), nil); err != nil || !ok || !bytes.Equal(got, []byte("v00499")) {
+		t.Fatalf("tail Get after chain propagation: %q %v %v", got, ok, err)
+	}
+}
+
 func TestReplicaOverConnectionAndPromote(t *testing.T) {
 	db, err := leanstore.Open(leanstore.Options{Workers: 2, Archive: true})
 	if err != nil {

@@ -1,0 +1,132 @@
+package leanstore
+
+import (
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// ShardedOptions configures a range-sharded store: N embedded engines in
+// one process behind a single routed API, with cross-shard transactions
+// committing through two-phase commit (see internal/shard).
+type ShardedOptions struct {
+	// Options is the per-shard engine template. Devices and ObsAddr are
+	// managed per shard: the observability endpoint (if any) binds on
+	// shard 0, whose registry also carries the cluster's shard_* metrics.
+	Options
+	// Shards is the number of engines (1..256).
+	Shards int
+	// Boundaries holds Shards-1 strictly ascending split keys: shard i
+	// owns keys in [Boundaries[i-1], Boundaries[i]), with the first and
+	// last ranges open-ended.
+	Boundaries [][]byte
+	// ShardDevices, when non-nil, reopens a crashed or closed cluster; its
+	// length must equal Shards. (It replaces Options.Devices, which is
+	// ignored here.)
+	ShardDevices []Devices
+}
+
+// ShardedDB is a range-sharded database: keys route to shards by the
+// configured split points, single-shard transactions keep the engine's
+// commit fast path (including Remote Flush Avoidance) untouched, and
+// transactions spanning shards commit atomically with two-phase commit.
+type ShardedDB struct {
+	c *shard.Cluster
+}
+
+// ShardedSession is a transaction context over the whole cluster. Like
+// Session it runs one transaction at a time and must not be shared between
+// goroutines; per-shard sub-transactions are enlisted lazily on first
+// touch.
+type ShardedSession = shard.Session
+
+// ShardedBTree is a named ordered tree spread over the cluster's shards
+// (or replicated to all of them).
+type ShardedBTree = shard.Tree
+
+// OpenSharded creates (or, given ShardDevices from a crashed cluster,
+// recovers) a sharded store. Recovery first runs every shard's own restart
+// recovery, then resolves cross-shard in-doubt transactions against the
+// coordinator shards' durable decision records before any transaction is
+// served.
+func OpenSharded(opts ShardedOptions) (*ShardedDB, error) {
+	ecfg := core.Config{
+		Mode:                opts.Mode,
+		Workers:             opts.Workers,
+		PoolPages:           opts.BufferPoolPages,
+		WALLimit:            opts.WALLimitBytes,
+		CheckpointShards:    opts.CheckpointShards,
+		GroupCommitInterval: opts.GroupCommitInterval,
+		CheckpointDisabled:  opts.DisableCheckpointing,
+		RecoveryMode:        opts.RecoveryMode,
+		ObsAddr:             opts.ObsAddr,
+		ObsDisabled:         opts.DisableObservability,
+		Archive:             opts.Archive,
+	}
+	cfg := shard.Config{
+		Shards:     opts.Shards,
+		Boundaries: opts.Boundaries,
+		Engine:     ecfg,
+	}
+	if opts.ShardDevices != nil {
+		cfg.Devices = make([]shard.Devices, len(opts.ShardDevices))
+		for i, d := range opts.ShardDevices {
+			cfg.Devices[i] = shard.Devices{PMem: d.PMem, SSD: d.SSD}
+		}
+	}
+	c, err := shard.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedDB{c: c}, nil
+}
+
+// Close shuts every shard down cleanly.
+func (db *ShardedDB) Close() error { return db.c.Close() }
+
+// Shards returns the shard count.
+func (db *ShardedDB) Shards() int { return db.c.Shards() }
+
+// ObsAddr returns the bound observability endpoint (on shard 0), or "".
+func (db *ShardedDB) ObsAddr() string { return db.c.Engine(0).ObsAddr() }
+
+// Session returns a new cluster session pinned to the next worker
+// round-robin.
+func (db *ShardedDB) Session() *ShardedSession { return db.c.NewSession() }
+
+// SessionOn pins a cluster session to a specific worker in [0, Workers);
+// its sub-sessions use the same worker slot on every shard they enlist.
+func (db *ShardedDB) SessionOn(worker int) *ShardedSession { return db.c.NewSessionOn(worker) }
+
+// CreateBTree creates a named tree on every shard. A replicated tree keeps
+// a full copy per shard (writes fan out, reads stay local) — for small
+// read-mostly tables, so lookups never widen a transaction's two-phase
+// commit participant set.
+func (db *ShardedDB) CreateBTree(name string, replicated bool) (*ShardedBTree, error) {
+	return db.c.CreateTree(name, replicated)
+}
+
+// BTree opens an existing named tree.
+func (db *ShardedDB) BTree(name string, replicated bool) (*ShardedBTree, bool) {
+	return db.c.OpenTree(name, replicated)
+}
+
+// SimulateCrash kills every shard without flushing anything, applying
+// crash semantics to each shard's devices (seeded deterministically from
+// seed). Reopen with the returned devices in ShardedOptions.ShardDevices
+// to run recovery, including cross-shard in-doubt resolution. All sessions
+// must be idle.
+func (db *ShardedDB) SimulateCrash(seed uint64) []Devices {
+	devs := db.c.Crash(seed)
+	out := make([]Devices, len(devs))
+	for i, d := range devs {
+		out[i] = Devices{PMem: d.PMem, SSD: d.SSD}
+	}
+	return out
+}
+
+// CrossShardTxns counts transactions committed through two-phase commit.
+func (db *ShardedDB) CrossShardTxns() uint64 { return db.c.CrossShardTxns() }
+
+// InDoubtAtRestart counts prepared-but-undecided transactions the last
+// Open had to resolve against coordinator decision records.
+func (db *ShardedDB) InDoubtAtRestart() uint64 { return db.c.InDoubtAtRestart() }

@@ -1,0 +1,86 @@
+package leanstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	leanstore "repro"
+)
+
+// TestShardedPublicAPI drives the sharded store end to end through the
+// public surface: routed writes, a cross-shard transaction, a crash after
+// the coordinator's decision hardened, and recovery that resolves the
+// in-doubt transaction to commit on every shard.
+func TestShardedPublicAPI(t *testing.T) {
+	opts := leanstore.ShardedOptions{
+		Options: leanstore.Options{Workers: 2, BufferPoolPages: 256, WALLimitBytes: 4 << 20},
+		Shards:  2,
+		Boundaries: [][]byte{
+			[]byte("m"),
+		},
+	}
+	db, err := leanstore.OpenSharded(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Shards() != 2 {
+		t.Fatalf("Shards() = %d", db.Shards())
+	}
+	tr, err := db.CreateBTree("t", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One single-shard transaction per side, then one spanning both.
+	s := db.Session()
+	for _, k := range []string{"alpha", "zulu"} {
+		s.Begin()
+		if err := tr.Insert(s, []byte(k), []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+		s.Commit()
+	}
+	s.Begin()
+	if err := tr.Insert(s, []byte("bravo"), []byte("v-bravo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(s, []byte("yankee"), []byte("v-yankee")); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit()
+	if got := db.CrossShardTxns(); got != 1 {
+		t.Fatalf("CrossShardTxns = %d, want 1", got)
+	}
+
+	// Crash and recover through the public device hand-off.
+	devs := db.SimulateCrash(7)
+	opts.ShardDevices = devs
+	rec, err := leanstore.OpenSharded(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	rt, ok := rec.BTree("t", false)
+	if !ok {
+		t.Fatal("tree lost in crash")
+	}
+	rs := rec.Session()
+	rs.Begin()
+	for _, k := range []string{"alpha", "zulu", "bravo", "yankee"} {
+		v, ok := rt.Get(rs, []byte(k), nil)
+		if !ok || !bytes.Equal(v, []byte("v-"+k)) {
+			t.Fatalf("after recovery, %q = %q (present=%v)", k, v, ok)
+		}
+	}
+	// Scan crosses the shard boundary in key order.
+	var keys []string
+	rt.Scan(rs, nil, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if want := fmt.Sprint([]string{"alpha", "bravo", "yankee", "zulu"}); fmt.Sprint(keys) != want {
+		t.Fatalf("scan order %v, want %v", keys, want)
+	}
+	rs.Commit()
+}
