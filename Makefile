@@ -4,10 +4,14 @@
 
 GO ?= go
 
-.PHONY: check test vet lint bench-smoke bench recovery-smoke replication-smoke sharding-smoke
+.PHONY: check test vet lint bench-smoke bench recovery-smoke replication-smoke sharding-smoke server-smoke
 
 check: vet
 	$(GO) test -race -short ./...
+# Wire-protocol decoder must survive adversarial byte streams: a short
+# coverage-guided pass on top of the seeded corpus (regression seeds run
+# as part of the ordinary test suite above).
+	$(GO) test -run='^$$' -fuzz=FuzzDecoder -fuzztime=10s ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -40,7 +44,7 @@ test:
 # iterations is enough to catch a broken benchmark or a gross allocation
 # regression without paying for a full -benchtime run.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='BenchmarkCommitPath|BenchmarkCommitLatency|BenchmarkHotPathAllocs' -benchtime=100x .
+	$(GO) test -run='^$$' -bench='BenchmarkCommitPath|BenchmarkCommitLatency|BenchmarkHotPathAllocs|BenchmarkServerRequestAllocs' -benchtime=100x .
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -63,3 +67,10 @@ replication-smoke:
 # participants (-gate enforces all of it).
 sharding-smoke:
 	$(GO) run ./cmd/repro ablate-sharding -scale tiny -gate
+
+# Server gate: pipelining must at least double one-request-per-RTT
+# throughput, the served path must stay within 15% of embedded sessions at
+# equal worker count, and past saturation admission control must shed with
+# typed errors while the p99 of admitted transactions stays bounded.
+server-smoke:
+	$(GO) run ./cmd/repro ablate-server -scale tiny -gate

@@ -8,6 +8,7 @@ package leanstore_test
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/server"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
@@ -575,4 +577,93 @@ func BenchmarkBTreeLookup(b *testing.B) {
 	}
 	b.StopTimer()
 	s.Commit()
+}
+
+// BenchmarkServerRequestAllocs is the wire-path allocation gate: one
+// pipelined connection drives update transactions through the network
+// front end (decode batch, execute, coalesced commit ack) and the whole
+// loop — client encode/decode included — must stay at or under 2 allocs
+// per request once the per-connection scratch (decode buffer, staging,
+// response slots) reaches steady state. Engine staging is discarded and
+// checkpointing off, as in BenchmarkHotPathAllocs, so device-model buffer
+// growth stays out of the measurement.
+func BenchmarkServerRequestAllocs(b *testing.B) {
+	eng, err := core.Open(core.Config{
+		Mode: core.ModeOurs, Workers: 1, PoolPages: 4096,
+		WALLimit:           1 << 30,
+		CheckpointDisabled: true, DiscardStaging: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(server.ForEngine(eng), server.Options{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+	cl, err := server.Dial(lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.OpenTree("gate", true, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, val := []byte("key"), make([]byte, 64)
+	if err := cl.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.Insert(h, key, val); err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.Commit(); err != nil {
+		b.Fatal(err)
+	}
+
+	// One pipelined round: depth transactions of three requests each,
+	// flushed in one write, acknowledged in one coalesced epoch.
+	const depth = 64
+	round := func(txns int) {
+		for i := 0; i < txns; i++ {
+			cl.QueueBegin()
+			cl.QueueUpdate(h, key, val)
+			cl.QueueCommit()
+		}
+		for i := 0; i < 3*txns; i++ {
+			if err := cl.RecvStatus(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for warm := 0; warm < 5000; warm += depth {
+		round(depth)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += depth {
+		n := depth
+		if b.N-done < n {
+			n = b.N - done
+		}
+		round(n)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	requests := float64(3 * b.N)
+	perReq := float64(after.Mallocs-before.Mallocs) / requests
+	b.ReportMetric(perReq, "allocs/req")
+	// Gate only on runs long enough for goroutine scheduling noise and the
+	// occasional chunk rotation to amortize.
+	const tolerance = 2.0
+	if b.N >= 10000 && perReq > tolerance {
+		b.Fatalf("server request path allocates: %.3f allocs/request (tolerance %.1f) — "+
+			"the pipelined wire path must stay (near) allocation-free (ISSUE 9 gate)", perReq, tolerance)
+	}
 }

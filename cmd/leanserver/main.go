@@ -1,0 +1,116 @@
+// Command leanserver serves a database over the wire protocol: a network
+// front end where each connection maps onto one engine transaction session,
+// requests pipeline, and commit acknowledgements ride the group-commit
+// flush. With -shards > 1 it fronts a range-sharded cluster instead of a
+// single engine.
+//
+//	go run ./cmd/leanserver -addr 127.0.0.1:4700 -mode ours -workers 8
+//	go run ./cmd/leanserver -shards 4 -boundaries g,n,t
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	leanstore "repro"
+)
+
+var modes = map[string]leanstore.Mode{
+	"ours":             leanstore.ModeOurs,
+	"no-rfa":           leanstore.ModeNoRFA,
+	"group-commit":     leanstore.ModeGroupCommit,
+	"group-commit+rfa": leanstore.ModeGroupCommitRFA,
+	"aries":            leanstore.ModeARIES,
+	"aether":           leanstore.ModeAether,
+	"silor":            leanstore.ModeSiloR,
+	"no-logging":       leanstore.ModeNoLogging,
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4700", "listen address")
+	modeName := flag.String("mode", "ours", "logging mode")
+	workers := flag.Int("workers", 8, "engine worker slots / log partitions")
+	poolPages := flag.Int("pool-pages", 8192, "buffer pool size in 16 KiB pages")
+	walLimit := flag.Int64("wal-limit", 256<<20, "live WAL bound in bytes")
+	shards := flag.Int("shards", 1, "number of range shards (1 = single engine)")
+	boundaries := flag.String("boundaries", "", "comma-separated split keys (shards-1 of them)")
+	maxConns := flag.Int("max-conns", 256, "connection limit")
+	maxQueue := flag.Int("max-queue", 4096, "pending-request bound for admission control")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address")
+	flag.Parse()
+
+	mode, ok := modes[*modeName]
+	if !ok {
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+	opts := leanstore.Options{
+		Mode:            mode,
+		Workers:         *workers,
+		BufferPoolPages: *poolPages,
+		WALLimitBytes:   *walLimit,
+		ObsAddr:         *obsAddr,
+	}
+	sopts := leanstore.ServerOptions{MaxConns: *maxConns, MaxQueue: *maxQueue}
+
+	var srv *leanstore.Server
+	var closeStore func() error
+	if *shards > 1 {
+		var bounds [][]byte
+		if *boundaries != "" {
+			for _, b := range strings.Split(*boundaries, ",") {
+				bounds = append(bounds, []byte(b))
+			}
+		}
+		if len(bounds) != *shards-1 {
+			log.Fatalf("need %d boundaries for %d shards, got %d", *shards-1, *shards, len(bounds))
+		}
+		db, err := leanstore.OpenSharded(leanstore.ShardedOptions{
+			Options: opts, Shards: *shards, Boundaries: bounds,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, closeStore = db.NewServer(sopts), db.Close
+		if a := db.ObsAddr(); a != "" {
+			fmt.Printf("observability endpoint: http://%s/metrics\n", a)
+		}
+	} else {
+		db, err := leanstore.Open(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, closeStore = db.NewServer(sopts), db.Close
+		if a := db.ObsAddr(); a != "" {
+			fmt.Printf("observability endpoint: http://%s/metrics\n", a)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down...")
+		srv.Close()
+	}()
+
+	fmt.Printf("leanserver: mode=%s workers=%d shards=%d listening on %s\n",
+		mode, *workers, *shards, *addr)
+	start := time.Now()
+	err := srv.ListenAndServe(*addr)
+	srv.Close()
+	if cerr := closeStore(); cerr != nil {
+		log.Fatal(cerr)
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d requests (%d shed) in %s\n",
+		st.Requests, st.Shed, time.Since(start).Round(time.Millisecond))
+	if err != nil && err != leanstore.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

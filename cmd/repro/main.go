@@ -24,6 +24,7 @@
 //	ablate-recovery  restart log-size × recovery-mode sweep (ttft vs total)
 //	ablate-replication  WAL-shipping read-replica scaling sweep
 //	ablate-sharding  range-sharded TPC-C scale-out sweep + 2PC crash equivalence
+//	ablate-server    network front end: pipelining, overhead, admission control
 //	obs-overhead     observability subsystem cost (tracing on vs off)
 //	commit-stages    per-stage commit latency split (append/queue/flush/ack)
 //	flight           crash flight-recorder post-mortem
@@ -52,7 +53,7 @@ func main() {
 	fs := flag.NewFlagSet(exp, flag.ExitOnError)
 	scaleName := fs.String("scale", "small", "workload scale: tiny|small|medium")
 	threads := fs.Int("threads", 4, "worker threads for fixed-thread experiments")
-	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery, ablate-replication, ablate-sharding)")
+	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery, ablate-replication, ablate-sharding, ablate-server)")
 	fs.Parse(os.Args[2:])
 
 	sc, err := harness.ScaleByName(*scaleName)
@@ -196,6 +197,44 @@ func main() {
 					base.TPS, s1.TPS, s4.TPS, s4.TPS/s1.TPS, s4.CrossPct)
 			}
 			return nil
+		case "ablate-server":
+			res, err := harness.AblateServer(w, sc, *threads)
+			if err != nil {
+				return err
+			}
+			if *gate {
+				// CI gate: pipelining must at least double one-request-per-RTT
+				// throughput on the same connections; the served path must stay
+				// within 15% of embedded sessions at equal worker count; and
+				// past saturation admission control must shed while the p99 of
+				// admitted transactions stays bounded (no unshed collapse).
+				if res.Conns < 8 {
+					return fmt.Errorf("server gate: ran with %d conns, want >= 8", res.Conns)
+				}
+				if res.PipelinedTPS < 2.0*res.RTTTPS {
+					return fmt.Errorf("server gate: pipelined %.0f txn/s is %.2fx of 1-req/RTT %.0f, want >= 2x",
+						res.PipelinedTPS, res.PipelinedTPS/res.RTTTPS, res.RTTTPS)
+				}
+				if res.ServedTPS < 0.85*res.EmbeddedTPS {
+					return fmt.Errorf("server gate: served %.0f txn/s vs embedded %.0f (%.1f%% overhead, want <= 15%%)",
+						res.ServedTPS, res.EmbeddedTPS, 100*(1-res.ServedTPS/res.EmbeddedTPS))
+				}
+				over := res.OpenLoop[len(res.OpenLoop)-1]
+				if over.OfferedMult <= 1 {
+					return fmt.Errorf("server gate: no over-capacity open-loop cell")
+				}
+				if over.ShedFrac <= 0 {
+					return fmt.Errorf("server gate: %.2fx capacity shed nothing; admission control inert", over.OfferedMult)
+				}
+				if over.P99 > 2*time.Second {
+					return fmt.Errorf("server gate: p99 of admitted txns %v under %.2fx overload, want bounded (<= 2s)",
+						over.P99, over.OfferedMult)
+				}
+				fmt.Fprintf(w, "server gate: ok — pipelined %.2fx of 1-req/RTT, served at %.0f%% of embedded, %.1f%% shed at %.2fx with admitted p99 %v\n",
+					res.PipelinedTPS/res.RTTTPS, 100*res.ServedTPS/res.EmbeddedTPS,
+					100*over.ShedFrac, over.OfferedMult, over.P99)
+			}
+			return nil
 		case "obs-overhead":
 			_, err := harness.ObsOverhead(w, sc)
 			return err
@@ -213,7 +252,7 @@ func main() {
 			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
 			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
 			"ablate-io", "ablate-commit", "ablate-recovery",
-			"ablate-replication", "ablate-sharding", "obs-overhead",
+			"ablate-replication", "ablate-sharding", "ablate-server", "obs-overhead",
 			"commit-stages", "flight",
 		} {
 			if err := run(name); err != nil {

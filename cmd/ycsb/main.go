@@ -1,11 +1,16 @@
 // Command ycsb runs the §4.4 YCSB-style workload (100% single-tuple
 // updates, Zipfian keys) against any logging mode, reporting throughput,
-// commit latency percentiles, and the RFA remote-flush rate.
+// commit latency percentiles, and the RFA remote-flush rate. With
+// -shards N the table is range-partitioned over N engines in one process;
+// every update is single-shard, so the cluster routes it onto the owning
+// engine's unmodified commit path.
 //
 //	go run ./cmd/ycsb -mode ours -records 100000 -theta 0.75 -threads 4 -duration 5s
+//	go run ./cmd/ycsb -mode ours -records 100000 -shards 4 -duration 5s
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
@@ -15,6 +20,8 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
@@ -29,12 +36,23 @@ var modes = map[string]core.Mode{
 	"no-logging":       core.ModeNoLogging,
 }
 
+// recordBoundaries splits the 8-byte big-endian key space of records evenly
+// across shards: boundary i is the first key owned by shard i+1.
+func recordBoundaries(records, shards int) [][]byte {
+	bounds := make([][]byte, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		bounds = append(bounds, binary.BigEndian.AppendUint64(nil, uint64(records*i/shards)))
+	}
+	return bounds
+}
+
 func main() {
 	modeName := flag.String("mode", "ours", "logging mode")
 	records := flag.Int("records", 100000, "table size (paper: 500M)")
 	theta := flag.Float64("theta", 0.0, "Zipf skew (paper sweeps 0..1.75)")
 	threads := flag.Int("threads", 4, "benchmark worker goroutines")
 	workers := flag.Int("workers", 0, "engine worker slots / log partitions (default: threads)")
+	shards := flag.Int("shards", 1, "range-partitioned engines in this process")
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
 	measureLatency := flag.Bool("latency", true, "record per-txn commit latency (sync commits)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address")
@@ -47,27 +65,73 @@ func main() {
 	if *workers == 0 {
 		*workers = *threads
 	}
-	eng, err := core.Open(core.Config{
+	ecfg := core.Config{
 		Mode:      mode,
 		Workers:   *workers,
 		PoolPages: 8192,
 		WALLimit:  256 << 20,
 		ObsAddr:   *obsAddr,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	defer eng.Close()
+
+	// Open the store: one engine, or a range-sharded cluster of them.
+	var (
+		eng *core.Engine
+		cl  *shard.Cluster
+		err error
+	)
+	if *shards > 1 {
+		cl, err = shard.Open(shard.Config{
+			Shards:     *shards,
+			Boundaries: recordBoundaries(*records, *shards),
+			Engine:     ecfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = cl.Engine(0) // observability endpoint + representative stats
+		defer cl.Close()
+	} else {
+		eng, err = core.Open(ecfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+	}
 	if a := eng.ObsAddr(); a != "" {
 		fmt.Printf("observability endpoint: http://%s/metrics\n", a)
 	}
 
-	s := eng.NewSessionOn(0)
-	tree, err := eng.CreateTree(s, "ycsb")
-	if err != nil {
-		log.Fatal(err)
+	engines := []*core.Engine{eng}
+	if cl != nil {
+		engines = engines[:0]
+		for i := 0; i < cl.Shards(); i++ {
+			engines = append(engines, cl.Engine(i))
+		}
 	}
-	y := workload.NewYCSB(workload.WrapBTree(tree), *records)
+	slots := eng.Workers()
+	newSession := func(i int) workload.Session {
+		if cl != nil {
+			return cl.NewSessionOn(i % slots)
+		}
+		return eng.NewSessionOn(i % slots)
+	}
+
+	s := newSession(0)
+	var tree workload.Tree
+	if cl != nil {
+		tr, err := cl.CreateTree("ycsb", false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree = workload.WrapShardTree(tr)
+	} else {
+		tr, err := eng.CreateTree(s.(*txn.Session), "ycsb")
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree = workload.WrapBTree(tr)
+	}
+	y := workload.NewYCSB(tree, *records)
 	fmt.Printf("loading %d records...\n", *records)
 	if err := y.Load(s, 2000); err != nil {
 		log.Fatal(err)
@@ -82,18 +146,18 @@ func main() {
 			defer wg.Done()
 			// Pin to the engine's actual worker slots (the engine may have
 			// clamped or defaulted the requested count).
-			ws := eng.NewSessionOn(i % eng.Workers())
+			ws := newSession(i)
 			defer func() {
 				if r := recover(); r != nil {
 					if r == buffer.ErrPoolInterrupted {
-						ws.AbandonForCrash()
+						ws.(interface{ AbandonForCrash() }).AbandonForCrash()
 						return
 					}
 					panic(r)
 				}
 			}()
 			if *measureLatency {
-				ws.SetSyncCommit(true)
+				ws.(interface{ SetSyncCommit(bool) }).SetSyncCommit(true)
 			}
 			w := y.NewWorker(uint64(i)*97+3, *theta)
 			for {
@@ -110,17 +174,29 @@ func main() {
 		}(i)
 	}
 
-	before := eng.Txns().Stats()
+	durable := func() (st txn.Stats) {
+		for _, e := range engines {
+			es := e.Txns().Stats()
+			st.DurableCommits += es.DurableCommits
+			st.RFASkips += es.RFASkips
+			st.RFAFlushes += es.RFAFlushes
+		}
+		return
+	}
+	before := durable()
 	start := time.Now()
 	time.Sleep(*duration)
-	after := eng.Txns().Stats()
+	after := durable()
 	elapsed := time.Since(start).Seconds()
 	close(stop)
-	eng.Interrupt()
+	for _, e := range engines {
+		e.Interrupt()
+	}
 	wg.Wait()
 
 	committed := after.DurableCommits - before.DurableCommits
-	fmt.Printf("\n=== summary (%s, theta=%.2f, %d threads, %.0fs) ===\n", mode, *theta, *threads, elapsed)
+	fmt.Printf("\n=== summary (%s, theta=%.2f, %d threads, %d shard(s), %.0fs) ===\n",
+		mode, *theta, *threads, len(engines), elapsed)
 	fmt.Printf("throughput:     %.0f txn/s (%d committed)\n", float64(committed)/elapsed, committed)
 	if tot := (after.RFASkips - before.RFASkips) + (after.RFAFlushes - before.RFAFlushes); tot > 0 {
 		fmt.Printf("remote flushes: %.1f%%\n", 100*float64(after.RFAFlushes-before.RFAFlushes)/float64(tot))
@@ -129,7 +205,9 @@ func main() {
 		fmt.Printf("latency:        median=%v p99=%v mean=%v\n",
 			hist.Quantile(0.5), hist.Quantile(0.99), hist.Mean())
 	}
-	st := eng.Stats()
-	fmt.Printf("log volume:     %.1f MiB appended\n", float64(st.WAL.AppendedBytes)/(1<<20))
-
+	var appended uint64
+	for _, e := range engines {
+		appended += e.Stats().WAL.AppendedBytes
+	}
+	fmt.Printf("log volume:     %.1f MiB appended\n", float64(appended)/(1<<20))
 }

@@ -162,6 +162,29 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveN records n observations of the same latency with one pass over
+// the counters — for batch-granular timing where n requests completed at
+// the same measured point (the network server's decode batches).
+func (h *Histogram) ObserveN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d.Nanoseconds())
+	un := uint64(n)
+	h.buckets[bucketIndex(ns)].Add(un)
+	h.count.Add(un)
+	h.sum.Add(ns * un)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

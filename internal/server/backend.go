@@ -1,0 +1,62 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// engineBackend fronts a single embedded engine.
+type engineBackend struct{ e *core.Engine }
+
+// ForEngine adapts an engine so a Server can front it.
+func ForEngine(e *core.Engine) Backend { return engineBackend{e} }
+
+func (b engineBackend) NewSession() workload.AsyncSession { return b.e.NewSession() }
+
+func (b engineBackend) OpenTree(name string, _ bool) (workload.Tree, bool) {
+	t := b.e.GetTree(name)
+	if t == nil {
+		return nil, false
+	}
+	return workload.WrapBTree(t), true
+}
+
+func (b engineBackend) CreateTree(s workload.Session, name string, _ bool) (workload.Tree, error) {
+	t, err := b.e.CreateTree(s.(*txn.Session), name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.WrapBTree(t), nil
+}
+
+func (b engineBackend) Registry() *obs.Registry { return b.e.ObsRegistry() }
+
+// clusterBackend fronts a range-sharded cluster; single-shard transactions
+// keep the owning engine's unmodified commit fast path.
+type clusterBackend struct{ c *shard.Cluster }
+
+// ForCluster adapts a sharded cluster so a Server can front it.
+func ForCluster(c *shard.Cluster) Backend { return clusterBackend{c} }
+
+func (b clusterBackend) NewSession() workload.AsyncSession { return b.c.NewSession() }
+
+func (b clusterBackend) OpenTree(name string, replicated bool) (workload.Tree, bool) {
+	t, ok := b.c.OpenTree(name, replicated)
+	if !ok {
+		return nil, false
+	}
+	return workload.WrapShardTree(t), true
+}
+
+func (b clusterBackend) CreateTree(_ workload.Session, name string, replicated bool) (workload.Tree, error) {
+	t, err := b.c.CreateTree(name, replicated)
+	if err != nil {
+		return nil, err
+	}
+	return workload.WrapShardTree(t), nil
+}
+
+func (b clusterBackend) Registry() *obs.Registry { return b.c.Engine(0).ObsRegistry() }

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"encoding/binary"
+	"net"
+)
+
+// Client speaks the wire protocol. It supports two styles on one
+// connection: synchronous convenience calls (one request per round trip),
+// and explicit pipelining — Queue* any number of requests, Flush them in
+// one write, then Recv the responses in order. The load generator uses the
+// pipelined form; responses arrive strictly in request order so no
+// sequence numbers are exchanged.
+//
+// A Client is not safe for concurrent use; open one per goroutine.
+type Client struct {
+	nc      net.Conn
+	dec     *Decoder
+	out     []byte
+	pending int
+}
+
+// Dial connects to a server at addr (TCP).
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	return &Client{nc: nc, dec: NewDecoder(0)}
+}
+
+// Close closes the connection. An open transaction is aborted server-side
+// by the disconnect.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// ---- Pipelined primitives ----
+
+// Pending is the number of queued-or-flushed requests whose responses have
+// not been received yet.
+func (c *Client) Pending() int { return c.pending }
+
+func (c *Client) QueuePing()   { c.out = AppendOpFrame(c.out, OpPing); c.pending++ }
+func (c *Client) QueueBegin()  { c.out = AppendOpFrame(c.out, OpBegin); c.pending++ }
+func (c *Client) QueueCommit() { c.out = AppendOpFrame(c.out, OpCommit); c.pending++ }
+func (c *Client) QueueAbort()  { c.out = AppendOpFrame(c.out, OpAbort); c.pending++ }
+
+func (c *Client) QueueOpenTree(name string, create, replicated bool) {
+	c.out = AppendOpenTree(c.out, name, create, replicated)
+	c.pending++
+}
+
+func (c *Client) QueueGet(tree uint32, key []byte) {
+	c.out = AppendKeyOp(c.out, OpGet, tree, key)
+	c.pending++
+}
+
+func (c *Client) QueueDelete(tree uint32, key []byte) {
+	c.out = AppendKeyOp(c.out, OpDelete, tree, key)
+	c.pending++
+}
+
+func (c *Client) QueueInsert(tree uint32, key, val []byte) {
+	c.out = AppendKeyValOp(c.out, OpInsert, tree, key, val)
+	c.pending++
+}
+
+func (c *Client) QueueUpdate(tree uint32, key, val []byte) {
+	c.out = AppendKeyValOp(c.out, OpUpdate, tree, key, val)
+	c.pending++
+}
+
+func (c *Client) QueuePut(tree uint32, key, val []byte) {
+	c.out = AppendKeyValOp(c.out, OpPut, tree, key, val)
+	c.pending++
+}
+
+func (c *Client) QueueScan(tree uint32, start []byte, limit uint32) {
+	c.out = AppendScan(c.out, tree, start, limit)
+	c.pending++
+}
+
+// Flush writes every queued request in one write.
+func (c *Client) Flush() error {
+	if len(c.out) == 0 {
+		return nil
+	}
+	_, err := c.nc.Write(c.out)
+	c.out = c.out[:0]
+	return err
+}
+
+// Recv returns the next response's status and body. The body aliases the
+// receive buffer: it is valid only until the next Recv that has to read
+// from the connection. Recv flushes queued requests first, so a bare
+// Queue*+Recv pair behaves like a synchronous call.
+func (c *Client) Recv() (status byte, body []byte, err error) {
+	if err := c.Flush(); err != nil {
+		return 0, nil, err
+	}
+	for {
+		p, err := c.dec.Next()
+		if err != nil {
+			return 0, nil, err
+		}
+		if p != nil {
+			if c.pending > 0 {
+				c.pending--
+			}
+			return p[1], p[2:], nil
+		}
+		if err := c.dec.Fill(c.nc); err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// RecvStatus receives the next response and maps its status to a typed
+// error (nil for StatusOK) — for responses without bodies.
+func (c *Client) RecvStatus() error {
+	status, _, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// ---- Synchronous convenience calls ----
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error { c.QueuePing(); return c.RecvStatus() }
+
+// OpenTree resolves (or, with create, creates) a named tree and returns
+// its connection-local handle.
+func (c *Client) OpenTree(name string, create, replicated bool) (uint32, error) {
+	c.QueueOpenTree(name, create, replicated)
+	status, body, err := c.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if err := statusErr(status); err != nil {
+		return 0, err
+	}
+	if len(body) < 4 {
+		return 0, ErrBadFrame
+	}
+	return binary.LittleEndian.Uint32(body), nil
+}
+
+// Begin starts a transaction; ErrOverloaded means it was shed by admission
+// control (every following request until Commit/Abort also returns
+// ErrOverloaded, and the Commit/Abort clears the shed state).
+func (c *Client) Begin() error { c.QueueBegin(); return c.RecvStatus() }
+
+// Commit commits; it returns once the transaction is durable.
+func (c *Client) Commit() error { c.QueueCommit(); return c.RecvStatus() }
+
+// Abort rolls back.
+func (c *Client) Abort() error { c.QueueAbort(); return c.RecvStatus() }
+
+// Get fetches key's value appended to dst (may be nil); ok reports
+// presence.
+func (c *Client) Get(tree uint32, key, dst []byte) (val []byte, ok bool, err error) {
+	c.QueueGet(tree, key)
+	status, body, err := c.Recv()
+	if err != nil {
+		return nil, false, err
+	}
+	if status == StatusNotFound {
+		return dst, false, nil
+	}
+	if err := statusErr(status); err != nil {
+		return nil, false, err
+	}
+	return append(dst, body...), true, nil
+}
+
+// Insert adds key → val; ErrDuplicate if present.
+func (c *Client) Insert(tree uint32, key, val []byte) error {
+	c.QueueInsert(tree, key, val)
+	return c.RecvStatus()
+}
+
+// Update replaces key's value; ErrNotFound if absent.
+func (c *Client) Update(tree uint32, key, val []byte) error {
+	c.QueueUpdate(tree, key, val)
+	return c.RecvStatus()
+}
+
+// Put upserts key → val.
+func (c *Client) Put(tree uint32, key, val []byte) error {
+	c.QueuePut(tree, key, val)
+	return c.RecvStatus()
+}
+
+// Delete removes key; ErrNotFound if absent.
+func (c *Client) Delete(tree uint32, key []byte) error {
+	c.QueueDelete(tree, key)
+	return c.RecvStatus()
+}
+
+// Scan streams ascending entries from start until fn returns false or
+// limit entries were delivered. The server bounds one response to a frame;
+// Scan transparently issues follow-up requests from the last key when the
+// limit was not reached. k and v alias the receive buffer.
+func (c *Client) Scan(tree uint32, start []byte, limit uint32, fn func(k, v []byte) bool) error {
+	var lastKey []byte
+	for limit > 0 {
+		c.QueueScan(tree, start, limit)
+		status, body, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		if err := statusErr(status); err != nil {
+			return err
+		}
+		if len(body) < 4 {
+			return ErrBadFrame
+		}
+		count := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		for i := uint32(0); i < count; i++ {
+			if len(body) < 6 {
+				return ErrBadFrame
+			}
+			kn := int(binary.LittleEndian.Uint16(body))
+			vn := int(binary.LittleEndian.Uint32(body[2:]))
+			if len(body) < 6+kn+vn {
+				return ErrBadFrame
+			}
+			k, v := body[6:6+kn], body[6+kn:6+kn+vn]
+			body = body[6+kn+vn:]
+			if !fn(k, v) {
+				return nil
+			}
+			lastKey = append(lastKey[:0], k...)
+		}
+		if count == limit {
+			return nil // limit reached
+		}
+		if count == 0 || lastKey == nil {
+			return nil // exhausted
+		}
+		// Frame filled up before the limit: resume just past the last key.
+		limit -= count
+		start = append(lastKey, 0)
+		lastKey = nil
+	}
+	return nil
+}

@@ -1,0 +1,453 @@
+package server
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/workload"
+)
+
+// barrier is one in-flight commit response: bytes at and after off in
+// c.out must not be flushed until the commit's durability callback marks
+// the slot done. Barriers complete strictly in FIFO order per connection
+// (a session's commits ack in GSN order), but each carries its own done
+// flag so a reordered callback can never release a predecessor early.
+type barrier struct {
+	off     int // start offset of the commit response within c.out
+	slot    int // index into done/ackFns
+	arrival time.Time
+}
+
+// conn is one served connection: a reader goroutine that decodes and
+// executes request batches, and a writer goroutine that flushes the
+// maximal durable prefix of the response stream in one write per wake
+// (the coalesced-ack epoch flush).
+type conn struct {
+	srv  *Server
+	nc   connIO
+	sess workload.AsyncSession
+	dec  *Decoder
+
+	trees []connTree // wire handle → tree
+	batch []request  // decoded requests of the current Read
+	stage []byte     // responses staged lock-free; spliced into out per batch
+	vbuf  []byte     // lookup value scratch (Tree.Lookup rewrites dst[:0])
+
+	// Transaction state machine, reader-goroutine only.
+	shedding bool // current transaction was shed at Begin
+
+	mu       sync.Mutex
+	out      []byte // encoded responses not yet handed to the writer
+	barriers []barrier
+	barHead  int
+	done     []bool   // per-slot commit-durable flags
+	ackFns   []func() // per-slot durability callbacks (built once, reused)
+	freeSlot []int
+	rdDone   bool // reader exited
+	werr     bool // writer hit a write error
+	wake     chan struct{}
+
+	wbuf []byte // writer's flush buffer (owned by writeLoop)
+}
+
+// connIO is the subset of net.Conn the connection uses (tests substitute
+// in-memory pipes).
+type connIO interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}
+
+type connTree struct {
+	t          workload.Tree
+	replicated bool
+}
+
+func newConn(s *Server, nc connIO) *conn {
+	return &conn{
+		srv:  s,
+		nc:   nc,
+		sess: s.b.NewSession(),
+		dec:  NewDecoder(s.opts.MaxFrame),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+func (c *conn) kick() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// readLoop drains one Read's worth of complete frames into a batch,
+// executes them back-to-back, and kicks the writer once per batch. On any
+// exit path it aborts an open transaction so the worker slot is released.
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if r == buffer.ErrPoolInterrupted {
+				// The engine was interrupted (shutdown/crash path): drop the
+				// in-flight transaction without logging, like every other
+				// worker does.
+				if a, ok := c.sess.(interface{ AbandonForCrash() }); ok && c.sess.Active() {
+					a.AbandonForCrash()
+				}
+				c.finishRead()
+				return
+			}
+			panic(r)
+		}
+	}()
+	for {
+		if err := c.dec.Fill(c.nc); err != nil {
+			break
+		}
+		// Drain every complete frame this Read delivered.
+		c.batch = c.batch[:0]
+		protoErr := false
+		for {
+			p, err := c.dec.Next()
+			if err != nil {
+				protoErr = true
+				break
+			}
+			if p == nil {
+				break
+			}
+			n := len(c.batch)
+			if cap(c.batch) > n {
+				c.batch = c.batch[:n+1]
+			} else {
+				c.batch = append(c.batch, request{})
+			}
+			if !parseRequest(p, &c.batch[n]) {
+				c.batch = c.batch[:n]
+				protoErr = true
+				break
+			}
+		}
+		arrival := time.Now()
+		c.srv.requests.Add(uint64(len(c.batch)))
+		c.srv.queue.Add(int64(len(c.batch)))
+		acks := 0
+		for i := range c.batch {
+			if c.handle(&c.batch[i], arrival) {
+				acks++
+			}
+		}
+		if protoErr {
+			// The malformed frame's error response goes out after the valid
+			// requests decoded before it, preserving response order.
+			c.pushStatus(StatusBadFrame)
+		}
+		// Batch-granular accounting: every request except admitted commits
+		// (whose latency and queue slot are settled by the durability
+		// callback) completed at this point.
+		if done := len(c.batch) - acks; done > 0 {
+			c.srv.hist.ObserveN(time.Since(arrival), done)
+			c.srv.queue.Add(int64(-done))
+		}
+		c.flushStage()
+		c.kick()
+		if protoErr {
+			break
+		}
+	}
+	if c.sess.Active() {
+		c.sess.Abort()
+	}
+	c.finishRead()
+}
+
+// finishRead hands the connection over to the writer for the final drain.
+func (c *conn) finishRead() {
+	c.mu.Lock()
+	c.rdDone = true
+	c.mu.Unlock()
+	c.kick()
+}
+
+// writeLoop flushes the maximal releasable prefix of the response stream —
+// everything up to the first commit response whose durability callback has
+// not fired — in one Write per wake. Commit acks therefore coalesce: one
+// flush epoch's worth of acknowledgements, across all transactions
+// pipelined on this connection, leaves in a single write.
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	defer c.srv.dropConn(c)
+	defer c.nc.Close()
+	for range c.wake {
+		for {
+			c.mu.Lock()
+			flushable := len(c.out)
+			if c.barHead < len(c.barriers) {
+				flushable = c.barriers[c.barHead].off
+			}
+			if flushable == 0 {
+				exit := c.werr || (c.rdDone && c.barHead == len(c.barriers) && len(c.out) == 0)
+				c.mu.Unlock()
+				if exit {
+					return
+				}
+				break // wait for the next wake
+			}
+			// Take the prefix and compact state under the lock; write after
+			// releasing it so acks and the reader never block on a syscall.
+			c.wbuf = append(c.wbuf[:0], c.out[:flushable]...)
+			rem := copy(c.out, c.out[flushable:])
+			c.out = c.out[:rem]
+			for i := c.barHead; i < len(c.barriers); i++ {
+				c.barriers[i].off -= flushable
+			}
+			c.mu.Unlock()
+			if _, err := c.nc.Write(c.wbuf); err != nil {
+				c.mu.Lock()
+				c.werr = true
+				c.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// ---- Response path ----
+//
+// Non-commit responses are encoded into c.stage without taking the lock:
+// only the reader goroutine touches stage, and the writer only sees bytes
+// once they are spliced into c.out. The lock is taken once per commit
+// (pushCommit) and once per batch (flushStage) instead of once per request.
+
+// pushStatus stages a status-only response.
+func (c *conn) pushStatus(status byte) {
+	c.stage = AppendOpFrame(c.stage, status)
+}
+
+// flushStage splices the staged responses into the out stream. Called once
+// per batch, and by pushCommit before registering a barrier so that
+// response order is preserved across the stage/out boundary.
+func (c *conn) flushStage() {
+	if len(c.stage) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.out = append(c.out, c.stage...)
+	c.mu.Unlock()
+	c.stage = c.stage[:0]
+}
+
+// pushCommit appends the commit-OK response behind a durability barrier and
+// returns the slot's callback for CommitAsync. The response bytes exist
+// immediately (a commit that reached this point always succeeds); the
+// barrier delays their flush until the group-commit callback fires.
+func (c *conn) pushCommit(arrival time.Time) func() {
+	c.mu.Lock()
+	if len(c.stage) > 0 {
+		c.out = append(c.out, c.stage...)
+		c.stage = c.stage[:0]
+	}
+	var slot int
+	if n := len(c.freeSlot); n > 0 {
+		slot = c.freeSlot[n-1]
+		c.freeSlot = c.freeSlot[:n-1]
+	} else {
+		slot = len(c.ackFns)
+		i := slot
+		c.ackFns = append(c.ackFns, func() { c.ackSlot(i) })
+		c.done = append(c.done, false)
+	}
+	if c.barHead == len(c.barriers) {
+		c.barriers = c.barriers[:0]
+		c.barHead = 0
+	}
+	c.barriers = append(c.barriers, barrier{off: len(c.out), slot: slot, arrival: arrival})
+	c.out = AppendOpFrame(c.out, StatusOK)
+	fn := c.ackFns[slot]
+	c.mu.Unlock()
+	return fn
+}
+
+// ackSlot is the durability callback for one in-flight commit: mark the
+// slot done, release every leading completed barrier, and wake the writer.
+// It runs on a log-flusher goroutine and must not block.
+func (c *conn) ackSlot(slot int) {
+	c.mu.Lock()
+	c.done[slot] = true
+	advanced := false
+	for c.barHead < len(c.barriers) && c.done[c.barriers[c.barHead].slot] {
+		b := c.barriers[c.barHead]
+		c.barHead++
+		c.done[b.slot] = false
+		c.freeSlot = append(c.freeSlot, b.slot)
+		c.srv.hist.Observe(time.Since(b.arrival))
+		c.srv.queue.Add(-1)
+		advanced = true
+	}
+	c.mu.Unlock()
+	if advanced {
+		c.kick()
+	}
+}
+
+// ---- Request execution ----
+
+// handle executes one decoded request and stages its response. It returns
+// true for an admitted commit, whose latency observation and queue slot are
+// settled by the durability callback instead of the caller's batch
+// accounting.
+func (c *conn) handle(rq *request, arrival time.Time) bool {
+	switch rq.op {
+	case OpPing:
+		c.pushStatus(StatusOK)
+	case OpOpenTree:
+		c.handleOpenTree(rq)
+	case OpBegin:
+		switch {
+		case c.sess.Active() || c.shedding:
+			c.pushStatus(StatusTxnState)
+		case c.srv.queue.Load() > int64(c.srv.opts.MaxQueue):
+			// Admission control: the pending-request bound is exceeded, so
+			// this whole transaction is shed with typed errors. Shedding at
+			// transaction granularity keeps already-admitted transactions'
+			// latency bounded instead of letting every request queue.
+			c.shedding = true
+			c.srv.shed.Add(1)
+			c.pushStatus(StatusOverloaded)
+		default:
+			c.sess.Begin()
+			c.pushStatus(StatusOK)
+		}
+	case OpCommit:
+		switch {
+		case c.shedding:
+			c.shedding = false
+			c.pushStatus(StatusOverloaded)
+		case !c.sess.Active():
+			c.pushStatus(StatusTxnState)
+		default:
+			fn := c.pushCommit(arrival)
+			c.sess.CommitAsync(fn)
+			return true
+		}
+	case OpAbort:
+		switch {
+		case c.shedding:
+			c.shedding = false
+			c.pushStatus(StatusOverloaded)
+		case !c.sess.Active():
+			c.pushStatus(StatusTxnState)
+		default:
+			c.sess.Abort()
+			c.pushStatus(StatusOK)
+		}
+	case OpGet, OpInsert, OpUpdate, OpPut, OpDelete, OpScan:
+		c.handleTreeOp(rq)
+	default:
+		c.pushStatus(StatusUnknownOp)
+	}
+	return false
+}
+
+func (c *conn) handleOpenTree(rq *request) {
+	if c.sess.Active() || c.shedding {
+		c.pushStatus(StatusTxnState)
+		return
+	}
+	name := string(rq.val)
+	t, ok := c.srv.b.OpenTree(name, rq.replicated)
+	if !ok {
+		if !rq.create {
+			c.pushStatus(StatusNotFound)
+			return
+		}
+		var err error
+		t, err = c.srv.b.CreateTree(c.sess, name, rq.replicated)
+		if err != nil {
+			// Lost a create race or backend refusal; try the open again.
+			if t, ok = c.srv.b.OpenTree(name, rq.replicated); !ok {
+				c.pushStatus(errStatus(err))
+				return
+			}
+		}
+	}
+	handle := uint32(len(c.trees))
+	c.trees = append(c.trees, connTree{t: t, replicated: rq.replicated})
+	var at int
+	c.stage, at = beginFrame(c.stage, StatusOK)
+	c.stage = binary.LittleEndian.AppendUint32(c.stage, handle)
+	c.stage = endFrame(c.stage, at)
+}
+
+func (c *conn) handleTreeOp(rq *request) {
+	if c.shedding {
+		c.pushStatus(StatusOverloaded)
+		return
+	}
+	if !c.sess.Active() {
+		c.pushStatus(StatusTxnState)
+		return
+	}
+	if int(rq.tree) >= len(c.trees) {
+		c.pushStatus(StatusBadFrame)
+		return
+	}
+	t := c.trees[rq.tree].t
+	switch rq.op {
+	case OpGet:
+		v, ok := t.Lookup(c.sess, rq.key, c.vbuf)
+		if ok {
+			c.vbuf = v // keep the grown capacity for reuse
+		}
+		if !ok {
+			c.pushStatus(StatusNotFound)
+			return
+		}
+		var at int
+		c.stage, at = beginFrame(c.stage, StatusOK)
+		c.stage = append(c.stage, v...)
+		c.stage = endFrame(c.stage, at)
+	case OpInsert:
+		c.pushStatus(errStatus(t.Insert(c.sess, rq.key, rq.val)))
+	case OpUpdate:
+		c.pushStatus(errStatus(t.Update(c.sess, rq.key, rq.val)))
+	case OpPut:
+		err := t.Insert(c.sess, rq.key, rq.val)
+		if errStatus(err) == StatusDuplicate {
+			err = t.Update(c.sess, rq.key, rq.val)
+		}
+		c.pushStatus(errStatus(err))
+	case OpDelete:
+		c.pushStatus(errStatus(t.Remove(c.sess, rq.key)))
+	case OpScan:
+		c.handleScan(t, rq)
+	}
+}
+
+// handleScan streams up to rq.aux entries from start into one response
+// frame, stopping early if the frame bound would be exceeded (the client
+// resumes from the last returned key).
+func (c *conn) handleScan(t workload.Tree, rq *request) {
+	var at int
+	c.stage, at = beginFrame(c.stage, StatusOK)
+	countAt := len(c.stage)
+	c.stage = append(c.stage, 0, 0, 0, 0)
+	var count uint32
+	limit := rq.aux
+	budget := c.srv.opts.MaxFrame - 64
+	t.ScanAsc(c.sess, rq.key, func(k, v []byte) bool {
+		if count >= limit || len(c.stage)-at+6+len(k)+len(v) > budget {
+			return false
+		}
+		c.stage = binary.LittleEndian.AppendUint16(c.stage, uint16(len(k)))
+		c.stage = binary.LittleEndian.AppendUint32(c.stage, uint32(len(v)))
+		c.stage = append(c.stage, k...)
+		c.stage = append(c.stage, v...)
+		count++
+		return count < limit
+	})
+	binary.LittleEndian.PutUint32(c.stage[countAt:], count)
+	c.stage = endFrame(c.stage, at)
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Backend is the storage surface a Server fronts: the embedded engine or a
+// range-sharded cluster, both reached through the workload adapters so the
+// server code has exactly one execution path.
+type Backend interface {
+	// NewSession returns a fresh session pinned round-robin to a worker
+	// slot; one is created per connection and used only by it.
+	NewSession() workload.AsyncSession
+	// OpenTree resolves an existing named tree. replicated matters only to
+	// the cluster backend (it selects the replicated-tree read path).
+	OpenTree(name string, replicated bool) (workload.Tree, bool)
+	// CreateTree creates a named tree; s must have no open transaction
+	// (creation runs its own transaction on the engine backend).
+	CreateTree(s workload.Session, name string, replicated bool) (workload.Tree, error)
+	// Registry is the metric registry the server publishes into (nil when
+	// observability is disabled).
+	Registry() *obs.Registry
+}
+
+// Options tunes the server's admission control.
+type Options struct {
+	// MaxConns bounds concurrently served connections; a connection beyond
+	// it is rejected with one StatusOverloaded frame and closed (default
+	// 256).
+	MaxConns int
+	// MaxQueue bounds requests that are decoded but not yet completed
+	// (commits count until their durability ack). When exceeded, new
+	// transactions are shed at Begin with StatusOverloaded; requests of
+	// already-admitted transactions always execute (default 4096).
+	MaxQueue int
+	// MaxFrame bounds a single frame payload (default MaxFrame).
+	MaxFrame int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxConns <= 0 {
+		out.MaxConns = 256
+	}
+	if out.MaxQueue <= 0 {
+		out.MaxQueue = 4096
+	}
+	if out.MaxFrame <= 0 {
+		out.MaxFrame = MaxFrame
+	}
+	return out
+}
+
+// Server serves the wire protocol on one listener.
+type Server struct {
+	b    Backend
+	opts Options
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	nConns   atomic.Int64 // currently served connections
+	queue    atomic.Int64 // decoded-but-uncompleted requests
+	requests atomic.Uint64
+	shed     atomic.Uint64
+	hist     *metrics.Histogram // request latency decode→completion/ack
+}
+
+// New creates a server over the backend and registers its metrics (once per
+// backend registry; create one server per store).
+func New(b Backend, opts Options) *Server {
+	s := &Server{b: b, opts: opts.withDefaults(), conns: make(map[*conn]struct{})}
+	if reg := b.Registry(); reg != nil {
+		reg.GaugeFunc("server_conns", func() float64 { return float64(s.nConns.Load()) })
+		reg.GaugeFunc("server_queue_depth", func() float64 { return float64(s.queue.Load()) })
+		reg.CounterFunc("server_requests_total", s.requests.Load)
+		reg.CounterFunc("server_shed_total", s.shed.Load)
+		s.hist = reg.NewHistogram("server_request_ns")
+	} else {
+		s.hist = metrics.NewHistogram()
+	}
+	return s
+}
+
+// Stats is the server-side counter snapshot (tests and the load harness).
+type Stats struct {
+	Conns, QueueDepth int64
+	Requests, Shed    uint64
+}
+
+// Stats returns a snapshot of the admission counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns: s.nConns.Load(), QueueDepth: s.queue.Load(),
+		Requests: s.requests.Load(), Shed: s.shed.Load(),
+	}
+}
+
+// RequestLatency exposes the request-latency histogram.
+func (s *Server) RequestLatency() *metrics.Histogram { return s.hist }
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on lis until Close; it blocks. Each connection
+// gets one session and two goroutines (request handler, response flusher).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if s.nConns.Load() >= int64(s.opts.MaxConns) {
+			// Connection-level admission: one typed rejection frame, then
+			// close. The client surfaces it as ErrOverloaded on its first
+			// pending request.
+			s.shed.Add(1)
+			nc.Write(AppendOpFrame(nil, StatusOverloaded))
+			nc.Close()
+			continue
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.nConns.Add(1)
+		s.wg.Add(2)
+		s.mu.Unlock()
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and serves; it blocks like Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Close stops accepting, force-closes every live connection (open
+// transactions on them are aborted and their worker slots released by the
+// connection teardown), and waits for all connection goroutines to exit.
+// The backend store is still open afterwards; close it separately.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// dropConn unregisters a finished connection.
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.nConns.Add(-1)
+}

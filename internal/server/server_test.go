@@ -1,0 +1,475 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+func testEngineCfg(mode core.Mode, workers int) core.Config {
+	return core.Config{
+		Mode:             mode,
+		Workers:          workers,
+		PoolPages:        256,
+		WALLimit:         4 << 20,
+		CheckpointShards: 8,
+		ChunkSize:        32 * 1024,
+		SegmentSize:      64 * 1024,
+	}
+}
+
+// startServer serves b on a loopback listener and returns the server and
+// its address. Cleanup closes the server (not the backend store).
+func startServer(t *testing.T, b Backend, opts Options) (*Server, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(b, opts)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(lis) }()
+	t.Cleanup(func() { srv.Close(); <-done })
+	return srv, lis.Addr().String()
+}
+
+func startEngineServer(t *testing.T, mode core.Mode, workers int, opts Options) (*Server, string) {
+	t.Helper()
+	eng, err := core.Open(testEngineCfg(mode, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, ForEngine(eng), opts)
+	t.Cleanup(func() {
+		srv.Close() // before the engine: live commits must ack first
+		if err := eng.Close(); err != nil {
+			t.Errorf("engine close: %v", err)
+		}
+	})
+	return srv, addr
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestServerEndToEnd drives every opcode through a group-commit engine, so
+// commit acknowledgements really ride the flusher callback.
+func TestServerEndToEnd(t *testing.T) {
+	_, addr := startEngineServer(t, core.ModeGroupCommitRFA, 2, Options{})
+	c := dial(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenTree("missing", false, false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open missing tree: %v", err)
+	}
+	h, err := c.OpenTree("kv", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Statements outside a transaction are rejected.
+	if err := c.Insert(h, []byte("k"), []byte("v")); !errors.Is(err, ErrTxnState) {
+		t.Fatalf("insert outside txn: %v", err)
+	}
+	if err := c.Commit(); !errors.Is(err, ErrTxnState) {
+		t.Fatalf("commit outside txn: %v", err)
+	}
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.Insert(h, []byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Insert(h, []byte("key-000"), []byte("dup")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second connection sees the committed data through its own handle.
+	c2 := dial(t, addr)
+	h2, err := c2.OpenTree("kv", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c2.Get(h2, []byte("key-007"), nil)
+	if err != nil || !ok || !bytes.Equal(v, []byte("val-007")) {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := c2.Get(h2, []byte("nope"), nil); ok {
+		t.Fatal("get of absent key succeeded")
+	}
+	if err := c2.Update(h2, []byte("key-007"), []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Update(h2, []byte("nope"), []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update absent: %v", err)
+	}
+	if err := c2.Put(h2, []byte("key-007"), []byte("upserted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Put(h2, []byte("fresh"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Delete(h2, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Delete(h2, []byte("fresh")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete absent: %v", err)
+	}
+	var keys []string
+	err = c2.Scan(h2, []byte("key-010"), 5, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"key-010", "key-011", "key-012", "key-013", "key-014"}
+	if len(keys) != len(want) {
+		t.Fatalf("scan: got %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan: got %v want %v", keys, want)
+		}
+	}
+	// Abort undoes the update.
+	if err := c2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err = c2.Get(h2, []byte("key-007"), nil)
+	if err != nil || !ok || !bytes.Equal(v, []byte("val-007")) {
+		t.Fatalf("get after abort: %q %v %v", v, ok, err)
+	}
+	// Bad tree handle is a per-request error, not a connection failure.
+	if err := c2.Insert(99, []byte("k"), []byte("v")); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad handle: %v", err)
+	}
+	if err := c2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerPipelined flushes many whole transactions in one write and
+// reads every response afterwards: the decode batch path and the commit
+// barrier ordering under pipelining.
+func TestServerPipelined(t *testing.T) {
+	_, addr := startEngineServer(t, core.ModeGroupCommitRFA, 2, Options{})
+	c := dial(t, addr)
+	h, err := c.OpenTree("kv", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const txns = 32
+	for i := 0; i < txns; i++ {
+		c.QueueBegin()
+		c.QueueInsert(h, []byte(fmt.Sprintf("p-%04d", i)), []byte("v"))
+		c.QueueCommit()
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < txns*3; i++ {
+		if err := c.RecvStatus(); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get(h, []byte(fmt.Sprintf("p-%04d", txns-1)), nil)
+	if err != nil || !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("get after pipeline: %q %v %v", v, ok, err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerClusterBackend runs the same protocol against a sharded
+// cluster, including a cross-shard (2PC) transaction.
+func TestServerClusterBackend(t *testing.T) {
+	cl, err := shard.Open(shard.Config{
+		Shards:     2,
+		Boundaries: [][]byte{[]byte("m")},
+		Engine:     testEngineCfg(core.ModeOurs, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, ForCluster(cl), Options{})
+	defer func() {
+		srv.Close()
+		if err := cl.Close(); err != nil {
+			t.Errorf("cluster close: %v", err)
+		}
+	}()
+	c := dial(t, addr)
+	h, err := c.OpenTree("kv", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// One key per shard: a cross-shard transaction.
+	if err := c.Insert(h, []byte("alpha"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(h, []byte("zeta"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := cl.CrossShardTxns(); n != 1 {
+		t.Fatalf("cross-shard txns: %d", n)
+	}
+	// Single-shard transaction stays off 2PC.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(h, []byte("beta"), []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := cl.CrossShardTxns(); n != 1 {
+		t.Fatalf("single-shard txn used 2PC: %d", n)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get(h, []byte("zeta"), nil)
+	if err != nil || !ok || !bytes.Equal(v, []byte("2")) {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisconnectMidTxnReleasesSlot kills a connection while its
+// transaction is open; the teardown must abort the transaction and release
+// the worker slot, or the second connection (same single worker) deadlocks
+// at Begin.
+func TestDisconnectMidTxnReleasesSlot(t *testing.T) {
+	_, addr := startEngineServer(t, core.ModeOurs, 1, Options{})
+	a := dial(t, addr)
+	h, err := a.OpenTree("kv", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert(h, []byte("orphan"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close() // mid-transaction
+
+	b := dial(t, addr)
+	done := make(chan error, 1)
+	go func() {
+		hb, err := b.OpenTree("kv", false, false)
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := b.Begin(); err != nil {
+			done <- err
+			return
+		}
+		// The aborted transaction's insert must be gone.
+		if _, ok, err := b.Get(hb, []byte("orphan"), nil); ok || err != nil {
+			done <- fmt.Errorf("orphan visible after disconnect abort: ok=%v err=%v", ok, err)
+			return
+		}
+		if err := b.Insert(hb, []byte("k"), []byte("v")); err != nil {
+			done <- err
+			return
+		}
+		done <- b.Commit()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker slot not released after disconnect (Begin deadlocked)")
+	}
+}
+
+// TestCloseWithLiveConns closes the server while connections hold open
+// transactions and while requests are in flight; Close must drain, abort
+// the open transactions, and leave the engine closable.
+func TestCloseWithLiveConns(t *testing.T) {
+	// One worker per connection: every client below holds a transaction
+	// open, which pins its worker slot until the server-close teardown
+	// aborts it.
+	eng, err := core.Open(testEngineCfg(core.ModeGroupCommitRFA, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, ForEngine(eng), Options{})
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		c := dial(t, addr)
+		if _, err := c.OpenTree(fmt.Sprintf("t%d", i), true, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Clients observe the close as a connection error, not a hang.
+	for _, c := range clients {
+		if err := c.Ping(); err == nil {
+			t.Fatal("ping succeeded after server close")
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("engine close after server close: %v", err)
+	}
+}
+
+// TestAdmissionShedsTxns pipelines a burst past MaxQueue in one write: the
+// decoded backlog trips admission control, so the burst's transactions are
+// shed with typed errors; once the queue drains, transactions are admitted
+// again and the shed ones left no state behind.
+func TestAdmissionShedsTxns(t *testing.T) {
+	srv, addr := startEngineServer(t, core.ModeOurs, 2, Options{MaxQueue: 2})
+	c := dial(t, addr)
+	h, err := c.OpenTree("kv", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lone transaction (backlog of 3 <= would-be queue) is admitted.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(h, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A burst of two pipelined transactions (6 requests decoded at once,
+	// queue > MaxQueue at each Begin) is shed entirely, with every frame of
+	// the shed transactions answered by the typed overload status.
+	c.QueueBegin()
+	c.QueueInsert(h, []byte("b"), []byte("2"))
+	c.QueueCommit()
+	c.QueueBegin()
+	c.QueueInsert(h, []byte("c"), []byte("3"))
+	c.QueueCommit()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := c.RecvStatus(); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("burst response %d: got %v want ErrOverloaded", i, err)
+		}
+	}
+	if got := srv.Stats().Shed; got != 2 {
+		t.Fatalf("shed counter: got %d want 2", got)
+	}
+	// Queue drained: admitted again, shed transactions left nothing.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok, _ := c.Get(h, []byte(k), nil); ok {
+			t.Fatalf("shed transaction's insert %q is visible", k)
+		}
+	}
+	v, ok, err := c.Get(h, []byte("a"), nil)
+	if err != nil || !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatalf("admitted txn lost: %q %v %v", v, ok, err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnLimitRejects dials past MaxConns: the surplus connection gets one
+// typed StatusOverloaded frame and a close.
+func TestConnLimitRejects(t *testing.T) {
+	_, addr := startEngineServer(t, core.ModeOurs, 2, Options{MaxConns: 1})
+	a := dial(t, addr)
+	if err := a.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	b := dial(t, addr)
+	if err := b.Ping(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-limit connection: %v", err)
+	}
+	// Slot freed after the first connection leaves.
+	a.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c := dial(t, addr)
+		if err := c.Ping(); err == nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("connection slot never freed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBadFrameFailsConnection sends garbage; the server answers with a
+// BadFrame status and drops the connection without disturbing others.
+func TestBadFrameFailsConnection(t *testing.T) {
+	_, addr := startEngineServer(t, core.ModeOurs, 2, Options{})
+	good := dial(t, addr)
+	if err := good.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	bad := dial(t, addr)
+	// Valid length prefix, bogus version byte.
+	if _, err := bad.nc.Write([]byte{2, 0, 0, 0, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.RecvStatus(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("garbage frame: %v", err)
+	}
+	// Other connections are unaffected.
+	if err := good.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,398 @@
+// Package server is the network front end: a length-prefixed binary wire
+// protocol over TCP (or any net.Conn) that maps each connection onto one of
+// the engine's zero-alloc transaction sessions through the workload.Session
+// adapter, so single-shard requests keep the unmodified RFA commit fast
+// path against either an embedded engine or a range-sharded cluster.
+//
+// Performance is the design driver, mirroring what the commit pipeline does
+// for the log (§3.2 of the paper — durability cost amortized across
+// concurrent transactions):
+//
+//   - pipelined decode: every complete frame available after one Read is
+//     drained into a per-connection batch and executed back-to-back, so the
+//     per-syscall cost is amortized over the batch (wire.go, Decoder);
+//   - coalesced acks: commit responses are not written per request but
+//     enqueued behind a durability barrier and released by the
+//     group-commit flush callback; the connection's writer then flushes
+//     every releasable response in one write per flush epoch (conn.go);
+//   - admission control: a server-wide bound on decoded-but-uncompleted
+//     requests sheds whole transactions with a typed StatusOverloaded
+//     response when the commit pipeline saturates, keeping the latency of
+//     admitted requests bounded under overload instead of collapsing
+//     (server.go).
+//
+// Frame layout (both directions, version 1):
+//
+//	u32 LE payload length  (bytes after these four; 0 < n <= MaxFrame)
+//	u8  version            (wireV1)
+//	u8  opcode / status
+//	...body (op-specific, see request encoders below)
+//
+// Request bodies use u32 LE tree handles, u16 LE key lengths, and u32 LE
+// value lengths. Responses carry a status byte; only OpGet, OpScan, and
+// OpOpenTree responses have bodies. Responses are returned strictly in
+// request order per connection, so no sequence numbers are needed.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/btree"
+)
+
+// wireV1 is the protocol version stamped into every frame.
+const wireV1 = 1
+
+// MaxFrame bounds a single frame's payload; a length prefix beyond it is
+// structural garbage and fails the connection (it also bounds how much
+// memory a connection's decode buffer can ask for).
+const MaxFrame = 1 << 20
+
+// frameHdr is the length prefix size.
+const frameHdr = 4
+
+// Opcodes (client → server).
+const (
+	OpPing     = 0x01 // body: none. Response: OK.
+	OpOpenTree = 0x02 // body: u8 create, u8 replicated, u16 nameLen, name. Response: OK + u32 handle.
+	OpBegin    = 0x03 // body: none. Response: OK (or Overloaded: txn shed).
+	OpCommit   = 0x04 // body: none. Response written only when the commit is durable.
+	OpAbort    = 0x05 // body: none. Response: OK.
+	OpGet      = 0x06 // body: u32 tree, u16 keyLen, key. Response: OK + u32 valLen + val, or NotFound.
+	OpInsert   = 0x07 // body: u32 tree, u16 keyLen, u32 valLen, key, val. Response: OK or Duplicate.
+	OpUpdate   = 0x08 // body: like OpInsert. Response: OK or NotFound.
+	OpPut      = 0x09 // body: like OpInsert (upsert). Response: OK.
+	OpDelete   = 0x0a // body: u32 tree, u16 keyLen, key. Response: OK or NotFound.
+	OpScan     = 0x0b // body: u32 tree, u32 limit, u16 startLen, start. Response: OK + entries.
+)
+
+// Response status codes. StatusOverloaded is the typed admission-control
+// error: the request was decoded but shed before execution because the
+// server's pending-request bound was exceeded.
+const (
+	StatusOK         = 0x00
+	StatusNotFound   = 0x01
+	StatusDuplicate  = 0x02
+	StatusTooLarge   = 0x03
+	StatusOverloaded = 0x04
+	StatusBadFrame   = 0x05
+	StatusTxnState   = 0x06 // op outside a transaction, Begin inside one, ...
+	StatusUnknownOp  = 0x07
+)
+
+// Typed errors the client maps status codes onto.
+var (
+	ErrOverloaded = errors.New("server: overloaded — transaction shed by admission control")
+	ErrNotFound   = errors.New("server: key not found")
+	ErrDuplicate  = errors.New("server: duplicate key")
+	ErrTooLarge   = errors.New("server: key or value too large")
+	ErrTxnState   = errors.New("server: operation in wrong transaction state")
+	ErrBadFrame   = errors.New("server: malformed frame")
+	ErrUnknownOp  = errors.New("server: unknown opcode")
+)
+
+// statusErr maps a response status to its typed error (nil for StatusOK).
+func statusErr(status byte) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusDuplicate:
+		return ErrDuplicate
+	case StatusTooLarge:
+		return ErrTooLarge
+	case StatusOverloaded:
+		return ErrOverloaded
+	case StatusTxnState:
+		return ErrTxnState
+	case StatusBadFrame:
+		return ErrBadFrame
+	case StatusUnknownOp:
+		return ErrUnknownOp
+	default:
+		return fmt.Errorf("server: unknown status 0x%02x", status)
+	}
+}
+
+// errStatus maps a tree-operation error onto a wire status (the inverse of
+// statusErr for the error values the storage layer returns).
+func errStatus(err error) byte {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, btree.ErrNotFound) || errors.Is(err, ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, btree.ErrDuplicate) || errors.Is(err, ErrDuplicate):
+		return StatusDuplicate
+	case errors.Is(err, btree.ErrTooLarge) || errors.Is(err, ErrTooLarge):
+		return StatusTooLarge
+	default:
+		return StatusBadFrame
+	}
+}
+
+// ---- Frame encoding ----
+//
+// Encoders append a complete frame (length prefix included) to dst and
+// return the extended slice; steady-state callers reuse dst so encoding
+// does not allocate.
+
+// beginFrame appends the length placeholder plus version and op/status
+// bytes, returning (dst, offset of the length word).
+func beginFrame(dst []byte, op byte) ([]byte, int) {
+	at := len(dst)
+	dst = append(dst, 0, 0, 0, 0, wireV1, op)
+	return dst, at
+}
+
+// endFrame patches the length prefix of the frame started at `at`.
+func endFrame(dst []byte, at int) []byte {
+	binary.LittleEndian.PutUint32(dst[at:], uint32(len(dst)-at-frameHdr))
+	return dst
+}
+
+// AppendOpFrame appends a body-less request or response frame (Ping, Begin,
+// Commit, Abort, or any status-only response).
+func AppendOpFrame(dst []byte, op byte) []byte {
+	dst, at := beginFrame(dst, op)
+	return endFrame(dst, at)
+}
+
+// AppendOpenTree appends an OpOpenTree request.
+func AppendOpenTree(dst []byte, name string, create, replicated bool) []byte {
+	dst, at := beginFrame(dst, OpOpenTree)
+	dst = append(dst, b2u8(create), b2u8(replicated))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	return endFrame(dst, at)
+}
+
+// AppendKeyOp appends an OpGet/OpDelete request.
+func AppendKeyOp(dst []byte, op byte, tree uint32, key []byte) []byte {
+	dst, at := beginFrame(dst, op)
+	dst = binary.LittleEndian.AppendUint32(dst, tree)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	dst = append(dst, key...)
+	return endFrame(dst, at)
+}
+
+// AppendKeyValOp appends an OpInsert/OpUpdate/OpPut request.
+func AppendKeyValOp(dst []byte, op byte, tree uint32, key, val []byte) []byte {
+	dst, at := beginFrame(dst, op)
+	dst = binary.LittleEndian.AppendUint32(dst, tree)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
+	dst = append(dst, key...)
+	dst = append(dst, val...)
+	return endFrame(dst, at)
+}
+
+// AppendScan appends an OpScan request. limit bounds the returned entries.
+func AppendScan(dst []byte, tree uint32, start []byte, limit uint32) []byte {
+	dst, at := beginFrame(dst, OpScan)
+	dst = binary.LittleEndian.AppendUint32(dst, tree)
+	dst = binary.LittleEndian.AppendUint32(dst, limit)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(start)))
+	dst = append(dst, start...)
+	return endFrame(dst, at)
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- Request parsing ----
+
+// request is a decoded request frame. Byte slices alias the decode buffer
+// and are valid only until the next Decoder.Fill.
+type request struct {
+	op   byte
+	tree uint32
+	key  []byte
+	val  []byte // value (key-val ops), tree name (OpOpenTree)
+	aux  uint32 // scan limit
+	// create/replicated flags for OpOpenTree.
+	create     bool
+	replicated bool
+}
+
+// parseRequest decodes one request frame payload (version byte already
+// checked by the decoder). It returns false for structurally invalid
+// bodies.
+func parseRequest(p []byte, rq *request) bool {
+	if len(p) < 2 {
+		return false
+	}
+	rq.op = p[1]
+	body := p[2:]
+	switch rq.op {
+	case OpPing, OpBegin, OpCommit, OpAbort:
+		return len(body) == 0
+	case OpOpenTree:
+		if len(body) < 4 {
+			return false
+		}
+		rq.create = body[0] != 0
+		rq.replicated = body[1] != 0
+		n := int(binary.LittleEndian.Uint16(body[2:]))
+		if len(body) != 4+n || n == 0 {
+			return false
+		}
+		rq.val = body[4 : 4+n]
+		return true
+	case OpGet, OpDelete:
+		if len(body) < 6 {
+			return false
+		}
+		rq.tree = binary.LittleEndian.Uint32(body)
+		n := int(binary.LittleEndian.Uint16(body[4:]))
+		if len(body) != 6+n {
+			return false
+		}
+		rq.key = body[6 : 6+n]
+		return true
+	case OpInsert, OpUpdate, OpPut:
+		if len(body) < 10 {
+			return false
+		}
+		rq.tree = binary.LittleEndian.Uint32(body)
+		kn := int(binary.LittleEndian.Uint16(body[4:]))
+		vn := int(binary.LittleEndian.Uint32(body[6:]))
+		if vn > MaxFrame || len(body) != 10+kn+vn {
+			return false
+		}
+		rq.key = body[10 : 10+kn]
+		rq.val = body[10+kn : 10+kn+vn]
+		return true
+	case OpScan:
+		if len(body) < 10 {
+			return false
+		}
+		rq.tree = binary.LittleEndian.Uint32(body)
+		rq.aux = binary.LittleEndian.Uint32(body[4:])
+		n := int(binary.LittleEndian.Uint16(body[8:]))
+		if len(body) != 10+n {
+			return false
+		}
+		rq.key = body[10 : 10+n]
+		return true
+	default:
+		return false
+	}
+}
+
+// ---- Decoder ----
+
+// Decoder splits a byte stream into frames with batched, allocation-free
+// steady-state decoding: Fill performs exactly one Read into the internal
+// buffer, then Next drains every complete frame the Read delivered —
+// returned payloads alias the buffer and stay valid until the next Fill.
+// This is the pipelining primitive: one syscall, many requests.
+type Decoder struct {
+	buf []byte
+	r   int // next unconsumed byte
+	w   int // end of valid data
+	max int
+	sat bool // last Read filled all free space: the peer has more backlog
+}
+
+// NewDecoder creates a decoder with the given frame bound (MaxFrame when
+// maxFrame <= 0).
+func NewDecoder(maxFrame int) *Decoder {
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
+	return &Decoder{buf: make([]byte, 16*1024), max: maxFrame}
+}
+
+// ErrFrameTooLarge fails the connection on an oversized length prefix.
+var ErrFrameTooLarge = errors.New("server: frame exceeds maximum size")
+
+// ErrBadVersion fails the connection on an unknown frame version.
+var ErrBadVersion = errors.New("server: unsupported frame version")
+
+// Fill reads once from r, first compacting consumed bytes and growing the
+// buffer geometrically when a partial frame needs more room or when the
+// previous Read saturated it (bounded by the frame limit, so steady state
+// reaches a fixed capacity and stops allocating). Growing on saturation
+// matters beyond syscall amortization: a saturated Read means the peer has
+// more backlog queued in the transport, and widening the decode window
+// pulls that backlog into the server's decoded-request queue where
+// admission control can see it — otherwise overload hides in socket
+// buffers and the shed bound never engages. It returns the Read error, if
+// any; io.EOF with a partial frame buffered becomes io.ErrUnexpectedEOF.
+func (d *Decoder) Fill(rd io.Reader) error {
+	if d.r > 0 {
+		// Compact: move the partial tail (if any) to the front.
+		n := copy(d.buf, d.buf[d.r:d.w])
+		d.r, d.w = 0, n
+	}
+	if d.w == len(d.buf) || d.sat {
+		d.sat = false
+		need := 2 * len(d.buf)
+		if max := d.max + frameHdr; need > max {
+			need = max
+		}
+		if need <= len(d.buf) {
+			if d.w == len(d.buf) {
+				// Buffer already at the frame bound yet full: the pending
+				// length prefix must be oversized; Next will reject it.
+				return ErrFrameTooLarge
+			}
+			// Saturated but already at the bound: nothing to grow.
+		} else {
+			nb := make([]byte, need)
+			copy(nb, d.buf[:d.w])
+			d.buf = nb
+		}
+	}
+	free := len(d.buf) - d.w
+	n, err := rd.Read(d.buf[d.w:])
+	d.w += n
+	d.sat = free > 0 && n == free
+	if err == io.EOF {
+		if n > 0 {
+			// Data arrived with the EOF: let the caller drain it; the next
+			// Fill reads zero bytes and reports the end of stream.
+			return nil
+		}
+		if d.r != d.w {
+			return io.ErrUnexpectedEOF
+		}
+	}
+	return err
+}
+
+// Next returns the payload of the next complete buffered frame (version
+// byte included, length prefix stripped), or nil when the buffer holds no
+// complete frame — call Fill for more bytes. The payload aliases the
+// decode buffer: it is valid until the next Fill.
+func (d *Decoder) Next() ([]byte, error) {
+	if d.w-d.r < frameHdr {
+		return nil, nil
+	}
+	n := int(binary.LittleEndian.Uint32(d.buf[d.r:]))
+	if n == 0 || n > d.max {
+		return nil, ErrFrameTooLarge
+	}
+	if d.w-d.r < frameHdr+n {
+		return nil, nil
+	}
+	p := d.buf[d.r+frameHdr : d.r+frameHdr+n]
+	d.r += frameHdr + n
+	if p[0] != wireV1 {
+		return nil, ErrBadVersion
+	}
+	return p, nil
+}
+
+// Buffered reports whether a complete frame might already be buffered
+// (cheap check used to drain before the next blocking Fill).
+func (d *Decoder) Buffered() int { return d.w - d.r }

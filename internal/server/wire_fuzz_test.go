@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecoder feeds arbitrary byte streams through the frame decoder the
+// way readLoop drives it — Fill once, drain Next — and checks the
+// invariants that keep a malicious or corrupt peer from taking the server
+// down: no panics, no infinite progress without consuming input, and every
+// returned payload parses or is rejected without touching memory outside
+// the frame.
+func FuzzDecoder(f *testing.F) {
+	// Seed with every request the client encoder can produce, plus the
+	// classic decoder traps: truncation, oversize, zero length, bad version.
+	var valid []byte
+	valid = AppendOpFrame(valid, OpPing)
+	valid = AppendOpenTree(valid, "tree", true, false)
+	valid = AppendOpFrame(valid, OpBegin)
+	valid = AppendKeyValOp(valid, OpInsert, 0, []byte("key"), []byte("value"))
+	valid = AppendKeyOp(valid, OpGet, 0, []byte("key"))
+	valid = AppendScan(valid, 0, []byte("k"), 100)
+	valid = AppendOpFrame(valid, OpCommit)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])             // truncated final frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})   // oversized length prefix
+	f.Add([]byte{0, 0, 0, 0})               // zero-length frame
+	f.Add([]byte{2, 0, 0, 0, 0xfe, 0x01})   // unknown version
+	f.Add([]byte{1, 0, 0, 0, wireV1})       // header-only frame, empty body
+	f.Add(bytes.Repeat([]byte{0x01}, 4096)) // garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(1 << 16)
+		rd := bytes.NewReader(data)
+		var rq request
+		consumed := 0
+		for {
+			err := d.Fill(rd)
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && err != ErrFrameTooLarge {
+					t.Fatalf("Fill: unexpected error %v", err)
+				}
+				return
+			}
+			for {
+				p, err := d.Next()
+				if err != nil {
+					// Frame-level rejection fails the connection; fine.
+					if err != ErrFrameTooLarge && err != ErrBadVersion {
+						t.Fatalf("Next: unexpected error %v", err)
+					}
+					return
+				}
+				if p == nil {
+					break
+				}
+				if len(p) == 0 {
+					t.Fatal("Next returned an empty payload")
+				}
+				consumed += frameHdr + len(p)
+				if consumed > len(data) {
+					t.Fatalf("decoder produced %d bytes of frames from %d input bytes", consumed, len(data))
+				}
+				// parseRequest must classify any payload without panicking;
+				// on success the request's slices must alias within bounds.
+				rq = request{}
+				if parseRequest(p, &rq) {
+					if len(rq.key) > len(p) || len(rq.val) > len(p) {
+						t.Fatal("parsed request slices exceed the frame")
+					}
+				}
+			}
+		}
+	})
+}

@@ -21,6 +21,7 @@ type Session struct {
 	joined []bool
 	order  []int // shards in enlistment order
 	active bool
+	sync   bool // forwarded to every sub-session (durable commits)
 }
 
 // NewSession returns a session pinned (round-robin) to one worker slot of
@@ -71,6 +72,7 @@ func (s *Session) sub(i int) *txn.Session {
 	if !s.joined[i] {
 		if s.subs[i] == nil {
 			s.subs[i] = s.c.engines[i].NewSessionOn(s.worker)
+			s.subs[i].SetSyncCommit(s.sync)
 		}
 		s.subs[i].Begin()
 		s.joined[i] = true
@@ -107,6 +109,18 @@ func (s *Session) Abort() {
 		s.subs[i].Abort()
 	}
 	s.reset()
+}
+
+// SetSyncCommit forces every enlisted engine session's commits to wait for
+// durability (see txn.Session.SetSyncCommit). Applies to current and
+// lazily-created future sub-sessions.
+func (s *Session) SetSyncCommit(v bool) {
+	s.sync = v
+	for _, sub := range s.subs {
+		if sub != nil {
+			sub.SetSyncCommit(v)
+		}
+	}
 }
 
 // AbandonForCrash drops an in-flight transaction without committing,
@@ -210,6 +224,31 @@ func (s *Session) Commit() {
 		}
 	}
 	s.reset()
+}
+
+// CommitAsync commits like Commit but delivers the durability
+// acknowledgement to onDurable instead of blocking for it where the
+// protocol allows. A single-shard transaction commits through that
+// engine's asynchronous path (the ack fires off that shard's group-commit
+// flush); a cross-shard transaction runs the full synchronous two-phase
+// protocol — the coordinator's decide record is the commit point and must
+// be hardened before anything is acknowledged — and onDurable fires before
+// the call returns. onDurable must not block: it may run on a partition
+// flusher goroutine.
+func (s *Session) CommitAsync(onDurable func()) {
+	if !s.active {
+		panic("shard: commit without begin")
+	}
+	if len(s.order) == 1 {
+		sub := s.subs[s.order[0]]
+		s.reset()
+		// reset before the async commit: the ack may fire concurrently with
+		// this session's next Begin, and must not touch session state.
+		sub.CommitAsync(onDurable)
+		return
+	}
+	s.Commit()
+	onDurable()
 }
 
 // ---- Tree operations (routed) ----

@@ -463,6 +463,42 @@ func (s *Session) Commit() {
 // under AsyncCommit backends (latency experiments measure the ack).
 func (s *Session) SetSyncCommit(v bool) { s.syncCommit = v }
 
+// CommitAsync commits like Commit but delivers the durability
+// acknowledgement to onDurable instead of (possibly) blocking for it: under
+// group-commit backends the call returns as soon as the commit record is
+// appended and onDurable fires from the flusher once the record is durable;
+// under immediate-commit backends onDurable fires before the call returns.
+// Either way the session is free for the next transaction when the call
+// returns — the network server pipelines transactions this way, acking
+// commits off the group-commit flush callback. onDurable must not block:
+// it runs on the partition flusher goroutine.
+func (s *Session) CommitAsync(onDurable func()) {
+	if !s.active {
+		panic("txn: commit without begin")
+	}
+	if s.mgr.cfg.NoLogging || s.firstGSN == 0 {
+		s.end()
+		s.mgr.commits.Add(1)
+		s.mgr.durable.Add(1)
+		onDurable()
+		return
+	}
+	rfaSafe := s.mgr.cfg.RFA && !s.needsRemote
+	if rfaSafe {
+		s.mgr.rfaSkips.Add(1)
+	} else {
+		s.mgr.rfaFlushes.Add(1)
+	}
+	class := s.onDurableRemote
+	if rfaSafe {
+		class = s.onDurableRFA
+	}
+	s.gsn = s.mgr.cfg.Backend.CommitTxnAsync(int(s.worker), s.txnID, s.gsn, rfaSafe,
+		func() { class(); onDurable() })
+	s.end()
+	s.mgr.commits.Add(1)
+}
+
 // Logged reports whether the current transaction appended any user log
 // record — false for read-only participants, which skip phase one entirely.
 func (s *Session) Logged() bool { return s.firstGSN != 0 }

@@ -16,6 +16,18 @@ type Session interface {
 	Active() bool
 }
 
+// AsyncSession is a Session whose commits can deliver their durability
+// acknowledgement to a callback instead of blocking for it. Both session
+// types implement it; the network server requires it so commit responses
+// ride the group-commit flush callback instead of stalling the connection.
+type AsyncSession interface {
+	Session
+	// CommitAsync commits the open transaction; onDurable fires once it is
+	// durable (possibly before the call returns, possibly later from a log
+	// flusher goroutine — it must not block).
+	CommitAsync(onDurable func())
+}
+
 // Tree is the ordered key-value surface the workloads need. The engine
 // and shard adapters below implement it, so one TPC-C/YCSB implementation
 // drives a single engine and a range-sharded cluster through the exact
@@ -24,6 +36,7 @@ type Session interface {
 type Tree interface {
 	Insert(s Session, key, val []byte) error
 	Lookup(s Session, key, dst []byte) ([]byte, bool)
+	Update(s Session, key, val []byte) error
 	UpdateFunc(s Session, key []byte, fn func(old []byte) []byte) error
 	Remove(s Session, key []byte) error
 	ScanAsc(s Session, start []byte, fn func(k, v []byte) bool)
@@ -45,6 +58,9 @@ func (e engineTree) Insert(s Session, key, val []byte) error {
 }
 func (e engineTree) Lookup(s Session, key, dst []byte) ([]byte, bool) {
 	return e.t.Lookup(ectx(s), key, dst)
+}
+func (e engineTree) Update(s Session, key, val []byte) error {
+	return e.t.Update(ectx(s), key, val)
 }
 func (e engineTree) UpdateFunc(s Session, key []byte, fn func(old []byte) []byte) error {
 	return e.t.UpdateFunc(ectx(s), key, fn)
@@ -72,6 +88,9 @@ func (e shardTree) Insert(s Session, key, val []byte) error {
 }
 func (e shardTree) Lookup(s Session, key, dst []byte) ([]byte, bool) {
 	return e.t.Get(sctx(s), key, dst)
+}
+func (e shardTree) Update(s Session, key, val []byte) error {
+	return e.t.Update(sctx(s), key, val)
 }
 func (e shardTree) UpdateFunc(s Session, key []byte, fn func(old []byte) []byte) error {
 	return e.t.UpdateFunc(sctx(s), key, fn)

@@ -4,15 +4,18 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	leanstore "repro"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/repl"
+	"repro/internal/server"
 )
 
 // scrape fetches and parses a Prometheus text exposition into name→value.
@@ -240,5 +243,92 @@ func TestShardingMetricsScrape(t *testing.T) {
 	}
 	if got := after["shard_in_doubt_restart_total"]; got != 0 {
 		t.Errorf("shard_in_doubt_restart_total = %v, want 0 without a crash", got)
+	}
+}
+
+// TestServerMetricsScrape fronts an engine with the network server, drives
+// pipelined transactions plus one rejected over-limit connection through
+// it, and checks the server_* series reach the Prometheus endpoint: the
+// connection and queue gauges, the request and shed counters moved by the
+// traffic, and the request-latency histogram populated.
+func TestServerMetricsScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end burst")
+	}
+	eng, err := core.Open(core.Config{
+		Mode: core.ModeOurs, Workers: 2, PoolPages: 1024,
+		WALLimit: 16 << 20, ObsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	addr := eng.ObsAddr()
+	if addr == "" {
+		t.Fatal("obs endpoint not serving")
+	}
+
+	srv := server.New(server.ForEngine(eng), server.Options{MaxConns: 1})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	before := scrape(t, addr)
+	cl, err := server.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.OpenTree("scrape", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("k")
+	for i := 0; i < 64; i++ {
+		cl.QueueBegin()
+		cl.QueuePut(h, key, []byte("v"))
+		cl.QueueCommit()
+	}
+	for i := 0; i < 3*64; i++ {
+		if err := cl.RecvStatus(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second connection exceeds MaxConns=1 and is shed at accept.
+	if over, err := server.Dial(lis.Addr().String()); err == nil {
+		if err := over.Ping(); err != leanstore.ErrServerOverloaded {
+			t.Errorf("over-limit connection: got %v, want ErrServerOverloaded", err)
+		}
+		over.Close()
+	}
+	after := scrape(t, addr)
+
+	for _, name := range []string{
+		"server_conns", "server_queue_depth",
+		"server_requests_total", "server_shed_total",
+		"server_request_ns_count",
+	} {
+		if _, ok := after[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	if got := after["server_conns"]; got != 1 {
+		t.Errorf("server_conns = %v, want 1", got)
+	}
+	if d := after["server_requests_total"] - before["server_requests_total"]; d < 3*64 {
+		t.Errorf("server_requests_total moved by %v, want >= %d", d, 3*64)
+	}
+	if after["server_shed_total"] <= before["server_shed_total"] {
+		t.Errorf("rejected connection not counted: server_shed_total %v -> %v",
+			before["server_shed_total"], after["server_shed_total"])
+	}
+	if after["server_request_ns_count"] <= 0 {
+		t.Errorf("server_request_ns_count = %v, want > 0", after["server_request_ns_count"])
+	}
+	if after["server_queue_depth"] < 0 {
+		t.Errorf("server_queue_depth = %v, want >= 0", after["server_queue_depth"])
 	}
 }

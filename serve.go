@@ -1,0 +1,50 @@
+package leanstore
+
+import (
+	"repro/internal/server"
+)
+
+// ServerOptions tunes the network front end's admission control: the
+// connection limit, the pending-request bound past which new transactions
+// are shed with ErrServerOverloaded, and the maximum frame size.
+type ServerOptions = server.Options
+
+// Server is the wire-protocol network front end: a length-prefixed binary
+// protocol where each connection maps onto one of the engine's transaction
+// sessions. Requests pipeline (every complete frame after one read is
+// decoded and executed as a batch), commit acknowledgements ride the
+// group-commit flush callback and leave in one coalesced write per flush
+// epoch, and admission control sheds whole transactions with typed errors
+// when the pending-request bound is exceeded. See internal/server for the
+// protocol and Client.
+type Server = server.Server
+
+// ServerClient is the matching protocol client (one per goroutine),
+// supporting both synchronous calls and explicit pipelining.
+type ServerClient = server.Client
+
+// DialServer connects a ServerClient to a front end at addr (TCP).
+func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
+
+// Typed errors surfaced by the front end and its clients.
+var (
+	// ErrServerOverloaded reports that admission control shed the
+	// transaction (or rejected the connection at the limit).
+	ErrServerOverloaded = server.ErrOverloaded
+	// ErrServerClosed is returned by Serve after Close.
+	ErrServerClosed = server.ErrServerClosed
+)
+
+// NewServer creates a network front end over this database. Call Serve or
+// ListenAndServe on it; Close stops it without closing the database.
+func (db *DB) NewServer(opts ServerOptions) *Server {
+	return server.New(server.ForEngine(db.eng), opts)
+}
+
+// NewServer creates a network front end over the sharded cluster. A
+// connection's single-shard transactions keep the owning engine's
+// unmodified commit fast path; cross-shard transactions run two-phase
+// commit exactly as with embedded ShardedSessions.
+func (db *ShardedDB) NewServer(opts ServerOptions) *Server {
+	return server.New(server.ForCluster(db.c), opts)
+}
