@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test vet lint bench-smoke bench recovery-smoke replication-smoke sharding-smoke server-smoke
+.PHONY: check test vet lint bench-smoke bench recovery-smoke replication-smoke sharding-smoke server-smoke pitr-smoke
 
 check: vet
 	$(GO) test -race -short ./...
@@ -45,6 +45,9 @@ test:
 # regression without paying for a full -benchtime run.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkCommitPath|BenchmarkCommitLatency|BenchmarkHotPathAllocs|BenchmarkServerRequestAllocs' -benchtime=100x .
+# Cold-tier upload path must stay on the pooled copy buffer (allocations
+# flat in segment size; see TestArchiveUploadAllocs for the hard gate).
+	$(GO) test -run='^$$' -bench='BenchmarkArchiveUploadAllocs' -benchtime=100x ./internal/wal
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -74,3 +77,10 @@ sharding-smoke:
 # typed errors while the p99 of admitted transactions stays bounded.
 server-smoke:
 	$(GO) run ./cmd/repro ablate-server -scale tiny -gate
+
+# PITR gate: the cold-restore sweep must run end-to-end and the randomized
+# crash-equivalence check must hold — PITR to any intermediate GSN yields
+# exactly the committed prefix (boundary targets match the recorded
+# snapshot; mid-transaction targets roll the spanning transaction back).
+pitr-smoke:
+	$(GO) run ./cmd/repro ablate-pitr -scale tiny -threads 2 -gate

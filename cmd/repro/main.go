@@ -22,6 +22,7 @@
 //	ablate-io        I/O scheduler queue-depth × batch-size ablation
 //	ablate-commit    centralized vs decentralized group-commit pipeline
 //	ablate-recovery  restart log-size × recovery-mode sweep (ttft vs total)
+//	ablate-pitr      cold PITR archive-size × store-model sweep vs local restart
 //	ablate-replication  WAL-shipping read-replica scaling sweep
 //	ablate-sharding  range-sharded TPC-C scale-out sweep + 2PC crash equivalence
 //	ablate-server    network front end: pipelining, overhead, admission control
@@ -53,7 +54,7 @@ func main() {
 	fs := flag.NewFlagSet(exp, flag.ExitOnError)
 	scaleName := fs.String("scale", "small", "workload scale: tiny|small|medium")
 	threads := fs.Int("threads", 4, "worker threads for fixed-thread experiments")
-	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery, ablate-replication, ablate-sharding, ablate-server)")
+	gate := fs.Bool("gate", false, "exit non-zero when the experiment's headline trend does not hold (ablate-recovery, ablate-pitr, ablate-replication, ablate-sharding, ablate-server)")
 	fs.Parse(os.Args[2:])
 
 	sc, err := harness.ScaleByName(*scaleName)
@@ -124,6 +125,21 @@ func main() {
 				}
 				fmt.Fprintf(w, "recovery gate: ok — on-demand served after %v, blocking recovery took %v\n",
 					last.TTFT[2], last.Total[0])
+			}
+			return nil
+		case "ablate-pitr":
+			rows, err := harness.AblatePITR(w, sc, *threads)
+			if err != nil {
+				return err
+			}
+			if *gate && len(rows) > 0 {
+				// CI gate: point-in-time restore must be exact — any target
+				// GSN yields precisely the committed prefix, with a
+				// transaction spanning the cut rolled back (crash-equivalence
+				// style randomized check).
+				if err := harness.PITREquivalence(w); err != nil {
+					return err
+				}
 			}
 			return nil
 		case "ablate-replication":
@@ -251,7 +267,7 @@ func main() {
 		for _, name := range []string{
 			"fig8", "tab-warehouses", "fig9", "tab1", "fig10", "fig11",
 			"recovery", "fig12", "tab-undo", "tab-compression", "ablate",
-			"ablate-io", "ablate-commit", "ablate-recovery",
+			"ablate-io", "ablate-commit", "ablate-recovery", "ablate-pitr",
 			"ablate-replication", "ablate-sharding", "ablate-server", "obs-overhead",
 			"commit-stages", "flight",
 		} {

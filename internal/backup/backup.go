@@ -33,6 +33,13 @@ const backupRetries = 8
 
 const backupMagic = 0x424B5550 // "BKUP"
 
+// newRestoreScheduler builds the scheduler a media restore runs on (the
+// engine's own scheduler died with the media failure, so restore brings its
+// own). Swapped by tests to inject backup-class I/O faults.
+var newRestoreScheduler = func() *iosched.Scheduler {
+	return iosched.New(iosched.Config{})
+}
+
 // Info describes a completed backup.
 type Info struct {
 	Name   string
@@ -195,14 +202,19 @@ func applyIncremental(ssd *dev.SSD, sched *iosched.Scheduler, name string) (int,
 // sequence of incremental backups (oldest first), then replays the archived
 // and live logs. The chain must be GSN-contiguous: each increment's
 // sinceGSN equals the previous backup's MaxGSN (enforced).
-func RestoreChain(ssd *dev.SSD, pm *dev.PMem, fullName string, increments []string, threads int) (*RestoreResult, error) {
-	res, err := RestoreMedia(ssd, pm, fullName, -1) // -1: defer log replay
+func RestoreChain(ssd *dev.SSD, pm *dev.PMem, fullName string, increments []string, threads int) (res *RestoreResult, err error) {
+	res, err = RestoreMedia(ssd, pm, fullName, -1) // -1: defer log replay
 	if err != nil {
 		return nil, err
 	}
-	// Restore runs without an engine (its scheduler died with the media
-	// failure), so it brings its own.
-	sched := iosched.New(iosched.Config{})
+	// A failure mid-overlay must not leave a half-restored image that a
+	// later Open would happily recover from — remove it.
+	defer func() {
+		if err != nil {
+			ssd.Remove("db")
+		}
+	}()
+	sched := newRestoreScheduler()
 	defer sched.Close()
 	// Validate chain contiguity, then overlay the increments.
 	prev := backupMaxGSN(ssd, fullName)
@@ -216,9 +228,9 @@ func RestoreChain(ssd *dev.SSD, pm *dev.PMem, fullName string, increments []stri
 		if since != prev {
 			return nil, fmt.Errorf("backup: chain broken at %q: sinceGSN=%d, previous maxGSN=%d", name, since, prev)
 		}
-		n, err := applyIncremental(ssd, sched, name)
-		if err != nil {
-			return nil, err
+		n, aerr := applyIncremental(ssd, sched, name)
+		if aerr != nil {
+			return nil, aerr
 		}
 		res.PagesRestored += n
 		prev = base.GSN(binary.LittleEndian.Uint64(hdr[8:]))
@@ -246,7 +258,7 @@ type RestoreResult struct {
 // live WAL namespace, and the standard recovery pipeline replays everything
 // newer than each page image. The engine must be reopened afterwards (via
 // core.Open / leanstore.Open with the same devices).
-func RestoreMedia(ssd *dev.SSD, pm *dev.PMem, backupName string, threads int) (*RestoreResult, error) {
+func RestoreMedia(ssd *dev.SSD, pm *dev.PMem, backupName string, threads int) (res *RestoreResult, err error) {
 	src := ssd.Open(backupName)
 	var hdr [backupHeaderSize]byte
 	if src.ReadAt(hdr[:], 0) != backupHeaderSize || binary.LittleEndian.Uint32(hdr[0:]) != backupMagic {
@@ -255,8 +267,16 @@ func RestoreMedia(ssd *dev.SSD, pm *dev.PMem, backupName string, threads int) (*
 	pages := int(binary.LittleEndian.Uint32(hdr[4:]))
 
 	// Restore runs without an engine, so it brings its own scheduler.
-	sched := iosched.New(iosched.Config{})
+	sched := newRestoreScheduler()
 	defer sched.Close()
+
+	// A failed restore must fail cleanly: the partially written image is
+	// removed so no later Open can recover from half-restored pages.
+	defer func() {
+		if err != nil {
+			ssd.Remove("db")
+		}
+	}()
 
 	// 1. Replace the (lost/corrupt) database file with the backup image.
 	ssd.Remove("db")

@@ -1,0 +1,178 @@
+// Point-in-time recovery from the cold tier (DESIGN.md §9): rebuild a
+// database onto fresh devices from the object store alone — newest backup
+// chain at-or-before the target, overlaid in chain order, plus every
+// archived WAL segment promoted into the live namespace — then let the
+// ordinary recovery pipeline replay it with ScanConfig.LimitGSN bounding
+// redo at the target. The fetch stage here only moves bytes; all
+// winner/loser classification (including rolling back transactions whose
+// commit lies beyond the target) happens in recovery.
+package backup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/dev"
+	"repro/internal/iosched"
+	"repro/internal/objstore"
+	"repro/internal/wal"
+)
+
+// PITFetch reports what FetchPIT staged onto the target devices.
+type PITFetch struct {
+	Target base.GSN
+	// Chain is the restore chain used (empty: log-only replay from GSN 0).
+	Chain []Manifest
+	// PagesRestored counts pages written from the chain (full + overlays).
+	PagesRestored int
+	// ArchiveSegments / ArchiveBytes is the promoted cold-tier WAL volume.
+	ArchiveSegments int
+	ArchiveBytes    int64
+	// FetchedBytes is the total payload pulled from the store.
+	FetchedBytes int64
+}
+
+// FetchPIT stages a point-in-time restore onto a fresh SSD: the selected
+// backup chain becomes the database file and every archived segment in the
+// store is written under its live WAL name, so core.Open (with
+// RecoveryLimitGSN = target) replays exactly the history prefix. threads
+// bounds the parallel archive fetch. logOnly skips the backup chain and
+// replays the full history from empty pages (the degenerate chain; also the
+// independent reference in equivalence tests).
+func FetchPIT(store objstore.Store, ssd *dev.SSD, target base.GSN, threads int, logOnly bool) (out *PITFetch, err error) {
+	if threads <= 0 {
+		threads = 4
+	}
+	out = &PITFetch{Target: target}
+	store = objstore.Retrying(store) // transient store faults retry/backoff
+	sched := newRestoreScheduler()
+	defer sched.Close()
+	defer func() {
+		if err != nil {
+			ssd.Remove("db") // never leave a half-restored openable image
+		}
+	}()
+
+	if !logOnly {
+		manifests, err := LoadManifests(store)
+		if err != nil {
+			return nil, err
+		}
+		out.Chain = SelectChain(manifests, target)
+	}
+	for i, m := range out.Chain {
+		blob, err := store.Get(m.Data)
+		if err != nil {
+			return nil, fmt.Errorf("backup: fetching chain link %d (%s): %w", m.Seq, m.Data, err)
+		}
+		out.FetchedBytes += int64(len(blob))
+		if i == 0 {
+			n, err := restoreFullImage(ssd, sched, blob)
+			if err != nil {
+				return nil, err
+			}
+			out.PagesRestored += n
+		} else {
+			n, err := overlayIncrImage(ssd, sched, blob)
+			if err != nil {
+				return nil, err
+			}
+			out.PagesRestored += n
+		}
+	}
+
+	// Promote the archived log from the store into the live WAL namespace,
+	// fetching segments in parallel — restore stays parallel even when the
+	// source is a high-latency remote tier.
+	keys, err := store.List(wal.ArchivePrefix + "wal/")
+	if err != nil {
+		return nil, fmt.Errorf("backup: listing archive: %w", err)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, threads)
+	)
+	for _, key := range keys {
+		key := key
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			blob, err := store.Get(key)
+			if err == nil {
+				dst := ssd.Open(key[len(wal.ArchivePrefix):])
+				err = sched.WriteWait(iosched.ClassBackup, dst, blob, 0, backupRetries)
+				if err == nil {
+					err = sched.SyncWait(iosched.ClassBackup, dst, backupRetries)
+				}
+			}
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("backup: promoting %q: %w", key, err)
+				}
+			} else {
+				out.ArchiveSegments++
+				out.ArchiveBytes += int64(len(blob))
+				out.FetchedBytes += int64(len(blob))
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// restoreFullImage writes a BKUP blob's pages as the database file.
+func restoreFullImage(ssd *dev.SSD, sched *iosched.Scheduler, img []byte) (int, error) {
+	if len(img) < backupHeaderSize || binary.LittleEndian.Uint32(img[0:]) != backupMagic {
+		return 0, fmt.Errorf("backup: chain full image is not a BKUP blob")
+	}
+	pages := int(binary.LittleEndian.Uint32(img[4:]))
+	body := img[backupHeaderSize:]
+	if int64(pages)*base.PageSize > int64(len(body)) {
+		return 0, fmt.Errorf("backup: full image truncated: %d pages, %d bytes", pages, len(body))
+	}
+	ssd.Remove("db")
+	db := ssd.Open("db")
+	if err := sched.WriteWait(iosched.ClassBackup, db, body[:int64(pages)*base.PageSize], 0, backupRetries); err != nil {
+		return 0, fmt.Errorf("backup: restoring full image: %w", err)
+	}
+	if err := sched.SyncWait(iosched.ClassBackup, db, backupRetries); err != nil {
+		return 0, fmt.Errorf("backup: syncing database: %w", err)
+	}
+	return pages, nil
+}
+
+// overlayIncrImage applies an IKUP blob's pages onto the database file.
+func overlayIncrImage(ssd *dev.SSD, sched *iosched.Scheduler, img []byte) (int, error) {
+	if len(img) < incrHeaderSize || binary.LittleEndian.Uint32(img[0:]) != incrMagic {
+		return 0, fmt.Errorf("backup: chain increment is not an IKUP blob")
+	}
+	count := int(binary.LittleEndian.Uint32(img[4:]))
+	db := ssd.Open("db")
+	off := int64(incrHeaderSize)
+	for i := 0; i < count; i++ {
+		if off+8+base.PageSize > int64(len(img)) {
+			return 0, fmt.Errorf("backup: increment truncated at entry %d", i)
+		}
+		pid := binary.LittleEndian.Uint64(img[off:])
+		page := img[off+8:][:base.PageSize]
+		if err := sched.WriteWait(iosched.ClassBackup, db, page, int64(pid)*base.PageSize, backupRetries); err != nil {
+			return 0, fmt.Errorf("backup: overlaying page %d: %w", pid, err)
+		}
+		off += 8 + base.PageSize
+	}
+	if err := sched.SyncWait(iosched.ClassBackup, db, backupRetries); err != nil {
+		return 0, fmt.Errorf("backup: syncing database: %w", err)
+	}
+	return count, nil
+}

@@ -1,0 +1,232 @@
+// Tiered backups (DESIGN.md §9): Full/Incremental gain an object-store
+// target. Backup images use the exact local file formats (BKUP/IKUP), built
+// in memory and uploaded as one blob each, plus a JSON manifest object per
+// backup describing its place in the chain. Chains live under:
+//
+//	backup/manifest/NNNNNNNN   JSON Manifest (seq-ordered)
+//	backup/data/NNNNNNNN-full  BKUP image
+//	backup/data/NNNNNNNN-incr  IKUP image
+//
+// Chain contiguity is by GSN exactly like the local chain: an incremental's
+// SinceGSN equals the previous backup's MaxGSN.
+package backup
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/iosched"
+	"repro/internal/objstore"
+)
+
+const (
+	manifestPrefix = "backup/manifest/"
+	dataPrefix     = "backup/data/"
+)
+
+// Manifest describes one backup object in the store.
+type Manifest struct {
+	Seq      int      `json:"seq"`
+	Kind     string   `json:"kind"` // "full" or "incr"
+	Data     string   `json:"data"` // key of the image blob
+	Pages    int      `json:"pages"`
+	MaxGSN   base.GSN `json:"max_gsn"`
+	SinceGSN base.GSN `json:"since_gsn"` // 0 for full backups
+	Bytes    int64    `json:"bytes"`
+}
+
+func manifestKey(seq int) string { return fmt.Sprintf("%s%08d", manifestPrefix, seq) }
+
+// LoadManifests returns the store's backup manifests in seq order.
+func LoadManifests(store objstore.Store) ([]Manifest, error) {
+	store = objstore.Retrying(store)
+	keys, err := store.List(manifestPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("backup: listing manifests: %w", err)
+	}
+	out := make([]Manifest, 0, len(keys))
+	for _, key := range keys {
+		blob, err := store.Get(key)
+		if err != nil {
+			return nil, fmt.Errorf("backup: fetching %q: %w", key, err)
+		}
+		var m Manifest
+		if err := json.Unmarshal(blob, &m); err != nil {
+			return nil, fmt.Errorf("backup: manifest %q: %w", key, err)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// LatestStoreGSN returns the MaxGSN of the newest manifest in the store (0
+// when the store holds no backups) — the backed-up horizon that gates local
+// archive trimming.
+func LatestStoreGSN(store objstore.Store) (base.GSN, error) {
+	ms, err := LoadManifests(store)
+	if err != nil || len(ms) == 0 {
+		return 0, err
+	}
+	return ms[len(ms)-1].MaxGSN, nil
+}
+
+// FullToStore takes a fuzzy full backup of the engine's database and
+// uploads it (image + manifest) as the start of a new chain.
+func FullToStore(eng *core.Engine, store objstore.Store) (*Manifest, error) {
+	eng.CheckpointNow()
+	img, pages, maxGSN, err := fullImage(eng)
+	if err != nil {
+		return nil, err
+	}
+	m, err := putBackup(store, Manifest{
+		Kind: "full", Pages: pages, MaxGSN: maxGSN, Bytes: int64(len(img)),
+	}, img)
+	if err != nil {
+		return nil, err
+	}
+	// Ship the WAL tail so the store covers the backup point; best-effort —
+	// CoveredGSN reports what actually made it.
+	eng.WAL().ArchiveTail()
+	return m, nil
+}
+
+// IncrementalToStore takes an incremental backup of pages newer than
+// sinceGSN and uploads it as the next link of the chain. sinceGSN must be
+// the previous store backup's MaxGSN (use LatestStoreGSN).
+func IncrementalToStore(eng *core.Engine, store objstore.Store, sinceGSN base.GSN) (*Manifest, error) {
+	eng.CheckpointNow()
+	img, stored, maxGSN, err := incrImage(eng, sinceGSN)
+	if err != nil {
+		return nil, err
+	}
+	m, err := putBackup(store, Manifest{
+		Kind: "incr", Pages: stored, MaxGSN: maxGSN, SinceGSN: sinceGSN,
+		Bytes: int64(len(img)),
+	}, img)
+	if err != nil {
+		return nil, err
+	}
+	eng.WAL().ArchiveTail()
+	return m, nil
+}
+
+// putBackup assigns the next chain seq and uploads image-then-manifest (the
+// manifest is the commit point: a crash between the two leaves an orphaned
+// data blob, never a dangling manifest).
+func putBackup(store objstore.Store, m Manifest, img []byte) (*Manifest, error) {
+	store = objstore.Retrying(store)
+	ms, err := LoadManifests(store)
+	if err != nil {
+		return nil, err
+	}
+	m.Seq = 1
+	if n := len(ms); n > 0 {
+		m.Seq = ms[n-1].Seq + 1
+	}
+	m.Data = fmt.Sprintf("%s%08d-%s", dataPrefix, m.Seq, m.Kind)
+	if err := store.Put(m.Data, img); err != nil {
+		return nil, fmt.Errorf("backup: uploading %q: %w", m.Data, err)
+	}
+	blob, err := json.Marshal(&m)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Put(manifestKey(m.Seq), blob); err != nil {
+		return nil, fmt.Errorf("backup: uploading manifest %d: %w", m.Seq, err)
+	}
+	return &m, nil
+}
+
+// fullImage builds a BKUP-format backup of the engine's database in memory
+// (pages read through the scheduler at backup-class priority).
+func fullImage(eng *core.Engine) (img []byte, pages int, maxGSN base.GSN, err error) {
+	_, ssd := eng.Devices()
+	db := ssd.Open("db")
+	size := db.Size()
+	if size == 0 {
+		return nil, 0, 0, fmt.Errorf("backup: empty database")
+	}
+	pages = int((size + base.PageSize - 1) / base.PageSize)
+	img = make([]byte, backupHeaderSize+int64(pages)*base.PageSize)
+	sched := eng.IOSched()
+	for pid := 0; pid < pages; pid++ {
+		buf := img[backupHeaderSize+int64(pid)*base.PageSize:][:base.PageSize]
+		n, err := sched.ReadWait(iosched.ClassBackup, db, buf, int64(pid)*base.PageSize, backupRetries)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("backup: reading page %d: %w", pid, err)
+		}
+		clear(buf[n:])
+		if g := pageGSN(buf); g > maxGSN {
+			maxGSN = g
+		}
+	}
+	binary.LittleEndian.PutUint32(img[0:], backupMagic)
+	binary.LittleEndian.PutUint32(img[4:], uint32(pages))
+	binary.LittleEndian.PutUint64(img[8:], uint64(maxGSN))
+	return img, pages, maxGSN, nil
+}
+
+// incrImage builds an IKUP-format incremental backup in memory.
+func incrImage(eng *core.Engine, sinceGSN base.GSN) (img []byte, stored int, maxGSN base.GSN, err error) {
+	_, ssd := eng.Devices()
+	db := ssd.Open("db")
+	pages := int((db.Size() + base.PageSize - 1) / base.PageSize)
+	sched := eng.IOSched()
+	img = make([]byte, incrHeaderSize, incrHeaderSize+4*(8+base.PageSize))
+	buf := make([]byte, base.PageSize)
+	var pidb [8]byte
+	for pid := 0; pid < pages; pid++ {
+		n, err := sched.ReadWait(iosched.ClassBackup, db, buf, int64(pid)*base.PageSize, backupRetries)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("backup: reading page %d: %w", pid, err)
+		}
+		clear(buf[n:])
+		g := pageGSN(buf)
+		if g > maxGSN {
+			maxGSN = g
+		}
+		if g <= sinceGSN {
+			continue
+		}
+		binary.LittleEndian.PutUint64(pidb[:], uint64(pid))
+		img = append(img, pidb[:]...)
+		img = append(img, buf...)
+		stored++
+	}
+	binary.LittleEndian.PutUint32(img[0:], incrMagic)
+	binary.LittleEndian.PutUint32(img[4:], uint32(stored))
+	binary.LittleEndian.PutUint64(img[8:], uint64(maxGSN))
+	binary.LittleEndian.PutUint64(img[16:], uint64(sinceGSN))
+	return img, stored, maxGSN, nil
+}
+
+// SelectChain picks the restore chain for a PITR target: the newest full
+// backup with MaxGSN ≤ target, followed by every contiguous incremental
+// (SinceGSN == previous MaxGSN) still at-or-below the target. An empty
+// chain (no full backup qualifies) means a log-only restore from GSN 0.
+func SelectChain(manifests []Manifest, target base.GSN) []Manifest {
+	start := -1
+	for i, m := range manifests {
+		if m.Kind == "full" && m.MaxGSN <= target {
+			start = i
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	chain := []Manifest{manifests[start]}
+	prev := manifests[start].MaxGSN
+	for _, m := range manifests[start+1:] {
+		if m.Kind != "incr" || m.SinceGSN != prev || m.MaxGSN > target {
+			continue
+		}
+		chain = append(chain, m)
+		prev = m.MaxGSN
+	}
+	return chain
+}

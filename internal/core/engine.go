@@ -23,6 +23,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/dev"
 	"repro/internal/iosched"
+	"repro/internal/objstore"
 	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/silor"
@@ -187,6 +188,18 @@ type Config struct {
 	DiscardStaging      bool
 	// Archive retains pruned segments in stage 3.
 	Archive bool
+	// ObjectStore, when non-nil, enables the cold tier: Archive is forced
+	// on, sealed archive segments are continuously shipped to the store
+	// through a retrying client, and the local archive is trimmed past the
+	// uploaded ∧ backed-up horizon (DESIGN.md §9).
+	ObjectStore objstore.Store
+	// ArchiveSyncInterval paces the background archive uploader (default
+	// 2ms; only used with ObjectStore).
+	ArchiveSyncInterval time.Duration
+	// RecoveryLimitGSN, when non-zero, bounds restart replay for
+	// point-in-time recovery: records beyond it are discarded before
+	// analysis, so transactions committing after the limit roll back.
+	RecoveryLimitGSN base.GSN
 	// RecoveryThreads parallelizes restart recovery.
 	RecoveryThreads int
 	// RecoveryMode selects the redo drain strategy (default RecoverParallel;
@@ -251,6 +264,14 @@ func (c *Config) fillDefaults() {
 	if c.TraceEvents <= 0 {
 		c.TraceEvents = 4096
 	}
+	if c.ObjectStore != nil {
+		// The cold tier rides on stage-3 archiving: uploads consume the
+		// local archive copies, so the store forces them into existence.
+		c.Archive = true
+		if c.ArchiveSyncInterval <= 0 {
+			c.ArchiveSyncInterval = 2 * time.Millisecond
+		}
+	}
 }
 
 // Engine is the storage engine instance.
@@ -281,6 +302,9 @@ type Engine struct {
 	nextTreeID  atomic.Uint64
 
 	sessionSeq atomic.Uint64
+
+	objClient *objstore.Client
+	backupGSN atomic.Uint64 // newest store-backup MaxGSN (trim horizon)
 
 	recoveryResult      *recovery.Result
 	restart             *recovery.Restart
@@ -395,6 +419,7 @@ func Open(cfg Config) (*Engine, error) {
 			DBFileName: "db",
 			Sched:      e.sched,
 			Threads:    cfg.RecoveryThreads,
+			LimitGSN:   cfg.RecoveryLimitGSN,
 			Trace:      e.obsRec,
 			TraceRing:  recoveryRing,
 		})
@@ -494,6 +519,10 @@ func Open(cfg Config) (*Engine, error) {
 		Obs:                 e.obsReg,
 		Trace:               e.obsRec,
 	}
+	if cfg.ObjectStore != nil {
+		e.objClient = objstore.NewClient(cfg.ObjectStore)
+		wcfg.ArchiveSink = e.objClient
+	}
 	rfa := false
 	switch cfg.Mode {
 	case ModeOurs:
@@ -589,6 +618,9 @@ func Open(cfg Config) (*Engine, error) {
 		e.pool.RegisterObs(e.obsReg)
 		e.txns.RegisterObs(e.obsReg)
 		e.ckpt.RegisterObs(e.obsReg)
+		if e.objClient != nil {
+			e.objClient.RegisterObs(e.obsReg)
+		}
 		e.obsReg.GaugeFunc("recovery_state", func() float64 { return float64(e.state.Load()) })
 		if e.restart != nil {
 			e.obsReg.GaugeFunc("recovery_pending_pages", func() float64 {
@@ -618,6 +650,28 @@ func Open(cfg Config) (*Engine, error) {
 				}
 			}()
 			e.silorCheckpointLoop()
+		}()
+	}
+
+	// ---- Continuous archive uploader ----
+	if e.objClient != nil {
+		// Prune-time uploads are best-effort; this loop is the reconciler
+		// that retries failures and trims the local archive behind the
+		// uploaded ∧ backed-up horizon (the bounded-replay invariant).
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			ticker := time.NewTicker(cfg.ArchiveSyncInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case <-ticker.C:
+				}
+				e.walMgr.SyncArchive() // failures counted in archive_* metrics
+				e.walMgr.TrimArchive(base.GSN(e.backupGSN.Load()))
+			}
 		}()
 	}
 
@@ -1317,6 +1371,43 @@ func (e *Engine) IOSched() *iosched.Scheduler { return e.sched }
 
 // CheckpointNow synchronously writes all dirty pages and truncates the log.
 func (e *Engine) CheckpointNow() { e.ckpt.CheckpointAll() }
+
+// ObjectStore returns the configured cold-tier store (nil when tiering is
+// off).
+func (e *Engine) ObjectStore() objstore.Store { return e.cfg.ObjectStore }
+
+// ObjectClient returns the retrying store client (nil when tiering is off).
+func (e *Engine) ObjectClient() *objstore.Client { return e.objClient }
+
+// ArchiveInfo reports cold-tier archival progress (zero value when tiering
+// is off).
+func (e *Engine) ArchiveInfo() wal.ArchiveInfo { return e.walMgr.ArchiveInfo() }
+
+// SetBackupHorizon records the newest store backup's MaxGSN. The archive
+// trimmer never trims past min(horizon, uploaded) — local segments below it
+// are redundant with the cold tier (chain + archived log) and get removed.
+func (e *Engine) SetBackupHorizon(g base.GSN) {
+	for {
+		cur := e.backupGSN.Load()
+		if uint64(g) <= cur || e.backupGSN.CompareAndSwap(cur, uint64(g)) {
+			return
+		}
+	}
+}
+
+// BackupHorizon returns the newest store backup's MaxGSN (0: none yet).
+func (e *Engine) BackupHorizon() base.GSN { return base.GSN(e.backupGSN.Load()) }
+
+// SyncArchiveNow brings the cold tier fully current: the open tail segment
+// is archived and shipped alongside any pending sealed segments
+// (wal.ArchiveTail), then the local archive is trimmed behind the
+// backed-up horizon. After a nil return, ArchiveInfo().CoveredGSN has
+// reached the WAL's MaxGSN for every active partition.
+func (e *Engine) SyncArchiveNow() error {
+	err := e.walMgr.ArchiveTail()
+	e.walMgr.TrimArchive(base.GSN(e.backupGSN.Load()))
+	return err
+}
 
 // Interrupt aborts workers stalled on page allocation (the no-steal
 // out-of-memory stall of Figure 9 d): their blocked operations panic with

@@ -1,0 +1,342 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/backup"
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/objstore"
+	"repro/internal/sys"
+)
+
+// PITRStoreModel is one object-store performance point of the cold-restore
+// sweep (per-request latency plus a shared bandwidth cap; see objstore.Sim).
+type PITRStoreModel struct {
+	Label     string
+	OpLatency time.Duration
+	Bandwidth int64
+}
+
+// pitrStoreModels spans same-site to cross-region object storage.
+var pitrStoreModels = [3]PITRStoreModel{
+	{"fast", 100 * time.Microsecond, 2 << 30},
+	{"regional", 2 * time.Millisecond, 256 << 20},
+	{"remote", 20 * time.Millisecond, 32 << 20},
+}
+
+// AblatePITRRow is one archive-size row of the cold-restore sweep.
+type AblatePITRRow struct {
+	Phases       int      // workload phases after the full backup
+	Target       base.GSN // PITR target (= covered horizon)
+	ChainLen     int      // backup chain links used
+	FetchedBytes int64    // bytes pulled from the store (chain + archive)
+	ArchiveSegs  int
+	// Local crash recovery of the same history (the hot-restart baseline).
+	LocalTTFT, LocalTotal time.Duration
+	// Per store model (indexed like pitrStoreModels): time spent fetching
+	// from the store, and fetch-inclusive time-to-first-txn / fully-recovered.
+	Fetch, TTFT, Total [3]time.Duration
+}
+
+// copySim snapshots every object in src into a fresh Sim with the given
+// performance model, so each restore cell replays the identical store state.
+func copySim(src objstore.Store, m PITRStoreModel) (*objstore.Sim, error) {
+	dst := objstore.NewSim()
+	keys, err := src.List("")
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		b, err := src.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		if err := dst.Put(k, b); err != nil {
+			return nil, err
+		}
+	}
+	dst.SetPerf(m.OpLatency, m.Bandwidth)
+	return dst, nil
+}
+
+// AblatePITR sweeps archived-history size × object-store latency model: a
+// TPC-C run takes a full backup, keeps running to grow the archived log,
+// then the database is rebuilt (a) by ordinary local crash recovery — the
+// hot-restart baseline — and (b) by PITR from a copy of the object store
+// alone under each store model. The headline trend: PITR cost is dominated
+// by the store fetch (latency model × archive size) while the replay half
+// matches local recovery, so faster stores converge on the local baseline.
+func AblatePITR(w io.Writer, sc Scale, threads int) ([]AblatePITRRow, error) {
+	section(w, "Ablation: point-in-time restore — archive size × store model")
+	const (
+		ssdOpLatency = 100 * time.Microsecond
+		ssdBandwidth = 1 << 30
+	)
+	fmt.Fprintf(w, "[restore SSD model: %v/op, %d MiB/s; ttft/total include the store fetch]\n",
+		ssdOpLatency, ssdBandwidth>>20)
+	fmt.Fprintf(w, "%-9s %-9s %-6s %-21s", "history", "fetched", "chain", "local ttft/total")
+	for _, m := range pitrStoreModels {
+		fmt.Fprintf(w, " %-27s", m.Label+" fetch+ttft/total")
+	}
+	fmt.Fprintln(w)
+
+	var rows []AblatePITRRow
+	for _, phases := range []int{1, 2, 4} {
+		store := objstore.NewSim()
+		b, err := NewTPCCBench(sc, core.ModeOurs, threads, sc.PoolPages, func(c *core.Config) {
+			c.ObjectStore = store
+		})
+		if err != nil {
+			return rows, err
+		}
+		b.RunTPCCWorkers(threads, sc.Duration)
+		if _, err := backup.FullToStore(b.Engine, store); err != nil {
+			b.Close()
+			return rows, fmt.Errorf("ablate-pitr: full backup: %w", err)
+		}
+		for p := 0; p < phases; p++ {
+			b.RunTPCCWorkers(threads, sc.Duration)
+		}
+		if err := b.Engine.SyncArchiveNow(); err != nil {
+			b.Close()
+			return rows, fmt.Errorf("ablate-pitr: archive sync: %w", err)
+		}
+		row := AblatePITRRow{Phases: phases, Target: b.Engine.ArchiveInfo().CoveredGSN}
+
+		// Local baseline: crash and recover in place from the hot devices.
+		pm, ssd := b.Engine.SimulateCrash(uint64(7100 + phases))
+		pmC, ssdC := pm.Clone(), ssd.Clone()
+		ssdC.SetPerf(ssdOpLatency, ssdBandwidth)
+		eng, err := core.Open(core.Config{
+			Mode: core.ModeOurs, Workers: threads, PoolPages: sc.PoolPages,
+			WALLimit: sc.WALLimit, PMem: pmC, SSD: ssdC,
+			RecoveryMode: core.RecoverParallel, RecoveryThreads: threads,
+		})
+		if err != nil {
+			return rows, fmt.Errorf("ablate-pitr: local recovery: %w", err)
+		}
+		row.LocalTTFT = eng.RecoveryInfo().TimeToFirstTxn
+		if err := eng.WaitRecovered(context.Background()); err != nil {
+			eng.Close()
+			return rows, err
+		}
+		row.LocalTotal = eng.RecoveryInfo().Total
+		eng.Close()
+
+		// Cold restores: each model replays the identical store snapshot.
+		for i, m := range pitrStoreModels {
+			cold, err := copySim(store, m)
+			if err != nil {
+				return rows, err
+			}
+			ssdR := dev.NewSSD()
+			ssdR.SetPerf(ssdOpLatency, ssdBandwidth)
+			start := time.Now()
+			fetch, err := backup.FetchPIT(cold, ssdR, row.Target, threads, false)
+			if err != nil {
+				return rows, fmt.Errorf("ablate-pitr: fetch (%s): %w", m.Label, err)
+			}
+			row.Fetch[i] = time.Since(start)
+			eng, err := core.Open(core.Config{
+				Mode: core.ModeOurs, Workers: threads, PoolPages: sc.PoolPages,
+				WALLimit: sc.WALLimit, PMem: dev.NewPMem(), SSD: ssdR,
+				RecoveryMode: core.RecoverParallel, RecoveryThreads: threads,
+				RecoveryLimitGSN: row.Target,
+			})
+			if err != nil {
+				return rows, fmt.Errorf("ablate-pitr: reopen (%s): %w", m.Label, err)
+			}
+			row.TTFT[i] = row.Fetch[i] + eng.RecoveryInfo().TimeToFirstTxn
+			if err := eng.WaitRecovered(context.Background()); err != nil {
+				eng.Close()
+				return rows, err
+			}
+			row.Total[i] = row.Fetch[i] + eng.RecoveryInfo().Total
+			eng.Close()
+			if i == 0 {
+				row.ChainLen = len(fetch.Chain)
+				row.FetchedBytes = fetch.FetchedBytes
+				row.ArchiveSegs = fetch.ArchiveSegments
+			}
+		}
+		rows = append(rows, row)
+
+		fmt.Fprintf(w, "%-9s %-9s %-6d %-21s",
+			fmt.Sprintf("%dx", row.Phases), fmtBytes(float64(row.FetchedBytes)), row.ChainLen,
+			fmt.Sprintf("%v/%v", row.LocalTTFT.Round(time.Millisecond), row.LocalTotal.Round(time.Millisecond)))
+		for i := range pitrStoreModels {
+			fmt.Fprintf(w, " %-27s", fmt.Sprintf("%v+%v/%v",
+				row.Fetch[i].Round(time.Millisecond), (row.TTFT[i] - row.Fetch[i]).Round(time.Millisecond),
+				row.Total[i].Round(time.Millisecond)))
+		}
+		fmt.Fprintln(w)
+	}
+	return rows, nil
+}
+
+// PITREquivalence is the ablate-pitr CI gate: a crash-equivalence-style
+// randomized check that PITR to an intermediate GSN yields exactly the
+// prefix state. A randomized two-partition workload records a logical
+// snapshot at every commit boundary; the run is backed up (full + incr),
+// archived, and closed; then PITR targets at commit boundaries must
+// reproduce the recorded snapshot, and targets strictly inside a
+// transaction must roll the spanning transaction back to the previous
+// boundary. Any divergence is an error.
+func PITREquivalence(w io.Writer) error {
+	store := objstore.NewSim()
+	eng, err := core.Open(core.Config{
+		Mode: core.ModeOurs, Workers: 2, PoolPages: 512,
+		WALLimit: 1 << 20, SegmentSize: 8 << 10, ObjectStore: store,
+	})
+	if err != nil {
+		return err
+	}
+	s0, s1 := eng.NewSessionOn(0), eng.NewSessionOn(1)
+	tree, err := eng.CreateTree(s0, "t")
+	if err != nil {
+		eng.Close()
+		return err
+	}
+
+	rng := sys.NewRand(4242)
+	model := map[string]string{}
+	type snap struct {
+		gsn   base.GSN
+		state map[string]string
+	}
+	var snaps []snap
+	const batches = 24
+	for b := 0; b < batches; b++ {
+		s := s0
+		if b%2 == 1 {
+			s = s1
+		}
+		s.Begin()
+		for i := 0; i < 6; i++ {
+			key := fmt.Sprintf("k%03d", rng.Intn(90))
+			val := fmt.Sprintf("b%02d-%d-%064d", b, i, i)
+			_, exists := model[key]
+			switch {
+			case exists && rng.Intn(4) == 0:
+				if err := tree.Remove(s, []byte(key)); err != nil {
+					s.Abort()
+					eng.Close()
+					return err
+				}
+				delete(model, key)
+			case exists:
+				if err := tree.Update(s, []byte(key), []byte(val)); err != nil {
+					s.Abort()
+					eng.Close()
+					return err
+				}
+				model[key] = val
+			default:
+				if err := tree.Insert(s, []byte(key), []byte(val)); err != nil {
+					s.Abort()
+					eng.Close()
+					return err
+				}
+				model[key] = val
+			}
+		}
+		s.Commit()
+		state := make(map[string]string, len(model))
+		for k, v := range model {
+			state[k] = v
+		}
+		snaps = append(snaps, snap{gsn: eng.WAL().MaxGSN(), state: state})
+
+		switch b {
+		case 7:
+			if _, err := backup.FullToStore(eng, store); err != nil {
+				eng.Close()
+				return err
+			}
+		case 15:
+			since, err := backup.LatestStoreGSN(store)
+			if err == nil {
+				_, err = backup.IncrementalToStore(eng, store, since)
+			}
+			if err != nil {
+				eng.Close()
+				return err
+			}
+		}
+	}
+	if err := eng.SyncArchiveNow(); err != nil {
+		eng.Close()
+		return err
+	}
+	covered := eng.ArchiveInfo().CoveredGSN
+	eng.Close()
+
+	type target struct {
+		gsn  base.GSN
+		want map[string]string
+		kind string
+	}
+	var targets []target
+	for i := 3; i < len(snaps); i += 4 {
+		targets = append(targets, target{snaps[i].gsn, snaps[i].state, "boundary"})
+	}
+	for trial := 0; trial < 3; trial++ {
+		i := 4 + rng.Intn(len(snaps)-5)
+		lo, hi := snaps[i].gsn, snaps[i+1].gsn
+		if hi-lo < 2 {
+			continue
+		}
+		mid := lo + 1 + base.GSN(rng.Intn(int(hi-lo-1)))
+		targets = append(targets, target{mid, snaps[i].state, "mid-txn"})
+	}
+
+	checked := 0
+	for _, tgt := range targets {
+		if tgt.gsn > covered {
+			continue
+		}
+		ssd := dev.NewSSD()
+		if _, err := backup.FetchPIT(store, ssd, tgt.gsn, 2, false); err != nil {
+			return fmt.Errorf("pitr gate: fetch @%d: %w", tgt.gsn, err)
+		}
+		re, err := core.Open(core.Config{
+			Mode: core.ModeOurs, Workers: 2, PoolPages: 512, WALLimit: 1 << 20,
+			PMem: dev.NewPMem(), SSD: ssd, RecoveryLimitGSN: tgt.gsn,
+		})
+		if err != nil {
+			return fmt.Errorf("pitr gate: reopen @%d: %w", tgt.gsn, err)
+		}
+		got := map[string]string{}
+		if tr := re.GetTree("t"); tr != nil {
+			s := re.NewSession()
+			s.Begin()
+			tr.ScanAsc(s, nil, func(k, v []byte) bool {
+				got[string(k)] = string(v)
+				return true
+			})
+			s.Commit()
+		}
+		re.Close()
+		if len(got) != len(tgt.want) {
+			return fmt.Errorf("pitr gate: %s target %d restored %d keys, prefix has %d",
+				tgt.kind, tgt.gsn, len(got), len(tgt.want))
+		}
+		for k, v := range tgt.want {
+			if got[k] != v {
+				return fmt.Errorf("pitr gate: %s target %d key %q = %q, want %q",
+					tgt.kind, tgt.gsn, k, got[k], v)
+			}
+		}
+		checked++
+	}
+	if checked < 4 {
+		return fmt.Errorf("pitr gate: only %d targets inside the covered horizon %d", checked, covered)
+	}
+	fmt.Fprintf(w, "pitr gate: ok — %d targets (boundary + mid-txn) matched the prefix state exactly\n", checked)
+	return nil
+}

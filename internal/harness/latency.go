@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"io"
-	"math"
 	"sync"
 	"time"
 
@@ -132,7 +131,7 @@ func latencyRunTPCC(b *Bench, threads int, duration time.Duration) map[workload.
 			defer recoverStalledWorker(s)
 			s.SetSyncCommit(true) // latency includes the durability ack
 			w := b.TPCC.NewWorker(uint64(i)*211+9, i%b.Scale.Warehouses+1)
-			rng := sys.NewRand(uint64(i) + 77)
+			arr := workload.NewPoisson(sys.NewRand(uint64(i)+77), perWorker)
 			next := time.Now()
 			for {
 				select {
@@ -141,7 +140,7 @@ func latencyRunTPCC(b *Bench, threads int, duration time.Duration) map[workload.
 				default:
 				}
 				// Poisson arrivals: exponential inter-arrival times.
-				next = next.Add(time.Duration(expRand(rng, perWorker) * float64(time.Second)))
+				next = next.Add(time.Duration(arr.NextGap() * float64(time.Second)))
 				if d := time.Until(next); d > 0 {
 					time.Sleep(d)
 				}
@@ -173,7 +172,7 @@ func latencyRunYCSB(b *ycsbBench, threads int, duration time.Duration) *metrics.
 			defer recoverStalledWorker(s)
 			s.SetSyncCommit(true)
 			w := b.y.NewWorker(uint64(i)*97+13, 0)
-			rng := sys.NewRand(uint64(i) + 23)
+			arr := workload.NewPoisson(sys.NewRand(uint64(i)+23), 2000)
 			for {
 				select {
 				case <-stop:
@@ -181,7 +180,7 @@ func latencyRunYCSB(b *ycsbBench, threads int, duration time.Duration) *metrics.
 				default:
 				}
 				// Modest pacing keeps utilization below saturation.
-				time.Sleep(time.Duration(expRand(rng, 2000) * float64(time.Second)))
+				time.Sleep(time.Duration(arr.NextGap() * float64(time.Second)))
 				start := time.Now()
 				if err := w.UpdateTxn(s); err == nil {
 					h.Observe(time.Since(start))
@@ -193,13 +192,4 @@ func latencyRunYCSB(b *ycsbBench, threads int, duration time.Duration) *metrics.
 	close(stop)
 	joinOrInterrupt(b.eng, &wg)
 	return h
-}
-
-// expRand draws an exponential inter-arrival time (seconds) for the rate.
-func expRand(r *sys.Rand, ratePerSec float64) float64 {
-	u := r.Float64()
-	for u == 0 {
-		u = r.Float64()
-	}
-	return -math.Log(u) / ratePerSec
 }

@@ -1,0 +1,120 @@
+package objstore
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Dir is the local-directory reference implementation of Store: each key
+// maps to a file under a root directory, with slashes as subdirectories.
+// It exists to pin the Store contract against a real filesystem (and as the
+// escape hatch for pointing the archive at an NFS/FUSE mount); the engine
+// and harness default to Sim for its performance model.
+type Dir struct {
+	root string
+}
+
+// NewDir creates (if needed) and wraps root as a blob store.
+func NewDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: dir root: %w", err)
+	}
+	return &Dir{root: root}, nil
+}
+
+// keyPath validates key and maps it to a filesystem path under root. Keys
+// are clean slash paths; anything escaping the root is rejected.
+func (d *Dir) keyPath(key string) (string, error) {
+	if key == "" || strings.HasPrefix(key, "/") || path.Clean(key) != key ||
+		key == ".." || strings.HasPrefix(key, "../") {
+		return "", fmt.Errorf("objstore: invalid key %q", key)
+	}
+	return filepath.Join(d.root, filepath.FromSlash(key)), nil
+}
+
+// Put writes data under key atomically (temp file + rename), creating
+// parent directories as needed.
+func (d *Dir) Put(key string, data []byte) error {
+	p, err := d.keyPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("put %q: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return fmt.Errorf("put %q: %w", key, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("put %q: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("put %q: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("put %q: %w", key, err)
+	}
+	return nil
+}
+
+// Get reads the blob under key.
+func (d *Dir) Get(key string) ([]byte, error) {
+	p, err := d.keyPath(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("get %q: %w", key, err)
+	}
+	return data, nil
+}
+
+// List walks the root and returns every key with the given prefix, sorted.
+func (d *Dir) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(d.root, func(p string, entry fs.DirEntry, err error) error {
+		if err != nil || entry.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) && !strings.HasPrefix(path.Base(key), ".put-") {
+			names = append(names, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("list %q: %w", prefix, err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete removes the blob under key; missing keys are not an error.
+func (d *Dir) Delete(key string) error {
+	p, err := d.keyPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("delete %q: %w", key, err)
+	}
+	return nil
+}

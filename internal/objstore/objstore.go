@@ -1,0 +1,220 @@
+// Package objstore simulates a cold-tier object store — the S3-class blob
+// service that the WAL archive and backup chains tier into (ROADMAP 5(b)).
+// It mirrors the shape of internal/dev: a simulated backend with a
+// latency/bandwidth/failure model (Sim), a real-filesystem reference
+// implementation behind the same interface (Dir), and accessors the harness
+// uses to dial the device model per experiment cell.
+//
+// The performance model is dev.SSD's: per-operation latency overlaps across
+// concurrent callers (independent HTTP requests each pay the round trip),
+// while bandwidth is a shared pipe — callers reserve sequential slots on a
+// token-bucket timeline so aggregate throughput never exceeds the configured
+// rate. On top of either backend, Client adds the retry/backoff loop that
+// real object-store SDKs ship: injected transient errors are retried with
+// exponential backoff and surface only after the attempt budget is spent.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sys"
+)
+
+// Store is the blob API every backend implements. Keys are slash-separated
+// paths ("archive/wal/p000/seg00000001", "backup/manifest/000001"). Put
+// overwrites atomically: a Get concurrent with a Put sees either the old or
+// the new blob, never a mix.
+type Store interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	List(prefix string) ([]string, error)
+	Delete(key string) error
+}
+
+// ErrNotFound is returned by Get for a missing key.
+var ErrNotFound = errors.New("objstore: key not found")
+
+// ErrTransient is the injectable failure class: request-level errors
+// (throttling, 5xx, connection reset) that a client is expected to retry.
+// Backends wrap it so errors.Is(err, ErrTransient) selects the retry path.
+var ErrTransient = errors.New("objstore: transient error")
+
+// Sim is the simulated object store: an in-memory blob map behind the
+// dev.SSD performance model plus an injectable transient-error rate.
+// Objects are durable on successful Put — the store models a replicated
+// service, so there is no crash/sync distinction like the local devices.
+type Sim struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+
+	// Performance model, set via SetPerf (zero values disable it).
+	opLatencyNs atomic.Int64
+	bandwidth   atomic.Int64 // bytes per second; 0 = infinite
+	bwMu        sync.Mutex
+	bwFree      time.Time
+
+	// Fault model, set via SetFault.
+	faultMu sync.Mutex
+	errRate float64
+	rng     *sys.Rand
+
+	puts, gets, lists, deletes atomic.Uint64
+	putBytes, getBytes         atomic.Uint64
+	injected                   atomic.Uint64
+}
+
+// NewSim returns an empty simulated store with the model disabled (zero
+// latency, infinite bandwidth, no faults).
+func NewSim() *Sim {
+	return &Sim{blobs: make(map[string][]byte), rng: sys.NewRand(1)}
+}
+
+// SetPerf configures per-request latency and the shared bandwidth cap in
+// bytes/second (0 disables either). Safe to call while requests are in
+// flight.
+func (s *Sim) SetPerf(opLatency time.Duration, bandwidth int64) {
+	s.opLatencyNs.Store(int64(opLatency))
+	s.bandwidth.Store(bandwidth)
+}
+
+// SetFault makes every request fail with a wrapped ErrTransient with
+// probability errRate (retries re-roll). A non-zero seed reseeds the fault
+// RNG for determinism; rate 0 clears injection.
+func (s *Sim) SetFault(errRate float64, seed uint64) {
+	s.faultMu.Lock()
+	s.errRate = errRate
+	if seed != 0 {
+		s.rng = sys.NewRand(seed)
+	}
+	s.faultMu.Unlock()
+}
+
+// delay models one request moving n payload bytes — dev.SSD's model: op
+// latency overlaps across callers, bandwidth is a shared reservation
+// timeline.
+func (s *Sim) delay(bytes int) {
+	op := time.Duration(s.opLatencyNs.Load())
+	var bwWait time.Duration
+	if bw := s.bandwidth.Load(); bw > 0 && bytes > 0 {
+		service := time.Duration(int64(bytes) * int64(time.Second) / bw)
+		now := time.Now()
+		s.bwMu.Lock()
+		start := s.bwFree
+		if start.Before(now) {
+			start = now
+		}
+		s.bwFree = start.Add(service)
+		bwWait = s.bwFree.Sub(now)
+		s.bwMu.Unlock()
+	}
+	sleep := op
+	if bwWait > sleep {
+		sleep = bwWait
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// roll decides whether this attempt fails with an injected transient error.
+func (s *Sim) roll() bool {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.errRate > 0 && s.rng.Float64() < s.errRate {
+		s.injected.Add(1)
+		return true
+	}
+	return false
+}
+
+// Put stores a copy of data under key, overwriting any existing blob.
+func (s *Sim) Put(key string, data []byte) error {
+	s.delay(len(data))
+	if s.roll() {
+		return fmt.Errorf("put %q: %w", key, ErrTransient)
+	}
+	blob := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.blobs[key] = blob
+	s.mu.Unlock()
+	s.puts.Add(1)
+	s.putBytes.Add(uint64(len(data)))
+	return nil
+}
+
+// Get returns a copy of the blob stored under key.
+func (s *Sim) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	blob, ok := s.blobs[key]
+	s.mu.RUnlock()
+	s.delay(len(blob))
+	if s.roll() {
+		return nil, fmt.Errorf("get %q: %w", key, ErrTransient)
+	}
+	if !ok {
+		return nil, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	s.gets.Add(1)
+	s.getBytes.Add(uint64(len(blob)))
+	return append([]byte(nil), blob...), nil
+}
+
+// List returns the keys under prefix, sorted.
+func (s *Sim) List(prefix string) ([]string, error) {
+	s.delay(0)
+	if s.roll() {
+		return nil, fmt.Errorf("list %q: %w", prefix, ErrTransient)
+	}
+	s.mu.RLock()
+	var names []string
+	for k := range s.blobs {
+		if strings.HasPrefix(k, prefix) {
+			names = append(names, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	s.lists.Add(1)
+	return names, nil
+}
+
+// Delete removes the blob under key. Deleting a missing key is not an error
+// (object-store deletes are idempotent).
+func (s *Sim) Delete(key string) error {
+	s.delay(0)
+	if s.roll() {
+		return fmt.Errorf("delete %q: %w", key, ErrTransient)
+	}
+	s.mu.Lock()
+	delete(s.blobs, key)
+	s.mu.Unlock()
+	s.deletes.Add(1)
+	return nil
+}
+
+// ObjectCount returns the number of stored blobs.
+func (s *Sim) ObjectCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// StoredBytes returns the total payload bytes currently stored.
+func (s *Sim) StoredBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, b := range s.blobs {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// InjectedErrors returns how many attempts the fault model failed.
+func (s *Sim) InjectedErrors() uint64 { return s.injected.Load() }

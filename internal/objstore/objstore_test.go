@@ -1,0 +1,194 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// storeContract pins the Store semantics every backend must share.
+func storeContract(t *testing.T, s Store) {
+	t.Helper()
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if err := s.Put("a/b/one", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a/b/two", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a/c/three", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite.
+	if err := s.Put("a/b/one", []byte("v1'")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b/one")
+	if err != nil || string(got) != "v1'" {
+		t.Fatalf("Get = %q, %v, want v1'", got, err)
+	}
+	names, err := s.List("a/b/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a/b/one" || names[1] != "a/b/two" {
+		t.Fatalf("List(a/b/) = %v", names)
+	}
+	all, err := s.List("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("List(\"\") = %v, %v, want 3 keys", all, err)
+	}
+	if err := s.Delete("a/b/two"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a/b/two"); err != nil { // idempotent
+		t.Fatalf("second Delete: %v", err)
+	}
+	if _, err := s.Get("a/b/two"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(deleted) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSimContract(t *testing.T) { storeContract(t, NewSim()) }
+
+func TestDirContract(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, d)
+}
+
+func TestDirRejectsEscapingKeys(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "/abs", "../out", "a/../../out", "a//b", "a/./b"} {
+		if err := d.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+	}
+}
+
+// TestSimBlobIsolation: mutating the caller's buffer after Put, or the
+// returned buffer after Get, must not reach the stored blob.
+func TestSimBlobIsolation(t *testing.T) {
+	s := NewSim()
+	buf := []byte("hello")
+	if err := s.Put("k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	got, err := s.Get("k")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	got[0] = 'Y'
+	again, _ := s.Get("k")
+	if string(again) != "hello" {
+		t.Fatalf("stored blob mutated through Get result: %q", again)
+	}
+}
+
+// TestClientRetriesTransient: a fault rate well under the attempt budget's
+// coverage must be invisible through the client, and counted as retries.
+func TestClientRetriesTransient(t *testing.T) {
+	sim := NewSim()
+	sim.SetFault(0.5, 42)
+	c := NewClient(sim)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		if err := c.Put(key, []byte(key)); err != nil {
+			t.Fatalf("Put %s under 50%% transient errors: %v", key, err)
+		}
+		got, err := c.Get(key)
+		if err != nil || string(got) != key {
+			t.Fatalf("Get %s = %q, %v", key, got, err)
+		}
+	}
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Fatal("client reported zero retries under 50% fault rate")
+	}
+	if st.Failures != 0 {
+		t.Fatalf("client reported %d hard failures, want 0", st.Failures)
+	}
+	if sim.InjectedErrors() == 0 {
+		t.Fatal("sim injected no errors")
+	}
+}
+
+// TestClientGivesUp: a permanent outage (rate 1.0) must surface as a
+// transient-wrapped error after the budget, not hang.
+func TestClientGivesUp(t *testing.T) {
+	sim := NewSim()
+	sim.SetFault(1.0, 7)
+	c := NewClient(sim)
+	err := c.Put("k", []byte("v"))
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("Put under full outage = %v, want wrapped ErrTransient", err)
+	}
+	if st := c.Stats(); st.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", st.Failures)
+	}
+	// Not-found is permanent: no retry burn.
+	sim.SetFault(0, 0)
+	before := c.Stats().Retries
+	if _, err := c.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v", err)
+	}
+	if c.Stats().Retries != before {
+		t.Fatal("client retried a permanent ErrNotFound")
+	}
+}
+
+// TestSimBandwidthCap: with a shared bandwidth cap, N concurrent puts must
+// take at least total/bandwidth wall time (the token bucket serializes the
+// transfer pipe).
+func TestSimBandwidthCap(t *testing.T) {
+	s := NewSim()
+	const bw = 8 << 20 // 8 MiB/s
+	s.SetPerf(0, bw)
+	blob := make([]byte, 256<<10)
+	const n = 8
+	start := time.Now()
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { done <- s.Put(fmt.Sprintf("b%d", i), blob) }(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(int64(n*len(blob)) * int64(time.Second) / bw)
+	if elapsed < want*3/4 {
+		t.Fatalf("%d×%dKiB at 8MiB/s finished in %v, want >= ~%v", n, len(blob)>>10, elapsed, want)
+	}
+}
+
+func TestClientRegisterObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewClient(NewSim())
+	c.RegisterObs(reg)
+	if err := c.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["objstore_puts_total"] != 1 || snap["objstore_put_bytes_total"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap["objstore_gets_total"] != 1 || snap["objstore_get_bytes_total"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}

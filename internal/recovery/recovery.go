@@ -100,6 +100,13 @@ type ScanConfig struct {
 	Trace *obs.Recorder
 	// TraceRing is the recorder ring recovery events are recorded on.
 	TraceRing int
+	// LimitGSN, when non-zero, bounds replay for point-in-time recovery:
+	// every record with GSN > LimitGSN is discarded before analysis, as if
+	// the log ended at that consistent point. Per-partition GSNs are
+	// monotone in append order, so the cut is a prefix cut of each
+	// partition; a transaction whose commit lies beyond the limit loses
+	// its commit record and is rolled back like any other loser.
+	LimitGSN base.GSN
 }
 
 // Restart is a scanned-but-not-necessarily-redone recovery in progress: the
@@ -150,6 +157,24 @@ func Scan(cfg ScanConfig) (*Restart, error) {
 	parts, stable, maxSeq, err := wal.ScanLog(cfg.SSD, cfg.PMem, cfg.Sched, cfg.Threads)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.LimitGSN > 0 {
+		// Bounded replay (PITR): drop everything past the target. maxSeq
+		// stays unfiltered — chunk seqs beyond the cut may exist on the
+		// devices, and the new generation's seq floor must clear them.
+		for part, recs := range parts {
+			cut := len(recs)
+			for i, rec := range recs {
+				if rec.GSN > cfg.LimitGSN {
+					cut = i
+					break
+				}
+			}
+			parts[part] = recs[:cut]
+		}
+		if stable > cfg.LimitGSN {
+			stable = cfg.LimitGSN
+		}
 	}
 	res.Partitions = len(parts)
 	res.MaxChunkSeq = maxSeq

@@ -1,0 +1,271 @@
+// Stage-3 tiering: the local archive namespace (archive/wal/pNNN/segNNNNNNNN,
+// written by archiveSegment on prune) is continuously shipped to a cold-tier
+// object store and trimmed from hot storage once the uploaded∧backed-up
+// horizon passes it. The manager owns the upload path so it reuses the same
+// pooled whole-segment copy buffer (and the ClassBackup I/O priority) as the
+// local archive copy — tiering rides the prune path without new allocation
+// or a competing I/O class. See DESIGN.md §9.
+package wal
+
+import (
+	"encoding/binary"
+
+	"repro/internal/base"
+	"repro/internal/iosched"
+	"repro/internal/obs"
+)
+
+// ArchiveSink is the cold-tier target for sealed archive segments —
+// objstore.Client satisfies it. Put must be atomic (a concurrent reader of
+// the store sees the old or the new blob, never a mix) and must copy data
+// before returning: the manager hands it the pooled archive buffer.
+type ArchiveSink interface {
+	Put(name string, data []byte) error
+}
+
+// archEntry tracks one local archive segment's tiering state.
+type archEntry struct {
+	part     int // partition, -1 when not parseable
+	maxGSN   base.GSN
+	size     int64
+	uploaded bool
+}
+
+// SegmentMaxGSN returns the highest block maxGSN in a raw stage-2/archive
+// segment image (0 for an empty or unparseable image). Used when the upload
+// path meets a segment it did not archive itself (previous generation,
+// ArchiveAllLive copies) and needs its GSN bound for the trim horizon.
+func SegmentMaxGSN(data []byte) base.GSN {
+	var max base.GSN
+	pos := 0
+	for pos+blockHeaderSize <= len(data) {
+		if binary.LittleEndian.Uint32(data[pos:]) != blockMagic {
+			break
+		}
+		payload := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		if g := base.GSN(binary.LittleEndian.Uint64(data[pos+24:])); g > max {
+			max = g
+		}
+		pos += blockHeaderSize + payload
+	}
+	return max
+}
+
+// recordArchivedLocked upserts the tiering index entry for a local archive
+// file and, with a sink configured, uploads the segment image synchronously.
+// Caller holds archiveMu and passes the segment bytes it already has in the
+// pooled buffer. Upload failure is not fatal: the local archive copy is
+// intact, media recovery is unaffected, and SyncArchive retries on the next
+// uploader tick.
+func (m *Manager) recordArchivedLocked(name string, data []byte, maxGSN base.GSN) {
+	ent := m.archIdx[name]
+	if ent == nil {
+		ent = &archEntry{part: -1}
+		if part, _, ok := parseSegName(name[len(ArchivePrefix):]); ok {
+			ent.part = part
+		}
+		m.archIdx[name] = ent
+	}
+	ent.maxGSN = maxGSN
+	ent.size = int64(len(data))
+	ent.uploaded = false
+	if m.cfg.ArchiveSink == nil {
+		return
+	}
+	if err := m.cfg.ArchiveSink.Put(name, data); err != nil {
+		m.upFails.Add(1)
+		return
+	}
+	ent.uploaded = true
+	m.upSegs.Add(1)
+	m.upBytes.Add(uint64(len(data)))
+	if ent.part >= 0 && ent.part < len(m.archCover) && maxGSN > m.archCover[ent.part] {
+		m.archCover[ent.part] = maxGSN
+	}
+}
+
+// SyncArchive reconciles the local archive namespace against the sink: any
+// local archive segment not uploaded by this manager generation is read back
+// (ClassBackup, pooled buffer) and uploaded. This retries failed prune-time
+// uploads and sweeps in segments archived outside the prune path — previous
+// generations found at startup and ArchiveAllLive copies made at recovery
+// retire. Uploads are idempotent overwrites, so re-shipping a segment the
+// store already holds is safe. Returns the first upload/read error (the
+// uploader tick retries later).
+func (m *Manager) SyncArchive() error {
+	if m.cfg.ArchiveSink == nil {
+		return nil
+	}
+	m.archiveMu.Lock()
+	defer m.archiveMu.Unlock()
+	var firstErr error
+	for _, name := range m.cfg.SSD.List(ArchivePrefix) {
+		if ent := m.archIdx[name]; ent != nil && ent.uploaded {
+			continue
+		}
+		f := m.cfg.SSD.Open(name)
+		size := int(f.Size())
+		if cap(m.archiveBuf) < size {
+			m.archiveBuf = make([]byte, size)
+		}
+		buf := m.archiveBuf[:size]
+		n, err := m.sched.ReadWait(iosched.ClassBackup, f, buf, 0, walRetries)
+		if err != nil {
+			m.upFails.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		m.recordArchivedLocked(name, buf[:n], SegmentMaxGSN(buf[:n]))
+		if ent := m.archIdx[name]; ent != nil && !ent.uploaded && firstErr == nil {
+			firstErr = errUploadFailed
+		}
+	}
+	return firstErr
+}
+
+// ArchiveTail stages the stage-1 chunks to SSD, copies every live stage-2
+// segment whose archive copy is missing or stale into the local archive
+// (pooled buffer, ClassBackup), and ships the archive — extending
+// CoveredGSN to the manager's MaxGSN for every active partition. Sealed
+// segments reach the store continuously via the prune path; this bridges
+// the still-open tail segment at backup and sync points, so the store
+// alone covers history up to "now".
+func (m *Manager) ArchiveTail() error {
+	if m.cfg.ArchiveSink == nil {
+		return nil
+	}
+	m.StageAllToSSD()
+	m.archiveMu.Lock()
+	for _, name := range LiveSegmentNames(m.cfg.SSD) {
+		src := m.cfg.SSD.Open(name)
+		dst := m.cfg.SSD.Open(ArchivePrefix + name)
+		size := src.Size()
+		if size == 0 || dst.Size() >= size {
+			continue // empty, or the copy is current (segments append-only)
+		}
+		if cap(m.archiveBuf) < int(size) {
+			m.archiveBuf = make([]byte, size)
+		}
+		buf := m.archiveBuf[:size]
+		n, err := m.sched.ReadWait(iosched.ClassBackup, src, buf, 0, walRetries)
+		if err == nil {
+			err = m.sched.WriteWait(iosched.ClassBackup, dst, buf[:n], 0, walRetries)
+		}
+		if err == nil {
+			err = m.sched.SyncWait(iosched.ClassBackup, dst, walRetries)
+		}
+		if err != nil {
+			m.archiveMu.Unlock()
+			return err
+		}
+		m.recordArchivedLocked(ArchivePrefix+name, buf[:n], SegmentMaxGSN(buf[:n]))
+	}
+	m.archiveMu.Unlock()
+	return m.SyncArchive()
+}
+
+// errUploadFailed is SyncArchive's aggregate signal when a sink Put failed
+// (the per-request error was already counted; the uploader only needs to
+// know the sweep is not clean yet).
+var errUploadFailed = &uploadError{}
+
+type uploadError struct{}
+
+func (*uploadError) Error() string { return "wal: archive upload failed; will retry" }
+
+// TrimArchive deletes local archive segments that are both uploaded to the
+// sink and at-or-below the backed-up horizon (the newest object-store backup
+// chain's MaxGSN) — the bounded-hot-storage half of the tiering invariant:
+// never trim past uploaded∧backed-up, so local media recovery keeps every
+// segment a local backup could need and the store alone covers full history.
+// Returns the number of segments removed.
+func (m *Manager) TrimArchive(backedUp base.GSN) int {
+	if m.cfg.ArchiveSink == nil || backedUp <= 0 {
+		return 0
+	}
+	m.archiveMu.Lock()
+	defer m.archiveMu.Unlock()
+	if u := uint64(backedUp); u > m.archTrimGSN.Load() {
+		m.archTrimGSN.Store(u)
+	}
+	removed := 0
+	for name, ent := range m.archIdx {
+		if !ent.uploaded || ent.maxGSN == 0 || ent.maxGSN > backedUp {
+			continue
+		}
+		m.cfg.SSD.Remove(name)
+		delete(m.archIdx, name)
+		m.trimSegs.Add(1)
+		m.trimBytes.Add(uint64(ent.size))
+		removed++
+	}
+	return removed
+}
+
+// ArchiveInfo is the tiering view the engine exposes: the local (hot-tier)
+// archive footprint, cumulative upload/trim traffic, and the horizons that
+// govern PITR target selection and trimming.
+type ArchiveInfo struct {
+	// LocalSegments/LocalBytes is the archive still on the hot SSD.
+	LocalSegments int
+	LocalBytes    int64
+	// Uploaded*/Trimmed* are cumulative for this manager generation.
+	UploadedSegments uint64
+	UploadedBytes    uint64
+	TrimmedSegments  uint64
+	TrimmedBytes     uint64
+	UploadFailures   uint64
+	// CoveredGSN is the uploaded-archive horizon: every partition that has
+	// contributed archive segments has its full history up to this GSN in
+	// the store, so any PITR target at-or-below it replays from cold
+	// storage alone. Partitions that never sealed a segment (idle logs
+	// carrying only lift witnesses) do not bound it.
+	CoveredGSN base.GSN
+	// TrimGSN is the highest backed-up horizon trimming has applied.
+	TrimGSN base.GSN
+}
+
+// ArchiveInfo returns a snapshot of the tiering state.
+func (m *Manager) ArchiveInfo() ArchiveInfo {
+	info := ArchiveInfo{
+		UploadedSegments: m.upSegs.Load(),
+		UploadedBytes:    m.upBytes.Load(),
+		TrimmedSegments:  m.trimSegs.Load(),
+		TrimmedBytes:     m.trimBytes.Load(),
+		UploadFailures:   m.upFails.Load(),
+		TrimGSN:          base.GSN(m.archTrimGSN.Load()),
+	}
+	for _, name := range m.cfg.SSD.List(ArchivePrefix) {
+		info.LocalSegments++
+		info.LocalBytes += m.cfg.SSD.Open(name).Size()
+	}
+	m.archiveMu.Lock()
+	for _, g := range m.archCover {
+		if g == 0 {
+			continue
+		}
+		if info.CoveredGSN == 0 || g < info.CoveredGSN {
+			info.CoveredGSN = g
+		}
+	}
+	m.archiveMu.Unlock()
+	return info
+}
+
+// registerArchiveObs publishes the tiering instruments (called from
+// registerObs when a registry is configured).
+func (m *Manager) registerArchiveObs(reg *obs.Registry) {
+	reg.CounterFunc("archive_uploaded_segments_total", m.upSegs.Load)
+	reg.CounterFunc("archive_uploaded_bytes_total", m.upBytes.Load)
+	reg.CounterFunc("archive_trimmed_segments_total", m.trimSegs.Load)
+	reg.CounterFunc("archive_trimmed_bytes_total", m.trimBytes.Load)
+	reg.CounterFunc("archive_upload_failures_total", m.upFails.Load)
+	reg.GaugeFunc("archive_local_bytes", func() float64 {
+		return float64(m.ArchiveInfo().LocalBytes)
+	})
+	reg.GaugeFunc("archive_covered_gsn", func() float64 {
+		return float64(m.ArchiveInfo().CoveredGSN)
+	})
+}

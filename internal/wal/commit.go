@@ -563,4 +563,5 @@ func (m *Manager) registerObs(reg *obs.Registry) {
 	reg.CounterFunc("wal_commits_full_total", m.commitsFull.Load)
 	reg.GaugeFunc("wal_live_bytes", func() float64 { return float64(m.LiveWALBytes()) })
 	reg.GaugeFunc("wal_stable_gsn", func() float64 { return float64(m.stableGSN.Load()) })
+	m.registerArchiveObs(reg)
 }

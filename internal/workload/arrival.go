@@ -1,0 +1,88 @@
+// Open-loop arrival generators for the latency experiments (§4.5): workers
+// draw inter-arrival gaps from a process instead of issuing back-to-back.
+// Poisson is the paper's arrival model; OnOffPoisson (an interrupted Poisson
+// process) adds bursts — exponential ON periods emitting arrivals, separated
+// by exponential silent OFF periods — to stress group commit and admission
+// control under non-stationary load.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/sys"
+)
+
+// Arrivals yields open-loop inter-arrival gaps in seconds.
+type Arrivals interface {
+	NextGap() float64
+}
+
+// ExpGap draws an exponential gap (seconds) for ratePerSec.
+func ExpGap(r *sys.Rand, ratePerSec float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / ratePerSec
+}
+
+// Poisson is a stationary Poisson arrival process.
+type Poisson struct {
+	rng  *sys.Rand
+	rate float64
+}
+
+// NewPoisson creates a Poisson process at ratePerSec arrivals per second.
+func NewPoisson(rng *sys.Rand, ratePerSec float64) *Poisson {
+	return &Poisson{rng: rng, rate: ratePerSec}
+}
+
+// NextGap draws the next inter-arrival gap.
+func (p *Poisson) NextGap() float64 { return ExpGap(p.rng, p.rate) }
+
+// Rate returns the long-run arrival rate.
+func (p *Poisson) Rate() float64 { return p.rate }
+
+// OnOffPoisson is an on/off (interrupted) Poisson process: while ON,
+// arrivals are Poisson at OnRate; ON periods last Exp(mean=OnMean) and are
+// separated by silent OFF periods lasting Exp(mean=OffMean). The gap
+// distribution is over-dispersed (CV > 1): bursts at OnRate punctuated by
+// OFF-scale silences, at long-run rate OnRate·OnMean/(OnMean+OffMean).
+type OnOffPoisson struct {
+	rng     *sys.Rand
+	onRate  float64
+	onMean  float64
+	offMean float64
+	onLeft  float64 // remaining time in the current ON period
+}
+
+// NewOnOffPoisson creates an on/off process. onRate is the within-burst
+// arrival rate (per second); onMean/offMean are the mean burst and silence
+// durations (seconds).
+func NewOnOffPoisson(rng *sys.Rand, onRate, onMean, offMean float64) *OnOffPoisson {
+	b := &OnOffPoisson{rng: rng, onRate: onRate, onMean: onMean, offMean: offMean}
+	b.onLeft = ExpGap(rng, 1/onMean)
+	return b
+}
+
+// Rate returns the long-run arrival rate.
+func (b *OnOffPoisson) Rate() float64 {
+	return b.onRate * b.onMean / (b.onMean + b.offMean)
+}
+
+// NextGap draws the next inter-arrival gap. When the candidate gap runs past
+// the current ON period, the consumed ON time plus an OFF period is added and
+// the draw restarts in a fresh burst (exponentials are memoryless, so
+// redrawing is exact, not an approximation).
+func (b *OnOffPoisson) NextGap() float64 {
+	total := 0.0
+	for {
+		g := ExpGap(b.rng, b.onRate)
+		if g <= b.onLeft {
+			b.onLeft -= g
+			return total + g
+		}
+		total += b.onLeft + ExpGap(b.rng, 1/b.offMean)
+		b.onLeft = ExpGap(b.rng, 1/b.onMean)
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sys"
+)
+
+// gapStats returns the mean and coefficient of variation of n gaps.
+func gapStats(a Arrivals, n int) (mean, cv float64) {
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		g := a.NextGap()
+		sum += g
+		sumSq += g * g
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	return mean, math.Sqrt(variance) / mean
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	const rate = 500.0
+	p := NewPoisson(sys.NewRand(11), rate)
+	if p.Rate() != rate {
+		t.Fatalf("Rate() = %v", p.Rate())
+	}
+	mean, cv := gapStats(p, 50000)
+	// Exponential gaps: mean = 1/rate, CV = 1.
+	if want := 1 / rate; mean < want*0.95 || mean > want*1.05 {
+		t.Fatalf("mean gap %v, want ~%v", mean, want)
+	}
+	if cv < 0.9 || cv > 1.1 {
+		t.Fatalf("Poisson gap CV %v, want ~1", cv)
+	}
+}
+
+func TestOnOffPoissonBursty(t *testing.T) {
+	// Bursts of ~10ms at 2000/s separated by ~40ms silences: long-run rate
+	// 2000·10/(10+40) = 400/s.
+	b := NewOnOffPoisson(sys.NewRand(13), 2000, 0.010, 0.040)
+	if want := 400.0; math.Abs(b.Rate()-want) > 1e-9 {
+		t.Fatalf("Rate() = %v, want %v", b.Rate(), want)
+	}
+	mean, cv := gapStats(b, 50000)
+	if want := 1 / b.Rate(); mean < want*0.9 || mean > want*1.1 {
+		t.Fatalf("mean gap %v, want ~%v (long-run rate %v)", mean, want, b.Rate())
+	}
+	// The signature of burstiness: over-dispersed gaps. Within a burst gaps
+	// are ~0.5ms, but every burst boundary inserts an OFF-scale silence, so
+	// the CV sits well above the Poisson value of 1.
+	if cv < 1.5 {
+		t.Fatalf("on/off gap CV %v, want > 1.5 (over-dispersed)", cv)
+	}
+	// Sanity: OFF-scale gaps actually occur.
+	long := 0
+	for i := 0; i < 10000; i++ {
+		if b.NextGap() > 0.020 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("no OFF-scale silences observed in 10k gaps")
+	}
+}
+
+// modalKey returns the most frequent key in n draws.
+func modalKey(z *Zipf, n int) int {
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	best, bestC := -1, -1
+	for k, c := range counts {
+		if c > bestC {
+			best, bestC = k, c
+		}
+	}
+	return best
+}
+
+func TestZipfSkewShift(t *testing.T) {
+	const (
+		n     = 500
+		step  = 137
+		every = 20000
+	)
+	// Without shifting the modal key stays pinned at 0.
+	z := NewZipf(sys.NewRand(17), n, 1.25)
+	for w := 0; w < 3; w++ {
+		if k := modalKey(z, every); k != 0 {
+			t.Fatalf("stationary window %d: modal key %d, want 0", w, k)
+		}
+	}
+	// With shifting, window w's modal key is the rotated hot spot.
+	z = NewZipf(sys.NewRand(17), n, 1.25)
+	z.SetSkewShift(step, every)
+	for w := 0; w < 4; w++ {
+		want := (w * step) % n
+		if k := modalKey(z, every); k != want {
+			t.Fatalf("shifted window %d: modal key %d, want %d", w, k, want)
+		}
+	}
+	// Disabling restores the stationary mode (offset resets).
+	z.SetSkewShift(0, 0)
+	if k := modalKey(z, every); k != 0 {
+		t.Fatalf("after disable: modal key %d, want 0", k)
+	}
+}

@@ -79,6 +79,10 @@ func (y *YCSB) NewWorker(seed uint64, theta float64) *Worker {
 	return w
 }
 
+// SetSkewShift enables a wandering hot set: the worker's Zipfian key space
+// rotates by step records every `every` transactions (see Zipf.SetSkewShift).
+func (w *Worker) SetSkewShift(step, every int) { w.zipf.SetSkewShift(step, every) }
+
 // UpdateTxn runs one single-tuple-update transaction (100% update mix).
 func (w *Worker) UpdateTxn(s Session) error {
 	binary.BigEndian.PutUint64(w.key[:], uint64(w.zipf.Next()))

@@ -26,6 +26,14 @@ type Zipf struct {
 
 	// Inverse-CDF table (theta >= 1).
 	cdf []float64
+
+	// Skew-shift state (SetSkewShift): the key space rotates by shiftStep
+	// every shiftEvery draws, so the hot set wanders instead of staying
+	// pinned to the lowest keys.
+	shiftStep  int
+	shiftEvery int
+	offset     int
+	drawn      int
 }
 
 // NewZipf creates a generator over [0, n).
@@ -64,8 +72,31 @@ func zeta(n int, theta float64) float64 {
 	return sum
 }
 
+// SetSkewShift makes the distribution non-stationary: after every `every`
+// draws the key space rotates by `step` (mod n), moving the modal key and
+// with it the whole hot set. A shifting working set defeats the "hot pages
+// stay hot" assumption that stationary Zipfian draws bake into buffer-pool
+// and checkpoint behavior. step <= 0 or every <= 0 disables shifting.
+func (z *Zipf) SetSkewShift(step, every int) {
+	z.shiftStep, z.shiftEvery = step, every
+	z.offset, z.drawn = 0, 0
+}
+
 // Next draws the next key.
 func (z *Zipf) Next() int {
+	k := z.draw()
+	if z.shiftStep > 0 && z.shiftEvery > 0 {
+		k = (k + z.offset) % z.n
+		z.drawn++
+		if z.drawn == z.shiftEvery {
+			z.drawn = 0
+			z.offset = (z.offset + z.shiftStep) % z.n
+		}
+	}
+	return k
+}
+
+func (z *Zipf) draw() int {
 	if z.theta == 0 {
 		return z.rng.Intn(z.n)
 	}

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backup"
 	"repro/internal/base"
 	"repro/internal/btree"
 	"repro/internal/core"
@@ -42,6 +43,30 @@ import (
 	"repro/internal/repl"
 	"repro/internal/txn"
 )
+
+// coreConfig translates public Options into the engine configuration.
+func coreConfig(opts Options) core.Config {
+	cfg := core.Config{
+		Mode:                opts.Mode,
+		Workers:             opts.Workers,
+		PoolPages:           opts.BufferPoolPages,
+		WALLimit:            opts.WALLimitBytes,
+		SegmentSize:         opts.WALSegmentBytes,
+		CheckpointShards:    opts.CheckpointShards,
+		GroupCommitInterval: opts.GroupCommitInterval,
+		CheckpointDisabled:  opts.DisableCheckpointing,
+		RecoveryMode:        opts.RecoveryMode,
+		ObsAddr:             opts.ObsAddr,
+		ObsDisabled:         opts.DisableObservability,
+		Archive:             opts.Archive,
+		ObjectStore:         opts.ObjectStore,
+	}
+	if opts.Devices != nil {
+		cfg.PMem = opts.Devices.PMem
+		cfg.SSD = opts.Devices.SSD
+	}
+	return cfg
+}
 
 // Mode selects the logging/commit/checkpoint design.
 type Mode = core.Mode
@@ -106,6 +131,11 @@ type Options struct {
 	// WALLimitBytes bounds the live write-ahead log; recovery time is
 	// proportional to it (default 32 MiB).
 	WALLimitBytes int64
+	// WALSegmentBytes is the stage-2 segment rotation threshold (default
+	// 1 MiB). With an ObjectStore it is also the cold-tier upload
+	// granularity: only sealed segments ship continuously, so smaller
+	// segments keep CoveredGSN closer to the live log.
+	WALSegmentBytes int
 	// CheckpointShards is the continuous checkpointer's S (default 16).
 	CheckpointShards int
 	// GroupCommitInterval tunes group-commit/epoch latency.
@@ -126,6 +156,13 @@ type Options struct {
 	// them. Required to bootstrap read replicas after the live log has been
 	// truncated, and for the log-archive experiments.
 	Archive bool
+	// ObjectStore, when non-nil, enables the cold storage tier (DESIGN.md
+	// §9): sealed archive segments are continuously uploaded, tiered
+	// backups (BackupToStore) and point-in-time restores (RestorePIT) run
+	// against the store, and the local archive is trimmed once its
+	// segments are both uploaded and covered by a store backup. Implies
+	// Archive.
+	ObjectStore ObjectStore
 	// Devices carries the simulated PMem+SSD of a previous (crashed)
 	// instance; nil starts empty.
 	Devices *Devices
@@ -175,28 +212,21 @@ const (
 // Open creates (or, given Devices from a crashed instance, recovers) a
 // database.
 func Open(opts Options) (*DB, error) {
-	cfg := core.Config{
-		Mode:                opts.Mode,
-		Workers:             opts.Workers,
-		PoolPages:           opts.BufferPoolPages,
-		WALLimit:            opts.WALLimitBytes,
-		CheckpointShards:    opts.CheckpointShards,
-		GroupCommitInterval: opts.GroupCommitInterval,
-		CheckpointDisabled:  opts.DisableCheckpointing,
-		RecoveryMode:        opts.RecoveryMode,
-		ObsAddr:             opts.ObsAddr,
-		ObsDisabled:         opts.DisableObservability,
-		Archive:             opts.Archive,
-	}
-	if opts.Devices != nil {
-		cfg.PMem = opts.Devices.PMem
-		cfg.SSD = opts.Devices.SSD
-	}
+	cfg := coreConfig(opts)
 	eng, err := core.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	db := &DB{eng: eng}
+	if opts.ObjectStore != nil {
+		// Seed the trim horizon from the store's newest backup, so a
+		// reopened instance keeps trimming instead of hoarding segments
+		// already covered by the cold tier.
+		if g, err := backup.LatestStoreGSN(opts.ObjectStore); err == nil {
+			eng.SetBackupHorizon(g)
+		}
+	}
+	return db, nil
 }
 
 // Close shuts the database down cleanly (checkpointing all data first).

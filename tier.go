@@ -1,0 +1,132 @@
+// Tiered cold storage and point-in-time recovery (DESIGN.md §9): the
+// public surface over internal/objstore (the simulated object store),
+// continuous WAL archiving, tiered backups, and RestorePIT.
+package leanstore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/backup"
+	"repro/internal/base"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/objstore"
+	"repro/internal/wal"
+)
+
+// ObjectStore is the cold-tier blob interface (Put/Get/List/Delete).
+type ObjectStore = objstore.Store
+
+// SimStore is the latency/bandwidth/failure-modeled in-memory object store
+// (configure with SetPerf and SetFault).
+type SimStore = objstore.Sim
+
+// DirStore is the local-directory reference implementation.
+type DirStore = objstore.Dir
+
+// NewSimStore returns a simulated object store with no latency model.
+func NewSimStore() *SimStore { return objstore.NewSim() }
+
+// NewDirStore returns an object store backed by a local directory.
+func NewDirStore(root string) (*DirStore, error) { return objstore.NewDir(root) }
+
+// GSN is a global sequence number — the engine-wide logical clock that
+// orders all page changes. Point-in-time targets are GSNs.
+type GSN = base.GSN
+
+// ArchiveInfo reports cold-tier archival progress: local archive footprint,
+// uploaded/trimmed volume, and CoveredGSN — the point up to which the store
+// alone can drive a restore.
+type ArchiveInfo = wal.ArchiveInfo
+
+// BackupManifest describes one store backup and its place in the chain.
+type BackupManifest = backup.Manifest
+
+// RestoreStats reports what a point-in-time restore fetched from the store.
+type RestoreStats = backup.PITFetch
+
+// ArchiveInfo reports cold-tier archival progress (zero value when
+// Options.ObjectStore was nil).
+func (db *DB) ArchiveInfo() ArchiveInfo { return db.eng.ArchiveInfo() }
+
+// SyncArchive runs one synchronous upload+trim reconciliation pass (what
+// the background uploader does continuously) and reports upload errors.
+// After a nil return, every sealed archive segment is in the store and
+// ArchiveInfo().CoveredGSN is current.
+func (db *DB) SyncArchive() error {
+	if db.eng.ObjectStore() == nil {
+		return errors.New("leanstore: no object store configured")
+	}
+	return db.eng.SyncArchiveNow()
+}
+
+// BackupToStore takes a tiered backup into the configured object store:
+// full starts a new chain, otherwise an incremental since the newest store
+// backup is appended (a full one is taken when the store holds no chain
+// yet). On success the backed-up horizon advances, allowing the local
+// archive to be trimmed up to it.
+func (db *DB) BackupToStore(full bool) (*BackupManifest, error) {
+	store := db.eng.ObjectStore()
+	if store == nil {
+		return nil, errors.New("leanstore: no object store configured")
+	}
+	var (
+		m   *backup.Manifest
+		err error
+	)
+	if !full {
+		var since GSN
+		since, err = backup.LatestStoreGSN(store)
+		if err != nil {
+			return nil, err
+		}
+		if since == 0 {
+			full = true // no chain yet: an incremental has nothing to chain to
+		} else {
+			m, err = backup.IncrementalToStore(db.eng, store, since)
+		}
+	}
+	if full {
+		m, err = backup.FullToStore(db.eng, store)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.eng.SetBackupHorizon(m.MaxGSN)
+	return m, nil
+}
+
+// RestorePIT rebuilds a database at an exact point in time from the object
+// store alone: the newest backup chain at-or-before target is fetched and
+// overlaid, the archived WAL is promoted, and recovery replays it with
+// redo bounded at target — transactions not committed by then roll back,
+// exactly as if the engine had crashed at that GSN. Valid targets lie
+// at-or-below the store's CoveredGSN (ArchiveInfo).
+//
+// opts configures the restored instance; Devices must be nil (the restore
+// brings fresh devices) and ObjectStore should be nil or a DIFFERENT store
+// — resuming writes into the source store would fork its history.
+func RestorePIT(store ObjectStore, target GSN, opts Options) (*DB, *RestoreStats, error) {
+	if opts.Devices != nil {
+		return nil, nil, errors.New("leanstore: RestorePIT brings its own devices; Options.Devices must be nil")
+	}
+	if opts.ObjectStore == store && store != nil {
+		return nil, nil, errors.New("leanstore: restored instance must not write back into the source store")
+	}
+	ssd := dev.NewSSD()
+	threads := opts.Workers
+	fetch, err := backup.FetchPIT(store, ssd, target, threads, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := coreConfig(opts)
+	cfg.PMem = dev.NewPMem()
+	cfg.SSD = ssd
+	cfg.RecoveryLimitGSN = target
+	eng, err := core.Open(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("leanstore: opening restored instance: %w", err)
+	}
+	return &DB{eng: eng}, fetch, nil
+}

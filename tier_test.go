@@ -1,0 +1,292 @@
+package leanstore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	leanstore "repro"
+)
+
+func tierOpts(store leanstore.ObjectStore) leanstore.Options {
+	return leanstore.Options{
+		ObjectStore:     store,
+		Workers:         2,
+		WALSegmentBytes: 4 * 1024, // small segments: fine-grained uploads
+	}
+}
+
+// dumpTree reads the full logical contents of tree name (empty map when the
+// tree does not exist at this point in time).
+func dumpTree(db *leanstore.DB, name string) map[string]string {
+	out := map[string]string{}
+	tr, ok := db.BTree(name)
+	if !ok {
+		return out
+	}
+	s := db.Session()
+	s.Begin()
+	tr.Scan(s, nil, func(k, v []byte) bool {
+		out[string(k)] = string(v)
+		return true
+	})
+	s.Commit()
+	return out
+}
+
+// copyStore snapshots every key under prefix into a fresh Sim store.
+func copyStore(t *testing.T, src leanstore.ObjectStore, prefix string) leanstore.ObjectStore {
+	t.Helper()
+	dst := leanstore.NewSimStore()
+	keys, err := src.List(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		b, err := src.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Put(k, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func equalStates(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRestorePITEquivalence is the crash-equivalence-style randomized check:
+// a point-in-time restore (backup chain + bounded archive replay) must yield
+// EXACTLY the prefix state at the target — byte-for-byte the state a pure
+// log-only replay of the archived history produces, and, at commit
+// boundaries, exactly the recorded logical snapshot. Targets strictly inside
+// a transaction exercise loser rollback: the spanning transaction must
+// disappear entirely.
+func TestRestorePITEquivalence(t *testing.T) {
+	store := leanstore.NewSimStore()
+	db, err := leanstore.Open(tierOpts(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := db.SessionOn(0), db.SessionOn(1)
+	tr, err := db.CreateBTree(s0, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Randomized workload over both partitions, with a logical model and a
+	// snapshot (GSN, state) recorded at every commit boundary.
+	rnd := rand.New(rand.NewSource(42))
+	model := map[string]string{}
+	type snap struct {
+		gsn   leanstore.GSN
+		state map[string]string
+	}
+	var snaps []snap
+	var fullM, incrM *leanstore.BackupManifest
+	const batches = 30
+	pad := strings.Repeat("x", 80) // enough log volume to seal segments
+	for b := 0; b < batches; b++ {
+		s := s0
+		if b%2 == 1 {
+			s = s1
+		}
+		err := leanstore.WithTxn(s, func() error {
+			for i := 0; i < 8; i++ {
+				key := fmt.Sprintf("k%03d", rnd.Intn(120))
+				val := fmt.Sprintf("b%02d-%d-%s", b, i, pad)
+				_, exists := model[key]
+				switch {
+				case exists && rnd.Intn(4) == 0:
+					if err := tr.Delete(s, []byte(key)); err != nil {
+						return err
+					}
+					delete(model, key)
+				case exists:
+					if err := tr.Update(s, []byte(key), []byte(val)); err != nil {
+						return err
+					}
+					model[key] = val
+				default:
+					if err := tr.Insert(s, []byte(key), []byte(val)); err != nil {
+						return err
+					}
+					model[key] = val
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := make(map[string]string, len(model))
+		for k, v := range model {
+			state[k] = v
+		}
+		snaps = append(snaps, snap{gsn: db.Engine().WAL().MaxGSN(), state: state})
+
+		switch b {
+		case 9:
+			if fullM, err = db.BackupToStore(true); err != nil {
+				t.Fatal(err)
+			}
+		case 19:
+			if incrM, err = db.BackupToStore(false); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if b%5 == 4 { // periodic staging seals and ships segments
+				if err := db.SyncArchive(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if incrM.Kind != "incr" || incrM.SinceGSN != fullM.MaxGSN {
+		t.Fatalf("chain broken: full %+v incr %+v", fullM, incrM)
+	}
+
+	if err := db.SyncArchive(); err != nil {
+		t.Fatal(err)
+	}
+	info := db.ArchiveInfo()
+	covered := info.CoveredGSN
+	// CoveredGSN is the min across partitions; the last boundary belongs to
+	// one partition's tail, so the floor is the second-to-last boundary.
+	if covered < snaps[len(snaps)-2].gsn {
+		t.Fatalf("CoveredGSN %d below boundary %d after SyncArchive", covered, snaps[len(snaps)-2].gsn)
+	}
+	// Bounded hot storage: segments behind the backed-up horizon were
+	// trimmed locally — the store alone carries that history now.
+	if info.TrimmedSegments == 0 {
+		t.Fatalf("nothing trimmed despite backups at horizon %d: %+v", incrM.MaxGSN, info)
+	}
+
+	// Snapshot the store before Close (Close prunes and uploads more; both
+	// restore flavors must consume the identical store state).
+	fullCopy := copyStore(t, store, "")
+	archOnly := copyStore(t, store, "archive/") // no manifests → log-only
+	db.Close()
+
+	// Targets: every 5th commit boundary, plus random GSNs strictly inside
+	// transactions (loser-rollback territory).
+	type target struct {
+		gsn leanstore.GSN
+		// want is the expected prefix state (nil for mid-txn targets where
+		// only the log-only reference defines it).
+		want map[string]string
+	}
+	var targets []target
+	for i := 4; i < len(snaps); i += 5 {
+		targets = append(targets, target{gsn: snaps[i].gsn, want: snaps[i].state})
+	}
+	for trial := 0; trial < 4; trial++ {
+		i := 5 + rnd.Intn(len(snaps)-6)
+		lo, hi := snaps[i].gsn, snaps[i+1].gsn
+		if hi-lo < 2 {
+			continue
+		}
+		mid := lo + 1 + leanstore.GSN(rnd.Int63n(int64(hi-lo-1)))
+		// Replay to mid rolls the spanning transaction back: the prefix
+		// state is exactly snapshot i.
+		targets = append(targets, target{gsn: mid, want: snaps[i].state})
+	}
+
+	for _, tgt := range targets {
+		if tgt.gsn > covered {
+			continue
+		}
+		ref, _, err := leanstore.RestorePIT(archOnly, tgt.gsn, leanstore.Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("log-only restore @%d: %v", tgt.gsn, err)
+		}
+		refState := dumpTree(ref, "t")
+		ref.Close()
+
+		pit, stats, err := leanstore.RestorePIT(fullCopy, tgt.gsn, leanstore.Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("PIT restore @%d: %v", tgt.gsn, err)
+		}
+		pitState := dumpTree(pit, "t")
+		pit.Close()
+
+		if tgt.gsn >= fullM.MaxGSN && len(stats.Chain) == 0 {
+			t.Fatalf("target %d at-or-after full backup %d used no chain", tgt.gsn, fullM.MaxGSN)
+		}
+		if !equalStates(pitState, refState) {
+			t.Fatalf("target %d: chain restore (%d keys) != log-only reference (%d keys)",
+				tgt.gsn, len(pitState), len(refState))
+		}
+		if tgt.want != nil && !equalStates(pitState, tgt.want) {
+			t.Fatalf("target %d: restored %d keys, recorded prefix has %d",
+				tgt.gsn, len(pitState), len(tgt.want))
+		}
+	}
+}
+
+// TestTieringPublicAPISurface exercises the quickstart path: open with a
+// store, work, back up, restore at the covered horizon, and read back.
+func TestTieringPublicAPISurface(t *testing.T) {
+	store := leanstore.NewSimStore()
+	db, err := leanstore.Open(tierOpts(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	tr, _ := db.CreateBTree(s, "kv")
+	leanstore.WithTxn(s, func() error {
+		for i := 0; i < 200; i++ {
+			if err := tr.Insert(s, []byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if _, err := db.BackupToStore(false); err != nil { // auto-promotes to full
+		t.Fatal(err)
+	}
+	if err := db.SyncArchive(); err != nil {
+		t.Fatal(err)
+	}
+	target := db.ArchiveInfo().CoveredGSN
+	if target == 0 {
+		t.Fatal("nothing covered after SyncArchive")
+	}
+	db.Close()
+
+	// Misuse guards.
+	if _, _, err := leanstore.RestorePIT(store, target, leanstore.Options{ObjectStore: store}); err == nil {
+		t.Fatal("restoring back into the source store must be rejected")
+	}
+
+	db2, stats, err := leanstore.RestorePIT(store, target, leanstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if stats.ArchiveSegments == 0 || stats.FetchedBytes == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	tr2, ok := db2.BTree("kv")
+	if !ok {
+		t.Fatal("tree lost")
+	}
+	s2 := db2.Session()
+	s2.Begin()
+	if n := tr2.Count(s2); n != 200 {
+		t.Fatalf("restored %d keys, want 200", n)
+	}
+	s2.Commit()
+}
